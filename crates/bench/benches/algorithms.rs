@@ -1,0 +1,95 @@
+//! Placement-algorithm complexity benches.
+//!
+//! The paper orders its algorithms by processing cost: Random `O(1)`,
+//! Max `O(PT)`, Grid `O(NG · PG)`. These benches measure `propose()` at
+//! full paper scale (step 1 m lattice, `PT = 10 201`, `NG = 400`) so the
+//! ordering — and any regression — is visible in wall-clock time.
+
+use abp_field::BeaconField;
+use abp_geom::{Lattice, Terrain};
+use abp_localize::UnheardPolicy;
+use abp_placement::{
+    greedy_batch, GridPlacement, LocusBreakPlacement, MaxPlacement, PlacementAlgorithm,
+    RandomPlacement, SurveyView, WeightedGridPlacement,
+};
+use abp_radio::IdealDisk;
+use abp_survey::ErrorMap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+struct Fixture {
+    field: BeaconField,
+    model: IdealDisk,
+    map: ErrorMap,
+}
+
+fn fixture(beacons: usize) -> Fixture {
+    let terrain = Terrain::square(100.0);
+    let lattice = Lattice::new(terrain, 1.0); // paper scale: PT = 10 201
+    let mut rng = StdRng::seed_from_u64(42);
+    let field = BeaconField::random_uniform(beacons, terrain, &mut rng);
+    let model = IdealDisk::new(15.0);
+    let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+    Fixture { field, model, map }
+}
+
+fn propose_benches(c: &mut Criterion) {
+    let fx = fixture(100);
+    let terrain = Terrain::square(100.0);
+    let algorithms: Vec<(&str, Box<dyn PlacementAlgorithm>)> = vec![
+        ("propose/random_O1", Box::new(RandomPlacement::new(terrain))),
+        ("propose/max_OPT", Box::new(MaxPlacement::new())),
+        ("propose/grid_ONGPG", Box::new(GridPlacement::paper(terrain, 15.0))),
+        (
+            "propose/weighted_grid",
+            Box::new(WeightedGridPlacement::paper(terrain, 15.0)),
+        ),
+        (
+            "propose/locus_break",
+            Box::new(LocusBreakPlacement::new()),
+        ),
+    ];
+    for (name, algo) in &algorithms {
+        c.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let view = SurveyView {
+                map: &fx.map,
+                field: &fx.field,
+                model: &fx.model,
+            };
+            b.iter(|| black_box(algo.propose(&view, &mut rng)))
+        });
+    }
+}
+
+fn greedy_batch_bench(c: &mut Criterion) {
+    c.bench_function("multi_beacon/greedy_batch_k4", |b| {
+        let fx = fixture(60);
+        let algo = GridPlacement::paper(Terrain::square(100.0), 15.0);
+        b.iter_batched(
+            || (fx.map.clone(), fx.field.clone()),
+            |(mut map, mut field)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(greedy_batch(
+                    &algo, &mut map, &mut field, &fx.model, 4, &mut rng,
+                ))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("multi_beacon/oneshot_top4", |b| {
+        let fx = fixture(60);
+        let algo = GridPlacement::paper(Terrain::square(100.0), 15.0);
+        b.iter(|| black_box(algo.propose_top_k(&fx.map, 4)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = propose_benches, greedy_batch_bench
+);
+criterion_main!(benches);

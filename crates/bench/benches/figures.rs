@@ -1,0 +1,139 @@
+//! One benchmark per reproduced table/figure.
+//!
+//! Each bench runs the figure's full pipeline at a miniature configuration
+//! (coarse lattice, few trials) so `cargo bench` both times the pipelines
+//! and re-validates that every figure still runs end to end. Full-fidelity
+//! numbers come from the `abp` CLI (`abp all --preset paper`).
+
+use abp_sim::experiments::overlap_bound::BoundConfig;
+use abp_sim::{figures, AlgorithmKind, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Miniature config shared by the figure benches: one survey at step 4 m,
+/// 3 trials, 3 densities — large enough to exercise every code path.
+fn bench_cfg() -> SimConfig {
+    SimConfig {
+        step: 4.0,
+        trials: 3,
+        beacon_counts: vec![20, 100, 240],
+        threads: 1, // benches time the work, not the thread pool
+        ..SimConfig::paper()
+    }
+}
+
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1_config", |b| {
+        b.iter(|| black_box(figures::table1()))
+    });
+}
+
+fn fig1(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig1_granularity", |b| {
+        b.iter(|| black_box(figures::fig1(&cfg, &[2, 3, 5])))
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig4_density_error", |b| {
+        b.iter(|| black_box(figures::fig4(&cfg)))
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig5_improvement_ideal", |b| {
+        b.iter(|| black_box(figures::fig5(&cfg)))
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig6_noise_error", |b| {
+        b.iter(|| black_box(figures::fig6(&cfg)))
+    });
+}
+
+fn fig7(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig7_random_noise", |b| {
+        b.iter(|| black_box(figures::fig_noise(&cfg, AlgorithmKind::Random)))
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig8_max_noise", |b| {
+        b.iter(|| black_box(figures::fig_noise(&cfg, AlgorithmKind::Max)))
+    });
+}
+
+fn fig9(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig9_grid_noise", |b| {
+        b.iter(|| black_box(figures::fig_noise(&cfg, AlgorithmKind::Grid)))
+    });
+}
+
+fn bound(c: &mut Criterion) {
+    let cfg = BoundConfig {
+        step: 4.0,
+        ratios: vec![1.0, 2.0, 4.0],
+        ..BoundConfig::default()
+    };
+    c.bench_function("bound_overlap_ratio", |b| {
+        b.iter(|| black_box(figures::bound(&cfg)))
+    });
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut cfg = bench_cfg();
+    cfg.beacon_counts = vec![40];
+    c.bench_function("ablation_all_algorithms", |b| {
+        b.iter(|| black_box(figures::ablation_algorithms(&cfg, 0.3)))
+    });
+}
+
+fn solution_space(c: &mut Criterion) {
+    let mut cfg = bench_cfg();
+    cfg.beacon_counts = vec![40];
+    c.bench_function("solution_space_density", |b| {
+        b.iter(|| black_box(figures::solution_space(&cfg, 0.0, 20, 0.02)))
+    });
+}
+
+fn robustness(c: &mut Criterion) {
+    let mut cfg = bench_cfg();
+    cfg.trials = 2;
+    c.bench_function("robustness_sweeps", |b| {
+        b.iter(|| black_box(figures::robustness(&cfg, 40)))
+    });
+}
+
+fn multi_beacon(c: &mut Criterion) {
+    let mut cfg = bench_cfg();
+    cfg.beacon_counts = vec![40];
+    c.bench_function("multi_beacon_strategies", |b| {
+        b.iter(|| black_box(figures::multi_beacon(&cfg, 0.0, 40, &[1, 4])))
+    });
+}
+
+fn multilateration(c: &mut Criterion) {
+    let mut cfg = bench_cfg();
+    cfg.step = 10.0; // Gauss-Newton per point
+    cfg.beacon_counts = vec![40];
+    cfg.trials = 2;
+    c.bench_function("multilateration_recast", |b| {
+        b.iter(|| black_box(figures::multilateration(&cfg, 0.05)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table1, fig1, fig4, fig5, fig6, fig7, fig8, fig9, bound, ablation,
+              solution_space, robustness, multi_beacon, multilateration
+);
+criterion_main!(benches);

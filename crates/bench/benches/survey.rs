@@ -1,0 +1,130 @@
+//! Survey-substrate throughput benches.
+//!
+//! The experiment engine's cost is dominated by terrain surveys. These
+//! benches pin the three performance claims DESIGN.md makes:
+//!
+//! 1. the beacon-major sweep beats the point-major reference,
+//! 2. the incremental re-survey beats a full re-survey,
+//! 3. the selection-based median beats a full sort at map scale.
+
+use abp_field::BeaconField;
+use abp_geom::{Lattice, Point, Terrain};
+use abp_localize::{CentroidLocalizer, UnheardPolicy};
+use abp_radio::{IdealDisk, PerBeaconNoise};
+use abp_survey::ErrorMap;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(beacons: usize) -> (Lattice, BeaconField) {
+    let terrain = Terrain::square(100.0);
+    let lattice = Lattice::new(terrain, 1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    (lattice, BeaconField::random_uniform(beacons, terrain, &mut rng))
+}
+
+fn survey_benches(c: &mut Criterion) {
+    let (lattice, field) = setup(100);
+    let ideal = IdealDisk::new(15.0);
+    let noisy = PerBeaconNoise::new(15.0, 0.5, 9);
+
+    c.bench_function("survey/beacon_major_ideal_100b", |b| {
+        b.iter(|| {
+            black_box(ErrorMap::survey(
+                &lattice,
+                &field,
+                &ideal,
+                UnheardPolicy::TerrainCenter,
+            ))
+        })
+    });
+
+    c.bench_function("survey/beacon_major_noise_100b", |b| {
+        b.iter(|| {
+            black_box(ErrorMap::survey(
+                &lattice,
+                &field,
+                &noisy,
+                UnheardPolicy::TerrainCenter,
+            ))
+        })
+    });
+
+    // The point-major reference implementation, at a coarser lattice so
+    // the bench stays reasonable; the ratio is what matters.
+    let coarse = Lattice::new(Terrain::square(100.0), 4.0);
+    c.bench_function("survey/point_major_reference_coarse", |b| {
+        let localizer = CentroidLocalizer::new(UnheardPolicy::TerrainCenter);
+        b.iter(|| {
+            black_box(ErrorMap::survey_with_localizer(
+                &coarse, &field, &ideal, &localizer,
+            ))
+        })
+    });
+    c.bench_function("survey/beacon_major_coarse", |b| {
+        b.iter(|| {
+            black_box(ErrorMap::survey(
+                &coarse,
+                &field,
+                &ideal,
+                UnheardPolicy::TerrainCenter,
+            ))
+        })
+    });
+}
+
+fn incremental_benches(c: &mut Criterion) {
+    let (lattice, field) = setup(100);
+    let ideal = IdealDisk::new(15.0);
+    let base = ErrorMap::survey(&lattice, &field, &ideal, UnheardPolicy::TerrainCenter);
+    let mut extended = field.clone();
+    let id = extended.add_beacon(Point::new(50.0, 50.0));
+    let beacon = *extended.get(id).unwrap();
+
+    c.bench_function("resurvey/incremental_one_beacon", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut map| {
+                map.add_beacon(&beacon, &ideal);
+                black_box(map)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("resurvey/full_after_one_beacon", |b| {
+        b.iter(|| {
+            black_box(ErrorMap::survey(
+                &lattice,
+                &extended,
+                &ideal,
+                UnheardPolicy::TerrainCenter,
+            ))
+        })
+    });
+}
+
+fn statistics_benches(c: &mut Criterion) {
+    let (lattice, field) = setup(100);
+    let ideal = IdealDisk::new(15.0);
+    let map = ErrorMap::survey(&lattice, &field, &ideal, UnheardPolicy::TerrainCenter);
+
+    c.bench_function("stats/median_by_selection", |b| {
+        b.iter(|| black_box(map.median_error()))
+    });
+    c.bench_function("stats/median_by_full_sort", |b| {
+        b.iter(|| {
+            let values: Vec<f64> = map.valid_errors().collect();
+            black_box(abp_stats::median(&values))
+        })
+    });
+    c.bench_function("stats/mean", |b| b.iter(|| black_box(map.mean_error())));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = survey_benches, incremental_benches, statistics_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmarks for the beaconplace workspace; see the `benches/` directory.
+#![forbid(unsafe_code)]

@@ -1,0 +1,440 @@
+//! `abp` — regenerate the tables and figures of *Adaptive Beacon
+//! Placement* (Bulusu, Heidemann & Estrin, ICDCS 2001).
+//!
+//! ```text
+//! abp <command> [options]
+//!
+//! commands:
+//!   table1            print the simulation-parameter table
+//!   fig1              granularity of localization regions (uniform grids)
+//!   fig4              mean error vs density, ideal propagation
+//!   fig5              improvement in mean/median error, 3 algorithms, ideal
+//!   fig6              mean error vs density, noise 0/0.1/0.3/0.5
+//!   fig7|fig8|fig9    Random/Max/Grid improvements across noise levels
+//!   bound             centroid error vs range-overlap ratio R/d (sec. 2.2)
+//!   ablation          all five algorithms side by side
+//!   noise-styles      the three readings of the noise model's u draw
+//!   robustness        Grid vs partial exploration and GPS error (sec. 3.1)
+//!   solspace          solution-space density sweep (sec. 1, contribution 3)
+//!   multilat          the algorithms recast for multilateration (sec. 6)
+//!   batch             k beacons at once: greedy vs one-shot top-k (sec. 6)
+//!   duel              paired Grid-vs-Max comparison with significance verdicts
+//!   localizers        estimator ablation: centroid vs weighted/locus/multilat
+//!   heatmap           ASCII before/after heatmap of one placement step
+//!   all               table1 + every paper figure + bound, in order
+//!
+//! options:
+//!   --preset paper|quick|tiny   base configuration   [default: quick]
+//!   --trials N                  override trials per density
+//!   --step METERS               override survey lattice step
+//!   --threads N                 worker threads (0 = all cores)
+//!   --seed HEX                  master seed
+//!   --noise X                   noise level for ablation/duel/batch [default: 0]
+//!   --beacons N                 field size for robustness/batch [default: 40]
+//!   --out DIR                   also write <figure>.csv files into DIR
+//! ```
+
+use abp_sim::experiments::density_error;
+use abp_sim::experiments::overlap_bound::BoundConfig;
+use abp_sim::{figures, AlgorithmKind, Figure, SimConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    command: String,
+    cfg: SimConfig,
+    noise: f64,
+    beacons: usize,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
+     solspace|multilat|batch|duel|localizers|heatmap|all> \
+     [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
+     [--seed HEX] [--noise X] [--beacons N] [--out DIR]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut command = None;
+    let mut preset = "quick".to_string();
+    let mut trials = None;
+    let mut step = None;
+    let mut threads = None;
+    let mut seed = None;
+    let mut noise = 0.0;
+    let mut beacons = 40usize;
+    let mut out = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--preset" => preset = value("--preset")?,
+            "--trials" => {
+                trials = Some(
+                    value("--trials")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--trials: {e}"))?,
+                )
+            }
+            "--step" => {
+                step = Some(
+                    value("--step")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--step: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                let raw = raw.trim_start_matches("0x");
+                seed = Some(
+                    u64::from_str_radix(raw, 16).map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--noise" => {
+                noise = value("--noise")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--noise: {e}"))?
+            }
+            "--beacons" => {
+                beacons = value("--beacons")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--beacons: {e}"))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => {
+                if command.replace(other.to_string()).is_some() {
+                    return Err("more than one command given".into());
+                }
+            }
+        }
+    }
+    let command = command.ok_or_else(|| "no command given".to_string())?;
+    let mut cfg = match preset.as_str() {
+        "paper" => SimConfig::paper(),
+        "quick" => SimConfig::quick(),
+        "tiny" => SimConfig::tiny(),
+        other => return Err(format!("unknown preset {other}")),
+    };
+    if let Some(t) = trials {
+        cfg.trials = t;
+    }
+    if let Some(s) = step {
+        cfg.step = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t;
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    Ok(Options {
+        command,
+        cfg,
+        noise,
+        beacons,
+        out,
+    })
+}
+
+fn emit(fig: &Figure, out: &Option<PathBuf>) -> Result<(), String> {
+    println!("{}", fig.render());
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{}.csv", fig.id));
+        std::fs::write(&path, fig.to_csv())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn emit_pair(figs: (Figure, Figure), out: &Option<PathBuf>) -> Result<(), String> {
+    emit(&figs.0, out)?;
+    emit(&figs.1, out)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let cfg = &opts.cfg;
+    let announce = |what: &str| eprintln!("running {what} with {cfg}");
+    match opts.command.as_str() {
+        "table1" => println!("{}", figures::table1()),
+        "fig1" => {
+            announce("fig1");
+            emit(&figures::fig1(cfg, &[1, 2, 3, 4, 6, 8, 10]), &opts.out)?;
+        }
+        "fig4" => {
+            announce("fig4");
+            emit(&figures::fig4(cfg), &opts.out)?;
+            let points = density_error::run(cfg, 0.0);
+            if let Some(sat) = density_error::saturation_density(&points, 0.1) {
+                println!("saturation beacon density (10% of plateau): {sat:.4} /m^2");
+            }
+        }
+        "fig5" => {
+            announce("fig5");
+            emit_pair(figures::fig5(cfg), &opts.out)?;
+        }
+        "fig6" => {
+            announce("fig6");
+            emit(&figures::fig6(cfg), &opts.out)?;
+            for noise in [0.0, 0.5] {
+                let points = density_error::run(cfg, noise);
+                if let Some(sat) = density_error::saturation_density(&points, 0.1) {
+                    println!("saturation density at noise {noise}: {sat:.4} /m^2");
+                }
+            }
+        }
+        "fig7" => {
+            announce("fig7");
+            emit_pair(figures::fig_noise(cfg, AlgorithmKind::Random), &opts.out)?;
+        }
+        "fig8" => {
+            announce("fig8");
+            emit_pair(figures::fig_noise(cfg, AlgorithmKind::Max), &opts.out)?;
+        }
+        "fig9" => {
+            announce("fig9");
+            emit_pair(figures::fig_noise(cfg, AlgorithmKind::Grid), &opts.out)?;
+        }
+        "bound" => {
+            announce("bound");
+            emit(&figures::bound(&BoundConfig::default()), &opts.out)?;
+        }
+        "ablation" => {
+            announce("ablation");
+            emit(&figures::ablation_algorithms(cfg, opts.noise), &opts.out)?;
+        }
+        "noise-styles" => {
+            announce("noise-styles");
+            let noise = if opts.noise == 0.0 { 0.5 } else { opts.noise };
+            emit(&figures::ablation_noise_styles(cfg, noise), &opts.out)?;
+        }
+        "robustness" => {
+            announce("robustness");
+            emit_pair(figures::robustness(cfg, opts.beacons), &opts.out)?;
+        }
+        "solspace" => {
+            announce("solspace");
+            emit(
+                &figures::solution_space(cfg, opts.noise, 100, 0.02),
+                &opts.out,
+            )?;
+        }
+        "batch" => {
+            announce("batch");
+            emit(
+                &figures::multi_beacon(cfg, opts.noise, opts.beacons, &[1, 2, 4, 8, 12]),
+                &opts.out,
+            )?;
+        }
+        "localizers" => {
+            announce("localizers");
+            // Point-major surveys: force a coarse step.
+            let mut coarse = cfg.clone();
+            if coarse.step < 4.0 {
+                coarse.step = 4.0;
+            }
+            emit(&figures::localizers(&coarse, 0.05), &opts.out)?;
+        }
+        "duel" => {
+            announce("duel (paired Grid vs Max)");
+            use abp_sim::experiments::improvement::paired_comparison;
+            let points =
+                paired_comparison(cfg, opts.noise, AlgorithmKind::Grid, AlgorithmKind::Max);
+            println!(
+                "paired per-field difference in mean-error improvement, Grid - Max (noise {}):",
+                opts.noise
+            );
+            println!("{:>12} {:>26} {:>14}", "density", "diff (m, 95% CI)", "verdict");
+            for p in &points {
+                let verdict = if p.diff.lo() > 0.0 {
+                    "Grid wins"
+                } else if p.diff.hi() < 0.0 {
+                    "Max wins"
+                } else {
+                    "tie"
+                };
+                println!(
+                    "{:>12.4} {:>26} {:>14}",
+                    p.density,
+                    p.diff.to_string(),
+                    verdict
+                );
+            }
+        }
+        "heatmap" => {
+            // A worked visual: deploy, render, place one Grid beacon,
+            // render again.
+            use abp_sim::heatmap_demo;
+            println!("{}", heatmap_demo(cfg));
+        }
+        "multilat" => {
+            announce("multilat");
+            // Gauss-Newton at every lattice point: force a coarse step
+            // unless the user explicitly chose one below the default.
+            let mut coarse = cfg.clone();
+            if coarse.step < 4.0 {
+                coarse.step = 4.0;
+            }
+            emit(&figures::multilateration(&coarse, 0.05), &opts.out)?;
+        }
+        "all" => {
+            println!("{}", figures::table1());
+            for cmd in [
+                "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "bound",
+            ] {
+                run(&Options {
+                    command: cmd.to_string(),
+                    cfg: cfg.clone(),
+                    noise: opts.noise,
+                    beacons: opts.beacons,
+                    out: opts.out.clone(),
+                })?;
+            }
+        }
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Options, String> {
+        parse_args(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_command_and_overrides() {
+        let o = parse(&[
+            "fig4", "--preset", "tiny", "--trials", "5", "--step", "4", "--threads", "2",
+            "--seed", "0xBEEF",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "fig4");
+        assert_eq!(o.cfg.trials, 5);
+        assert_eq!(o.cfg.step, 4.0);
+        assert_eq!(o.cfg.threads, 2);
+        assert_eq!(o.cfg.seed, 0xBEEF);
+    }
+
+    #[test]
+    fn rejects_unknown_option_and_preset() {
+        assert!(parse(&["fig4", "--bogus"]).is_err());
+        assert!(parse(&["fig4", "--preset", "huge"]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["fig4", "fig5"]).is_err());
+    }
+
+    #[test]
+    fn default_preset_is_quick() {
+        let o = parse(&["table1"]).unwrap();
+        assert_eq!(o.cfg.trials, SimConfig::quick().trials);
+    }
+
+    #[test]
+    fn table1_runs() {
+        let o = parse(&["table1", "--preset", "tiny"]).unwrap();
+        run(&o).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let o = parse(&["fig99", "--preset", "tiny"]).unwrap();
+        assert!(run(&o).is_err());
+    }
+
+    /// Every figure command runs end-to-end at test scale and, with
+    /// `--out`, writes its CSV files.
+    #[test]
+    fn all_commands_run_and_write_csv() {
+        let dir = std::env::temp_dir().join(format!("abp-cli-test-{}", std::process::id()));
+        let commands_and_files = [
+            ("fig1", vec!["fig1.csv"]),
+            ("fig4", vec!["fig4.csv"]),
+            ("fig5", vec!["fig5-mean.csv", "fig5-median.csv"]),
+            ("fig7", vec!["fig7-mean.csv", "fig7-median.csv"]),
+            ("bound", vec!["bound.csv"]),
+            ("ablation", vec!["ablation-algorithms.csv"]),
+            ("solspace", vec!["solution-space.csv"]),
+            ("batch", vec!["multi-beacon.csv"]),
+            (
+                "robustness",
+                vec!["robustness-exploration.csv", "robustness-gps.csv"],
+            ),
+        ];
+        for (cmd, files) in &commands_and_files {
+            let mut o = parse(&[cmd, "--preset", "tiny", "--trials", "2"]).unwrap();
+            o.cfg.beacon_counts = vec![30, 120];
+            o.out = Some(dir.clone());
+            run(&o).unwrap_or_else(|e| panic!("{cmd} failed: {e}"));
+            for f in files {
+                let path = dir.join(f);
+                let csv = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("{cmd}: missing {}: {e}", path.display()));
+                assert!(csv.starts_with("figure,series,x,y,ci95"), "{cmd}: bad CSV header");
+                assert!(csv.lines().count() > 1, "{cmd}: empty CSV");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heatmap_command_runs() {
+        let o = parse(&["heatmap", "--preset", "tiny"]).unwrap();
+        run(&o).unwrap();
+    }
+
+    #[test]
+    fn duel_command_runs() {
+        let mut o = parse(&["duel", "--preset", "tiny", "--trials", "4"]).unwrap();
+        o.cfg.beacon_counts = vec![40];
+        run(&o).unwrap();
+    }
+
+    #[test]
+    fn beacons_option_parses() {
+        let o = parse(&["robustness", "--beacons", "60"]).unwrap();
+        assert_eq!(o.beacons, 60);
+        assert!(parse(&["robustness", "--beacons", "x"]).is_err());
+    }
+}

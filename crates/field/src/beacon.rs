@@ -1,0 +1,108 @@
+//! Beacons and their identities.
+
+use abp_geom::Point;
+use abp_radio::TxId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identity of a beacon within one [`BeaconField`](crate::BeaconField).
+///
+/// Ids are assigned sequentially by the field and never reused, so a
+/// beacon's propagation personality (its noise factor in
+/// `abp_radio::PerBeaconNoise`, keyed by the derived [`TxId`]) is stable
+/// for its whole life — including across the before/after surveys of a
+/// placement experiment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct BeaconId(pub u64);
+
+impl fmt::Display for BeaconId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "beacon{}", self.0)
+    }
+}
+
+impl From<BeaconId> for TxId {
+    #[inline]
+    fn from(id: BeaconId) -> TxId {
+        TxId(id.0)
+    }
+}
+
+/// A beacon: a reference node at a known position that transmits
+/// periodically so clients can localize themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Beacon {
+    id: BeaconId,
+    pos: Point,
+}
+
+impl Beacon {
+    /// Creates a beacon. Normally done through
+    /// [`BeaconField::add_beacon`](crate::BeaconField::add_beacon), which
+    /// assigns the id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is not finite.
+    pub fn new(id: BeaconId, pos: Point) -> Self {
+        assert!(pos.is_finite(), "beacon position must be finite, got {pos}");
+        Beacon { id, pos }
+    }
+
+    /// The beacon's identity.
+    #[inline]
+    pub fn id(&self) -> BeaconId {
+        self.id
+    }
+
+    /// The transmitter id used by propagation models.
+    #[inline]
+    pub fn tx(&self) -> TxId {
+        self.id.into()
+    }
+
+    /// The beacon's (known) position.
+    #[inline]
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+}
+
+impl fmt::Display for Beacon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.id, self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_converts_to_txid() {
+        let tx: TxId = BeaconId(17).into();
+        assert_eq!(tx, TxId(17));
+    }
+
+    #[test]
+    fn beacon_accessors() {
+        let b = Beacon::new(BeaconId(3), Point::new(1.0, 2.0));
+        assert_eq!(b.id(), BeaconId(3));
+        assert_eq!(b.tx(), TxId(3));
+        assert_eq!(b.pos(), Point::new(1.0, 2.0));
+        assert_eq!(b.to_string(), "beacon3 @ (1.000, 2.000)");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_position() {
+        let _ = Beacon::new(BeaconId(0), Point::new(f64::NAN, 0.0));
+    }
+
+    #[test]
+    fn ids_order_like_numbers() {
+        assert!(BeaconId(2) < BeaconId(10));
+    }
+}

@@ -1,0 +1,278 @@
+//! Beacon-field generators beyond uniform random.
+//!
+//! * [`uniform_grid`] / [`grid_with_spacing`] — the regular placements of
+//!   the paper's §2.2 error-bound analysis and Figure 1,
+//! * [`perturbed_grid`] — the air-drop scenario of §1 ("beacons may be
+//!   perturbed during deployment"),
+//! * [`clustered`] — spatially clumped fields, a stress workload with
+//!   large coverage holes for the placement algorithms.
+
+use crate::field::BeaconField;
+use abp_geom::{Point, Terrain, Vec2};
+use rand::Rng;
+
+/// A `per_side × per_side` grid of beacons spanning the terrain edge to
+/// edge (beacons on the boundary included) — Figure 1's "2 × 2" and
+/// "3 × 3 grid of beacons".
+///
+/// `per_side == 1` places a single beacon at the terrain center.
+///
+/// # Panics
+///
+/// Panics if `per_side == 0`.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::generate::uniform_grid;
+/// use abp_geom::Terrain;
+///
+/// let field = uniform_grid(Terrain::square(100.0), 3);
+/// assert_eq!(field.len(), 9);
+/// ```
+pub fn uniform_grid(terrain: Terrain, per_side: usize) -> BeaconField {
+    assert!(per_side > 0, "grid must have at least one beacon per side");
+    let mut field = BeaconField::new(terrain);
+    if per_side == 1 {
+        field.add_beacon(terrain.center());
+        return field;
+    }
+    let d = terrain.side() / (per_side - 1) as f64;
+    for j in 0..per_side {
+        for i in 0..per_side {
+            // Clamp the far edge against float rounding (i*d can land at
+            // side + epsilon).
+            let x = (i as f64 * d).min(terrain.side());
+            let y = (j as f64 * d).min(terrain.side());
+            field.add_beacon(Point::new(x, y));
+        }
+    }
+    field
+}
+
+/// A regular grid with inter-beacon separation `spacing` (the paper's `d`
+/// in the range-overlap-ratio analysis `R/d`), anchored so the grid is
+/// centered in the terrain.
+///
+/// # Panics
+///
+/// Panics if `spacing` is not finite/positive or exceeds the terrain side.
+pub fn grid_with_spacing(terrain: Terrain, spacing: f64) -> BeaconField {
+    assert!(
+        spacing.is_finite() && spacing > 0.0,
+        "grid spacing must be finite and positive, got {spacing}"
+    );
+    assert!(
+        spacing <= terrain.side(),
+        "grid spacing {spacing} exceeds terrain side {}",
+        terrain.side()
+    );
+    let per_side = (terrain.side() / spacing).floor() as usize + 1;
+    let span = (per_side - 1) as f64 * spacing;
+    let margin = (terrain.side() - span) * 0.5;
+    let mut field = BeaconField::new(terrain);
+    for j in 0..per_side {
+        for i in 0..per_side {
+            field.add_beacon(Point::new(
+                margin + i as f64 * spacing,
+                margin + j as f64 * spacing,
+            ));
+        }
+    }
+    field
+}
+
+/// A regular grid where each beacon lands up to `max_offset` meters from
+/// its nominal position (uniform in the disk, clamped to the terrain) —
+/// modelling air-dropped beacons rolling away from their drop points.
+///
+/// # Panics
+///
+/// Panics if `max_offset` is negative or not finite, or `per_side == 0`.
+pub fn perturbed_grid<R: Rng + ?Sized>(
+    terrain: Terrain,
+    per_side: usize,
+    max_offset: f64,
+    rng: &mut R,
+) -> BeaconField {
+    assert!(
+        max_offset.is_finite() && max_offset >= 0.0,
+        "perturbation offset must be finite and non-negative, got {max_offset}"
+    );
+    let nominal = uniform_grid(terrain, per_side);
+    let bounds = terrain.bounds();
+    let mut field = BeaconField::new(terrain);
+    for b in &nominal {
+        // Uniform in the disk of radius max_offset: r = R sqrt(u).
+        let r = max_offset * rng.random::<f64>().sqrt();
+        let theta = std::f64::consts::TAU * rng.random::<f64>();
+        let offset = Vec2::new(r * theta.cos(), r * theta.sin());
+        field.add_beacon(bounds.clamp_point(b.pos() + offset));
+    }
+    field
+}
+
+/// `clusters` cluster centers placed uniformly at random, each surrounded
+/// by `per_cluster` beacons offset by a (deterministic, RNG-driven)
+/// approximately-Gaussian displacement with standard deviation `sigma`,
+/// clamped to the terrain.
+///
+/// Produces fields with large empty regions — the regime where the Grid
+/// placement algorithm shines.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn clustered<R: Rng + ?Sized>(
+    terrain: Terrain,
+    clusters: usize,
+    per_cluster: usize,
+    sigma: f64,
+    rng: &mut R,
+) -> BeaconField {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "cluster sigma must be finite and non-negative, got {sigma}"
+    );
+    let bounds = terrain.bounds();
+    let mut field = BeaconField::new(terrain);
+    for _ in 0..clusters {
+        let center = terrain.point_at(rng.random::<f64>(), rng.random::<f64>());
+        for _ in 0..per_cluster {
+            // Box-Muller for a 2D Gaussian offset.
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let mag = (-2.0 * u1.ln()).sqrt() * sigma;
+            let offset = Vec2::new(
+                mag * (std::f64::consts::TAU * u2).cos(),
+                mag * (std::f64::consts::TAU * u2).sin(),
+            );
+            field.add_beacon(bounds.clamp_point(center + offset));
+        }
+    }
+    field
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    #[test]
+    fn uniform_grid_counts_and_corners() {
+        let f = uniform_grid(terrain(), 3);
+        assert_eq!(f.len(), 9);
+        let positions: Vec<_> = f.positions().collect();
+        assert!(positions.contains(&Point::new(0.0, 0.0)));
+        assert!(positions.contains(&Point::new(100.0, 100.0)));
+        assert!(positions.contains(&Point::new(50.0, 50.0)));
+    }
+
+    #[test]
+    fn uniform_grid_single_beacon_centered() {
+        let f = uniform_grid(terrain(), 1);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.positions().next().unwrap(), Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn grid_with_spacing_separation() {
+        let f = grid_with_spacing(terrain(), 20.0);
+        // 100/20 + 1 = 6 per side.
+        assert_eq!(f.len(), 36);
+        // Check nearest-neighbor separation is the requested spacing.
+        let positions: Vec<_> = f.positions().collect();
+        let mut min_sep = f64::INFINITY;
+        for (i, a) in positions.iter().enumerate() {
+            for b in &positions[i + 1..] {
+                min_sep = min_sep.min(a.distance(*b));
+            }
+        }
+        assert!((min_sep - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_with_spacing_is_centered() {
+        let f = grid_with_spacing(terrain(), 30.0);
+        // 4 per side spanning 90, margin 5.
+        assert_eq!(f.len(), 16);
+        let min_x = f.positions().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let max_x = f.positions().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        assert!((min_x - 5.0).abs() < 1e-9);
+        assert!((max_x - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbed_grid_stays_near_nominal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nominal = uniform_grid(terrain(), 5);
+        let f = perturbed_grid(terrain(), 5, 3.0, &mut rng);
+        assert_eq!(f.len(), nominal.len());
+        for (n, p) in nominal.iter().zip(f.iter()) {
+            assert!(n.pos().distance(p.pos()) <= 3.0 + 1e-9);
+            assert!(terrain().contains(p.pos()));
+        }
+    }
+
+    #[test]
+    fn perturbed_grid_zero_offset_is_exact_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = perturbed_grid(terrain(), 4, 0.0, &mut rng);
+        let nominal = uniform_grid(terrain(), 4);
+        let same = nominal
+            .iter()
+            .zip(f.iter())
+            .all(|(a, b)| a.pos().distance(b.pos()) < 1e-12);
+        assert!(same);
+    }
+
+    #[test]
+    fn clustered_counts_and_containment() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = clustered(terrain(), 4, 10, 5.0, &mut rng);
+        assert_eq!(f.len(), 40);
+        for b in &f {
+            assert!(terrain().contains(b.pos()));
+        }
+    }
+
+    #[test]
+    fn clustered_is_actually_clumped() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = clustered(terrain(), 3, 20, 3.0, &mut rng);
+        // Mean nearest-neighbor distance must be far below the uniform
+        // expectation (~ 0.5 / sqrt(density) ~ 6.5 m for 60 beacons).
+        let positions: Vec<_> = f.positions().collect();
+        let mean_nn: f64 = positions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                positions
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, b)| a.distance(*b))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / positions.len() as f64;
+        assert!(mean_nn < 4.0, "mean nearest neighbor {mean_nn} not clumped");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one beacon")]
+    fn uniform_grid_rejects_zero() {
+        let _ = uniform_grid(terrain(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds terrain side")]
+    fn spacing_grid_rejects_oversize() {
+        let _ = grid_with_spacing(terrain(), 150.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cell-bucket spatial index over beacons.
+
+use crate::beacon::Beacon;
+use crate::field::BeaconField;
+use abp_geom::Point;
+use std::collections::HashMap;
+
+/// A uniform-cell spatial index for radius-bounded beacon queries.
+///
+/// Built once over a snapshot of a [`BeaconField`]; supports
+/// "all beacons within `r` of `p`" in time proportional to the number of
+/// cells the query disk touches. The connectivity oracle uses it when
+/// localizing many arbitrary (non-lattice) points, e.g. along a robot
+/// path.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::{BeaconField, CellIndex};
+/// use abp_geom::{Point, Terrain};
+///
+/// let field = BeaconField::from_positions(
+///     Terrain::square(100.0),
+///     [Point::new(10.0, 10.0), Point::new(90.0, 90.0)],
+/// );
+/// let index = CellIndex::build(&field, 15.0);
+/// let mut near = Vec::new();
+/// index.for_each_within(Point::new(12.0, 12.0), 15.0, |b| near.push(b.id()));
+/// assert_eq!(near.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellIndex {
+    cell: f64,
+    buckets: HashMap<(i32, i32), Vec<Beacon>>,
+    len: usize,
+}
+
+impl CellIndex {
+    /// Builds the index with cells of size `cell_size` (a good choice is
+    /// the radio's maximum range, making queries touch at most 9 cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and strictly positive.
+    pub fn build(field: &BeaconField, cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be finite and positive, got {cell_size}"
+        );
+        let mut buckets: HashMap<(i32, i32), Vec<Beacon>> = HashMap::new();
+        for b in field {
+            buckets.entry(Self::key(cell_size, b.pos())).or_default().push(*b);
+        }
+        CellIndex {
+            cell: cell_size,
+            buckets,
+            len: field.len(),
+        }
+    }
+
+    fn key(cell: f64, p: Point) -> (i32, i32) {
+        ((p.x / cell).floor() as i32, (p.y / cell).floor() as i32)
+    }
+
+    /// Number of indexed beacons.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no beacons are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cell size.
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Invokes `f` for every beacon within `radius` of `p` (boundary
+    /// included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn for_each_within<F: FnMut(&Beacon)>(&self, p: Point, radius: f64, mut f: F) {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "query radius must be finite and non-negative, got {radius}"
+        );
+        let r2 = radius * radius;
+        let (cx_lo, cy_lo) = Self::key(self.cell, Point::new(p.x - radius, p.y - radius));
+        let (cx_hi, cy_hi) = Self::key(self.cell, Point::new(p.x + radius, p.y + radius));
+        for cy in cy_lo..=cy_hi {
+            for cx in cx_lo..=cx_hi {
+                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
+                    for b in bucket {
+                        if b.pos().distance_squared(p) <= r2 {
+                            f(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the beacons within `radius` of `p`.
+    pub fn within(&self, p: Point, radius: f64) -> Vec<Beacon> {
+        let mut out = Vec::new();
+        self.for_each_within(p, radius, |b| out.push(*b));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::Terrain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_field(n: usize, seed: u64) -> BeaconField {
+        BeaconField::random_uniform(n, Terrain::square(100.0), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn empty_field_empty_index() {
+        let idx = CellIndex::build(&BeaconField::new(Terrain::square(10.0)), 5.0);
+        assert!(idx.is_empty());
+        assert!(idx.within(Point::new(5.0, 5.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn query_matches_bruteforce() {
+        let field = sample_field(200, 3);
+        let idx = CellIndex::build(&field, 15.0);
+        assert_eq!(idx.len(), 200);
+        for &(x, y, r) in &[
+            (50.0, 50.0, 15.0),
+            (0.0, 0.0, 10.0),
+            (99.0, 1.0, 30.0),
+            (50.0, 50.0, 0.0),
+            (50.0, 50.0, 200.0),
+        ] {
+            let p = Point::new(x, y);
+            let mut got: Vec<_> = idx.within(p, r).iter().map(|b| b.id()).collect();
+            got.sort();
+            let mut want: Vec<_> = field
+                .iter()
+                .filter(|b| b.pos().distance(p) <= r)
+                .map(|b| b.id())
+                .collect();
+            want.sort();
+            assert_eq!(got, want, "query ({x},{y},{r})");
+        }
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let field = BeaconField::from_positions(
+            Terrain::square(100.0),
+            [Point::new(10.0, 0.0)],
+        );
+        let idx = CellIndex::build(&field, 7.0);
+        assert_eq!(idx.within(Point::new(0.0, 0.0), 10.0).len(), 1);
+        assert_eq!(idx.within(Point::new(0.0, 0.0), 9.999).len(), 0);
+    }
+
+    #[test]
+    fn cell_size_does_not_change_results() {
+        let field = sample_field(100, 9);
+        let p = Point::new(33.0, 66.0);
+        let baseline: Vec<_> = CellIndex::build(&field, 15.0).within(p, 20.0);
+        for cell in [1.0, 3.7, 50.0, 500.0] {
+            let got = CellIndex::build(&field, cell).within(p, 20.0);
+            assert_eq!(got.len(), baseline.len(), "cell {cell}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn rejects_zero_cell() {
+        let _ = CellIndex::build(&BeaconField::new(Terrain::square(10.0)), 0.0);
+    }
+}

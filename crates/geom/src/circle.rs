@@ -1,0 +1,234 @@
+//! Circle–circle intersection and overlap areas.
+//!
+//! These routines back the *locus* representation of a localization
+//! estimate (paper §2.2 footnote 3 and §6): under the idealized radio model
+//! a client lies in the intersection of the coverage disks of all connected
+//! beacons; the locus-based extensions need the intersection points and
+//! overlap (lens) areas of circle pairs.
+
+use crate::disk::Disk;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A circle (the *boundary* of a [`Disk`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Circle center.
+    pub center: Point,
+    /// Circle radius; must be non-negative.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle from center and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// The closed disk bounded by this circle.
+    #[inline]
+    pub fn disk(&self) -> Disk {
+        Disk::new(self.center, self.radius)
+    }
+}
+
+impl From<Disk> for Circle {
+    fn from(d: Disk) -> Self {
+        Circle {
+            center: d.center(),
+            radius: d.radius(),
+        }
+    }
+}
+
+impl fmt::Display for Circle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle(center {}, r {:.3})", self.center, self.radius)
+    }
+}
+
+/// The intersection points of two circles.
+///
+/// * `None` — the circles do not intersect (disjoint or one strictly inside
+///   the other), or they are coincident (infinitely many intersections).
+/// * `Some((p, p))` — tangent circles, a single intersection point returned
+///   twice.
+/// * `Some((p1, p2))` — the generic two-point case; the pair is ordered so
+///   that `p1` is counter-clockwise from `p2` around the first circle's
+///   center (deterministic for reproducible loci).
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{circle_circle_intersections, Circle, Point};
+/// let a = Circle::new(Point::new(0.0, 0.0), 5.0);
+/// let b = Circle::new(Point::new(8.0, 0.0), 5.0);
+/// let (p1, p2) = circle_circle_intersections(&a, &b).unwrap();
+/// assert!((p1.x - 4.0).abs() < 1e-12 && (p2.x - 4.0).abs() < 1e-12);
+/// assert!((p1.y - 3.0).abs() < 1e-12 && (p2.y + 3.0).abs() < 1e-12);
+/// ```
+pub fn circle_circle_intersections(a: &Circle, b: &Circle) -> Option<(Point, Point)> {
+    let d = a.center.distance(b.center);
+    if d == 0.0 {
+        // Concentric: coincident (infinite) or nested (none) — both map to None.
+        return None;
+    }
+    if d > a.radius + b.radius || d < (a.radius - b.radius).abs() {
+        return None;
+    }
+    // Distance from a.center to the chord's midpoint along the center line.
+    let h = (a.radius * a.radius - b.radius * b.radius + d * d) / (2.0 * d);
+    let half_chord_sq = a.radius * a.radius - h * h;
+    // Clamp tiny negatives from rounding near tangency.
+    let half_chord = half_chord_sq.max(0.0).sqrt();
+    let dir = (b.center - a.center) / d;
+    let mid = a.center + dir * h;
+    let off = dir.perp() * half_chord;
+    Some((mid + off, mid - off))
+}
+
+/// Area of the lens formed by two overlapping disks.
+///
+/// Returns `0.0` for disjoint disks and the smaller disk's full area when
+/// one disk contains the other. Always in `[0, pi * min(r1, r2)^2]`.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{lens_area, Disk, Point};
+/// let a = Disk::new(Point::new(0.0, 0.0), 1.0);
+/// let b = Disk::new(Point::new(0.0, 0.0), 1.0);
+/// assert!((lens_area(&a, &b) - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+pub fn lens_area(a: &Disk, b: &Disk) -> f64 {
+    let d = a.center().distance(b.center());
+    let (r1, r2) = (a.radius(), b.radius());
+    if d >= r1 + r2 {
+        return 0.0;
+    }
+    if d <= (r1 - r2).abs() {
+        let r = r1.min(r2);
+        return std::f64::consts::PI * r * r;
+    }
+    // Standard two-circular-segment formula.
+    let alpha = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0);
+    let beta = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0);
+    let a1 = r1 * r1 * alpha.acos();
+    let a2 = r2 * r2 * beta.acos();
+    let triangle = 0.5
+        * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
+            .max(0.0)
+            .sqrt();
+    a1 + a2 - triangle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn two_point_intersection_symmetric_case() {
+        let a = Circle::new(Point::ORIGIN, 5.0);
+        let b = Circle::new(Point::new(6.0, 0.0), 5.0);
+        let (p1, p2) = circle_circle_intersections(&a, &b).unwrap();
+        assert!((p1.x - 3.0).abs() < 1e-12);
+        assert!((p2.x - 3.0).abs() < 1e-12);
+        assert!((p1.y - 4.0).abs() < 1e-12);
+        assert!((p2.y + 4.0).abs() < 1e-12);
+        // Both points lie on both circles.
+        for p in [p1, p2] {
+            assert!((p.distance(a.center) - 5.0).abs() < 1e-12);
+            assert!((p.distance(b.center) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tangent_circles_single_point() {
+        let a = Circle::new(Point::ORIGIN, 2.0);
+        let b = Circle::new(Point::new(5.0, 0.0), 3.0);
+        let (p1, p2) = circle_circle_intersections(&a, &b).unwrap();
+        assert!(p1.distance(p2) < 1e-9);
+        assert!((p1.x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internally_tangent_circles() {
+        let a = Circle::new(Point::ORIGIN, 5.0);
+        let b = Circle::new(Point::new(2.0, 0.0), 3.0);
+        let (p1, p2) = circle_circle_intersections(&a, &b).unwrap();
+        assert!(p1.distance(p2) < 1e-9);
+        assert!((p1.x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_and_nested_none() {
+        let a = Circle::new(Point::ORIGIN, 1.0);
+        let b = Circle::new(Point::new(5.0, 0.0), 1.0);
+        assert!(circle_circle_intersections(&a, &b).is_none());
+        let inner = Circle::new(Point::new(0.5, 0.0), 0.25);
+        assert!(circle_circle_intersections(&a, &inner).is_none());
+        // Coincident circles: treated as no (unique) intersection.
+        assert!(circle_circle_intersections(&a, &a).is_none());
+    }
+
+    #[test]
+    fn unequal_radii_intersection_on_both() {
+        let a = Circle::new(Point::new(1.0, 2.0), 4.0);
+        let b = Circle::new(Point::new(6.0, 3.0), 2.5);
+        let (p1, p2) = circle_circle_intersections(&a, &b).unwrap();
+        for p in [p1, p2] {
+            assert!((p.distance(a.center) - a.radius).abs() < 1e-9);
+            assert!((p.distance(b.center) - b.radius).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lens_area_disjoint_is_zero() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(3.0, 0.0), 1.0);
+        assert_eq!(lens_area(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn lens_area_contained_is_smaller_disk() {
+        let a = Disk::new(Point::ORIGIN, 3.0);
+        let b = Disk::new(Point::new(1.0, 0.0), 1.0);
+        assert!((lens_area(&a, &b) - PI).abs() < 1e-12);
+        assert_eq!(lens_area(&a, &b), lens_area(&b, &a));
+    }
+
+    #[test]
+    fn lens_area_half_overlap_known_value() {
+        // Two unit disks with centers distance 1 apart:
+        // area = 2 acos(1/2) - (1/2) sqrt(3) * ... standard value:
+        // 2 r^2 acos(d/2r) - (d/2) sqrt(4r^2 - d^2) = 2 acos(0.5) - 0.5*sqrt(3)
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(1.0, 0.0), 1.0);
+        let expected = 2.0 * (0.5f64).acos() - 0.5 * 3.0f64.sqrt();
+        assert!((lens_area(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lens_area_monotone_in_distance() {
+        let a = Disk::new(Point::ORIGIN, 2.0);
+        let mut prev = f64::INFINITY;
+        for k in 0..=20 {
+            let d = 4.0 * k as f64 / 20.0;
+            let b = Disk::new(Point::new(d, 0.0), 2.0);
+            let area = lens_area(&a, &b);
+            assert!(area <= prev + 1e-12, "lens area must shrink with distance");
+            prev = area;
+        }
+        assert!(prev.abs() < 1e-12);
+    }
+}

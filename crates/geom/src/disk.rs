@@ -1,0 +1,179 @@
+//! Coverage disks.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed disk: all points within `radius` of `center`.
+///
+/// Under the idealized radio model a beacon with nominal range `R` covers
+/// exactly the disk of radius `R` around it; under the paper's noise model
+/// the *maximum* reachable disk has radius `R(1 + nf(B))`.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{Disk, Point};
+/// let d = Disk::new(Point::new(0.0, 0.0), 15.0);
+/// assert!(d.contains(Point::new(15.0, 0.0))); // boundary included
+/// assert!(!d.contains(Point::new(15.0, 0.1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    center: Point,
+    radius: f64,
+}
+
+impl Disk {
+    /// Creates a disk from center and radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "disk radius must be finite and non-negative, got {radius}"
+        );
+        Disk { center, radius }
+    }
+
+    /// The disk center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// The disk radius.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Disk area, `pi * r^2` — the paper's *nominal radio coverage area*
+    /// when `r = R`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    /// Returns `true` if the disks share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Disk) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_squared(other.center) <= r * r
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_disk(&self, other: &Disk) -> bool {
+        if other.radius > self.radius {
+            return false;
+        }
+        let slack = self.radius - other.radius;
+        self.center.distance_squared(other.center) <= slack * slack
+    }
+
+    /// The smallest axis-aligned rectangle enclosing the disk.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::square_centered(self.center, self.radius * 2.0)
+    }
+
+    /// Disk with the same center and radius scaled by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled radius would be negative or not finite.
+    #[inline]
+    pub fn scaled(&self, factor: f64) -> Disk {
+        Disk::new(self.center, self.radius * factor)
+    }
+}
+
+impl fmt::Display for Disk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk(center {}, r {:.3})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let d = Disk::new(Point::new(1.0, 1.0), 2.0);
+        assert!(d.contains(Point::new(1.0, 1.0)));
+        assert!(d.contains(Point::new(3.0, 1.0)));
+        assert!(!d.contains(Point::new(3.1, 1.0)));
+    }
+
+    #[test]
+    fn zero_radius_contains_only_center() {
+        let d = Disk::new(Point::new(2.0, 2.0), 0.0);
+        assert!(d.contains(Point::new(2.0, 2.0)));
+        assert!(!d.contains(Point::new(2.0, 2.0000001)));
+    }
+
+    #[test]
+    fn area_of_unit_disk() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        assert!((d.area() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_nominal_coverage_area() {
+        // R = 15 => pi R^2 ~ 706.86 m^2; 7 beacons/coverage ~ 0.0099 / m^2.
+        let d = Disk::new(Point::ORIGIN, 15.0);
+        assert!((d.area() - 706.858).abs() < 1e-2);
+    }
+
+    #[test]
+    fn intersects_tangent_and_disjoint() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(2.0, 0.0), 1.0); // externally tangent
+        assert!(a.intersects(&b));
+        let c = Disk::new(Point::new(2.1, 0.0), 1.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn contains_disk_nested() {
+        let outer = Disk::new(Point::ORIGIN, 5.0);
+        let inner = Disk::new(Point::new(2.0, 0.0), 3.0); // internally tangent
+        assert!(outer.contains_disk(&inner));
+        let too_big = Disk::new(Point::ORIGIN, 6.0);
+        assert!(!outer.contains_disk(&too_big));
+        let poking_out = Disk::new(Point::new(3.0, 0.0), 3.0);
+        assert!(!outer.contains_disk(&poking_out));
+    }
+
+    #[test]
+    fn bounding_rect_is_tight() {
+        let d = Disk::new(Point::new(3.0, 4.0), 2.0);
+        let r = d.bounding_rect();
+        assert_eq!(r.min(), Point::new(1.0, 2.0));
+        assert_eq!(r.max(), Point::new(5.0, 6.0));
+    }
+
+    #[test]
+    fn scaled_radius() {
+        let d = Disk::new(Point::ORIGIN, 2.0).scaled(1.5);
+        assert_eq!(d.radius(), 3.0);
+        assert_eq!(d.center(), Point::ORIGIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "disk radius")]
+    fn rejects_negative_radius() {
+        let _ = Disk::new(Point::ORIGIN, -1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic splittable hashing.
+//!
+//! The paper's propagation-noise model is *location based and static with
+//! respect to time*: whether beacon `B` reaches point `P` never changes
+//! while the experiment runs. Rather than materializing a noise value for
+//! every (beacon, lattice-point) pair — 2.4 M pairs at paper scale — we
+//! derive each value on demand from a [`splitmix64`] hash of the field
+//! seed, the beacon id, and the point's coordinate bits. The same inputs
+//! always hash to the same value, which gives a time-static noise field
+//! with zero storage, valid at *any* query point (not just lattice points).
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// One round of the SplitMix64 mixing function.
+///
+/// A high-quality 64-bit finalizer (Steele et al., *Fast Splittable
+/// Pseudorandom Number Generators*, OOPSLA 2014). Passes into itself to
+/// chain multiple words.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes a sequence of words into one hash.
+#[inline]
+fn mix(words: &[u64]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3; // pi digits; arbitrary non-zero seed
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// A deterministic scalar field: maps `(beacon id, point)` to reproducible
+/// pseudo-random values derived from a seed.
+///
+/// Two fields with the same seed are identical; different seeds give
+/// independent fields. Values are stable across platforms (pure integer
+/// arithmetic on IEEE-754 bit patterns).
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{DeterministicField, Point};
+/// let field = DeterministicField::new(42);
+/// let p = Point::new(3.0, 4.0);
+/// let u = field.symmetric(7, p);
+/// assert!((-1.0..=1.0).contains(&u));
+/// assert_eq!(u, DeterministicField::new(42).symmetric(7, p)); // static in time
+/// assert_ne!(u, field.symmetric(8, p)); // independent per beacon
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeterministicField {
+    seed: u64,
+}
+
+impl DeterministicField {
+    /// Creates a field from a seed.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        DeterministicField { seed }
+    }
+
+    /// The field's seed.
+    #[inline]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Raw 64-bit hash for `(key, point)`.
+    #[inline]
+    pub fn hash(&self, key: u64, p: Point) -> u64 {
+        mix(&[self.seed, key, p.x.to_bits(), p.y.to_bits()])
+    }
+
+    /// A value uniform in `[0, 1)` for `(key, point)`.
+    #[inline]
+    pub fn unit(&self, key: u64, p: Point) -> f64 {
+        // 53 high bits -> [0, 1) double, the standard conversion.
+        (self.hash(key, p) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A value uniform in `[-1, 1)` for `(key, point)` — the paper's `u`
+    /// ("chosen uniformly at random between -1 and 1").
+    #[inline]
+    pub fn symmetric(&self, key: u64, p: Point) -> f64 {
+        self.unit(key, p) * 2.0 - 1.0
+    }
+
+    /// A per-key (point-independent) value uniform in `[0, 1)`.
+    ///
+    /// Used for per-beacon draws such as the noise factor `nf(B)`.
+    #[inline]
+    pub fn unit_keyed(&self, key: u64) -> f64 {
+        (mix(&[self.seed, key]) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Derives a new independent field, e.g. for a sub-experiment.
+    #[inline]
+    pub fn split(&self, label: u64) -> DeterministicField {
+        DeterministicField {
+            seed: mix(&[self.seed, label, 0x5EED]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_values_stable() {
+        // Lock in concrete outputs so cross-platform drift is caught.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn field_is_deterministic() {
+        let f1 = DeterministicField::new(99);
+        let f2 = DeterministicField::new(99);
+        let p = Point::new(12.5, -3.25);
+        assert_eq!(f1.hash(5, p), f2.hash(5, p));
+        assert_eq!(f1.unit(5, p), f2.unit(5, p));
+        assert_eq!(f1.unit_keyed(5), f2.unit_keyed(5));
+    }
+
+    #[test]
+    fn field_varies_with_inputs() {
+        let f = DeterministicField::new(1);
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(1.0, 2.0000001);
+        assert_ne!(f.hash(0, p), f.hash(1, p));
+        assert_ne!(f.hash(0, p), f.hash(0, q));
+        assert_ne!(f.hash(0, p), DeterministicField::new(2).hash(0, p));
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let f = DeterministicField::new(7);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for k in 0..n {
+            let p = Point::new(k as f64 * 0.37, (k % 101) as f64);
+            let u = f.unit(3, p);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} not ~0.5");
+    }
+
+    #[test]
+    fn symmetric_in_range_and_centered() {
+        let f = DeterministicField::new(11);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for k in 0..n {
+            let p = Point::new((k / 101) as f64, (k % 101) as f64);
+            let u = f.symmetric(9, p);
+            assert!((-1.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / n as f64).abs() < 0.04);
+    }
+
+    #[test]
+    fn split_gives_independent_fields() {
+        let f = DeterministicField::new(5);
+        let a = f.split(1);
+        let b = f.split(2);
+        assert_ne!(a.seed(), b.seed());
+        assert_ne!(a.seed(), f.seed());
+        // Splitting is itself deterministic.
+        assert_eq!(f.split(1).seed(), a.seed());
+    }
+}

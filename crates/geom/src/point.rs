@@ -1,0 +1,455 @@
+//! Points and displacement vectors in the plane.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the plane, in meters.
+///
+/// `Point` is the coordinate type used for beacon positions, client
+/// positions, and localization estimates throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// assert_eq!(a.midpoint(b), Point::new(1.5, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (meters).
+    pub x: f64,
+    /// Vertical coordinate (meters).
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s, in meters.
+///
+/// Produced by subtracting points; added back to points to translate them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component (meters).
+    pub x: f64,
+    /// Vertical component (meters).
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// This is the paper's localization-error metric
+    /// `LE = sqrt((Xest-Xa)^2 + (Yest-Ya)^2)` when applied to an estimate
+    /// and an actual position.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::distance`]; prefer it for comparisons against a
+    /// squared radius.
+    #[inline]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The point halfway between `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    ///
+    /// `t` outside `[0, 1]` extrapolates along the same line.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Displacement vector from `self` to `other`.
+    #[inline]
+    pub fn to(self, other: Point) -> Vec2 {
+        other - self
+    }
+
+    /// Returns `true` if both coordinates are finite (not NaN or infinite).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length of the vector.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.length_squared().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn length_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (the z-component of the 3D cross product).
+    ///
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The vector scaled to unit length, or `None` if it is (near) zero.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec2> {
+        let len = self.length();
+        if len <= f64::EPSILON {
+            None
+        } else {
+            Some(self / len)
+        }
+    }
+
+    /// The vector rotated 90 degrees counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+/// Centroid (arithmetic mean) of a set of points.
+///
+/// Returns `None` for an empty input. This is the estimator at the heart of
+/// the paper's connectivity-based localization: a client estimates its
+/// position as the centroid of all connected beacons.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{centroid, Point};
+/// let pts = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 3.0)];
+/// assert_eq!(centroid(pts.iter().copied()), Some(Point::new(1.0, 1.0)));
+/// assert_eq!(centroid(std::iter::empty()), None);
+/// ```
+pub fn centroid<I: IntoIterator<Item = Point>>(points: I) -> Option<Point> {
+    let mut sum_x = 0.0;
+    let mut sum_y = 0.0;
+    let mut n = 0usize;
+    for p in points {
+        sum_x += p.x;
+        sum_y += p.y;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        let inv = 1.0 / n as f64;
+        Some(Point::new(sum_x * inv, sum_y * inv))
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    #[inline]
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Sum for Vec2 {
+    fn sum<I: Iterator<Item = Vec2>>(iter: I) -> Vec2 {
+        iter.fold(Vec2::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = Point::new(-3.5, 7.25);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(5.0, -2.0));
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(2.0, 2.0);
+        let b = Point::new(6.0, 10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn point_vector_arithmetic_roundtrips() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, -2.0);
+        let v = b - a;
+        assert_eq!(a + v, b);
+        assert_eq!(b - v, a);
+        let mut c = a;
+        c += v;
+        assert_eq!(c, b);
+        c -= v;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        assert_eq!(v.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(v.cross(Vec2::new(1.0, 0.0)), -4.0);
+        assert_eq!(-v, Vec2::new(-3.0, -4.0));
+        assert_eq!(v * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vec2::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Vec2::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.length() - 1.0).abs() < 1e-12);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn perp_is_orthogonal_and_ccw() {
+        let v = Vec2::new(2.0, 1.0);
+        let p = v.perp();
+        assert_eq!(v.dot(p), 0.0);
+        assert!(v.cross(p) > 0.0);
+    }
+
+    #[test]
+    fn centroid_of_triangle() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ];
+        assert_eq!(centroid(pts.iter().copied()), Some(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn centroid_of_single_point_is_itself() {
+        let p = Point::new(7.0, -2.0);
+        assert_eq!(centroid(std::iter::once(p)), Some(p));
+    }
+
+    #[test]
+    fn centroid_empty_is_none() {
+        assert_eq!(centroid(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn conversions_tuple_roundtrip() {
+        let p: Point = (1.5, 2.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.5, 2.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1.000, 2.000)");
+        assert_eq!(Vec2::new(1.0, 2.0).to_string(), "<1.000, 2.000>");
+    }
+
+    #[test]
+    fn vec2_sum() {
+        let vs = [Vec2::new(1.0, 0.0), Vec2::new(2.0, 3.0), Vec2::new(-1.0, 1.0)];
+        let s: Vec2 = vs.iter().copied().sum();
+        assert_eq!(s, Vec2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

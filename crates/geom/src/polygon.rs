@@ -1,0 +1,330 @@
+//! Simple polygons for locus regions.
+//!
+//! The locus-based localization extension (paper §6) represents a client's
+//! feasible region — the intersection of connected beacons' coverage disks —
+//! as a polygon (a fine polygonal approximation of the disk intersection).
+//! This module provides the polygon machinery: signed area, centroid,
+//! point-in-polygon, and convex clipping against half-planes and disks.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple polygon given by its vertices in order (either winding).
+///
+/// Most operations assume a *convex* polygon with counter-clockwise winding,
+/// which is what disk-intersection clipping produces.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{Point, Polygon};
+/// let square = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ]);
+/// assert_eq!(square.area(), 4.0);
+/// assert_eq!(square.centroid(), Some(Point::new(1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from vertices in order.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// A regular `n`-gon inscribed in the circle of `radius` around
+    /// `center`, counter-clockwise, first vertex at angle `phase` radians.
+    ///
+    /// Used to seed disk-intersection clipping with a fine approximation of
+    /// the first coverage disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `radius` is negative/not finite.
+    pub fn regular(center: Point, radius: f64, n: usize, phase: f64) -> Self {
+        assert!(n >= 3, "a polygon needs at least 3 vertices, got {n}");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "polygon radius must be finite and non-negative, got {radius}"
+        );
+        let vertices = (0..n)
+            .map(|k| {
+                let theta = phase + std::f64::consts::TAU * k as f64 / n as f64;
+                Point::new(
+                    center.x + radius * theta.cos(),
+                    center.y + radius * theta.sin(),
+                )
+            })
+            .collect();
+        Polygon { vertices }
+    }
+
+    /// The polygon's vertices in order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` if the polygon has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Signed area via the shoelace formula: positive for counter-clockwise
+    /// winding, negative for clockwise. Zero for degenerate polygons.
+    pub fn signed_area(&self) -> f64 {
+        if self.vertices.len() < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (k, &a) in self.vertices.iter().enumerate() {
+            let b = self.vertices[(k + 1) % self.vertices.len()];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Area centroid (center of mass of the enclosed region).
+    ///
+    /// Returns `None` for polygons with fewer than 3 vertices or
+    /// (numerically) zero area — callers should fall back to the vertex
+    /// mean in that case.
+    pub fn centroid(&self) -> Option<Point> {
+        if self.vertices.len() < 3 {
+            return None;
+        }
+        let a = self.signed_area();
+        if a.abs() < 1e-12 {
+            return None;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (k, &p) in self.vertices.iter().enumerate() {
+            let q = self.vertices[(k + 1) % self.vertices.len()];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        let inv = 1.0 / (6.0 * a);
+        Some(Point::new(cx * inv, cy * inv))
+    }
+
+    /// Mean of the vertices — a cheap centroid surrogate that is defined
+    /// even for degenerate polygons.
+    pub fn vertex_mean(&self) -> Option<Point> {
+        crate::point::centroid(self.vertices.iter().copied())
+    }
+
+    /// Clips the polygon against the half-plane on the *left* of the
+    /// directed line `a -> b` (Sutherland–Hodgman step).
+    ///
+    /// For convex input the output is convex. An empty polygon stays empty.
+    pub fn clip_half_plane(&self, a: Point, b: Point) -> Polygon {
+        let dir = b - a;
+        let inside = |p: Point| dir.cross(p - a) >= 0.0;
+        let mut out = Vec::with_capacity(self.vertices.len() + 4);
+        let n = self.vertices.len();
+        for k in 0..n {
+            let cur = self.vertices[k];
+            let nxt = self.vertices[(k + 1) % n];
+            let cur_in = inside(cur);
+            let nxt_in = inside(nxt);
+            if cur_in {
+                out.push(cur);
+            }
+            if cur_in != nxt_in {
+                // Edge crosses the line: add the intersection point.
+                let denom = dir.cross(nxt - cur);
+                if denom.abs() > f64::EPSILON {
+                    let t = dir.cross(a - cur) / denom;
+                    out.push(cur.lerp(nxt, t.clamp(0.0, 1.0)));
+                }
+            }
+        }
+        Polygon { vertices: out }
+    }
+
+    /// Clips the polygon against a disk, approximating the circular arc by
+    /// `arc_segments` chords (Sutherland–Hodgman against the disk's
+    /// circumscribed polygon would *over*-approximate, so we clip against
+    /// the *inscribed* polygon, slightly under-approximating the disk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc_segments < 3`.
+    pub fn clip_disk(&self, center: Point, radius: f64, arc_segments: usize) -> Polygon {
+        assert!(arc_segments >= 3, "need at least 3 arc segments");
+        let mut poly = self.clone();
+        for k in 0..arc_segments {
+            if poly.is_empty() {
+                break;
+            }
+            let t0 = std::f64::consts::TAU * k as f64 / arc_segments as f64;
+            let t1 = std::f64::consts::TAU * (k + 1) as f64 / arc_segments as f64;
+            let a = Point::new(center.x + radius * t0.cos(), center.y + radius * t0.sin());
+            let b = Point::new(center.x + radius * t1.cos(), center.y + radius * t1.sin());
+            // Interior of the inscribed polygon is on the left of each
+            // CCW-ordered chord.
+            poly = poly.clip_half_plane(a, b);
+        }
+        poly
+    }
+
+    /// Point-in-polygon test (even-odd rule); boundary points may go either
+    /// way and should not be relied upon.
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        if n < 3 {
+            return false;
+        }
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[j];
+            if ((a.y > p.y) != (b.y > p.y))
+                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "polygon[{} vertices, area {:.3}]", self.len(), self.area())
+    }
+}
+
+impl FromIterator<Point> for Polygon {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Polygon::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn unit_square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn shoelace_signed_area() {
+        assert_eq!(unit_square().signed_area(), 1.0);
+        let cw: Polygon = unit_square().vertices().iter().rev().copied().collect();
+        assert_eq!(cw.signed_area(), -1.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_polygons_zero_area() {
+        assert_eq!(Polygon::new(vec![]).area(), 0.0);
+        assert_eq!(Polygon::new(vec![Point::ORIGIN]).area(), 0.0);
+        assert_eq!(
+            Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 1.0)]).area(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn centroid_of_square_and_triangle() {
+        assert_eq!(unit_square().centroid(), Some(Point::new(0.5, 0.5)));
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert_eq!(tri.centroid(), Some(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn centroid_degenerate_falls_back_to_none() {
+        let line = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ]);
+        assert_eq!(line.centroid(), None);
+        assert_eq!(line.vertex_mean(), Some(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn regular_polygon_approximates_circle() {
+        let poly = Polygon::regular(Point::new(2.0, 3.0), 1.0, 256, 0.0);
+        assert!((poly.area() - PI).abs() < 1e-3);
+        let c = poly.centroid().unwrap();
+        assert!(c.distance(Point::new(2.0, 3.0)) < 1e-9);
+    }
+
+    #[test]
+    fn clip_half_plane_cuts_square() {
+        // Keep left of upward line x = 0.5 (direction +y).
+        let clipped = unit_square().clip_half_plane(Point::new(0.5, 0.0), Point::new(0.5, 1.0));
+        assert!((clipped.area() - 0.5).abs() < 1e-12);
+        for v in clipped.vertices() {
+            assert!(v.x <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn clip_half_plane_no_cut_keeps_all() {
+        let clipped = unit_square().clip_half_plane(Point::new(5.0, 0.0), Point::new(5.0, 1.0));
+        assert!((clipped.area() - 1.0).abs() < 1e-12);
+        // Upward line at x = -1 keeps only x <= -1: the square vanishes.
+        let gone = unit_square().clip_half_plane(Point::new(-1.0, 0.0), Point::new(-1.0, 1.0));
+        assert_eq!(gone.area(), 0.0);
+    }
+
+    #[test]
+    fn clip_disk_lens_matches_analytic() {
+        // Intersection of two unit disks 1 apart, computed by clipping a
+        // fine polygon of one disk against the other.
+        let a = Polygon::regular(Point::ORIGIN, 1.0, 720, 0.0);
+        let lens = a.clip_disk(Point::new(1.0, 0.0), 1.0, 720);
+        let expected = 2.0 * (0.5f64).acos() - 0.5 * 3.0f64.sqrt();
+        assert!(
+            (lens.area() - expected).abs() < 2e-3,
+            "got {}, want {expected}",
+            lens.area()
+        );
+    }
+
+    #[test]
+    fn contains_interior_and_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(-0.1, 0.5)));
+    }
+}

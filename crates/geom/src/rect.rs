@@ -1,0 +1,369 @@
+//! Axis-aligned rectangles and the square deployment terrain.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle, closed on all sides.
+///
+/// Used for terrain bounds, the Grid placement algorithm's overlapping
+/// grids, and obstacle bounding boxes.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{Point, Rect};
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+/// assert!(r.contains(Point::new(10.0, 5.0))); // closed boundary
+/// assert_eq!(r.area(), 50.0);
+/// assert_eq!(r.center(), Point::new(5.0, 2.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a square of side `side` centered at `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is negative or not finite.
+    pub fn square_centered(center: Point, side: f64) -> Self {
+        assert!(
+            side.is_finite() && side >= 0.0,
+            "square side must be finite and non-negative, got {side}"
+        );
+        let h = side * 0.5;
+        Rect {
+            min: Point::new(center.x - h, center.y - h),
+            max: Point::new(center.x + h, center.y + h),
+        }
+    }
+
+    /// The corner with minimal coordinates.
+    #[inline]
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// The corner with maximal coordinates.
+    #[inline]
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (extent along x), always non-negative.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (extent along y), always non-negative.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` if the rectangles share any point (boundaries count).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// The intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// The point of `self` closest to `p` (i.e. `p` clamped to the rect).
+    #[inline]
+    pub fn clamp_point(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+
+    /// Rectangle expanded by `margin` on every side (shrunk if negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shrinking would invert the rectangle.
+    pub fn expand(&self, margin: f64) -> Rect {
+        let r = Rect {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        };
+        assert!(
+            r.min.x <= r.max.x && r.min.y <= r.max.y,
+            "expand({margin}) inverted rectangle {self:?}"
+        );
+        r
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+/// The square deployment terrain of the paper: a `Side x Side` region with
+/// its minimum corner at the origin.
+///
+/// The paper's evaluation uses `Side = 100 m`. `Terrain` is a thin,
+/// semantically-named wrapper over [`Rect`] that also provides uniform
+/// random sampling, which the Random placement algorithm and the field
+/// generators need.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Terrain;
+/// let t = Terrain::square(100.0);
+/// assert_eq!(t.side(), 100.0);
+/// assert_eq!(t.area(), 10_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Terrain {
+    side: f64,
+}
+
+impl Terrain {
+    /// Creates a square terrain of the given side, anchored at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is not finite and strictly positive.
+    pub fn square(side: f64) -> Self {
+        assert!(
+            side.is_finite() && side > 0.0,
+            "terrain side must be finite and positive, got {side}"
+        );
+        Terrain { side }
+    }
+
+    /// Side length in meters.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Terrain area in square meters.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.side * self.side
+    }
+
+    /// The terrain's bounding rectangle, `[0, side] x [0, side]`.
+    #[inline]
+    pub fn bounds(&self) -> Rect {
+        Rect::new(Point::ORIGIN, Point::new(self.side, self.side))
+    }
+
+    /// The terrain center `(side/2, side/2)`.
+    ///
+    /// Used as the default estimate for clients that hear no beacons (see
+    /// `abp_localize::UnheardPolicy`).
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(self.side * 0.5, self.side * 0.5)
+    }
+
+    /// Returns `true` if `p` lies inside the terrain (boundary included).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.bounds().contains(p)
+    }
+
+    /// Maps two unit-interval samples to a uniformly distributed point.
+    ///
+    /// Callers supply the randomness (typically `rng.random::<f64>()`), which
+    /// keeps this crate free of RNG dependencies while letting `abp-field`
+    /// and `abp-placement` sample terrains uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) if `u` or `v` fall outside `[0, 1]`.
+    #[inline]
+    pub fn point_at(&self, u: f64, v: f64) -> Point {
+        debug_assert!((0.0..=1.0).contains(&u), "u out of unit interval: {u}");
+        debug_assert!((0.0..=1.0).contains(&v), "v out of unit interval: {v}");
+        Point::new(u * self.side, v * self.side)
+    }
+
+    /// Beacon count corresponding to a target density (beacons per m²),
+    /// rounded to the nearest whole beacon.
+    #[inline]
+    pub fn beacons_for_density(&self, density: f64) -> usize {
+        (density * self.area()).round() as usize
+    }
+
+    /// Deployment density (beacons per m²) for a beacon count.
+    #[inline]
+    pub fn density_of(&self, beacons: usize) -> f64 {
+        beacons as f64 / self.area()
+    }
+}
+
+impl fmt::Display for Terrain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}m x {}m terrain", self.side, self.side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(Point::new(5.0, 1.0), Point::new(1.0, 4.0));
+        assert_eq!(r.min(), Point::new(1.0, 1.0));
+        assert_eq!(r.max(), Point::new(5.0, 4.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 3.0);
+        assert_eq!(r.area(), 12.0);
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::new(Point::ORIGIN, Point::new(2.0, 2.0));
+        assert!(r.contains(Point::ORIGIN));
+        assert!(r.contains(Point::new(2.0, 2.0)));
+        assert!(r.contains(Point::new(1.0, 2.0)));
+        assert!(!r.contains(Point::new(2.0001, 2.0)));
+        assert!(!r.contains(Point::new(-0.0001, 1.0)));
+    }
+
+    #[test]
+    fn rect_square_centered() {
+        let r = Rect::square_centered(Point::new(5.0, 5.0), 4.0);
+        assert_eq!(r.min(), Point::new(3.0, 3.0));
+        assert_eq!(r.max(), Point::new(7.0, 7.0));
+        assert_eq!(r.center(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "square side")]
+    fn rect_square_centered_rejects_negative() {
+        let _ = Rect::square_centered(Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(Point::ORIGIN, Point::new(4.0, 4.0));
+        let b = Rect::new(Point::new(2.0, 2.0), Point::new(6.0, 6.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(Point::new(2.0, 2.0), Point::new(4.0, 4.0)));
+
+        let c = Rect::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn rect_touching_edges_intersect() {
+        let a = Rect::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        let b = Rect::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.area(), 0.0);
+    }
+
+    #[test]
+    fn rect_clamp_point() {
+        let r = Rect::new(Point::ORIGIN, Point::new(2.0, 2.0));
+        assert_eq!(r.clamp_point(Point::new(5.0, -1.0)), Point::new(2.0, 0.0));
+        assert_eq!(r.clamp_point(Point::new(1.0, 1.0)), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn rect_expand_and_shrink() {
+        let r = Rect::new(Point::ORIGIN, Point::new(4.0, 4.0));
+        assert_eq!(
+            r.expand(1.0),
+            Rect::new(Point::new(-1.0, -1.0), Point::new(5.0, 5.0))
+        );
+        assert_eq!(
+            r.expand(-1.0),
+            Rect::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn rect_over_shrink_panics() {
+        let r = Rect::new(Point::ORIGIN, Point::new(1.0, 1.0));
+        let _ = r.expand(-1.0);
+    }
+
+    #[test]
+    fn terrain_basics() {
+        let t = Terrain::square(100.0);
+        assert_eq!(t.area(), 10_000.0);
+        assert_eq!(t.center(), Point::new(50.0, 50.0));
+        assert!(t.contains(Point::new(0.0, 100.0)));
+        assert!(!t.contains(Point::new(100.0001, 50.0)));
+    }
+
+    #[test]
+    fn terrain_density_roundtrip() {
+        let t = Terrain::square(100.0);
+        // The paper's range: 20..=240 beacons <-> 0.002..=0.024 per m^2.
+        assert_eq!(t.beacons_for_density(0.002), 20);
+        assert_eq!(t.beacons_for_density(0.024), 240);
+        assert!((t.density_of(100) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn terrain_point_at_corners() {
+        let t = Terrain::square(10.0);
+        assert_eq!(t.point_at(0.0, 0.0), Point::ORIGIN);
+        assert_eq!(t.point_at(1.0, 1.0), Point::new(10.0, 10.0));
+        assert_eq!(t.point_at(0.5, 0.25), Point::new(5.0, 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "terrain side")]
+    fn terrain_rejects_zero_side() {
+        let _ = Terrain::square(0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Line segments.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A line segment between two distinct endpoints.
+///
+/// Used for radio-obstacle walls (`abp-radio`), robot path legs, and any
+/// line-of-sight reasoning.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::{Point, Segment};
+/// let a = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+/// let b = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+/// assert!(a.intersects(&b));
+/// assert_eq!(a.length(), 8f64.sqrt());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints coincide or are not finite.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(a.is_finite() && b.is_finite(), "segment endpoints must be finite");
+        assert!(
+            a.distance_squared(b) > 0.0,
+            "segment endpoints must differ, got {a}"
+        );
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The midpoint.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// The point at parameter `t` (`0` = `a`, `1` = `b`).
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Returns `true` if this segment shares at least one point with
+    /// `other`. Touching endpoints and collinear overlap count as
+    /// intersections (the conservative convention for line-of-sight
+    /// blocking).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        segments_intersect(self.a, self.b, other.a, other.b)
+    }
+
+    /// The smallest distance from `p` to any point of the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let ab = self.b - self.a;
+        let t = ((p - self.a).dot(ab) / ab.length_squared()).clamp(0.0, 1.0);
+        self.at(t).distance(p)
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "segment {} - {}", self.a, self.b)
+    }
+}
+
+/// Classic orientation-based segment intersection test. Collinear overlaps
+/// and touching endpoints are treated as intersecting.
+pub fn segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool {
+    fn orient(a: Point, b: Point, c: Point) -> f64 {
+        (b - a).cross(c - a)
+    }
+    fn on_segment(a: Point, b: Point, c: Point) -> bool {
+        c.x >= a.x.min(b.x) && c.x <= a.x.max(b.x) && c.y >= a.y.min(b.y) && c.y <= a.y.max(b.y)
+    }
+    let d1 = orient(q1, q2, p1);
+    let d2 = orient(q1, q2, p2);
+    let d3 = orient(p1, p2, q1);
+    let d4 = orient(p1, p2, q2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(q1, q2, p1))
+        || (d2 == 0.0 && on_segment(q1, q2, p2))
+        || (d3 == 0.0 && on_segment(p1, p2, q1))
+        || (d4 == 0.0 && on_segment(p1, p2, q2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn parallel_segments_do_not() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+        let b = Segment::new(Point::new(0.0, 1.0), Point::new(1.0, 1.0));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = Segment::new(Point::new(1.0, 1.0), Point::new(2.0, 0.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlap_counts() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let b = Segment::new(Point::new(1.0, 0.0), Point::new(3.0, 0.0));
+        assert!(a.intersects(&b));
+        let c = Segment::new(Point::new(3.0, 0.0), Point::new(4.0, 0.0));
+        assert!(!a.intersects(&c) || a.b.distance(c.a) < 1.0); // disjoint collinear
+    }
+
+    #[test]
+    fn t_near_miss_does_not_intersect() {
+        // Segment ending just short of another.
+        let a = Segment::new(Point::new(0.0, -1.0), Point::new(0.0, -0.01));
+        let b = Segment::new(Point::new(-1.0, 0.0), Point::new(1.0, 0.0));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+        assert_eq!(s.at(0.0), s.a);
+        assert_eq!(s.at(1.0), s.b);
+    }
+
+    #[test]
+    fn distance_to_point_cases() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0); // interior
+        assert_eq!(s.distance_to_point(Point::new(-4.0, 3.0)), 5.0); // past a
+        assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0); // past b
+        assert_eq!(s.distance_to_point(Point::new(7.0, 0.0)), 0.0); // on it
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn rejects_degenerate_segment() {
+        let _ = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! The localization-error metric.
+
+use abp_geom::Point;
+
+/// The paper's localization error `LE`: the Euclidean distance between a
+/// client's estimated and actual positions,
+///
+/// ```text
+/// LE = sqrt( (Xest - Xa)² + (Yest - Ya)² )
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// use abp_localize::localization_error;
+/// let le = localization_error(Point::new(3.0, 4.0), Point::new(0.0, 0.0));
+/// assert_eq!(le, 5.0);
+/// ```
+#[inline]
+pub fn localization_error(estimate: Point, actual: Point) -> f64 {
+    estimate.distance(actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_for_perfect_estimate() {
+        let p = Point::new(12.0, -7.0);
+        assert_eq!(localization_error(p, p), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(localization_error(a, b), localization_error(b, a));
+        assert_eq!(localization_error(a, b), 5.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Connectivity-based RF localization (paper §2) and extensions.
+//!
+//! A client node estimates its own position from the beacons it can hear:
+//!
+//! * [`ConnectivityOracle`] — computes the connected beacon set at any
+//!   point, combining a beacon field with a propagation model,
+//! * [`CentroidLocalizer`] — the paper's localizer (from Bulusu,
+//!   Heidemann & Estrin, *GPS-less low cost outdoor localization for very
+//!   small devices*, 2000): the estimate is the **centroid of the
+//!   positions of all connected beacons**,
+//! * [`UnheardPolicy`] — what to report when *no* beacon is heard (the
+//!   paper leaves this case unspecified; see DESIGN.md),
+//! * [`LocusLocalizer`] — the footnote-3 alternative: the client lies in
+//!   the intersection of the connected beacons' coverage disks; this
+//!   localizer computes that locus as a polygon and uses its area
+//!   centroid,
+//! * [`MultilaterationLocalizer`] — the future-work (§6) comparison point:
+//!   least-squares position from noisy range estimates,
+//! * [`localization_error`] — the paper's `LE` metric,
+//! * [`regions`] — localization-region counting (Figure 1's granularity
+//!   argument).
+//!
+//! # Example
+//!
+//! ```
+//! use abp_field::BeaconField;
+//! use abp_geom::{Point, Terrain};
+//! use abp_localize::{CentroidLocalizer, Localizer, UnheardPolicy, localization_error};
+//! use abp_radio::IdealDisk;
+//!
+//! let field = BeaconField::from_positions(
+//!     Terrain::square(100.0),
+//!     [Point::new(40.0, 50.0), Point::new(60.0, 50.0)],
+//! );
+//! let model = IdealDisk::new(15.0);
+//! let localizer = CentroidLocalizer::new(UnheardPolicy::TerrainCenter);
+//!
+//! // A client at (50, 50) hears both beacons; estimate = their centroid.
+//! let fix = localizer.localize(&field, &model, Point::new(50.0, 50.0));
+//! assert_eq!(fix.estimate, Some(Point::new(50.0, 50.0)));
+//! assert_eq!(localization_error(fix.estimate.unwrap(), Point::new(50.0, 50.0)), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centroid;
+pub mod error;
+pub mod locus;
+pub mod multilat;
+pub mod oracle;
+pub mod regions;
+pub mod weighted;
+
+pub use centroid::{CentroidLocalizer, UnheardPolicy};
+pub use error::localization_error;
+pub use locus::LocusLocalizer;
+pub use multilat::MultilaterationLocalizer;
+pub use oracle::ConnectivityOracle;
+pub use weighted::WeightedCentroidLocalizer;
+
+use abp_field::BeaconField;
+use abp_geom::Point;
+use abp_radio::Propagation;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one localization attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fix {
+    /// The position estimate, or `None` when the localizer declines to
+    /// produce one (no beacons heard under
+    /// [`UnheardPolicy::Exclude`](crate::UnheardPolicy)).
+    pub estimate: Option<Point>,
+    /// How many beacons were heard.
+    pub heard: usize,
+}
+
+impl Fix {
+    /// Localization error against the client's actual position, or `None`
+    /// if there is no estimate.
+    pub fn error(&self, actual: Point) -> Option<f64> {
+        self.estimate.map(|e| localization_error(e, actual))
+    }
+}
+
+/// A localization algorithm: estimates a client's position from the
+/// beacons it hears at `at`.
+///
+/// Object-safe so experiments can swap localizers at run time.
+pub trait Localizer {
+    /// Produces a fix for a client located at `at`.
+    fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix;
+}

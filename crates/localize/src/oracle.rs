@@ -1,0 +1,172 @@
+//! The connectivity oracle: who can a client hear?
+
+use abp_field::{Beacon, BeaconField};
+use abp_geom::Point;
+use abp_radio::Propagation;
+
+/// Combines a beacon field with a propagation model to answer
+/// "which beacons are connected at point `P`?" — the primitive every
+/// localizer builds on.
+///
+/// For the dense lattice surveys the experiment engine uses a beacon-major
+/// sweep instead (see `abp_survey::ErrorMap`); the oracle is the
+/// point-query counterpart, used for arbitrary positions (robot paths,
+/// examples, tests) and for validating the sweep.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Point, Terrain};
+/// use abp_localize::ConnectivityOracle;
+/// use abp_radio::IdealDisk;
+///
+/// let field = BeaconField::from_positions(
+///     Terrain::square(100.0),
+///     [Point::new(0.0, 0.0), Point::new(50.0, 50.0)],
+/// );
+/// let model = IdealDisk::new(15.0);
+/// let oracle = ConnectivityOracle::new(&field, &model);
+/// assert_eq!(oracle.heard_count(Point::new(5.0, 5.0)), 1);
+/// assert_eq!(oracle.heard_count(Point::new(25.0, 25.0)), 0);
+/// ```
+#[derive(Clone, Copy)]
+pub struct ConnectivityOracle<'a> {
+    field: &'a BeaconField,
+    model: &'a dyn Propagation,
+}
+
+impl std::fmt::Debug for ConnectivityOracle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnectivityOracle")
+            .field("beacons", &self.field.len())
+            .field("nominal_range", &self.model.nominal_range())
+            .finish()
+    }
+}
+
+impl<'a> ConnectivityOracle<'a> {
+    /// Creates the oracle over a field and model.
+    pub fn new(field: &'a BeaconField, model: &'a dyn Propagation) -> Self {
+        ConnectivityOracle { field, model }
+    }
+
+    /// The underlying beacon field.
+    #[inline]
+    pub fn field(&self) -> &'a BeaconField {
+        self.field
+    }
+
+    /// The underlying propagation model.
+    #[inline]
+    pub fn model(&self) -> &'a dyn Propagation {
+        self.model
+    }
+
+    /// Invokes `f` for every beacon connected at `at`.
+    pub fn for_each_heard<F: FnMut(&Beacon)>(&self, at: Point, mut f: F) {
+        for b in self.field {
+            if self.model.connected(b.tx(), b.pos(), at) {
+                f(b);
+            }
+        }
+    }
+
+    /// The connected beacons at `at`, in beacon insertion order.
+    pub fn heard(&self, at: Point) -> Vec<Beacon> {
+        let mut out = Vec::new();
+        self.for_each_heard(at, |b| out.push(*b));
+        out
+    }
+
+    /// Number of beacons connected at `at`.
+    pub fn heard_count(&self, at: Point) -> usize {
+        let mut n = 0;
+        self.for_each_heard(at, |_| n += 1);
+        n
+    }
+
+    /// The *connectivity signature* at `at`: the sorted ids of connected
+    /// beacons. Two points with equal signatures receive identical
+    /// centroid estimates — they lie in the same localization region
+    /// (Figure 1).
+    pub fn signature(&self, at: Point) -> Vec<abp_field::BeaconId> {
+        let mut ids: Vec<_> = Vec::new();
+        self.for_each_heard(at, |b| ids.push(b.id()));
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::Terrain;
+    use abp_radio::{IdealDisk, PerBeaconNoise};
+
+    fn cross_field() -> BeaconField {
+        BeaconField::from_positions(
+            Terrain::square(100.0),
+            [
+                Point::new(50.0, 50.0),
+                Point::new(50.0, 70.0),
+                Point::new(50.0, 30.0),
+                Point::new(30.0, 50.0),
+                Point::new(70.0, 50.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn heard_counts_by_position() {
+        let field = cross_field();
+        let model = IdealDisk::new(15.0);
+        let oracle = ConnectivityOracle::new(&field, &model);
+        // Center hears only the center beacon (others are 20 m away).
+        assert_eq!(oracle.heard_count(Point::new(50.0, 50.0)), 1);
+        // Midway between center and north beacon hears both.
+        assert_eq!(oracle.heard_count(Point::new(50.0, 60.0)), 2);
+        // Far corner hears nothing.
+        assert_eq!(oracle.heard_count(Point::new(0.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn heard_returns_correct_beacons() {
+        let field = cross_field();
+        let model = IdealDisk::new(15.0);
+        let oracle = ConnectivityOracle::new(&field, &model);
+        let heard = oracle.heard(Point::new(50.0, 62.0));
+        let positions: Vec<_> = heard.iter().map(|b| b.pos()).collect();
+        assert_eq!(positions, vec![Point::new(50.0, 50.0), Point::new(50.0, 70.0)]);
+    }
+
+    #[test]
+    fn signature_is_sorted_and_stable() {
+        let field = cross_field();
+        let model = IdealDisk::new(25.0);
+        let oracle = ConnectivityOracle::new(&field, &model);
+        let sig = oracle.signature(Point::new(50.0, 50.0));
+        assert_eq!(sig.len(), 5);
+        assert!(sig.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sig, oracle.signature(Point::new(50.0, 50.0)));
+    }
+
+    #[test]
+    fn oracle_respects_noisy_model() {
+        let field = cross_field();
+        let noisy = PerBeaconNoise::new(15.0, 0.5, 7);
+        let oracle = ConnectivityOracle::new(&field, &noisy);
+        // Deterministic: repeated queries agree.
+        let p = Point::new(50.0, 63.0);
+        assert_eq!(oracle.heard(p), oracle.heard(p));
+    }
+
+    #[test]
+    fn empty_field_hears_nothing() {
+        let field = BeaconField::new(Terrain::square(10.0));
+        let model = IdealDisk::new(5.0);
+        let oracle = ConnectivityOracle::new(&field, &model);
+        assert_eq!(oracle.heard_count(Point::new(5.0, 5.0)), 0);
+        assert!(oracle.signature(Point::new(5.0, 5.0)).is_empty());
+    }
+}

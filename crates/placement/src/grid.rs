@@ -1,0 +1,381 @@
+//! The Grid placement algorithm (paper §3.2.3).
+
+use crate::{PlacementAlgorithm, SurveyView};
+use abp_geom::{Point, Rect, Terrain};
+use abp_survey::ErrorMap;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's Grid algorithm — "compute the cumulative localization error
+/// over each grid, for several overlapping grids in the terrain... based
+/// on the observation that adding a new beacon affects its nearby area,
+/// not just the point where it is placed."
+///
+/// Steps (following §3.2.3 exactly):
+///
+/// 1–2. Survey the lattice (as Max) — done by `abp-survey`.
+/// 3. Divide the terrain into `NG` partially overlapping grids: each grid
+///    is a square of side `gridSide = 2R` (it "encloses the radio
+///    reachability region of its center"); for `1 ≤ i, j ≤ √NG` the grid
+///    centers are
+///    `Xc(i,j) = gridSide/2 + (i−1)·(Side − gridSide)/(√NG − 1)` and
+///    symmetrically for `Yc`.
+/// 4. For each grid compute the cumulative localization error `S(i,j)`
+///    over all measured points inside it.
+/// 5. **Add the new beacon at the center of the grid with the maximum
+///    cumulative error.**
+///
+/// "While the Grid algorithm has the advantage that it can improve many
+/// points at once, it is computationally far more expensive than the Max
+/// and Random algorithms." Complexity `O(NG · PG)` where `PG` is the
+/// number of measured points per grid.
+///
+/// Ties break toward the first grid in row-major center order, making the
+/// algorithm deterministic.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Terrain;
+/// use abp_placement::GridPlacement;
+///
+/// // The paper's configuration: NG = 400 grids of side 2R = 30 m.
+/// let grid = GridPlacement::paper(Terrain::square(100.0), 15.0);
+/// assert_eq!(grid.grids_per_side(), 20);
+/// assert_eq!(grid.grid_side(), 30.0);
+/// let centers: Vec<_> = grid.centers().collect();
+/// assert_eq!(centers.len(), 400);
+/// // First and last centers per the paper's formula.
+/// assert_eq!(centers[0], abp_geom::Point::new(15.0, 15.0));
+/// assert_eq!(centers[399], abp_geom::Point::new(85.0, 85.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridPlacement {
+    terrain: Terrain,
+    grid_side: f64,
+    per_side: u32,
+}
+
+/// The paper's number of overlapping grids (Table 1).
+pub const PAPER_NUM_GRIDS: usize = 400;
+
+impl GridPlacement {
+    /// Creates the algorithm with `num_grids` overlapping grids of side
+    /// `2 · nominal_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_grids` is not a positive perfect square, or
+    /// `2 · nominal_range` exceeds the terrain side (the paper assumes
+    /// `R < Side/2`), or `nominal_range` is not finite/positive.
+    pub fn new(terrain: Terrain, nominal_range: f64, num_grids: usize) -> Self {
+        assert!(
+            nominal_range.is_finite() && nominal_range > 0.0,
+            "nominal range must be finite and positive, got {nominal_range}"
+        );
+        let grid_side = 2.0 * nominal_range;
+        assert!(
+            grid_side <= terrain.side(),
+            "grid side 2R = {grid_side} exceeds terrain side {}",
+            terrain.side()
+        );
+        let per_side = (num_grids as f64).sqrt().round() as u32;
+        assert!(
+            per_side > 0 && (per_side as usize) * (per_side as usize) == num_grids,
+            "number of grids must be a positive perfect square, got {num_grids}"
+        );
+        GridPlacement {
+            terrain,
+            grid_side,
+            per_side,
+        }
+    }
+
+    /// The paper's configuration: `NG = 400` grids (Table 1).
+    pub fn paper(terrain: Terrain, nominal_range: f64) -> Self {
+        GridPlacement::new(terrain, nominal_range, PAPER_NUM_GRIDS)
+    }
+
+    /// Grid side length, `2R`.
+    #[inline]
+    pub fn grid_side(&self) -> f64 {
+        self.grid_side
+    }
+
+    /// Number of grids per axis, `√NG`.
+    #[inline]
+    pub fn grids_per_side(&self) -> u32 {
+        self.per_side
+    }
+
+    /// Total number of grids, `NG`.
+    #[inline]
+    pub fn num_grids(&self) -> usize {
+        (self.per_side as usize) * (self.per_side as usize)
+    }
+
+    /// The center of grid `(i, j)` (0-based; the paper's formula uses
+    /// 1-based indices).
+    pub fn center(&self, i: u32, j: u32) -> Point {
+        debug_assert!(i < self.per_side && j < self.per_side);
+        let half = self.grid_side * 0.5;
+        if self.per_side == 1 {
+            return self.terrain.center();
+        }
+        let stride = (self.terrain.side() - self.grid_side) / (self.per_side - 1) as f64;
+        Point::new(half + i as f64 * stride, half + j as f64 * stride)
+    }
+
+    /// Iterates all grid centers in row-major order.
+    pub fn centers(&self) -> impl Iterator<Item = Point> + '_ {
+        let n = self.per_side;
+        (0..n).flat_map(move |j| (0..n).map(move |i| self.center(i, j)))
+    }
+
+    /// The rectangle of grid `(i, j)`.
+    pub fn grid_rect(&self, i: u32, j: u32) -> Rect {
+        Rect::square_centered(self.center(i, j), self.grid_side)
+    }
+
+    /// Step 4: the cumulative error `S(i, j)` of every grid, row-major.
+    pub fn cumulative_errors(&self, map: &ErrorMap) -> Vec<f64> {
+        let n = self.per_side;
+        let mut out = Vec::with_capacity(self.num_grids());
+        for j in 0..n {
+            for i in 0..n {
+                out.push(map.cumulative_error_in(&self.grid_rect(i, j)));
+            }
+        }
+        out
+    }
+
+    /// Steps 3–5 for the top `k` distinct grids: centers of the `k` grids
+    /// with the highest cumulative error, best first. Used by the one-shot
+    /// multi-beacon extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > NG`.
+    pub fn propose_top_k(&self, map: &ErrorMap, k: usize) -> Vec<Point> {
+        assert!(
+            k >= 1 && k <= self.num_grids(),
+            "k must be in 1..={}, got {k}",
+            self.num_grids()
+        );
+        let scores = self.cumulative_errors(map);
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        // Stable by construction: sort by (-score, index).
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("cumulative errors are finite")
+                .then(a.cmp(&b))
+        });
+        order[..k]
+            .iter()
+            .map(|&flat| {
+                let i = (flat % self.per_side as usize) as u32;
+                let j = (flat / self.per_side as usize) as u32;
+                self.center(i, j)
+            })
+            .collect()
+    }
+}
+
+impl PlacementAlgorithm for GridPlacement {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn propose(&self, view: &SurveyView<'_>, _rng: &mut dyn RngCore) -> Point {
+        self.propose_top_k(view.map, 1)[0]
+    }
+
+    fn propose_ranked(
+        &self,
+        view: &SurveyView<'_>,
+        k: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Point> {
+        self.propose_top_k(view.map, k.clamp(1, self.num_grids()))
+    }
+}
+
+impl fmt::Display for GridPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Grid placement ({} grids of side {} m)",
+            self.num_grids(),
+            self.grid_side
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_field::BeaconField;
+    use abp_geom::Lattice;
+    use abp_localize::UnheardPolicy;
+    use abp_radio::IdealDisk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    #[test]
+    fn paper_centers_match_formula() {
+        let g = GridPlacement::paper(terrain(), 15.0);
+        // Xc(i) = 15 + (i-1) * 70/19 for 1-based i.
+        let stride = 70.0 / 19.0;
+        for i in 0..20u32 {
+            let c = g.center(i, 0);
+            assert!((c.x - (15.0 + i as f64 * stride)).abs() < 1e-12);
+            assert!((c.y - 15.0).abs() < 1e-12);
+        }
+        // Grids hug the terrain: first rect starts at 0, last ends at 100.
+        assert_eq!(g.grid_rect(0, 0).min(), Point::new(0.0, 0.0));
+        assert_eq!(g.grid_rect(19, 19).max(), Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn single_grid_sits_at_center() {
+        let g = GridPlacement::new(terrain(), 15.0, 1);
+        assert_eq!(g.center(0, 0), Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn picks_grid_covering_the_coverage_hole() {
+        // Beacons everywhere except the north-east quadrant: Grid must
+        // propose a center in that quadrant.
+        let lattice = Lattice::new(terrain(), 2.0);
+        let mut positions = Vec::new();
+        for j in 0..10 {
+            for i in 0..10 {
+                let p = Point::new(5.0 + i as f64 * 10.0, 5.0 + j as f64 * 10.0);
+                if !(p.x > 50.0 && p.y > 50.0) {
+                    positions.push(p);
+                }
+            }
+        }
+        let field = BeaconField::from_positions(terrain(), positions);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let g = GridPlacement::paper(terrain(), 15.0);
+        let p = g.propose(&view, &mut StdRng::seed_from_u64(0));
+        assert!(
+            p.x > 50.0 && p.y > 50.0,
+            "expected a NE-quadrant proposal, got {p}"
+        );
+    }
+
+    #[test]
+    fn cumulative_errors_agree_with_map() {
+        let lattice = Lattice::new(terrain(), 5.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let g = GridPlacement::new(terrain(), 15.0, 16);
+        let scores = g.cumulative_errors(&map);
+        assert_eq!(scores.len(), 16);
+        // Spot-check one grid against a manual sum.
+        let manual = map.cumulative_error_in(&g.grid_rect(2, 1));
+        assert_eq!(scores[6], manual);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_distinct() {
+        let lattice = Lattice::new(terrain(), 5.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let field = BeaconField::random_uniform(20, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let g = GridPlacement::paper(terrain(), 15.0);
+        let top = g.propose_top_k(&map, 5);
+        assert_eq!(top.len(), 5);
+        // Distinct centers.
+        for (a, b) in top.iter().zip(top.iter().skip(1)) {
+            assert!(a.distance(*b) > 1e-9);
+        }
+        // Scores non-increasing.
+        let score_of = |p: &Point| map.cumulative_error_in(&Rect::square_centered(*p, 30.0));
+        for w in top.windows(2) {
+            assert!(score_of(&w[0]) >= score_of(&w[1]) - 1e-9);
+        }
+        // k = 1 equals propose().
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        assert_eq!(
+            g.propose(&view, &mut StdRng::seed_from_u64(0)),
+            g.propose_top_k(&map, 1)[0]
+        );
+    }
+
+    #[test]
+    fn grid_improves_many_points_at_once() {
+        // The documented contrast with Max: on a field with one large
+        // uncovered region, placing at the Grid pick improves the mean
+        // error more than placing at the Max pick.
+        let lattice = Lattice::new(terrain(), 2.0);
+        let field = BeaconField::from_positions(
+            terrain(),
+            [
+                Point::new(20.0, 20.0),
+                Point::new(20.0, 50.0),
+                Point::new(20.0, 80.0),
+                Point::new(50.0, 20.0),
+                Point::new(80.0, 20.0),
+            ],
+        );
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let grid_pick = GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng);
+        let max_pick = crate::MaxPlacement::new().propose(&view, &mut rng);
+
+        let try_pick = |p: Point| {
+            let mut f = field.clone();
+            let id = f.add_beacon(p);
+            let mut m = map.clone();
+            m.add_beacon(f.get(id).unwrap(), &model);
+            map.mean_error() - m.mean_error()
+        };
+        let grid_gain = try_pick(grid_pick);
+        let max_gain = try_pick(max_pick);
+        assert!(
+            grid_gain >= max_gain,
+            "grid gain {grid_gain} < max gain {max_gain}"
+        );
+        assert!(grid_gain > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn rejects_non_square_grid_count() {
+        let _ = GridPlacement::new(terrain(), 15.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds terrain side")]
+    fn rejects_oversized_grids() {
+        let _ = GridPlacement::new(terrain(), 60.0, 4);
+    }
+}

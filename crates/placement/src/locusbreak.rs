@@ -1,0 +1,192 @@
+//! Locus-breaking placement (paper §6).
+//!
+//! "Knowledge of loci enables a new perspective on adaptive beacon
+//! placement, such as adding new beacons to break down the loci with the
+//! largest area into smaller loci. ... such algorithms are worth pursuing
+//! from a theoretical standpoint."
+//!
+//! A *locus* here is a localization region: a maximal set of points with
+//! identical beacon connectivity (all of which receive the same estimate).
+//! [`LocusBreakPlacement`] finds the largest region — measured by how many
+//! survey points fall in it — and proposes its centroid, splitting the
+//! region into several smaller ones.
+
+use crate::{PlacementAlgorithm, SurveyView};
+use abp_geom::Point;
+use abp_localize::regions::region_map;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Breaks the largest localization region with a new beacon.
+///
+/// The region structure is computed from the survey view's field and
+/// model (the same connectivity observations the exploring robot makes).
+/// Ties between equal-sized regions break toward the smaller region id
+/// (first appearance in the row-major sweep), making the algorithm
+/// deterministic.
+///
+/// Complexity: `O(Σ points-in-range)` for the region sweep plus `O(PT)`
+/// for the centroid — the same order as the Grid algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LocusBreakPlacement {}
+
+impl LocusBreakPlacement {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        LocusBreakPlacement {}
+    }
+}
+
+impl PlacementAlgorithm for LocusBreakPlacement {
+    fn name(&self) -> &'static str {
+        "locus-break"
+    }
+
+    fn propose(&self, view: &SurveyView<'_>, _rng: &mut dyn RngCore) -> Point {
+        let lattice = view.map.lattice();
+        let regions = region_map(lattice, view.field, view.model);
+        if regions.region_count == 0 {
+            return lattice.terrain().center();
+        }
+        // Count points per region.
+        let mut sizes = vec![0u32; regions.region_count];
+        for &r in &regions.region_of {
+            sizes[r as usize] += 1;
+        }
+        let mut largest = 0usize;
+        for (r, &s) in sizes.iter().enumerate() {
+            if s > sizes[largest] {
+                largest = r;
+            }
+        }
+        // Centroid of the largest region's lattice points.
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        let mut n = 0u32;
+        for (flat, &r) in regions.region_of.iter().enumerate() {
+            if r as usize == largest {
+                let p = lattice.point(lattice.unflat(flat));
+                sum_x += p.x;
+                sum_y += p.y;
+                n += 1;
+            }
+        }
+        debug_assert!(n > 0);
+        let c = Point::new(sum_x / n as f64, sum_y / n as f64);
+        // Region centroids can leave non-convex regions but never the
+        // terrain (lattice points span it); clamp defensively anyway.
+        lattice.terrain().bounds().clamp_point(c)
+    }
+}
+
+impl fmt::Display for LocusBreakPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("locus-break placement (split the largest localization region)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_field::BeaconField;
+    use abp_geom::{Lattice, Terrain};
+    use abp_localize::regions::count_regions;
+    use abp_localize::UnheardPolicy;
+    use abp_radio::IdealDisk;
+    use abp_survey::ErrorMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    fn make_view(
+        field: &BeaconField,
+        model: &IdealDisk,
+        lattice: &Lattice,
+    ) -> ErrorMap {
+        ErrorMap::survey(lattice, field, model, UnheardPolicy::TerrainCenter)
+    }
+
+    #[test]
+    fn empty_field_targets_the_unheard_region_centroid() {
+        let lattice = Lattice::new(terrain(), 10.0);
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let map = make_view(&field, &model, &lattice);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        // One giant region covering everything: centroid = terrain center.
+        let p = LocusBreakPlacement::new().propose(&view, &mut StdRng::seed_from_u64(0));
+        assert_eq!(p, Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn breaking_increases_region_count() {
+        let lattice = Lattice::new(terrain(), 5.0);
+        let mut field = BeaconField::from_positions(
+            terrain(),
+            [Point::new(20.0, 20.0), Point::new(30.0, 20.0)],
+        );
+        let model = IdealDisk::new(15.0);
+        let before_regions = count_regions(&lattice, &field, &model);
+        let map = make_view(&field, &model, &lattice);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let p = LocusBreakPlacement::new().propose(&view, &mut StdRng::seed_from_u64(0));
+        field.add_beacon(p);
+        let after_regions = count_regions(&lattice, &field, &model);
+        assert!(
+            after_regions > before_regions,
+            "placing in the largest region must split it ({before_regions} -> {after_regions})"
+        );
+    }
+
+    #[test]
+    fn targets_the_biggest_uncovered_area() {
+        // Beacons clustered in the SW corner: the dominant region is the
+        // uncovered remainder, whose centroid is pulled to the NE.
+        let lattice = Lattice::new(terrain(), 5.0);
+        let field = BeaconField::from_positions(
+            terrain(),
+            [Point::new(10.0, 10.0), Point::new(20.0, 10.0), Point::new(10.0, 20.0)],
+        );
+        let model = IdealDisk::new(15.0);
+        let map = make_view(&field, &model, &lattice);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let p = LocusBreakPlacement::new().propose(&view, &mut StdRng::seed_from_u64(0));
+        assert!(p.x > 40.0 && p.y > 40.0, "expected NE-ish pick, got {p}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let lattice = Lattice::new(terrain(), 5.0);
+        let field = BeaconField::random_uniform(
+            20,
+            terrain(),
+            &mut StdRng::seed_from_u64(11),
+        );
+        let model = IdealDisk::new(15.0);
+        let map = make_view(&field, &model, &lattice);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let a = LocusBreakPlacement::new().propose(&view, &mut StdRng::seed_from_u64(1));
+        let b = LocusBreakPlacement::new().propose(&view, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+    }
+}

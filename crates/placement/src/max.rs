@@ -1,0 +1,164 @@
+//! The Max placement algorithm (paper §3.2.2).
+
+use crate::{PlacementAlgorithm, SurveyView};
+use abp_geom::Point;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's Max algorithm:
+///
+/// 1. divide the terrain into `step × step` squares,
+/// 2. measure the localization error at every square corner
+///    (`PT = (Side/step + 1)²` points),
+/// 3. **add the new beacon at the point with the highest measured
+///    localization error.**
+///
+/// "This algorithm is predicated on the assumption that points with high
+/// localization error are spatially correlated... it may be overly
+/// influenced by propagation effects or random noise that may cause very
+/// high localization error at one point while the localization error at
+/// points very close to it remains low; i.e., it is sensitive to local
+/// maxima." Complexity `O(PT)`.
+///
+/// Steps 1–2 are the survey (`abp-survey`); this type implements Step 3.
+/// Ties break toward the first point in row-major order, making the
+/// algorithm fully deterministic. If every point is excluded from
+/// measurement (possible only under `UnheardPolicy::Exclude` with an
+/// unheard terrain) the algorithm falls back to the terrain center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MaxPlacement {}
+
+impl MaxPlacement {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        MaxPlacement {}
+    }
+}
+
+impl PlacementAlgorithm for MaxPlacement {
+    fn name(&self) -> &'static str {
+        "max"
+    }
+
+    fn propose(&self, view: &SurveyView<'_>, _rng: &mut dyn RngCore) -> Point {
+        match view.map.max_error_point() {
+            Some((ix, _)) => view.map.lattice().point(ix),
+            None => view.map.lattice().terrain().center(),
+        }
+    }
+}
+
+impl fmt::Display for MaxPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Max placement (highest measured error)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_field::BeaconField;
+    use abp_geom::{Lattice, Terrain};
+    use abp_localize::UnheardPolicy;
+    use abp_radio::IdealDisk;
+    use abp_survey::ErrorMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    #[test]
+    fn picks_the_worst_point() {
+        // One beacon at the origin, Origin unheard policy: the measured
+        // error grows with distance from (0,0), so Max picks the far
+        // corner.
+        let lattice = Lattice::new(terrain(), 10.0);
+        let field = BeaconField::from_positions(terrain(), [Point::new(0.0, 0.0)]);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::Origin);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let p = MaxPlacement::new().propose(&view, &mut StdRng::seed_from_u64(0));
+        assert_eq!(p, Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn proposal_is_a_lattice_point() {
+        let lattice = Lattice::new(terrain(), 7.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let field = BeaconField::random_uniform(30, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let p = MaxPlacement::new().propose(&view, &mut rng);
+        let snapped = lattice.point(lattice.nearest(p));
+        assert!(p.distance(snapped) < 1e-9, "{p} is not a lattice point");
+    }
+
+    #[test]
+    fn deterministic_regardless_of_rng() {
+        let lattice = Lattice::new(terrain(), 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let a = MaxPlacement::new().propose(&view, &mut StdRng::seed_from_u64(1));
+        let b = MaxPlacement::new().propose(&view, &mut StdRng::seed_from_u64(999));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_excluded_falls_back_to_center() {
+        let lattice = Lattice::new(terrain(), 10.0);
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::Exclude);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let p = MaxPlacement::new().propose(&view, &mut StdRng::seed_from_u64(0));
+        assert_eq!(p, Point::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn sensitive_to_single_loud_point() {
+        // The documented weakness: one isolated very-bad point attracts
+        // the beacon even if a broad region is moderately bad. Construct
+        // it directly: a far-away lone spot (worst error ~ distance to the
+        // policy estimate) vs a moderately-bad covered region.
+        let lattice = Lattice::new(terrain(), 10.0);
+        // Beacons cover everything except the far corner region.
+        let field = BeaconField::from_positions(
+            terrain(),
+            (0..9).map(|k| Point::new(10.0 + (k % 3) as f64 * 30.0, 10.0 + (k / 3) as f64 * 30.0)),
+        );
+        let model = IdealDisk::new(25.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::Origin);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let p = MaxPlacement::new().propose(&view, &mut StdRng::seed_from_u64(0));
+        // The pick chases the single worst measurement.
+        let (worst_ix, _) = map.max_error_point().unwrap();
+        assert_eq!(p, lattice.point(worst_ix));
+    }
+}

@@ -1,0 +1,146 @@
+//! The Random placement algorithm (paper §3.2.1).
+
+use crate::{PlacementAlgorithm, SurveyView};
+use abp_geom::{Point, Terrain};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's baseline: "the simplest algorithm, which pays no attention
+/// to the quality of localization at different areas of the region and
+/// simply selects a random point in the region as a candidate point for
+/// adding an additional beacon."
+///
+/// Investigated "primarily for comparison with the other algorithms, but
+/// also because it is similar in character to uncontrolled airdrop of
+/// additional nodes." Complexity `O(1)`.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Terrain;
+/// use abp_placement::RandomPlacement;
+///
+/// let algo = RandomPlacement::new(Terrain::square(100.0));
+/// assert_eq!(algo.terrain().side(), 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomPlacement {
+    terrain: Terrain,
+}
+
+impl RandomPlacement {
+    /// Creates the algorithm for a terrain.
+    pub fn new(terrain: Terrain) -> Self {
+        RandomPlacement { terrain }
+    }
+
+    /// The terrain candidates are drawn from.
+    #[inline]
+    pub fn terrain(&self) -> Terrain {
+        self.terrain
+    }
+}
+
+impl PlacementAlgorithm for RandomPlacement {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    /// Step 1: select a random point `(Xr, Yr)` in the terrain.
+    /// Step 2 (adding the beacon there) is the caller's.
+    fn propose(&self, _view: &SurveyView<'_>, rng: &mut dyn RngCore) -> Point {
+        self.terrain.point_at(rng.random::<f64>(), rng.random::<f64>())
+    }
+}
+
+impl fmt::Display for RandomPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Random placement over {}", self.terrain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_field::BeaconField;
+    use abp_geom::Lattice;
+    use abp_localize::UnheardPolicy;
+    use abp_radio::IdealDisk;
+    use abp_survey::ErrorMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn view_fixture(
+        terrain: Terrain,
+    ) -> (BeaconField, IdealDisk, ErrorMap) {
+        let lattice = Lattice::new(terrain, 10.0);
+        let field = BeaconField::new(terrain);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        (field, model, map)
+    }
+
+    #[test]
+    fn proposals_inside_terrain_and_spread() {
+        let terrain = Terrain::square(100.0);
+        let (field, model, map) = view_fixture(terrain);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let algo = RandomPlacement::new(terrain);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut q1 = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let p = algo.propose(&view, &mut rng);
+            assert!(terrain.contains(p));
+            if p.x < 50.0 && p.y < 50.0 {
+                q1 += 1;
+            }
+        }
+        assert!((400..600).contains(&q1), "quadrant share {q1}/{n}");
+    }
+
+    #[test]
+    fn seeded_rng_makes_it_reproducible() {
+        let terrain = Terrain::square(100.0);
+        let (field, model, map) = view_fixture(terrain);
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        let algo = RandomPlacement::new(terrain);
+        let a = algo.propose(&view, &mut StdRng::seed_from_u64(9));
+        let b = algo.propose(&view, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ignores_the_error_map() {
+        // Same RNG stream, wildly different maps: identical proposals.
+        let terrain = Terrain::square(100.0);
+        let lattice = Lattice::new(terrain, 10.0);
+        let model = IdealDisk::new(15.0);
+        let empty = BeaconField::new(terrain);
+        let dense = BeaconField::from_positions(
+            terrain,
+            (0..50).map(|k| Point::new((k % 10) as f64 * 10.0, (k / 10) as f64 * 20.0)),
+        );
+        let map1 = ErrorMap::survey(&lattice, &empty, &model, UnheardPolicy::TerrainCenter);
+        let map2 = ErrorMap::survey(&lattice, &dense, &model, UnheardPolicy::TerrainCenter);
+        let algo = RandomPlacement::new(terrain);
+        let p1 = algo.propose(
+            &SurveyView { map: &map1, field: &empty, model: &model },
+            &mut StdRng::seed_from_u64(4),
+        );
+        let p2 = algo.propose(
+            &SurveyView { map: &map2, field: &dense, model: &model },
+            &mut StdRng::seed_from_u64(4),
+        );
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,258 @@
+//! Beacon self-scheduling (paper §6).
+//!
+//! "An alternative approach, which we plan to explore is beacon based;
+//! wherein, a reasonably dense beacon deployment is assumed, and the
+//! beacon nodes themselves instrument the terrain conditions based on
+//! interactions with other (beacon) nodes, and decide whether to turn
+//! themselves on i.e., be active or be passive."
+//!
+//! [`self_schedule`] implements that idea in the spirit of AFECA (the
+//! paper's reference \[19\], which "exploits node deployment density ...
+//! scaling back node duty cycles when many interchangeable nodes are
+//! present"): each beacon counts the *active* beacons it can hear; where
+//! that count exceeds a redundancy target, beacons turn passive — greedily,
+//! most-redundant first, and only when doing so strands no neighbor below
+//! the target. The decision uses only beacon-to-beacon connectivity, i.e.
+//! information the beacons gather themselves, with no terrain survey.
+
+use abp_field::{BeaconField, BeaconId};
+use abp_radio::Propagation;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The outcome of a self-scheduling round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Beacons that stay active, in insertion order.
+    pub active: Vec<BeaconId>,
+    /// Beacons that turned passive, in deactivation order.
+    pub passive: Vec<BeaconId>,
+}
+
+impl Schedule {
+    /// Fraction of beacons still active (1.0 for an empty field).
+    pub fn duty_cycle(&self) -> f64 {
+        let total = self.active.len() + self.passive.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.active.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Computes which beacons stay active so every remaining active beacon
+/// hears at most `target_neighbors` other active beacons — unless turning
+/// one off would strand a neighbor below `min_neighbors`.
+///
+/// Deterministic: candidates are processed most-redundant first, ties by
+/// id. Beacons hearing `<= target_neighbors` active peers never turn off,
+/// so sparse deployments are left untouched.
+///
+/// # Panics
+///
+/// Panics if `min_neighbors > target_neighbors`.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Point, Terrain};
+/// use abp_placement::selfsched::self_schedule;
+/// use abp_radio::IdealDisk;
+///
+/// // A dense clump: redundancy gets pruned.
+/// let field = BeaconField::from_positions(
+///     Terrain::square(100.0),
+///     (0..9).map(|k| Point::new(50.0 + (k % 3) as f64, 50.0 + (k / 3) as f64)),
+/// );
+/// let schedule = self_schedule(&field, &IdealDisk::new(15.0), 3, 1);
+/// assert!(schedule.duty_cycle() < 1.0);
+/// assert!(!schedule.active.is_empty());
+/// ```
+pub fn self_schedule(
+    field: &BeaconField,
+    model: &dyn Propagation,
+    target_neighbors: usize,
+    min_neighbors: usize,
+) -> Schedule {
+    assert!(
+        min_neighbors <= target_neighbors,
+        "min_neighbors {min_neighbors} exceeds target_neighbors {target_neighbors}"
+    );
+    let beacons = field.beacons();
+    let n = beacons.len();
+    // Symmetric audibility graph: j hears i iff i's transmission reaches j.
+    // (With per-beacon noise this is asymmetric; treat "i or j hears the
+    // other" as adjacency, the conservative choice for coverage.)
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let ij = model.connected(beacons[i].tx(), beacons[i].pos(), beacons[j].pos());
+            let ji = model.connected(beacons[j].tx(), beacons[j].pos(), beacons[i].pos());
+            if ij || ji {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut passive = Vec::new();
+    loop {
+        // Most redundant active beacon that is safely removable.
+        let candidate = (0..n)
+            .filter(|&i| active[i] && degree[i] > target_neighbors)
+            .filter(|&i| adj[i].iter().all(|&nb| !active[nb] || degree[nb] > min_neighbors))
+            .max_by_key(|&i| (degree[i], std::cmp::Reverse(beacons[i].id())));
+        let Some(i) = candidate else { break };
+        active[i] = false;
+        passive.push(beacons[i].id());
+        for &nb in &adj[i] {
+            degree[nb] -= 1;
+        }
+    }
+    Schedule {
+        active: (0..n)
+            .filter(|&i| active[i])
+            .map(|i| beacons[i].id())
+            .collect(),
+        passive,
+    }
+}
+
+/// The field restricted to a schedule's active beacons (positions and ids
+/// preserved).
+pub fn active_field(field: &BeaconField, schedule: &Schedule) -> BeaconField {
+    let keep: HashSet<BeaconId> = schedule.active.iter().copied().collect();
+    let mut out = BeaconField::new(field.terrain());
+    for b in field {
+        if keep.contains(&b.id()) {
+            // Re-adding renumbers ids; keep positions, which is what
+            // localization consumes. Propagation personalities change,
+            // which is fine: a fresh schedule is a fresh deployment.
+            out.add_beacon(b.pos());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::{Lattice, Point, Terrain};
+    use abp_localize::UnheardPolicy;
+    use abp_radio::IdealDisk;
+    use abp_survey::ErrorMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    #[test]
+    fn sparse_fields_untouched() {
+        // Beacons farther than 2R apart never hear each other: all active.
+        let field = BeaconField::from_positions(
+            terrain(),
+            [Point::new(10.0, 10.0), Point::new(90.0, 90.0), Point::new(10.0, 90.0)],
+        );
+        let s = self_schedule(&field, &IdealDisk::new(15.0), 2, 1);
+        assert_eq!(s.active.len(), 3);
+        assert!(s.passive.is_empty());
+        assert_eq!(s.duty_cycle(), 1.0);
+    }
+
+    #[test]
+    fn dense_clump_gets_pruned() {
+        let field = BeaconField::from_positions(
+            terrain(),
+            (0..16).map(|k| Point::new(48.0 + (k % 4) as f64, 48.0 + (k / 4) as f64)),
+        );
+        let s = self_schedule(&field, &IdealDisk::new(15.0), 3, 1);
+        assert!(s.passive.len() >= 8, "only pruned {}", s.passive.len());
+        assert!(!s.active.is_empty());
+        assert_eq!(s.active.len() + s.passive.len(), 16);
+    }
+
+    #[test]
+    fn remaining_actives_keep_min_neighbors() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let field = BeaconField::random_uniform(120, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let min = 2;
+        let s = self_schedule(&field, &model, 4, min);
+        let active: HashSet<BeaconId> = s.active.iter().copied().collect();
+        for b in &field {
+            if !active.contains(&b.id()) {
+                continue;
+            }
+            let had_neighbors = field
+                .iter()
+                .filter(|o| o.id() != b.id())
+                .filter(|o| model.connected(b.tx(), b.pos(), o.pos()))
+                .count();
+            if had_neighbors >= min {
+                let still = field
+                    .iter()
+                    .filter(|o| o.id() != b.id() && active.contains(&o.id()))
+                    .filter(|o| model.connected(b.tx(), b.pos(), o.pos()))
+                    .count();
+                assert!(
+                    still >= min,
+                    "{} dropped to {still} active neighbors",
+                    b.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn localization_survives_pruning() {
+        // Self-scheduling a saturated field must not blow up the error:
+        // the paper's premise is that redundant beacons add little.
+        let mut rng = StdRng::seed_from_u64(9);
+        let field = BeaconField::random_uniform(200, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let lattice = Lattice::new(terrain(), 5.0);
+        let before =
+            ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter).mean_error();
+        let s = self_schedule(&field, &model, 6, 3);
+        assert!(s.duty_cycle() < 0.9, "expected real pruning, got {}", s.duty_cycle());
+        let pruned = active_field(&field, &s);
+        let after =
+            ErrorMap::survey(&lattice, &pruned, &model, UnheardPolicy::TerrainCenter).mean_error();
+        // Error may rise, but not catastrophically (stay within 2x).
+        assert!(
+            after <= before * 2.0 + 1.0,
+            "pruning destroyed localization: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn deterministic_schedule() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let field = BeaconField::random_uniform(80, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let a = self_schedule(&field, &model, 4, 2);
+        let b = self_schedule(&field, &model, 4, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_field_trivial_schedule() {
+        let field = BeaconField::new(terrain());
+        let s = self_schedule(&field, &IdealDisk::new(15.0), 3, 1);
+        assert!(s.active.is_empty());
+        assert!(s.passive.is_empty());
+        assert_eq!(s.duty_cycle(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target_neighbors")]
+    fn rejects_inverted_thresholds() {
+        let field = BeaconField::new(terrain());
+        let _ = self_schedule(&field, &IdealDisk::new(15.0), 1, 2);
+    }
+}

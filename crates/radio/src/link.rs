@@ -1,0 +1,295 @@
+//! Packet-level connectivity (§2.2).
+//!
+//! The paper's localization procedure is defined operationally: "Beacons
+//! ... transmit periodically with a time period `T`. Clients listen for a
+//! period `t >> T` ... If the percentage of messages received from a beacon
+//! in a time interval `t` exceeds a threshold `CMthresh`, that beacon is
+//! considered connected." The rest of the paper then reasons with the
+//! geometric predicate this procedure induces. [`MessageLink`] implements
+//! the operational version so the reduction can be validated: with
+//! loss-free in-range reception the sampled connectivity equals the
+//! geometric one.
+
+use crate::{Propagation, TxId};
+use abp_geom::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of one listening window: how many beacon messages were sent and
+/// how many were received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkObservation {
+    /// Messages the beacon transmitted during the window (`t / T`).
+    pub sent: u32,
+    /// Messages the client received.
+    pub received: u32,
+}
+
+impl LinkObservation {
+    /// Fraction of messages received, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.received as f64 / self.sent as f64
+        }
+    }
+}
+
+impl fmt::Display for LinkObservation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} messages", self.received, self.sent)
+    }
+}
+
+/// The periodic-beaconing link procedure of §2.2.
+///
+/// A beacon transmits every `period` seconds; a client listens for
+/// `listen` seconds (so observes `floor(listen / period)` messages) and
+/// declares the beacon connected when the received fraction strictly
+/// exceeds... — the paper says "exceeds a threshold `CMthresh`", which we
+/// implement as `fraction >= cmthresh` so that `cmthresh = 1.0` (receive
+/// everything) remains satisfiable.
+///
+/// Reception: a message is received iff the propagation model connects the
+/// pair at transmission time *and* an independent per-message loss coin
+/// (probability `loss`) comes up clear — modelling collisions and fading
+/// bursts on top of the geometric model.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// use abp_radio::{IdealDisk, MessageLink, TxId};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let link = MessageLink::new(1.0, 20.0, 0.9, 0.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let obs = link.observe(&IdealDisk::new(10.0), TxId(0),
+///                        Point::new(0.0, 0.0), Point::new(5.0, 0.0), &mut rng);
+/// assert_eq!(obs.sent, 20);
+/// assert_eq!(obs.received, 20); // in range, loss-free
+/// assert!(link.is_connected(obs));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageLink {
+    period: f64,
+    listen: f64,
+    cmthresh: f64,
+    loss: f64,
+}
+
+impl MessageLink {
+    /// Creates the link procedure.
+    ///
+    /// * `period` — beacon transmission period `T` (seconds),
+    /// * `listen` — client listening window `t`; must be at least `2·T`
+    ///   (the paper requires `t >> T`),
+    /// * `cmthresh` — connection threshold on the received fraction, in
+    ///   `(0, 1]`,
+    /// * `loss` — independent per-message loss probability in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is out of range.
+    pub fn new(period: f64, listen: f64, cmthresh: f64, loss: f64) -> Self {
+        assert!(
+            period.is_finite() && period > 0.0,
+            "period must be positive, got {period}"
+        );
+        assert!(
+            listen.is_finite() && listen >= 2.0 * period,
+            "listen window {listen} must be at least 2x the period {period}"
+        );
+        assert!(
+            cmthresh > 0.0 && cmthresh <= 1.0,
+            "CMthresh must be in (0, 1], got {cmthresh}"
+        );
+        assert!(
+            (0.0..1.0).contains(&loss),
+            "loss probability must be in [0, 1), got {loss}"
+        );
+        MessageLink {
+            period,
+            listen,
+            cmthresh,
+            loss,
+        }
+    }
+
+    /// Beacon transmission period `T`.
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Listening window `t`.
+    #[inline]
+    pub fn listen(&self) -> f64 {
+        self.listen
+    }
+
+    /// The connection threshold `CMthresh`.
+    #[inline]
+    pub fn cmthresh(&self) -> f64 {
+        self.cmthresh
+    }
+
+    /// Number of messages observed per window, `floor(t / T)`.
+    #[inline]
+    pub fn messages_per_window(&self) -> u32 {
+        (self.listen / self.period) as u32
+    }
+
+    /// Simulates one listening window for beacon `tx` at `tx_pos` heard
+    /// from `rx`, under propagation `model`.
+    pub fn observe<M: Propagation + ?Sized, R: Rng + ?Sized>(
+        &self,
+        model: &M,
+        tx: TxId,
+        tx_pos: Point,
+        rx: Point,
+        rng: &mut R,
+    ) -> LinkObservation {
+        let sent = self.messages_per_window();
+        if !model.connected(tx, tx_pos, rx) {
+            return LinkObservation { sent, received: 0 };
+        }
+        let received = if self.loss == 0.0 {
+            sent
+        } else {
+            (0..sent)
+                .filter(|_| rng.random::<f64>() >= self.loss)
+                .count() as u32
+        };
+        LinkObservation { sent, received }
+    }
+
+    /// Applies the `CMthresh` rule to an observation.
+    #[inline]
+    pub fn is_connected(&self, obs: LinkObservation) -> bool {
+        obs.fraction() >= self.cmthresh
+    }
+
+    /// Convenience: observe and threshold in one call.
+    pub fn connected<M: Propagation + ?Sized, R: Rng + ?Sized>(
+        &self,
+        model: &M,
+        tx: TxId,
+        tx_pos: Point,
+        rx: Point,
+        rng: &mut R,
+    ) -> bool {
+        self.is_connected(self.observe(model, tx, tx_pos, rx, rng))
+    }
+}
+
+impl fmt::Display for MessageLink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "link(T = {} s, t = {} s, CMthresh = {}, loss = {})",
+            self.period, self.listen, self.cmthresh, self.loss
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdealDisk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn lossfree_link_equals_geometric_predicate() {
+        let link = MessageLink::new(1.0, 10.0, 0.8, 0.0);
+        let model = IdealDisk::new(10.0);
+        let mut r = rng();
+        for k in 0..300 {
+            let rx = Point::new(k as f64 * 0.05, 0.0);
+            let geometric = model.connected(TxId(0), Point::ORIGIN, rx);
+            let sampled = link.connected(&model, TxId(0), Point::ORIGIN, rx, &mut r);
+            assert_eq!(sampled, geometric, "rx {rx}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_receives_nothing() {
+        let link = MessageLink::new(1.0, 10.0, 0.5, 0.3);
+        let obs = link.observe(
+            &IdealDisk::new(5.0),
+            TxId(0),
+            Point::ORIGIN,
+            Point::new(50.0, 0.0),
+            &mut rng(),
+        );
+        assert_eq!(obs.received, 0);
+        assert_eq!(obs.sent, 10);
+        assert!(!link.is_connected(obs));
+    }
+
+    #[test]
+    fn loss_thins_reception_to_expected_rate() {
+        let link = MessageLink::new(1.0, 1000.0, 0.5, 0.25);
+        let obs = link.observe(
+            &IdealDisk::new(10.0),
+            TxId(0),
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            &mut rng(),
+        );
+        assert_eq!(obs.sent, 1000);
+        let frac = obs.fraction();
+        assert!((frac - 0.75).abs() < 0.05, "fraction {frac}");
+        assert!(link.is_connected(obs));
+    }
+
+    #[test]
+    fn threshold_rejects_marginal_links() {
+        // 25% loss, 90% threshold: in-range links should usually fail.
+        let link = MessageLink::new(1.0, 100.0, 0.9, 0.25);
+        let mut r = rng();
+        let connected = (0..100)
+            .filter(|_| {
+                link.connected(
+                    &IdealDisk::new(10.0),
+                    TxId(0),
+                    Point::ORIGIN,
+                    Point::new(1.0, 0.0),
+                    &mut r,
+                )
+            })
+            .count();
+        assert!(connected < 10, "only {connected} should sneak past 90%");
+    }
+
+    #[test]
+    fn messages_per_window_floor() {
+        assert_eq!(MessageLink::new(1.0, 10.0, 0.5, 0.0).messages_per_window(), 10);
+        assert_eq!(MessageLink::new(3.0, 10.0, 0.5, 0.0).messages_per_window(), 3);
+    }
+
+    #[test]
+    fn observation_fraction_edge_cases() {
+        assert_eq!(LinkObservation { sent: 0, received: 0 }.fraction(), 0.0);
+        assert_eq!(LinkObservation { sent: 4, received: 2 }.fraction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x")]
+    fn rejects_short_listen_window() {
+        let _ = MessageLink::new(5.0, 8.0, 0.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CMthresh")]
+    fn rejects_zero_threshold() {
+        let _ = MessageLink::new(1.0, 10.0, 0.0, 0.0);
+    }
+}

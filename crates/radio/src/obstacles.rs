@@ -1,0 +1,232 @@
+//! Line-segment obstacles (terrain features).
+//!
+//! The paper motivates adaptive placement with *terrain commonality*:
+//! "uneven terrains and obstacles bring in an additional dimension of
+//! uncertainty" (§1), and its future work plans "a more sophisticated
+//! terrain map" (§6). [`Obstructed`] wraps any base propagation model with
+//! a set of [`Wall`]s; each wall crossed by the line of sight shortens the
+//! link's effective range by a multiplicative attenuation factor, creating
+//! *spatially correlated* (not merely random) coverage holes that the
+//! placement algorithms must adapt to.
+
+use crate::{Propagation, TxId};
+use abp_geom::{segments_intersect, Point, Segment};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A radio-opaque(ish) wall: a line segment with an attenuation factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// The wall's geometry.
+    pub segment: Segment,
+    /// Multiplicative range attenuation per crossing, in `(0, 1]`.
+    ///
+    /// `1.0` is transparent; `0.5` halves the effective range; values near
+    /// `0` are effectively radio-opaque.
+    pub attenuation: f64,
+}
+
+impl Wall {
+    /// Creates a wall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attenuation` is not in `(0, 1]` or the endpoints
+    /// coincide.
+    pub fn new(a: Point, b: Point, attenuation: f64) -> Self {
+        assert!(
+            attenuation > 0.0 && attenuation <= 1.0,
+            "wall attenuation must be in (0, 1], got {attenuation}"
+        );
+        Wall {
+            segment: Segment::new(a, b),
+            attenuation,
+        }
+    }
+
+    /// Returns `true` if the segment `p..q` crosses this wall.
+    ///
+    /// Touching an endpoint exactly counts as a crossing (conservative).
+    pub fn blocks(&self, p: Point, q: Point) -> bool {
+        segments_intersect(p, q, self.segment.a, self.segment.b)
+    }
+}
+
+impl fmt::Display for Wall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wall {} (x{})", self.segment, self.attenuation)
+    }
+}
+
+/// A base propagation model attenuated by walls.
+///
+/// A link from `tx_pos` to `rx` that crosses `k` walls with attenuations
+/// `a_1..a_k` is connected iff the base model would connect a receiver at
+/// distance `d / (a_1 · … · a_k)` — i.e. the obstruction inflates the
+/// apparent distance.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// use abp_radio::{IdealDisk, Obstructed, Propagation, TxId, Wall};
+///
+/// let wall = Wall::new(Point::new(5.0, -10.0), Point::new(5.0, 10.0), 0.5);
+/// let m = Obstructed::new(IdealDisk::new(10.0), vec![wall]);
+/// // 8 m away but through the wall: apparent distance 16 m > 10 m.
+/// assert!(!m.connected(TxId(0), Point::new(0.0, 0.0), Point::new(8.0, 0.0)));
+/// // Same distance, no wall in between:
+/// assert!(m.connected(TxId(0), Point::new(0.0, 0.0), Point::new(0.0, 8.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Obstructed<M> {
+    base: M,
+    walls: Vec<Wall>,
+}
+
+impl<M: Propagation> Obstructed<M> {
+    /// Wraps `base` with a set of walls.
+    pub fn new(base: M, walls: Vec<Wall>) -> Self {
+        Obstructed { base, walls }
+    }
+
+    /// The wrapped model.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+
+    /// The walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Combined attenuation of all walls crossed by the segment `p..q`.
+    pub fn attenuation_along(&self, p: Point, q: Point) -> f64 {
+        self.walls
+            .iter()
+            .filter(|w| w.blocks(p, q))
+            .map(|w| w.attenuation)
+            .product()
+    }
+}
+
+impl<M: Propagation> Propagation for Obstructed<M> {
+    fn connected(&self, tx: TxId, tx_pos: Point, rx: Point) -> bool {
+        let att = self.attenuation_along(tx_pos, rx);
+        if att >= 1.0 {
+            return self.base.connected(tx, tx_pos, rx);
+        }
+        // Inflate apparent distance: place a virtual receiver along the
+        // same ray at d/att and ask the base model.
+        let d = tx_pos.distance(rx);
+        if d == 0.0 {
+            return self.base.connected(tx, tx_pos, rx);
+        }
+        let virtual_rx = tx_pos + (rx - tx_pos) * (1.0 / att);
+        self.base.connected(tx, tx_pos, virtual_rx)
+    }
+
+    fn max_range(&self, tx: TxId, tx_pos: Point) -> f64 {
+        // Walls only ever shorten links.
+        self.base.max_range(tx, tx_pos)
+    }
+
+    fn nominal_range(&self) -> f64 {
+        self.base.nominal_range()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdealDisk;
+
+    fn vertical_wall(x: f64, att: f64) -> Wall {
+        Wall::new(Point::new(x, -100.0), Point::new(x, 100.0), att)
+    }
+
+    #[test]
+    fn segment_intersection_basics() {
+        assert!(segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+            Point::new(2.0, 0.0)
+        ));
+        assert!(!segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0)
+        ));
+        // Touching endpoint counts.
+        assert!(segments_intersect(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn wall_blocks_crossing_links() {
+        let w = vertical_wall(5.0, 0.5);
+        assert!(w.blocks(Point::new(0.0, 0.0), Point::new(10.0, 0.0)));
+        assert!(!w.blocks(Point::new(0.0, 0.0), Point::new(4.0, 0.0)));
+    }
+
+    #[test]
+    fn attenuation_compounds_across_walls() {
+        let m = Obstructed::new(
+            IdealDisk::new(10.0),
+            vec![vertical_wall(2.0, 0.5), vertical_wall(4.0, 0.5)],
+        );
+        assert_eq!(
+            m.attenuation_along(Point::new(0.0, 0.0), Point::new(6.0, 0.0)),
+            0.25
+        );
+        // 3 m away through both walls: apparent 12 m > 10 m.
+        assert!(!m.connected(TxId(0), Point::new(0.0, 0.0), Point::new(6.0, 0.0)));
+        // 2.4 m apparent distance 9.6 <= 10: connected.
+        assert!(m.connected(TxId(0), Point::new(0.0, 0.0), Point::new(2.4, 0.0)));
+    }
+
+    #[test]
+    fn transparent_world_matches_base() {
+        let base = IdealDisk::new(12.0);
+        let m = Obstructed::new(base, vec![]);
+        for k in 0..100 {
+            let rx = Point::new(k as f64 * 0.3, (k % 7) as f64);
+            assert_eq!(
+                m.connected(TxId(0), Point::ORIGIN, rx),
+                base.connected(TxId(0), Point::ORIGIN, rx)
+            );
+        }
+    }
+
+    #[test]
+    fn max_range_still_bounds() {
+        let m = Obstructed::new(IdealDisk::new(10.0), vec![vertical_wall(1.0, 0.1)]);
+        assert_eq!(m.max_range(TxId(0), Point::ORIGIN), 10.0);
+        // Everything beyond base range must be disconnected, wall or not.
+        assert!(!m.connected(TxId(0), Point::ORIGIN, Point::new(10.5, 0.0)));
+    }
+
+    #[test]
+    fn coincident_points_connected() {
+        let m = Obstructed::new(IdealDisk::new(10.0), vec![vertical_wall(1.0, 0.5)]);
+        assert!(m.connected(TxId(0), Point::new(3.0, 3.0), Point::new(3.0, 3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "wall attenuation")]
+    fn rejects_zero_attenuation() {
+        let _ = Wall::new(Point::ORIGIN, Point::new(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn rejects_degenerate_wall() {
+        let _ = Wall::new(Point::ORIGIN, Point::ORIGIN, 0.5);
+    }
+}

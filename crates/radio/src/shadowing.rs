@@ -1,0 +1,264 @@
+//! Log-distance path loss with deterministic log-normal shadowing.
+//!
+//! The paper's future work (§6) calls for "a more sophisticated terrain map
+//! and propagation model". This module provides the textbook log-distance /
+//! log-normal shadowing model (Rappaport, *Wireless Communications*, the
+//! paper's reference \[15\]): received power falls off as
+//! `10·n·log10(d/d0)` dB plus a Gaussian shadowing term `X_sigma` that we
+//! realize deterministically per (beacon, point) so the field remains
+//! static in time.
+
+use crate::{Propagation, TxId};
+use abp_geom::{DeterministicField, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How many shadowing standard deviations bound the effective range.
+///
+/// `max_range` must upper-bound connectivity; we clamp the shadowing draw
+/// to ±4σ (P(|X| > 4σ) < 7e-5 for a true Gaussian; our draw is exactly
+/// clamped) so the bound is hard.
+const SIGMA_CLAMP: f64 = 4.0;
+
+/// Log-distance path-loss model with deterministic log-normal shadowing.
+///
+/// A receiver at distance `d` from beacon `B` hears it iff
+///
+/// ```text
+/// PL(d) = 10 · n · log10(d / d0) + X_sigma(B, P)   <=   budget_db
+/// ```
+///
+/// where `n` is the path-loss exponent, `X_sigma` is a zero-mean Gaussian
+/// with standard deviation `sigma_db` (clamped to ±4σ), and `budget_db` is
+/// the link budget beyond the reference distance `d0`. The *nominal range*
+/// `R` is the shadowing-free solution `R = d0 · 10^(budget/(10 n))`; the
+/// constructor takes `R` directly and derives the budget, so the model
+/// drops in wherever [`IdealDisk`](crate::IdealDisk) is used.
+///
+/// With `sigma_db = 0` the model is exactly an ideal disk of radius `R`.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// use abp_radio::{LogDistance, Propagation, TxId};
+///
+/// let m = LogDistance::new(15.0, 3.0, 4.0, 1.0, 99);
+/// // Deep inside the clamp-guaranteed core, always connected:
+/// assert!(m.connected(TxId(0), Point::ORIGIN, Point::new(1.0, 0.0)));
+/// // Far beyond the +4-sigma reach, never connected:
+/// assert!(!m.connected(TxId(0), Point::ORIGIN, Point::new(300.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogDistance {
+    nominal: f64,
+    exponent: f64,
+    sigma_db: f64,
+    d0: f64,
+    budget_db: f64,
+    field: DeterministicField,
+}
+
+impl LogDistance {
+    /// Creates the model.
+    ///
+    /// * `nominal` — the shadowing-free range `R`,
+    /// * `exponent` — path-loss exponent `n` (2 free space, 2.7–5 urban),
+    /// * `sigma_db` — shadowing standard deviation in dB (0 disables),
+    /// * `d0` — reference distance (must be `< nominal`),
+    /// * `seed` — realizes the shadowing field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not finite, `nominal <= d0`, `d0 <= 0`,
+    /// `exponent <= 0`, or `sigma_db < 0`.
+    pub fn new(nominal: f64, exponent: f64, sigma_db: f64, d0: f64, seed: u64) -> Self {
+        assert!(
+            d0.is_finite() && d0 > 0.0,
+            "reference distance must be positive, got {d0}"
+        );
+        assert!(
+            nominal.is_finite() && nominal > d0,
+            "nominal range must exceed the reference distance d0 = {d0}, got {nominal}"
+        );
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "path-loss exponent must be positive, got {exponent}"
+        );
+        assert!(
+            sigma_db.is_finite() && sigma_db >= 0.0,
+            "shadowing sigma must be non-negative, got {sigma_db}"
+        );
+        let budget_db = 10.0 * exponent * (nominal / d0).log10();
+        LogDistance {
+            nominal,
+            exponent,
+            sigma_db,
+            d0,
+            budget_db,
+            field: DeterministicField::new(seed),
+        }
+    }
+
+    /// The shadowing-free range `R`.
+    #[inline]
+    pub fn nominal(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Path-loss exponent `n`.
+    #[inline]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Shadowing standard deviation in dB.
+    #[inline]
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// The deterministic shadowing draw for `(tx, rx)`, in dB, clamped to
+    /// ±4σ.
+    pub fn shadowing_db(&self, tx: TxId, rx: Point) -> f64 {
+        if self.sigma_db == 0.0 {
+            return 0.0;
+        }
+        // Two independent uniforms -> one standard normal via Box-Muller.
+        let u1 = self.field.unit(tx.0 ^ 0xA5A5_A5A5, rx).max(1e-12);
+        let u2 = self.field.unit(tx.0 ^ 0x5A5A_5A5A, rx);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (z * self.sigma_db).clamp(-SIGMA_CLAMP * self.sigma_db, SIGMA_CLAMP * self.sigma_db)
+    }
+
+    /// Path loss in dB at distance `d` (excluding shadowing).
+    ///
+    /// Distances below `d0` are treated as `d0` (free-space near field).
+    #[inline]
+    pub fn path_loss_db(&self, d: f64) -> f64 {
+        10.0 * self.exponent * (d.max(self.d0) / self.d0).log10()
+    }
+}
+
+impl Propagation for LogDistance {
+    fn connected(&self, tx: TxId, tx_pos: Point, rx: Point) -> bool {
+        let d = tx_pos.distance(rx);
+        self.path_loss_db(d) + self.shadowing_db(tx, rx) <= self.budget_db
+    }
+
+    fn max_range(&self, _tx: TxId, _tx_pos: Point) -> f64 {
+        // Worst case: shadowing at its clamp favoring reception (-4σ),
+        // i.e. budget effectively enlarged by 4σ.
+        self.d0
+            * 10f64.powf((self.budget_db + SIGMA_CLAMP * self.sigma_db) / (10.0 * self.exponent))
+    }
+
+    #[inline]
+    fn nominal_range(&self) -> f64 {
+        self.nominal
+    }
+}
+
+impl fmt::Display for LogDistance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "log-distance (R = {} m, n = {}, sigma = {} dB)",
+            self.nominal, self.exponent, self.sigma_db
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_ideal_disk() {
+        let m = LogDistance::new(15.0, 3.0, 0.0, 1.0, 5);
+        let b = Point::new(20.0, 20.0);
+        for k in 0..400 {
+            let rx = Point::new((k % 20) as f64 * 2.0, (k / 20) as f64 * 2.0);
+            let ideal = b.distance(rx) <= 15.0 + 1e-9;
+            assert_eq!(m.connected(TxId(2), b, rx), ideal, "rx {rx}");
+        }
+        assert!((m.max_range(TxId(2), b) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance() {
+        let m = LogDistance::new(15.0, 3.0, 4.0, 1.0, 5);
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..100 {
+            let pl = m.path_loss_db(k as f64 * 0.5);
+            assert!(pl >= prev);
+            prev = pl;
+        }
+    }
+
+    #[test]
+    fn near_field_clamped_to_d0() {
+        let m = LogDistance::new(15.0, 3.0, 0.0, 1.0, 5);
+        assert_eq!(m.path_loss_db(0.0), 0.0);
+        assert_eq!(m.path_loss_db(0.5), 0.0);
+    }
+
+    #[test]
+    fn max_range_bounds_connectivity() {
+        let m = LogDistance::new(15.0, 3.0, 6.0, 1.0, 17);
+        let b = Point::ORIGIN;
+        let bound = m.max_range(TxId(9), b);
+        // Sample many angles right beyond the bound: never connected.
+        for k in 0..1000 {
+            let theta = std::f64::consts::TAU * k as f64 / 1000.0;
+            let rx = Point::new(
+                (bound + 0.01) * theta.cos(),
+                (bound + 0.01) * theta.sin(),
+            );
+            assert!(!m.connected(TxId(9), b, rx));
+        }
+    }
+
+    #[test]
+    fn shadowing_deterministic_and_bounded() {
+        let m = LogDistance::new(15.0, 3.0, 4.0, 1.0, 7);
+        let rx = Point::new(10.0, 3.0);
+        let s1 = m.shadowing_db(TxId(4), rx);
+        let s2 = m.shadowing_db(TxId(4), rx);
+        assert_eq!(s1, s2);
+        assert!(s1.abs() <= 16.0 + 1e-9); // 4 sigma
+    }
+
+    #[test]
+    fn shadowing_roughly_zero_mean() {
+        let m = LogDistance::new(15.0, 3.0, 4.0, 1.0, 23);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|k| m.shadowing_db(TxId(1), Point::new((k % 100) as f64, (k / 100) as f64)))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn shadowing_makes_coverage_irregular() {
+        let m = LogDistance::new(15.0, 3.0, 6.0, 1.0, 31);
+        let b = Point::ORIGIN;
+        // At exactly the nominal range the coverage boundary should be
+        // mixed: some angles connected, some not.
+        let n = 2000;
+        let connected = (0..n)
+            .filter(|k| {
+                let theta = std::f64::consts::TAU * *k as f64 / n as f64;
+                m.connected(TxId(0), b, Point::new(15.0 * theta.cos(), 15.0 * theta.sin()))
+            })
+            .count();
+        assert!(connected > n / 10 && connected < n * 9 / 10, "{connected}/{n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal range must exceed")]
+    fn rejects_nominal_below_d0() {
+        let _ = LogDistance::new(0.5, 3.0, 4.0, 1.0, 0);
+    }
+}

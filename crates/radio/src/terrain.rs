@@ -1,0 +1,379 @@
+//! Elevation-based propagation (paper §6: "a more sophisticated terrain
+//! map").
+//!
+//! The paper motivates adaptation with terrain effects — hilltops that
+//! scatter air-dropped beacons, ridges that shadow radios — and plans
+//! simulations with "a more sophisticated terrain map and propagation
+//! model". This module provides that map: a [`HeightField`] of elevations
+//! with bilinear interpolation, and [`TerrainShadowed`], a wrapper that
+//! blocks any base model's links whose line of sight (antenna to antenna)
+//! dips below the interpolated ground.
+
+use crate::{Propagation, TxId};
+use abp_geom::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A square grid of ground elevations with bilinear interpolation.
+///
+/// Cell `(i, j)` holds the elevation at `(i·cell, j·cell)`; queries
+/// between grid nodes interpolate, and queries outside the grid clamp to
+/// the boundary (the terrain continues flat beyond the mapped area).
+///
+/// # Example
+///
+/// ```
+/// use abp_radio::terrain::HeightField;
+///
+/// // A 3x3 map with a 10 m knoll in the middle, 50 m cells.
+/// let hf = HeightField::from_rows(50.0, &[
+///     vec![0.0, 0.0, 0.0],
+///     vec![0.0, 10.0, 0.0],
+///     vec![0.0, 0.0, 0.0],
+/// ]);
+/// assert_eq!(hf.elevation(abp_geom::Point::new(50.0, 50.0)), 10.0);
+/// assert_eq!(hf.elevation(abp_geom::Point::new(0.0, 0.0)), 0.0);
+/// // Halfway up the slope:
+/// assert_eq!(hf.elevation(abp_geom::Point::new(50.0, 25.0)), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeightField {
+    cell: f64,
+    per_side: usize,
+    heights: Vec<f64>, // row-major, heights[j * per_side + i]
+}
+
+impl HeightField {
+    /// Builds a height field from row-major elevation rows (row 0 = south,
+    /// `y = 0`), with grid spacing `cell` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not finite/positive, the rows are empty or
+    /// ragged, fewer than 2×2 nodes are given, or any elevation is not
+    /// finite.
+    pub fn from_rows(cell: f64, rows: &[Vec<f64>]) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell size must be finite and positive, got {cell}"
+        );
+        assert!(rows.len() >= 2, "need at least 2 rows of elevations");
+        let per_side = rows[0].len();
+        assert!(per_side >= 2, "need at least 2 columns of elevations");
+        let mut heights = Vec::with_capacity(rows.len() * per_side);
+        for row in rows {
+            assert_eq!(row.len(), per_side, "ragged elevation rows");
+            for &h in row {
+                assert!(h.is_finite(), "elevation must be finite, got {h}");
+                heights.push(h);
+            }
+        }
+        assert_eq!(
+            rows.len(),
+            per_side,
+            "height field must be square ({} rows x {per_side} cols)",
+            rows.len()
+        );
+        HeightField {
+            cell,
+            per_side,
+            heights,
+        }
+    }
+
+    /// A flat field at elevation zero covering `per_side × per_side`
+    /// nodes.
+    pub fn flat(cell: f64, per_side: usize) -> Self {
+        assert!(per_side >= 2, "need at least 2 nodes per side");
+        HeightField::from_rows(cell, &vec![vec![0.0; per_side]; per_side])
+    }
+
+    /// A procedural single hill: a cosine bump of `peak` meters centered
+    /// at the field's middle, radius `radius` meters — the paper's
+    /// hilltop scenario.
+    pub fn hill(cell: f64, per_side: usize, peak: f64, radius: f64) -> Self {
+        assert!(per_side >= 2);
+        assert!(peak.is_finite() && radius.is_finite() && radius > 0.0);
+        let center = (per_side - 1) as f64 * cell * 0.5;
+        let rows: Vec<Vec<f64>> = (0..per_side)
+            .map(|j| {
+                (0..per_side)
+                    .map(|i| {
+                        let d = Point::new(i as f64 * cell, j as f64 * cell)
+                            .distance(Point::new(center, center));
+                        if d >= radius {
+                            0.0
+                        } else {
+                            peak * 0.5 * (1.0 + (std::f64::consts::PI * d / radius).cos())
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        HeightField::from_rows(cell, &rows)
+    }
+
+    /// Grid spacing in meters.
+    #[inline]
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// Extent of the mapped square in meters.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        (self.per_side - 1) as f64 * self.cell
+    }
+
+    /// Ground elevation at `p` (bilinear; clamped outside the map).
+    pub fn elevation(&self, p: Point) -> f64 {
+        let max = (self.per_side - 1) as f64;
+        let x = (p.x / self.cell).clamp(0.0, max);
+        let y = (p.y / self.cell).clamp(0.0, max);
+        let i0 = (x.floor() as usize).min(self.per_side - 2);
+        let j0 = (y.floor() as usize).min(self.per_side - 2);
+        let fx = x - i0 as f64;
+        let fy = y - j0 as f64;
+        let h = |i: usize, j: usize| self.heights[j * self.per_side + i];
+        let bottom = h(i0, j0) * (1.0 - fx) + h(i0 + 1, j0) * fx;
+        let top = h(i0, j0 + 1) * (1.0 - fx) + h(i0 + 1, j0 + 1) * fx;
+        bottom * (1.0 - fy) + top * fy
+    }
+
+    /// Returns `true` if the straight line between two antennas —
+    /// `antenna` meters above the ground at each end — clears the terrain
+    /// along the whole path, sampled every `self.cell() / 2` meters.
+    pub fn line_of_sight(&self, a: Point, b: Point, antenna: f64) -> bool {
+        let ha = self.elevation(a) + antenna;
+        let hb = self.elevation(b) + antenna;
+        let dist = a.distance(b);
+        if dist == 0.0 {
+            return true;
+        }
+        let steps = ((dist / (self.cell * 0.5)).ceil() as usize).max(1);
+        for k in 1..steps {
+            let t = k as f64 / steps as f64;
+            let p = a.lerp(b, t);
+            let los_height = ha + (hb - ha) * t;
+            if self.elevation(p) > los_height {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for HeightField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self
+            .heights
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &h| {
+                (lo.min(h), hi.max(h))
+            });
+        write!(
+            f,
+            "height field {}x{} ({} m cells, {lo:.1}..{hi:.1} m)",
+            self.per_side, self.per_side, self.cell
+        )
+    }
+}
+
+/// A base propagation model gated by terrain line of sight: a link exists
+/// iff the base model connects the pair **and** the terrain does not
+/// block the straight antenna-to-antenna path.
+///
+/// This is intentionally binary (knife-edge); diffraction and partial
+/// Fresnel-zone losses would refine it but do not change the adaptation
+/// story the placement algorithms respond to.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// use abp_radio::terrain::{HeightField, TerrainShadowed};
+/// use abp_radio::{IdealDisk, Propagation, TxId};
+///
+/// // A 20 m hill centered at (50, 50) on a 100 m map.
+/// let hf = HeightField::hill(10.0, 11, 20.0, 30.0);
+/// let m = TerrainShadowed::new(IdealDisk::new(40.0), hf, 1.0);
+/// // Across the hill: blocked. Beside it: fine.
+/// assert!(!m.connected(TxId(0), Point::new(30.0, 50.0), Point::new(70.0, 50.0)));
+/// assert!(m.connected(TxId(0), Point::new(30.0, 5.0), Point::new(70.0, 5.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TerrainShadowed<M> {
+    base: M,
+    heights: HeightField,
+    antenna: f64,
+}
+
+impl<M: Propagation> TerrainShadowed<M> {
+    /// Wraps `base` with a height field; antennas sit `antenna` meters
+    /// above ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `antenna` is negative or not finite.
+    pub fn new(base: M, heights: HeightField, antenna: f64) -> Self {
+        assert!(
+            antenna.is_finite() && antenna >= 0.0,
+            "antenna height must be finite and non-negative, got {antenna}"
+        );
+        TerrainShadowed {
+            base,
+            heights,
+            antenna,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+
+    /// The terrain map.
+    pub fn heights(&self) -> &HeightField {
+        &self.heights
+    }
+}
+
+impl<M: Propagation> Propagation for TerrainShadowed<M> {
+    fn connected(&self, tx: TxId, tx_pos: Point, rx: Point) -> bool {
+        self.base.connected(tx, tx_pos, rx)
+            && self.heights.line_of_sight(tx_pos, rx, self.antenna)
+    }
+
+    fn max_range(&self, tx: TxId, tx_pos: Point) -> f64 {
+        // Shadowing only removes links.
+        self.base.max_range(tx, tx_pos)
+    }
+
+    fn nominal_range(&self) -> f64 {
+        self.base.nominal_range()
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for TerrainShadowed<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shadowed by {}", self.base, self.heights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdealDisk;
+
+    #[test]
+    fn flat_field_is_transparent() {
+        let hf = HeightField::flat(10.0, 11);
+        let base = IdealDisk::new(30.0);
+        let m = TerrainShadowed::new(base, hf, 1.0);
+        for k in 0..100 {
+            let rx = Point::new(k as f64, (k % 7) as f64 * 3.0);
+            assert_eq!(
+                m.connected(TxId(0), Point::new(50.0, 50.0), rx),
+                base.connected(TxId(0), Point::new(50.0, 50.0), rx)
+            );
+        }
+    }
+
+    #[test]
+    fn bilinear_interpolation_values() {
+        let hf = HeightField::from_rows(
+            10.0,
+            &[
+                vec![0.0, 10.0],
+                vec![20.0, 30.0],
+            ],
+        );
+        assert_eq!(hf.elevation(Point::new(0.0, 0.0)), 0.0);
+        assert_eq!(hf.elevation(Point::new(10.0, 0.0)), 10.0);
+        assert_eq!(hf.elevation(Point::new(0.0, 10.0)), 20.0);
+        assert_eq!(hf.elevation(Point::new(5.0, 5.0)), 15.0); // center mean
+        // Clamped outside.
+        assert_eq!(hf.elevation(Point::new(-5.0, 0.0)), 0.0);
+        assert_eq!(hf.elevation(Point::new(50.0, 50.0)), 30.0);
+    }
+
+    #[test]
+    fn hill_blocks_across_but_not_around() {
+        let hf = HeightField::hill(10.0, 11, 25.0, 30.0);
+        assert!((hf.elevation(Point::new(50.0, 50.0)) - 25.0).abs() < 1e-9);
+        let m = TerrainShadowed::new(IdealDisk::new(60.0), hf, 1.5);
+        let west = Point::new(25.0, 50.0);
+        let east = Point::new(75.0, 50.0);
+        assert!(!m.connected(TxId(0), west, east), "hill must block");
+        // Skirting the hill along the southern edge stays clear.
+        assert!(m.connected(
+            TxId(0),
+            Point::new(25.0, 5.0),
+            Point::new(75.0, 5.0)
+        ));
+        // Short link up the slope is fine (LoS above terrain).
+        assert!(m.connected(TxId(0), west, Point::new(40.0, 50.0)));
+    }
+
+    #[test]
+    fn hilltop_sees_everything_in_range() {
+        // From the peak, LoS goes downhill: nothing blocks.
+        let hf = HeightField::hill(10.0, 11, 25.0, 30.0);
+        let m = TerrainShadowed::new(IdealDisk::new(60.0), hf, 1.5);
+        let peak = Point::new(50.0, 50.0);
+        for k in 0..36 {
+            let theta = std::f64::consts::TAU * k as f64 / 36.0;
+            let rx = Point::new(50.0 + 45.0 * theta.cos(), 50.0 + 45.0 * theta.sin());
+            assert!(m.connected(TxId(0), peak, rx), "peak blocked toward {rx}");
+        }
+    }
+
+    #[test]
+    fn taller_antennas_restore_links() {
+        let hf = HeightField::hill(10.0, 11, 10.0, 30.0);
+        let west = Point::new(25.0, 50.0);
+        let east = Point::new(75.0, 50.0);
+        let low = TerrainShadowed::new(IdealDisk::new(60.0), hf.clone(), 0.5);
+        let high = TerrainShadowed::new(IdealDisk::new(60.0), hf, 12.0);
+        assert!(!low.connected(TxId(0), west, east));
+        assert!(high.connected(TxId(0), west, east));
+    }
+
+    #[test]
+    fn line_of_sight_is_symmetric() {
+        let hf = HeightField::hill(10.0, 11, 15.0, 25.0);
+        for k in 0..50 {
+            let a = Point::new((k % 10) as f64 * 10.0, (k / 10) as f64 * 20.0);
+            let b = Point::new(90.0 - (k % 7) as f64 * 12.0, (k % 5) as f64 * 22.0);
+            assert_eq!(
+                hf.line_of_sight(a, b, 1.0),
+                hf.line_of_sight(b, a, 1.0),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_range_still_bounds_connectivity() {
+        let hf = HeightField::hill(10.0, 11, 25.0, 30.0);
+        let m = TerrainShadowed::new(IdealDisk::new(20.0), hf, 1.0);
+        assert_eq!(m.max_range(TxId(0), Point::new(10.0, 10.0)), 20.0);
+        assert!(!m.connected(
+            TxId(0),
+            Point::new(10.0, 10.0),
+            Point::new(31.0, 10.0)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        let _ = HeightField::from_rows(10.0, &[vec![0.0, 1.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = HeightField::from_rows(10.0, &[vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 1.0]]);
+    }
+}

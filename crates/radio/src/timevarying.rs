@@ -1,0 +1,203 @@
+//! Epoch-indexed (time-varying) propagation.
+//!
+//! The paper's noise model is static in time; its future work (§6) plans
+//! simulations "incorporating time varying propagation loss".
+//! [`TimeVarying`] adds that: on top of any base model it applies a
+//! per-epoch multiplicative range jitter, deterministic per
+//! `(beacon, point, epoch)`. Within one epoch the world is static (so the
+//! survey/placement pipeline still works); across epochs links flicker.
+
+use crate::{Propagation, TxId};
+use abp_geom::{DeterministicField, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A base model whose effective range jitters per epoch.
+///
+/// At epoch `e`, a link that the base model would make at distance `d` is
+/// instead evaluated at apparent distance `d / (1 + u·j)` where
+/// `u ~ U[-1, 1]` deterministic per `(tx, rx, e)` and `j` is the jitter
+/// amplitude. Equivalent to scaling the base model's decision radius by
+/// `(1 + u·j)`.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Point;
+/// use abp_radio::{IdealDisk, Propagation, TimeVarying, TxId};
+///
+/// let m = TimeVarying::new(IdealDisk::new(10.0), 0.2, 7);
+/// let rx = Point::new(9.9, 0.0); // right at the jittery boundary
+/// let now = m.at_epoch(0).connected(TxId(0), Point::ORIGIN, rx);
+/// let later = m.at_epoch(1).connected(TxId(0), Point::ORIGIN, rx);
+/// // Deterministic per epoch:
+/// assert_eq!(now, m.at_epoch(0).connected(TxId(0), Point::ORIGIN, rx));
+/// let _ = later;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeVarying<M> {
+    base: M,
+    jitter: f64,
+    epoch: u64,
+    field: DeterministicField,
+}
+
+impl<M: Propagation> TimeVarying<M> {
+    /// Wraps `base` with temporal jitter amplitude `jitter` (fraction of
+    /// range, in `[0, 1)`), realized from `seed`. Starts at epoch 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not in `[0, 1)`.
+    pub fn new(base: M, jitter: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter),
+            "temporal jitter must be in [0, 1), got {jitter}"
+        );
+        TimeVarying {
+            base,
+            jitter,
+            epoch: 0,
+            field: DeterministicField::new(seed),
+        }
+    }
+
+    /// A copy of the model fixed at `epoch`.
+    pub fn at_epoch(&self, epoch: u64) -> TimeVarying<M>
+    where
+        M: Clone,
+    {
+        TimeVarying {
+            base: self.base.clone(),
+            jitter: self.jitter,
+            epoch,
+            field: self.field,
+        }
+    }
+
+    /// The current epoch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The jitter amplitude.
+    #[inline]
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// The wrapped model.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+
+    /// The jitter factor `1 + u·j` for a link at the current epoch.
+    fn factor(&self, tx: TxId, rx: Point) -> f64 {
+        if self.jitter == 0.0 {
+            return 1.0;
+        }
+        // Mix the epoch into the key so each epoch redraws u.
+        let key = tx.0 ^ self.epoch.rotate_left(17) ^ 0x7E_AC_3D;
+        1.0 + self.field.symmetric(key, rx) * self.jitter
+    }
+}
+
+impl<M: Propagation + Clone + Send + Sync> Propagation for TimeVarying<M> {
+    fn connected(&self, tx: TxId, tx_pos: Point, rx: Point) -> bool {
+        let factor = self.factor(tx, rx);
+        let d = tx_pos.distance(rx);
+        if d == 0.0 {
+            return self.base.connected(tx, tx_pos, rx);
+        }
+        // Apparent receiver at distance d / factor along the same ray.
+        let virtual_rx = tx_pos + (rx - tx_pos) * (1.0 / factor);
+        self.base.connected(tx, tx_pos, virtual_rx)
+    }
+
+    fn max_range(&self, tx: TxId, tx_pos: Point) -> f64 {
+        self.base.max_range(tx, tx_pos) * (1.0 + self.jitter)
+    }
+
+    fn nominal_range(&self) -> f64 {
+        self.base.nominal_range()
+    }
+}
+
+impl<M: fmt::Display> fmt::Display for TimeVarying<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + temporal jitter {} (epoch {})",
+            self.base, self.jitter, self.epoch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IdealDisk;
+
+    #[test]
+    fn zero_jitter_matches_base() {
+        let base = IdealDisk::new(10.0);
+        let m = TimeVarying::new(base, 0.0, 3);
+        for k in 0..200 {
+            let rx = Point::new(k as f64 * 0.1, (k % 5) as f64);
+            assert_eq!(
+                m.connected(TxId(1), Point::ORIGIN, rx),
+                base.connected(TxId(1), Point::ORIGIN, rx)
+            );
+        }
+    }
+
+    #[test]
+    fn static_within_epoch() {
+        let m = TimeVarying::new(IdealDisk::new(10.0), 0.3, 3).at_epoch(5);
+        let rx = Point::new(9.5, 2.0);
+        let first = m.connected(TxId(0), Point::ORIGIN, rx);
+        for _ in 0..10 {
+            assert_eq!(m.connected(TxId(0), Point::ORIGIN, rx), first);
+        }
+    }
+
+    #[test]
+    fn links_flicker_across_epochs() {
+        let m = TimeVarying::new(IdealDisk::new(10.0), 0.3, 3);
+        // Boundary-region receivers should change connectivity for some epoch.
+        let rx = Point::new(9.8, 0.0);
+        let base = m.at_epoch(0).connected(TxId(0), Point::ORIGIN, rx);
+        let flipped = (1..50).any(|e| m.at_epoch(e).connected(TxId(0), Point::ORIGIN, rx) != base);
+        assert!(flipped, "temporal jitter should flip a boundary link");
+    }
+
+    #[test]
+    fn deep_core_links_stable() {
+        // Links far inside range survive any jitter draw.
+        let m = TimeVarying::new(IdealDisk::new(10.0), 0.2, 9);
+        for e in 0..50 {
+            assert!(m
+                .at_epoch(e)
+                .connected(TxId(0), Point::ORIGIN, Point::new(5.0, 0.0)));
+        }
+    }
+
+    #[test]
+    fn max_range_accounts_for_jitter() {
+        let m = TimeVarying::new(IdealDisk::new(10.0), 0.25, 1);
+        assert_eq!(m.max_range(TxId(0), Point::ORIGIN), 12.5);
+        // Beyond the inflated bound, never connected at any epoch.
+        for e in 0..50 {
+            assert!(!m
+                .at_epoch(e)
+                .connected(TxId(0), Point::ORIGIN, Point::new(12.6, 0.0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal jitter")]
+    fn rejects_jitter_of_one() {
+        let _ = TimeVarying::new(IdealDisk::new(10.0), 1.0, 0);
+    }
+}

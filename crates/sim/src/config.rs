@@ -1,0 +1,353 @@
+//! Experiment configuration (Table 1).
+
+use abp_field::BeaconField;
+use abp_geom::{Lattice, Terrain};
+use abp_localize::UnheardPolicy;
+use abp_placement::{
+    GridPlacement, LocusBreakPlacement, MaxPlacement, PlacementAlgorithm, RandomPlacement,
+    WeightedGridPlacement,
+};
+use abp_radio::{IdealDisk, NoiseStyle, PerBeaconNoise, Propagation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's fixed simulation parameters (Table 1), as named constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperConfig;
+
+impl PaperConfig {
+    /// Terrain side (m).
+    pub const SIDE: f64 = 100.0;
+    /// Nominal radio range `R` (m).
+    pub const RANGE: f64 = 15.0;
+    /// Survey step (m).
+    pub const STEP: f64 = 1.0;
+    /// Number of overlapping grids `NG`.
+    pub const NUM_GRIDS: usize = 400;
+    /// Beacon fields generated per density.
+    pub const TRIALS: usize = 1000;
+    /// Lowest beacon count evaluated.
+    pub const MIN_BEACONS: usize = 20;
+    /// Highest beacon count evaluated.
+    pub const MAX_BEACONS: usize = 240;
+    /// Beacon-count increment.
+    pub const BEACON_STEP: usize = 10;
+    /// Noise levels evaluated.
+    pub const NOISE_LEVELS: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
+
+    /// Number of measured lattice points, `PT = (Side/step + 1)²`.
+    pub const fn pt() -> usize {
+        101 * 101
+    }
+}
+
+impl fmt::Display for PaperConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1. Simulation Parameters")?;
+        writeln!(f, "  Side   {:>8} m", Self::SIDE)?;
+        writeln!(f, "  R      {:>8} m", Self::RANGE)?;
+        writeln!(f, "  step   {:>8} m", Self::STEP)?;
+        writeln!(f, "  NG     {:>8}", Self::NUM_GRIDS)?;
+        writeln!(f, "  PT     {:>8}", Self::pt())?;
+        writeln!(f, "  trials {:>8} fields per density", Self::TRIALS)?;
+        writeln!(
+            f,
+            "  beacons {:>7}..{} step {}  (density {:.3}..{:.3} /m²)",
+            Self::MIN_BEACONS,
+            Self::MAX_BEACONS,
+            Self::BEACON_STEP,
+            Self::MIN_BEACONS as f64 / (Self::SIDE * Self::SIDE),
+            Self::MAX_BEACONS as f64 / (Self::SIDE * Self::SIDE),
+        )?;
+        write!(f, "  noise  {:?}", Self::NOISE_LEVELS)
+    }
+}
+
+/// Which placement algorithm an experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// The paper's Random baseline (§3.2.1).
+    Random,
+    /// The paper's Max algorithm (§3.2.2).
+    Max,
+    /// The paper's Grid algorithm (§3.2.3).
+    Grid,
+    /// Distance-weighted Grid (ablation, §6-adjacent).
+    WeightedGrid,
+    /// Locus-breaking placement (future work, §6).
+    LocusBreak,
+}
+
+impl AlgorithmKind {
+    /// The three algorithms the paper evaluates, in its order.
+    pub const PAPER: [AlgorithmKind; 3] = [
+        AlgorithmKind::Random,
+        AlgorithmKind::Max,
+        AlgorithmKind::Grid,
+    ];
+
+    /// Stable lowercase name (matches `PlacementAlgorithm::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::Random => "random",
+            AlgorithmKind::Max => "max",
+            AlgorithmKind::Grid => "grid",
+            AlgorithmKind::WeightedGrid => "weighted-grid",
+            AlgorithmKind::LocusBreak => "locus-break",
+        }
+    }
+
+    /// Instantiates the algorithm for a configuration.
+    pub fn build(self, cfg: &SimConfig) -> Box<dyn PlacementAlgorithm> {
+        match self {
+            AlgorithmKind::Random => Box::new(RandomPlacement::new(cfg.terrain())),
+            AlgorithmKind::Max => Box::new(MaxPlacement::new()),
+            AlgorithmKind::Grid => Box::new(GridPlacement::new(
+                cfg.terrain(),
+                cfg.nominal_range,
+                cfg.num_grids,
+            )),
+            AlgorithmKind::WeightedGrid => Box::new(WeightedGridPlacement::new(
+                cfg.terrain(),
+                cfg.nominal_range,
+                cfg.num_grids,
+            )),
+            AlgorithmKind::LocusBreak => Box::new(LocusBreakPlacement::new()),
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters of one experiment run.
+///
+/// [`SimConfig::paper`] reproduces Table 1 exactly. Smaller presets exist
+/// for CI ([`SimConfig::quick`]) and unit tests ([`SimConfig::tiny`]);
+/// they trade lattice resolution and trial count for speed while keeping
+/// the paper's terrain and radio geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Terrain side in meters.
+    pub side: f64,
+    /// Nominal radio range `R` in meters.
+    pub nominal_range: f64,
+    /// Survey lattice step in meters.
+    pub step: f64,
+    /// Number of overlapping grids `NG` for the Grid algorithm.
+    pub num_grids: usize,
+    /// Beacon counts to sweep (the density axis).
+    pub beacon_counts: Vec<usize>,
+    /// Random beacon fields generated per density.
+    pub trials: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Estimate convention for unheard clients.
+    pub policy: UnheardPolicy,
+    /// How the noise model's `u` draw is scoped (see
+    /// [`NoiseStyle`]); the default is the paper's printed formula.
+    pub noise_style: NoiseStyle,
+    /// Worker threads; `0` = one per available core.
+    pub threads: usize,
+}
+
+impl SimConfig {
+    /// The paper's full configuration (Table 1). A complete figure run at
+    /// this setting takes minutes, not seconds; see [`SimConfig::quick`].
+    pub fn paper() -> Self {
+        SimConfig {
+            side: PaperConfig::SIDE,
+            nominal_range: PaperConfig::RANGE,
+            step: PaperConfig::STEP,
+            num_grids: PaperConfig::NUM_GRIDS,
+            beacon_counts: (PaperConfig::MIN_BEACONS..=PaperConfig::MAX_BEACONS)
+                .step_by(PaperConfig::BEACON_STEP)
+                .collect(),
+            trials: PaperConfig::TRIALS,
+            seed: 0x1CDC_5200,
+            policy: UnheardPolicy::TerrainCenter,
+            noise_style: NoiseStyle::Speckled,
+            threads: 0,
+        }
+    }
+
+    /// A CI-sized preset: the paper's geometry at `step = 2 m` with 60
+    /// trials and every other density. Reproduces all qualitative shapes
+    /// in seconds.
+    pub fn quick() -> Self {
+        SimConfig {
+            step: 2.0,
+            trials: 60,
+            beacon_counts: (PaperConfig::MIN_BEACONS..=PaperConfig::MAX_BEACONS)
+                .step_by(2 * PaperConfig::BEACON_STEP)
+                .collect(),
+            ..SimConfig::paper()
+        }
+    }
+
+    /// A unit-test preset: coarse lattice, 8 trials, three densities.
+    pub fn tiny() -> Self {
+        SimConfig {
+            step: 5.0,
+            trials: 8,
+            beacon_counts: vec![20, 100, 240],
+            num_grids: 100,
+            ..SimConfig::paper()
+        }
+    }
+
+    /// The terrain.
+    pub fn terrain(&self) -> Terrain {
+        Terrain::square(self.side)
+    }
+
+    /// The survey lattice.
+    pub fn lattice(&self) -> Lattice {
+        Lattice::new(self.terrain(), self.step)
+    }
+
+    /// Deployment density (per m²) for a beacon count under this terrain.
+    pub fn density_of(&self, beacons: usize) -> f64 {
+        self.terrain().density_of(beacons)
+    }
+
+    /// Beacons per nominal coverage area for a beacon count (the paper's
+    /// secondary x-axis).
+    pub fn per_coverage(&self, beacons: usize) -> f64 {
+        self.density_of(beacons) * std::f64::consts::PI * self.nominal_range * self.nominal_range
+    }
+
+    /// The propagation model for a noise level, realized from `seed`.
+    /// `noise == 0` uses the exact ideal-disk model.
+    pub fn model(&self, noise: f64, seed: u64) -> Box<dyn Propagation> {
+        if noise == 0.0 {
+            Box::new(IdealDisk::new(self.nominal_range))
+        } else {
+            Box::new(PerBeaconNoise::with_style(
+                self.nominal_range,
+                noise,
+                seed,
+                self.noise_style,
+            ))
+        }
+    }
+
+    /// Deterministic per-(density, trial) seed derivation.
+    pub fn trial_seed(&self, density_index: usize, trial: usize) -> u64 {
+        use abp_geom::splitmix64;
+        splitmix64(
+            splitmix64(self.seed ^ (density_index as u64).wrapping_mul(0x9E37_79B9))
+                ^ (trial as u64).wrapping_mul(0x85EB_CA6B),
+        )
+    }
+
+    /// Generates the random beacon field for a trial.
+    pub fn trial_field(&self, beacons: usize, trial_seed: u64) -> BeaconField {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        BeaconField::random_uniform(beacons, self.terrain(), &mut rng)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper()
+    }
+}
+
+impl fmt::Display for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} side, R {}, step {}, NG {}, {} densities x {} trials, seed {:#x}",
+            self.side,
+            self.nominal_range,
+            self.step,
+            self.num_grids,
+            self.beacon_counts.len(),
+            self.trials,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let cfg = SimConfig::paper();
+        assert_eq!(cfg.side, 100.0);
+        assert_eq!(cfg.nominal_range, 15.0);
+        assert_eq!(cfg.step, 1.0);
+        assert_eq!(cfg.num_grids, 400);
+        assert_eq!(cfg.trials, 1000);
+        assert_eq!(cfg.beacon_counts.len(), 23); // 20, 30, ..., 240
+        assert_eq!(cfg.beacon_counts[0], 20);
+        assert_eq!(*cfg.beacon_counts.last().unwrap(), 240);
+        assert_eq!(cfg.lattice().len(), PaperConfig::pt());
+    }
+
+    #[test]
+    fn density_axis_matches_paper() {
+        let cfg = SimConfig::paper();
+        assert!((cfg.density_of(20) - 0.002).abs() < 1e-12);
+        assert!((cfg.density_of(240) - 0.024).abs() < 1e-12);
+        // "from 1.41 to 17" beacons per coverage area.
+        assert!((cfg.per_coverage(20) - 1.41).abs() < 0.01);
+        assert!((cfg.per_coverage(240) - 16.96).abs() < 0.05);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let cfg = SimConfig::paper();
+        let a = cfg.trial_seed(0, 0);
+        assert_eq!(a, cfg.trial_seed(0, 0));
+        assert_ne!(a, cfg.trial_seed(0, 1));
+        assert_ne!(a, cfg.trial_seed(1, 0));
+    }
+
+    #[test]
+    fn trial_field_deterministic() {
+        let cfg = SimConfig::tiny();
+        let f1 = cfg.trial_field(50, 123);
+        let f2 = cfg.trial_field(50, 123);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.len(), 50);
+    }
+
+    #[test]
+    fn model_selection_by_noise() {
+        let cfg = SimConfig::tiny();
+        assert_eq!(cfg.model(0.0, 1).nominal_range(), 15.0);
+        assert_eq!(cfg.model(0.5, 1).nominal_range(), 15.0);
+    }
+
+    #[test]
+    fn algorithm_kinds_build_and_name() {
+        let cfg = SimConfig::tiny();
+        for kind in [
+            AlgorithmKind::Random,
+            AlgorithmKind::Max,
+            AlgorithmKind::Grid,
+            AlgorithmKind::WeightedGrid,
+            AlgorithmKind::LocusBreak,
+        ] {
+            let algo = kind.build(&cfg);
+            assert_eq!(algo.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn table1_renders() {
+        let s = PaperConfig.to_string();
+        for token in ["Side", "100", "R", "15", "NG", "400", "1000"] {
+            assert!(s.contains(token), "missing {token} in:\n{s}");
+        }
+    }
+}

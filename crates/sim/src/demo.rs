@@ -1,0 +1,101 @@
+//! A worked demonstration for the CLI: survey, render, place, render.
+
+use crate::config::SimConfig;
+use abp_field::BeaconField;
+use abp_placement::{GridPlacement, PlacementAlgorithm, SurveyView};
+use abp_survey::render::{render_heatmap, HeatmapOptions};
+use abp_survey::ErrorMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs one adaptive-placement step on a random field and renders the
+/// before/after error maps as ASCII heatmaps — the terminal version of the
+/// paper's "localization regions" intuition.
+///
+/// Deterministic in `cfg.seed`.
+///
+/// # Example
+///
+/// ```
+/// use abp_sim::{heatmap_demo, SimConfig};
+/// let art = heatmap_demo(&SimConfig::tiny());
+/// assert!(art.contains("before placement"));
+/// assert!(art.contains("after placement"));
+/// ```
+pub fn heatmap_demo(cfg: &SimConfig) -> String {
+    let terrain = cfg.terrain();
+    let lattice = cfg.lattice();
+    let model = cfg.model(0.0, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut field = BeaconField::random_uniform(40, terrain, &mut rng);
+    let before = ErrorMap::survey(&lattice, &field, &*model, cfg.policy);
+    let scale = before.valid_errors().fold(0.0f64, f64::max);
+    let options = HeatmapOptions {
+        width: 64,
+        scale_max: Some(scale.max(f64::MIN_POSITIVE)),
+        show_beacons: true,
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "before placement: mean error {:.2} m\n",
+        before.mean_error()
+    ));
+    out.push_str(&render_heatmap(&before, Some(&field), options));
+
+    let grid = GridPlacement::new(terrain, cfg.nominal_range, cfg.num_grids);
+    let spot = {
+        let view = SurveyView {
+            map: &before,
+            field: &field,
+            model: &*model,
+        };
+        grid.propose(&view, &mut rng)
+    };
+    let id = field.add_beacon(spot);
+    let mut after = before.clone();
+    after.add_beacon(field.get(id).expect("just added"), &*model);
+
+    out.push_str(&format!(
+        "\nafter placement at ({:.1}, {:.1}): mean error {:.2} m\n",
+        spot.x,
+        spot.y,
+        after.mean_error()
+    ));
+    out.push_str(&render_heatmap(&after, Some(&field), options));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_renders_both_maps_and_improves() {
+        let art = heatmap_demo(&SimConfig::tiny());
+        assert!(art.contains("before placement"));
+        assert!(art.contains("after placement"));
+        assert!(art.matches("error scale").count() == 2);
+        // Extract the two mean errors and check improvement.
+        let means: Vec<f64> = art
+            .lines()
+            .filter(|l| l.contains("mean error"))
+            .map(|l| {
+                l.split("mean error ")
+                    .nth(1)
+                    .unwrap()
+                    .trim_end_matches(" m")
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(means.len(), 2);
+        assert!(means[1] <= means[0]);
+    }
+
+    #[test]
+    fn demo_is_deterministic() {
+        let cfg = SimConfig::tiny();
+        assert_eq!(heatmap_demo(&cfg), heatmap_demo(&cfg));
+    }
+}

@@ -1,0 +1,233 @@
+//! Mean localization error vs beacon density (Figures 4 and 6).
+//!
+//! For each beacon count the experiment generates `trials` independent
+//! random fields, surveys each under the configured propagation model, and
+//! aggregates the per-field mean (and median) localization error with
+//! 95 % confidence intervals — exactly the procedure behind Figure 4
+//! (ideal) and Figure 6 (noise 0.1/0.3/0.5).
+
+use crate::config::SimConfig;
+use crate::runner::parallel_map;
+use abp_geom::splitmix64;
+use abp_stats::{ConfidenceInterval, Welford};
+use abp_survey::ErrorMap;
+use serde::{Deserialize, Serialize};
+
+/// One density point of the error-vs-density curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityErrorPoint {
+    /// Number of beacons deployed.
+    pub beacons: usize,
+    /// Deployment density, beacons per m².
+    pub density: f64,
+    /// Beacons per nominal radio coverage area (`density · πR²`).
+    pub per_coverage: f64,
+    /// Mean localization error over the terrain, averaged over trials.
+    pub mean_error: ConfidenceInterval,
+    /// Median localization error over the terrain, averaged over trials.
+    pub median_error: ConfidenceInterval,
+    /// Average fraction of lattice points hearing no beacon.
+    pub unheard_fraction: f64,
+}
+
+/// Per-trial raw sample (exposed for tests and custom aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialSample {
+    /// Mean localization error of this field.
+    pub mean: f64,
+    /// Median localization error of this field.
+    pub median: f64,
+    /// Fraction of lattice points hearing no beacon.
+    pub unheard_fraction: f64,
+}
+
+/// Runs one trial: generate a field, survey it, summarize.
+pub fn run_trial(cfg: &SimConfig, noise: f64, beacons: usize, trial_seed: u64) -> TrialSample {
+    let field = cfg.trial_field(beacons, trial_seed);
+    let model = cfg.model(noise, splitmix64(trial_seed ^ 0x4E_01_5E));
+    let lattice = cfg.lattice();
+    let map = ErrorMap::survey(&lattice, &field, &*model, cfg.policy);
+    TrialSample {
+        mean: map.mean_error(),
+        median: map.median_error(),
+        unheard_fraction: map.unheard_count() as f64 / map.len() as f64,
+    }
+}
+
+/// Runs the full density sweep at one noise level.
+///
+/// Deterministic in `cfg.seed`; parallel over trials.
+pub fn run(cfg: &SimConfig, noise: f64) -> Vec<DensityErrorPoint> {
+    cfg.beacon_counts
+        .iter()
+        .enumerate()
+        .map(|(di, &beacons)| {
+            let samples = parallel_map(cfg.trials, cfg.threads, |t| {
+                run_trial(cfg, noise, beacons, cfg.trial_seed(di, t))
+            });
+            aggregate(cfg, beacons, &samples)
+        })
+        .collect()
+}
+
+fn aggregate(cfg: &SimConfig, beacons: usize, samples: &[TrialSample]) -> DensityErrorPoint {
+    let mut mean_w = Welford::new();
+    let mut median_w = Welford::new();
+    let mut unheard = 0.0;
+    for s in samples {
+        mean_w.push(s.mean);
+        median_w.push(s.median);
+        unheard += s.unheard_fraction;
+    }
+    DensityErrorPoint {
+        beacons,
+        density: cfg.density_of(beacons),
+        per_coverage: cfg.per_coverage(beacons),
+        mean_error: ConfidenceInterval::from_moments(
+            mean_w.mean(),
+            mean_w.sample_std(),
+            mean_w.count(),
+        ),
+        median_error: ConfidenceInterval::from_moments(
+            median_w.mean(),
+            median_w.sample_std(),
+            median_w.count(),
+        ),
+        unheard_fraction: unheard / samples.len().max(1) as f64,
+    }
+}
+
+/// The *saturation beacon density*: the lowest density whose mean error is
+/// within `tolerance` (relative) of the plateau (the sweep's minimum mean
+/// error). The paper reads ≈ 0.01 /m² off Figure 4 and reports it growing
+/// ≈ 50 % as noise rises to 0.5.
+///
+/// Returns `None` for an empty sweep.
+pub fn saturation_density(points: &[DensityErrorPoint], tolerance: f64) -> Option<f64> {
+    let plateau = points
+        .iter()
+        .map(|p| p.mean_error.estimate)
+        .fold(f64::INFINITY, f64::min);
+    points
+        .iter()
+        .find(|p| p.mean_error.estimate <= plateau * (1.0 + tolerance))
+        .map(|p| p.density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            trials: 12,
+            ..SimConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_density() {
+        let points = run(&cfg(), 0.0);
+        assert_eq!(points.len(), 3);
+        assert!(
+            points[0].mean_error.estimate > points[1].mean_error.estimate,
+            "20 beacons must be worse than 100"
+        );
+        assert!(
+            points[1].mean_error.estimate > points[2].mean_error.estimate - 0.5,
+            "100 -> 240 should plateau, not rise"
+        );
+        // Coverage improves too.
+        assert!(points[0].unheard_fraction > points[2].unheard_fraction);
+    }
+
+    #[test]
+    fn saturates_near_paper_value() {
+        // With the paper's geometry, error at 240 beacons is a small
+        // fraction of R even on a coarse lattice.
+        let points = run(&cfg(), 0.0);
+        let last = points.last().unwrap();
+        assert!(
+            last.mean_error.estimate < 0.5 * 15.0,
+            "saturated error {} too high",
+            last.mean_error.estimate
+        );
+    }
+
+    #[test]
+    fn noise_raises_error() {
+        let mut c = cfg();
+        c.beacon_counts = vec![100];
+        let ideal = run(&c, 0.0)[0].mean_error.estimate;
+        let noisy = run(&c, 0.5)[0].mean_error.estimate;
+        assert!(
+            noisy > ideal,
+            "noise 0.5 must raise mean error ({ideal} -> {noisy})"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let mut c = cfg();
+        c.beacon_counts = vec![60];
+        c.trials = 10;
+        let a = run(&c, 0.3);
+        let b = run(&c, 0.3);
+        assert_eq!(a, b);
+        let mut c1 = c.clone();
+        c1.threads = 1;
+        let seq = run(&c1, 0.3);
+        assert_eq!(a, seq, "results must not depend on thread count");
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_trials() {
+        let mut few = cfg();
+        few.beacon_counts = vec![60];
+        few.trials = 6;
+        let mut many = few.clone();
+        many.trials = 48;
+        let a = run(&few, 0.0)[0].mean_error.half_width;
+        let b = run(&many, 0.0)[0].mean_error.half_width;
+        assert!(b < a, "CI must shrink: {a} -> {b}");
+    }
+
+    #[test]
+    fn saturation_density_detects_knee() {
+        let points = vec![
+            fake_point(20, 0.002, 20.0),
+            fake_point(60, 0.006, 8.0),
+            fake_point(100, 0.010, 4.2),
+            fake_point(140, 0.014, 4.05),
+            fake_point(240, 0.024, 4.0),
+        ];
+        let sat = saturation_density(&points, 0.1).unwrap();
+        assert_eq!(sat, 0.010);
+        assert!(saturation_density(&[], 0.1).is_none());
+    }
+
+    fn fake_point(beacons: usize, density: f64, mean: f64) -> DensityErrorPoint {
+        DensityErrorPoint {
+            beacons,
+            density,
+            per_coverage: 0.0,
+            mean_error: ConfidenceInterval {
+                estimate: mean,
+                half_width: 0.1,
+            },
+            median_error: ConfidenceInterval::default(),
+            unheard_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn exclude_policy_also_works() {
+        let mut c = cfg();
+        c.policy = abp_localize::UnheardPolicy::Exclude;
+        c.beacon_counts = vec![100];
+        let points = run(&c, 0.0);
+        // Excluding unheard points yields bounded errors (≈ within R
+        // plus multi-beacon centroid effects).
+        assert!(points[0].mean_error.estimate < 15.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's experiment families.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`density_error`] | Figures 4 and 6: mean localization error vs beacon density, per noise level |
+//! | [`improvement`] | Figures 5, 7, 8, 9: improvement in mean/median error from one added beacon, per algorithm and noise level |
+//! | [`granularity`] | Figure 1: beacon density vs granularity of localization regions |
+//! | [`overlap_bound`] | §2.2: maximum centroid error vs range-overlap ratio `R/d` under uniform placement |
+//! | [`robustness`] | §3.1 generalization: placement quality under partial exploration and GPS measurement noise |
+//! | [`solution_space`] | §1 contribution 3: measuring the solution-space density the algorithms rely on |
+//! | [`multilat_placement`] | §6 future work: the placement algorithms recast for multilateration localization |
+
+pub mod density_error;
+pub mod granularity;
+pub mod improvement;
+pub mod localizer_compare;
+pub mod multi_beacon;
+pub mod multilat_placement;
+pub mod overlap_bound;
+pub mod robustness;
+pub mod solution_space;

@@ -1,0 +1,164 @@
+//! Centroid error vs range-overlap ratio (§2.2).
+//!
+//! Under uniform beacon placement with separation `d` the paper reports
+//! (citing its reference \[2\]) that the maximum centroid-localization error
+//! is bounded by `0.5 d` at range-overlap ratio `R/d = 1` and "falls off
+//! considerably (to `0.25 d`)" by `R/d = 4`. This experiment measures the
+//! actual maximum and mean error, normalized by `d`, over the *interior*
+//! of a large uniform grid (interior, because the published bound ignores
+//! terrain edges, where centroids are systematically biased inward).
+
+use abp_field::generate::grid_with_spacing;
+use abp_geom::{Lattice, Terrain};
+use abp_localize::UnheardPolicy;
+use abp_radio::IdealDisk;
+use abp_survey::ErrorMap;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the overlap-ratio sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundConfig {
+    /// Beacon separation `d` (m).
+    pub spacing: f64,
+    /// Terrain side (m) — large relative to `spacing` so an interior
+    /// exists.
+    pub side: f64,
+    /// Survey step (m).
+    pub step: f64,
+    /// Margin from the terrain edge excluded from statistics (m); must
+    /// exceed the largest `R` swept.
+    pub interior_margin: f64,
+    /// The `R/d` ratios to sweep.
+    pub ratios: Vec<f64>,
+}
+
+impl Default for BoundConfig {
+    fn default() -> Self {
+        BoundConfig {
+            spacing: 10.0,
+            side: 200.0,
+            step: 1.0,
+            interior_margin: 60.0,
+            ratios: (4..=16).map(|k| k as f64 * 0.25).collect(), // 1.0 ..= 4.0
+        }
+    }
+}
+
+/// One ratio point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundPoint {
+    /// The range-overlap ratio `R/d`.
+    pub ratio: f64,
+    /// Maximum interior error as a fraction of `d`.
+    pub max_error_over_d: f64,
+    /// Mean interior error as a fraction of `d`.
+    pub mean_error_over_d: f64,
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics if the margin does not leave an interior, or a swept `R`
+/// exceeds the margin (edge effects would leak into the statistics).
+pub fn run(cfg: &BoundConfig) -> Vec<BoundPoint> {
+    assert!(
+        2.0 * cfg.interior_margin < cfg.side,
+        "margin {} leaves no interior in side {}",
+        cfg.interior_margin,
+        cfg.side
+    );
+    let max_r = cfg
+        .ratios
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        * cfg.spacing;
+    assert!(
+        max_r <= cfg.interior_margin,
+        "largest swept R = {max_r} exceeds the interior margin {}",
+        cfg.interior_margin
+    );
+    let terrain = Terrain::square(cfg.side);
+    let lattice = Lattice::new(terrain, cfg.step);
+    let field = grid_with_spacing(terrain, cfg.spacing);
+    cfg.ratios
+        .iter()
+        .map(|&ratio| {
+            let model = IdealDisk::new(ratio * cfg.spacing);
+            let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+            let lo = cfg.interior_margin;
+            let hi = cfg.side - cfg.interior_margin;
+            let mut max_e = 0.0f64;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for ix in lattice.indices() {
+                let p = lattice.point(ix);
+                if p.x < lo || p.x > hi || p.y < lo || p.y > hi {
+                    continue;
+                }
+                let e = map.error_at(ix).expect("TerrainCenter never excludes");
+                max_e = max_e.max(e);
+                sum += e;
+                n += 1;
+            }
+            BoundPoint {
+                ratio,
+                max_error_over_d: max_e / cfg.spacing,
+                mean_error_over_d: sum / (n as f64 * cfg.spacing),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> BoundConfig {
+        BoundConfig {
+            step: 2.0,
+            ratios: vec![1.0, 2.0, 4.0],
+            ..BoundConfig::default()
+        }
+    }
+
+    #[test]
+    fn max_error_bounded_by_half_spacing_at_ratio_one() {
+        let points = run(&quick_cfg());
+        let at_one = &points[0];
+        assert!(
+            at_one.max_error_over_d <= 0.5 + 0.05,
+            "R/d = 1 max error {} d exceeds the 0.5 d bound",
+            at_one.max_error_over_d
+        );
+        assert!(at_one.max_error_over_d > 0.2, "suspiciously small");
+    }
+
+    #[test]
+    fn error_falls_with_overlap_ratio() {
+        let points = run(&quick_cfg());
+        assert!(
+            points[2].max_error_over_d < points[0].max_error_over_d,
+            "max error must fall from R/d=1 ({}) to R/d=4 ({})",
+            points[0].max_error_over_d,
+            points[2].max_error_over_d
+        );
+        assert!(
+            points[2].max_error_over_d <= 0.30,
+            "R/d = 4 max error {} d should approach the 0.25 d figure",
+            points[2].max_error_over_d
+        );
+        assert!(points[2].mean_error_over_d < points[0].mean_error_over_d);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the interior margin")]
+    fn rejects_radius_leaking_past_margin() {
+        let cfg = BoundConfig {
+            ratios: vec![10.0],
+            ..quick_cfg()
+        };
+        let _ = run(&cfg);
+    }
+}

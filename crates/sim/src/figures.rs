@@ -1,0 +1,554 @@
+//! Named regenerators: one entry point per table/figure of the paper.
+//!
+//! Each function runs the corresponding experiment at the given
+//! [`SimConfig`] and returns render-ready [`Figure`]s (long-format CSV via
+//! [`Figure::to_csv`], aligned text via [`Figure::render`]). The mapping
+//! to the paper is recorded in DESIGN.md; paper-vs-measured outcomes live
+//! in EXPERIMENTS.md.
+
+use crate::config::{AlgorithmKind, PaperConfig, SimConfig};
+use crate::experiments::{
+    density_error, granularity, improvement, localizer_compare, multi_beacon, multilat_placement,
+    overlap_bound, robustness, solution_space,
+};
+use crate::report::{Figure, Series, SeriesPoint};
+use abp_stats::ConfidenceInterval;
+
+/// Table 1 — the simulation parameters, rendered.
+pub fn table1() -> String {
+    PaperConfig.to_string()
+}
+
+/// Figure 1 — beacon density vs granularity of localization regions.
+///
+/// Quantified as a sweep of uniform `k × k` beacon grids: region count,
+/// mean region size, and mean error per grid.
+pub fn fig1(cfg: &SimConfig, per_sides: &[usize]) -> Figure {
+    let rows = granularity::run(cfg, per_sides);
+    let exact = |v: f64| ConfidenceInterval {
+        estimate: v,
+        half_width: 0.0,
+    };
+    Figure::new(
+        "fig1",
+        "Beacon density vs granularity of localization regions (uniform k x k grids, ideal radio)",
+        "beacons",
+        "regions / points-per-region / mean LE (m)",
+    )
+    .with_series(Series::new(
+        "regions",
+        rows.iter()
+            .map(|r| SeriesPoint {
+                x: r.beacons as f64,
+                y: exact(r.regions as f64),
+            })
+            .collect(),
+    ))
+    .with_series(Series::new(
+        "mean-region-size",
+        rows.iter()
+            .map(|r| SeriesPoint {
+                x: r.beacons as f64,
+                y: exact(r.mean_region_size),
+            })
+            .collect(),
+    ))
+    .with_series(Series::new(
+        "mean-error",
+        rows.iter()
+            .map(|r| SeriesPoint {
+                x: r.beacons as f64,
+                y: exact(r.mean_error),
+            })
+            .collect(),
+    ))
+}
+
+fn density_series(cfg: &SimConfig, noise: f64, name: &str) -> Series {
+    Series::new(
+        name,
+        density_error::run(cfg, noise)
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.density,
+                y: p.mean_error,
+            })
+            .collect(),
+    )
+}
+
+/// Figure 4 — mean localization error vs beacon density under ideal
+/// propagation.
+pub fn fig4(cfg: &SimConfig) -> Figure {
+    Figure::new(
+        "fig4",
+        "Mean localization error vs beacon density (Ideal)",
+        "density (/m^2)",
+        "mean localization error (m)",
+    )
+    .with_series(density_series(cfg, 0.0, "Ideal"))
+}
+
+/// Figure 6 — mean localization error vs beacon density across the
+/// paper's noise levels (0, 0.1, 0.3, 0.5).
+pub fn fig6(cfg: &SimConfig) -> Figure {
+    let mut fig = Figure::new(
+        "fig6",
+        "Mean localization error vs beacon density (Noise)",
+        "density (/m^2)",
+        "mean localization error (m)",
+    );
+    for &noise in &PaperConfig::NOISE_LEVELS {
+        let name = if noise == 0.0 {
+            "Ideal".to_string()
+        } else {
+            format!("Noise={noise}")
+        };
+        fig.series.push(density_series(cfg, noise, &name));
+    }
+    fig
+}
+
+/// Figure 5 — improvement in mean and median localization error vs beacon
+/// density for Random, Max and Grid under ideal propagation. Returns the
+/// (mean, median) figure pair.
+pub fn fig5(cfg: &SimConfig) -> (Figure, Figure) {
+    let curves = improvement::run(cfg, 0.0, &AlgorithmKind::PAPER);
+    let mut mean_fig = Figure::new(
+        "fig5-mean",
+        "Improvement in mean error vs beacon density (Ideal)",
+        "density (/m^2)",
+        "improvement in mean error (m)",
+    );
+    let mut median_fig = Figure::new(
+        "fig5-median",
+        "Improvement in median error vs beacon density (Ideal)",
+        "density (/m^2)",
+        "improvement in median error (m)",
+    );
+    for curve in &curves {
+        let cap = capitalized(curve.algorithm.name());
+        mean_fig.series.push(Series::new(
+            cap.clone(),
+            curve
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.mean_improvement,
+                })
+                .collect(),
+        ));
+        median_fig.series.push(Series::new(
+            cap,
+            curve
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.median_improvement,
+                })
+                .collect(),
+        ));
+    }
+    (mean_fig, median_fig)
+}
+
+/// Figures 7, 8, 9 — one algorithm's improvement in mean and median error
+/// across the paper's noise levels. `fig_id` is 7 (Random), 8 (Max) or
+/// 9 (Grid); other algorithms are accepted for ablations.
+pub fn fig_noise(cfg: &SimConfig, algorithm: AlgorithmKind) -> (Figure, Figure) {
+    let fig_id = match algorithm {
+        AlgorithmKind::Random => "fig7",
+        AlgorithmKind::Max => "fig8",
+        AlgorithmKind::Grid => "fig9",
+        AlgorithmKind::WeightedGrid => "figx-weighted-grid",
+        AlgorithmKind::LocusBreak => "figx-locus-break",
+    };
+    let cap = capitalized(algorithm.name());
+    let mut mean_fig = Figure::new(
+        format!("{fig_id}-mean"),
+        format!("Performance of the {cap} algorithm with Noise (mean error)"),
+        "density (/m^2)",
+        "improvement in mean error (m)",
+    );
+    let mut median_fig = Figure::new(
+        format!("{fig_id}-median"),
+        format!("Performance of the {cap} algorithm with Noise (median error)"),
+        "density (/m^2)",
+        "improvement in median error (m)",
+    );
+    for &noise in &PaperConfig::NOISE_LEVELS {
+        let name = if noise == 0.0 {
+            "Ideal".to_string()
+        } else {
+            format!("Noise={noise}")
+        };
+        let curves = improvement::run(cfg, noise, &[algorithm]);
+        let curve = &curves[0];
+        mean_fig.series.push(Series::new(
+            name.clone(),
+            curve
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.mean_improvement,
+                })
+                .collect(),
+        ));
+        median_fig.series.push(Series::new(
+            name,
+            curve
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.median_improvement,
+                })
+                .collect(),
+        ));
+    }
+    (mean_fig, median_fig)
+}
+
+/// The §2.2 error-bound analysis: max and mean centroid error (as a
+/// fraction of the beacon separation `d`) vs range-overlap ratio `R/d`.
+pub fn bound(cfg: &overlap_bound::BoundConfig) -> Figure {
+    let points = overlap_bound::run(cfg);
+    let exact = |v: f64| ConfidenceInterval {
+        estimate: v,
+        half_width: 0.0,
+    };
+    Figure::new(
+        "bound",
+        "Centroid error vs range-overlap ratio R/d (uniform grid, interior)",
+        "R/d",
+        "error / d",
+    )
+    .with_series(Series::new(
+        "max-error/d",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.ratio,
+                y: exact(p.max_error_over_d),
+            })
+            .collect(),
+    ))
+    .with_series(Series::new(
+        "mean-error/d",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.ratio,
+                y: exact(p.mean_error_over_d),
+            })
+            .collect(),
+    ))
+}
+
+/// Ablation: the paper's three algorithms plus the workspace extensions
+/// (weighted grid, locus-break), compared on mean-error improvement at one
+/// noise level.
+pub fn ablation_algorithms(cfg: &SimConfig, noise: f64) -> Figure {
+    let all = [
+        AlgorithmKind::Random,
+        AlgorithmKind::Max,
+        AlgorithmKind::Grid,
+        AlgorithmKind::WeightedGrid,
+        AlgorithmKind::LocusBreak,
+    ];
+    let curves = improvement::run(cfg, noise, &all);
+    let mut fig = Figure::new(
+        "ablation-algorithms",
+        format!("All placement algorithms, improvement in mean error (noise {noise})"),
+        "density (/m^2)",
+        "improvement in mean error (m)",
+    );
+    for curve in &curves {
+        fig.series.push(Series::new(
+            capitalized(curve.algorithm.name()),
+            curve
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.mean_improvement,
+                })
+                .collect(),
+        ));
+    }
+    fig
+}
+
+/// Ablation: the three readings of the noise model's `u` draw
+/// ([`abp_radio::NoiseStyle`]), compared on mean error vs density at one
+/// noise level, with the ideal curve for reference. Documents the
+/// noise-model interpretation question discussed in EXPERIMENTS.md.
+pub fn ablation_noise_styles(cfg: &SimConfig, noise: f64) -> Figure {
+    use abp_radio::NoiseStyle;
+    let mut fig = Figure::new(
+        "ablation-noise-styles",
+        format!("Noise-model readings, mean error vs density (noise {noise})"),
+        "density (/m^2)",
+        "mean localization error (m)",
+    );
+    fig.series.push(density_series(cfg, 0.0, "Ideal"));
+    for style in [
+        NoiseStyle::Speckled,
+        NoiseStyle::CoherentRadius,
+        NoiseStyle::Lossy,
+    ] {
+        let mut styled = cfg.clone();
+        styled.noise_style = style;
+        fig.series
+            .push(density_series(&styled, noise, &style.to_string()));
+    }
+    fig
+}
+
+/// §3.1 generalization: Grid's improvement when it sees only a fraction
+/// of the survey, and when measurements pass through a noisy GPS.
+pub fn robustness(cfg: &SimConfig, beacons: usize) -> (Figure, Figure) {
+    let fractions = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0];
+    let sigmas = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let to_points = |pts: &[robustness::RobustnessPoint]| {
+        pts.iter()
+            .map(|p| SeriesPoint {
+                x: p.x,
+                y: p.mean_improvement,
+            })
+            .collect()
+    };
+    let exploration = Figure::new(
+        "robustness-exploration",
+        format!("Grid improvement vs exploration fraction ({beacons} beacons, ideal radio)"),
+        "fraction of lattice measured",
+        "improvement in mean error (m)",
+    )
+    .with_series(Series::new(
+        "Grid",
+        to_points(&robustness::exploration_sweep(cfg, beacons, &fractions)),
+    ));
+    let gps = Figure::new(
+        "robustness-gps",
+        format!("Grid improvement vs GPS error ({beacons} beacons, ideal radio)"),
+        "GPS sigma (m)",
+        "improvement in mean error (m)",
+    )
+    .with_series(Series::new(
+        "Grid",
+        to_points(&robustness::gps_noise_sweep(cfg, beacons, &sigmas)),
+    ));
+    (exploration, gps)
+}
+
+/// §1 contribution 3: the solution-space density sweep. `threshold` is
+/// the relative error reduction that counts as "satisfying".
+pub fn solution_space(cfg: &SimConfig, noise: f64, candidates: usize, threshold: f64) -> Figure {
+    let points = solution_space::run(cfg, noise, candidates, threshold);
+    let mut fig = Figure::new(
+        "solution-space",
+        format!(
+            "Solution-space density (noise {noise}, {candidates} candidates, \
+             satisfying = -{:.0}% mean error)",
+            threshold * 100.0
+        ),
+        "density (/m^2)",
+        "fraction / meters",
+    );
+    fig.series.push(Series::new(
+        "satisfying-fraction",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.density,
+                y: p.satisfying_fraction,
+            })
+            .collect(),
+    ));
+    fig.series.push(Series::new(
+        "positive-fraction",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.density,
+                y: p.positive_fraction,
+            })
+            .collect(),
+    ));
+    fig.series.push(Series::new(
+        "best-improvement (m)",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.density,
+                y: p.best_improvement,
+            })
+            .collect(),
+    ));
+    fig
+}
+
+/// §6 future work: gains from adding `k` beacons at once — greedy with
+/// re-measurement vs one-shot top-k (Grid algorithm).
+pub fn multi_beacon(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -> Figure {
+    let points = multi_beacon::run(cfg, noise, beacons, ks);
+    let mut fig = Figure::new(
+        "multi-beacon",
+        format!("Adding k beacons at once ({beacons} initial beacons, noise {noise})"),
+        "beacons added (k)",
+        "total improvement in mean error (m)",
+    );
+    fig.series.push(Series::new(
+        "greedy (re-measure)",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.k as f64,
+                y: p.greedy,
+            })
+            .collect(),
+    ));
+    fig.series.push(Series::new(
+        "one-shot top-k",
+        points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.k as f64,
+                y: p.oneshot,
+            })
+            .collect(),
+    ));
+    fig
+}
+
+/// Estimator ablation: mean error vs density for the paper's centroid,
+/// the weighted centroid, the locus centroid, and multilateration, on
+/// identical fields. Point-major surveys — keep the step coarse.
+pub fn localizers(cfg: &SimConfig, range_sigma: f64) -> Figure {
+    let points = localizer_compare::run(cfg, range_sigma);
+    let mut fig = Figure::new(
+        "localizers",
+        format!("Localizer comparison, mean error vs density (range sigma {range_sigma})"),
+        "density (/m^2)",
+        "mean localization error (m)",
+    );
+    for (k, name) in localizer_compare::LOCALIZER_NAMES.iter().enumerate() {
+        fig.series.push(Series::new(
+            *name,
+            points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.mean_errors[k],
+                })
+                .collect(),
+        ));
+    }
+    fig
+}
+
+/// §6 future work: the paper's algorithms recast for multilateration
+/// localization (mean-error improvement only; the median figure mirrors
+/// it).
+pub fn multilateration(cfg: &SimConfig, range_sigma: f64) -> Figure {
+    let curves = multilat_placement::run(cfg, range_sigma, &AlgorithmKind::PAPER);
+    let mut fig = Figure::new(
+        "multilateration",
+        format!("Improvement in mean error under multilateration (range sigma {range_sigma})"),
+        "density (/m^2)",
+        "improvement in mean error (m)",
+    );
+    for curve in &curves {
+        fig.series.push(Series::new(
+            capitalized(curve.algorithm.name()),
+            curve
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.density,
+                    y: p.mean_improvement,
+                })
+                .collect(),
+        ));
+    }
+    fig
+}
+
+fn capitalized(name: &str) -> String {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            trials: 6,
+            beacon_counts: vec![30, 120, 240],
+            ..SimConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn table1_contains_parameters() {
+        let t = table1();
+        assert!(t.contains("Side"));
+        assert!(t.contains("400"));
+    }
+
+    #[test]
+    fn fig1_has_three_series() {
+        let fig = fig1(&cfg(), &[2, 3]);
+        assert_eq!(fig.series.len(), 3);
+        assert_eq!(fig.series[0].points.len(), 2);
+        assert!(fig.to_csv().contains("fig1,regions,4,"));
+    }
+
+    #[test]
+    fn fig4_shape() {
+        let fig = fig4(&cfg());
+        assert_eq!(fig.series.len(), 1);
+        let pts = &fig.series[0].points;
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].y.estimate > pts[2].y.estimate, "error must fall");
+    }
+
+    #[test]
+    fn fig5_pair_has_paper_algorithms() {
+        let (mean_fig, median_fig) = fig5(&cfg());
+        let names: Vec<&str> = mean_fig.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["Random", "Max", "Grid"]);
+        assert_eq!(median_fig.series.len(), 3);
+    }
+
+    #[test]
+    fn fig_noise_ids_match_paper() {
+        let mut c = cfg();
+        c.beacon_counts = vec![60];
+        c.trials = 3;
+        let (mean_fig, median_fig) = fig_noise(&c, AlgorithmKind::Random);
+        assert_eq!(mean_fig.id, "fig7-mean");
+        assert_eq!(median_fig.id, "fig7-median");
+        assert_eq!(mean_fig.series.len(), 4); // 4 noise levels
+    }
+
+    #[test]
+    fn bound_figure_series() {
+        let bc = overlap_bound::BoundConfig {
+            step: 2.0,
+            ratios: vec![1.0, 4.0],
+            ..Default::default()
+        };
+        let fig = bound(&bc);
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].points.len(), 2);
+    }
+}

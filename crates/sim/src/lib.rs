@@ -1,0 +1,51 @@
+//! The Monte-Carlo experiment engine (paper §4).
+//!
+//! This crate turns the substrates of the `beaconplace` workspace into the
+//! paper's evaluation pipeline: generate random beacon fields at a sweep
+//! of densities, survey each field, let a placement algorithm add a
+//! beacon, re-survey, and aggregate the improvement statistics over many
+//! trials with 95 % confidence intervals.
+//!
+//! * [`SimConfig`] — experiment parameters; [`SimConfig::paper`] is
+//!   Table 1 (`Side = 100 m`, `R = 15 m`, `step = 1 m`, `NG = 400`,
+//!   20–240 beacons, 1000 fields per density),
+//! * [`runner`] — deterministic parallel trial execution,
+//! * [`experiments`] — one module per experiment family:
+//!   [`experiments::density_error`] (Figures 4 and 6),
+//!   [`experiments::improvement`] (Figures 5, 7, 8, 9),
+//!   [`experiments::granularity`] (Figure 1),
+//!   [`experiments::overlap_bound`] (the §2.2 error-bound analysis),
+//! * [`figures`] — named entry points `fig1`, `fig4` … `fig9`, `bound`,
+//!   `table1` that return render-ready [`report::Figure`]s,
+//! * [`report`] — series/figure containers with CSV and aligned-text
+//!   rendering.
+//!
+//! Everything is seeded: the same [`SimConfig`] always produces the same
+//! numbers, bit for bit, regardless of thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use abp_sim::{experiments::density_error, SimConfig};
+//!
+//! let mut cfg = SimConfig::tiny(); // test-sized: coarse lattice, few trials
+//! cfg.beacon_counts = vec![20, 100, 240];
+//! let points = density_error::run(&cfg, 0.0);
+//! assert_eq!(points.len(), 3);
+//! // Error falls with density (Figure 4's headline shape).
+//! assert!(points[2].mean_error.estimate < points[0].mean_error.estimate);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod demo;
+pub mod experiments;
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use config::{AlgorithmKind, PaperConfig, SimConfig};
+pub use demo::heatmap_demo;
+pub use report::{Figure, Series, SeriesPoint};

@@ -1,0 +1,212 @@
+//! Render-ready result containers: series, figures, CSV, text tables.
+
+use abp_stats::ConfidenceInterval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One `(x, y ± ci)` point of a figure series.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The x coordinate (beacon deployment density in most figures).
+    pub x: f64,
+    /// The y estimate with its 95 % confidence interval.
+    pub y: ConfidenceInterval,
+}
+
+/// A named curve: what one line in a paper figure plots.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label ("Ideal", "Noise=0.3", "Grid", …).
+    pub name: String,
+    /// The points, in increasing x.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates a named series.
+    pub fn new(name: impl Into<String>, points: Vec<SeriesPoint>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// The point with the largest y estimate, if any.
+    pub fn peak(&self) -> Option<SeriesPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.y.estimate.partial_cmp(&b.y.estimate).expect("finite"))
+    }
+}
+
+/// A reproduced figure (or table): labelled series plus axis metadata.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Figure {
+    /// Stable identifier ("fig4", "fig5-mean", "bound", …).
+    pub id: String,
+    /// Human title, usually the paper's caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure with metadata.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Long-format CSV: `figure,series,x,y,ci95` — one row per point,
+    /// trivially loadable by any plotting tool.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("figure,series,x,y,ci95\n");
+        for s in &self.series {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    self.id, s.name, p.x, p.y.estimate, p.y.half_width
+                ));
+            }
+        }
+        out
+    }
+
+    /// An aligned text table: the x grid as rows, one `value ± ci` column
+    /// per series — the form the figures are eyeballed in.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — {}\n", self.id, self.title);
+        out.push_str(&format!("  y: {}\n", self.y_label));
+        // Collect the union of x values, sorted.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let x_width = self.x_label.len().max(10);
+        out.push_str(&format!("  {:>x_width$}", self.x_label));
+        let col = 20;
+        for s in &self.series {
+            out.push_str(&format!(" | {:>col$}", s.name));
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("  {x:>x_width$.4}"));
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|p| (p.x - x).abs() < 1e-12)
+                    .map(|p| format!("{:.4} ± {:.4}", p.y.estimate, p.y.half_width))
+                    .unwrap_or_default();
+                out.push_str(&format!(" | {cell:>col$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let s1 = Series::new(
+            "Ideal",
+            vec![
+                SeriesPoint {
+                    x: 0.002,
+                    y: ConfidenceInterval {
+                        estimate: 20.0,
+                        half_width: 0.5,
+                    },
+                },
+                SeriesPoint {
+                    x: 0.01,
+                    y: ConfidenceInterval {
+                        estimate: 4.0,
+                        half_width: 0.1,
+                    },
+                },
+            ],
+        );
+        let s2 = Series::new(
+            "Noise=0.5",
+            vec![SeriesPoint {
+                x: 0.002,
+                y: ConfidenceInterval {
+                    estimate: 24.0,
+                    half_width: 0.6,
+                },
+            }],
+        );
+        Figure::new("fig4", "Mean error vs density", "density", "mean LE (m)")
+            .with_series(s1)
+            .with_series(s2)
+    }
+
+    #[test]
+    fn csv_has_header_and_all_points() {
+        let csv = sample_figure().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "figure,series,x,y,ci95");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("fig4,Ideal,0.002,20,0.5"));
+    }
+
+    #[test]
+    fn render_aligns_series_columns() {
+        let txt = sample_figure().render();
+        assert!(txt.contains("fig4"));
+        assert!(txt.contains("Ideal"));
+        assert!(txt.contains("Noise=0.5"));
+        assert!(txt.contains("20.0000 ± 0.5000"));
+        // Missing cells render empty, not crash.
+        assert!(txt.lines().count() >= 5);
+    }
+
+    #[test]
+    fn peak_finds_maximum() {
+        let fig = sample_figure();
+        let p = fig.series[0].peak().unwrap();
+        assert_eq!(p.y.estimate, 20.0);
+        assert!(Series::new("empty", vec![]).peak().is_none());
+    }
+
+    #[test]
+    fn display_equals_render() {
+        let fig = sample_figure();
+        assert_eq!(fig.to_string(), fig.render());
+    }
+}

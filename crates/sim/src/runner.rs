@@ -1,0 +1,126 @@
+//! Deterministic parallel trial execution.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a thread-count setting: `0` means one thread per available
+/// core.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `f(0..n)` across `threads` workers and returns the results in
+/// index order.
+///
+/// Work is claimed dynamically (an atomic cursor), so stragglers balance;
+/// results are reassembled by index, so the output — and therefore every
+/// downstream statistic — is **independent of the thread count and
+/// scheduling**. Each task must derive its own randomness from its index.
+///
+/// Panics in `f` propagate after all workers stop.
+///
+/// # Example
+///
+/// ```
+/// use abp_sim::runner::parallel_map;
+/// let squares = parallel_map(8, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::bounded::<(usize, T)>(threads * 2);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // A send failure means the collector stopped (a panic is
+                // unwinding); just stop producing.
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, v) in rx {
+            results[i] = Some(v);
+        }
+    });
+    results
+        .into_iter()
+        .map(|v| v.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = parallel_map(100, 8, |i| i * 3);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_tasks() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread() {
+        let seq = parallel_map(64, 1, |i| (i as f64).sqrt());
+        let par = parallel_map(64, 8, |i| (i as f64).sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = parallel_map(500, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn resolve_threads_defaults_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let out = parallel_map(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

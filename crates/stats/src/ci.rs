@@ -1,0 +1,270 @@
+//! Confidence intervals for sample means.
+//!
+//! The paper states: *“To characterize the stability of our results, all
+//! graphs include 95 % confidence intervals.”* We provide the classic
+//! CI for a sample mean: Student's *t* for small samples, the normal
+//! approximation (z = 1.96) for `n >= 30`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Two-sided 97.5 % Student-*t* critical values for `df = 1..=30`.
+///
+/// Standard table values; index `df - 1`.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 97.5th-percentile critical value (two-sided 95 % CI multiplier) of
+/// Student's *t* distribution with `df` degrees of freedom.
+///
+/// Exact table values for `df <= 30`, the normal value 1.96 beyond.
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+pub fn student_t_975(df: u64) -> f64 {
+    assert!(df > 0, "t distribution needs at least 1 degree of freedom");
+    if df <= 30 {
+        T_975[(df - 1) as usize]
+    } else {
+        1.96
+    }
+}
+
+/// Half-width of the 95 % confidence interval for a mean estimated from
+/// `n` samples with sample standard deviation `s`.
+///
+/// Returns `0.0` for `n < 2` (no spread information).
+///
+/// # Example
+///
+/// ```
+/// use abp_stats::ci95_half_width;
+/// let hw = ci95_half_width(1000, 2.0);
+/// assert!((hw - 1.96 * 2.0 / 1000f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn ci95_half_width(n: u64, s: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    student_t_975(n - 1) * s / (n as f64).sqrt()
+}
+
+/// A point estimate with a symmetric 95 % confidence interval.
+///
+/// The unit of everything is whatever the estimate's unit is (meters in the
+/// paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate (sample mean).
+    pub estimate: f64,
+    /// Half-width of the 95 % interval: the interval is
+    /// `[estimate - half_width, estimate + half_width]`.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds an interval from a sample mean, its standard deviation and
+    /// sample count.
+    pub fn from_moments(mean: f64, std: f64, n: u64) -> Self {
+        ConfidenceInterval {
+            estimate: mean,
+            half_width: ci95_half_width(n, std),
+        }
+    }
+
+    /// Lower bound of the interval.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.estimate - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.estimate + self.half_width
+    }
+
+    /// Returns `true` if `x` falls inside the interval (bounds included).
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Returns `true` if the two intervals overlap — the coarse visual test
+    /// the paper's error bars afford.
+    #[inline]
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.estimate, self.half_width)
+    }
+}
+
+/// 95 % confidence interval for the mean of the *paired differences*
+/// `a[i] - b[i]`.
+///
+/// This is the right comparison for the paper's experiments: every
+/// algorithm is evaluated on the *same* random beacon fields, so the
+/// per-field difference cancels the (large) field-to-field variance that
+/// two independent CIs would both carry. If the returned interval
+/// excludes zero, `a` beats `b` (or vice versa) at the 95 % level.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use abp_stats::ci::paired_diff_ci;
+/// let grid = [2.0, 2.2, 1.9, 2.1];
+/// let max_ = [1.0, 1.1, 0.9, 1.0];
+/// let d = paired_diff_ci(&grid, &max_);
+/// assert!(d.lo() > 0.0); // grid significantly better
+/// ```
+pub fn paired_diff_ci(a: &[f64], b: &[f64]) -> ConfidenceInterval {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    assert!(!a.is_empty(), "paired comparison needs at least one pair");
+    let mut w = crate::welford::Welford::new();
+    for (x, y) in a.iter().zip(b) {
+        w.push(x - y);
+    }
+    ConfidenceInterval::from_moments(w.mean(), w.sample_std(), w.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert_eq!(student_t_975(1), 12.706);
+        assert_eq!(student_t_975(10), 2.228);
+        assert_eq!(student_t_975(30), 2.042);
+        assert_eq!(student_t_975(31), 1.96);
+        assert_eq!(student_t_975(10_000), 1.96);
+    }
+
+    #[test]
+    fn t_decreases_with_df() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=40 {
+            let t = student_t_975(df);
+            assert!(t <= prev, "t must be non-increasing in df");
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of freedom")]
+    fn t_rejects_zero_df() {
+        let _ = student_t_975(0);
+    }
+
+    #[test]
+    fn half_width_small_n_uses_t() {
+        // n = 2 => df = 1 => multiplier 12.706.
+        let hw = ci95_half_width(2, 1.0);
+        assert!((hw - 12.706 / 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_width_degenerate_n() {
+        assert_eq!(ci95_half_width(0, 5.0), 0.0);
+        assert_eq!(ci95_half_width(1, 5.0), 0.0);
+    }
+
+    #[test]
+    fn interval_bounds_and_contains() {
+        let ci = ConfidenceInterval {
+            estimate: 10.0,
+            half_width: 2.0,
+        };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(8.0));
+        assert!(ci.contains(12.0));
+        assert!(!ci.contains(12.001));
+    }
+
+    #[test]
+    fn interval_overlap() {
+        let a = ConfidenceInterval {
+            estimate: 0.0,
+            half_width: 1.0,
+        };
+        let b = ConfidenceInterval {
+            estimate: 1.5,
+            half_width: 1.0,
+        };
+        let c = ConfidenceInterval {
+            estimate: 5.0,
+            half_width: 1.0,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn from_moments_matches_formula() {
+        let ci = ConfidenceInterval::from_moments(3.0, 2.0, 100);
+        assert_eq!(ci.estimate, 3.0);
+        assert!((ci.half_width - 1.96 * 2.0 / 10.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod paired_tests {
+    use super::*;
+
+    #[test]
+    fn paired_ci_cancels_shared_variance() {
+        // a and b share a huge per-trial component; their difference is
+        // tiny and consistent. Paired CI resolves it, independent CIs
+        // would not.
+        let shared: Vec<f64> = (0..50).map(|k| (k as f64 * 0.7).sin() * 100.0).collect();
+        let a: Vec<f64> = shared.iter().map(|s| s + 1.0).collect();
+        let b = shared;
+        let d = paired_diff_ci(&a, &b);
+        assert!((d.estimate - 1.0).abs() < 1e-9);
+        assert!(d.half_width < 1e-9);
+        assert!(d.lo() > 0.0);
+    }
+
+    #[test]
+    fn paired_ci_covers_zero_for_identical_samples() {
+        let xs: Vec<f64> = (0..20).map(|k| k as f64).collect();
+        let d = paired_diff_ci(&xs, &xs);
+        assert_eq!(d.estimate, 0.0);
+        assert!(d.contains(0.0));
+    }
+
+    #[test]
+    fn sign_flips_with_argument_order() {
+        let a = [3.0, 3.0, 3.0];
+        let b = [1.0, 1.0, 1.0];
+        assert_eq!(paired_diff_ci(&a, &b).estimate, 2.0);
+        assert_eq!(paired_diff_ci(&b, &a).estimate, -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        let _ = paired_diff_ci(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn rejects_empty() {
+        let _ = paired_diff_ci(&[], &[]);
+    }
+}

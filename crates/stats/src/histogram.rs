@@ -1,0 +1,255 @@
+//! Fixed-width histograms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram with equal-width bins over `[lo, hi)`.
+///
+/// Observations below `lo` land in an underflow counter, observations at or
+/// above `hi` in an overflow counter, so no data is silently dropped. Used
+/// to inspect localization-error distributions (e.g. the "few loud hot
+/// spots" effect the paper describes for the Max algorithm).
+///
+/// # Example
+///
+/// ```
+/// use abp_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.extend([0.5, 2.5, 2.6, 9.9, 11.0]);
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.count(4), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo_bits: u64,
+    hi_bits: u64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, or `lo >= hi`, or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi})"
+        );
+        Histogram {
+            lo_bits: lo.to_bits(),
+            hi_bits: hi.to_bits(),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    fn lo(&self) -> f64 {
+        f64::from_bits(self.lo_bits)
+    }
+
+    fn hi(&self) -> f64 {
+        f64::from_bits(self.hi_bits)
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    #[inline]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi() - self.lo()) / self.bins() as f64
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        if x < self.lo() {
+            self.underflow += 1;
+        } else if x >= self.hi() {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo()) / self.bin_width()) as usize;
+            // Guard against rounding placing x == hi - eps into bins().
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Count in bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= bins()`.
+    #[inline]
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Observations below the range.
+    #[inline]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// The `[lo, hi)` interval covered by bin `idx`.
+    pub fn bin_range(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.bins(), "bin {idx} out of range");
+        let w = self.bin_width();
+        (self.lo() + idx as f64 * w, self.lo() + (idx + 1) as f64 * w)
+    }
+
+    /// Iterates `(bin_lo, bin_hi, count)` for all bins.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins()).map(move |k| {
+            let (lo, hi) = self.bin_range(k);
+            (lo, hi, self.counts[k])
+        })
+    }
+
+    /// Merges another histogram with identical binning into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo_bits, other.lo_bits, "histogram lo mismatch");
+        assert_eq!(self.hi_bits, other.hi_bits, "histogram hi mismatch");
+        assert_eq!(self.bins(), other.bins(), "histogram bin-count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "histogram [{}, {}) x{} (under {}, over {})",
+            self.lo(),
+            self.hi(),
+            self.bins(),
+            self.underflow,
+            self.overflow
+        )?;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (lo, hi, n) in self.iter() {
+            let bar = "#".repeat((n * 40 / max) as usize);
+            writeln!(f, "  [{lo:8.3}, {hi:8.3}) {n:8} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_ranges() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bins(), 5);
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn record_routes_to_correct_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0);
+        h.record(1.999);
+        h.record(2.0);
+        h.record(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        a.extend([0.5, 1.5]);
+        let mut b = Histogram::new(0.0, 4.0, 4);
+        b.extend([1.6, 3.9, -1.0]);
+        a.merge(&b);
+        assert_eq!(a.count(0), 1);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(3), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin-count mismatch")]
+    fn merge_rejects_different_bins() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        let b = Histogram::new(0.0, 4.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn rejects_inverted_range() {
+        let _ = Histogram::new(5.0, 1.0, 3);
+    }
+
+    #[test]
+    fn iter_covers_whole_range() {
+        let h = Histogram::new(-2.0, 2.0, 4);
+        let ranges: Vec<_> = h.iter().map(|(lo, hi, _)| (lo, hi)).collect();
+        assert_eq!(ranges.first().unwrap().0, -2.0);
+        assert_eq!(ranges.last().unwrap().1, 2.0);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Interpolated quantiles.
+
+/// Interpolated quantile of a sample (R-7 / NumPy `linear` method).
+///
+/// `q` is the quantile in `[0, 1]`; `q = 0.5` is the median. The input
+/// slice does **not** need to be sorted — a sorted copy is made internally;
+/// use [`quantile_sorted`] in hot paths where the data is already ordered.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+///
+/// # Example
+///
+/// ```
+/// use abp_stats::quantile;
+/// let xs = [3.0, 1.0, 2.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over data already sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`. Debug builds additionally verify the
+/// slice is sorted.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile q={q} outside [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires ascending input"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median of a sample (`quantile(values, 0.5)`).
+///
+/// Returns `None` for an empty sample. This is the statistic behind the
+/// paper's *Improvement in Median Error* metric.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Median over data already sorted ascending.
+pub fn median_sorted(sorted: &[f64]) -> Option<f64> {
+    quantile_sorted(sorted, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn median_empty_none() {
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_single_and_repeated() {
+        assert_eq!(median(&[7.0]), Some(7.0));
+        assert_eq!(median(&[2.0, 2.0, 2.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(30.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_r7() {
+        // NumPy: np.quantile([1,2,3,4], .25) == 1.75
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.25), Some(1.75));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.75), Some(3.25));
+    }
+
+    #[test]
+    fn quantile_unsorted_input_ok() {
+        assert_eq!(quantile(&[9.0, 1.0, 5.0], 0.5), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_sorted_matches_quantile() {
+        let xs = [0.5, 1.5, 2.5, 9.0, 12.0];
+        for q in [0.0, 0.1, 0.33, 0.5, 0.9, 1.0] {
+            assert_eq!(quantile(&xs, q), quantile_sorted(&xs, q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_bad_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn quantile_rejects_nan() {
+        let _ = quantile(&[1.0, f64::NAN], 0.5);
+    }
+}

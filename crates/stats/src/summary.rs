@@ -1,0 +1,217 @@
+//! One-shot descriptive statistics of a sample.
+
+use crate::ci::ConfidenceInterval;
+use crate::quantile::quantile_sorted;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Descriptive statistics of a finite sample.
+///
+/// Computed once from the data (sorting it internally) and then queried in
+/// O(1). This is the per-survey statistic bundle of the evaluation
+/// pipeline: the paper's metrics are differences of `mean()` and `median()`
+/// between the before- and after-placement surveys.
+///
+/// # Example
+///
+/// ```
+/// use abp_stats::Summary;
+/// let s = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.median(), 2.5);
+/// assert_eq!(s.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    std: f64,
+}
+
+impl Summary {
+    /// Computes statistics from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains NaN.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = if sorted.len() < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        };
+        Summary {
+            sorted,
+            mean,
+            std: var.sqrt(),
+        }
+    }
+
+    /// Computes statistics from an iterator.
+    ///
+    /// Not the `FromIterator` trait: construction panics on an empty
+    /// iterator, which `collect()` would hide behind an innocuous-looking
+    /// call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or yields NaN.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let values: Vec<f64> = iter.into_iter().collect();
+        Summary::from_slice(&values)
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: construction rejects empty samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sample mean.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample median (R-7 interpolation).
+    #[inline]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Interpolated quantile, `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q).expect("summary is never empty")
+    }
+
+    /// Smallest observation.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// Unbiased sample standard deviation.
+    #[inline]
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// The sorted sample, ascending.
+    #[inline]
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// 95 % confidence interval for the mean.
+    pub fn mean_ci95(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_moments(self.mean, self.std, self.sorted.len() as u64)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} median={:.4} std={:.4} min={:.4} max={:.4}",
+            self.len(),
+            self.mean(),
+            self.median(),
+            self.std(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.median(), 4.5);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.std() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.mean_ci95().half_width, 0.0);
+    }
+
+    #[test]
+    fn quantiles_consistent_with_sorted_values() {
+        let s = Summary::from_slice(&[10.0, 30.0, 20.0]);
+        assert_eq!(s.sorted_values(), &[10.0, 20.0, 30.0]);
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(0.5), 20.0);
+        assert_eq!(s.quantile(1.0), 30.0);
+    }
+
+    #[test]
+    fn from_iter_matches_from_slice() {
+        let a = Summary::from_iter((0..10).map(|x| x as f64));
+        let vals: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        let b = Summary::from_slice(&vals);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ci_uses_sample_count() {
+        let s = Summary::from_iter((0..1000).map(|x| (x % 7) as f64));
+        let ci = s.mean_ci95();
+        assert!(ci.half_width > 0.0);
+        assert!(ci.contains(s.mean()));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_slice(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        let _ = Summary::from_slice(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = Summary::from_slice(&[1.0, 2.0]).to_string();
+        for token in ["n=2", "mean=", "median=", "std=", "min=", "max="] {
+            assert!(s.contains(token), "{s} missing {token}");
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Streaming mean/variance (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming mean and variance.
+///
+/// Welford's online algorithm; supports O(1) `push` and `merge` (Chan et
+/// al.'s parallel variant), so per-thread accumulators from the Monte-Carlo
+/// executor can be combined without storing samples.
+///
+/// # Example
+///
+/// ```
+/// use abp_stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert_eq!(w.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) if `x` is NaN.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN observation");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no observations have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean; `0.0` when empty (check [`Welford::is_empty`]).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unbiased sample variance (`n - 1` denominator); `0.0` for fewer than
+    /// two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); `0.0` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[inline]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`; `0.0` when empty.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95 % confidence interval for the mean.
+    ///
+    /// Uses Student's *t* below 30 observations and the normal
+    /// approximation above (see [`crate::ci::ci95_half_width`]).
+    pub fn ci95_half_width(&self) -> f64 {
+        crate::ci::ci95_half_width(self.count, self.sample_std())
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let w = Welford::new();
+        assert!(w.is_empty());
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let w: Welford = std::iter::once(3.5).collect();
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.population_variance(), 4.0);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|k| (k as f64) * 0.37 - 5.0).collect();
+        let seq: Welford = xs.iter().copied().collect();
+        let mut a: Welford = xs[..33].iter().copied().collect();
+        let b: Welford = xs[33..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - seq.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w: Welford = [1.0, 2.0].into_iter().collect();
+        let snapshot = w;
+        w.merge(&Welford::new());
+        assert_eq!(w, snapshot);
+        let mut e = Welford::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Catastrophic cancellation check: variance of {1e9, 1e9+1, 1e9+2}.
+        let w: Welford = [1e9, 1e9 + 1.0, 1e9 + 2.0].into_iter().collect();
+        assert!((w.sample_variance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few: Welford = (0..10).map(|k| k as f64).collect();
+        let many: Welford = (0..1000).map(|k| (k % 10) as f64).collect();
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+}

@@ -1,0 +1,551 @@
+//! The measured localization-error field.
+
+use abp_field::{Beacon, BeaconField};
+use abp_geom::{Disk, Lattice, LatticeIndex, Point, Rect};
+use abp_localize::{Localizer, UnheardPolicy};
+use abp_radio::Propagation;
+use abp_stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The localization error measured at every lattice point — what the
+/// paper's exploring agent produces in Step 2 of the Max/Grid algorithms
+/// ("measure localization error at each point `(i·step, j·step)`"), and
+/// the sole input the placement algorithms consume.
+///
+/// Internally the map keeps, per point, the running centroid accumulator
+/// `(Σx, Σy, count)` of connected beacons. This enables:
+///
+/// * **beacon-major construction** ([`ErrorMap::survey`]): for each beacon
+///   visit only the lattice points inside its maximum range — `O(Σ
+///   points-in-range)` instead of `O(points × beacons)`, a ~6× saving at
+///   paper scale and far more at low density;
+/// * **incremental re-survey** ([`ErrorMap::add_beacon`]): adding a beacon
+///   touches only the points inside *its* coverage disk, so the
+///   after-placement survey costs `O((R/step)²)` instead of a full pass.
+///
+/// Unheard points follow the configured [`UnheardPolicy`]; with
+/// [`UnheardPolicy::Exclude`] they carry no measurement and are skipped by
+/// all statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorMap {
+    lattice: Lattice,
+    policy: UnheardPolicy,
+    sum_x: Vec<f64>,
+    sum_y: Vec<f64>,
+    count: Vec<u32>,
+    /// Localization error per point; NaN encodes "excluded".
+    errors: Vec<f64>,
+}
+
+impl ErrorMap {
+    /// Surveys `field` under `model` over `lattice` (beacon-major sweep).
+    ///
+    /// Semantically identical to running the paper's centroid localizer at
+    /// every lattice point (validated against
+    /// [`ErrorMap::survey_with_localizer`] in tests).
+    pub fn survey(
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+    ) -> Self {
+        let n = lattice.len();
+        let mut map = ErrorMap {
+            lattice: *lattice,
+            policy,
+            sum_x: vec![0.0; n],
+            sum_y: vec![0.0; n],
+            count: vec![0; n],
+            errors: vec![0.0; n],
+        };
+        for b in field {
+            map.accumulate_beacon(b, model);
+        }
+        for flat in 0..n {
+            map.errors[flat] = map.derive_error(flat);
+        }
+        map
+    }
+
+    /// Reference implementation: runs an arbitrary [`Localizer`] at every
+    /// lattice point. `O(points × beacons)` — used for validation and for
+    /// non-centroid localizers, not in the hot experiment path.
+    pub fn survey_with_localizer<L: Localizer + ?Sized>(
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        localizer: &L,
+    ) -> Self {
+        let n = lattice.len();
+        let mut map = ErrorMap {
+            lattice: *lattice,
+            policy: UnheardPolicy::Exclude,
+            sum_x: vec![0.0; n],
+            sum_y: vec![0.0; n],
+            count: vec![0; n],
+            errors: vec![f64::NAN; n],
+        };
+        for ix in lattice.indices() {
+            let p = lattice.point(ix);
+            let fix = localizer.localize(field, model, p);
+            let flat = lattice.flat(ix);
+            map.count[flat] = fix.heard as u32;
+            if let Some(est) = fix.estimate {
+                map.sum_x[flat] = est.x * fix.heard.max(1) as f64;
+                map.sum_y[flat] = est.y * fix.heard.max(1) as f64;
+                map.errors[flat] = est.distance(p);
+            }
+        }
+        map
+    }
+
+    /// Assembles a map from raw parts (robot surveys, snapshot decoding).
+    pub(crate) fn from_parts(
+        lattice: Lattice,
+        policy: UnheardPolicy,
+        sum_x: Vec<f64>,
+        sum_y: Vec<f64>,
+        count: Vec<u32>,
+        errors: Vec<f64>,
+    ) -> Self {
+        let n = lattice.len();
+        assert!(
+            sum_x.len() == n && sum_y.len() == n && count.len() == n && errors.len() == n,
+            "part lengths must equal the lattice size {n}"
+        );
+        ErrorMap {
+            lattice,
+            policy,
+            sum_x,
+            sum_y,
+            count,
+            errors,
+        }
+    }
+
+    /// Raw accessors for snapshot encoding.
+    pub(crate) fn parts(&self) -> (&[f64], &[f64], &[u32], &[f64]) {
+        (&self.sum_x, &self.sum_y, &self.count, &self.errors)
+    }
+
+    /// Adds one beacon's contribution to the accumulators (no error
+    /// derivation).
+    fn accumulate_beacon(&mut self, b: &Beacon, model: &dyn Propagation) {
+        let reach = model.max_range(b.tx(), b.pos());
+        let (bx, by) = (b.pos().x, b.pos().y);
+        let tx = b.tx();
+        let lattice = self.lattice;
+        lattice.for_each_in_disk(Disk::new(b.pos(), reach), |ix, p| {
+            if model.connected(tx, b.pos(), p) {
+                let flat = lattice.flat(ix);
+                self.sum_x[flat] += bx;
+                self.sum_y[flat] += by;
+                self.count[flat] += 1;
+            }
+        });
+    }
+
+    /// Incrementally re-surveys after `beacon` was added to the field:
+    /// only lattice points inside the beacon's maximum range are updated.
+    ///
+    /// The result is exactly what a full [`ErrorMap::survey`] of the
+    /// extended field would produce (deterministic propagation makes the
+    /// replay exact); tests assert this equivalence.
+    pub fn add_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) {
+        let reach = model.max_range(beacon.tx(), beacon.pos());
+        let (bx, by) = (beacon.pos().x, beacon.pos().y);
+        let tx = beacon.tx();
+        let lattice = self.lattice;
+        let mut touched = Vec::new();
+        lattice.for_each_in_disk(Disk::new(beacon.pos(), reach), |ix, p| {
+            if model.connected(tx, beacon.pos(), p) {
+                let flat = lattice.flat(ix);
+                self.sum_x[flat] += bx;
+                self.sum_y[flat] += by;
+                self.count[flat] += 1;
+                touched.push(flat);
+            }
+        });
+        for flat in touched {
+            self.errors[flat] = self.derive_error(flat);
+        }
+    }
+
+    /// Incrementally removes a beacon's contribution (the inverse of
+    /// [`ErrorMap::add_beacon`]) — used by the self-scheduling extension
+    /// when a beacon turns passive.
+    pub fn remove_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) {
+        let reach = model.max_range(beacon.tx(), beacon.pos());
+        let (bx, by) = (beacon.pos().x, beacon.pos().y);
+        let tx = beacon.tx();
+        let lattice = self.lattice;
+        let mut touched = Vec::new();
+        lattice.for_each_in_disk(Disk::new(beacon.pos(), reach), |ix, p| {
+            if model.connected(tx, beacon.pos(), p) {
+                let flat = lattice.flat(ix);
+                debug_assert!(self.count[flat] > 0, "removing unaccounted beacon");
+                self.sum_x[flat] -= bx;
+                self.sum_y[flat] -= by;
+                self.count[flat] -= 1;
+                touched.push(flat);
+            }
+        });
+        for flat in touched {
+            self.errors[flat] = self.derive_error(flat);
+        }
+    }
+
+    fn derive_error(&self, flat: usize) -> f64 {
+        let p = self.lattice.point(self.lattice.unflat(flat));
+        let estimate = if self.count[flat] > 0 {
+            let inv = 1.0 / self.count[flat] as f64;
+            Some(Point::new(self.sum_x[flat] * inv, self.sum_y[flat] * inv))
+        } else {
+            self.policy.estimate(self.lattice.terrain())
+        };
+        match estimate {
+            Some(est) => est.distance(p),
+            None => f64::NAN,
+        }
+    }
+
+    /// The survey lattice.
+    #[inline]
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The unheard policy in effect.
+    #[inline]
+    pub fn policy(&self) -> UnheardPolicy {
+        self.policy
+    }
+
+    /// Total number of lattice points (`PT`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Always `false` (lattices are non-empty by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The measured error at a lattice point, or `None` for excluded
+    /// (unheard under [`UnheardPolicy::Exclude`]) points.
+    pub fn error_at(&self, ix: LatticeIndex) -> Option<f64> {
+        let e = self.errors[self.lattice.flat(ix)];
+        (!e.is_nan()).then_some(e)
+    }
+
+    /// The position estimate at a lattice point (`None` if excluded).
+    pub fn estimate_at(&self, ix: LatticeIndex) -> Option<Point> {
+        let flat = self.lattice.flat(ix);
+        if self.count[flat] > 0 {
+            let inv = 1.0 / self.count[flat] as f64;
+            Some(Point::new(self.sum_x[flat] * inv, self.sum_y[flat] * inv))
+        } else {
+            self.policy.estimate(self.lattice.terrain())
+        }
+    }
+
+    /// Number of beacons heard at a lattice point.
+    pub fn heard_at(&self, ix: LatticeIndex) -> u32 {
+        self.count[self.lattice.flat(ix)]
+    }
+
+    /// Iterates the valid (non-excluded) errors.
+    pub fn valid_errors(&self) -> impl Iterator<Item = f64> + '_ {
+        self.errors.iter().copied().filter(|e| !e.is_nan())
+    }
+
+    /// Number of valid measurements.
+    pub fn valid_count(&self) -> usize {
+        self.errors.iter().filter(|e| !e.is_nan()).count()
+    }
+
+    /// Number of lattice points hearing no beacon.
+    pub fn unheard_count(&self) -> usize {
+        self.count.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// Mean localization error over all measured points — the statistic of
+    /// Figures 4 and 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every point is excluded (only possible with
+    /// [`UnheardPolicy::Exclude`] and an unheard terrain).
+    pub fn mean_error(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for e in self.valid_errors() {
+            sum += e;
+            n += 1;
+        }
+        assert!(n > 0, "no valid measurements in error map");
+        sum / n as f64
+    }
+
+    /// Median localization error over all measured points (R-7
+    /// interpolation, matching [`abp_stats::median`]), computed by
+    /// selection in `O(points)` — the improvement experiments call this in
+    /// their inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every point is excluded.
+    pub fn median_error(&self) -> f64 {
+        let mut vals: Vec<f64> = self.valid_errors().collect();
+        assert!(!vals.is_empty(), "no valid measurements in error map");
+        let n = vals.len();
+        let k2 = n / 2;
+        let (left, mid, _) =
+            vals.select_nth_unstable_by(k2, |a, b| a.partial_cmp(b).expect("no NaN here"));
+        let hi = *mid;
+        if n % 2 == 1 {
+            hi
+        } else {
+            let lo = left.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (lo + hi) * 0.5
+        }
+    }
+
+    /// Full descriptive statistics of the valid errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every point is excluded.
+    pub fn summary(&self) -> Summary {
+        Summary::from_iter(self.valid_errors())
+    }
+
+    /// The lattice point with the highest measured error — Step 3 of the
+    /// paper's Max algorithm. Ties break toward the first point in
+    /// row-major order (deterministic). `None` if every point is excluded.
+    pub fn max_error_point(&self) -> Option<(LatticeIndex, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (flat, &e) in self.errors.iter().enumerate() {
+            if e.is_nan() {
+                continue;
+            }
+            if best.map_or(true, |(_, be)| e > be) {
+                best = Some((flat, e));
+            }
+        }
+        best.map(|(flat, e)| (self.lattice.unflat(flat), e))
+    }
+
+    /// Cumulative (summed) error over the lattice points inside `rect` —
+    /// Step 4 of the paper's Grid algorithm (`S(i, j)`). Excluded points
+    /// contribute nothing.
+    pub fn cumulative_error_in(&self, rect: &Rect) -> f64 {
+        let mut sum = 0.0;
+        let lattice = self.lattice;
+        lattice.for_each_in_rect(rect, |ix, _| {
+            let e = self.errors[lattice.flat(ix)];
+            if !e.is_nan() {
+                sum += e;
+            }
+        });
+        sum
+    }
+}
+
+impl fmt::Display for ErrorMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error map over {} ({} valid, {} unheard)",
+            self.lattice,
+            self.valid_count(),
+            self.unheard_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::Terrain;
+    use abp_localize::CentroidLocalizer;
+    use abp_radio::{IdealDisk, PerBeaconNoise};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    fn lattice(step: f64) -> Lattice {
+        Lattice::new(terrain(), step)
+    }
+
+    #[test]
+    fn empty_field_policy_estimates() {
+        let lat = lattice(10.0);
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        // Every point estimated at (50, 50): corner error = 50*sqrt(2).
+        let corner = map
+            .error_at(LatticeIndex::new(0, 0))
+            .unwrap();
+        assert!((corner - 50.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
+        let center = map.error_at(lat.nearest(Point::new(50.0, 50.0))).unwrap();
+        assert_eq!(center, 0.0);
+        assert_eq!(map.unheard_count(), map.len());
+    }
+
+    #[test]
+    fn exclude_policy_drops_unheard() {
+        let lat = lattice(10.0);
+        let field = BeaconField::from_positions(terrain(), [Point::new(50.0, 50.0)]);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::Exclude);
+        assert!(map.valid_count() > 0);
+        assert!(map.valid_count() < map.len());
+        assert_eq!(map.valid_count() + map.unheard_count(), map.len());
+        assert!(map.error_at(LatticeIndex::new(0, 0)).is_none());
+    }
+
+    #[test]
+    fn survey_matches_localizer_reference() {
+        let lat = lattice(5.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+        for noise in [0.0, 0.3] {
+            let model = PerBeaconNoise::new(15.0, noise, 13);
+            let fast = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::Exclude);
+            let slow = ErrorMap::survey_with_localizer(
+                &lat,
+                &field,
+                &model,
+                &CentroidLocalizer::new(UnheardPolicy::Exclude),
+            );
+            for ix in lat.indices() {
+                let a = fast.error_at(ix);
+                let b = slow.error_at(ix);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{ix}: {x} vs {y}"),
+                    _ => panic!("validity mismatch at {ix}: {a:?} vs {b:?}"),
+                }
+                assert_eq!(fast.heard_at(ix), slow.heard_at(ix), "heard at {ix}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_add_equals_full_resurvey() {
+        let lat = lattice(2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for noise in [0.0, 0.5] {
+            let mut field = BeaconField::random_uniform(30, terrain(), &mut rng);
+            let model = PerBeaconNoise::new(15.0, noise, 21);
+            let mut map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+            // Add a beacon both ways.
+            let id = field.add_beacon(Point::new(33.3, 66.6));
+            let beacon = *field.get(id).unwrap();
+            map.add_beacon(&beacon, &model);
+            let full = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+            for ix in lat.indices() {
+                assert_eq!(map.heard_at(ix), full.heard_at(ix));
+                let (a, b) = (map.error_at(ix).unwrap(), full.error_at(ix).unwrap());
+                assert!((a - b).abs() < 1e-9, "{ix}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_remove_inverts_add() {
+        let lat = lattice(4.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut field = BeaconField::random_uniform(20, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let before = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let id = field.add_beacon(Point::new(20.0, 80.0));
+        let beacon = *field.get(id).unwrap();
+        let mut map = before.clone();
+        map.add_beacon(&beacon, &model);
+        map.remove_beacon(&beacon, &model);
+        for ix in lat.indices() {
+            assert_eq!(map.heard_at(ix), before.heard_at(ix));
+            let (a, b) = (
+                map.error_at(ix).unwrap(),
+                before.error_at(ix).unwrap(),
+            );
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adding_a_beacon_never_reduces_heard_counts() {
+        let lat = lattice(5.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut field = BeaconField::random_uniform(10, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let before = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let id = field.add_beacon(Point::new(50.0, 50.0));
+        let mut after = before.clone();
+        after.add_beacon(field.get(id).unwrap(), &model);
+        for ix in lat.indices() {
+            assert!(after.heard_at(ix) >= before.heard_at(ix));
+        }
+    }
+
+    #[test]
+    fn mean_and_median_match_summary() {
+        let lat = lattice(5.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let field = BeaconField::random_uniform(50, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let s = map.summary();
+        assert!((map.mean_error() - s.mean()).abs() < 1e-12);
+        assert!((map.median_error() - s.median()).abs() < 1e-12);
+        assert_eq!(map.valid_count(), s.len());
+    }
+
+    #[test]
+    fn max_error_point_is_argmax() {
+        let lat = lattice(10.0);
+        let field = BeaconField::from_positions(terrain(), [Point::new(0.0, 0.0)]);
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::Origin);
+        let (ix, e) = map.max_error_point().unwrap();
+        for other in lat.indices() {
+            assert!(map.error_at(other).unwrap() <= e);
+        }
+        // With Origin policy the worst point is the far corner (100, 100).
+        assert_eq!(ix, LatticeIndex::new(10, 10));
+    }
+
+    #[test]
+    fn cumulative_error_in_rect_sums_members() {
+        let lat = lattice(10.0);
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let rect = Rect::new(Point::new(0.0, 0.0), Point::new(20.0, 20.0));
+        let mut manual = 0.0;
+        lat.for_each_in_rect(&rect, |ix, _| manual += map.error_at(ix).unwrap());
+        assert!((map.cumulative_error_in(&rect) - manual).abs() < 1e-9);
+        // Whole-terrain cumulative = mean * count.
+        let whole = map.cumulative_error_in(&terrain().bounds());
+        assert!((whole - map.mean_error() * map.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no valid measurements")]
+    fn mean_panics_when_everything_excluded() {
+        let lat = lattice(10.0);
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::Exclude);
+        let _ = map.mean_error();
+    }
+}

@@ -1,0 +1,145 @@
+//! Survey plans: which points to measure, in which order.
+
+use abp_geom::{Lattice, LatticeIndex, Terrain};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A survey plan: the paper's `step`-spaced measurement lattice, walked in
+/// boustrophedon (serpentine) order — east along even rows, west along odd
+/// rows — the minimal-travel sweep for a ground robot measuring every
+/// lattice point.
+///
+/// # Example
+///
+/// ```
+/// use abp_geom::Terrain;
+/// use abp_survey::SurveyPlan;
+///
+/// let plan = SurveyPlan::new(Terrain::square(100.0), 1.0);
+/// assert_eq!(plan.len(), 10_201); // the paper's PT
+/// // Total travel: 101 rows of 100 m plus 100 row-to-row hops of 1 m.
+/// assert_eq!(plan.travel_distance(), 101.0 * 100.0 + 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyPlan {
+    lattice: Lattice,
+}
+
+impl SurveyPlan {
+    /// Creates the plan for `terrain` with measurement spacing `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Lattice::new`].
+    pub fn new(terrain: Terrain, step: f64) -> Self {
+        SurveyPlan {
+            lattice: Lattice::new(terrain, step),
+        }
+    }
+
+    /// Wraps an existing lattice.
+    pub fn from_lattice(lattice: Lattice) -> Self {
+        SurveyPlan { lattice }
+    }
+
+    /// The measurement lattice.
+    #[inline]
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Number of measurement points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lattice.len()
+    }
+
+    /// Always `false` (lattices are non-empty).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lattice.is_empty()
+    }
+
+    /// Iterates lattice indices in boustrophedon order: row 0 west→east,
+    /// row 1 east→west, and so on.
+    pub fn waypoints(&self) -> impl Iterator<Item = LatticeIndex> + '_ {
+        let n = self.lattice.per_side();
+        (0..n).flat_map(move |j| {
+            (0..n).map(move |k| {
+                let i = if j % 2 == 0 { k } else { n - 1 - k };
+                LatticeIndex::new(i, j)
+            })
+        })
+    }
+
+    /// Total ground distance of the boustrophedon sweep, in meters.
+    pub fn travel_distance(&self) -> f64 {
+        let n = self.lattice.per_side() as f64;
+        let step = self.lattice.step();
+        // Each of the n rows spans (n-1)*step; n-1 hops between rows.
+        n * (n - 1.0) * step + (n - 1.0) * step
+    }
+}
+
+impl fmt::Display for SurveyPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "boustrophedon survey over {}", self.lattice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::Point;
+
+    #[test]
+    fn visits_every_point_exactly_once() {
+        let plan = SurveyPlan::new(Terrain::square(10.0), 2.0);
+        let visited: Vec<_> = plan.waypoints().collect();
+        assert_eq!(visited.len(), plan.len());
+        let mut sorted = visited.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), plan.len());
+    }
+
+    #[test]
+    fn serpentine_order() {
+        let plan = SurveyPlan::new(Terrain::square(2.0), 1.0);
+        let order: Vec<_> = plan
+            .waypoints()
+            .map(|ix| (ix.i, ix.j))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, 0), (1, 0), (2, 0), // east
+                (2, 1), (1, 1), (0, 1), // west
+                (0, 2), (1, 2), (2, 2), // east again
+            ]
+        );
+    }
+
+    #[test]
+    fn consecutive_waypoints_are_one_step_apart() {
+        let plan = SurveyPlan::new(Terrain::square(10.0), 2.5);
+        let points: Vec<Point> = plan
+            .waypoints()
+            .map(|ix| plan.lattice().point(ix))
+            .collect();
+        for w in points.windows(2) {
+            assert!((w[0].distance(w[1]) - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn travel_distance_matches_walked_path() {
+        let plan = SurveyPlan::new(Terrain::square(10.0), 2.0);
+        let points: Vec<Point> = plan
+            .waypoints()
+            .map(|ix| plan.lattice().point(ix))
+            .collect();
+        let walked: f64 = points.windows(2).map(|w| w[0].distance(w[1])).sum();
+        assert!((walked - plan.travel_distance()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! ASCII rendering of error maps and beacon fields.
+//!
+//! The paper's figures visualize localization quality over the terrain;
+//! this module provides the terminal equivalent: an error map as an ASCII
+//! heatmap with beacons overlaid. Used by the CLI's `heatmap` command and
+//! handy when debugging placement decisions.
+
+use crate::errormap::ErrorMap;
+use abp_field::BeaconField;
+use abp_geom::{LatticeIndex, Point};
+
+/// Intensity ramp, light to dark.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Options for [`render_heatmap`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatmapOptions {
+    /// Character-grid width (height follows the terrain aspect ratio,
+    /// halved to compensate for character cells being ~2x taller than
+    /// wide).
+    pub width: usize,
+    /// Fixed intensity scale maximum in meters; `None` auto-scales to the
+    /// map's largest error.
+    pub scale_max: Option<f64>,
+    /// Overlay `o` at beacon positions.
+    pub show_beacons: bool,
+}
+
+impl Default for HeatmapOptions {
+    fn default() -> Self {
+        HeatmapOptions {
+            width: 60,
+            scale_max: None,
+            show_beacons: true,
+        }
+    }
+}
+
+/// Renders an error map as an ASCII heatmap (darker = worse error),
+/// optionally overlaying the beacon field, with a legend line.
+///
+/// Excluded (unmeasured) points render as `?`.
+///
+/// # Panics
+///
+/// Panics if `options.width < 2`.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Lattice, Point, Terrain};
+/// use abp_localize::UnheardPolicy;
+/// use abp_radio::IdealDisk;
+/// use abp_survey::render::{render_heatmap, HeatmapOptions};
+/// use abp_survey::ErrorMap;
+///
+/// let terrain = Terrain::square(100.0);
+/// let lattice = Lattice::new(terrain, 5.0);
+/// let field = BeaconField::from_positions(terrain, [Point::new(50.0, 50.0)]);
+/// let map = ErrorMap::survey(&lattice, &field, &IdealDisk::new(15.0),
+///                            UnheardPolicy::TerrainCenter);
+/// let art = render_heatmap(&map, Some(&field), HeatmapOptions::default());
+/// assert!(art.contains('o')); // the beacon
+/// assert!(art.contains("error scale"));
+/// ```
+pub fn render_heatmap(
+    map: &ErrorMap,
+    field: Option<&BeaconField>,
+    options: HeatmapOptions,
+) -> String {
+    assert!(options.width >= 2, "heatmap width must be at least 2");
+    let lattice = map.lattice();
+    let side = lattice.terrain().side();
+    let width = options.width;
+    let height = (width / 2).max(1);
+    let max_e = options.scale_max.unwrap_or_else(|| {
+        map.valid_errors().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE)
+    });
+
+    let mut rows: Vec<Vec<u8>> = Vec::with_capacity(height);
+    // Render top row = max y, like a map.
+    for r in 0..height {
+        let y = side * (height - 1 - r) as f64 / (height - 1).max(1) as f64;
+        let mut row = Vec::with_capacity(width);
+        for c in 0..width {
+            let x = side * c as f64 / (width - 1) as f64;
+            let ix: LatticeIndex = lattice.nearest(Point::new(x, y));
+            let ch = match map.error_at(ix) {
+                None => b'?',
+                Some(e) => {
+                    let t = (e / max_e).clamp(0.0, 1.0);
+                    RAMP[((t * (RAMP.len() - 1) as f64).round()) as usize]
+                }
+            };
+            row.push(ch);
+        }
+        rows.push(row);
+    }
+
+    if options.show_beacons {
+        if let Some(field) = field {
+            for b in field {
+                let c = ((b.pos().x / side) * (width - 1) as f64).round() as usize;
+                let r_from_bottom =
+                    ((b.pos().y / side) * (height - 1).max(1) as f64).round() as usize;
+                let r = height - 1 - r_from_bottom.min(height - 1);
+                rows[r][c.min(width - 1)] = b'o';
+            }
+        }
+    }
+
+    let mut out = String::with_capacity((width + 1) * height + 80);
+    for row in rows {
+        out.push_str(std::str::from_utf8(&row).expect("ASCII ramp"));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "error scale: ' ' = 0 m .. '@' = {max_e:.2} m{}\n",
+        if options.show_beacons && field.is_some() {
+            ", 'o' = beacon"
+        } else {
+            ""
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::{Lattice, Terrain};
+    use abp_localize::UnheardPolicy;
+    use abp_radio::IdealDisk;
+
+    fn sample() -> (ErrorMap, BeaconField) {
+        let terrain = Terrain::square(100.0);
+        let lattice = Lattice::new(terrain, 5.0);
+        let field = BeaconField::from_positions(
+            terrain,
+            [Point::new(20.0, 20.0), Point::new(80.0, 80.0)],
+        );
+        let map = ErrorMap::survey(
+            &lattice,
+            &field,
+            &IdealDisk::new(15.0),
+            UnheardPolicy::TerrainCenter,
+        );
+        (map, field)
+    }
+
+    #[test]
+    fn dimensions_match_options() {
+        let (map, field) = sample();
+        let art = render_heatmap(&map, Some(&field), HeatmapOptions::default());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 31); // 30 rows + legend
+        assert!(lines[..30].iter().all(|l| l.len() == 60));
+        assert!(lines[30].starts_with("error scale"));
+    }
+
+    /// The art rows only, legend dropped.
+    fn art_rows(s: &str) -> String {
+        s.lines()
+            .filter(|l| !l.starts_with("error scale"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn beacons_render_as_o() {
+        let (map, field) = sample();
+        let art = render_heatmap(&map, Some(&field), HeatmapOptions::default());
+        assert!(art_rows(&art).matches('o').count() >= 2);
+        let without = render_heatmap(
+            &map,
+            Some(&field),
+            HeatmapOptions {
+                show_beacons: false,
+                ..Default::default()
+            },
+        );
+        assert!(!art_rows(&without).contains('o'));
+    }
+
+    #[test]
+    fn good_areas_light_bad_areas_dark() {
+        let (map, field) = sample();
+        let art = render_heatmap(
+            &map,
+            None,
+            HeatmapOptions {
+                width: 20,
+                scale_max: None,
+                show_beacons: false,
+            },
+        );
+        let lines: Vec<&str> = art.lines().collect();
+        // Near the beacon at (20, 20): bottom-left area should be lighter
+        // than the uncovered bottom-right corner.
+        let bottom = lines[9]; // last art row (10 rows for width 20)
+        let near_beacon = bottom.as_bytes()[4];
+        let far_corner = bottom.as_bytes()[19];
+        let rank = |c: u8| RAMP.iter().position(|&r| r == c).unwrap();
+        assert!(rank(near_beacon) < rank(far_corner), "{art}");
+        let _ = field;
+    }
+
+    #[test]
+    fn excluded_points_render_questionmark() {
+        let terrain = Terrain::square(100.0);
+        let lattice = Lattice::new(terrain, 10.0);
+        let field = BeaconField::from_positions(terrain, [Point::new(50.0, 50.0)]);
+        let map = ErrorMap::survey(
+            &lattice,
+            &field,
+            &IdealDisk::new(15.0),
+            UnheardPolicy::Exclude,
+        );
+        let art = render_heatmap(&map, None, HeatmapOptions::default());
+        assert!(art.contains('?'));
+    }
+
+    #[test]
+    fn fixed_scale_is_respected() {
+        let (map, _) = sample();
+        let art = render_heatmap(
+            &map,
+            None,
+            HeatmapOptions {
+                width: 30,
+                scale_max: Some(1000.0),
+                show_beacons: false,
+            },
+        );
+        // Everything is far below 1000 m: the map renders almost blank.
+        assert!(art.contains("1000.00 m"));
+        assert!(!art_rows(&art).contains('@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 2")]
+    fn rejects_degenerate_width() {
+        let (map, _) = sample();
+        let _ = render_heatmap(
+            &map,
+            None,
+            HeatmapOptions {
+                width: 1,
+                scale_max: None,
+                show_beacons: false,
+            },
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The exploring agent (paper §3).
+//!
+//! "We assume that the robot (or human) can determine its geographic
+//! position using a high precision differential GPS receiver ... It also
+//! has a capability to carry a certain number of beacons that it can
+//! deploy as additional beacons wherever it deems necessary."
+//!
+//! [`Robot`] models exactly that: it walks a [`SurveyPlan`], measures the
+//! localization error at every waypoint (optionally through an imperfect
+//! GPS), tracks distance travelled, and carries a finite beacon payload it
+//! can deploy. The paper's simplifying assumption — complete terrain
+//! exploration with no measurement noise — is the `gps_sigma = 0` case.
+
+use crate::errormap::ErrorMap;
+use crate::plan::SurveyPlan;
+use abp_field::{BeaconField, BeaconId};
+use abp_geom::{DeterministicField, Point, Vec2};
+use abp_localize::UnheardPolicy;
+use abp_radio::Propagation;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when deploying from an empty payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfBeacons;
+
+impl fmt::Display for OutOfBeacons {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("robot has no beacons left to deploy")
+    }
+}
+
+impl std::error::Error for OutOfBeacons {}
+
+/// Summary of one survey pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobotReport {
+    /// Waypoints measured.
+    pub waypoints: usize,
+    /// Ground distance covered by this pass, in meters.
+    pub travelled: f64,
+    /// Waypoints at which no beacon was heard.
+    pub unheard: usize,
+}
+
+/// A GPS-equipped mobile agent that surveys terrains and deploys beacons.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Point, Terrain};
+/// use abp_localize::UnheardPolicy;
+/// use abp_radio::IdealDisk;
+/// use abp_survey::{Robot, SurveyPlan};
+///
+/// let terrain = Terrain::square(100.0);
+/// let field = BeaconField::from_positions(terrain, [Point::new(50.0, 50.0)]);
+/// let mut robot = Robot::new(0.0, 2, 7); // perfect GPS, carrying 2 beacons
+/// let plan = SurveyPlan::new(terrain, 10.0);
+/// let (map, report) = robot.survey(&plan, &field, &IdealDisk::new(15.0),
+///                                  UnheardPolicy::TerrainCenter);
+/// assert_eq!(report.waypoints, map.len());
+/// assert!(report.travelled > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Robot {
+    gps_sigma: f64,
+    payload: usize,
+    gps_noise: DeterministicField,
+    odometer: f64,
+}
+
+impl Robot {
+    /// Creates a robot.
+    ///
+    /// * `gps_sigma` — standard deviation of the GPS position error in
+    ///   meters (`0` reproduces the paper's noise-free assumption),
+    /// * `payload` — number of beacons carried,
+    /// * `seed` — realizes the GPS error field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gps_sigma` is negative or not finite.
+    pub fn new(gps_sigma: f64, payload: usize, seed: u64) -> Self {
+        assert!(
+            gps_sigma.is_finite() && gps_sigma >= 0.0,
+            "GPS sigma must be finite and non-negative, got {gps_sigma}"
+        );
+        Robot {
+            gps_sigma,
+            payload,
+            gps_noise: DeterministicField::new(seed),
+            odometer: 0.0,
+        }
+    }
+
+    /// Beacons still carried.
+    #[inline]
+    pub fn payload(&self) -> usize {
+        self.payload
+    }
+
+    /// Total distance travelled over the robot's lifetime, in meters.
+    #[inline]
+    pub fn odometer(&self) -> f64 {
+        self.odometer
+    }
+
+    /// The GPS standard deviation.
+    #[inline]
+    pub fn gps_sigma(&self) -> f64 {
+        self.gps_sigma
+    }
+
+    /// The position the robot's GPS reports when it is truly at `p`
+    /// (deterministic per position; zero-mean, `gps_sigma`-scaled
+    /// Gaussian via Box–Muller).
+    pub fn gps_reading(&self, p: Point) -> Point {
+        if self.gps_sigma == 0.0 {
+            return p;
+        }
+        let u1 = self.gps_noise.unit(0x675, p).max(1e-12);
+        let u2 = self.gps_noise.unit(0x676, p);
+        let mag = (-2.0 * u1.ln()).sqrt() * self.gps_sigma;
+        let angle = std::f64::consts::TAU * u2;
+        p + Vec2::new(mag * angle.cos(), mag * angle.sin())
+    }
+
+    /// Walks `plan` measuring the localization error at every waypoint:
+    /// the robot compares the centroid estimate against its *GPS-believed*
+    /// position, so GPS error perturbs the measurements exactly as it
+    /// would in the field.
+    ///
+    /// With `gps_sigma = 0` the result is identical to the fast
+    /// [`ErrorMap::survey`] sweep (asserted in tests).
+    ///
+    /// Note: maps measured through a noisy GPS should be refreshed by
+    /// another robot pass rather than by [`ErrorMap::add_beacon`], whose
+    /// incremental re-derivation assumes noise-free reference positions.
+    pub fn survey(
+        &mut self,
+        plan: &SurveyPlan,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+    ) -> (ErrorMap, RobotReport) {
+        let lattice = *plan.lattice();
+        let n = lattice.len();
+        let mut sum_x = vec![0.0; n];
+        let mut sum_y = vec![0.0; n];
+        let mut count = vec![0u32; n];
+        // Beacon-major accumulation (same sweep as ErrorMap::survey).
+        for b in field {
+            let reach = model.max_range(b.tx(), b.pos());
+            lattice.for_each_in_disk(abp_geom::Disk::new(b.pos(), reach), |ix, p| {
+                if model.connected(b.tx(), b.pos(), p) {
+                    let flat = lattice.flat(ix);
+                    sum_x[flat] += b.pos().x;
+                    sum_y[flat] += b.pos().y;
+                    count[flat] += 1;
+                }
+            });
+        }
+        // Walk the plan: derive each waypoint's error against the GPS fix.
+        let mut errors = vec![f64::NAN; n];
+        let mut unheard = 0usize;
+        let mut travelled = 0.0;
+        let mut prev: Option<Point> = None;
+        for ix in plan.waypoints() {
+            let truth = lattice.point(ix);
+            if let Some(prev) = prev {
+                travelled += prev.distance(truth);
+            }
+            prev = Some(truth);
+            let believed = self.gps_reading(truth);
+            let flat = lattice.flat(ix);
+            let estimate = if count[flat] > 0 {
+                let inv = 1.0 / count[flat] as f64;
+                Some(Point::new(sum_x[flat] * inv, sum_y[flat] * inv))
+            } else {
+                unheard += 1;
+                policy.estimate(lattice.terrain())
+            };
+            if let Some(est) = estimate {
+                errors[flat] = est.distance(believed);
+            }
+        }
+        self.odometer += travelled;
+        let map = ErrorMap::from_parts(lattice, policy, sum_x, sum_y, count, errors);
+        let report = RobotReport {
+            waypoints: n,
+            travelled,
+            unheard,
+        };
+        (map, report)
+    }
+
+    /// Deploys one carried beacon at `pos`, adding it to `field`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfBeacons`] if the payload is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside the field's terrain (propagated from
+    /// [`BeaconField::add_beacon`]).
+    pub fn deploy(
+        &mut self,
+        field: &mut BeaconField,
+        pos: Point,
+    ) -> Result<BeaconId, OutOfBeacons> {
+        if self.payload == 0 {
+            return Err(OutOfBeacons);
+        }
+        let id = field.add_beacon(pos);
+        self.payload -= 1;
+        Ok(id)
+    }
+}
+
+impl fmt::Display for Robot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "robot (GPS sigma {} m, {} beacons aboard, {:.0} m travelled)",
+            self.gps_sigma, self.payload, self.odometer
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::Terrain;
+    use abp_radio::IdealDisk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn terrain() -> Terrain {
+        Terrain::square(100.0)
+    }
+
+    #[test]
+    fn perfect_gps_matches_fast_survey() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let field = BeaconField::random_uniform(30, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 5.0);
+        let mut robot = Robot::new(0.0, 0, 1);
+        let (robot_map, report) =
+            robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        let fast = ErrorMap::survey(
+            plan.lattice(),
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+        );
+        assert_eq!(report.waypoints, fast.len());
+        for ix in plan.lattice().indices() {
+            let (a, b) = (
+                robot_map.error_at(ix).unwrap(),
+                fast.error_at(ix).unwrap(),
+            );
+            assert!((a - b).abs() < 1e-12, "{ix}");
+        }
+    }
+
+    #[test]
+    fn gps_noise_perturbs_measurements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let field = BeaconField::random_uniform(30, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 10.0);
+        let (clean, _) =
+            Robot::new(0.0, 0, 1).survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        let (noisy, _) =
+            Robot::new(2.0, 0, 1).survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        let differing = plan
+            .lattice()
+            .indices()
+            .filter(|ix| {
+                (clean.error_at(*ix).unwrap() - noisy.error_at(*ix).unwrap()).abs() > 1e-9
+            })
+            .count();
+        assert!(differing > plan.len() / 2, "only {differing} points moved");
+        // And the perturbation is bounded in aggregate: means stay close.
+        assert!((clean.mean_error() - noisy.mean_error()).abs() < 2.0);
+    }
+
+    #[test]
+    fn gps_reading_deterministic() {
+        let robot = Robot::new(3.0, 0, 9);
+        let p = Point::new(12.0, 34.0);
+        assert_eq!(robot.gps_reading(p), robot.gps_reading(p));
+        assert_ne!(robot.gps_reading(p), p);
+    }
+
+    #[test]
+    fn odometer_accumulates_over_passes() {
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 20.0);
+        let mut robot = Robot::new(0.0, 0, 1);
+        robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        let once = robot.odometer();
+        assert!((once - plan.travel_distance()).abs() < 1e-9);
+        robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        assert!((robot.odometer() - 2.0 * once).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_depletes_and_errors_when_empty() {
+        let mut field = BeaconField::new(terrain());
+        let mut robot = Robot::new(0.0, 2, 1);
+        robot.deploy(&mut field, Point::new(10.0, 10.0)).unwrap();
+        robot.deploy(&mut field, Point::new(20.0, 20.0)).unwrap();
+        assert_eq!(robot.payload(), 0);
+        assert_eq!(
+            robot.deploy(&mut field, Point::new(30.0, 30.0)),
+            Err(OutOfBeacons)
+        );
+        assert_eq!(field.len(), 2);
+    }
+
+    #[test]
+    fn report_counts_unheard_waypoints() {
+        let field = BeaconField::from_positions(terrain(), [Point::new(0.0, 0.0)]);
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 50.0); // 3x3 waypoints
+        let (_, report) =
+            Robot::new(0.0, 0, 1).survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        // Only (0, 0) hears the beacon.
+        assert_eq!(report.unheard, 8);
+    }
+}

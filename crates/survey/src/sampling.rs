@@ -1,0 +1,480 @@
+//! Partial terrain exploration.
+//!
+//! The paper's algorithms assume "an off-line algorithm with **complete
+//! terrain exploration** and no measurement noise" and note they are
+//! "currently working on ways to generalize these solutions" (§3.1). This
+//! module provides the generalization on the survey side: error maps built
+//! from a *subset* of the lattice, so the placement algorithms can be
+//! driven by cheaper, incomplete exploration:
+//!
+//! * [`SubsampleStrategy::Random`] — measure a random fraction of the
+//!   lattice (a robot with limited time wandering the terrain),
+//! * [`SubsampleStrategy::Stride`] — measure every `k`-th row and column
+//!   (a coarser boustrophedon sweep),
+//!
+//! Unmeasured points are simply *excluded* from the resulting map — the
+//! honest representation of "we did not go there". The
+//! `abp_sim::experiments::robustness` experiment quantifies how much
+//! placement quality degrades with exploration fraction.
+
+use crate::errormap::ErrorMap;
+use abp_field::BeaconField;
+use abp_geom::Lattice;
+use abp_localize::UnheardPolicy;
+use abp_radio::Propagation;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which lattice points a partial survey measures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SubsampleStrategy {
+    /// Measure a uniformly random fraction of the lattice, in `(0, 1]`.
+    Random {
+        /// Fraction of lattice points measured.
+        fraction: f64,
+    },
+    /// Measure every `stride`-th column of every `stride`-th row.
+    Stride {
+        /// Step multiplier; `1` measures everything.
+        stride: u32,
+    },
+}
+
+impl SubsampleStrategy {
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `(0, 1]` or the stride is zero.
+    fn validate(self) {
+        match self {
+            SubsampleStrategy::Random { fraction } => assert!(
+                fraction > 0.0 && fraction <= 1.0,
+                "survey fraction must be in (0, 1], got {fraction}"
+            ),
+            SubsampleStrategy::Stride { stride } => {
+                assert!(stride >= 1, "stride must be at least 1")
+            }
+        }
+    }
+}
+
+/// Surveys only the lattice points selected by `strategy`; everything
+/// else is excluded from the map (as under [`UnheardPolicy::Exclude`]).
+///
+/// Measured points follow `policy` as usual. The sweep is still
+/// beacon-major; masking happens at error-derivation time, so the cost
+/// saving models *measurement* effort (the robot's walk), not simulation
+/// time.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Lattice, Point, Terrain};
+/// use abp_localize::UnheardPolicy;
+/// use abp_radio::IdealDisk;
+/// use abp_survey::sampling::{survey_partial, SubsampleStrategy};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let terrain = Terrain::square(100.0);
+/// let lattice = Lattice::new(terrain, 5.0);
+/// let field = BeaconField::from_positions(terrain, [Point::new(50.0, 50.0)]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let map = survey_partial(
+///     &lattice, &field, &IdealDisk::new(15.0), UnheardPolicy::TerrainCenter,
+///     SubsampleStrategy::Random { fraction: 0.25 }, &mut rng,
+/// );
+/// let quarter = lattice.len() / 4;
+/// assert!(map.valid_count().abs_diff(quarter) <= 1);
+/// ```
+pub fn survey_partial<R: Rng + ?Sized>(
+    lattice: &Lattice,
+    field: &BeaconField,
+    model: &dyn Propagation,
+    policy: UnheardPolicy,
+    strategy: SubsampleStrategy,
+    rng: &mut R,
+) -> ErrorMap {
+    strategy.validate();
+    let full = ErrorMap::survey(lattice, field, model, policy);
+    let mask = measurement_mask(lattice, strategy, rng);
+    mask_map(&full, &mask)
+}
+
+/// The boolean measurement mask a strategy induces on a lattice
+/// (row-major; `true` = measured).
+pub fn measurement_mask<R: Rng + ?Sized>(
+    lattice: &Lattice,
+    strategy: SubsampleStrategy,
+    rng: &mut R,
+) -> Vec<bool> {
+    strategy.validate();
+    let n = lattice.len();
+    match strategy {
+        SubsampleStrategy::Random { fraction } => {
+            let k = ((n as f64 * fraction).round() as usize).clamp(1, n);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(rng);
+            let mut mask = vec![false; n];
+            for &i in &order[..k] {
+                mask[i] = true;
+            }
+            mask
+        }
+        SubsampleStrategy::Stride { stride } => lattice
+            .indices()
+            .map(|ix| ix.i % stride == 0 && ix.j % stride == 0)
+            .collect(),
+    }
+}
+
+/// Applies a measurement mask to a fully surveyed map: unmeasured points
+/// become excluded (their accumulators are kept so incremental updates on
+/// the *measured* points remain exact).
+pub fn mask_map(map: &ErrorMap, mask: &[bool]) -> ErrorMap {
+    assert_eq!(
+        mask.len(),
+        map.len(),
+        "mask length {} does not match map size {}",
+        mask.len(),
+        map.len()
+    );
+    let (sum_x, sum_y, count, errors) = map.parts();
+    let masked_errors: Vec<f64> = errors
+        .iter()
+        .zip(mask)
+        .map(|(&e, &measured)| if measured { e } else { f64::NAN })
+        .collect();
+    ErrorMap::from_parts(
+        *map.lattice(),
+        map.policy(),
+        sum_x.to_vec(),
+        sum_y.to_vec(),
+        count.to_vec(),
+        masked_errors,
+    )
+}
+
+/// Report of an adaptive coarse-to-fine survey.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSurveyReport {
+    /// Lattice points measured in the coarse pass.
+    pub coarse_measured: usize,
+    /// Additional points measured during refinement.
+    pub refined_measured: usize,
+    /// Fraction of the lattice measured in total.
+    pub measured_fraction: f64,
+}
+
+/// Adaptive coarse-to-fine exploration: measure every `stride`-th point
+/// first, then fully refine the `refine_fraction` of coarse cells with
+/// the worst measured error.
+///
+/// This is the survey a time-limited robot would actually run: one cheap
+/// sweep to find the bad regions, then detailed measurement only where
+/// the placement decision will be made. Returns the resulting (partial)
+/// map and a measurement accounting.
+///
+/// # Panics
+///
+/// Panics if `stride < 2` (nothing to refine) or `refine_fraction` is
+/// outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Lattice, Point, Terrain};
+/// use abp_localize::UnheardPolicy;
+/// use abp_radio::IdealDisk;
+/// use abp_survey::sampling::survey_adaptive;
+///
+/// let terrain = Terrain::square(100.0);
+/// let lattice = Lattice::new(terrain, 2.0);
+/// let field = BeaconField::from_positions(terrain, [Point::new(20.0, 20.0)]);
+/// let (map, report) = survey_adaptive(
+///     &lattice, &field, &IdealDisk::new(15.0), UnheardPolicy::TerrainCenter,
+///     4, 0.25,
+/// );
+/// assert!(report.measured_fraction < 0.5); // far less than a full sweep
+/// assert!(map.valid_count() > 0);
+/// ```
+pub fn survey_adaptive(
+    lattice: &Lattice,
+    field: &BeaconField,
+    model: &dyn Propagation,
+    policy: UnheardPolicy,
+    stride: u32,
+    refine_fraction: f64,
+) -> (ErrorMap, AdaptiveSurveyReport) {
+    assert!(stride >= 2, "adaptive survey needs stride >= 2, got {stride}");
+    assert!(
+        (0.0..=1.0).contains(&refine_fraction),
+        "refine fraction must be in [0, 1], got {refine_fraction}"
+    );
+    let full = ErrorMap::survey(lattice, field, model, policy);
+    let n = lattice.len();
+    let mut mask = vec![false; n];
+    // Coarse pass.
+    let mut coarse_measured = 0usize;
+    for ix in lattice.indices() {
+        if ix.i % stride == 0 && ix.j % stride == 0 {
+            mask[lattice.flat(ix)] = true;
+            coarse_measured += 1;
+        }
+    }
+    // Score each stride x stride cell by its measured corner's error and
+    // refine the worst ones. Cells are anchored at the coarse points.
+    let mut cells: Vec<(f64, u32, u32)> = Vec::new();
+    let per_side = lattice.per_side();
+    let mut j = 0;
+    while j < per_side {
+        let mut i = 0;
+        while i < per_side {
+            let ix = abp_geom::LatticeIndex::new(i, j);
+            if let Some(e) = full.error_at(ix) {
+                cells.push((e, i, j));
+            }
+            i += stride;
+        }
+        j += stride;
+    }
+    cells.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite errors"));
+    let refine_count = ((cells.len() as f64) * refine_fraction).round() as usize;
+    let mut refined_measured = 0usize;
+    for &(_, ci, cj) in cells.iter().take(refine_count) {
+        for dj in 0..stride {
+            for di in 0..stride {
+                let (i, j) = (ci + di, cj + dj);
+                if i < per_side && j < per_side {
+                    let flat = lattice.flat(abp_geom::LatticeIndex::new(i, j));
+                    if !mask[flat] {
+                        mask[flat] = true;
+                        refined_measured += 1;
+                    }
+                }
+            }
+        }
+    }
+    let map = mask_map(&full, &mask);
+    let report = AdaptiveSurveyReport {
+        coarse_measured,
+        refined_measured,
+        measured_fraction: (coarse_measured + refined_measured) as f64 / n as f64,
+    };
+    (map, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::{Point, Terrain};
+    use abp_radio::IdealDisk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Lattice, BeaconField, IdealDisk) {
+        let terrain = Terrain::square(100.0);
+        let lattice = Lattice::new(terrain, 5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let field = BeaconField::random_uniform(30, terrain, &mut rng);
+        (lattice, field, IdealDisk::new(15.0))
+    }
+
+    #[test]
+    fn full_fraction_equals_complete_survey() {
+        let (lattice, field, model) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let partial = survey_partial(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            SubsampleStrategy::Random { fraction: 1.0 },
+            &mut rng,
+        );
+        let full = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        assert_eq!(partial.valid_count(), full.valid_count());
+        assert!((partial.mean_error() - full.mean_error()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_fraction_measures_expected_count() {
+        let (lattice, field, model) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        for fraction in [0.1, 0.5, 0.9] {
+            let map = survey_partial(
+                &lattice,
+                &field,
+                &model,
+                UnheardPolicy::TerrainCenter,
+                SubsampleStrategy::Random { fraction },
+                &mut rng,
+            );
+            let expected = (lattice.len() as f64 * fraction).round() as usize;
+            assert_eq!(map.valid_count(), expected);
+        }
+    }
+
+    #[test]
+    fn stride_keeps_coarser_lattice() {
+        let (lattice, field, model) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        let map = survey_partial(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            SubsampleStrategy::Stride { stride: 3 },
+            &mut rng,
+        );
+        // 21 points per side at step 5; every 3rd -> indices 0,3,..,18 = 7.
+        assert_eq!(map.valid_count(), 49);
+        // Measured values agree with the full survey at the same points.
+        let full = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        for ix in lattice.indices() {
+            match map.error_at(ix) {
+                Some(e) => assert_eq!(e, full.error_at(ix).unwrap()),
+                None => assert!(ix.i % 3 != 0 || ix.j % 3 != 0),
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_mean_approximates_full_mean() {
+        let (lattice, field, model) = setup();
+        let mut rng = StdRng::seed_from_u64(6);
+        let full = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let map = survey_partial(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            SubsampleStrategy::Random { fraction: 0.5 },
+            &mut rng,
+        );
+        assert!((map.mean_error() - full.mean_error()).abs() < 1.0);
+    }
+
+    #[test]
+    fn masked_map_still_supports_incremental_update() {
+        let (lattice, mut field, model) = setup();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut map = survey_partial(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            SubsampleStrategy::Stride { stride: 2 },
+            &mut rng,
+        );
+        let id = field.add_beacon(Point::new(50.0, 50.0));
+        map.add_beacon(field.get(id).unwrap(), &model);
+        // Measured points now match a full survey of the extended field.
+        let full = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        for ix in lattice.indices() {
+            if ix.i % 2 == 0 && ix.j % 2 == 0 {
+                let (a, b) = (map.error_at(ix).unwrap(), full.error_at(ix).unwrap());
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_survey_measures_where_it_hurts() {
+        let terrain = Terrain::square(100.0);
+        let lattice = Lattice::new(terrain, 2.0);
+        // Beacons only in the west: the east half is the bad region.
+        let field = BeaconField::from_positions(
+            terrain,
+            (0..8).map(|k| Point::new(10.0 + (k % 2) as f64 * 15.0, 10.0 + (k / 2) as f64 * 25.0)),
+        );
+        let model = IdealDisk::new(15.0);
+        let (map, report) = survey_adaptive(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            5,
+            0.3,
+        );
+        assert_eq!(
+            map.valid_count(),
+            report.coarse_measured + report.refined_measured
+        );
+        assert!(report.measured_fraction < 0.5);
+        // Refined (fully measured) points concentrate in the worse half:
+        // count non-coarse measured points east vs west.
+        let mut east = 0;
+        let mut west = 0;
+        for ix in lattice.indices() {
+            let coarse = ix.i % 5 == 0 && ix.j % 5 == 0;
+            if !coarse && map.error_at(ix).is_some() {
+                if lattice.point(ix).x > 50.0 {
+                    east += 1;
+                } else {
+                    west += 1;
+                }
+            }
+        }
+        assert!(east > west, "refinement went west ({west}) not east ({east})");
+    }
+
+    #[test]
+    fn adaptive_survey_extremes() {
+        let (lattice, field, model) = setup();
+        // refine_fraction = 0: coarse only.
+        let (map0, r0) = survey_adaptive(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            3,
+            0.0,
+        );
+        assert_eq!(r0.refined_measured, 0);
+        assert_eq!(map0.valid_count(), r0.coarse_measured);
+        // refine_fraction = 1: everything measured.
+        let (map1, r1) = survey_adaptive(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            3,
+            1.0,
+        );
+        assert_eq!(map1.valid_count(), lattice.len());
+        assert!((r1.measured_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride >= 2")]
+    fn adaptive_rejects_stride_one() {
+        let (lattice, field, model) = setup();
+        let _ = survey_adaptive(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            1,
+            0.5,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "survey fraction")]
+    fn rejects_zero_fraction() {
+        let (lattice, field, model) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = survey_partial(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            SubsampleStrategy::Random { fraction: 0.0 },
+            &mut rng,
+        );
+    }
+}

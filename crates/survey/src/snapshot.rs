@@ -1,0 +1,232 @@
+//! Compact binary snapshots of error maps.
+//!
+//! A paper-scale error map is ~10 201 points × 28 bytes ≈ 280 KiB of
+//! accumulator state. Long-running sweeps checkpoint the before-placement
+//! map once per trial and restore it per algorithm instead of re-surveying
+//! three times. The format is a simple little-endian layout built with
+//! `bytes` (magic, version, lattice geometry, policy, then the four
+//! columns), with an integrity check on decode.
+
+use crate::errormap::ErrorMap;
+use abp_geom::{Lattice, Terrain};
+use abp_localize::UnheardPolicy;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic prefix of the snapshot format (`"ABPM"`).
+const MAGIC: u32 = 0x4142_504D;
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Error returned when decoding an invalid snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeSnapshotError(String);
+
+impl fmt::Display for DecodeSnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid error-map snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeSnapshotError {}
+
+fn policy_tag(policy: UnheardPolicy) -> u8 {
+    match policy {
+        UnheardPolicy::TerrainCenter => 0,
+        UnheardPolicy::Origin => 1,
+        UnheardPolicy::Exclude => 2,
+    }
+}
+
+fn policy_from_tag(tag: u8) -> Result<UnheardPolicy, DecodeSnapshotError> {
+    match tag {
+        0 => Ok(UnheardPolicy::TerrainCenter),
+        1 => Ok(UnheardPolicy::Origin),
+        2 => Ok(UnheardPolicy::Exclude),
+        other => Err(DecodeSnapshotError(format!("unknown policy tag {other}"))),
+    }
+}
+
+/// Serializes an error map to its binary snapshot.
+///
+/// # Example
+///
+/// ```
+/// use abp_field::BeaconField;
+/// use abp_geom::{Lattice, Point, Terrain};
+/// use abp_localize::UnheardPolicy;
+/// use abp_radio::IdealDisk;
+/// use abp_survey::ErrorMap;
+/// use abp_survey::snapshot::{encode, decode};
+///
+/// let terrain = Terrain::square(50.0);
+/// let lattice = Lattice::new(terrain, 5.0);
+/// let field = BeaconField::from_positions(terrain, [Point::new(25.0, 25.0)]);
+/// let map = ErrorMap::survey(&lattice, &field, &IdealDisk::new(15.0),
+///                            UnheardPolicy::TerrainCenter);
+/// let bytes = encode(&map);
+/// assert_eq!(decode(&bytes).unwrap(), map);
+/// ```
+pub fn encode(map: &ErrorMap) -> Bytes {
+    let (sum_x, sum_y, count, errors) = map.parts();
+    let n = map.len();
+    let mut buf = BytesMut::with_capacity(4 + 2 + 1 + 16 + 8 + n * 28);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u8(policy_tag(map.policy()));
+    buf.put_f64(map.lattice().terrain().side());
+    buf.put_f64(map.lattice().step());
+    buf.put_u64(n as u64);
+    for v in sum_x {
+        buf.put_f64(*v);
+    }
+    for v in sum_y {
+        buf.put_f64(*v);
+    }
+    for v in count {
+        buf.put_u32(*v);
+    }
+    for v in errors {
+        buf.put_f64(*v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a snapshot produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecodeSnapshotError`] on truncated input, wrong magic or
+/// version, or geometry that does not reproduce the recorded point count.
+pub fn decode(mut data: &[u8]) -> Result<ErrorMap, DecodeSnapshotError> {
+    let header = 4 + 2 + 1 + 8 + 8 + 8;
+    if data.len() < header {
+        return Err(DecodeSnapshotError("truncated header".into()));
+    }
+    if data.get_u32() != MAGIC {
+        return Err(DecodeSnapshotError("bad magic".into()));
+    }
+    let version = data.get_u16();
+    if version != VERSION {
+        return Err(DecodeSnapshotError(format!("unsupported version {version}")));
+    }
+    let policy = policy_from_tag(data.get_u8())?;
+    let side = data.get_f64();
+    let step = data.get_f64();
+    let n = data.get_u64() as usize;
+    if !(side.is_finite() && side > 0.0 && step.is_finite() && step > 0.0 && step <= side) {
+        return Err(DecodeSnapshotError(format!(
+            "invalid geometry side={side} step={step}"
+        )));
+    }
+    let lattice = Lattice::new(Terrain::square(side), step);
+    if lattice.len() != n {
+        return Err(DecodeSnapshotError(format!(
+            "geometry yields {} points but snapshot records {n}",
+            lattice.len()
+        )));
+    }
+    if data.remaining() != n * (8 + 8 + 4 + 8) {
+        return Err(DecodeSnapshotError(format!(
+            "payload size {} does not match {n} points",
+            data.remaining()
+        )));
+    }
+    let mut sum_x = Vec::with_capacity(n);
+    for _ in 0..n {
+        sum_x.push(data.get_f64());
+    }
+    let mut sum_y = Vec::with_capacity(n);
+    for _ in 0..n {
+        sum_y.push(data.get_f64());
+    }
+    let mut count = Vec::with_capacity(n);
+    for _ in 0..n {
+        count.push(data.get_u32());
+    }
+    let mut errors = Vec::with_capacity(n);
+    for _ in 0..n {
+        errors.push(data.get_f64());
+    }
+    Ok(ErrorMap::from_parts(
+        lattice, policy, sum_x, sum_y, count, errors,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_field::BeaconField;
+    use abp_geom::Point;
+    use abp_radio::IdealDisk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_map(policy: UnheardPolicy) -> ErrorMap {
+        let terrain = Terrain::square(100.0);
+        let lattice = Lattice::new(terrain, 5.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let field = BeaconField::random_uniform(25, terrain, &mut rng);
+        ErrorMap::survey(&lattice, &field, &IdealDisk::new(15.0), policy)
+    }
+
+    #[test]
+    fn roundtrip_all_policies() {
+        for policy in [
+            UnheardPolicy::TerrainCenter,
+            UnheardPolicy::Origin,
+            UnheardPolicy::Exclude,
+        ] {
+            let map = sample_map(policy);
+            let decoded = decode(&encode(&map)).unwrap();
+            // Compare semantically: NaN (= excluded) markers defeat `==`.
+            assert_eq!(decoded.policy(), map.policy(), "policy {policy}");
+            assert_eq!(decoded.lattice(), map.lattice());
+            for ix in map.lattice().indices() {
+                assert_eq!(decoded.error_at(ix), map.error_at(ix), "{ix}");
+                assert_eq!(decoded.heard_at(ix), map.heard_at(ix), "{ix}");
+                assert_eq!(decoded.estimate_at(ix), map.estimate_at(ix), "{ix}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_statistics_and_updates() {
+        let map = sample_map(UnheardPolicy::TerrainCenter);
+        let mut decoded = decode(&encode(&map)).unwrap();
+        assert_eq!(decoded.mean_error(), map.mean_error());
+        assert_eq!(decoded.median_error(), map.median_error());
+        // Incremental updates still work on a restored map.
+        let mut field = BeaconField::new(Terrain::square(100.0));
+        let id = field.add_beacon(Point::new(50.0, 50.0));
+        decoded.add_beacon(field.get(id).unwrap(), &IdealDisk::new(15.0));
+        assert!(decoded.mean_error() <= map.mean_error());
+    }
+
+    #[test]
+    fn rejects_truncated_and_corrupt_input() {
+        let bytes = encode(&sample_map(UnheardPolicy::TerrainCenter));
+        assert!(decode(&bytes[..10]).is_err());
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut corrupt = bytes.to_vec();
+        corrupt[0] ^= 0xFF; // break the magic
+        assert!(decode(&corrupt).is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let bytes = encode(&sample_map(UnheardPolicy::TerrainCenter));
+        let mut v = bytes.to_vec();
+        v[5] = 99; // version little end (big-endian u16 at offset 4..6)
+        let err = decode(&v).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn snapshot_size_is_linear_in_points() {
+        let map = sample_map(UnheardPolicy::TerrainCenter);
+        let bytes = encode(&map);
+        assert_eq!(bytes.len(), 31 + map.len() * 28);
+    }
+}

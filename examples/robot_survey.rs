@@ -1,0 +1,68 @@
+//! The exploring agent end to end (paper §3).
+//!
+//! A GPS-equipped robot walks the survey lattice in boustrophedon order,
+//! measures localization error at every waypoint — through a slightly
+//! imperfect GPS — then spends its beacon payload where the Grid
+//! algorithm directs, re-surveying between deployments. Reports odometry
+//! and payload, the operational quantities the paper's approach implies.
+//!
+//! Run with: `cargo run --release --example robot_survey`
+
+use beaconplace::placement::PlacementAlgorithm;
+use beaconplace::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let terrain = Terrain::square(100.0);
+    let model = PerBeaconNoise::new(15.0, 0.3, 17);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut field = BeaconField::random_uniform(35, terrain, &mut rng);
+
+    // A 2 m survey step keeps the walk at ~5.2 km per pass.
+    let plan = SurveyPlan::new(terrain, 2.0);
+    let mut robot = Robot::new(0.5, 3, 4); // 0.5 m GPS sigma, 3 beacons aboard
+    println!("{robot}");
+    println!("{plan}\n");
+
+    let grid = GridPlacement::paper(terrain, 15.0);
+    for pass in 1..=3 {
+        let (map, report) = robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        println!(
+            "pass {pass}: mean error {:.3} m, median {:.3} m, {} unheard waypoints, {:.0} m walked",
+            map.mean_error(),
+            map.median_error(),
+            report.unheard,
+            report.travelled
+        );
+        if robot.payload() == 0 {
+            println!("  payload exhausted");
+            break;
+        }
+        let spot = {
+            let view = SurveyView {
+                map: &map,
+                field: &field,
+                model: &model,
+            };
+            grid.propose(&view, &mut rng)
+        };
+        robot
+            .deploy(&mut field, spot)
+            .expect("payload checked above");
+        println!(
+            "  deployed a beacon at ({:.1}, {:.1}); {} left aboard",
+            spot.x,
+            spot.y,
+            robot.payload()
+        );
+    }
+
+    let (final_map, _) = robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+    println!(
+        "\nfinal: mean error {:.3} m with {} beacons; robot odometer {:.0} m",
+        final_map.mean_error(),
+        field.len(),
+        robot.odometer()
+    );
+}

@@ -1,0 +1,80 @@
+//! # beaconplace
+//!
+//! A from-scratch Rust reproduction of **“Adaptive Beacon Placement”**
+//! (N. Bulusu, J. Heidemann, D. Estrin — ICDCS 2001): connectivity-based
+//! RF-proximity localization, a terrain-survey substrate, and the paper's
+//! three adaptive beacon placement algorithms (Random, Max, Grid), together
+//! with the full Monte-Carlo evaluation pipeline that regenerates every
+//! figure and table of the paper's evaluation section.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names so applications can depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`geom`] | `abp-geom` | points, terrains, lattices, disks, loci |
+//! | [`stats`] | `abp-stats` | summaries, quantiles, confidence intervals |
+//! | [`radio`] | `abp-radio` | propagation models incl. the paper's noise model |
+//! | [`field`] | `abp-field` | beacons, beacon fields, generators, density math |
+//! | [`localize`] | `abp-localize` | centroid/locus/multilateration localizers, metrics |
+//! | [`survey`] | `abp-survey` | survey plans, the robot agent, error maps |
+//! | [`placement`] | `abp-placement` | Random / Max / Grid + extensions |
+//! | [`sim`] | `abp-sim` | experiment engine, figure regeneration, reports |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use beaconplace::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Paper setup: 100 m x 100 m terrain, R = 15 m, step = 1 m.
+//! let terrain = Terrain::square(100.0);
+//! let lattice = Lattice::new(terrain, 1.0);
+//! let mut rng = StdRng::seed_from_u64(7);
+//!
+//! // Drop 50 beacons uniformly at random and survey the terrain.
+//! let field = BeaconField::random_uniform(50, terrain, &mut rng);
+//! let radio = IdealDisk::new(15.0);
+//! let map = ErrorMap::survey(&lattice, &field, &radio, UnheardPolicy::TerrainCenter);
+//! let before = map.mean_error();
+//!
+//! // Let the Grid algorithm pick where one extra beacon helps most.
+//! let view = SurveyView { map: &map, field: &field, model: &radio };
+//! let grid = GridPlacement::paper(terrain, 15.0);
+//! let spot = grid.propose(&view, &mut rng);
+//!
+//! let mut improved = field.clone();
+//! improved.add_beacon(spot);
+//! let after = ErrorMap::survey(&lattice, &improved, &radio, UnheardPolicy::TerrainCenter)
+//!     .mean_error();
+//! assert!(after <= before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use abp_field as field;
+pub use abp_geom as geom;
+pub use abp_localize as localize;
+pub use abp_placement as placement;
+pub use abp_radio as radio;
+pub use abp_sim as sim;
+pub use abp_stats as stats;
+pub use abp_survey as survey;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use abp_field::{Beacon, BeaconField, BeaconId};
+    pub use abp_geom::{Disk, Lattice, LatticeIndex, Point, Rect, Terrain, Vec2};
+    pub use abp_localize::{
+        localization_error, CentroidLocalizer, ConnectivityOracle, Localizer, UnheardPolicy,
+        WeightedCentroidLocalizer,
+    };
+    pub use abp_placement::{
+        GridPlacement, MaxPlacement, PlacementAlgorithm, RandomPlacement, SurveyView,
+    };
+    pub use abp_radio::{IdealDisk, PerBeaconNoise, Propagation};
+    pub use abp_sim::{PaperConfig, SimConfig};
+    pub use abp_stats::Summary;
+    pub use abp_survey::{ErrorMap, Robot, SurveyPlan};
+}

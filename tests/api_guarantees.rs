@@ -1,0 +1,96 @@
+//! API-level guarantees (per the Rust API Guidelines): public types are
+//! `Send`/`Sync` where expected, implement the common traits, and the
+//! workspace's error/data types behave.
+
+use beaconplace::prelude::*;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_clone_debug<T: Clone + std::fmt::Debug>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<Point>();
+    assert_send_sync::<Terrain>();
+    assert_send_sync::<Lattice>();
+    assert_send_sync::<BeaconField>();
+    assert_send_sync::<IdealDisk>();
+    assert_send_sync::<PerBeaconNoise>();
+    assert_send_sync::<ErrorMap>();
+    assert_send_sync::<CentroidLocalizer>();
+    assert_send_sync::<GridPlacement>();
+    assert_send_sync::<MaxPlacement>();
+    assert_send_sync::<RandomPlacement>();
+    assert_send_sync::<SimConfig>();
+    assert_send_sync::<Summary>();
+    assert_send_sync::<Robot>();
+    // Trait objects used by the engine must be shareable across workers.
+    assert_send_sync::<Box<dyn beaconplace::radio::Propagation>>();
+    assert_send_sync::<Box<dyn PlacementAlgorithm>>();
+}
+
+#[test]
+fn core_types_implement_common_traits() {
+    assert_clone_debug::<Point>();
+    assert_clone_debug::<BeaconField>();
+    assert_clone_debug::<ErrorMap>();
+    assert_clone_debug::<SimConfig>();
+    assert_clone_debug::<UnheardPolicy>();
+    assert_clone_debug::<beaconplace::sim::Figure>();
+    // Display where users print things.
+    fn assert_display<T: std::fmt::Display>() {}
+    assert_display::<Point>();
+    assert_display::<Terrain>();
+    assert_display::<BeaconField>();
+    assert_display::<UnheardPolicy>();
+    assert_display::<beaconplace::stats::ConfidenceInterval>();
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    let samples: Vec<String> = vec![
+        format!("{:?}", Point::ORIGIN),
+        format!("{:?}", Terrain::square(1.0)),
+        format!("{:?}", UnheardPolicy::TerrainCenter),
+        format!("{:?}", BeaconField::new(Terrain::square(1.0))),
+        format!("{:?}", MaxPlacement::new()),
+    ];
+    for s in samples {
+        assert!(!s.is_empty());
+    }
+}
+
+#[test]
+fn out_of_beacons_error_is_well_behaved() {
+    use beaconplace::survey::robot::OutOfBeacons;
+    // C-GOOD-ERR: error types implement Error + Display + Send + Sync.
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<OutOfBeacons>();
+    let msg = OutOfBeacons.to_string();
+    assert!(!msg.is_empty());
+    assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+    assert!(!msg.ends_with('.'), "{msg}");
+}
+
+#[test]
+fn snapshot_decode_error_is_well_behaved() {
+    use beaconplace::survey::snapshot;
+    let err = snapshot::decode(&[]).unwrap_err();
+    fn assert_error<E: std::error::Error>(_e: &E) {}
+    assert_error(&err);
+    assert!(err.to_string().contains("snapshot"));
+}
+
+#[test]
+fn serde_derives_exist_for_data_types() {
+    // Compile-time proof that the data structures are serializable
+    // (C-SERDE); a concrete little round-trip through serde's test-free
+    // path is impossible without a format crate, so assert the bounds.
+    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+    assert_serde::<Point>();
+    assert_serde::<Terrain>();
+    assert_serde::<SimConfig>();
+    assert_serde::<beaconplace::sim::Figure>();
+    assert_serde::<beaconplace::stats::ConfidenceInterval>();
+    assert_serde::<UnheardPolicy>();
+    assert_serde::<beaconplace::radio::NoiseStyle>();
+}

@@ -1,0 +1,298 @@
+//! Integration tests for the future-work extensions (paper §6 and §3.1):
+//! partial exploration, self-scheduling, locus machinery, time-varying
+//! propagation, and the multilateration recast.
+
+use beaconplace::localize::{LocusLocalizer, MultilaterationLocalizer};
+use beaconplace::placement::selfsched::{active_field, self_schedule};
+use beaconplace::placement::LocusBreakPlacement;
+use beaconplace::prelude::*;
+use beaconplace::radio::TimeVarying;
+use beaconplace::survey::sampling::{survey_partial, SubsampleStrategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn terrain() -> Terrain {
+    Terrain::square(100.0)
+}
+
+/// Partial exploration drives the same placement machinery: Grid proposes
+/// from a quarter-sampled map and still lands in the coverage hole.
+#[test]
+fn partial_exploration_still_finds_the_hole() {
+    let lattice = Lattice::new(terrain(), 2.0);
+    // Beacons everywhere except the north-east quadrant.
+    let mut positions = Vec::new();
+    for j in 0..10 {
+        for i in 0..10 {
+            let p = Point::new(5.0 + i as f64 * 10.0, 5.0 + j as f64 * 10.0);
+            if !(p.x > 50.0 && p.y > 50.0) {
+                positions.push(p);
+            }
+        }
+    }
+    let field = BeaconField::from_positions(terrain(), positions);
+    let model = IdealDisk::new(15.0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let partial = survey_partial(
+        &lattice,
+        &field,
+        &model,
+        UnheardPolicy::TerrainCenter,
+        SubsampleStrategy::Random { fraction: 0.25 },
+        &mut rng,
+    );
+    let view = SurveyView {
+        map: &partial,
+        field: &field,
+        model: &model,
+    };
+    let p = GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng);
+    assert!(p.x > 50.0 && p.y > 50.0, "grid missed the hole from a 25% survey: {p}");
+}
+
+/// Self-scheduling composes with adaptive placement: prune a saturated
+/// field, then let Grid patch whatever quality was lost.
+#[test]
+fn prune_then_patch_cycle() {
+    let lattice = Lattice::new(terrain(), 4.0);
+    let model = IdealDisk::new(15.0);
+    let mut rng = StdRng::seed_from_u64(21);
+    let field = BeaconField::random_uniform(200, terrain(), &mut rng);
+    let full_error = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter)
+        .mean_error();
+
+    let schedule = self_schedule(&field, &model, 5, 2);
+    assert!(schedule.duty_cycle() < 0.8, "saturated field should prune");
+    let mut pruned = active_field(&field, &schedule);
+    let mut map = ErrorMap::survey(&lattice, &pruned, &model, UnheardPolicy::TerrainCenter);
+
+    // One Grid patch after pruning.
+    let spot = {
+        let view = SurveyView {
+            map: &map,
+            field: &pruned,
+            model: &model,
+        };
+        GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng)
+    };
+    let id = pruned.add_beacon(spot);
+    map.add_beacon(pruned.get(id).unwrap(), &model);
+    assert!(
+        map.mean_error() < full_error * 1.5,
+        "prune+patch should stay near full quality: {} vs {}",
+        map.mean_error(),
+        full_error
+    );
+}
+
+/// The locus localizer and the locus-break placement agree on the world:
+/// breaking the largest region reduces the average locus area.
+#[test]
+fn locus_break_reduces_region_sizes() {
+    use beaconplace::localize::regions::region_map;
+    let lattice = Lattice::new(terrain(), 4.0);
+    let model = IdealDisk::new(15.0);
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut field = BeaconField::random_uniform(25, terrain(), &mut rng);
+    let before = region_map(&lattice, &field, &model);
+    let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+    let spot = {
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &model,
+        };
+        LocusBreakPlacement::new().propose(&view, &mut rng)
+    };
+    field.add_beacon(spot);
+    let after = region_map(&lattice, &field, &model);
+    assert!(after.region_count > before.region_count);
+    assert!(after.mean_region_size() < before.mean_region_size());
+}
+
+/// Locus and multilateration localizers slot into the same survey API and
+/// produce sane maps.
+#[test]
+fn alternative_localizers_survey_end_to_end() {
+    let lattice = Lattice::new(terrain(), 10.0);
+    let model = IdealDisk::new(25.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+
+    let centroid = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+    let locus = ErrorMap::survey_with_localizer(
+        &lattice,
+        &field,
+        &model,
+        &LocusLocalizer::new(UnheardPolicy::TerrainCenter),
+    );
+    let multilat = ErrorMap::survey_with_localizer(
+        &lattice,
+        &field,
+        &model,
+        &MultilaterationLocalizer::new(0.0, 9, UnheardPolicy::TerrainCenter),
+    );
+    // With 40 beacons of R = 25 almost every point hears >= 3 beacons:
+    // noise-free multilateration nearly nails every position.
+    assert!(multilat.mean_error() < centroid.mean_error() * 0.5);
+    // The locus centroid refines the plain beacon centroid on average.
+    assert!(locus.mean_error() <= centroid.mean_error() * 1.05);
+}
+
+/// Time-varying propagation: a placement made at epoch 0 still helps at
+/// later epochs (the adaptation is not overfitted to one instant).
+#[test]
+fn placement_survives_temporal_jitter() {
+    let lattice = Lattice::new(terrain(), 4.0);
+    let base = TimeVarying::new(IdealDisk::new(15.0), 0.15, 3);
+    let mut rng = StdRng::seed_from_u64(10);
+    let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+
+    let now = base.at_epoch(0);
+    let map = ErrorMap::survey(&lattice, &field, &now, UnheardPolicy::TerrainCenter);
+    let spot = {
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model: &now,
+        };
+        GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng)
+    };
+    let mut extended = field.clone();
+    extended.add_beacon(spot);
+
+    let mut helped = 0;
+    let epochs = 10;
+    for e in 1..=epochs {
+        let world = base.at_epoch(e);
+        let before =
+            ErrorMap::survey(&lattice, &field, &world, UnheardPolicy::TerrainCenter).mean_error();
+        let after = ErrorMap::survey(&lattice, &extended, &world, UnheardPolicy::TerrainCenter)
+            .mean_error();
+        if after < before {
+            helped += 1;
+        }
+    }
+    assert!(
+        helped >= epochs * 7 / 10,
+        "epoch-0 placement helped only {helped}/{epochs} later epochs"
+    );
+}
+
+/// Robot + partial exploration: a stride-2 sweep costs a quarter of the
+/// measurements yet changes the Grid decision little on average.
+#[test]
+fn stride_survey_approximates_full_decision() {
+    let lattice = Lattice::new(terrain(), 2.0);
+    let model = IdealDisk::new(15.0);
+    let mut agreements = 0;
+    let trials = 12;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let field = BeaconField::random_uniform(35, terrain(), &mut rng);
+        let full = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let coarse = survey_partial(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            SubsampleStrategy::Stride { stride: 2 },
+            &mut rng,
+        );
+        let grid = GridPlacement::paper(terrain(), 15.0);
+        let a = grid.propose(
+            &SurveyView {
+                map: &full,
+                field: &field,
+                model: &model,
+            },
+            &mut rng,
+        );
+        let b = grid.propose(
+            &SurveyView {
+                map: &coarse,
+                field: &field,
+                model: &model,
+            },
+            &mut rng,
+        );
+        if a.distance(b) < 15.0 {
+            agreements += 1;
+        }
+    }
+    assert!(
+        agreements >= trials * 2 / 3,
+        "stride-2 decisions agreed only {agreements}/{trials} times"
+    );
+}
+
+/// Adaptive coarse-to-fine surveying: ~30% of the measurements, nearly
+/// the same Grid decision.
+#[test]
+fn adaptive_survey_grid_decision_close_to_full() {
+    use beaconplace::survey::sampling::survey_adaptive;
+    let lattice = Lattice::new(terrain(), 2.0);
+    let model = IdealDisk::new(15.0);
+    let mut agree = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let field =
+            BeaconField::random_uniform(35, terrain(), &mut StdRng::seed_from_u64(400 + seed));
+        let full = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let (adaptive, report) = survey_adaptive(
+            &lattice,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            4,
+            0.25,
+        );
+        assert!(report.measured_fraction < 0.35, "{}", report.measured_fraction);
+        let grid = GridPlacement::paper(terrain(), 15.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = grid.propose(
+            &SurveyView { map: &full, field: &field, model: &model },
+            &mut rng,
+        );
+        let b = grid.propose(
+            &SurveyView { map: &adaptive, field: &field, model: &model },
+            &mut rng,
+        );
+        if a.distance(b) < 15.0 {
+            agree += 1;
+        }
+    }
+    assert!(agree >= trials * 7 / 10, "only {agree}/{trials} decisions agreed");
+}
+
+/// The terrain-shadowed model (§6's "sophisticated terrain map") creates
+/// a radio shadow behind a hill that Grid placement then fills.
+#[test]
+fn terrain_shadow_gets_patched() {
+    use beaconplace::radio::{HeightField, TerrainShadowed};
+    let lattice = Lattice::new(terrain(), 2.0);
+    // A 25 m hill in the middle of the terrain.
+    let world = TerrainShadowed::new(
+        IdealDisk::new(15.0),
+        HeightField::hill(10.0, 11, 25.0, 30.0),
+        1.5,
+    );
+    let flat = IdealDisk::new(15.0);
+    let mut rng = StdRng::seed_from_u64(12);
+    let field = BeaconField::random_uniform(60, terrain(), &mut rng);
+    let flat_map = ErrorMap::survey(&lattice, &field, &flat, UnheardPolicy::TerrainCenter);
+    let hill_map = ErrorMap::survey(&lattice, &field, &world, UnheardPolicy::TerrainCenter);
+    // The hill strictly hurts localization.
+    assert!(hill_map.mean_error() > flat_map.mean_error());
+    assert!(hill_map.unheard_count() >= flat_map.unheard_count());
+    // And the adaptive loop claws some of it back.
+    let spot = {
+        let view = SurveyView { map: &hill_map, field: &field, model: &world };
+        GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng)
+    };
+    let mut extended = field.clone();
+    let id = extended.add_beacon(spot);
+    let mut after = hill_map.clone();
+    after.add_beacon(extended.get(id).unwrap(), &world);
+    assert!(after.mean_error() < hill_map.mean_error());
+}
