@@ -41,15 +41,15 @@ fn propose_benches(c: &mut Criterion) {
     let algorithms: Vec<(&str, Box<dyn PlacementAlgorithm>)> = vec![
         ("propose/random_O1", Box::new(RandomPlacement::new(terrain))),
         ("propose/max_OPT", Box::new(MaxPlacement::new())),
-        ("propose/grid_ONGPG", Box::new(GridPlacement::paper(terrain, 15.0))),
+        (
+            "propose/grid_ONGPG",
+            Box::new(GridPlacement::paper(terrain, 15.0)),
+        ),
         (
             "propose/weighted_grid",
             Box::new(WeightedGridPlacement::paper(terrain, 15.0)),
         ),
-        (
-            "propose/locus_break",
-            Box::new(LocusBreakPlacement::new()),
-        ),
+        ("propose/locus_break", Box::new(LocusBreakPlacement::new())),
     ];
     for (name, algo) in &algorithms {
         c.bench_function(name, |b| {

@@ -23,9 +23,7 @@ fn bench_cfg() -> SimConfig {
 }
 
 fn table1(c: &mut Criterion) {
-    c.bench_function("table1_config", |b| {
-        b.iter(|| black_box(figures::table1()))
-    });
+    c.bench_function("table1_config", |b| b.iter(|| black_box(figures::table1())));
 }
 
 fn fig1(c: &mut Criterion) {

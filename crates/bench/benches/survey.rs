@@ -21,7 +21,10 @@ fn setup(beacons: usize) -> (Lattice, BeaconField) {
     let terrain = Terrain::square(100.0);
     let lattice = Lattice::new(terrain, 1.0);
     let mut rng = StdRng::seed_from_u64(3);
-    (lattice, BeaconField::random_uniform(beacons, terrain, &mut rng))
+    (
+        lattice,
+        BeaconField::random_uniform(beacons, terrain, &mut rng),
+    )
 }
 
 fn survey_benches(c: &mut Criterion) {

@@ -32,27 +32,37 @@
 //!   --noise X                   noise level for ablation/duel/batch [default: 0]
 //!   --beacons N                 field size for robustness/batch [default: 40]
 //!   --out DIR                   also write <figure>.csv files into DIR
+//!   --progress                  live completed/total and ETA on stderr
+//!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
+//!   --checkpoint PATH           persist finished sweeps; resume from PATH
 //! ```
 
 use abp_sim::experiments::density_error;
 use abp_sim::experiments::overlap_bound::BoundConfig;
-use abp_sim::{figures, AlgorithmKind, Figure, SimConfig};
+use abp_sim::progress::{Ctx, Fanout, MetricsRecorder, Probe, ProgressProbe};
+use abp_sim::runner::resolve_threads;
+use abp_sim::{figures, AlgorithmKind, Figure, SimConfig, SweepCheckpoint};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Options {
     command: String,
     cfg: SimConfig,
     noise: f64,
     beacons: usize,
     out: Option<PathBuf>,
+    progress: bool,
+    metrics_json: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
      solspace|multilat|batch|duel|localizers|heatmap|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
-     [--seed HEX] [--noise X] [--beacons N] [--out DIR]"
+     [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
+     [--progress] [--metrics-json PATH] [--checkpoint PATH]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -65,6 +75,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut noise = 0.0;
     let mut beacons = 40usize;
     let mut out = None;
+    let mut progress = false;
+    let mut metrics_json = None;
+    let mut checkpoint = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -99,9 +112,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 let raw = value("--seed")?;
                 let raw = raw.trim_start_matches("0x");
-                seed = Some(
-                    u64::from_str_radix(raw, 16).map_err(|e| format!("--seed: {e}"))?,
-                );
+                seed = Some(u64::from_str_radix(raw, 16).map_err(|e| format!("--seed: {e}"))?);
             }
             "--noise" => {
                 noise = value("--noise")?
@@ -114,6 +125,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--beacons: {e}"))?
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--progress" => progress = true,
+            "--metrics-json" => metrics_json = Some(PathBuf::from(value("--metrics-json")?)),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -132,9 +146,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         other => return Err(format!("unknown preset {other}")),
     };
     if let Some(t) = trials {
+        if t == 0 {
+            return Err("--trials must be at least 1".into());
+        }
         cfg.trials = t;
     }
     if let Some(s) = step {
+        if !s.is_finite() || s <= 0.0 {
+            return Err(format!(
+                "--step must be a positive number of meters, got {s}"
+            ));
+        }
         cfg.step = s;
     }
     if let Some(t) = threads {
@@ -143,12 +165,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    if !noise.is_finite() || !(0.0..1.0).contains(&noise) {
+        return Err(format!("--noise must be in [0, 1), got {noise}"));
+    }
     Ok(Options {
         command,
         cfg,
         noise,
         beacons,
         out,
+        progress,
+        metrics_json,
+        checkpoint,
     })
 }
 
@@ -169,32 +197,73 @@ fn emit_pair(figs: (Figure, Figure), out: &Option<PathBuf>) -> Result<(), String
     emit(&figs.1, out)
 }
 
+/// Builds the observability context from the options, runs the command,
+/// then writes the metrics JSON (when requested).
 fn run(opts: &Options) -> Result<(), String> {
+    let progress = opts.progress.then(ProgressProbe::new);
+    let metrics = opts
+        .metrics_json
+        .as_ref()
+        .map(|_| MetricsRecorder::new(resolve_threads(opts.cfg.threads)));
+    let checkpoint = match &opts.checkpoint {
+        Some(path) => Some(
+            SweepCheckpoint::open(path, opts.cfg.fingerprint())
+                .map_err(|e| format!("opening checkpoint {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let mut probes: Vec<&dyn Probe> = Vec::new();
+    if let Some(p) = &progress {
+        probes.push(p);
+    }
+    if let Some(m) = &metrics {
+        probes.push(m);
+    }
+    let fanout = Fanout::new(probes);
+    let mut ctx = Ctx::new(&fanout);
+    if let Some(c) = &checkpoint {
+        ctx = ctx.with_checkpoint(c);
+    }
+    run_command(opts, ctx)?;
+    if let (Some(path), Some(m)) = (&opts.metrics_json, &metrics) {
+        std::fs::write(path, m.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
     let cfg = &opts.cfg;
     let announce = |what: &str| eprintln!("running {what} with {cfg}");
     match opts.command.as_str() {
         "table1" => println!("{}", figures::table1()),
         "fig1" => {
             announce("fig1");
-            emit(&figures::fig1(cfg, &[1, 2, 3, 4, 6, 8, 10]), &opts.out)?;
+            emit(
+                &figures::fig1_with(cfg, &[1, 2, 3, 4, 6, 8, 10], ctx),
+                &opts.out,
+            )?;
         }
         "fig4" => {
             announce("fig4");
-            emit(&figures::fig4(cfg), &opts.out)?;
-            let points = density_error::run(cfg, 0.0);
+            emit(&figures::fig4_with(cfg, ctx), &opts.out)?;
+            // With a checkpoint in ctx this restores the sweep fig4 just
+            // persisted instead of recomputing it.
+            let points = density_error::run_sweep(cfg, 0.0, ctx).points;
             if let Some(sat) = density_error::saturation_density(&points, 0.1) {
                 println!("saturation beacon density (10% of plateau): {sat:.4} /m^2");
             }
         }
         "fig5" => {
             announce("fig5");
-            emit_pair(figures::fig5(cfg), &opts.out)?;
+            emit_pair(figures::fig5_with(cfg, ctx), &opts.out)?;
         }
         "fig6" => {
             announce("fig6");
-            emit(&figures::fig6(cfg), &opts.out)?;
+            emit(&figures::fig6_with(cfg, ctx), &opts.out)?;
             for noise in [0.0, 0.5] {
-                let points = density_error::run(cfg, noise);
+                let points = density_error::run_sweep(cfg, noise, ctx).points;
                 if let Some(sat) = density_error::saturation_density(&points, 0.1) {
                     println!("saturation density at noise {noise}: {sat:.4} /m^2");
                 }
@@ -202,44 +271,62 @@ fn run(opts: &Options) -> Result<(), String> {
         }
         "fig7" => {
             announce("fig7");
-            emit_pair(figures::fig_noise(cfg, AlgorithmKind::Random), &opts.out)?;
+            emit_pair(
+                figures::fig_noise_with(cfg, AlgorithmKind::Random, ctx),
+                &opts.out,
+            )?;
         }
         "fig8" => {
             announce("fig8");
-            emit_pair(figures::fig_noise(cfg, AlgorithmKind::Max), &opts.out)?;
+            emit_pair(
+                figures::fig_noise_with(cfg, AlgorithmKind::Max, ctx),
+                &opts.out,
+            )?;
         }
         "fig9" => {
             announce("fig9");
-            emit_pair(figures::fig_noise(cfg, AlgorithmKind::Grid), &opts.out)?;
+            emit_pair(
+                figures::fig_noise_with(cfg, AlgorithmKind::Grid, ctx),
+                &opts.out,
+            )?;
         }
         "bound" => {
             announce("bound");
-            emit(&figures::bound(&BoundConfig::default()), &opts.out)?;
+            emit(
+                &figures::bound_with(&BoundConfig::default(), ctx),
+                &opts.out,
+            )?;
         }
         "ablation" => {
             announce("ablation");
-            emit(&figures::ablation_algorithms(cfg, opts.noise), &opts.out)?;
+            emit(
+                &figures::ablation_algorithms_with(cfg, opts.noise, ctx),
+                &opts.out,
+            )?;
         }
         "noise-styles" => {
             announce("noise-styles");
             let noise = if opts.noise == 0.0 { 0.5 } else { opts.noise };
-            emit(&figures::ablation_noise_styles(cfg, noise), &opts.out)?;
+            emit(
+                &figures::ablation_noise_styles_with(cfg, noise, ctx),
+                &opts.out,
+            )?;
         }
         "robustness" => {
             announce("robustness");
-            emit_pair(figures::robustness(cfg, opts.beacons), &opts.out)?;
+            emit_pair(figures::robustness_with(cfg, opts.beacons, ctx), &opts.out)?;
         }
         "solspace" => {
             announce("solspace");
             emit(
-                &figures::solution_space(cfg, opts.noise, 100, 0.02),
+                &figures::solution_space_with(cfg, opts.noise, 100, 0.02, ctx),
                 &opts.out,
             )?;
         }
         "batch" => {
             announce("batch");
             emit(
-                &figures::multi_beacon(cfg, opts.noise, opts.beacons, &[1, 2, 4, 8, 12]),
+                &figures::multi_beacon_with(cfg, opts.noise, opts.beacons, &[1, 2, 4, 8, 12], ctx),
                 &opts.out,
             )?;
         }
@@ -250,7 +337,7 @@ fn run(opts: &Options) -> Result<(), String> {
             if coarse.step < 4.0 {
                 coarse.step = 4.0;
             }
-            emit(&figures::localizers(&coarse, 0.05), &opts.out)?;
+            emit(&figures::localizers_with(&coarse, 0.05, ctx), &opts.out)?;
         }
         "duel" => {
             announce("duel (paired Grid vs Max)");
@@ -261,7 +348,10 @@ fn run(opts: &Options) -> Result<(), String> {
                 "paired per-field difference in mean-error improvement, Grid - Max (noise {}):",
                 opts.noise
             );
-            println!("{:>12} {:>26} {:>14}", "density", "diff (m, 95% CI)", "verdict");
+            println!(
+                "{:>12} {:>26} {:>14}",
+                "density", "diff (m, 95% CI)", "verdict"
+            );
             for p in &points {
                 let verdict = if p.diff.lo() > 0.0 {
                     "Grid wins"
@@ -292,20 +382,29 @@ fn run(opts: &Options) -> Result<(), String> {
             if coarse.step < 4.0 {
                 coarse.step = 4.0;
             }
-            emit(&figures::multilateration(&coarse, 0.05), &opts.out)?;
+            emit(
+                &figures::multilateration_with(&coarse, 0.05, ctx),
+                &opts.out,
+            )?;
         }
         "all" => {
             println!("{}", figures::table1());
             for cmd in [
                 "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "bound",
             ] {
-                run(&Options {
-                    command: cmd.to_string(),
-                    cfg: cfg.clone(),
-                    noise: opts.noise,
-                    beacons: opts.beacons,
-                    out: opts.out.clone(),
-                })?;
+                run_command(
+                    &Options {
+                        command: cmd.to_string(),
+                        cfg: cfg.clone(),
+                        noise: opts.noise,
+                        beacons: opts.beacons,
+                        out: opts.out.clone(),
+                        progress: opts.progress,
+                        metrics_json: opts.metrics_json.clone(),
+                        checkpoint: opts.checkpoint.clone(),
+                    },
+                    ctx,
+                )?;
             }
         }
         other => return Err(format!("unknown command {other}\n{}", usage())),
@@ -346,8 +445,17 @@ mod tests {
     #[test]
     fn parses_command_and_overrides() {
         let o = parse(&[
-            "fig4", "--preset", "tiny", "--trials", "5", "--step", "4", "--threads", "2",
-            "--seed", "0xBEEF",
+            "fig4",
+            "--preset",
+            "tiny",
+            "--trials",
+            "5",
+            "--step",
+            "4",
+            "--threads",
+            "2",
+            "--seed",
+            "0xBEEF",
         ])
         .unwrap();
         assert_eq!(o.command, "fig4");
@@ -411,7 +519,10 @@ mod tests {
                 let path = dir.join(f);
                 let csv = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("{cmd}: missing {}: {e}", path.display()));
-                assert!(csv.starts_with("figure,series,x,y,ci95"), "{cmd}: bad CSV header");
+                assert!(
+                    csv.starts_with("figure,series,x,y,ci95"),
+                    "{cmd}: bad CSV header"
+                );
                 assert!(csv.lines().count() > 1, "{cmd}: empty CSV");
             }
         }
@@ -436,5 +547,97 @@ mod tests {
         let o = parse(&["robustness", "--beacons", "60"]).unwrap();
         assert_eq!(o.beacons, 60);
         assert!(parse(&["robustness", "--beacons", "x"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_trials() {
+        let err = parse(&["fig4", "--trials", "0"]).unwrap_err();
+        assert!(err.contains("--trials"), "got: {err}");
+        assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+    }
+
+    #[test]
+    fn rejects_bad_step() {
+        for bad in ["0", "-1.5", "nan", "inf"] {
+            let err = parse(&["fig4", "--step", bad])
+                .map(|_| ())
+                .expect_err(&format!("--step {bad} must be rejected"));
+            assert!(err.contains("--step"), "got: {err}");
+            assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_noise_outside_unit_interval() {
+        for bad in ["1", "1.5", "-0.1", "nan"] {
+            let err = parse(&["ablation", "--noise", bad])
+                .map(|_| ())
+                .expect_err(&format!("--noise {bad} must be rejected"));
+            assert!(err.contains("--noise"), "got: {err}");
+            assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+        }
+        // The boundary values that are fine.
+        assert!(parse(&["ablation", "--noise", "0"]).is_ok());
+        assert!(parse(&["ablation", "--noise", "0.999"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_seed() {
+        let err = parse(&["fig4", "--seed", "0xZZ"]).unwrap_err();
+        assert!(err.contains("--seed"), "got: {err}");
+        assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+        assert!(parse(&["fig4", "--seed", "dead_beef"]).is_err());
+    }
+
+    #[test]
+    fn metrics_json_is_written_and_valid() {
+        let path = std::env::temp_dir().join(format!("abp-metrics-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut o = parse(&["fig4", "--preset", "tiny", "--trials", "2"]).unwrap();
+        o.cfg.beacon_counts = vec![30, 120];
+        o.metrics_json = Some(path.clone());
+        run(&o).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        // Structural checks on the documented schema.
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"threads\":"));
+        assert!(json.contains("\"total_wall_seconds\":"));
+        assert!(json.contains("\"figure\": \"fig4\""));
+        assert!(json.contains("\"trials_per_sec\":"));
+        assert!(json.contains("\"worker_utilization\":"));
+        // fig4 runs 2 densities × 2 trials = 4 observed trials.
+        assert!(json.contains("\"trials\": 4"), "got: {json}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("abp-cli-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = dir.join("sweep.ckpt");
+        let parse_fig6 = || {
+            let mut o = parse(&["fig6", "--preset", "tiny", "--trials", "2"]).unwrap();
+            o.cfg.beacon_counts = vec![30, 120];
+            o
+        };
+        // Uninterrupted baseline.
+        let mut base = parse_fig6();
+        base.out = Some(dir.join("base"));
+        run(&base).unwrap();
+        // First checkpointed run populates the store; a rerun restores
+        // every sweep from it. Both must match the baseline bit for bit.
+        for out in ["first", "resumed"] {
+            let mut o = parse_fig6();
+            o.out = Some(dir.join(out));
+            o.checkpoint = Some(ckpt.clone());
+            run(&o).unwrap();
+        }
+        let baseline = std::fs::read_to_string(dir.join("base/fig6.csv")).unwrap();
+        for out in ["first", "resumed"] {
+            let csv = std::fs::read_to_string(dir.join(out).join("fig6.csv")).unwrap();
+            assert_eq!(csv, baseline, "{out} run diverged from baseline");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -12,9 +12,7 @@ use std::fmt;
 /// `abp_radio::PerBeaconNoise`, keyed by the derived [`TxId`]) is stable
 /// for its whole life — including across the before/after surveys of a
 /// placement experiment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BeaconId(pub u64);
 
 impl fmt::Display for BeaconId {

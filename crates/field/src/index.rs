@@ -49,7 +49,10 @@ impl CellIndex {
         );
         let mut buckets: HashMap<(i32, i32), Vec<Beacon>> = HashMap::new();
         for b in field {
-            buckets.entry(Self::key(cell_size, b.pos())).or_default().push(*b);
+            buckets
+                .entry(Self::key(cell_size, b.pos()))
+                .or_default()
+                .push(*b);
         }
         CellIndex {
             cell: cell_size,
@@ -160,10 +163,7 @@ mod tests {
 
     #[test]
     fn boundary_inclusive() {
-        let field = BeaconField::from_positions(
-            Terrain::square(100.0),
-            [Point::new(10.0, 0.0)],
-        );
+        let field = BeaconField::from_positions(Terrain::square(100.0), [Point::new(10.0, 0.0)]);
         let idx = CellIndex::build(&field, 7.0);
         assert_eq!(idx.within(Point::new(0.0, 0.0), 10.0).len(), 1);
         assert_eq!(idx.within(Point::new(0.0, 0.0), 9.999).len(), 0);

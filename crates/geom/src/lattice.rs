@@ -314,7 +314,10 @@ mod tests {
     fn nearest_rounds_and_clamps() {
         let lat = paper_lattice();
         assert_eq!(lat.nearest(Point::new(3.4, 7.6)), LatticeIndex::new(3, 8));
-        assert_eq!(lat.nearest(Point::new(-5.0, 50.0)), LatticeIndex::new(0, 50));
+        assert_eq!(
+            lat.nearest(Point::new(-5.0, 50.0)),
+            LatticeIndex::new(0, 50)
+        );
         assert_eq!(
             lat.nearest(Point::new(500.0, 100.0)),
             LatticeIndex::new(100, 100)

@@ -441,7 +441,11 @@ mod tests {
 
     #[test]
     fn vec2_sum() {
-        let vs = [Vec2::new(1.0, 0.0), Vec2::new(2.0, 3.0), Vec2::new(-1.0, 1.0)];
+        let vs = [
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 3.0),
+            Vec2::new(-1.0, 1.0),
+        ];
         let s: Vec2 = vs.iter().copied().sum();
         assert_eq!(s, Vec2::new(2.0, 4.0));
     }

@@ -202,8 +202,7 @@ impl Polygon {
         for i in 0..n {
             let a = self.vertices[i];
             let b = self.vertices[j];
-            if ((a.y > p.y) != (b.y > p.y))
-                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            if ((a.y > p.y) != (b.y > p.y)) && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
             {
                 inside = !inside;
             }
@@ -215,7 +214,12 @@ impl Polygon {
 
 impl fmt::Display for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "polygon[{} vertices, area {:.3}]", self.len(), self.area())
+        write!(
+            f,
+            "polygon[{} vertices, area {:.3}]",
+            self.len(),
+            self.area()
+        )
     }
 }
 

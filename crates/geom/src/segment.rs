@@ -33,7 +33,10 @@ impl Segment {
     ///
     /// Panics if the endpoints coincide or are not finite.
     pub fn new(a: Point, b: Point) -> Self {
-        assert!(a.is_finite() && b.is_finite(), "segment endpoints must be finite");
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "segment endpoints must be finite"
+        );
         assert!(
             a.distance_squared(b) > 0.0,
             "segment endpoints must differ, got {a}"

@@ -117,6 +117,10 @@ impl Localizer for CentroidLocalizer {
         };
         Fix { estimate, heard }
     }
+
+    fn unheard_policy(&self) -> UnheardPolicy {
+        self.policy
+    }
 }
 
 impl fmt::Display for CentroidLocalizer {
@@ -137,8 +141,7 @@ mod tests {
 
     #[test]
     fn single_beacon_estimate_is_beacon_position() {
-        let field =
-            BeaconField::from_positions(terrain(), [Point::new(20.0, 30.0)]);
+        let field = BeaconField::from_positions(terrain(), [Point::new(20.0, 30.0)]);
         let loc = CentroidLocalizer::default();
         let fix = loc.localize(&field, &IdealDisk::new(15.0), Point::new(25.0, 30.0));
         assert_eq!(fix.heard, 1);
@@ -169,17 +172,15 @@ mod tests {
         let at = Point::new(90.0, 90.0);
         let model = IdealDisk::new(15.0);
 
-        let center = CentroidLocalizer::new(UnheardPolicy::TerrainCenter)
-            .localize(&field, &model, at);
+        let center =
+            CentroidLocalizer::new(UnheardPolicy::TerrainCenter).localize(&field, &model, at);
         assert_eq!(center.estimate, Some(Point::new(50.0, 50.0)));
         assert_eq!(center.heard, 0);
 
-        let origin =
-            CentroidLocalizer::new(UnheardPolicy::Origin).localize(&field, &model, at);
+        let origin = CentroidLocalizer::new(UnheardPolicy::Origin).localize(&field, &model, at);
         assert_eq!(origin.estimate, Some(Point::ORIGIN));
 
-        let excl =
-            CentroidLocalizer::new(UnheardPolicy::Exclude).localize(&field, &model, at);
+        let excl = CentroidLocalizer::new(UnheardPolicy::Exclude).localize(&field, &model, at);
         assert_eq!(excl.estimate, None);
         assert_eq!(excl.error(at), None);
     }

@@ -90,4 +90,12 @@ impl Fix {
 pub trait Localizer {
     /// Produces a fix for a client located at `at`.
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix;
+
+    /// The [`UnheardPolicy`] this localizer applies when no beacon is
+    /// heard. Surveys record this policy on the maps they build so that
+    /// per-point validity matches what [`Localizer::localize`] actually
+    /// returned.
+    fn unheard_policy(&self) -> UnheardPolicy {
+        UnheardPolicy::Exclude
+    }
 }

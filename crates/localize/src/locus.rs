@@ -74,7 +74,10 @@ impl LocusLocalizer {
     ///
     /// Panics if `segments < 8`.
     pub fn with_arc_segments(mut self, segments: usize) -> Self {
-        assert!(segments >= 8, "need at least 8 arc segments, got {segments}");
+        assert!(
+            segments >= 8,
+            "need at least 8 arc segments, got {segments}"
+        );
         self.arc_segments = segments;
         self
     }
@@ -128,6 +131,10 @@ impl Localizer for LocusLocalizer {
                     .estimate
             });
         Fix { estimate, heard }
+    }
+
+    fn unheard_policy(&self) -> UnheardPolicy {
+        self.policy
     }
 }
 
@@ -212,10 +219,10 @@ mod tests {
         );
         let model = IdealDisk::new(15.0);
         let at = Point::new(50.0, 57.0); // north part of the lens
-        let locus_fix = LocusLocalizer::new(UnheardPolicy::TerrainCenter)
-            .localize(&field, &model, at);
-        let centroid_fix = CentroidLocalizer::new(UnheardPolicy::TerrainCenter)
-            .localize(&field, &model, at);
+        let locus_fix =
+            LocusLocalizer::new(UnheardPolicy::TerrainCenter).localize(&field, &model, at);
+        let centroid_fix =
+            CentroidLocalizer::new(UnheardPolicy::TerrainCenter).localize(&field, &model, at);
         // Both heard the same beacons.
         assert_eq!(locus_fix.heard, centroid_fix.heard);
         // The lens is symmetric about y = 50, so the two estimates tie on

@@ -127,10 +127,7 @@ impl MultilaterationLocalizer {
             if det.abs() < 1e-9 {
                 return None; // collinear or insufficient geometry
             }
-            let step = Vec2::new(
-                -(a22 * g1 - a12 * g2) / det,
-                -(-a12 * g1 + a11 * g2) / det,
-            );
+            let step = Vec2::new(-(a22 * g1 - a12 * g2) / det, -(-a12 * g1 + a11 * g2) / det);
             x += step;
             if step.length() < STEP_EPS {
                 break;
@@ -166,6 +163,10 @@ impl Localizer for MultilaterationLocalizer {
             estimate,
             heard: heard.len(),
         }
+    }
+
+    fn unheard_policy(&self) -> UnheardPolicy {
+        self.policy
     }
 }
 
@@ -270,8 +271,7 @@ mod tests {
         let at = Point::new(50.0, 50.0);
         let ml = MultilaterationLocalizer::new(0.0, 1, UnheardPolicy::TerrainCenter)
             .localize(&field, &model, at);
-        let cen = CentroidLocalizer::new(UnheardPolicy::TerrainCenter)
-            .localize(&field, &model, at);
+        let cen = CentroidLocalizer::new(UnheardPolicy::TerrainCenter).localize(&field, &model, at);
         assert_eq!(ml.estimate, cen.estimate);
         assert_eq!(ml.heard, 2);
     }

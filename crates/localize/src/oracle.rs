@@ -137,7 +137,10 @@ mod tests {
         let oracle = ConnectivityOracle::new(&field, &model);
         let heard = oracle.heard(Point::new(50.0, 62.0));
         let positions: Vec<_> = heard.iter().map(|b| b.pos()).collect();
-        assert_eq!(positions, vec![Point::new(50.0, 50.0), Point::new(50.0, 70.0)]);
+        assert_eq!(
+            positions,
+            vec![Point::new(50.0, 50.0), Point::new(50.0, 70.0)]
+        );
     }
 
     #[test]

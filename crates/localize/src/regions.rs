@@ -62,11 +62,7 @@ impl RegionMap {
 /// assert!(fine.region_count > coarse.region_count);
 /// assert!(fine.mean_region_size() < coarse.mean_region_size());
 /// ```
-pub fn region_map(
-    lattice: &Lattice,
-    field: &BeaconField,
-    model: &dyn Propagation,
-) -> RegionMap {
+pub fn region_map(lattice: &Lattice, field: &BeaconField, model: &dyn Propagation) -> RegionMap {
     // Order-independent signature accumulator per lattice point.
     let mut sig = vec![(0u64, 0u32); lattice.len()]; // (xor of hashes, count)
     for b in field {
@@ -98,11 +94,7 @@ pub fn region_map(
 }
 
 /// Convenience: just the number of distinct localization regions.
-pub fn count_regions(
-    lattice: &Lattice,
-    field: &BeaconField,
-    model: &dyn Propagation,
-) -> usize {
+pub fn count_regions(lattice: &Lattice, field: &BeaconField, model: &dyn Propagation) -> usize {
     region_map(lattice, field, model).region_count
 }
 

@@ -126,6 +126,10 @@ impl Localizer for WeightedCentroidLocalizer {
         };
         Fix { estimate, heard }
     }
+
+    fn unheard_policy(&self) -> UnheardPolicy {
+        self.policy
+    }
 }
 
 impl fmt::Display for WeightedCentroidLocalizer {
@@ -156,8 +160,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let field = BeaconField::random_uniform(40, terrain(), &mut rng);
         let model = IdealDisk::new(15.0);
-        let weighted =
-            WeightedCentroidLocalizer::new(0.0, 0.0, 1, UnheardPolicy::TerrainCenter);
+        let weighted = WeightedCentroidLocalizer::new(0.0, 0.0, 1, UnheardPolicy::TerrainCenter);
         let plain = CentroidLocalizer::new(UnheardPolicy::TerrainCenter);
         for k in 0..100 {
             let at = Point::new((k % 10) as f64 * 10.0, (k / 10) as f64 * 10.0);
@@ -192,17 +195,13 @@ mod tests {
     fn weighted_beats_plain_on_average_with_good_ranges() {
         let model = IdealDisk::new(15.0);
         let plain = CentroidLocalizer::new(UnheardPolicy::Exclude);
-        let weighted =
-            WeightedCentroidLocalizer::new(1.0, 0.05, 9, UnheardPolicy::Exclude);
+        let weighted = WeightedCentroidLocalizer::new(1.0, 0.05, 9, UnheardPolicy::Exclude);
         let mut plain_sum = 0.0;
         let mut weighted_sum = 0.0;
         let mut n = 0;
         for seed in 0..10 {
-            let field = BeaconField::random_uniform(
-                120,
-                terrain(),
-                &mut StdRng::seed_from_u64(seed),
-            );
+            let field =
+                BeaconField::random_uniform(120, terrain(), &mut StdRng::seed_from_u64(seed));
             for k in 0..100 {
                 let at = Point::new(5.0 + (k % 10) as f64 * 10.0, 5.0 + (k / 10) as f64 * 10.0);
                 let p = plain.localize(&field, &model, at);
@@ -237,7 +236,10 @@ mod tests {
         let model = IdealDisk::new(15.0);
         let loc = WeightedCentroidLocalizer::new(1.5, 0.1, 11, UnheardPolicy::TerrainCenter);
         let at = Point::new(33.0, 44.0);
-        assert_eq!(loc.localize(&field, &model, at), loc.localize(&field, &model, at));
+        assert_eq!(
+            loc.localize(&field, &model, at),
+            loc.localize(&field, &model, at)
+        );
     }
 
     #[test]

@@ -85,11 +85,7 @@ pub fn greedy_batch<A: PlacementAlgorithm + ?Sized>(
     let mut mean_after_each = Vec::with_capacity(k);
     for _ in 0..k {
         let pos = {
-            let view = SurveyView {
-                map,
-                field,
-                model,
-            };
+            let view = SurveyView { map, field, model };
             // Ask for enough alternatives to step past every occupied
             // candidate in the worst case.
             let candidates = algorithm.propose_ranked(&view, field.len() + 1, rng);
@@ -133,8 +129,7 @@ mod tests {
 
     fn setup(seed: u64, n: usize) -> (Lattice, BeaconField, IdealDisk, ErrorMap) {
         let lattice = Lattice::new(terrain(), 4.0);
-        let field =
-            BeaconField::random_uniform(n, terrain(), &mut StdRng::seed_from_u64(seed));
+        let field = BeaconField::random_uniform(n, terrain(), &mut StdRng::seed_from_u64(seed));
         let model = IdealDisk::new(15.0);
         let map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
         (lattice, field, model, map)
@@ -234,15 +229,20 @@ mod tests {
         let mut greedy_total = 0.0;
         let mut oneshot_total = 0.0;
         for seed in 0..8 {
-            let base =
-                BeaconField::random_uniform(20, terrain(), &mut StdRng::seed_from_u64(seed));
-            let base_map =
-                ErrorMap::survey(&lattice, &base, &model, UnheardPolicy::TerrainCenter);
+            let base = BeaconField::random_uniform(20, terrain(), &mut StdRng::seed_from_u64(seed));
+            let base_map = ErrorMap::survey(&lattice, &base, &model, UnheardPolicy::TerrainCenter);
             let before = base_map.mean_error();
 
             let mut gf = base.clone();
             let mut gm = base_map.clone();
-            greedy_batch(&algo, &mut gm, &mut gf, &model, k, &mut StdRng::seed_from_u64(0));
+            greedy_batch(
+                &algo,
+                &mut gm,
+                &mut gf,
+                &model,
+                k,
+                &mut StdRng::seed_from_u64(0),
+            );
             greedy_total += before - gm.mean_error();
 
             let mut of = base.clone();

@@ -120,12 +120,7 @@ pub trait PlacementAlgorithm: Send + Sync {
     /// natural ranking (Grid's scored grids) override this so multi-beacon
     /// deployment ([`greedy_batch`]) can skip candidates that would
     /// duplicate an existing beacon.
-    fn propose_ranked(
-        &self,
-        view: &SurveyView<'_>,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Vec<Point> {
+    fn propose_ranked(&self, view: &SurveyView<'_>, k: usize, rng: &mut dyn RngCore) -> Vec<Point> {
         let _ = k;
         vec![self.propose(view, rng)]
     }

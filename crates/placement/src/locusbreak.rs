@@ -102,11 +102,7 @@ mod tests {
         Terrain::square(100.0)
     }
 
-    fn make_view(
-        field: &BeaconField,
-        model: &IdealDisk,
-        lattice: &Lattice,
-    ) -> ErrorMap {
+    fn make_view(field: &BeaconField, model: &IdealDisk, lattice: &Lattice) -> ErrorMap {
         ErrorMap::survey(lattice, field, model, UnheardPolicy::TerrainCenter)
     }
 
@@ -157,7 +153,11 @@ mod tests {
         let lattice = Lattice::new(terrain(), 5.0);
         let field = BeaconField::from_positions(
             terrain(),
-            [Point::new(10.0, 10.0), Point::new(20.0, 10.0), Point::new(10.0, 20.0)],
+            [
+                Point::new(10.0, 10.0),
+                Point::new(20.0, 10.0),
+                Point::new(10.0, 20.0),
+            ],
         );
         let model = IdealDisk::new(15.0);
         let map = make_view(&field, &model, &lattice);
@@ -173,11 +173,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let lattice = Lattice::new(terrain(), 5.0);
-        let field = BeaconField::random_uniform(
-            20,
-            terrain(),
-            &mut StdRng::seed_from_u64(11),
-        );
+        let field = BeaconField::random_uniform(20, terrain(), &mut StdRng::seed_from_u64(11));
         let model = IdealDisk::new(15.0);
         let map = make_view(&field, &model, &lattice);
         let view = SurveyView {

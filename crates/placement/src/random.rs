@@ -50,7 +50,8 @@ impl PlacementAlgorithm for RandomPlacement {
     /// Step 1: select a random point `(Xr, Yr)` in the terrain.
     /// Step 2 (adding the beacon there) is the caller's.
     fn propose(&self, _view: &SurveyView<'_>, rng: &mut dyn RngCore) -> Point {
-        self.terrain.point_at(rng.random::<f64>(), rng.random::<f64>())
+        self.terrain
+            .point_at(rng.random::<f64>(), rng.random::<f64>())
     }
 }
 
@@ -71,9 +72,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn view_fixture(
-        terrain: Terrain,
-    ) -> (BeaconField, IdealDisk, ErrorMap) {
+    fn view_fixture(terrain: Terrain) -> (BeaconField, IdealDisk, ErrorMap) {
         let lattice = Lattice::new(terrain, 10.0);
         let field = BeaconField::new(terrain);
         let model = IdealDisk::new(15.0);
@@ -134,11 +133,19 @@ mod tests {
         let map2 = ErrorMap::survey(&lattice, &dense, &model, UnheardPolicy::TerrainCenter);
         let algo = RandomPlacement::new(terrain);
         let p1 = algo.propose(
-            &SurveyView { map: &map1, field: &empty, model: &model },
+            &SurveyView {
+                map: &map1,
+                field: &empty,
+                model: &model,
+            },
             &mut StdRng::seed_from_u64(4),
         );
         let p2 = algo.propose(
-            &SurveyView { map: &map2, field: &dense, model: &model },
+            &SurveyView {
+                map: &map2,
+                field: &dense,
+                model: &model,
+            },
             &mut StdRng::seed_from_u64(4),
         );
         assert_eq!(p1, p2);

@@ -103,7 +103,11 @@ pub fn self_schedule(
         // Most redundant active beacon that is safely removable.
         let candidate = (0..n)
             .filter(|&i| active[i] && degree[i] > target_neighbors)
-            .filter(|&i| adj[i].iter().all(|&nb| !active[nb] || degree[nb] > min_neighbors))
+            .filter(|&i| {
+                adj[i]
+                    .iter()
+                    .all(|&nb| !active[nb] || degree[nb] > min_neighbors)
+            })
             .max_by_key(|&i| (degree[i], std::cmp::Reverse(beacons[i].id())));
         let Some(i) = candidate else { break };
         active[i] = false;
@@ -156,7 +160,11 @@ mod tests {
         // Beacons farther than 2R apart never hear each other: all active.
         let field = BeaconField::from_positions(
             terrain(),
-            [Point::new(10.0, 10.0), Point::new(90.0, 90.0), Point::new(10.0, 90.0)],
+            [
+                Point::new(10.0, 10.0),
+                Point::new(90.0, 90.0),
+                Point::new(10.0, 90.0),
+            ],
         );
         let s = self_schedule(&field, &IdealDisk::new(15.0), 2, 1);
         assert_eq!(s.active.len(), 3);
@@ -219,7 +227,11 @@ mod tests {
         let before =
             ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter).mean_error();
         let s = self_schedule(&field, &model, 6, 3);
-        assert!(s.duty_cycle() < 0.9, "expected real pruning, got {}", s.duty_cycle());
+        assert!(
+            s.duty_cycle() < 0.9,
+            "expected real pruning, got {}",
+            s.duty_cycle()
+        );
         let pruned = active_field(&field, &s);
         let after =
             ErrorMap::survey(&lattice, &pruned, &model, UnheardPolicy::TerrainCenter).mean_error();

@@ -19,11 +19,7 @@ fn terrain() -> Terrain {
     Terrain::square(SIDE)
 }
 
-fn survey(
-    n: usize,
-    seed: u64,
-    noise: f64,
-) -> (BeaconField, PerBeaconNoise, ErrorMap) {
+fn survey(n: usize, seed: u64, noise: f64) -> (BeaconField, PerBeaconNoise, ErrorMap) {
     let lattice = Lattice::new(terrain(), 5.0);
     let field = BeaconField::random_uniform(n, terrain(), &mut StdRng::seed_from_u64(seed));
     let model = PerBeaconNoise::new(15.0, noise, seed ^ 0xF00D);

@@ -98,10 +98,7 @@ mod tests {
         let m = IdealDisk::new(7.0);
         let a = Point::new(1.0, 2.0);
         let b = Point::new(6.0, 5.0);
-        assert_eq!(
-            m.connected(TxId(0), a, b),
-            m.connected(TxId(1), b, a)
-        );
+        assert_eq!(m.connected(TxId(0), a, b), m.connected(TxId(1), b, a));
     }
 
     #[test]

@@ -271,14 +271,34 @@ mod tests {
 
     #[test]
     fn messages_per_window_floor() {
-        assert_eq!(MessageLink::new(1.0, 10.0, 0.5, 0.0).messages_per_window(), 10);
-        assert_eq!(MessageLink::new(3.0, 10.0, 0.5, 0.0).messages_per_window(), 3);
+        assert_eq!(
+            MessageLink::new(1.0, 10.0, 0.5, 0.0).messages_per_window(),
+            10
+        );
+        assert_eq!(
+            MessageLink::new(3.0, 10.0, 0.5, 0.0).messages_per_window(),
+            3
+        );
     }
 
     #[test]
     fn observation_fraction_edge_cases() {
-        assert_eq!(LinkObservation { sent: 0, received: 0 }.fraction(), 0.0);
-        assert_eq!(LinkObservation { sent: 4, received: 2 }.fraction(), 0.5);
+        assert_eq!(
+            LinkObservation {
+                sent: 0,
+                received: 0
+            }
+            .fraction(),
+            0.0
+        );
+        assert_eq!(
+            LinkObservation {
+                sent: 4,
+                received: 2
+            }
+            .fraction(),
+            0.5
+        );
     }
 
     #[test]

@@ -279,8 +279,7 @@ mod tests {
     fn noise_factor_roughly_uniform_over_population() {
         let m = PerBeaconNoise::new(R, 0.5, 3);
         let n = 10_000;
-        let mean: f64 =
-            (0..n).map(|k| m.noise_factor(TxId(k))).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|k| m.noise_factor(TxId(k))).sum::<f64>() / n as f64;
         // U[0, 0.5] has mean 0.25.
         assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
     }

@@ -211,10 +211,7 @@ mod tests {
         // Sample many angles right beyond the bound: never connected.
         for k in 0..1000 {
             let theta = std::f64::consts::TAU * k as f64 / 1000.0;
-            let rx = Point::new(
-                (bound + 0.01) * theta.cos(),
-                (bound + 0.01) * theta.sin(),
-            );
+            let rx = Point::new((bound + 0.01) * theta.cos(), (bound + 0.01) * theta.sin());
             assert!(!m.connected(TxId(9), b, rx));
         }
     }
@@ -250,10 +247,17 @@ mod tests {
         let connected = (0..n)
             .filter(|k| {
                 let theta = std::f64::consts::TAU * *k as f64 / n as f64;
-                m.connected(TxId(0), b, Point::new(15.0 * theta.cos(), 15.0 * theta.sin()))
+                m.connected(
+                    TxId(0),
+                    b,
+                    Point::new(15.0 * theta.cos(), 15.0 * theta.sin()),
+                )
             })
             .count();
-        assert!(connected > n / 10 && connected < n * 9 / 10, "{connected}/{n}");
+        assert!(
+            connected > n / 10 && connected < n * 9 / 10,
+            "{connected}/{n}"
+        );
     }
 
     #[test]

@@ -240,8 +240,7 @@ impl<M: Propagation> TerrainShadowed<M> {
 
 impl<M: Propagation> Propagation for TerrainShadowed<M> {
     fn connected(&self, tx: TxId, tx_pos: Point, rx: Point) -> bool {
-        self.base.connected(tx, tx_pos, rx)
-            && self.heights.line_of_sight(tx_pos, rx, self.antenna)
+        self.base.connected(tx, tx_pos, rx) && self.heights.line_of_sight(tx_pos, rx, self.antenna)
     }
 
     fn max_range(&self, tx: TxId, tx_pos: Point) -> f64 {
@@ -281,18 +280,12 @@ mod tests {
 
     #[test]
     fn bilinear_interpolation_values() {
-        let hf = HeightField::from_rows(
-            10.0,
-            &[
-                vec![0.0, 10.0],
-                vec![20.0, 30.0],
-            ],
-        );
+        let hf = HeightField::from_rows(10.0, &[vec![0.0, 10.0], vec![20.0, 30.0]]);
         assert_eq!(hf.elevation(Point::new(0.0, 0.0)), 0.0);
         assert_eq!(hf.elevation(Point::new(10.0, 0.0)), 10.0);
         assert_eq!(hf.elevation(Point::new(0.0, 10.0)), 20.0);
         assert_eq!(hf.elevation(Point::new(5.0, 5.0)), 15.0); // center mean
-        // Clamped outside.
+                                                              // Clamped outside.
         assert_eq!(hf.elevation(Point::new(-5.0, 0.0)), 0.0);
         assert_eq!(hf.elevation(Point::new(50.0, 50.0)), 30.0);
     }
@@ -306,11 +299,7 @@ mod tests {
         let east = Point::new(75.0, 50.0);
         assert!(!m.connected(TxId(0), west, east), "hill must block");
         // Skirting the hill along the southern edge stays clear.
-        assert!(m.connected(
-            TxId(0),
-            Point::new(25.0, 5.0),
-            Point::new(75.0, 5.0)
-        ));
+        assert!(m.connected(TxId(0), Point::new(25.0, 5.0), Point::new(75.0, 5.0)));
         // Short link up the slope is fine (LoS above terrain).
         assert!(m.connected(TxId(0), west, Point::new(40.0, 50.0)));
     }
@@ -358,11 +347,7 @@ mod tests {
         let hf = HeightField::hill(10.0, 11, 25.0, 30.0);
         let m = TerrainShadowed::new(IdealDisk::new(20.0), hf, 1.0);
         assert_eq!(m.max_range(TxId(0), Point::new(10.0, 10.0)), 20.0);
-        assert!(!m.connected(
-            TxId(0),
-            Point::new(10.0, 10.0),
-            Point::new(31.0, 10.0)
-        ));
+        assert!(!m.connected(TxId(0), Point::new(10.0, 10.0), Point::new(31.0, 10.0)));
     }
 
     #[test]

@@ -17,8 +17,7 @@ fn pt() -> impl Strategy<Value = Point> {
 }
 
 fn check_range_bound<M: Propagation>(model: &M, tx: TxId, tx_pos: Point, rx: Point) -> bool {
-    !model.connected(tx, tx_pos, rx)
-        || tx_pos.distance(rx) <= model.max_range(tx, tx_pos) + 1e-9
+    !model.connected(tx, tx_pos, rx) || tx_pos.distance(rx) <= model.max_range(tx, tx_pos) + 1e-9
 }
 
 proptest! {

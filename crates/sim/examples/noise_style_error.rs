@@ -15,16 +15,31 @@ fn main() {
         let mut ideal = 0.0;
         for s in 0..trials {
             let f = BeaconField::random_uniform(beacons, terrain, &mut StdRng::seed_from_u64(s));
-            ideal += ErrorMap::survey(&lattice, &f, &IdealDisk::new(15.0), UnheardPolicy::TerrainCenter).mean_error();
+            ideal += ErrorMap::survey(
+                &lattice,
+                &f,
+                &IdealDisk::new(15.0),
+                UnheardPolicy::TerrainCenter,
+            )
+            .mean_error();
         }
         print!("{beacons:>4} ideal {:.3}", ideal / trials as f64);
         for noise in [0.1, 0.3, 0.5] {
-            for style in [NoiseStyle::Speckled, NoiseStyle::CoherentRadius, NoiseStyle::Lossy] {
+            for style in [
+                NoiseStyle::Speckled,
+                NoiseStyle::CoherentRadius,
+                NoiseStyle::Lossy,
+            ] {
                 let mut acc = 0.0;
                 for s in 0..trials {
-                    let f = BeaconField::random_uniform(beacons, terrain, &mut StdRng::seed_from_u64(s));
+                    let f = BeaconField::random_uniform(
+                        beacons,
+                        terrain,
+                        &mut StdRng::seed_from_u64(s),
+                    );
                     let m = PerBeaconNoise::with_style(15.0, noise, 1000 + s, style);
-                    acc += ErrorMap::survey(&lattice, &f, &m, UnheardPolicy::TerrainCenter).mean_error();
+                    acc += ErrorMap::survey(&lattice, &f, &m, UnheardPolicy::TerrainCenter)
+                        .mean_error();
                 }
                 print!(" | n{noise} {style}: {:.3}", acc / trials as f64);
             }

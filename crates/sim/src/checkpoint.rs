@@ -1,0 +1,225 @@
+//! Crash-safe checkpointing for long sweeps.
+//!
+//! A [`SweepCheckpoint`] is a small key-value store persisted to one file:
+//! experiments write one entry per completed density sweep (keyed by
+//! experiment, noise level, and density) and read entries back on the next
+//! run, skipping whatever already completed. Values are opaque byte blobs
+//! encoded by the experiment; every `f64` inside them travels as raw IEEE
+//! bits, so a resumed run reproduces the uninterrupted run **bit for
+//! bit**.
+//!
+//! The file format follows the `abp-survey` snapshot conventions:
+//! big-endian, magic + version header, then a fingerprint of the
+//! [`SimConfig`](crate::SimConfig) that produced the entries. A checkpoint
+//! whose fingerprint does not match the current configuration is ignored
+//! (stale results must never leak into a differently-parameterized run).
+//! Saves go through a temp file + atomic rename, so an interrupt mid-save
+//! leaves the previous checkpoint intact.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// `"ABPC"` — adaptive beacon placement checkpoint.
+const MAGIC: u32 = 0x4142_5043;
+const VERSION: u16 = 1;
+
+/// A persistent map of completed sweep results, safe to share across
+/// worker threads.
+#[derive(Debug)]
+pub struct SweepCheckpoint {
+    path: PathBuf,
+    fingerprint: u64,
+    entries: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl SweepCheckpoint {
+    /// Opens (or creates) the checkpoint at `path` for a configuration
+    /// with the given fingerprint.
+    ///
+    /// An existing file with a different fingerprint, an unknown version,
+    /// or corrupt contents is treated as absent: the run starts fresh and
+    /// overwrites it on the first save. Only real I/O errors (permissions,
+    /// directories, ...) are returned.
+    pub fn open(path: impl Into<PathBuf>, fingerprint: u64) -> io::Result<Self> {
+        let path = path.into();
+        let entries = match std::fs::read(&path) {
+            Ok(raw) => decode(&raw, fingerprint).unwrap_or_default(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(SweepCheckpoint {
+            path,
+            fingerprint,
+            entries: Mutex::new(entries),
+        })
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("checkpoint entries").len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.entries
+            .lock()
+            .expect("checkpoint entries")
+            .get(key)
+            .cloned()
+    }
+
+    /// Stores `value` under `key` and persists the whole checkpoint
+    /// atomically (temp file + rename).
+    pub fn put(&self, key: &str, value: Vec<u8>) -> io::Result<()> {
+        let encoded = {
+            let mut entries = self.entries.lock().expect("checkpoint entries");
+            entries.insert(key.to_string(), value);
+            encode(self.fingerprint, &entries)
+        };
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, &encoded)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn encode(fingerprint: u64, entries: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(
+        16 + entries
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 8)
+            .sum::<usize>(),
+    );
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(fingerprint);
+    buf.put_u64(entries.len() as u64);
+    for (key, value) in entries {
+        buf.put_u16(u16::try_from(key.len()).expect("checkpoint key under 64 KiB"));
+        buf.put_slice(key.as_bytes());
+        buf.put_u32(u32::try_from(value.len()).expect("checkpoint value under 4 GiB"));
+        buf.put_slice(value);
+    }
+    buf.freeze().to_vec()
+}
+
+fn decode(raw: &[u8], fingerprint: u64) -> Option<BTreeMap<String, Vec<u8>>> {
+    let mut buf = raw;
+    if buf.remaining() < 4 + 2 + 8 + 8 {
+        return None;
+    }
+    if buf.get_u32() != MAGIC || buf.get_u16() != VERSION || buf.get_u64() != fingerprint {
+        return None;
+    }
+    let n = buf.get_u64();
+    let mut entries = BTreeMap::new();
+    for _ in 0..n {
+        if buf.remaining() < 2 {
+            return None;
+        }
+        let klen = buf.get_u16() as usize;
+        if buf.remaining() < klen {
+            return None;
+        }
+        let key = String::from_utf8(buf[..klen].to_vec()).ok()?;
+        buf = &buf[klen..];
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let vlen = buf.get_u32() as usize;
+        if buf.remaining() < vlen {
+            return None;
+        }
+        let value = buf[..vlen].to_vec();
+        buf = &buf[vlen..];
+        entries.insert(key, value);
+    }
+    if buf.remaining() != 0 {
+        return None;
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("abp-ckpt-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ckpt = SweepCheckpoint::open(&path, 42).unwrap();
+            assert!(ckpt.is_empty());
+            ckpt.put("a/0", vec![1, 2, 3]).unwrap();
+            ckpt.put("a/1", 7.5_f64.to_bits().to_be_bytes().to_vec())
+                .unwrap();
+        }
+        let ckpt = SweepCheckpoint::open(&path, 42).unwrap();
+        assert_eq!(ckpt.len(), 2);
+        assert_eq!(ckpt.get("a/0"), Some(vec![1, 2, 3]));
+        let bits = u64::from_be_bytes(ckpt.get("a/1").unwrap().try_into().unwrap());
+        assert_eq!(f64::from_bits(bits), 7.5);
+        assert_eq!(ckpt.get("missing"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_starts_fresh() {
+        let path = tmp_path("fingerprint");
+        let _ = std::fs::remove_file(&path);
+        {
+            let ckpt = SweepCheckpoint::open(&path, 1).unwrap();
+            ckpt.put("k", vec![9]).unwrap();
+        }
+        let stale = SweepCheckpoint::open(&path, 2).unwrap();
+        assert!(stale.is_empty(), "stale entries must not be visible");
+        // And writing under the new fingerprint replaces the file.
+        stale.put("k2", vec![1]).unwrap();
+        let reread = SweepCheckpoint::open(&path, 2).unwrap();
+        assert_eq!(reread.get("k2"), Some(vec![1]));
+        assert_eq!(reread.get("k"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_is_ignored() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let ckpt = SweepCheckpoint::open(&path, 0).unwrap();
+        assert!(ckpt.is_empty());
+        // Truncated valid header is also rejected.
+        let valid = encode(0, &BTreeMap::from([("key".to_string(), vec![0; 100])]));
+        std::fs::write(&path, &valid[..valid.len() - 5]).unwrap();
+        let ckpt = SweepCheckpoint::open(&path, 0).unwrap();
+        assert!(ckpt.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_fresh_store() {
+        let path = tmp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        let ckpt = SweepCheckpoint::open(&path, 0).unwrap();
+        assert!(ckpt.is_empty());
+        assert_eq!(ckpt.path(), path.as_path());
+    }
+}

@@ -235,6 +235,43 @@ impl SimConfig {
         }
     }
 
+    /// A stable digest of every result-affecting parameter, used to pair
+    /// checkpoint files with the configuration that produced them.
+    ///
+    /// `threads` is deliberately excluded: results are thread-count
+    /// invariant, so a sweep checkpointed on 4 cores may resume on 32.
+    pub fn fingerprint(&self) -> u64 {
+        use abp_geom::splitmix64;
+        let policy_tag = match self.policy {
+            UnheardPolicy::TerrainCenter => 0u64,
+            UnheardPolicy::Origin => 1,
+            UnheardPolicy::Exclude => 2,
+        };
+        let style_tag = match self.noise_style {
+            NoiseStyle::Speckled => 0u64,
+            NoiseStyle::CoherentRadius => 1,
+            NoiseStyle::Lossy => 2,
+        };
+        let mut h = 0x4142_5043_5f76_3031; // "ABPC_v01"
+        for v in [
+            self.side.to_bits(),
+            self.nominal_range.to_bits(),
+            self.step.to_bits(),
+            self.num_grids as u64,
+            self.trials as u64,
+            self.seed,
+            policy_tag,
+            style_tag,
+            self.beacon_counts.len() as u64,
+        ] {
+            h = splitmix64(h ^ v);
+        }
+        for &beacons in &self.beacon_counts {
+            h = splitmix64(h ^ beacons as u64);
+        }
+        h
+    }
+
     /// Deterministic per-(density, trial) seed derivation.
     pub fn trial_seed(&self, density_index: usize, trial: usize) -> u64 {
         use abp_geom::splitmix64;
@@ -301,6 +338,26 @@ mod tests {
         // "from 1.41 to 17" beacons per coverage area.
         assert!((cfg.per_coverage(20) - 1.41).abs() < 0.01);
         assert!((cfg.per_coverage(240) - 16.96).abs() < 0.05);
+    }
+
+    #[test]
+    fn fingerprint_tracks_results_not_threads() {
+        let base = SimConfig::tiny();
+        let mut threads = base.clone();
+        threads.threads = 13;
+        assert_eq!(base.fingerprint(), threads.fingerprint());
+        for tweak in [
+            |c: &mut SimConfig| c.step = 4.0,
+            |c: &mut SimConfig| c.trials += 1,
+            |c: &mut SimConfig| c.seed ^= 1,
+            |c: &mut SimConfig| c.beacon_counts.push(999),
+            |c: &mut SimConfig| c.policy = UnheardPolicy::Exclude,
+            |c: &mut SimConfig| c.noise_style = NoiseStyle::Lossy,
+        ] {
+            let mut changed = base.clone();
+            tweak(&mut changed);
+            assert_ne!(base.fingerprint(), changed.fingerprint());
+        }
     }
 
     #[test]

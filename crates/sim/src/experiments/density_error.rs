@@ -7,11 +7,14 @@
 //! (ideal) and Figure 6 (noise 0.1/0.3/0.5).
 
 use crate::config::SimConfig;
-use crate::runner::parallel_map;
+use crate::progress::{Ctx, TrialFailureReport};
+use crate::runner::parallel_try_map;
 use abp_geom::splitmix64;
 use abp_stats::{ConfidenceInterval, Welford};
 use abp_survey::ErrorMap;
+use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One density point of the error-vs-density curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,20 +57,187 @@ pub fn run_trial(cfg: &SimConfig, noise: f64, beacons: usize, trial_seed: u64) -
     }
 }
 
+/// The name sweeps of this experiment report to probes and checkpoints.
+pub const EXPERIMENT: &str = "density-error";
+
+/// The outcome of a fault-tolerant density sweep: one point per density
+/// plus a report for every trial that panicked. Failed trials are simply
+/// absent from the statistics (their density's CI reflects the surviving
+/// sample count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// One aggregated point per configured beacon count.
+    pub points: Vec<DensityErrorPoint>,
+    /// Every trial that panicked, in (density, trial) order.
+    pub failures: Vec<TrialFailureReport>,
+}
+
 /// Runs the full density sweep at one noise level.
 ///
-/// Deterministic in `cfg.seed`; parallel over trials.
+/// Deterministic in `cfg.seed`; parallel over trials. A panicking trial
+/// aborts the whole run (the legacy contract); use [`run_sweep`] to
+/// survive trial faults instead.
 pub fn run(cfg: &SimConfig, noise: f64) -> Vec<DensityErrorPoint> {
-    cfg.beacon_counts
-        .iter()
-        .enumerate()
-        .map(|(di, &beacons)| {
-            let samples = parallel_map(cfg.trials, cfg.threads, |t| {
-                run_trial(cfg, noise, beacons, cfg.trial_seed(di, t))
-            });
-            aggregate(cfg, beacons, &samples)
-        })
-        .collect()
+    let outcome = run_sweep(cfg, noise, Ctx::noop());
+    if let Some(first) = outcome.failures.first() {
+        panic!("{first}");
+    }
+    outcome.points
+}
+
+/// Runs the full density sweep at one noise level, reporting progress to
+/// `ctx.probe`, persisting each completed density to `ctx.checkpoint`
+/// (when present), and surviving panicking trials.
+///
+/// Deterministic in `cfg.seed` and thread-count invariant. With a
+/// checkpoint, densities completed by an earlier interrupted run are
+/// restored bit for bit instead of recomputed.
+pub fn run_sweep(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>) -> SweepOutcome {
+    run_sweep_with(cfg, noise, ctx, run_trial)
+}
+
+/// [`run_sweep`] with a custom trial function — the fault-injection seam:
+/// tests substitute a trial that panics at a chosen index and assert the
+/// sweep completes with the failure reported.
+pub fn run_sweep_with<F>(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>, trial: F) -> SweepOutcome
+where
+    F: Fn(&SimConfig, f64, usize, u64) -> TrialSample + Sync,
+{
+    let mut points = Vec::with_capacity(cfg.beacon_counts.len());
+    let mut failures = Vec::new();
+    for (di, &beacons) in cfg.beacon_counts.iter().enumerate() {
+        // The key carries the noise *style* as well as the level: callers
+        // (e.g. the noise-style ablation) sweep styles within one run, and
+        // the shared checkpoint must keep their entries apart.
+        let key = format!(
+            "{EXPERIMENT}/style={}/noise={noise}/di={di}/beacons={beacons}",
+            cfg.noise_style
+        );
+        if let Some(entry) = ctx.checkpoint.and_then(|c| c.get(&key)) {
+            if let Some((point, mut restored)) = decode_density_entry(&entry) {
+                for f in &mut restored {
+                    f.density_index = di;
+                }
+                ctx.probe
+                    .sweep_done(EXPERIMENT, beacons, std::time::Duration::ZERO, true);
+                points.push(point);
+                failures.extend(restored);
+                continue;
+            }
+        }
+        ctx.probe.sweep_start(EXPERIMENT, beacons, cfg.trials);
+        let started = Instant::now();
+        let outcome = parallel_try_map(cfg.trials, cfg.threads, |t| {
+            let begun = Instant::now();
+            let sample = trial(cfg, noise, beacons, cfg.trial_seed(di, t));
+            ctx.probe.trial_done(begun.elapsed());
+            sample
+        });
+        let sweep_failures: Vec<TrialFailureReport> = outcome
+            .failures
+            .into_iter()
+            .map(|f| TrialFailureReport {
+                experiment: EXPERIMENT,
+                density_index: di,
+                beacons,
+                trial: f.index,
+                seed: cfg.trial_seed(di, f.index),
+                message: f.message,
+            })
+            .collect();
+        for f in &sweep_failures {
+            ctx.probe.trial_failed(f);
+        }
+        let samples: Vec<TrialSample> = outcome.successes.into_iter().map(|(_, s)| s).collect();
+        let point = aggregate(cfg, beacons, &samples);
+        if let Some(ckpt) = ctx.checkpoint {
+            if let Err(e) = ckpt.put(&key, encode_density_entry(&point, &sweep_failures)) {
+                eprintln!(
+                    "warning: checkpoint save to {} failed: {e}",
+                    ckpt.path().display()
+                );
+            }
+        }
+        ctx.probe
+            .sweep_done(EXPERIMENT, beacons, started.elapsed(), false);
+        points.push(point);
+        failures.extend(sweep_failures);
+    }
+    SweepOutcome { points, failures }
+}
+
+/// Encodes one completed density (point + its failures) for the
+/// checkpoint. All floats travel as raw IEEE bits — decoding restores the
+/// exact values, which is what makes resumed figures bit-identical.
+fn encode_density_entry(point: &DensityErrorPoint, failures: &[TrialFailureReport]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(80);
+    buf.put_u64(point.beacons as u64);
+    buf.put_f64(point.density);
+    buf.put_f64(point.per_coverage);
+    buf.put_f64(point.mean_error.estimate);
+    buf.put_f64(point.mean_error.half_width);
+    buf.put_f64(point.median_error.estimate);
+    buf.put_f64(point.median_error.half_width);
+    buf.put_f64(point.unheard_fraction);
+    buf.put_u32(failures.len() as u32);
+    for f in failures {
+        buf.put_u64(f.trial as u64);
+        buf.put_u64(f.seed);
+        buf.put_u32(f.message.len() as u32);
+        buf.put_slice(f.message.as_bytes());
+    }
+    buf.freeze().to_vec()
+}
+
+fn decode_density_entry(raw: &[u8]) -> Option<(DensityErrorPoint, Vec<TrialFailureReport>)> {
+    let mut buf = raw;
+    if buf.remaining() < 8 * 8 + 4 {
+        return None;
+    }
+    let beacons = buf.get_u64() as usize;
+    let point = DensityErrorPoint {
+        beacons,
+        density: buf.get_f64(),
+        per_coverage: buf.get_f64(),
+        mean_error: ConfidenceInterval {
+            estimate: buf.get_f64(),
+            half_width: buf.get_f64(),
+        },
+        median_error: ConfidenceInterval {
+            estimate: buf.get_f64(),
+            half_width: buf.get_f64(),
+        },
+        unheard_fraction: buf.get_f64(),
+    };
+    let n_failures = buf.get_u32();
+    let mut failures = Vec::with_capacity(n_failures as usize);
+    for _ in 0..n_failures {
+        if buf.remaining() < 8 + 8 + 4 {
+            return None;
+        }
+        let trial = buf.get_u64() as usize;
+        let seed = buf.get_u64();
+        let mlen = buf.get_u32() as usize;
+        if buf.remaining() < mlen {
+            return None;
+        }
+        let message = String::from_utf8(buf[..mlen].to_vec()).ok()?;
+        buf = &buf[mlen..];
+        failures.push(TrialFailureReport {
+            experiment: EXPERIMENT,
+            // The density index is not stored; the caller patches it in
+            // from the checkpoint key it used to look this entry up.
+            density_index: usize::MAX,
+            beacons,
+            trial,
+            seed,
+            message,
+        });
+    }
+    if buf.remaining() != 0 {
+        return None;
+    }
+    Some((point, failures))
 }
 
 fn aggregate(cfg: &SimConfig, beacons: usize, samples: &[TrialSample]) -> DensityErrorPoint {
@@ -218,6 +388,71 @@ mod tests {
             median_error: ConfidenceInterval::default(),
             unheard_fraction: 0.0,
         }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_reported() {
+        let mut c = cfg();
+        c.beacon_counts = vec![60];
+        c.trials = 16;
+        let bad = c.trial_seed(0, 5);
+        let outcome = run_sweep_with(&c, 0.0, Ctx::noop(), move |cfg, noise, beacons, seed| {
+            if seed == bad {
+                panic!("injected fault");
+            }
+            run_trial(cfg, noise, beacons, seed)
+        });
+        assert_eq!(outcome.points.len(), 1, "sweep must complete");
+        assert_eq!(outcome.failures.len(), 1);
+        let f = &outcome.failures[0];
+        assert_eq!(f.experiment, EXPERIMENT);
+        assert_eq!(f.density_index, 0);
+        assert_eq!(f.beacons, 60);
+        assert_eq!(f.trial, 5, "report must name the failing trial");
+        assert_eq!(f.seed, bad, "report must name the derived seed");
+        assert!(f.message.contains("injected fault"));
+        // Survivor statistics must equal aggregating the 15 good trials.
+        let survivors: Vec<TrialSample> = (0..16)
+            .filter(|&t| t != 5)
+            .map(|t| run_trial(&c, 0.0, 60, c.trial_seed(0, t)))
+            .collect();
+        assert_eq!(outcome.points[0], aggregate(&c, 60, &survivors));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let mut c = cfg();
+        c.beacon_counts = vec![20, 60];
+        c.trials = 8;
+        let noise = 0.1;
+        let full = run_sweep(&c, noise, Ctx::noop());
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("abp-density-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Simulate a run interrupted after the first density: seed the
+        // checkpoint with only that entry, then resume the whole sweep.
+        let ckpt = crate::checkpoint::SweepCheckpoint::open(&path, c.fingerprint()).unwrap();
+        let key = format!(
+            "{EXPERIMENT}/style={}/noise={noise}/di=0/beacons=20",
+            c.noise_style
+        );
+        ckpt.put(&key, encode_density_entry(&full.points[0], &[]))
+            .unwrap();
+
+        let probe = crate::progress::NoopProbe;
+        let resumed = run_sweep(&c, noise, Ctx::new(&probe).with_checkpoint(&ckpt));
+        assert_eq!(
+            resumed.points, full.points,
+            "resumed sweep must be bit-identical to the uninterrupted one"
+        );
+        assert_eq!(ckpt.len(), 2, "second density must have been persisted");
+
+        // A third run restores everything from the checkpoint.
+        let replay = run_sweep(&c, noise, Ctx::new(&probe).with_checkpoint(&ckpt));
+        assert_eq!(replay.points, full.points);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

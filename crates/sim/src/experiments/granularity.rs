@@ -7,10 +7,12 @@
 //! sweep of uniform `k × k` beacon grids.
 
 use crate::config::SimConfig;
+use crate::progress::Ctx;
 use abp_field::generate::uniform_grid;
 use abp_localize::regions::region_map;
 use abp_survey::ErrorMap;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One row of the granularity table.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,25 +29,41 @@ pub struct GranularityRow {
     pub mean_error: f64,
 }
 
+/// The name this experiment reports to probes.
+pub const EXPERIMENT: &str = "granularity";
+
 /// Runs the sweep for uniform `k × k` grids, `k ∈ per_sides`, under the
 /// ideal radio model of `cfg`.
 pub fn run(cfg: &SimConfig, per_sides: &[usize]) -> Vec<GranularityRow> {
+    run_with(cfg, per_sides, Ctx::noop())
+}
+
+/// [`run`], reporting each grid survey to `ctx.probe`. The experiment is
+/// deterministic (one survey per grid, no trials), so there is nothing to
+/// checkpoint.
+pub fn run_with(cfg: &SimConfig, per_sides: &[usize], ctx: Ctx<'_>) -> Vec<GranularityRow> {
     let lattice = cfg.lattice();
     let terrain = cfg.terrain();
     let model = cfg.model(0.0, 0);
     per_sides
         .iter()
         .map(|&k| {
+            ctx.probe.sweep_start(EXPERIMENT, k * k, 1);
+            let started = Instant::now();
             let field = uniform_grid(terrain, k);
             let regions = region_map(&lattice, &field, &*model);
             let map = ErrorMap::survey(&lattice, &field, &*model, cfg.policy);
-            GranularityRow {
+            let row = GranularityRow {
                 per_side: k,
                 beacons: field.len(),
                 regions: regions.region_count,
                 mean_region_size: regions.mean_region_size(),
                 mean_error: map.mean_error(),
-            }
+            };
+            ctx.probe.trial_done(started.elapsed());
+            ctx.probe
+                .sweep_done(EXPERIMENT, k * k, started.elapsed(), false);
+            row
         })
         .collect()
 }

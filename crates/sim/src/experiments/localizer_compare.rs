@@ -86,9 +86,7 @@ pub fn run(cfg: &SimConfig, range_sigma: f64) -> Vec<LocalizerPoint> {
                 density: cfg.density_of(beacons),
                 mean_errors: accs
                     .iter()
-                    .map(|w| {
-                        ConfidenceInterval::from_moments(w.mean(), w.sample_std(), w.count())
-                    })
+                    .map(|w| ConfidenceInterval::from_moments(w.mean(), w.sample_std(), w.count()))
                     .collect(),
             }
         })

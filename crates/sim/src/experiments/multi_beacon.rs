@@ -57,7 +57,14 @@ pub fn run(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -> Vec<Mul
                 let mut greedy_field = field.clone();
                 let mut greedy_map = before.clone();
                 let mut rng = StdRng::seed_from_u64(splitmix64(trial_seed ^ 0x6EED));
-                greedy_batch(&grid, &mut greedy_map, &mut greedy_field, &*model, k, &mut rng);
+                greedy_batch(
+                    &grid,
+                    &mut greedy_map,
+                    &mut greedy_field,
+                    &*model,
+                    k,
+                    &mut rng,
+                );
                 let greedy_gain = before_mean - greedy_map.mean_error();
 
                 // One-shot top-k from the single 'before' survey.
@@ -65,8 +72,7 @@ pub fn run(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -> Vec<Mul
                 let mut oneshot_map = before.clone();
                 for pos in grid.propose_top_k(&before, k) {
                     let id = oneshot_field.add_beacon(pos);
-                    oneshot_map
-                        .add_beacon(oneshot_field.get(id).expect("just added"), &*model);
+                    oneshot_map.add_beacon(oneshot_field.get(id).expect("just added"), &*model);
                 }
                 let oneshot_gain = before_mean - oneshot_map.mean_error();
                 (greedy_gain, oneshot_gain)

@@ -110,8 +110,7 @@ fn run_trial(
             };
             let mut extended = field.clone();
             extended.add_beacon(pos);
-            let after =
-                ErrorMap::survey_with_localizer(&lattice, &extended, &*model, &localizer);
+            let after = ErrorMap::survey_with_localizer(&lattice, &extended, &*model, &localizer);
             TrialImprovement {
                 mean: before_mean - after.mean_error(),
                 median: before_median - after.median_error(),
@@ -149,7 +148,10 @@ mod tests {
         let curves = run(&cfg(), 0.05, &[AlgorithmKind::Grid]);
         let low = curves[0].points[0].mean_improvement.estimate;
         let high = curves[0].points[1].mean_improvement.estimate;
-        assert!(high < low, "gains must shrink with density: {low} -> {high}");
+        assert!(
+            high < low,
+            "gains must shrink with density: {low} -> {high}"
+        );
     }
 
     #[test]

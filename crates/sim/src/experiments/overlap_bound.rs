@@ -68,12 +68,7 @@ pub fn run(cfg: &BoundConfig) -> Vec<BoundPoint> {
         cfg.interior_margin,
         cfg.side
     );
-    let max_r = cfg
-        .ratios
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max)
-        * cfg.spacing;
+    let max_r = cfg.ratios.iter().copied().fold(0.0f64, f64::max) * cfg.spacing;
     assert!(
         max_r <= cfg.interior_margin,
         "largest swept R = {max_r} exceeds the interior margin {}",

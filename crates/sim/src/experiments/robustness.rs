@@ -17,6 +17,7 @@
 //! placements for a noisy view to still find one).
 
 use crate::config::{AlgorithmKind, SimConfig};
+use crate::progress::Ctx;
 use crate::runner::parallel_map;
 use abp_geom::splitmix64;
 use abp_placement::SurveyView;
@@ -37,14 +38,26 @@ pub struct RobustnessPoint {
     pub mean_improvement: ConfidenceInterval,
 }
 
-fn run_sweep<F>(cfg: &SimConfig, beacons: usize, xs: &[f64], degrade: F) -> Vec<RobustnessPoint>
+/// The name this experiment reports to probes.
+pub const EXPERIMENT: &str = "robustness";
+
+fn run_sweep<F>(
+    cfg: &SimConfig,
+    beacons: usize,
+    xs: &[f64],
+    ctx: Ctx<'_>,
+    degrade: F,
+) -> Vec<RobustnessPoint>
 where
     F: Fn(f64, u64, &abp_field::BeaconField, &dyn abp_radio::Propagation) -> ErrorMap + Sync,
 {
     xs.iter()
         .enumerate()
         .map(|(xi, &x)| {
+            ctx.probe.sweep_start(EXPERIMENT, beacons, cfg.trials);
+            let sweep_started = std::time::Instant::now();
             let samples = parallel_map(cfg.trials, cfg.threads, |t| {
+                let begun = std::time::Instant::now();
                 let trial_seed = cfg.trial_seed(xi, t);
                 let field = cfg.trial_field(beacons, trial_seed);
                 let model = cfg.model(0.0, splitmix64(trial_seed ^ 0x4E_01_5E));
@@ -65,9 +78,13 @@ where
                 let id = extended.add_beacon(pos);
                 let mut after = truth.clone();
                 after.add_beacon(extended.get(id).expect("just added"), &*model);
-                truth.mean_error() - after.mean_error()
+                let sample = truth.mean_error() - after.mean_error();
+                ctx.probe.trial_done(begun.elapsed());
+                sample
             });
             let w: Welford = samples.into_iter().collect();
+            ctx.probe
+                .sweep_done(EXPERIMENT, beacons, sweep_started.elapsed(), false);
             RobustnessPoint {
                 x,
                 mean_improvement: ConfidenceInterval::from_moments(
@@ -87,29 +104,61 @@ pub fn exploration_sweep(
     beacons: usize,
     fractions: &[f64],
 ) -> Vec<RobustnessPoint> {
-    run_sweep(cfg, beacons, fractions, |fraction, trial_seed, field, model| {
-        let lattice = cfg.lattice();
-        let mut rng = StdRng::seed_from_u64(splitmix64(trial_seed ^ 0x5A3E));
-        survey_partial(
-            &lattice,
-            field,
-            model,
-            cfg.policy,
-            SubsampleStrategy::Random { fraction },
-            &mut rng,
-        )
-    })
+    exploration_sweep_with(cfg, beacons, fractions, Ctx::noop())
+}
+
+/// [`exploration_sweep`], reporting sweep and trial events to `ctx.probe`.
+pub fn exploration_sweep_with(
+    cfg: &SimConfig,
+    beacons: usize,
+    fractions: &[f64],
+    ctx: Ctx<'_>,
+) -> Vec<RobustnessPoint> {
+    run_sweep(
+        cfg,
+        beacons,
+        fractions,
+        ctx,
+        |fraction, trial_seed, field, model| {
+            let lattice = cfg.lattice();
+            let mut rng = StdRng::seed_from_u64(splitmix64(trial_seed ^ 0x5A3E));
+            survey_partial(
+                &lattice,
+                field,
+                model,
+                cfg.policy,
+                SubsampleStrategy::Random { fraction },
+                &mut rng,
+            )
+        },
+    )
 }
 
 /// Sweeps the GPS error: the Grid algorithm sees measurements taken by a
 /// robot whose GPS has standard deviation `sigma` meters.
 pub fn gps_noise_sweep(cfg: &SimConfig, beacons: usize, sigmas: &[f64]) -> Vec<RobustnessPoint> {
-    run_sweep(cfg, beacons, sigmas, |sigma, trial_seed, field, model| {
-        let plan = SurveyPlan::from_lattice(cfg.lattice());
-        let mut robot = Robot::new(sigma, 0, splitmix64(trial_seed ^ 0x9B5));
-        let (map, _) = robot.survey(&plan, field, model, cfg.policy);
-        map
-    })
+    gps_noise_sweep_with(cfg, beacons, sigmas, Ctx::noop())
+}
+
+/// [`gps_noise_sweep`], reporting sweep and trial events to `ctx.probe`.
+pub fn gps_noise_sweep_with(
+    cfg: &SimConfig,
+    beacons: usize,
+    sigmas: &[f64],
+    ctx: Ctx<'_>,
+) -> Vec<RobustnessPoint> {
+    run_sweep(
+        cfg,
+        beacons,
+        sigmas,
+        ctx,
+        |sigma, trial_seed, field, model| {
+            let plan = SurveyPlan::from_lattice(cfg.lattice());
+            let mut robot = Robot::new(sigma, 0, splitmix64(trial_seed ^ 0x9B5));
+            let (map, _) = robot.survey(&plan, field, model, cfg.policy);
+            map
+        },
+    )
 }
 
 #[cfg(test)]

@@ -71,7 +71,14 @@ pub fn run(
         .enumerate()
         .map(|(di, &beacons)| {
             let samples = parallel_map(cfg.trials, cfg.threads, |t| {
-                trial(cfg, noise, beacons, cfg.trial_seed(di, t), candidates, threshold)
+                trial(
+                    cfg,
+                    noise,
+                    beacons,
+                    cfg.trial_seed(di, t),
+                    candidates,
+                    threshold,
+                )
             });
             let mut best_w = Welford::new();
             let mut sat_w = Welford::new();
@@ -81,9 +88,8 @@ pub fn run(
                 sat_w.push(sat);
                 pos_w.push(pos);
             }
-            let ci = |w: &Welford| {
-                ConfidenceInterval::from_moments(w.mean(), w.sample_std(), w.count())
-            };
+            let ci =
+                |w: &Welford| ConfidenceInterval::from_moments(w.mean(), w.sample_std(), w.count());
             SolutionSpacePoint {
                 beacons,
                 density: cfg.density_of(beacons),
@@ -123,12 +129,13 @@ fn trial(
         after.add_beacon(extended.get(id).expect("just added"), &*model);
         improvements.push(before_mean - after.mean_error());
     }
-    let best = improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let positive = improvements.iter().filter(|&&v| v > 0.0).count() as f64
-        / candidates as f64;
+    let best = improvements
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let positive = improvements.iter().filter(|&&v| v > 0.0).count() as f64 / candidates as f64;
     let bar = threshold * before_mean;
-    let satisfying =
-        improvements.iter().filter(|&&v| v >= bar).count() as f64 / candidates as f64;
+    let satisfying = improvements.iter().filter(|&&v| v >= bar).count() as f64 / candidates as f64;
     (best, satisfying, positive)
 }
 

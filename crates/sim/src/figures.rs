@@ -11,8 +11,19 @@ use crate::experiments::{
     density_error, granularity, improvement, localizer_compare, multi_beacon, multilat_placement,
     overlap_bound, robustness, solution_space,
 };
+use crate::progress::Ctx;
 use crate::report::{Figure, Series, SeriesPoint};
 use abp_stats::ConfidenceInterval;
+use std::time::Instant;
+
+/// Runs `body` bracketed by `figure_start`/`figure_done` probe events.
+fn timed<T>(ctx: Ctx<'_>, id: &str, body: impl FnOnce() -> T) -> T {
+    ctx.probe.figure_start(id);
+    let started = Instant::now();
+    let out = body();
+    ctx.probe.figure_done(id, started.elapsed());
+    out
+}
 
 /// Table 1 — the simulation parameters, rendered.
 pub fn table1() -> String {
@@ -24,7 +35,16 @@ pub fn table1() -> String {
 /// Quantified as a sweep of uniform `k × k` beacon grids: region count,
 /// mean region size, and mean error per grid.
 pub fn fig1(cfg: &SimConfig, per_sides: &[usize]) -> Figure {
-    let rows = granularity::run(cfg, per_sides);
+    fig1_with(cfg, per_sides, Ctx::noop())
+}
+
+/// [`fig1`] with observability: figure/sweep events go to `ctx.probe`.
+pub fn fig1_with(cfg: &SimConfig, per_sides: &[usize], ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "fig1", || fig1_inner(cfg, per_sides, ctx))
+}
+
+fn fig1_inner(cfg: &SimConfig, per_sides: &[usize], ctx: Ctx<'_>) -> Figure {
+    let rows = granularity::run_with(cfg, per_sides, ctx);
     let exact = |v: f64| ConfidenceInterval {
         estimate: v,
         half_width: 0.0,
@@ -64,10 +84,13 @@ pub fn fig1(cfg: &SimConfig, per_sides: &[usize]) -> Figure {
     ))
 }
 
-fn density_series(cfg: &SimConfig, noise: f64, name: &str) -> Series {
+fn density_series(cfg: &SimConfig, noise: f64, name: &str, ctx: Ctx<'_>) -> Series {
+    // Failed trials were already reported through the probe; the series
+    // aggregates the survivors.
     Series::new(
         name,
-        density_error::run(cfg, noise)
+        density_error::run_sweep(cfg, noise, ctx)
+            .points
             .iter()
             .map(|p| SeriesPoint {
                 x: p.density,
@@ -80,40 +103,63 @@ fn density_series(cfg: &SimConfig, noise: f64, name: &str) -> Series {
 /// Figure 4 — mean localization error vs beacon density under ideal
 /// propagation.
 pub fn fig4(cfg: &SimConfig) -> Figure {
-    Figure::new(
-        "fig4",
-        "Mean localization error vs beacon density (Ideal)",
-        "density (/m^2)",
-        "mean localization error (m)",
-    )
-    .with_series(density_series(cfg, 0.0, "Ideal"))
+    fig4_with(cfg, Ctx::noop())
+}
+
+/// [`fig4`] with observability and checkpointing via `ctx`.
+pub fn fig4_with(cfg: &SimConfig, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "fig4", || {
+        Figure::new(
+            "fig4",
+            "Mean localization error vs beacon density (Ideal)",
+            "density (/m^2)",
+            "mean localization error (m)",
+        )
+        .with_series(density_series(cfg, 0.0, "Ideal", ctx))
+    })
 }
 
 /// Figure 6 — mean localization error vs beacon density across the
 /// paper's noise levels (0, 0.1, 0.3, 0.5).
 pub fn fig6(cfg: &SimConfig) -> Figure {
-    let mut fig = Figure::new(
-        "fig6",
-        "Mean localization error vs beacon density (Noise)",
-        "density (/m^2)",
-        "mean localization error (m)",
-    );
-    for &noise in &PaperConfig::NOISE_LEVELS {
-        let name = if noise == 0.0 {
-            "Ideal".to_string()
-        } else {
-            format!("Noise={noise}")
-        };
-        fig.series.push(density_series(cfg, noise, &name));
-    }
-    fig
+    fig6_with(cfg, Ctx::noop())
+}
+
+/// [`fig6`] with observability and checkpointing via `ctx`.
+pub fn fig6_with(cfg: &SimConfig, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "fig6", || {
+        let mut fig = Figure::new(
+            "fig6",
+            "Mean localization error vs beacon density (Noise)",
+            "density (/m^2)",
+            "mean localization error (m)",
+        );
+        for &noise in &PaperConfig::NOISE_LEVELS {
+            let name = if noise == 0.0 {
+                "Ideal".to_string()
+            } else {
+                format!("Noise={noise}")
+            };
+            fig.series.push(density_series(cfg, noise, &name, ctx));
+        }
+        fig
+    })
 }
 
 /// Figure 5 — improvement in mean and median localization error vs beacon
 /// density for Random, Max and Grid under ideal propagation. Returns the
 /// (mean, median) figure pair.
 pub fn fig5(cfg: &SimConfig) -> (Figure, Figure) {
-    let curves = improvement::run(cfg, 0.0, &AlgorithmKind::PAPER);
+    fig5_with(cfg, Ctx::noop())
+}
+
+/// [`fig5`] with observability and checkpointing via `ctx`.
+pub fn fig5_with(cfg: &SimConfig, ctx: Ctx<'_>) -> (Figure, Figure) {
+    timed(ctx, "fig5", || fig5_inner(cfg, ctx))
+}
+
+fn fig5_inner(cfg: &SimConfig, ctx: Ctx<'_>) -> (Figure, Figure) {
+    let curves = improvement::run_sweep(cfg, 0.0, &AlgorithmKind::PAPER, ctx).curves;
     let mut mean_fig = Figure::new(
         "fig5-mean",
         "Improvement in mean error vs beacon density (Ideal)",
@@ -158,6 +204,11 @@ pub fn fig5(cfg: &SimConfig) -> (Figure, Figure) {
 /// across the paper's noise levels. `fig_id` is 7 (Random), 8 (Max) or
 /// 9 (Grid); other algorithms are accepted for ablations.
 pub fn fig_noise(cfg: &SimConfig, algorithm: AlgorithmKind) -> (Figure, Figure) {
+    fig_noise_with(cfg, algorithm, Ctx::noop())
+}
+
+/// [`fig_noise`] with observability and checkpointing via `ctx`.
+pub fn fig_noise_with(cfg: &SimConfig, algorithm: AlgorithmKind, ctx: Ctx<'_>) -> (Figure, Figure) {
     let fig_id = match algorithm {
         AlgorithmKind::Random => "fig7",
         AlgorithmKind::Max => "fig8",
@@ -165,6 +216,15 @@ pub fn fig_noise(cfg: &SimConfig, algorithm: AlgorithmKind) -> (Figure, Figure) 
         AlgorithmKind::WeightedGrid => "figx-weighted-grid",
         AlgorithmKind::LocusBreak => "figx-locus-break",
     };
+    timed(ctx, fig_id, || fig_noise_inner(cfg, algorithm, fig_id, ctx))
+}
+
+fn fig_noise_inner(
+    cfg: &SimConfig,
+    algorithm: AlgorithmKind,
+    fig_id: &str,
+    ctx: Ctx<'_>,
+) -> (Figure, Figure) {
     let cap = capitalized(algorithm.name());
     let mut mean_fig = Figure::new(
         format!("{fig_id}-mean"),
@@ -184,7 +244,7 @@ pub fn fig_noise(cfg: &SimConfig, algorithm: AlgorithmKind) -> (Figure, Figure) 
         } else {
             format!("Noise={noise}")
         };
-        let curves = improvement::run(cfg, noise, &[algorithm]);
+        let curves = improvement::run_sweep(cfg, noise, &[algorithm], ctx).curves;
         let curve = &curves[0];
         mean_fig.series.push(Series::new(
             name.clone(),
@@ -215,6 +275,15 @@ pub fn fig_noise(cfg: &SimConfig, algorithm: AlgorithmKind) -> (Figure, Figure) 
 /// The §2.2 error-bound analysis: max and mean centroid error (as a
 /// fraction of the beacon separation `d`) vs range-overlap ratio `R/d`.
 pub fn bound(cfg: &overlap_bound::BoundConfig) -> Figure {
+    bound_with(cfg, Ctx::noop())
+}
+
+/// [`bound`] with figure timing via `ctx`.
+pub fn bound_with(cfg: &overlap_bound::BoundConfig, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "bound", || bound_inner(cfg))
+}
+
+fn bound_inner(cfg: &overlap_bound::BoundConfig) -> Figure {
     let points = overlap_bound::run(cfg);
     let exact = |v: f64| ConfidenceInterval {
         estimate: v,
@@ -252,6 +321,17 @@ pub fn bound(cfg: &overlap_bound::BoundConfig) -> Figure {
 /// (weighted grid, locus-break), compared on mean-error improvement at one
 /// noise level.
 pub fn ablation_algorithms(cfg: &SimConfig, noise: f64) -> Figure {
+    ablation_algorithms_with(cfg, noise, Ctx::noop())
+}
+
+/// [`ablation_algorithms`] with observability and checkpointing via `ctx`.
+pub fn ablation_algorithms_with(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "ablation-algorithms", || {
+        ablation_algorithms_inner(cfg, noise, ctx)
+    })
+}
+
+fn ablation_algorithms_inner(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>) -> Figure {
     let all = [
         AlgorithmKind::Random,
         AlgorithmKind::Max,
@@ -259,7 +339,7 @@ pub fn ablation_algorithms(cfg: &SimConfig, noise: f64) -> Figure {
         AlgorithmKind::WeightedGrid,
         AlgorithmKind::LocusBreak,
     ];
-    let curves = improvement::run(cfg, noise, &all);
+    let curves = improvement::run_sweep(cfg, noise, &all, ctx).curves;
     let mut fig = Figure::new(
         "ablation-algorithms",
         format!("All placement algorithms, improvement in mean error (noise {noise})"),
@@ -287,30 +367,43 @@ pub fn ablation_algorithms(cfg: &SimConfig, noise: f64) -> Figure {
 /// noise level, with the ideal curve for reference. Documents the
 /// noise-model interpretation question discussed in EXPERIMENTS.md.
 pub fn ablation_noise_styles(cfg: &SimConfig, noise: f64) -> Figure {
+    ablation_noise_styles_with(cfg, noise, Ctx::noop())
+}
+
+/// [`ablation_noise_styles`] with observability and checkpointing via
+/// `ctx`.
+pub fn ablation_noise_styles_with(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>) -> Figure {
     use abp_radio::NoiseStyle;
-    let mut fig = Figure::new(
-        "ablation-noise-styles",
-        format!("Noise-model readings, mean error vs density (noise {noise})"),
-        "density (/m^2)",
-        "mean localization error (m)",
-    );
-    fig.series.push(density_series(cfg, 0.0, "Ideal"));
-    for style in [
-        NoiseStyle::Speckled,
-        NoiseStyle::CoherentRadius,
-        NoiseStyle::Lossy,
-    ] {
-        let mut styled = cfg.clone();
-        styled.noise_style = style;
-        fig.series
-            .push(density_series(&styled, noise, &style.to_string()));
-    }
-    fig
+    timed(ctx, "ablation-noise-styles", || {
+        let mut fig = Figure::new(
+            "ablation-noise-styles",
+            format!("Noise-model readings, mean error vs density (noise {noise})"),
+            "density (/m^2)",
+            "mean localization error (m)",
+        );
+        fig.series.push(density_series(cfg, 0.0, "Ideal", ctx));
+        for style in [
+            NoiseStyle::Speckled,
+            NoiseStyle::CoherentRadius,
+            NoiseStyle::Lossy,
+        ] {
+            let mut styled = cfg.clone();
+            styled.noise_style = style;
+            fig.series
+                .push(density_series(&styled, noise, &style.to_string(), ctx));
+        }
+        fig
+    })
 }
 
 /// §3.1 generalization: Grid's improvement when it sees only a fraction
 /// of the survey, and when measurements pass through a noisy GPS.
 pub fn robustness(cfg: &SimConfig, beacons: usize) -> (Figure, Figure) {
+    robustness_with(cfg, beacons, Ctx::noop())
+}
+
+/// [`robustness`] with observability via `ctx`.
+pub fn robustness_with(cfg: &SimConfig, beacons: usize, ctx: Ctx<'_>) -> (Figure, Figure) {
     let fractions = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0];
     let sigmas = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
     let to_points = |pts: &[robustness::RobustnessPoint]| {
@@ -321,32 +414,57 @@ pub fn robustness(cfg: &SimConfig, beacons: usize) -> (Figure, Figure) {
             })
             .collect()
     };
-    let exploration = Figure::new(
-        "robustness-exploration",
-        format!("Grid improvement vs exploration fraction ({beacons} beacons, ideal radio)"),
-        "fraction of lattice measured",
-        "improvement in mean error (m)",
-    )
-    .with_series(Series::new(
-        "Grid",
-        to_points(&robustness::exploration_sweep(cfg, beacons, &fractions)),
-    ));
-    let gps = Figure::new(
-        "robustness-gps",
-        format!("Grid improvement vs GPS error ({beacons} beacons, ideal radio)"),
-        "GPS sigma (m)",
-        "improvement in mean error (m)",
-    )
-    .with_series(Series::new(
-        "Grid",
-        to_points(&robustness::gps_noise_sweep(cfg, beacons, &sigmas)),
-    ));
+    let exploration = timed(ctx, "robustness-exploration", || {
+        Figure::new(
+            "robustness-exploration",
+            format!("Grid improvement vs exploration fraction ({beacons} beacons, ideal radio)"),
+            "fraction of lattice measured",
+            "improvement in mean error (m)",
+        )
+        .with_series(Series::new(
+            "Grid",
+            to_points(&robustness::exploration_sweep_with(
+                cfg, beacons, &fractions, ctx,
+            )),
+        ))
+    });
+    let gps = timed(ctx, "robustness-gps", || {
+        Figure::new(
+            "robustness-gps",
+            format!("Grid improvement vs GPS error ({beacons} beacons, ideal radio)"),
+            "GPS sigma (m)",
+            "improvement in mean error (m)",
+        )
+        .with_series(Series::new(
+            "Grid",
+            to_points(&robustness::gps_noise_sweep_with(
+                cfg, beacons, &sigmas, ctx,
+            )),
+        ))
+    });
     (exploration, gps)
 }
 
 /// §1 contribution 3: the solution-space density sweep. `threshold` is
 /// the relative error reduction that counts as "satisfying".
 pub fn solution_space(cfg: &SimConfig, noise: f64, candidates: usize, threshold: f64) -> Figure {
+    solution_space_with(cfg, noise, candidates, threshold, Ctx::noop())
+}
+
+/// [`solution_space`] with figure timing via `ctx`.
+pub fn solution_space_with(
+    cfg: &SimConfig,
+    noise: f64,
+    candidates: usize,
+    threshold: f64,
+    ctx: Ctx<'_>,
+) -> Figure {
+    timed(ctx, "solution-space", || {
+        solution_space_inner(cfg, noise, candidates, threshold)
+    })
+}
+
+fn solution_space_inner(cfg: &SimConfig, noise: f64, candidates: usize, threshold: f64) -> Figure {
     let points = solution_space::run(cfg, noise, candidates, threshold);
     let mut fig = Figure::new(
         "solution-space",
@@ -394,6 +512,23 @@ pub fn solution_space(cfg: &SimConfig, noise: f64, candidates: usize, threshold:
 /// §6 future work: gains from adding `k` beacons at once — greedy with
 /// re-measurement vs one-shot top-k (Grid algorithm).
 pub fn multi_beacon(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -> Figure {
+    multi_beacon_with(cfg, noise, beacons, ks, Ctx::noop())
+}
+
+/// [`multi_beacon`] with figure timing via `ctx`.
+pub fn multi_beacon_with(
+    cfg: &SimConfig,
+    noise: f64,
+    beacons: usize,
+    ks: &[usize],
+    ctx: Ctx<'_>,
+) -> Figure {
+    timed(ctx, "multi-beacon", || {
+        multi_beacon_inner(cfg, noise, beacons, ks)
+    })
+}
+
+fn multi_beacon_inner(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -> Figure {
     let points = multi_beacon::run(cfg, noise, beacons, ks);
     let mut fig = Figure::new(
         "multi-beacon",
@@ -428,6 +563,15 @@ pub fn multi_beacon(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -
 /// the weighted centroid, the locus centroid, and multilateration, on
 /// identical fields. Point-major surveys — keep the step coarse.
 pub fn localizers(cfg: &SimConfig, range_sigma: f64) -> Figure {
+    localizers_with(cfg, range_sigma, Ctx::noop())
+}
+
+/// [`localizers`] with figure timing via `ctx`.
+pub fn localizers_with(cfg: &SimConfig, range_sigma: f64, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "localizers", || localizers_inner(cfg, range_sigma))
+}
+
+fn localizers_inner(cfg: &SimConfig, range_sigma: f64) -> Figure {
     let points = localizer_compare::run(cfg, range_sigma);
     let mut fig = Figure::new(
         "localizers",
@@ -454,6 +598,17 @@ pub fn localizers(cfg: &SimConfig, range_sigma: f64) -> Figure {
 /// localization (mean-error improvement only; the median figure mirrors
 /// it).
 pub fn multilateration(cfg: &SimConfig, range_sigma: f64) -> Figure {
+    multilateration_with(cfg, range_sigma, Ctx::noop())
+}
+
+/// [`multilateration`] with figure timing via `ctx`.
+pub fn multilateration_with(cfg: &SimConfig, range_sigma: f64, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, "multilateration", || {
+        multilateration_inner(cfg, range_sigma)
+    })
+}
+
+fn multilateration_inner(cfg: &SimConfig, range_sigma: f64) -> Figure {
     let curves = multilat_placement::run(cfg, range_sigma, &AlgorithmKind::PAPER);
     let mut fig = Figure::new(
         "multilateration",
@@ -538,6 +693,24 @@ mod tests {
         assert_eq!(mean_fig.id, "fig7-mean");
         assert_eq!(median_fig.id, "fig7-median");
         assert_eq!(mean_fig.series.len(), 4); // 4 noise levels
+    }
+
+    #[test]
+    fn fig4_with_records_metrics() {
+        let c = cfg();
+        let recorder = crate::progress::MetricsRecorder::new(c.threads.max(1));
+        let fig = fig4_with(&c, Ctx::new(&recorder));
+        assert_eq!(fig.series.len(), 1);
+        let metrics = recorder.figures();
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].figure, "fig4");
+        // 3 densities × 6 trials, all observed.
+        assert_eq!(metrics[0].trials, 18);
+        assert_eq!(metrics[0].failures, 0);
+        assert!(metrics[0].trials_per_sec > 0.0);
+        let json = recorder.to_json();
+        assert!(json.contains("\"figure\": \"fig4\""));
+        assert!(json.contains("\"trials\": 18"));
     }
 
     #[test]

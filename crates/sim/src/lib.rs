@@ -9,7 +9,11 @@
 //! * [`SimConfig`] — experiment parameters; [`SimConfig::paper`] is
 //!   Table 1 (`Side = 100 m`, `R = 15 m`, `step = 1 m`, `NG = 400`,
 //!   20–240 beacons, 1000 fields per density),
-//! * [`runner`] — deterministic parallel trial execution,
+//! * [`runner`] — deterministic, fault-tolerant parallel trial execution,
+//! * [`progress`] — the [`Probe`] observability hooks (progress lines,
+//!   run metrics) threaded through experiments and figures,
+//! * [`checkpoint`] — crash-safe persistence of completed density sweeps
+//!   so interrupted runs resume bit-identically,
 //! * [`experiments`] — one module per experiment family:
 //!   [`experiments::density_error`] (Figures 4 and 6),
 //!   [`experiments::improvement`] (Figures 5, 7, 8, 9),
@@ -39,13 +43,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod demo;
 pub mod experiments;
 pub mod figures;
+pub mod progress;
 pub mod report;
 pub mod runner;
 
+pub use checkpoint::SweepCheckpoint;
 pub use config::{AlgorithmKind, PaperConfig, SimConfig};
 pub use demo::heatmap_demo;
+pub use progress::{
+    Ctx, Fanout, MetricsRecorder, NoopProbe, Probe, ProgressProbe, TrialFailureReport,
+};
 pub use report::{Figure, Series, SeriesPoint};

@@ -1,0 +1,613 @@
+//! Observability for long Monte-Carlo runs: probes, progress reporting,
+//! and run metrics.
+//!
+//! The experiment drivers accept a [`Ctx`] carrying a [`Probe`] (and
+//! optionally a [`crate::checkpoint::SweepCheckpoint`]). Probes receive
+//! figure/sweep/trial lifecycle events from whatever thread completed the
+//! work, so implementations must be `Sync` and cheap. Three are provided:
+//!
+//! * [`NoopProbe`] — the default; zero overhead,
+//! * [`ProgressProbe`] — live `completed/total`, throughput, and ETA on
+//!   stderr (the CLI's `--progress`),
+//! * [`MetricsRecorder`] — per-figure wall-clock, trial throughput, and
+//!   worker utilization, rendered as JSON (the CLI's `--metrics-json`).
+
+use crate::checkpoint::SweepCheckpoint;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A trial that panicked during a sweep, with enough context to reproduce
+/// it in isolation: the experiment, the density point, the trial index,
+/// and the exact derived seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailureReport {
+    /// Which experiment family the trial belonged to.
+    pub experiment: &'static str,
+    /// Index into `cfg.beacon_counts`.
+    pub density_index: usize,
+    /// Beacon count at that density.
+    pub beacons: usize,
+    /// Trial index within the density.
+    pub trial: usize,
+    /// The derived trial seed (`cfg.trial_seed(density_index, trial)`).
+    pub seed: u64,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for TrialFailureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: trial {} at density #{} ({} beacons, seed {:#018x}) panicked: {}",
+            self.experiment, self.trial, self.density_index, self.beacons, self.seed, self.message
+        )
+    }
+}
+
+/// Receives experiment lifecycle events.
+///
+/// All methods have empty defaults; implement only what you observe.
+/// `trial_done` is called from worker threads on every finished trial —
+/// keep it cheap.
+pub trait Probe: Sync {
+    /// A named figure (or table) regeneration began.
+    fn figure_start(&self, id: &str) {
+        let _ = id;
+    }
+
+    /// A named figure finished; `wall` is its total wall-clock time.
+    fn figure_done(&self, id: &str, wall: Duration) {
+        let _ = (id, wall);
+    }
+
+    /// A per-density sweep of `trials` trials began.
+    fn sweep_start(&self, experiment: &str, beacons: usize, trials: usize) {
+        let _ = (experiment, beacons, trials);
+    }
+
+    /// A per-density sweep finished. `from_checkpoint` marks sweeps whose
+    /// results were restored rather than recomputed.
+    fn sweep_done(&self, experiment: &str, beacons: usize, wall: Duration, from_checkpoint: bool) {
+        let _ = (experiment, beacons, wall, from_checkpoint);
+    }
+
+    /// One trial finished; `busy` is the time the worker spent on it.
+    fn trial_done(&self, busy: Duration) {
+        let _ = busy;
+    }
+
+    /// One trial panicked (the sweep continues without it).
+    fn trial_failed(&self, failure: &TrialFailureReport) {
+        let _ = failure;
+    }
+}
+
+/// The default probe: observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+static NOOP: NoopProbe = NoopProbe;
+
+/// The observability context threaded through experiments and figures.
+///
+/// Cheap to copy; [`Ctx::noop`] is the zero-overhead default used by the
+/// plain `run(...)` entry points.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    /// Receives lifecycle events.
+    pub probe: &'a dyn Probe,
+    /// When present, completed sweeps are persisted here and restored on
+    /// the next run.
+    pub checkpoint: Option<&'a SweepCheckpoint>,
+}
+
+impl Ctx<'static> {
+    /// A context that observes nothing and checkpoints nowhere.
+    pub fn noop() -> Self {
+        Ctx {
+            probe: &NOOP,
+            checkpoint: None,
+        }
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// A context reporting to `probe`.
+    pub fn new(probe: &'a dyn Probe) -> Self {
+        Ctx {
+            probe,
+            checkpoint: None,
+        }
+    }
+
+    /// Adds a checkpoint store.
+    pub fn with_checkpoint(self, checkpoint: &'a SweepCheckpoint) -> Self {
+        Ctx {
+            checkpoint: Some(checkpoint),
+            ..self
+        }
+    }
+}
+
+impl fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("checkpoint", &self.checkpoint.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Forwards every event to each inner probe, in order.
+pub struct Fanout<'a> {
+    probes: Vec<&'a dyn Probe>,
+}
+
+impl<'a> Fanout<'a> {
+    /// Combines any number of probes into one.
+    pub fn new(probes: Vec<&'a dyn Probe>) -> Self {
+        Fanout { probes }
+    }
+}
+
+impl Probe for Fanout<'_> {
+    fn figure_start(&self, id: &str) {
+        for p in &self.probes {
+            p.figure_start(id);
+        }
+    }
+
+    fn figure_done(&self, id: &str, wall: Duration) {
+        for p in &self.probes {
+            p.figure_done(id, wall);
+        }
+    }
+
+    fn sweep_start(&self, experiment: &str, beacons: usize, trials: usize) {
+        for p in &self.probes {
+            p.sweep_start(experiment, beacons, trials);
+        }
+    }
+
+    fn sweep_done(&self, experiment: &str, beacons: usize, wall: Duration, from_checkpoint: bool) {
+        for p in &self.probes {
+            p.sweep_done(experiment, beacons, wall, from_checkpoint);
+        }
+    }
+
+    fn trial_done(&self, busy: Duration) {
+        for p in &self.probes {
+            p.trial_done(busy);
+        }
+    }
+
+    fn trial_failed(&self, failure: &TrialFailureReport) {
+        for p in &self.probes {
+            p.trial_failed(failure);
+        }
+    }
+}
+
+struct ProgressState {
+    label: String,
+    done: usize,
+    total: usize,
+    sweep_started: Instant,
+    last_render: Option<Instant>,
+    line_open: bool,
+}
+
+/// Live progress on stderr: one updating line per sweep with
+/// `completed/total`, trial throughput, and ETA; a summary line per
+/// completed sweep.
+pub struct ProgressProbe {
+    state: Mutex<ProgressState>,
+}
+
+impl ProgressProbe {
+    /// Creates the probe (no output until the first event).
+    pub fn new() -> Self {
+        ProgressProbe {
+            state: Mutex::new(ProgressState {
+                label: String::new(),
+                done: 0,
+                total: 0,
+                sweep_started: Instant::now(),
+                last_render: None,
+                line_open: false,
+            }),
+        }
+    }
+
+    fn render(state: &ProgressState) {
+        let elapsed = state.sweep_started.elapsed().as_secs_f64();
+        let rate = state.done as f64 / elapsed.max(1e-9);
+        let eta = if state.done == 0 {
+            "--".to_string()
+        } else {
+            let left = state.total.saturating_sub(state.done) as f64 / rate.max(1e-9);
+            format!("{left:.0}s")
+        };
+        eprint!(
+            "\r{}: {}/{} trials ({:.0}%, {:.1}/s, ETA {eta})   ",
+            state.label,
+            state.done,
+            state.total,
+            100.0 * state.done as f64 / state.total.max(1) as f64,
+            rate,
+        );
+    }
+}
+
+impl Default for ProgressProbe {
+    fn default() -> Self {
+        ProgressProbe::new()
+    }
+}
+
+impl Probe for ProgressProbe {
+    fn figure_start(&self, id: &str) {
+        eprintln!("== {id} ==");
+    }
+
+    fn figure_done(&self, id: &str, wall: Duration) {
+        let mut s = self.state.lock().expect("progress state");
+        if s.line_open {
+            eprintln!();
+            s.line_open = false;
+        }
+        eprintln!("== {id} done in {:.2}s ==", wall.as_secs_f64());
+    }
+
+    fn sweep_start(&self, experiment: &str, beacons: usize, trials: usize) {
+        let mut s = self.state.lock().expect("progress state");
+        if s.line_open {
+            eprintln!();
+        }
+        s.label = format!("{experiment} @ {beacons} beacons");
+        s.done = 0;
+        s.total = trials;
+        s.sweep_started = Instant::now();
+        s.last_render = None;
+        s.line_open = true;
+        Self::render(&s);
+    }
+
+    fn sweep_done(&self, experiment: &str, beacons: usize, wall: Duration, from_checkpoint: bool) {
+        let mut s = self.state.lock().expect("progress state");
+        if s.line_open {
+            eprint!("\r");
+            s.line_open = false;
+        }
+        if from_checkpoint {
+            eprintln!("{experiment} @ {beacons} beacons: restored from checkpoint");
+        } else {
+            let rate = s.done as f64 / wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "{experiment} @ {beacons} beacons: {} trials in {:.2}s ({rate:.1}/s)      ",
+                s.done,
+                wall.as_secs_f64(),
+            );
+        }
+    }
+
+    fn trial_done(&self, _busy: Duration) {
+        let mut s = self.state.lock().expect("progress state");
+        s.done += 1;
+        // Throttle terminal writes; always render the final trial.
+        let due = match s.last_render {
+            None => true,
+            Some(t) => t.elapsed() >= Duration::from_millis(100),
+        };
+        if due || s.done == s.total {
+            s.last_render = Some(Instant::now());
+            Self::render(&s);
+        }
+    }
+
+    fn trial_failed(&self, failure: &TrialFailureReport) {
+        let mut s = self.state.lock().expect("progress state");
+        if s.line_open {
+            eprintln!();
+            s.line_open = false;
+        }
+        eprintln!("FAILED {failure}");
+    }
+}
+
+/// Metrics for one completed figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureMetrics {
+    /// Figure id (e.g. `fig4`).
+    pub figure: String,
+    /// Wall-clock seconds for the whole figure.
+    pub wall_seconds: f64,
+    /// Trials executed (checkpoint-restored sweeps contribute none).
+    pub trials: usize,
+    /// Trials per wall-clock second.
+    pub trials_per_sec: f64,
+    /// Total worker busy-time divided by `wall x threads`: 1.0 means every
+    /// worker computed the whole time.
+    pub worker_utilization: f64,
+    /// Trials that panicked.
+    pub failures: usize,
+}
+
+#[derive(Default)]
+struct OpenFigure {
+    id: String,
+    trials: usize,
+    busy: Duration,
+    failures: usize,
+}
+
+struct MetricsState {
+    figures: Vec<FigureMetrics>,
+    current: Option<OpenFigure>,
+    run_started: Instant,
+}
+
+/// Accumulates per-figure runtime metrics; render with
+/// [`MetricsRecorder::to_json`].
+pub struct MetricsRecorder {
+    threads: usize,
+    state: Mutex<MetricsState>,
+}
+
+impl MetricsRecorder {
+    /// `threads` is the resolved worker count (used for the utilization
+    /// denominator).
+    pub fn new(threads: usize) -> Self {
+        MetricsRecorder {
+            threads: threads.max(1),
+            state: Mutex::new(MetricsState {
+                figures: Vec::new(),
+                current: None,
+                run_started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The metrics collected so far (completed figures only).
+    pub fn figures(&self) -> Vec<FigureMetrics> {
+        self.state.lock().expect("metrics state").figures.clone()
+    }
+
+    /// Renders the run metrics as a JSON document.
+    ///
+    /// Schema (all numbers finite):
+    ///
+    /// ```json
+    /// {
+    ///   "threads": 8,
+    ///   "total_wall_seconds": 12.5,
+    ///   "figures": [
+    ///     {
+    ///       "figure": "fig4",
+    ///       "wall_seconds": 3.2,
+    ///       "trials": 240,
+    ///       "trials_per_sec": 75.0,
+    ///       "worker_utilization": 0.93,
+    ///       "failures": 0
+    ///     }
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().expect("metrics state");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"total_wall_seconds\": {},\n",
+            json_f64(state.run_started.elapsed().as_secs_f64())
+        ));
+        out.push_str("  \"figures\": [");
+        for (i, m) in state.figures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"figure\": {}, \"wall_seconds\": {}, \"trials\": {}, \
+                 \"trials_per_sec\": {}, \"worker_utilization\": {}, \"failures\": {}}}",
+                json_string(&m.figure),
+                json_f64(m.wall_seconds),
+                m.trials,
+                json_f64(m.trials_per_sec),
+                json_f64(m.worker_utilization),
+                m.failures,
+            ));
+        }
+        if !state.figures.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+impl Probe for MetricsRecorder {
+    fn figure_start(&self, id: &str) {
+        let mut s = self.state.lock().expect("metrics state");
+        s.current = Some(OpenFigure {
+            id: id.to_string(),
+            ..OpenFigure::default()
+        });
+    }
+
+    fn figure_done(&self, id: &str, wall: Duration) {
+        let mut s = self.state.lock().expect("metrics state");
+        let Some(open) = s.current.take() else {
+            return;
+        };
+        debug_assert_eq!(open.id, id, "mismatched figure_done");
+        let wall_seconds = wall.as_secs_f64();
+        s.figures.push(FigureMetrics {
+            figure: open.id,
+            wall_seconds,
+            trials: open.trials,
+            trials_per_sec: open.trials as f64 / wall_seconds.max(1e-9),
+            worker_utilization: (open.busy.as_secs_f64()
+                / (wall_seconds.max(1e-9) * self.threads as f64))
+                .clamp(0.0, 1.0),
+            failures: open.failures,
+        });
+    }
+
+    fn trial_done(&self, busy: Duration) {
+        let mut s = self.state.lock().expect("metrics state");
+        if let Some(open) = s.current.as_mut() {
+            open.trials += 1;
+            open.busy += busy;
+        }
+    }
+
+    fn trial_failed(&self, _failure: &TrialFailureReport) {
+        let mut s = self.state.lock().expect("metrics state");
+        if let Some(open) = s.current.as_mut() {
+            open.failures += 1;
+        }
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trip representation; always a valid JSON number.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn noop_ctx_constructs() {
+        let ctx = Ctx::noop();
+        assert!(ctx.checkpoint.is_none());
+        ctx.probe.trial_done(Duration::ZERO);
+    }
+
+    #[test]
+    fn fanout_forwards_to_all() {
+        struct Counter(AtomicUsize);
+        impl Probe for Counter {
+            fn trial_done(&self, _busy: Duration) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let a = Counter(AtomicUsize::new(0));
+        let b = Counter(AtomicUsize::new(0));
+        let fan = Fanout::new(vec![&a, &b]);
+        fan.trial_done(Duration::ZERO);
+        fan.trial_done(Duration::ZERO);
+        assert_eq!(a.0.load(Ordering::Relaxed), 2);
+        assert_eq!(b.0.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn metrics_recorder_tracks_figures() {
+        let rec = MetricsRecorder::new(4);
+        rec.figure_start("fig4");
+        rec.trial_done(Duration::from_millis(40));
+        rec.trial_done(Duration::from_millis(40));
+        rec.trial_failed(&TrialFailureReport {
+            experiment: "density-error",
+            density_index: 0,
+            beacons: 20,
+            trial: 2,
+            seed: 7,
+            message: "boom".into(),
+        });
+        rec.figure_done("fig4", Duration::from_millis(100));
+        let figs = rec.figures();
+        assert_eq!(figs.len(), 1);
+        let m = &figs[0];
+        assert_eq!(m.figure, "fig4");
+        assert_eq!(m.trials, 2);
+        assert_eq!(m.failures, 1);
+        assert!((m.wall_seconds - 0.1).abs() < 1e-9);
+        assert!((m.trials_per_sec - 20.0).abs() < 1e-6);
+        // busy 80ms over 100ms x 4 workers = 0.2 utilization.
+        assert!((m.worker_utilization - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_output_is_wellformed() {
+        let rec = MetricsRecorder::new(2);
+        rec.figure_start("fig\"odd\\name");
+        rec.trial_done(Duration::from_millis(5));
+        rec.figure_done("fig\"odd\\name", Duration::from_millis(10));
+        let json = rec.to_json();
+        assert!(json.contains("\"fig\\\"odd\\\\name\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"figures\": ["));
+        // Balanced braces/brackets (cheap well-formedness check; the CLI
+        // test does a full structural parse).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_numbers_are_plain() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+    }
+
+    #[test]
+    fn failure_report_displays_context() {
+        let r = TrialFailureReport {
+            experiment: "density-error",
+            density_index: 3,
+            beacons: 120,
+            trial: 17,
+            seed: 0xDEAD_BEEF,
+            message: "index out of bounds".into(),
+        };
+        let text = r.to_string();
+        for needle in [
+            "density-error",
+            "17",
+            "#3",
+            "120",
+            "0x00000000deadbeef",
+            "index out of bounds",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

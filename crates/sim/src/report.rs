@@ -80,13 +80,22 @@ impl Figure {
 
     /// Long-format CSV: `figure,series,x,y,ci95` — one row per point,
     /// trivially loadable by any plotting tool.
+    ///
+    /// Text fields (figure id, series name) are quoted per RFC 4180 when
+    /// they contain commas, quotes, or line breaks, so hostile names
+    /// (`"Noise, coherent"`, names with embedded `"`) round-trip through
+    /// standard CSV parsers instead of shifting columns.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("figure,series,x,y,ci95\n");
         for s in &self.series {
             for p in &s.points {
                 out.push_str(&format!(
                     "{},{},{},{},{}\n",
-                    self.id, s.name, p.x, p.y.estimate, p.y.half_width
+                    csv_field(&self.id),
+                    csv_field(&s.name),
+                    p.x,
+                    p.y.estimate,
+                    p.y.half_width
                 ));
             }
         }
@@ -134,6 +143,17 @@ impl Figure {
 impl fmt::Display for Figure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render())
+    }
+}
+
+/// Quotes a CSV field per RFC 4180: fields containing `,`, `"`, CR or LF
+/// are wrapped in double quotes with embedded quotes doubled; all other
+/// fields pass through unchanged.
+fn csv_field(raw: &str) -> std::borrow::Cow<'_, str> {
+    if raw.contains(['"', ',', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", raw.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(raw)
     }
 }
 
@@ -194,6 +214,70 @@ mod tests {
         assert!(txt.contains("20.0000 ± 0.5000"));
         // Missing cells render empty, not crash.
         assert!(txt.lines().count() >= 5);
+    }
+
+    /// A minimal RFC-4180 row parser for the round-trip test: splits one
+    /// CSV record into fields, honoring quoted fields and doubled quotes.
+    fn parse_csv_row(row: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = row.chars().peekable();
+        let mut in_quotes = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if in_quotes => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '"' => in_quotes = true,
+                ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+        fields.push(field);
+        fields
+    }
+
+    #[test]
+    fn csv_quotes_hostile_names_round_trip() {
+        let hostile = [
+            "Noise, coherent",
+            "say \"cheese\"",
+            "both, \"at once\"",
+            "line\nbreak",
+            "plain",
+        ];
+        for name in hostile {
+            let fig = Figure::new("fig,x", "t", "x", "y").with_series(Series::new(
+                name,
+                vec![SeriesPoint {
+                    x: 1.0,
+                    y: ConfidenceInterval {
+                        estimate: 2.0,
+                        half_width: 0.5,
+                    },
+                }],
+            ));
+            let csv = fig.to_csv();
+            // Strip the header, keep the (possibly multi-line) record.
+            let record = csv.strip_prefix("figure,series,x,y,ci95\n").unwrap();
+            let fields = parse_csv_row(record.trim_end_matches('\n'));
+            assert_eq!(fields.len(), 5, "{name:?} shifted columns: {record:?}");
+            assert_eq!(fields[0], "fig,x");
+            assert_eq!(fields[1], name, "{name:?} did not round-trip");
+            assert_eq!(fields[2], "1");
+        }
+    }
+
+    #[test]
+    fn csv_leaves_clean_names_unquoted() {
+        let csv = sample_figure().to_csv();
+        assert!(csv.contains("fig4,Ideal,0.002,20,0.5"));
+        assert!(!csv.contains('"'));
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! Deterministic parallel trial execution.
+//! Deterministic parallel trial execution with per-trial fault isolation.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolves a thread-count setting: `0` means one thread per available
@@ -16,15 +16,124 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
-/// Runs `f(0..n)` across `threads` workers and returns the results in
-/// index order.
+/// A trial that panicked instead of producing a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// The task index passed to the closure.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// preserved; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// The outcome of a fault-tolerant map: every task either succeeded or is
+/// accounted for in `failures`. Both vectors are in ascending index order.
+#[derive(Debug)]
+pub struct TryMapOutcome<T> {
+    /// `(index, value)` for every task that completed.
+    pub successes: Vec<(usize, T)>,
+    /// Every task whose closure panicked.
+    pub failures: Vec<TrialFailure>,
+}
+
+impl<T> TryMapOutcome<T> {
+    /// Discards indices and returns the surviving values in index order.
+    pub fn into_values(self) -> Vec<T> {
+        self.successes.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Whether every task completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(0..n)` across `threads` workers, catching per-task panics so a
+/// single bad trial cannot abort a long sweep.
 ///
 /// Work is claimed dynamically (an atomic cursor), so stragglers balance;
 /// results are reassembled by index, so the output — and therefore every
 /// downstream statistic — is **independent of the thread count and
 /// scheduling**. Each task must derive its own randomness from its index.
+pub fn parallel_try_map<T, F>(n: usize, threads: usize, f: F) -> TryMapOutcome<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run_one = |i: usize| -> (usize, Result<T, String>) {
+        match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(v) => (i, Ok(v)),
+            Err(payload) => (i, Err(panic_message(payload))),
+        }
+    };
+
+    let threads = resolve_threads(threads).min(n.max(1));
+    let mut raw: Vec<(usize, Result<T, String>)> = if threads <= 1 || n <= 1 {
+        (0..n).map(run_one).collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push(run_one(i));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(n);
+            for handle in handles {
+                merged.extend(handle.join().expect("worker itself never panics"));
+            }
+            merged
+        })
+    };
+    raw.sort_unstable_by_key(|(i, _)| *i);
+
+    let mut outcome = TryMapOutcome {
+        successes: Vec::with_capacity(raw.len()),
+        failures: Vec::new(),
+    };
+    for (i, r) in raw {
+        match r {
+            Ok(v) => outcome.successes.push((i, v)),
+            Err(message) => outcome.failures.push(TrialFailure { index: i, message }),
+        }
+    }
+    outcome
+}
+
+/// Runs `f(0..n)` across `threads` workers and returns the results in
+/// index order.
 ///
-/// Panics in `f` propagate after all workers stop.
+/// Same scheduling guarantees as [`parallel_try_map`]. A panic in `f`
+/// propagates after all workers stop — use [`parallel_try_map`] to survive
+/// it instead.
 ///
 /// # Example
 ///
@@ -38,40 +147,11 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = resolve_threads(threads).min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+    let outcome = parallel_try_map(n, threads, f);
+    if let Some(first) = outcome.failures.first() {
+        panic!("{first}");
     }
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = channel::bounded::<(usize, T)>(threads * 2);
-    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // A send failure means the collector stopped (a panic is
-                // unwinding); just stop producing.
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, v) in rx {
-            results[i] = Some(v);
-        }
-    });
-    results
-        .into_iter()
-        .map(|v| v.expect("every index produced"))
-        .collect()
+    outcome.into_values()
 }
 
 #[cfg(test)]
@@ -122,5 +202,76 @@ mod tests {
     fn more_threads_than_tasks_is_fine() {
         let out = parallel_map(3, 64, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_map_isolates_panicking_trials() {
+        let outcome = parallel_try_map(50, 4, |i| {
+            if i == 17 {
+                panic!("injected fault at {i}");
+            }
+            i * 2
+        });
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].index, 17);
+        assert!(outcome.failures[0].message.contains("injected fault"));
+        assert_eq!(outcome.successes.len(), 49);
+        assert!(!outcome.is_complete());
+        for (i, v) in &outcome.successes {
+            assert_eq!(*v, i * 2);
+        }
+        assert!(outcome.successes.iter().all(|(i, _)| *i != 17));
+    }
+
+    #[test]
+    fn try_map_sequential_path_catches_too() {
+        let outcome = parallel_try_map(3, 1, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(outcome.failures[0].index, 1);
+        assert_eq!(outcome.into_values(), vec![0, 2]);
+    }
+
+    #[test]
+    fn try_map_string_and_nonstring_payloads() {
+        let outcome = parallel_try_map(2, 1, |i| {
+            if i == 0 {
+                panic!("{}", String::from("owned message"));
+            }
+            std::panic::panic_any(42_u32);
+        });
+        assert_eq!(outcome.failures[0].message, "owned message");
+        assert_eq!(outcome.failures[1].message, "non-string panic payload");
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 5 panicked")]
+    fn parallel_map_propagates_first_failure() {
+        parallel_map(10, 1, |i| {
+            if i >= 5 {
+                panic!("bad trial");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn thread_count_invariance_with_failures() {
+        let run = |threads| {
+            parallel_try_map(40, threads, |i| {
+                if i % 13 == 0 {
+                    panic!("fault {i}");
+                }
+                i as f64 * 1.5
+            })
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.successes, b.successes);
+        assert_eq!(a.failures, b.failures);
     }
 }

@@ -17,10 +17,27 @@ const T_975: [f64; 30] = [
     2.052, 2.048, 2.045, 2.042,
 ];
 
+/// Two-sided 97.5 % anchors for `30 <= df <= 120` (standard table rows);
+/// intermediate degrees of freedom interpolate linearly in `1/df`.
+const T_975_ANCHORS: [(f64, f64); 7] = [
+    (30.0, 2.042),
+    (40.0, 2.0211),
+    (50.0, 2.0086),
+    (60.0, 2.0003),
+    (80.0, 1.9901),
+    (100.0, 1.9840),
+    (120.0, 1.9799),
+];
+
 /// The 97.5th-percentile critical value (two-sided 95 % CI multiplier) of
 /// Student's *t* distribution with `df` degrees of freedom.
 ///
-/// Exact table values for `df <= 30`, the normal value 1.96 beyond.
+/// Exact table values for `df <= 30`; linear interpolation in `1/df`
+/// between table anchors through `df = 120` (the classic textbook rule —
+/// *t* is nearly linear in `1/df`); beyond 120 a smooth tail that matches
+/// the `df = 120` anchor and approaches the normal value 1.96 as
+/// `df → ∞`. The result is continuous and non-increasing everywhere —
+/// there is no jump from 2.042 to 1.96 between `df = 30` and 31.
 ///
 /// # Panics
 ///
@@ -28,10 +45,22 @@ const T_975: [f64; 30] = [
 pub fn student_t_975(df: u64) -> f64 {
     assert!(df > 0, "t distribution needs at least 1 degree of freedom");
     if df <= 30 {
-        T_975[(df - 1) as usize]
-    } else {
-        1.96
+        return T_975[(df - 1) as usize];
     }
+    let x = df as f64;
+    if x > 120.0 {
+        return 1.96 + (1.9799 - 1.96) * 120.0 / x;
+    }
+    let inv = 1.0 / x;
+    for pair in T_975_ANCHORS.windows(2) {
+        let (lo_df, lo_t) = pair[0];
+        let (hi_df, hi_t) = pair[1];
+        if x <= hi_df {
+            let f = (inv - 1.0 / hi_df) / (1.0 / lo_df - 1.0 / hi_df);
+            return hi_t + f * (lo_t - hi_t);
+        }
+    }
+    unreachable!("df in (30, 120] is covered by the anchor table")
 }
 
 /// Half-width of the 95 % confidence interval for a mean estimated from
@@ -44,7 +73,9 @@ pub fn student_t_975(df: u64) -> f64 {
 /// ```
 /// use abp_stats::ci95_half_width;
 /// let hw = ci95_half_width(1000, 2.0);
-/// assert!((hw - 1.96 * 2.0 / 1000f64.sqrt()).abs() < 1e-12);
+/// // Large n: the multiplier is within a fraction of a percent of the
+/// // normal value 1.96.
+/// assert!((hw - 1.96 * 2.0 / 1000f64.sqrt()).abs() < 1e-3);
 /// ```
 pub fn ci95_half_width(n: u64, s: f64) -> f64 {
     if n < 2 {
@@ -149,16 +180,31 @@ mod tests {
         assert_eq!(student_t_975(1), 12.706);
         assert_eq!(student_t_975(10), 2.228);
         assert_eq!(student_t_975(30), 2.042);
-        assert_eq!(student_t_975(31), 1.96);
-        assert_eq!(student_t_975(10_000), 1.96);
+        assert_eq!(student_t_975(40), 2.0211);
+        assert_eq!(student_t_975(60), 2.0003);
+        assert_eq!(student_t_975(120), 1.9799);
+        assert!((student_t_975(10_000) - 1.96).abs() < 3e-4);
+    }
+
+    #[test]
+    fn t_is_continuous_at_the_table_boundary() {
+        // The old lookup jumped from 2.042 at df = 30 straight to 1.96 at
+        // df = 31; the true value is ≈ 2.0395.
+        let t31 = student_t_975(31);
+        assert!((t31 - 2.040).abs() < 2e-3, "t(31) = {t31}");
+        assert!(student_t_975(30) - t31 < 0.005, "no discontinuity at 30→31");
+        // Interpolated values stay between their anchors.
+        let t70 = student_t_975(70);
+        assert!(t70 < student_t_975(60) && t70 > student_t_975(80));
     }
 
     #[test]
     fn t_decreases_with_df() {
         let mut prev = f64::INFINITY;
-        for df in 1..=40 {
+        for df in 1..=500 {
             let t = student_t_975(df);
-            assert!(t <= prev, "t must be non-increasing in df");
+            assert!(t <= prev, "t must be non-increasing in df (df = {df})");
+            assert!(t >= 1.96, "t must stay above the normal value (df = {df})");
             prev = t;
         }
     }
@@ -218,7 +264,7 @@ mod tests {
     fn from_moments_matches_formula() {
         let ci = ConfidenceInterval::from_moments(3.0, 2.0, 100);
         assert_eq!(ci.estimate, 3.0);
-        assert!((ci.half_width - 1.96 * 2.0 / 10.0).abs() < 1e-12);
+        assert!((ci.half_width - student_t_975(99) * 2.0 / 10.0).abs() < 1e-12);
     }
 }
 

@@ -68,8 +68,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -189,7 +189,9 @@ mod tests {
 
     #[test]
     fn known_mean_and_variance() {
-        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(w.mean(), 5.0);
         assert_eq!(w.population_variance(), 4.0);
         assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);

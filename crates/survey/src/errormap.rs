@@ -71,6 +71,12 @@ impl ErrorMap {
     /// Reference implementation: runs an arbitrary [`Localizer`] at every
     /// lattice point. `O(points × beacons)` — used for validation and for
     /// non-centroid localizers, not in the hot experiment path.
+    ///
+    /// The map records the localizer's own
+    /// [`unheard_policy`](Localizer::unheard_policy), so per-point validity
+    /// ([`ErrorMap::error_at`], [`ErrorMap::estimate_at`]) and the
+    /// statistics agree with what the localizer actually returned at
+    /// unheard points.
     pub fn survey_with_localizer<L: Localizer + ?Sized>(
         lattice: &Lattice,
         field: &BeaconField,
@@ -80,7 +86,7 @@ impl ErrorMap {
         let n = lattice.len();
         let mut map = ErrorMap {
             lattice: *lattice,
-            policy: UnheardPolicy::Exclude,
+            policy: localizer.unheard_policy(),
             sum_x: vec![0.0; n],
             sum_y: vec![0.0; n],
             count: vec![0; n],
@@ -391,9 +397,7 @@ mod tests {
         let model = IdealDisk::new(15.0);
         let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
         // Every point estimated at (50, 50): corner error = 50*sqrt(2).
-        let corner = map
-            .error_at(LatticeIndex::new(0, 0))
-            .unwrap();
+        let corner = map.error_at(LatticeIndex::new(0, 0)).unwrap();
         assert!((corner - 50.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
         let center = map.error_at(lat.nearest(Point::new(50.0, 50.0))).unwrap();
         assert_eq!(center, 0.0);
@@ -474,10 +478,7 @@ mod tests {
         map.remove_beacon(&beacon, &model);
         for ix in lat.indices() {
             assert_eq!(map.heard_at(ix), before.heard_at(ix));
-            let (a, b) = (
-                map.error_at(ix).unwrap(),
-                before.error_at(ix).unwrap(),
-            );
+            let (a, b) = (map.error_at(ix).unwrap(), before.error_at(ix).unwrap());
             assert!((a - b).abs() < 1e-9);
         }
     }
@@ -537,6 +538,38 @@ mod tests {
         // Whole-terrain cumulative = mean * count.
         let whole = map.cumulative_error_in(&terrain().bounds());
         assert!((whole - map.mean_error() * map.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn localizer_survey_honors_unheard_policy() {
+        // A single corner beacon leaves most of the terrain unheard; a
+        // TerrainCenter localizer still estimates (50, 50) there, and the
+        // map must reflect that — error and estimate both present,
+        // mutually consistent, and counted by the statistics.
+        let lat = lattice(10.0);
+        let field = BeaconField::from_positions(terrain(), [Point::new(0.0, 0.0)]);
+        let model = IdealDisk::new(15.0);
+        let localizer = CentroidLocalizer::new(UnheardPolicy::TerrainCenter);
+        let map = ErrorMap::survey_with_localizer(&lat, &field, &model, &localizer);
+        assert_eq!(map.policy(), UnheardPolicy::TerrainCenter);
+        assert!(map.unheard_count() > 0);
+        // Every point is valid under TerrainCenter.
+        assert_eq!(map.valid_count(), map.len());
+        let far = LatticeIndex::new(10, 10); // (100, 100): unheard corner
+        assert_eq!(map.heard_at(far), 0);
+        let est = map.estimate_at(far).expect("policy estimate must exist");
+        assert_eq!(est, Point::new(50.0, 50.0));
+        let err = map.error_at(far).expect("policy error must exist");
+        assert!((err - est.distance(lat.point(far))).abs() < 1e-12);
+        // And the whole map matches the beacon-major fast path, which has
+        // always honored the policy.
+        let fast = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        assert_eq!(fast.policy(), map.policy());
+        for ix in lat.indices() {
+            let (a, b) = (map.error_at(ix).unwrap(), fast.error_at(ix).unwrap());
+            assert!((a - b).abs() < 1e-9, "{ix}: {a} vs {b}");
+            assert_eq!(map.estimate_at(ix), fast.estimate_at(ix));
+        }
     }
 
     #[test]

@@ -40,8 +40,8 @@
 
 pub mod errormap;
 pub mod plan;
-pub mod robot;
 pub mod render;
+pub mod robot;
 pub mod sampling;
 pub mod snapshot;
 

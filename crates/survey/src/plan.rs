@@ -106,16 +106,19 @@ mod tests {
     #[test]
     fn serpentine_order() {
         let plan = SurveyPlan::new(Terrain::square(2.0), 1.0);
-        let order: Vec<_> = plan
-            .waypoints()
-            .map(|ix| (ix.i, ix.j))
-            .collect();
+        let order: Vec<_> = plan.waypoints().map(|ix| (ix.i, ix.j)).collect();
         assert_eq!(
             order,
             vec![
-                (0, 0), (1, 0), (2, 0), // east
-                (2, 1), (1, 1), (0, 1), // west
-                (0, 2), (1, 2), (2, 2), // east again
+                (0, 0),
+                (1, 0),
+                (2, 0), // east
+                (2, 1),
+                (1, 1),
+                (0, 1), // west
+                (0, 2),
+                (1, 2),
+                (2, 2), // east again
             ]
         );
     }

@@ -75,7 +75,9 @@ pub fn render_heatmap(
     let width = options.width;
     let height = (width / 2).max(1);
     let max_e = options.scale_max.unwrap_or_else(|| {
-        map.valid_errors().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE)
+        map.valid_errors()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE)
     });
 
     let mut rows: Vec<Vec<u8>> = Vec::with_capacity(height);
@@ -136,10 +138,8 @@ mod tests {
     fn sample() -> (ErrorMap, BeaconField) {
         let terrain = Terrain::square(100.0);
         let lattice = Lattice::new(terrain, 5.0);
-        let field = BeaconField::from_positions(
-            terrain,
-            [Point::new(20.0, 20.0), Point::new(80.0, 80.0)],
-        );
+        let field =
+            BeaconField::from_positions(terrain, [Point::new(20.0, 20.0), Point::new(80.0, 80.0)]);
         let map = ErrorMap::survey(
             &lattice,
             &field,

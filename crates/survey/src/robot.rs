@@ -249,20 +249,11 @@ mod tests {
         let model = IdealDisk::new(15.0);
         let plan = SurveyPlan::new(terrain(), 5.0);
         let mut robot = Robot::new(0.0, 0, 1);
-        let (robot_map, report) =
-            robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
-        let fast = ErrorMap::survey(
-            plan.lattice(),
-            &field,
-            &model,
-            UnheardPolicy::TerrainCenter,
-        );
+        let (robot_map, report) = robot.survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        let fast = ErrorMap::survey(plan.lattice(), &field, &model, UnheardPolicy::TerrainCenter);
         assert_eq!(report.waypoints, fast.len());
         for ix in plan.lattice().indices() {
-            let (a, b) = (
-                robot_map.error_at(ix).unwrap(),
-                fast.error_at(ix).unwrap(),
-            );
+            let (a, b) = (robot_map.error_at(ix).unwrap(), fast.error_at(ix).unwrap());
             assert!((a - b).abs() < 1e-12, "{ix}");
         }
     }
@@ -280,9 +271,7 @@ mod tests {
         let differing = plan
             .lattice()
             .indices()
-            .filter(|ix| {
-                (clean.error_at(*ix).unwrap() - noisy.error_at(*ix).unwrap()).abs() > 1e-9
-            })
+            .filter(|ix| (clean.error_at(*ix).unwrap() - noisy.error_at(*ix).unwrap()).abs() > 1e-9)
             .count();
         assert!(differing > plan.len() / 2, "only {differing} points moved");
         // And the perturbation is bounded in aggregate: means stay close.

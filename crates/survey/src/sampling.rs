@@ -209,7 +209,10 @@ pub fn survey_adaptive(
     stride: u32,
     refine_fraction: f64,
 ) -> (ErrorMap, AdaptiveSurveyReport) {
-    assert!(stride >= 2, "adaptive survey needs stride >= 2, got {stride}");
+    assert!(
+        stride >= 2,
+        "adaptive survey needs stride >= 2, got {stride}"
+    );
     assert!(
         (0.0..=1.0).contains(&refine_fraction),
         "refine fraction must be in [0, 1], got {refine_fraction}"
@@ -419,7 +422,10 @@ mod tests {
                 }
             }
         }
-        assert!(east > west, "refinement went west ({west}) not east ({east})");
+        assert!(
+            east > west,
+            "refinement went west ({west}) not east ({east})"
+        );
     }
 
     #[test]

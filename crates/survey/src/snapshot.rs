@@ -108,7 +108,9 @@ pub fn decode(mut data: &[u8]) -> Result<ErrorMap, DecodeSnapshotError> {
     }
     let version = data.get_u16();
     if version != VERSION {
-        return Err(DecodeSnapshotError(format!("unsupported version {version}")));
+        return Err(DecodeSnapshotError(format!(
+            "unsupported version {version}"
+        )));
     }
     let policy = policy_from_tag(data.get_u8())?;
     let side = data.get_f64();

@@ -25,12 +25,13 @@ fn main() {
     let planned = uniform_grid(terrain, 5);
     let mut actual = perturbed_grid(terrain, 5, 18.0, &mut rng);
 
-    let planned_map =
-        ErrorMap::survey(&lattice, &planned, &model, UnheardPolicy::TerrainCenter);
-    let mut actual_map =
-        ErrorMap::survey(&lattice, &actual, &model, UnheardPolicy::TerrainCenter);
+    let planned_map = ErrorMap::survey(&lattice, &planned, &model, UnheardPolicy::TerrainCenter);
+    let mut actual_map = ErrorMap::survey(&lattice, &actual, &model, UnheardPolicy::TerrainCenter);
 
-    println!("planned grid : mean error {:.3} m", planned_map.mean_error());
+    println!(
+        "planned grid : mean error {:.3} m",
+        planned_map.mean_error()
+    );
     println!(
         "after airdrop: mean error {:.3} m ({} points lost coverage)",
         actual_map.mean_error(),

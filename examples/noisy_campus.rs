@@ -47,7 +47,10 @@ fn main() {
     ];
 
     println!("\none added beacon, averaged over 20 independent worlds:");
-    println!("{:<12} {:>16} {:>18}", "algo", "mean gain (m)", "median gain (m)");
+    println!(
+        "{:<12} {:>16} {:>18}",
+        "algo", "mean gain (m)", "median gain (m)"
+    );
     for algo in &algorithms {
         let mut mean_gain = 0.0;
         let mut median_gain = 0.0;
@@ -80,5 +83,7 @@ fn main() {
             median_gain / worlds as f64
         );
     }
-    println!("\nThe measurement-driven algorithms adapt to walls the deployment plan never knew about.");
+    println!(
+        "\nThe measurement-driven algorithms adapt to walls the deployment plan never knew about."
+    );
 }

@@ -36,7 +36,10 @@ fn main() {
         Box::new(MaxPlacement::new()),
         Box::new(GridPlacement::paper(terrain, 15.0)),
     ];
-    println!("\n{:<8} {:>12} {:>16} {:>18}", "algo", "placed at", "mean gain (m)", "median gain (m)");
+    println!(
+        "\n{:<8} {:>12} {:>16} {:>18}",
+        "algo", "placed at", "mean gain (m)", "median gain (m)"
+    );
     for algo in &algorithms {
         let view = SurveyView {
             map: &before,

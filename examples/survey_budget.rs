@@ -23,7 +23,10 @@ fn main() {
     let fractions = [0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0];
     let points = robustness::exploration_sweep(&cfg, beacons, &fractions);
     let full = points.last().unwrap().mean_improvement.estimate;
-    println!("{:>10} {:>16} {:>12}", "explored", "mean gain (m)", "vs full");
+    println!(
+        "{:>10} {:>16} {:>12}",
+        "explored", "mean gain (m)", "vs full"
+    );
     for p in &points {
         println!(
             "{:>9.0}% {:>9.3} ± {:.3} {:>11.0}%",

@@ -47,7 +47,10 @@ fn partial_exploration_still_finds_the_hole() {
         model: &model,
     };
     let p = GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng);
-    assert!(p.x > 50.0 && p.y > 50.0, "grid missed the hole from a 25% survey: {p}");
+    assert!(
+        p.x > 50.0 && p.y > 50.0,
+        "grid missed the hole from a 25% survey: {p}"
+    );
 }
 
 /// Self-scheduling composes with adaptive placement: prune a saturated
@@ -58,8 +61,8 @@ fn prune_then_patch_cycle() {
     let model = IdealDisk::new(15.0);
     let mut rng = StdRng::seed_from_u64(21);
     let field = BeaconField::random_uniform(200, terrain(), &mut rng);
-    let full_error = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter)
-        .mean_error();
+    let full_error =
+        ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter).mean_error();
 
     let schedule = self_schedule(&field, &model, 5, 2);
     assert!(schedule.duty_cycle() < 0.8, "saturated field should prune");
@@ -117,7 +120,7 @@ fn alternative_localizers_survey_end_to_end() {
     let lattice = Lattice::new(terrain(), 10.0);
     let model = IdealDisk::new(25.0);
     let mut rng = StdRng::seed_from_u64(2);
-    let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+    let field = BeaconField::random_uniform(50, terrain(), &mut rng);
 
     let centroid = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
     let locus = ErrorMap::survey_with_localizer(
@@ -132,7 +135,7 @@ fn alternative_localizers_survey_end_to_end() {
         &model,
         &MultilaterationLocalizer::new(0.0, 9, UnheardPolicy::TerrainCenter),
     );
-    // With 40 beacons of R = 25 almost every point hears >= 3 beacons:
+    // With 50 beacons of R = 25 almost every point hears >= 3 beacons:
     // noise-free multilateration nearly nails every position.
     assert!(multilat.mean_error() < centroid.mean_error() * 0.5);
     // The locus centroid refines the plain beacon centroid on average.
@@ -247,22 +250,37 @@ fn adaptive_survey_grid_decision_close_to_full() {
             4,
             0.25,
         );
-        assert!(report.measured_fraction < 0.35, "{}", report.measured_fraction);
+        assert!(
+            report.measured_fraction < 0.35,
+            "{}",
+            report.measured_fraction
+        );
         let grid = GridPlacement::paper(terrain(), 15.0);
         let mut rng = StdRng::seed_from_u64(0);
         let a = grid.propose(
-            &SurveyView { map: &full, field: &field, model: &model },
+            &SurveyView {
+                map: &full,
+                field: &field,
+                model: &model,
+            },
             &mut rng,
         );
         let b = grid.propose(
-            &SurveyView { map: &adaptive, field: &field, model: &model },
+            &SurveyView {
+                map: &adaptive,
+                field: &field,
+                model: &model,
+            },
             &mut rng,
         );
         if a.distance(b) < 15.0 {
             agree += 1;
         }
     }
-    assert!(agree >= trials * 7 / 10, "only {agree}/{trials} decisions agreed");
+    assert!(
+        agree >= trials * 7 / 10,
+        "only {agree}/{trials} decisions agreed"
+    );
 }
 
 /// The terrain-shadowed model (§6's "sophisticated terrain map") creates
@@ -287,7 +305,11 @@ fn terrain_shadow_gets_patched() {
     assert!(hill_map.unheard_count() >= flat_map.unheard_count());
     // And the adaptive loop claws some of it back.
     let spot = {
-        let view = SurveyView { map: &hill_map, field: &field, model: &world };
+        let view = SurveyView {
+            map: &hill_map,
+            field: &field,
+            model: &world,
+        };
         GridPlacement::paper(terrain(), 15.0).propose(&view, &mut rng)
     };
     let mut extended = field.clone();

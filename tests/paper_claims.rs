@@ -29,10 +29,7 @@ fn error_falls_sharply_then_saturates() {
     assert!(e[0] > 2.0 * e[1], "no sharp initial fall: {e:?}");
     let tail_drop = e[2] - e[3];
     let head_drop = e[0] - e[1];
-    assert!(
-        tail_drop < head_drop * 0.2,
-        "no saturation visible: {e:?}"
-    );
+    assert!(tail_drop < head_drop * 0.2, "no saturation visible: {e:?}");
     // Saturated error is a small fraction of R (paper: ~0.3 R).
     assert!(e[3] < 0.5 * 15.0);
 }
@@ -42,7 +39,17 @@ fn error_falls_sharply_then_saturates() {
 /// Max or Random algorithms."
 #[test]
 fn grid_dominates_at_low_density() {
-    let curves = improvement::run(&cfg(), 0.0, &AlgorithmKind::PAPER);
+    // The grid-vs-max margin at one density is the noisiest statistic in
+    // this file; 40 trials leaves it within sampling error of the 1.5x
+    // threshold, so this test alone runs more trials.
+    let curves = improvement::run(
+        &SimConfig {
+            trials: 120,
+            ..cfg()
+        },
+        0.0,
+        &AlgorithmKind::PAPER,
+    );
     let low = 0; // 30 beacons = 0.003 / m^2
     let random = &curves[0].points[low];
     let max = &curves[1].points[low];
@@ -94,10 +101,13 @@ fn noise_raises_error_and_saturation_density() {
     // And the rise at saturation is clearly resolved. (The paper reports
     // up to ~33%; the printed symmetric-u formula yields a steady but
     // milder ~5-7% — see EXPERIMENTS.md, "Interpreting the noise model".)
-    let rel = noisy.last().unwrap().mean_error.estimate
-        / ideal.last().unwrap().mean_error.estimate
-        - 1.0;
-    assert!(rel > 0.02, "only {:.1}% increase at saturation", rel * 100.0);
+    let rel =
+        noisy.last().unwrap().mean_error.estimate / ideal.last().unwrap().mean_error.estimate - 1.0;
+    assert!(
+        rel > 0.02,
+        "only {:.1}% increase at saturation",
+        rel * 100.0
+    );
     // Saturation density does not decrease under noise.
     let sat_ideal = density_error::saturation_density(&ideal, 0.15).unwrap();
     let sat_noisy = density_error::saturation_density(&noisy, 0.15).unwrap();

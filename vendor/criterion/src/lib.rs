@@ -1,0 +1,144 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` macros,
+//! `Criterion::bench_function`, `Criterion::sample_size`, and
+//! `Bencher::iter` — the subset the workspace's benches use. Each
+//! benchmark runs a short warm-up, then times `sample_size` batches and
+//! prints the median ns/iter to stdout. No statistics engine, plots, or
+//! CLI: this exists so `cargo bench` compiles and produces useful
+//! ballpark numbers offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records its median per-call time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and pick an iteration count aiming at ~1ms per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed > 1_000_000 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        if b.ns_per_iter.is_nan() {
+            println!("{id}: no measurement (Bencher::iter never called)");
+        } else if b.ns_per_iter >= 1_000_000.0 {
+            println!("{id}: {:.3} ms/iter", b.ns_per_iter / 1_000_000.0);
+        } else if b.ns_per_iter >= 1_000.0 {
+            println!("{id}: {:.3} µs/iter", b.ns_per_iter / 1_000.0);
+        } else {
+            println!("{id}: {:.1} ns/iter", b.ns_per_iter);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group: a function running each target with the
+/// given (or default) `Criterion` config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1_000u64).sum::<u64>()));
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    );
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn plain_group_form_compiles() {
+        criterion_group!(plain, target);
+        plain();
+    }
+}

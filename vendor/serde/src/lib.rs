@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! guarantee serializability (C-SERDE) but ships no format crate, so the
+//! traits are never *driven*. This stub keeps the same spelling — traits
+//! named `Serialize` and `Deserialize<'de>`, derive macros re-exported
+//! under the same names — while implementing both traits for every type
+//! via blanket impls. Swapping the real serde back in later only requires
+//! repointing the workspace dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of serde's `de` module namespace.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of serde's `ser` module namespace.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses serde only for its derive bounds (no format crate is
+//! available offline), and the sibling `serde` stub provides blanket
+//! implementations of `Serialize`/`Deserialize` for every type. The
+//! derives therefore only need to *exist* and accept `#[serde(...)]`
+//! attributes; they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
