@@ -1,0 +1,85 @@
+//! Overhead of the `abp-trace` instrumentation.
+//!
+//! The disabled path must be near-free — the acceptance bar is a traced
+//! build running within 2% of the pre-instrumentation baseline when
+//! `--trace`/`--counters` are off. Two angles:
+//!
+//! 1. micro: one `span!` + counter add + histogram record with the gate
+//!    off (a handful of relaxed atomic loads) vs with the gate on,
+//! 2. macro: a full beacon-major survey — the hottest instrumented loop —
+//!    with the gate off vs on.
+
+use abp_field::BeaconField;
+use abp_geom::{Lattice, Terrain};
+use abp_localize::UnheardPolicy;
+use abp_radio::IdealDisk;
+use abp_survey::ErrorMap;
+use abp_trace::{Counter, DurationHistogram};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+static BENCH_COUNTER: Counter = Counter::new("bench_counter");
+static BENCH_HIST: DurationHistogram = DurationHistogram::new("bench_hist");
+
+fn gate_benches(c: &mut Criterion) {
+    abp_trace::set_enabled(false);
+    c.bench_function("trace/gate_off_span_counter_hist", |b| {
+        b.iter(|| {
+            let _span = abp_trace::span!("bench.noop");
+            BENCH_COUNTER.add(1);
+            BENCH_HIST.record(Duration::from_nanos(black_box(7)));
+        })
+    });
+    abp_trace::set_enabled(true);
+    c.bench_function("trace/gate_on_counter_hist", |b| {
+        b.iter(|| {
+            BENCH_COUNTER.add(1);
+            BENCH_HIST.record(Duration::from_nanos(black_box(7)));
+        })
+    });
+    abp_trace::set_enabled(false);
+}
+
+fn survey_overhead_benches(c: &mut Criterion) {
+    let terrain = Terrain::square(100.0);
+    let lattice = Lattice::new(terrain, 1.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let field = BeaconField::random_uniform(100, terrain, &mut rng);
+    let ideal = IdealDisk::new(15.0);
+
+    abp_trace::set_enabled(false);
+    c.bench_function("trace/survey_gate_off", |b| {
+        b.iter(|| {
+            black_box(ErrorMap::survey(
+                &lattice,
+                &field,
+                &ideal,
+                UnheardPolicy::TerrainCenter,
+            ))
+        })
+    });
+    // Counters live, no sink installed: spans stay inactive, the batched
+    // counter adds are the only extra work.
+    abp_trace::set_enabled(true);
+    c.bench_function("trace/survey_gate_on_counters_only", |b| {
+        b.iter(|| {
+            black_box(ErrorMap::survey(
+                &lattice,
+                &field,
+                &ideal,
+                UnheardPolicy::TerrainCenter,
+            ))
+        })
+    });
+    abp_trace::set_enabled(false);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = gate_benches, survey_overhead_benches
+);
+criterion_main!(benches);

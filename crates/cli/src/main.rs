@@ -35,15 +35,29 @@
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
 //!   --checkpoint PATH           persist finished sweeps; resume from PATH
+//!   --trace PATH                write a structured trace of the run
+//!   --trace-format jsonl|chrome trace file format [default: jsonl]; chrome
+//!                               loads in chrome://tracing and Perfetto
+//!   --counters                  print aggregated counters/histograms on exit
 //! ```
 
 use abp_sim::experiments::density_error;
 use abp_sim::experiments::overlap_bound::BoundConfig;
 use abp_sim::progress::{Ctx, Fanout, MetricsRecorder, Probe, ProgressProbe};
 use abp_sim::runner::resolve_threads;
-use abp_sim::{figures, AlgorithmKind, Figure, SimConfig, SweepCheckpoint};
-use std::path::PathBuf;
+use abp_sim::{figures, AlgorithmKind, Figure, SimConfig, SweepCheckpoint, TraceProbe};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// On-disk format of the `--trace` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum TraceFormat {
+    /// One self-describing JSON object per line (`jq`-friendly).
+    #[default]
+    Jsonl,
+    /// Chrome Trace Event JSON for `chrome://tracing` / Perfetto.
+    Chrome,
+}
 
 #[derive(Debug)]
 struct Options {
@@ -55,6 +69,9 @@ struct Options {
     progress: bool,
     metrics_json: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_format: TraceFormat,
+    counters: bool,
 }
 
 fn usage() -> &'static str {
@@ -62,7 +79,8 @@ fn usage() -> &'static str {
      solspace|multilat|batch|duel|localizers|heatmap|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
-     [--progress] [--metrics-json PATH] [--checkpoint PATH]"
+     [--progress] [--metrics-json PATH] [--checkpoint PATH] \
+     [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -78,6 +96,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut progress = false;
     let mut metrics_json = None;
     let mut checkpoint = None;
+    let mut trace = None;
+    let mut trace_format = TraceFormat::default();
+    let mut counters = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -128,6 +149,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--progress" => progress = true,
             "--metrics-json" => metrics_json = Some(PathBuf::from(value("--metrics-json")?)),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--trace-format" => {
+                trace_format = match value("--trace-format")?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!(
+                            "--trace-format must be jsonl or chrome, got {other}"
+                        ))
+                    }
+                }
+            }
+            "--counters" => counters = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -177,7 +211,70 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         progress,
         metrics_json,
         checkpoint,
+        trace,
+        trace_format,
+        counters,
     })
+}
+
+/// Checks, before any multi-minute computation starts, that `path`'s
+/// parent directory exists and is writable (probed by creating and
+/// removing a uniquely-named scratch file).
+fn validate_output_path(flag: &str, path: &Path) -> Result<(), String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    if path.as_os_str().is_empty() {
+        return Err(format!("{flag} expects a file path"));
+    }
+    if path.is_dir() {
+        return Err(format!(
+            "{flag}: {} is a directory, expected a file path",
+            path.display()
+        ));
+    }
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if !parent.is_dir() {
+        return Err(format!(
+            "{flag}: parent directory {} does not exist",
+            parent.display()
+        ));
+    }
+    static PROBE_ID: AtomicU64 = AtomicU64::new(0);
+    let probe = parent.join(format!(
+        ".abp-write-probe-{}-{}",
+        std::process::id(),
+        PROBE_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    match std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&probe)
+    {
+        Ok(_) => {
+            let _ = std::fs::remove_file(&probe);
+            Ok(())
+        }
+        Err(e) => Err(format!(
+            "{flag}: parent directory {} is not writable: {e}",
+            parent.display()
+        )),
+    }
+}
+
+/// Validates every output path the run will eventually write.
+fn validate_paths(opts: &Options) -> Result<(), String> {
+    if let Some(p) = &opts.metrics_json {
+        validate_output_path("--metrics-json", p)?;
+    }
+    if let Some(p) = &opts.checkpoint {
+        validate_output_path("--checkpoint", p)?;
+    }
+    if let Some(p) = &opts.trace {
+        validate_output_path("--trace", p)?;
+    }
+    Ok(())
 }
 
 fn emit(fig: &Figure, out: &Option<PathBuf>) -> Result<(), String> {
@@ -198,8 +295,9 @@ fn emit_pair(figs: (Figure, Figure), out: &Option<PathBuf>) -> Result<(), String
 }
 
 /// Builds the observability context from the options, runs the command,
-/// then writes the metrics JSON (when requested).
+/// then writes the metrics JSON and trace exports (when requested).
 fn run(opts: &Options) -> Result<(), String> {
+    validate_paths(opts)?;
     let progress = opts.progress.then(ProgressProbe::new);
     let metrics = opts
         .metrics_json
@@ -212,6 +310,18 @@ fn run(opts: &Options) -> Result<(), String> {
         ),
         None => None,
     };
+    let tracing = opts.trace.is_some() || opts.counters;
+    let bridge = tracing.then(|| {
+        // Start from clean instruments so the report covers this run only
+        // (repeated in-process runs share the global registry).
+        abp_trace::reset_metrics();
+        if opts.trace.is_some() {
+            abp_trace::sink::install(abp_trace::sink::DEFAULT_CAPACITY);
+            let _ = abp_trace::drain(); // discard any previous run's events
+        }
+        abp_trace::set_enabled(true);
+        TraceProbe::new()
+    });
     let mut probes: Vec<&dyn Probe> = Vec::new();
     if let Some(p) = &progress {
         probes.push(p);
@@ -219,16 +329,51 @@ fn run(opts: &Options) -> Result<(), String> {
     if let Some(m) = &metrics {
         probes.push(m);
     }
+    if let Some(b) = &bridge {
+        probes.push(b);
+    }
     let fanout = Fanout::new(probes);
     let mut ctx = Ctx::new(&fanout);
     if let Some(c) = &checkpoint {
         ctx = ctx.with_checkpoint(c);
     }
-    run_command(opts, ctx)?;
+    let result = run_command(opts, ctx);
+    if tracing {
+        // Always turn the gate back off, even when the command failed, so
+        // later runs in the same process start untraced.
+        abp_trace::set_enabled(false);
+        abp_trace::sink::uninstall();
+    }
+    result?;
     if let (Some(path), Some(m)) = (&opts.metrics_json, &metrics) {
         std::fs::write(path, m.to_json())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         eprintln!("wrote {}", path.display());
+    }
+    if tracing {
+        let (counters, hists) = abp_trace::counters_snapshot();
+        if let Some(path) = &opts.trace {
+            let report = abp_trace::drain();
+            let body = match opts.trace_format {
+                TraceFormat::Jsonl => abp_trace::export::to_jsonl(&report, &counters, &hists),
+                TraceFormat::Chrome => {
+                    abp_trace::export::to_chrome_json(&report, &counters, &hists)
+                }
+            };
+            std::fs::write(path, body).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            if report.dropped > 0 {
+                eprintln!(
+                    "wrote {} ({} events shed by the bounded sink)",
+                    path.display(),
+                    report.dropped
+                );
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        if opts.counters {
+            eprint!("{}", abp_trace::render_table(&counters, &hists));
+        }
     }
     Ok(())
 }
@@ -402,6 +547,9 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         progress: opts.progress,
                         metrics_json: opts.metrics_json.clone(),
                         checkpoint: opts.checkpoint.clone(),
+                        trace: opts.trace.clone(),
+                        trace_format: opts.trace_format,
+                        counters: opts.counters,
                     },
                     ctx,
                 )?;
@@ -608,6 +756,127 @@ mod tests {
         assert!(json.contains("\"worker_utilization\":"));
         // fig4 runs 2 densities × 2 trials = 4 observed trials.
         assert!(json.contains("\"trials\": 4"), "got: {json}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = parse(&[
+            "fig4",
+            "--trace",
+            "t.json",
+            "--trace-format",
+            "chrome",
+            "--counters",
+        ])
+        .unwrap();
+        assert_eq!(o.trace.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(o.trace_format, TraceFormat::Chrome);
+        assert!(o.counters);
+        // Defaults: JSONL, counters off.
+        let o = parse(&["fig4", "--trace", "t.jsonl"]).unwrap();
+        assert_eq!(o.trace_format, TraceFormat::Jsonl);
+        assert!(!o.counters);
+        let err = parse(&["fig4", "--trace-format", "xml"]).unwrap_err();
+        assert!(err.contains("--trace-format"), "got: {err}");
+        assert!(err.contains("xml"), "echoes the bad value: {err}");
+        assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+    }
+
+    /// Every output flag is validated before any computation starts: a
+    /// missing parent directory or a directory-instead-of-file path is a
+    /// one-line error naming the flag.
+    #[test]
+    fn output_paths_are_validated_up_front() {
+        let missing = PathBuf::from("/nonexistent-abp-dir/out.json");
+        let cases: [(&str, fn(&mut Options, PathBuf)); 3] = [
+            ("--metrics-json", |o, p| o.metrics_json = Some(p)),
+            ("--checkpoint", |o, p| o.checkpoint = Some(p)),
+            ("--trace", |o, p| o.trace = Some(p)),
+        ];
+        for (flag, set) in cases {
+            let mut o = parse(&["table1", "--preset", "tiny"]).unwrap();
+            set(&mut o, missing.clone());
+            let err = run(&o).unwrap_err();
+            assert!(err.contains(flag), "{flag}: got: {err}");
+            assert!(err.contains("does not exist"), "{flag}: got: {err}");
+            assert!(!err.contains('\n'), "{flag}: one-line error: {err:?}");
+        }
+        // A directory is rejected too.
+        let mut o = parse(&["table1", "--preset", "tiny"]).unwrap();
+        o.trace = Some(std::env::temp_dir());
+        let err = run(&o).unwrap_err();
+        assert!(err.contains("is a directory"), "got: {err}");
+    }
+
+    /// Traced runs flip the process-global gate and share one sink;
+    /// serialize them so they cannot drain each other's events.
+    static TRACE_TEST_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn traced_run_writes_parseable_jsonl() {
+        let _g = TRACE_TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let path = std::env::temp_dir().join(format!("abp-trace-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut o = parse(&["fig4", "--preset", "tiny", "--trials", "2"]).unwrap();
+        o.cfg.beacon_counts = vec![30, 120];
+        o.trace = Some(path.clone());
+        run(&o).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines.len() > 1, "trace must hold events: {body}");
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not a JSON object line: {line}"
+            );
+        }
+        assert!(lines[0].contains("\"kind\":\"meta\""), "got: {}", lines[0]);
+        assert!(body.contains("\"kind\":\"span\""), "spans recorded");
+        assert!(body.contains("trial.density_error"), "trial span named");
+        assert!(
+            body.contains("radio.connectivity_sweep"),
+            "radio span named"
+        );
+        assert!(body.contains("links_tested"), "counters exported");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_has_worker_tracks_and_named_spans() {
+        let _g = TRACE_TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let path = std::env::temp_dir().join(format!("abp-trace-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut o = parse(&["fig5", "--preset", "tiny", "--trials", "2"]).unwrap();
+        o.cfg.beacon_counts = vec![30];
+        o.trace = Some(path.clone());
+        o.trace_format = TraceFormat::Chrome;
+        o.counters = true;
+        run(&o).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.trim_start().starts_with('{'));
+        assert!(body.trim_end().ends_with('}'));
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("\"thread_name\""), "per-worker tracks named");
+        assert!(body.contains("\"ph\":\"X\""), "complete events present");
+        // Named spans for the radio, localizer, and placement phases.
+        assert!(body.contains("radio.connectivity_sweep"), "got: {body}");
+        assert!(body.contains("localize.derive_errors"));
+        assert!(body.contains("placement.grid"));
+        assert!(body.contains("trial.improvement"));
+        // The hot-path counters observed real work during the run.
+        let (counters, _hists) = abp_trace::counters_snapshot();
+        let total = |name: &str| {
+            counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.total)
+        };
+        assert!(total("links_tested") > 0, "links_tested counted");
+        assert!(
+            total("candidates_scanned") > 0,
+            "candidates_scanned counted"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -101,6 +101,7 @@ impl CentroidLocalizer {
 
 impl Localizer for CentroidLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        crate::LOCALIZER_EVALS.add(1);
         let oracle = ConnectivityOracle::new(field, model);
         let mut sum_x = 0.0;
         let mut sum_y = 0.0;

@@ -52,6 +52,10 @@ pub mod oracle;
 pub mod regions;
 pub mod weighted;
 
+/// Telemetry: point-localization evaluations performed by any
+/// [`Localizer`] implementation in this crate (one per `localize` call).
+pub static LOCALIZER_EVALS: abp_trace::Counter = abp_trace::Counter::new("localizer_evals");
+
 pub use centroid::{CentroidLocalizer, UnheardPolicy};
 pub use error::localization_error;
 pub use locus::LocusLocalizer;

@@ -111,6 +111,7 @@ impl LocusLocalizer {
 
 impl Localizer for LocusLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        crate::LOCALIZER_EVALS.add(1);
         let oracle = ConnectivityOracle::new(field, model);
         let heard = oracle.heard_count(at);
         if heard == 0 {

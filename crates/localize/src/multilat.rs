@@ -139,6 +139,7 @@ impl MultilaterationLocalizer {
 
 impl Localizer for MultilaterationLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        crate::LOCALIZER_EVALS.add(1);
         let oracle = ConnectivityOracle::new(field, model);
         let heard = oracle.heard(at);
         if heard.is_empty() {

@@ -65,6 +65,7 @@ impl<'a> ConnectivityOracle<'a> {
 
     /// Invokes `f` for every beacon connected at `at`.
     pub fn for_each_heard<F: FnMut(&Beacon)>(&self, at: Point, mut f: F) {
+        abp_radio::metrics::LINKS_TESTED.add(self.field.len() as u64);
         for b in self.field {
             if self.model.connected(b.tx(), b.pos(), at) {
                 f(b);

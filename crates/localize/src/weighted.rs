@@ -105,6 +105,7 @@ impl WeightedCentroidLocalizer {
 
 impl Localizer for WeightedCentroidLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        crate::LOCALIZER_EVALS.add(1);
         let oracle = ConnectivityOracle::new(field, model);
         let nominal = model.nominal_range();
         let mut sum_x = 0.0;

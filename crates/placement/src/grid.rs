@@ -163,6 +163,8 @@ impl GridPlacement {
             "k must be in 1..={}, got {k}",
             self.num_grids()
         );
+        let _span = abp_trace::span!("placement.grid");
+        crate::CANDIDATES_SCANNED.add(self.num_grids() as u64);
         let scores = self.cumulative_errors(map);
         let mut order: Vec<usize> = (0..scores.len()).collect();
         // Stable by construction: sort by (-score, index).

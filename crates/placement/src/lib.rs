@@ -61,6 +61,11 @@ pub mod random;
 pub mod selfsched;
 pub mod weighted;
 
+/// Telemetry: candidate positions a placement algorithm scored while
+/// choosing where the next beacon goes (lattice points for Max, grid
+/// cells for Grid/Weighted).
+pub static CANDIDATES_SCANNED: abp_trace::Counter = abp_trace::Counter::new("candidates_scanned");
+
 pub use batch::{greedy_batch, GreedyBatchOutcome};
 pub use grid::GridPlacement;
 pub use locusbreak::LocusBreakPlacement;

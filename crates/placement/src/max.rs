@@ -42,6 +42,8 @@ impl PlacementAlgorithm for MaxPlacement {
     }
 
     fn propose(&self, view: &SurveyView<'_>, _rng: &mut dyn RngCore) -> Point {
+        let _span = abp_trace::span!("placement.max");
+        crate::CANDIDATES_SCANNED.add(view.map.len() as u64);
         match view.map.max_error_point() {
             Some((ix, _)) => view.map.lattice().point(ix),
             None => view.map.lattice().terrain().center(),

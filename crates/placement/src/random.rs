@@ -50,6 +50,7 @@ impl PlacementAlgorithm for RandomPlacement {
     /// Step 1: select a random point `(Xr, Yr)` in the terrain.
     /// Step 2 (adding the beacon there) is the caller's.
     fn propose(&self, _view: &SurveyView<'_>, rng: &mut dyn RngCore) -> Point {
+        crate::CANDIDATES_SCANNED.add(1);
         self.terrain
             .point_at(rng.random::<f64>(), rng.random::<f64>())
     }

@@ -89,6 +89,8 @@ impl PlacementAlgorithm for WeightedGridPlacement {
     }
 
     fn propose(&self, view: &SurveyView<'_>, _rng: &mut dyn RngCore) -> Point {
+        let _span = abp_trace::span!("placement.weighted_grid");
+        crate::CANDIDATES_SCANNED.add(self.inner.num_grids() as u64);
         let scores = self.weighted_errors(view.map);
         let per_side = self.inner.grids_per_side();
         let mut best = 0usize;

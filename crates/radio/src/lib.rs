@@ -48,6 +48,7 @@
 
 pub mod ideal;
 pub mod link;
+pub mod metrics;
 pub mod noise;
 pub mod obstacles;
 pub mod shadowing;

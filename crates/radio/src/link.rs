@@ -153,6 +153,7 @@ impl MessageLink {
         rng: &mut R,
     ) -> LinkObservation {
         let sent = self.messages_per_window();
+        crate::metrics::PACKETS_OBSERVED.add(u64::from(sent));
         if !model.connected(tx, tx_pos, rx) {
             return LinkObservation { sent, received: 0 };
         }

@@ -183,6 +183,7 @@ where
         ctx.probe.sweep_start(EXPERIMENT, beacons, cfg.trials);
         let started = Instant::now();
         let outcome = parallel_try_map(cfg.trials, cfg.threads, |t| {
+            let _span = abp_trace::span!("trial.improvement");
             let begun = Instant::now();
             let sample = trial(cfg, noise, beacons, cfg.trial_seed(di, t), algorithms);
             ctx.probe.trial_done(begun.elapsed());

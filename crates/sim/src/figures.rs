@@ -402,7 +402,7 @@ pub fn robustness(cfg: &SimConfig, beacons: usize) -> (Figure, Figure) {
     robustness_with(cfg, beacons, Ctx::noop())
 }
 
-/// [`robustness`] with observability via `ctx`.
+/// [`robustness()`] with observability via `ctx`.
 pub fn robustness_with(cfg: &SimConfig, beacons: usize, ctx: Ctx<'_>) -> (Figure, Figure) {
     let fractions = [0.02, 0.05, 0.1, 0.25, 0.5, 1.0];
     let sigmas = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
@@ -451,7 +451,7 @@ pub fn solution_space(cfg: &SimConfig, noise: f64, candidates: usize, threshold:
     solution_space_with(cfg, noise, candidates, threshold, Ctx::noop())
 }
 
-/// [`solution_space`] with figure timing via `ctx`.
+/// [`solution_space()`] with figure timing via `ctx`.
 pub fn solution_space_with(
     cfg: &SimConfig,
     noise: f64,
@@ -515,7 +515,7 @@ pub fn multi_beacon(cfg: &SimConfig, noise: f64, beacons: usize, ks: &[usize]) -
     multi_beacon_with(cfg, noise, beacons, ks, Ctx::noop())
 }
 
-/// [`multi_beacon`] with figure timing via `ctx`.
+/// [`multi_beacon()`] with figure timing via `ctx`.
 pub fn multi_beacon_with(
     cfg: &SimConfig,
     noise: f64,

@@ -51,6 +51,7 @@ pub mod figures;
 pub mod progress;
 pub mod report;
 pub mod runner;
+pub mod traceprobe;
 
 pub use checkpoint::SweepCheckpoint;
 pub use config::{AlgorithmKind, PaperConfig, SimConfig};
@@ -59,3 +60,4 @@ pub use progress::{
     Ctx, Fanout, MetricsRecorder, NoopProbe, Probe, ProgressProbe, TrialFailureReport,
 };
 pub use report::{Figure, Series, SeriesPoint};
+pub use traceprobe::TraceProbe;

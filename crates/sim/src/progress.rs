@@ -194,10 +194,20 @@ impl Probe for Fanout<'_> {
 struct ProgressState {
     label: String,
     done: usize,
+    failed: usize,
     total: usize,
     sweep_started: Instant,
     last_render: Option<Instant>,
     line_open: bool,
+}
+
+impl ProgressState {
+    /// Trials that no longer need running — successes plus failures. The
+    /// progress fraction and ETA are based on this, so a sweep with panics
+    /// still converges to `total` instead of stalling below it.
+    fn settled(&self) -> usize {
+        self.done + self.failed
+    }
 }
 
 /// Live progress on stderr: one updating line per sweep with
@@ -214,6 +224,7 @@ impl ProgressProbe {
             state: Mutex::new(ProgressState {
                 label: String::new(),
                 done: 0,
+                failed: 0,
                 total: 0,
                 sweep_started: Instant::now(),
                 last_render: None,
@@ -224,19 +235,23 @@ impl ProgressProbe {
 
     fn render(state: &ProgressState) {
         let elapsed = state.sweep_started.elapsed().as_secs_f64();
-        let rate = state.done as f64 / elapsed.max(1e-9);
-        let eta = if state.done == 0 {
+        let settled = state.settled();
+        let rate = settled as f64 / elapsed.max(1e-9);
+        let eta = if settled == 0 {
             "--".to_string()
         } else {
-            let left = state.total.saturating_sub(state.done) as f64 / rate.max(1e-9);
+            let left = state.total.saturating_sub(settled) as f64 / rate.max(1e-9);
             format!("{left:.0}s")
         };
+        let progress = if state.failed > 0 {
+            format!("{}(+{})/{}", state.done, state.failed, state.total)
+        } else {
+            format!("{}/{}", state.done, state.total)
+        };
         eprint!(
-            "\r{}: {}/{} trials ({:.0}%, {:.1}/s, ETA {eta})   ",
+            "\r{}: {progress} trials ({:.0}%, {:.1}/s, ETA {eta})   ",
             state.label,
-            state.done,
-            state.total,
-            100.0 * state.done as f64 / state.total.max(1) as f64,
+            100.0 * settled as f64 / state.total.max(1) as f64,
             rate,
         );
     }
@@ -269,6 +284,7 @@ impl Probe for ProgressProbe {
         }
         s.label = format!("{experiment} @ {beacons} beacons");
         s.done = 0;
+        s.failed = 0;
         s.total = trials;
         s.sweep_started = Instant::now();
         s.last_render = None;
@@ -286,8 +302,13 @@ impl Probe for ProgressProbe {
             eprintln!("{experiment} @ {beacons} beacons: restored from checkpoint");
         } else {
             let rate = s.done as f64 / wall.as_secs_f64().max(1e-9);
+            let failed = if s.failed > 0 {
+                format!(" ({} failed)", s.failed)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "{experiment} @ {beacons} beacons: {} trials in {:.2}s ({rate:.1}/s)      ",
+                "{experiment} @ {beacons} beacons: {} trials in {:.2}s ({rate:.1}/s){failed}      ",
                 s.done,
                 wall.as_secs_f64(),
             );
@@ -302,7 +323,7 @@ impl Probe for ProgressProbe {
             None => true,
             Some(t) => t.elapsed() >= Duration::from_millis(100),
         };
-        if due || s.done == s.total {
+        if due || s.settled() == s.total {
             s.last_render = Some(Instant::now());
             Self::render(&s);
         }
@@ -312,9 +333,15 @@ impl Probe for ProgressProbe {
         let mut s = self.state.lock().expect("progress state");
         if s.line_open {
             eprintln!();
-            s.line_open = false;
         }
         eprintln!("FAILED {failure}");
+        // Failed trials still count toward progress: re-render so the line
+        // keeps converging to `total` (shown as `done(+failed)/total`).
+        s.failed += 1;
+        if s.line_open {
+            s.last_render = Some(Instant::now());
+            Self::render(&s);
+        }
     }
 }
 
@@ -334,6 +361,9 @@ pub struct FigureMetrics {
     pub worker_utilization: f64,
     /// Trials that panicked.
     pub failures: usize,
+    /// The derived seed of every failed trial, in failure order — enough
+    /// to re-run each panicking trial in isolation.
+    pub failed_seeds: Vec<u64>,
 }
 
 #[derive(Default)]
@@ -341,7 +371,7 @@ struct OpenFigure {
     id: String,
     trials: usize,
     busy: Duration,
-    failures: usize,
+    failed_seeds: Vec<u64>,
 }
 
 struct MetricsState {
@@ -391,11 +421,16 @@ impl MetricsRecorder {
     ///       "trials": 240,
     ///       "trials_per_sec": 75.0,
     ///       "worker_utilization": 0.93,
-    ///       "failures": 0
+    ///       "failures": 1,
+    ///       "failed_seeds": ["0x00000000deadbeef"]
     ///     }
     ///   ]
     /// }
     /// ```
+    ///
+    /// `failed_seeds` lists the derived seed of every panicked trial (hex,
+    /// failure order), so partial-failure runs stay reproducible from the
+    /// metrics file alone.
     pub fn to_json(&self) -> String {
         let state = self.state.lock().expect("metrics state");
         let mut out = String::from("{\n");
@@ -409,9 +444,16 @@ impl MetricsRecorder {
             if i > 0 {
                 out.push(',');
             }
+            let seeds = m
+                .failed_seeds
+                .iter()
+                .map(|s| format!("\"{s:#018x}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
             out.push_str(&format!(
                 "\n    {{\"figure\": {}, \"wall_seconds\": {}, \"trials\": {}, \
-                 \"trials_per_sec\": {}, \"worker_utilization\": {}, \"failures\": {}}}",
+                 \"trials_per_sec\": {}, \"worker_utilization\": {}, \"failures\": {}, \
+                 \"failed_seeds\": [{seeds}]}}",
                 json_string(&m.figure),
                 json_f64(m.wall_seconds),
                 m.trials,
@@ -452,7 +494,8 @@ impl Probe for MetricsRecorder {
             worker_utilization: (open.busy.as_secs_f64()
                 / (wall_seconds.max(1e-9) * self.threads as f64))
                 .clamp(0.0, 1.0),
-            failures: open.failures,
+            failures: open.failed_seeds.len(),
+            failed_seeds: open.failed_seeds,
         });
     }
 
@@ -464,10 +507,10 @@ impl Probe for MetricsRecorder {
         }
     }
 
-    fn trial_failed(&self, _failure: &TrialFailureReport) {
+    fn trial_failed(&self, failure: &TrialFailureReport) {
         let mut s = self.state.lock().expect("metrics state");
         if let Some(open) = s.current.as_mut() {
-            open.failures += 1;
+            open.failed_seeds.push(failure.seed);
         }
     }
 }
@@ -586,6 +629,148 @@ mod tests {
         assert_eq!(json_f64(3.0), "3.0");
         assert_eq!(json_f64(f64::NAN), "0.0");
         assert_eq!(json_f64(f64::INFINITY), "0.0");
+    }
+
+    fn failure(seed: u64) -> TrialFailureReport {
+        TrialFailureReport {
+            experiment: "density-error",
+            density_index: 0,
+            beacons: 20,
+            trial: 1,
+            seed,
+            message: "boom".into(),
+        }
+    }
+
+    #[test]
+    fn fanout_preserves_event_and_probe_order() {
+        use std::sync::Mutex;
+        struct Tagged<'a> {
+            tag: &'static str,
+            log: &'a Mutex<Vec<String>>,
+        }
+        impl Probe for Tagged<'_> {
+            fn figure_start(&self, id: &str) {
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push(format!("{}:start:{id}", self.tag));
+            }
+            fn trial_done(&self, _busy: Duration) {
+                self.log.lock().unwrap().push(format!("{}:done", self.tag));
+            }
+            fn trial_failed(&self, f: &TrialFailureReport) {
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push(format!("{}:failed:{}", self.tag, f.trial));
+            }
+            fn figure_done(&self, id: &str, _wall: Duration) {
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push(format!("{}:end:{id}", self.tag));
+            }
+        }
+        let log = Mutex::new(Vec::new());
+        let a = Tagged {
+            tag: "a",
+            log: &log,
+        };
+        let b = Tagged {
+            tag: "b",
+            log: &log,
+        };
+        let fan = Fanout::new(vec![&a, &b]);
+        fan.figure_start("fig4");
+        fan.trial_done(Duration::ZERO);
+        fan.trial_failed(&failure(7));
+        fan.figure_done("fig4", Duration::ZERO);
+        // Events arrive in emission order; within an event, probes fire in
+        // registration order.
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![
+                "a:start:fig4",
+                "b:start:fig4",
+                "a:done",
+                "b:done",
+                "a:failed:1",
+                "b:failed:1",
+                "a:end:fig4",
+                "b:end:fig4",
+            ]
+        );
+    }
+
+    #[test]
+    fn failure_report_seed_hex_round_trips() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let text = failure(seed).to_string();
+            let token = text
+                .split_whitespace()
+                .find(|t| t.starts_with("0x"))
+                .expect("hex seed in display")
+                .trim_end_matches(')');
+            let parsed =
+                u64::from_str_radix(token.trim_start_matches("0x"), 16).expect("seed parses back");
+            assert_eq!(parsed, seed, "display: {text}");
+        }
+    }
+
+    #[test]
+    fn progress_probe_counts_successes() {
+        let p = ProgressProbe::new();
+        p.sweep_start("density-error", 20, 3);
+        p.trial_done(Duration::ZERO);
+        p.trial_done(Duration::ZERO);
+        let s = p.state.lock().unwrap();
+        assert_eq!(s.done, 2);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.settled(), 2);
+    }
+
+    #[test]
+    fn progress_probe_counts_failures_toward_progress() {
+        let p = ProgressProbe::new();
+        p.sweep_start("density-error", 20, 4);
+        p.trial_done(Duration::ZERO);
+        p.trial_failed(&failure(0xBAD));
+        p.trial_done(Duration::ZERO);
+        p.trial_done(Duration::ZERO);
+        {
+            let s = p.state.lock().unwrap();
+            assert_eq!(s.done, 3);
+            assert_eq!(s.failed, 1);
+            // The sweep is complete: 3 successes + 1 failure = 4 trials,
+            // so the progress line converged to total (the bug this guards
+            // against left settled() stuck at done < total forever).
+            assert_eq!(s.settled(), s.total);
+        }
+        p.sweep_done("density-error", 20, Duration::from_millis(10), false);
+        // A new sweep starts from a clean slate.
+        p.sweep_start("density-error", 40, 2);
+        let s = p.state.lock().unwrap();
+        assert_eq!((s.done, s.failed, s.total), (0, 0, 2));
+    }
+
+    #[test]
+    fn metrics_json_records_failed_seeds() {
+        let rec = MetricsRecorder::new(1);
+        rec.figure_start("fig4");
+        rec.trial_done(Duration::from_millis(1));
+        rec.trial_failed(&failure(0xDEAD_BEEF));
+        rec.trial_failed(&failure(0x1234));
+        rec.figure_done("fig4", Duration::from_millis(10));
+        let figs = rec.figures();
+        assert_eq!(figs[0].failures, 2);
+        assert_eq!(figs[0].failed_seeds, vec![0xDEAD_BEEF, 0x1234]);
+        let json = rec.to_json();
+        assert!(
+            json.contains("\"failed_seeds\": [\"0x00000000deadbeef\", \"0x0000000000001234\"]"),
+            "{json}"
+        );
     }
 
     #[test]

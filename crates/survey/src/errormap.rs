@@ -59,11 +59,17 @@ impl ErrorMap {
             count: vec![0; n],
             errors: vec![0.0; n],
         };
-        for b in field {
-            map.accumulate_beacon(b, model);
+        {
+            let _span = abp_trace::span!("radio.connectivity_sweep");
+            for b in field {
+                map.accumulate_beacon(b, model);
+            }
         }
-        for flat in 0..n {
-            map.errors[flat] = map.derive_error(flat);
+        {
+            let _span = abp_trace::span!("localize.derive_errors");
+            for flat in 0..n {
+                map.errors[flat] = map.derive_error(flat);
+            }
         }
         map
     }
@@ -92,6 +98,7 @@ impl ErrorMap {
             count: vec![0; n],
             errors: vec![f64::NAN; n],
         };
+        let _span = abp_trace::span!("localize.survey");
         for ix in lattice.indices() {
             let p = lattice.point(ix);
             let fix = localizer.localize(field, model, p);
@@ -142,7 +149,9 @@ impl ErrorMap {
         let (bx, by) = (b.pos().x, b.pos().y);
         let tx = b.tx();
         let lattice = self.lattice;
+        let mut tested = 0u64;
         lattice.for_each_in_disk(Disk::new(b.pos(), reach), |ix, p| {
+            tested += 1;
             if model.connected(tx, b.pos(), p) {
                 let flat = lattice.flat(ix);
                 self.sum_x[flat] += bx;
@@ -150,6 +159,7 @@ impl ErrorMap {
                 self.count[flat] += 1;
             }
         });
+        abp_radio::metrics::LINKS_TESTED.add(tested);
     }
 
     /// Incrementally re-surveys after `beacon` was added to the field:
@@ -159,12 +169,15 @@ impl ErrorMap {
     /// extended field would produce (deterministic propagation makes the
     /// replay exact); tests assert this equivalence.
     pub fn add_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) {
+        let _span = abp_trace::span!("radio.incremental_update");
         let reach = model.max_range(beacon.tx(), beacon.pos());
         let (bx, by) = (beacon.pos().x, beacon.pos().y);
         let tx = beacon.tx();
         let lattice = self.lattice;
         let mut touched = Vec::new();
+        let mut tested = 0u64;
         lattice.for_each_in_disk(Disk::new(beacon.pos(), reach), |ix, p| {
+            tested += 1;
             if model.connected(tx, beacon.pos(), p) {
                 let flat = lattice.flat(ix);
                 self.sum_x[flat] += bx;
@@ -173,6 +186,7 @@ impl ErrorMap {
                 touched.push(flat);
             }
         });
+        abp_radio::metrics::LINKS_TESTED.add(tested);
         for flat in touched {
             self.errors[flat] = self.derive_error(flat);
         }

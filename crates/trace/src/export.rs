@@ -1,0 +1,299 @@
+//! Renders a drained run as JSONL or Chrome Trace Event JSON.
+//!
+//! Both exporters hand-serialize (the crate is dependency-free); strings
+//! are escaped per RFC 8259 so the output always parses.
+//!
+//! * [`to_jsonl`] — one self-describing JSON object per line: a `meta`
+//!   header (drop count, thread table), every span/instant event, then
+//!   every counter and histogram snapshot. Good for `grep`/`jq` pipelines.
+//! * [`to_chrome_json`] — the [Trace Event Format] consumed by
+//!   `chrome://tracing` and Perfetto: `"M"` thread-name metadata rows,
+//!   `"X"` complete events (µs timestamps) for spans, `"i"` instants.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::metrics::{CounterSnapshot, HistogramSnapshot};
+use crate::sink::{Event, TraceReport};
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the run as JSONL: one JSON object per line, every line
+/// self-describing via a `"kind"` field (`meta`, `span`, `instant`,
+/// `counter`, `histogram`).
+pub fn to_jsonl(
+    report: &TraceReport,
+    counters: &[CounterSnapshot],
+    hists: &[HistogramSnapshot],
+) -> String {
+    let mut out = String::new();
+    let mut threads = String::new();
+    for (i, (tid, name)) in report.threads.iter().enumerate() {
+        if i > 0 {
+            threads.push(',');
+        }
+        let _ = write!(threads, "{{\"tid\":{tid},\"name\":\"{}\"}}", escape(name));
+    }
+    let _ = writeln!(
+        out,
+        "{{\"kind\":\"meta\",\"events\":{},\"dropped\":{},\"threads\":[{threads}]}}",
+        report.events.len(),
+        report.dropped,
+    );
+    for ev in &report.events {
+        match ev {
+            Event::Span {
+                name,
+                tid,
+                depth,
+                start_ns,
+                dur_ns,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"span\",\"name\":\"{}\",\"tid\":{tid},\"depth\":{depth},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}",
+                    escape(name),
+                );
+            }
+            Event::Instant {
+                name,
+                category,
+                tid,
+                ts_ns,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"kind\":\"instant\",\"name\":\"{}\",\"cat\":\"{}\",\"tid\":{tid},\"ts_ns\":{ts_ns}}}",
+                    escape(name),
+                    escape(category),
+                );
+            }
+        }
+    }
+    for c in counters {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"total\":{}}}",
+            escape(c.name),
+            c.total,
+        );
+    }
+    for h in hists {
+        let mut buckets = String::new();
+        for (i, b) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let _ = write!(buckets, "{b}");
+        }
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"buckets\":[{buckets}]}}",
+            escape(h.name),
+            h.count,
+            h.sum_ns,
+        );
+    }
+    out
+}
+
+/// Nanoseconds → the format's microsecond timestamps, with fractional
+/// precision preserved.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// Renders the run in Chrome Trace Event format (JSON Object variant):
+/// loadable in `chrome://tracing` and Perfetto, one named track per
+/// worker thread, spans as `"X"` complete events, probe marks as `"i"`
+/// instants, counter totals in `otherData`.
+pub fn to_chrome_json(
+    report: &TraceReport,
+    counters: &[CounterSnapshot],
+    hists: &[HistogramSnapshot],
+) -> String {
+    let mut events = String::new();
+    let mut first = true;
+    let mut push = |line: String, first: &mut bool| {
+        if !*first {
+            events.push_str(",\n");
+        }
+        *first = false;
+        events.push_str("  ");
+        events.push_str(&line);
+    };
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"beaconplace\"}}"
+            .to_string(),
+        &mut first,
+    );
+    for (tid, name) in &report.threads {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                escape(name),
+            ),
+            &mut first,
+        );
+    }
+    for ev in &report.events {
+        match ev {
+            Event::Span {
+                name,
+                tid,
+                depth,
+                start_ns,
+                dur_ns,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{depth}}}}}",
+                        escape(name),
+                        us(*start_ns),
+                        us(*dur_ns),
+                    ),
+                    &mut first,
+                );
+            }
+            Event::Instant {
+                name,
+                category,
+                tid,
+                ts_ns,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{}}}",
+                        escape(name),
+                        escape(category),
+                        us(*ts_ns),
+                    ),
+                    &mut first,
+                );
+            }
+        }
+    }
+    let mut other = String::new();
+    let _ = write!(other, "\"dropped_events\":{}", report.dropped);
+    for c in counters {
+        let _ = write!(other, ",\"{}\":{}", escape(c.name), c.total);
+    }
+    for h in hists {
+        let _ = write!(
+            other,
+            ",\"{}_count\":{},\"{}_sum_ns\":{}",
+            escape(h.name),
+            h.count,
+            escape(h.name),
+            h.sum_ns,
+        );
+    }
+    format!(
+        "{{\n\"traceEvents\": [\n{events}\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{{other}}}\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceReport;
+
+    fn sample_report() -> TraceReport {
+        TraceReport {
+            events: vec![
+                Event::Span {
+                    name: "radio.connectivity_sweep",
+                    tid: 0,
+                    depth: 0,
+                    start_ns: 1_500,
+                    dur_ns: 2_250_000,
+                },
+                Event::Instant {
+                    name: "figure_start \"fig5\"".to_string(),
+                    category: "probe",
+                    tid: 1,
+                    ts_ns: 3_000,
+                },
+            ],
+            dropped: 2,
+            threads: vec![(0, "main".to_string()), (1, "worker-1".to_string())],
+        }
+    }
+
+    fn sample_metrics() -> (Vec<CounterSnapshot>, Vec<HistogramSnapshot>) {
+        (
+            vec![CounterSnapshot {
+                name: "links_tested",
+                total: 42,
+            }],
+            vec![HistogramSnapshot {
+                name: "trial_wall",
+                count: 4,
+                sum_ns: 4_000,
+                buckets: vec![0, 4],
+            }],
+        )
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed_and_complete() {
+        let (counters, hists) = sample_metrics();
+        let jsonl = to_jsonl(&sample_report(), &counters, &hists);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // meta + 2 events + 1 counter + 1 histogram
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+        }
+        assert!(lines[0].contains("\"kind\":\"meta\""));
+        assert!(lines[0].contains("\"dropped\":2"));
+        assert!(lines[1].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("radio.connectivity_sweep"));
+        assert!(
+            lines[2].contains("figure_start \\\"fig5\\\""),
+            "quotes escaped: {}",
+            lines[2]
+        );
+        assert!(lines[3].contains("\"total\":42"));
+        assert!(lines[4].contains("\"buckets\":[0,4]"));
+    }
+
+    #[test]
+    fn chrome_export_has_thread_tracks_and_complete_events() {
+        let (counters, hists) = sample_metrics();
+        let chrome = to_chrome_json(&sample_report(), &counters, &hists);
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"ph\":\"M\""), "thread metadata present");
+        assert!(chrome.contains("\"args\":{\"name\":\"worker-1\"}"));
+        // 1500 ns span start → 1.5 µs; 2.25 ms duration → 2250 µs.
+        assert!(chrome.contains("\"ts\":1.500"), "µs timestamps: {chrome}");
+        assert!(chrome.contains("\"dur\":2250.000"));
+        assert!(chrome.contains("\"ph\":\"i\""), "instant present");
+        assert!(chrome.contains("\"dropped_events\":2"));
+        assert!(chrome.contains("\"links_tested\":42"));
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

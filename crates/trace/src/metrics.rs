@@ -1,0 +1,494 @@
+//! Counters and duration histograms with a global registry.
+//!
+//! Both types are designed to live in `static`s ([`Counter::new`] and
+//! [`DurationHistogram::new`] are `const`). Updates are relaxed atomic
+//! adds on a shard picked by the calling thread's track id, so
+//! simultaneous workers do not contend on one cache line; reads
+//! ([`Counter::total`], [`counters_snapshot`]) sum the shards lock-free.
+//! Instruments register themselves in the global registry on first use,
+//! so the drain side discovers every counter the run actually touched.
+
+use crate::span::track_id;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of independent accumulation shards per instrument. Threads map
+/// onto shards by track id, so up to this many workers update disjoint
+/// cache lines.
+const SHARDS: usize = 16;
+
+/// Number of log₂ duration buckets: bucket `b` holds durations in
+/// `[2^(b-1), 2^b)` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// One cache line per shard so concurrent workers do not false-share.
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+#[allow(clippy::declare_interior_mutable_const)] // used only as an array initializer
+const ZERO_SHARD: Shard = Shard(AtomicU64::new(0));
+
+/// A monotonic event counter, aggregated across threads at read time.
+///
+/// ```
+/// static LINKS: abp_trace::Counter = abp_trace::Counter::new("links_tested");
+/// abp_trace::set_enabled(true);
+/// LINKS.add(128);
+/// assert!(LINKS.total() >= 128);
+/// abp_trace::set_enabled(false);
+/// ```
+pub struct Counter {
+    name: &'static str,
+    registered: AtomicBool,
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// Creates a counter. Intended for `static` items.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            registered: AtomicBool::new(false),
+            shards: [ZERO_SHARD; SHARDS],
+        }
+    }
+
+    /// The counter's registry name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to the counter. A no-op (one relaxed load) while
+    /// instrumentation is disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        let shard = track_id() as usize % SHARDS;
+        self.shards[shard].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards (lock-free).
+    pub fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn register(&'static self) {
+        if self.registered.load(Ordering::Relaxed) {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().counters.lock().expect("registry").push(self);
+        }
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of durations, plus exact count and sum.
+///
+/// Bucket `b` covers `[2^(b-1), 2^b)` nanoseconds; quantile estimates
+/// report a bucket's upper bound, so they are accurate to a factor of two
+/// — plenty for "where does trial time go" questions.
+pub struct DurationHistogram {
+    name: &'static str,
+    registered: AtomicBool,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // used only as an array initializer
+const ZERO_BUCKET: AtomicU64 = AtomicU64::new(0);
+
+impl DurationHistogram {
+    /// Creates a histogram. Intended for `static` items.
+    pub const fn new(name: &'static str) -> Self {
+        DurationHistogram {
+            name,
+            registered: AtomicBool::new(false),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            buckets: [ZERO_BUCKET; BUCKETS],
+        }
+    }
+
+    /// The histogram's registry name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one duration. A no-op (one relaxed load) while
+    /// instrumentation is disabled.
+    #[inline]
+    pub fn record(&'static self, d: Duration) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        // 0 and 1 ns land in bucket 0; otherwise floor(log2(ns)) + 1,
+        // clamped to the last bucket.
+        if ns <= 1 {
+            0
+        } else {
+            (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The upper bound (ns) of bucket `b` — what quantile estimates
+    /// report.
+    fn bucket_upper_ns(b: usize) -> u64 {
+        1u64 << b.min(63)
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot (relaxed reads; exact once
+    /// writers have quiesced, which is the drain-time contract).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            name: self.name,
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn register(&'static self) {
+        if self.registered.load(Ordering::Relaxed) {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().histograms.lock().expect("registry").push(self);
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A counter's name and drained total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registry name (e.g. `links_tested`).
+    pub name: &'static str,
+    /// Total across all threads.
+    pub total: u64,
+}
+
+/// A histogram's drained state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registry name (e.g. `trial_wall`).
+    pub name: &'static str,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations in nanoseconds.
+    pub sum_ns: u64,
+    /// Log₂ bucket counts; bucket `b` covers `[2^(b-1), 2^b)` ns.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the first bucket whose
+    /// cumulative count reaches `q · count`. `None` when empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return Some(DurationHistogram::bucket_upper_ns(b));
+            }
+        }
+        Some(DurationHistogram::bucket_upper_ns(BUCKETS - 1))
+    }
+}
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static DurationHistogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: Registry = Registry {
+        counters: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+    };
+    &REGISTRY
+}
+
+/// Snapshots every registered counter and histogram, sorted by name.
+///
+/// The registry lock guards only the *list* of instruments; the totals
+/// themselves are read lock-free from the shards.
+pub fn counters_snapshot() -> (Vec<CounterSnapshot>, Vec<HistogramSnapshot>) {
+    let mut counters: Vec<CounterSnapshot> = registry()
+        .counters
+        .lock()
+        .expect("registry")
+        .iter()
+        .map(|c| CounterSnapshot {
+            name: c.name,
+            total: c.total(),
+        })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+    let mut hists: Vec<HistogramSnapshot> = registry()
+        .histograms
+        .lock()
+        .expect("registry")
+        .iter()
+        .map(|h| h.snapshot())
+        .collect();
+    hists.sort_by_key(|h| h.name);
+    (counters, hists)
+}
+
+/// Zeroes every registered counter and histogram (the instruments stay
+/// registered). Intended for tests and repeated in-process runs.
+pub fn reset_metrics() {
+    for c in registry().counters.lock().expect("registry").iter() {
+        c.reset();
+    }
+    for h in registry().histograms.lock().expect("registry").iter() {
+        h.reset();
+    }
+}
+
+/// Formats nanoseconds human-readably (`812ns`, `4.1us`, `12.3ms`, `2.5s`).
+pub(crate) fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.1}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Renders the aggregated counter/histogram table the CLI prints for
+/// `--counters`.
+pub fn render_table(counters: &[CounterSnapshot], hists: &[HistogramSnapshot]) -> String {
+    let mut out = String::new();
+    if !counters.is_empty() {
+        out.push_str(&format!("{:<28} {:>16}\n", "counter", "total"));
+        for c in counters {
+            out.push_str(&format!("{:<28} {:>16}\n", c.name, c.total));
+        }
+    }
+    if !hists.is_empty() {
+        if !counters.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+            "histogram", "count", "mean", "p50", "p90", "p99"
+        ));
+        for h in hists {
+            let q = |q: f64| {
+                h.quantile_ns(q)
+                    .map_or_else(|| "--".to_string(), |ns| human_ns(ns as f64))
+            };
+            out.push_str(&format!(
+                "{:<28} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+                h.name,
+                h.count,
+                human_ns(h.mean_ns()),
+                q(0.5),
+                q(0.9),
+                q(0.99),
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no counters or histograms were touched\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+
+    #[test]
+    fn counter_counts_only_when_enabled() {
+        let _g = test_support::lock();
+        static C: Counter = Counter::new("test_counter_gate");
+        crate::set_enabled(false);
+        C.add(5);
+        assert_eq!(C.total(), 0);
+        crate::set_enabled(true);
+        C.add(5);
+        C.add(2);
+        assert_eq!(C.total(), 7);
+        crate::set_enabled(false);
+        C.reset();
+    }
+
+    #[test]
+    fn counter_aggregates_across_threads() {
+        let _g = test_support::lock();
+        static C: Counter = Counter::new("test_counter_threads");
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        C.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(C.total(), 8000);
+        crate::set_enabled(false);
+        C.reset();
+    }
+
+    #[test]
+    fn registered_instruments_appear_in_snapshot() {
+        let _g = test_support::lock();
+        static C: Counter = Counter::new("test_snapshot_counter");
+        static H: DurationHistogram = DurationHistogram::new("test_snapshot_hist");
+        crate::set_enabled(true);
+        C.add(3);
+        H.record(Duration::from_micros(10));
+        let (counters, hists) = counters_snapshot();
+        let c = counters
+            .iter()
+            .find(|c| c.name == "test_snapshot_counter")
+            .expect("counter registered");
+        assert!(c.total >= 3);
+        let h = hists
+            .iter()
+            .find(|h| h.name == "test_snapshot_hist")
+            .expect("histogram registered");
+        assert!(h.count >= 1);
+        crate::set_enabled(false);
+        C.reset();
+        H.reset();
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _g = test_support::lock();
+        static H: DurationHistogram = DurationHistogram::new("test_hist_buckets");
+        crate::set_enabled(true);
+        H.reset();
+        // 90 fast ops (~1 us) and 10 slow ones (~1 ms).
+        for _ in 0..90 {
+            H.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            H.record(Duration::from_millis(1));
+        }
+        let s = H.snapshot();
+        assert_eq!(s.count, 100);
+        let p50 = s.quantile_ns(0.5).unwrap();
+        let p99 = s.quantile_ns(0.99).unwrap();
+        // p50 sits in the microsecond bucket, p99 in the millisecond one;
+        // log2 buckets are accurate to a factor of two.
+        assert!(p50 >= 1_000 && p50 < 4_000, "p50 = {p50}");
+        assert!(p99 >= 1_000_000 && p99 < 4_000_000, "p99 = {p99}");
+        let mean = s.mean_ns();
+        assert!(mean > 90_000.0 && mean < 120_000.0, "mean = {mean}");
+        crate::set_enabled(false);
+        H.reset();
+    }
+
+    #[test]
+    fn bucket_of_is_monotonic_and_bounded() {
+        let mut last = 0;
+        for exp in 0..64u32 {
+            let b = DurationHistogram::bucket_of(1u64 << exp);
+            assert!(b >= last);
+            assert!(b < BUCKETS);
+            last = b;
+        }
+        assert_eq!(DurationHistogram::bucket_of(0), 0);
+        assert_eq!(DurationHistogram::bucket_of(1), 0);
+        assert_eq!(DurationHistogram::bucket_of(2), 2);
+        assert_eq!(DurationHistogram::bucket_of(3), 2);
+        assert_eq!(DurationHistogram::bucket_of(4), 3);
+    }
+
+    #[test]
+    fn table_renders_counters_and_histograms() {
+        let counters = vec![CounterSnapshot {
+            name: "links_tested",
+            total: 123_456,
+        }];
+        let hists = vec![HistogramSnapshot {
+            name: "trial_wall",
+            count: 240,
+            sum_ns: 240 * 8_000_000,
+            buckets: {
+                let mut b = vec![0u64; BUCKETS];
+                b[24] = 240; // ~8-16 ms
+                b
+            },
+        }];
+        let table = render_table(&counters, &hists);
+        assert!(table.contains("links_tested"));
+        assert!(table.contains("123456"));
+        assert!(table.contains("trial_wall"));
+        assert!(table.contains("240"));
+        assert!(table.contains("8.0ms"));
+        assert!(render_table(&[], &[]).contains("no counters"));
+    }
+
+    #[test]
+    fn human_ns_picks_sane_units() {
+        assert_eq!(human_ns(812.0), "812ns");
+        assert_eq!(human_ns(4_100.0), "4.1us");
+        assert_eq!(human_ns(12_300_000.0), "12.3ms");
+        assert_eq!(human_ns(2_500_000_000.0), "2.50s");
+    }
+}
