@@ -15,6 +15,8 @@
 //!   ablation          all five algorithms side by side
 //!   noise-styles      the three readings of the noise model's u draw
 //!   robustness        Grid vs partial exploration and GPS error (sec. 3.1)
+//!   faults            error and placement ranking under injected faults:
+//!                     beacon death, burst loss, GPS outages (sec. 6)
 //!   solspace          solution-space density sweep (sec. 1, contribution 3)
 //!   multilat          the algorithms recast for multilateration (sec. 6)
 //!   batch             k beacons at once: greedy vs one-shot top-k (sec. 6)
@@ -30,7 +32,14 @@
 //!   --threads N                 worker threads (0 = all cores)
 //!   --seed HEX                  master seed
 //!   --noise X                   noise level for ablation/duel/batch [default: 0]
-//!   --beacons N                 field size for robustness/batch [default: 40]
+//!   --beacons N                 field size for robustness/faults/batch [default: 40]
+//!   --retry N                   re-run a panicked or timed-out trial up to N
+//!                               more times; each attempt re-derives its seed
+//!                               deterministically, so healthy trials are
+//!                               bit-identical with or without the flag
+//!   --trial-timeout DUR         abort any trial attempt running longer than
+//!                               DUR (e.g. 30s, 500ms) and record a structured
+//!                               timeout; combines with --retry
 //!   --out DIR                   also write <figure>.csv files into DIR
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
@@ -44,10 +53,11 @@
 use abp_sim::experiments::density_error;
 use abp_sim::experiments::overlap_bound::BoundConfig;
 use abp_sim::progress::{Ctx, Fanout, MetricsRecorder, Probe, ProgressProbe};
-use abp_sim::runner::resolve_threads;
+use abp_sim::runner::{resolve_threads, RunPolicy};
 use abp_sim::{figures, AlgorithmKind, Figure, SimConfig, SweepCheckpoint, TraceProbe};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// On-disk format of the `--trace` file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +76,8 @@ struct Options {
     noise: f64,
     beacons: usize,
     out: Option<PathBuf>,
+    retry: u32,
+    trial_timeout: Option<Duration>,
     progress: bool,
     metrics_json: Option<PathBuf>,
     checkpoint: Option<PathBuf>,
@@ -76,11 +88,36 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
-     solspace|multilat|batch|duel|localizers|heatmap|all> \
+     faults|solspace|multilat|batch|duel|localizers|heatmap|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
+     [--retry N] [--trial-timeout DUR] \
      [--progress] [--metrics-json PATH] [--checkpoint PATH] \
      [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
+}
+
+/// Parses a human-friendly duration: a positive number with an `s`
+/// (seconds) or `ms` (milliseconds) suffix, e.g. `30s`, `2.5s`, `500ms`.
+/// Zero, negatives, and bare numbers are rejected up front so a typo
+/// fails before any multi-minute computation starts.
+fn parse_duration(flag: &str, raw: &str) -> Result<Duration, String> {
+    let bad = || format!("{flag}: expected a duration like 30s or 500ms, got {raw}");
+    let (digits, scale) = if let Some(v) = raw.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = raw.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        return Err(bad());
+    };
+    let value: f64 = digits.parse().map_err(|_| bad())?;
+    let seconds = value * scale;
+    if !seconds.is_finite() || seconds <= 0.0 {
+        return Err(format!("{flag} must be positive, got {raw}"));
+    }
+    if seconds > 86_400.0 * 365.0 {
+        return Err(format!("{flag}: {raw} is longer than a year"));
+    }
+    Ok(Duration::from_secs_f64(seconds))
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -93,6 +130,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut noise = 0.0;
     let mut beacons = 40usize;
     let mut out = None;
+    let mut retry = 0u32;
+    let mut trial_timeout = None;
     let mut progress = false;
     let mut metrics_json = None;
     let mut checkpoint = None;
@@ -146,6 +185,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--beacons: {e}"))?
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--retry" => {
+                let raw = value("--retry")?;
+                let n = raw.parse::<u32>().map_err(|e| format!("--retry: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "--retry must be at least 1 (omit the flag to disable retries)".into(),
+                    );
+                }
+                retry = n;
+            }
+            "--trial-timeout" => {
+                trial_timeout = Some(parse_duration(
+                    "--trial-timeout",
+                    &value("--trial-timeout")?,
+                )?)
+            }
             "--progress" => progress = true,
             "--metrics-json" => metrics_json = Some(PathBuf::from(value("--metrics-json")?)),
             "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
@@ -208,6 +263,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         noise,
         beacons,
         out,
+        retry,
+        trial_timeout,
         progress,
         metrics_json,
         checkpoint,
@@ -333,7 +390,21 @@ fn run(opts: &Options) -> Result<(), String> {
         probes.push(b);
     }
     let fanout = Fanout::new(probes);
-    let mut ctx = Ctx::new(&fanout);
+    if let (Some(path), Some(c)) = (&opts.checkpoint, &checkpoint) {
+        let open = c.opened();
+        fanout.checkpoint_opened(path, &open);
+        // The progress probe already narrates surprising opens; without it,
+        // still tell the user when an existing file was set aside or held
+        // damaged entries, so silent recomputation never looks like resume.
+        if !opts.progress && (open.is_ignored() || open.quarantined() > 0) {
+            eprintln!("checkpoint {}: {open}", path.display());
+        }
+    }
+    let mut ctx = Ctx::new(&fanout).with_policy(RunPolicy {
+        retries: opts.retry,
+        trial_timeout: opts.trial_timeout,
+        ..RunPolicy::default()
+    });
     if let Some(c) = &checkpoint {
         ctx = ctx.with_checkpoint(c);
     }
@@ -461,6 +532,10 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
             announce("robustness");
             emit_pair(figures::robustness_with(cfg, opts.beacons, ctx), &opts.out)?;
         }
+        "faults" => {
+            announce("faults (beacon death, burst loss, GPS outages)");
+            emit_pair(figures::faults_with(cfg, opts.beacons, ctx), &opts.out)?;
+        }
         "solspace" => {
             announce("solspace");
             emit(
@@ -544,6 +619,8 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         noise: opts.noise,
                         beacons: opts.beacons,
                         out: opts.out.clone(),
+                        retry: opts.retry,
+                        trial_timeout: opts.trial_timeout,
                         progress: opts.progress,
                         metrics_json: opts.metrics_json.clone(),
                         checkpoint: opts.checkpoint.clone(),
@@ -657,6 +734,10 @@ mod tests {
                 "robustness",
                 vec!["robustness-exploration.csv", "robustness-gps.csv"],
             ),
+            (
+                "faults",
+                vec!["robustness-failure.csv", "robustness-burst.csv"],
+            ),
         ];
         for (cmd, files) in &commands_and_files {
             let mut o = parse(&[cmd, "--preset", "tiny", "--trials", "2"]).unwrap();
@@ -735,6 +816,65 @@ mod tests {
         assert!(err.contains("--seed"), "got: {err}");
         assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
         assert!(parse(&["fig4", "--seed", "dead_beef"]).is_err());
+    }
+
+    #[test]
+    fn retry_and_trial_timeout_flags_parse() {
+        let o = parse(&["faults", "--retry", "3", "--trial-timeout", "30s"]).unwrap();
+        assert_eq!(o.retry, 3);
+        assert_eq!(o.trial_timeout, Some(Duration::from_secs(30)));
+        let o = parse(&["fig4", "--trial-timeout", "500ms"]).unwrap();
+        assert_eq!(o.trial_timeout, Some(Duration::from_millis(500)));
+        let o = parse(&["fig4", "--trial-timeout", "2.5s"]).unwrap();
+        assert_eq!(o.trial_timeout, Some(Duration::from_millis(2500)));
+        // Defaults: supervision off.
+        let o = parse(&["fig4"]).unwrap();
+        assert_eq!(o.retry, 0);
+        assert_eq!(o.trial_timeout, None);
+    }
+
+    #[test]
+    fn rejects_zero_retry() {
+        let err = parse(&["fig4", "--retry", "0"]).unwrap_err();
+        assert!(err.contains("--retry"), "got: {err}");
+        assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+        assert!(parse(&["fig4", "--retry", "-1"]).is_err());
+        assert!(parse(&["fig4", "--retry", "two"]).is_err());
+        assert!(parse(&["fig4", "--retry"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn rejects_nonsense_trial_timeout() {
+        for bad in [
+            "0s", "0ms", "-5s", "10", "nan s", "nans", "infs", "fast", "1e300s",
+        ] {
+            let err = parse(&["fig4", "--trial-timeout", bad])
+                .map(|_| ())
+                .expect_err(&format!("--trial-timeout {bad} must be rejected"));
+            assert!(err.contains("--trial-timeout"), "got: {err}");
+            assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
+        }
+    }
+
+    /// A healthy run is bit-identical with and without the supervised
+    /// engine: attempt 0 re-derives exactly the plain trial seed, so
+    /// turning on `--retry`/`--trial-timeout` cannot move any number.
+    #[test]
+    fn supervised_healthy_run_matches_plain_csv() {
+        let dir = std::env::temp_dir().join(format!("abp-cli-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (sub, extra) in [("plain", &[][..]), ("supervised", &["--retry", "2"][..])] {
+            let mut words = vec!["fig4", "--preset", "tiny", "--trials", "2"];
+            words.extend_from_slice(extra);
+            let mut o = parse(&words).unwrap();
+            o.cfg.beacon_counts = vec![30, 120];
+            o.out = Some(dir.join(sub));
+            run(&o).unwrap();
+        }
+        let plain = std::fs::read_to_string(dir.join("plain/fig4.csv")).unwrap();
+        let supervised = std::fs::read_to_string(dir.join("supervised/fig4.csv")).unwrap();
+        assert_eq!(plain, supervised, "retry policy changed a healthy run");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

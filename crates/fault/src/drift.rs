@@ -1,0 +1,116 @@
+//! Drifting noise-factor ramps.
+//!
+//! The paper's propagation noise is *static in time*: the noise factor
+//! `F` chosen for a run never changes while the experiment executes
+//! (§4.1), and §6 flags time-varying propagation as future work. This
+//! module models the slow component of that variation — the environment
+//! drifting between the "before" survey and the "after" re-survey
+//! (weather fronts, vegetation moisture, diurnal temperature) — as a
+//! multiplicative ramp on the noise factor indexed by *epoch*:
+//!
+//! ```text
+//! multiplier(epoch) = min(1 + ramp * (epoch + phase), cap)
+//! ```
+//!
+//! where `phase ∈ [0, 1)` is hashed from the trial seed so different
+//! trials start at different points of the drift cycle, yet every replay
+//! of a trial sees the same ramp.
+
+use crate::{mix, unit};
+use serde::{Deserialize, Serialize};
+
+/// Declarative drift parameters for a [`crate::FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftPlan {
+    /// Additive growth of the noise multiplier per epoch (`>= 0`).
+    pub ramp_per_epoch: f64,
+    /// Upper bound on the multiplier (keeps effective noise sane).
+    pub cap: f64,
+}
+
+impl DriftPlan {
+    /// Folds the plan's parameters into a fingerprint hash.
+    pub(crate) fn fingerprint(&self, h: u64) -> u64 {
+        let h = mix(h, 0x4452_4654); // "DRFT"
+        let h = mix(h, self.ramp_per_epoch.to_bits());
+        mix(h, self.cap.to_bits())
+    }
+}
+
+/// A compiled drift realization for one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftSchedule {
+    phase: f64,
+    plan: DriftPlan,
+}
+
+impl DriftSchedule {
+    /// Compiles `plan` against a per-trial seed.
+    pub fn new(seed: u64, plan: DriftPlan) -> Self {
+        DriftSchedule {
+            phase: unit(mix(seed, 0x0D21_F007)),
+            plan,
+        }
+    }
+
+    /// Multiplier to apply to the configured noise factor at `epoch`.
+    ///
+    /// Always `>= 1` (drift degrades, never improves, the channel) and
+    /// capped by the plan so the effective noise factor stays physical.
+    pub fn noise_multiplier(&self, epoch: u64) -> f64 {
+        let m = 1.0 + self.plan.ramp_per_epoch * (epoch as f64 + self.phase);
+        m.min(self.plan.cap.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> DriftPlan {
+        DriftPlan {
+            ramp_per_epoch: 0.2,
+            cap: 1.5,
+        }
+    }
+
+    #[test]
+    fn replay_is_identical() {
+        let a = DriftSchedule::new(11, plan());
+        let b = DriftSchedule::new(11, plan());
+        for e in 0..10 {
+            assert_eq!(a.noise_multiplier(e), b.noise_multiplier(e));
+        }
+    }
+
+    #[test]
+    fn ramp_is_monotone_until_capped() {
+        let s = DriftSchedule::new(3, plan());
+        let m0 = s.noise_multiplier(0);
+        let m1 = s.noise_multiplier(1);
+        let m9 = s.noise_multiplier(9);
+        assert!(m0 >= 1.0);
+        assert!(m1 > m0);
+        assert!((m9 - 1.5).abs() < 1e-12, "cap should bind by epoch 9");
+    }
+
+    #[test]
+    fn phase_varies_with_seed() {
+        let a = DriftSchedule::new(1, plan());
+        let b = DriftSchedule::new(2, plan());
+        assert_ne!(a.noise_multiplier(0), b.noise_multiplier(0));
+    }
+
+    #[test]
+    fn zero_ramp_is_identity() {
+        let s = DriftSchedule::new(
+            9,
+            DriftPlan {
+                ramp_per_epoch: 0.0,
+                cap: 2.0,
+            },
+        );
+        assert_eq!(s.noise_multiplier(0), 1.0);
+        assert_eq!(s.noise_multiplier(7), 1.0);
+    }
+}

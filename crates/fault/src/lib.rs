@@ -1,0 +1,87 @@
+//! Deterministic fault injection for the beacon-placement pipeline.
+//!
+//! The paper evaluates placement in a *healthy* world: every beacon stays
+//! up, the channel noise is static in time, and the survey agent always
+//! knows where it is. Section 6 names the missing pieces — beacon
+//! self-scheduling (beacons that sleep and wake), time-varying
+//! propagation, and imperfect surveying — as future work. This crate
+//! supplies those failure modes as *injectable faults* so the rest of the
+//! workspace can measure how gracefully localization and placement
+//! degrade.
+//!
+//! # Design
+//!
+//! A declarative [`FaultPlan`] describes *which* faults exist and how
+//! intense they are. Calling [`FaultPlan::compile`] with a trial seed
+//! produces a [`FaultSchedule`]: a concrete, queryable realization of the
+//! plan for one Monte-Carlo trial. Every answer a schedule gives — is
+//! beacon 17 alive at epoch 1? does waypoint 203 fall in a GPS outage?
+//! what fraction of this link's beacon messages survived the current loss
+//! burst? — is a pure function of `(trial seed, plan, query)`, derived
+//! through [`abp_geom::splitmix64`] chains with **no mutable state and no
+//! external RNG**. Two compilations from the same seed are
+//! indistinguishable, which keeps faulty sweeps bit-for-bit replayable
+//! and therefore checkpoint/resume-compatible.
+//!
+//! The four fault families:
+//!
+//! | Module | Fault | Paper motivation |
+//! |---|---|---|
+//! | [`mortality`] | permanent beacon death + duty-cycle flapping with revival | §6 beacon self-scheduling |
+//! | [`gilbert`] | correlated message-loss bursts (Gilbert–Elliott on/off channel) | §6 time-varying propagation |
+//! | [`gps`] | survey-agent GPS outage windows (dropped or biased samples) | §5 measurement methodology |
+//! | [`drift`] | noise-factor ramps that grow across epochs | §6 time-varying propagation |
+//!
+//! Radio-facing faults (mortality + burst loss) are layered over any base
+//! [`abp_radio::Propagation`] model by [`FaultyRadio`], so consumers keep
+//! talking to the same trait object they always did.
+//!
+//! # Example
+//!
+//! ```
+//! use abp_fault::{FaultPlan, MortalityPlan};
+//!
+//! let plan = FaultPlan {
+//!     mortality: Some(MortalityPlan { death_rate: 0.2, flap_rate: 0.1, duty_cycle: 0.5 }),
+//!     ..FaultPlan::none()
+//! };
+//! let schedule = plan.compile(0xA11CE);
+//! // Replayable: recompiling from the same seed answers identically.
+//! assert_eq!(schedule.is_alive(7, 0), plan.compile(0xA11CE).is_alive(7, 0));
+//! // A permanently dead beacon stays dead at every epoch.
+//! let dead: Vec<u64> = (0..50).filter(|&b| !schedule.is_alive(b, 0) && !schedule.is_alive(b, 1)).collect();
+//! assert!(!dead.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod gilbert;
+pub mod gps;
+pub mod mortality;
+pub mod plan;
+
+pub use drift::{DriftPlan, DriftSchedule};
+pub use gilbert::{BurstPlan, BurstSchedule, GilbertElliott};
+pub use gps::{GpsFault, GpsOutage, GpsOutagePlan};
+pub use mortality::{MortalityPlan, MortalitySchedule};
+pub use plan::{FaultPlan, FaultSchedule, FaultyRadio};
+
+/// Folds a label and a value into a running splitmix64 hash.
+///
+/// Shared by the plan fingerprint and the per-family seed derivations so
+/// every stream is independent but reproducible.
+#[inline]
+pub(crate) fn mix(h: u64, w: u64) -> u64 {
+    abp_geom::splitmix64(h ^ w)
+}
+
+/// Maps a 64-bit hash to a uniform value in `[0, 1)`.
+///
+/// Uses the top 53 bits so the result is exactly representable and
+/// platform-independent.
+#[inline]
+pub(crate) fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}

@@ -1,0 +1,164 @@
+//! Beacon mortality: permanent death and duty-cycle flapping.
+//!
+//! The paper assumes every placed beacon transmits forever. Its §6 names
+//! *beacon self-scheduling* — beacons that sleep to save energy — as
+//! future work. This module models the two ends of that spectrum:
+//!
+//! * **permanent death**: a beacon fails at deployment time and never
+//!   transmits (battery dead on arrival, crushed radio);
+//! * **flapping**: a beacon duty-cycles, so it is alive in some epochs
+//!   and asleep in others, with *revival* — a beacon dark in epoch `e`
+//!   may well be back in epoch `e + 1`.
+//!
+//! Whether a given beacon is dead, a flapper, or healthy — and, for a
+//! flapper, which epochs it is awake in — is a pure hash of the schedule
+//! seed, the beacon id, and the epoch. No state, no iteration order
+//! dependence, identical on every replay.
+
+use crate::{mix, unit};
+use serde::{Deserialize, Serialize};
+
+/// Declarative mortality parameters (see [`MortalitySchedule`] for the
+/// compiled, queryable form).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MortalityPlan {
+    /// Probability that a beacon is permanently dead, in `[0, 1]`.
+    pub death_rate: f64,
+    /// Probability that a *surviving* beacon duty-cycles, in `[0, 1]`.
+    pub flap_rate: f64,
+    /// Fraction of epochs a flapping beacon is awake, in `[0, 1]`.
+    pub duty_cycle: f64,
+}
+
+impl MortalityPlan {
+    /// A plan where every beacon is permanently healthy.
+    pub const fn healthy() -> Self {
+        MortalityPlan {
+            death_rate: 0.0,
+            flap_rate: 0.0,
+            duty_cycle: 1.0,
+        }
+    }
+
+    /// Folds the plan's parameters into a fingerprint hash.
+    pub(crate) fn fingerprint(&self, h: u64) -> u64 {
+        let h = mix(h, 0x4D4F_5254); // "MORT"
+        let h = mix(h, self.death_rate.to_bits());
+        let h = mix(h, self.flap_rate.to_bits());
+        mix(h, self.duty_cycle.to_bits())
+    }
+}
+
+/// A compiled mortality realization for one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MortalitySchedule {
+    seed: u64,
+    plan: MortalityPlan,
+}
+
+impl MortalitySchedule {
+    /// Compiles `plan` against a per-trial seed.
+    pub fn new(seed: u64, plan: MortalityPlan) -> Self {
+        MortalitySchedule { seed, plan }
+    }
+
+    /// Whether beacon `tx` is transmitting during `epoch`.
+    ///
+    /// Permanent death dominates flapping: a dead beacon is dead at every
+    /// epoch. A flapping beacon's awake/asleep pattern is re-drawn per
+    /// epoch, which is what gives revival — unlike permanent death, being
+    /// dark in one epoch says nothing about the next.
+    pub fn is_alive(&self, tx: u64, epoch: u64) -> bool {
+        let per_beacon = mix(self.seed, mix(0x0DEA_D001, tx));
+        if unit(per_beacon) < self.plan.death_rate {
+            return false;
+        }
+        let flapper = mix(self.seed, mix(0x0F1A_9002, tx));
+        if unit(flapper) < self.plan.flap_rate {
+            let awake = mix(per_beacon, mix(0x0A3A_6003, epoch));
+            return unit(awake) < self.plan.duty_cycle;
+        }
+        true
+    }
+
+    /// Fraction of `n` beacon ids alive at `epoch` (diagnostic helper).
+    pub fn alive_fraction(&self, n: u64, epoch: u64) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        let alive = (0..n).filter(|&tx| self.is_alive(tx, epoch)).count();
+        alive as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> MortalityPlan {
+        MortalityPlan {
+            death_rate: 0.3,
+            flap_rate: 0.4,
+            duty_cycle: 0.5,
+        }
+    }
+
+    #[test]
+    fn replay_is_identical() {
+        let a = MortalitySchedule::new(99, plan());
+        let b = MortalitySchedule::new(99, plan());
+        for tx in 0..200 {
+            for epoch in 0..4 {
+                assert_eq!(a.is_alive(tx, epoch), b.is_alive(tx, epoch));
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_death_never_revives() {
+        let s = MortalitySchedule::new(7, plan());
+        let dead: Vec<u64> = (0..500).filter(|&tx| !s.is_alive(tx, 0)).collect();
+        assert!(!dead.is_empty(), "death_rate 0.3 should kill someone");
+        // Beacons dark at *every* epoch exist (the permanently dead);
+        // whichever die at epoch 0 due to permanent death stay dead.
+        let always_dead = (0..500u64)
+            .filter(|&tx| (0..8).all(|e| !s.is_alive(tx, e)))
+            .count();
+        assert!(always_dead > 0);
+    }
+
+    #[test]
+    fn flappers_revive_across_epochs() {
+        let s = MortalitySchedule::new(7, plan());
+        // Some beacon must be dark in one epoch and awake in another.
+        let revived = (0..500u64).any(|tx| !s.is_alive(tx, 0) && s.is_alive(tx, 1));
+        assert!(revived, "duty-cycle flapping must allow revival");
+    }
+
+    #[test]
+    fn healthy_plan_keeps_everyone_alive() {
+        let s = MortalitySchedule::new(1234, MortalityPlan::healthy());
+        assert!((0..300u64).all(|tx| (0..4).all(|e| s.is_alive(tx, e))));
+        assert_eq!(s.alive_fraction(300, 0), 1.0);
+    }
+
+    #[test]
+    fn death_rate_tracks_alive_fraction() {
+        let p = MortalityPlan {
+            death_rate: 0.5,
+            flap_rate: 0.0,
+            duty_cycle: 1.0,
+        };
+        let s = MortalitySchedule::new(42, p);
+        let f = s.alive_fraction(2000, 0);
+        assert!((f - 0.5).abs() < 0.05, "alive fraction {f} far from 0.5");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MortalitySchedule::new(1, plan());
+        let b = MortalitySchedule::new(2, plan());
+        let differs = (0..200u64).any(|tx| a.is_alive(tx, 0) != b.is_alive(tx, 0));
+        assert!(differs);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based determinism tests for fault schedules.
+//!
+//! The contract the rest of the workspace leans on: compiling the same
+//! `FaultPlan` from the same trial seed yields *identical* fault
+//! schedules, no matter how, when, or from which thread they are
+//! queried. Checkpoint/resume of faulty sweeps is only sound because of
+//! this.
+
+use abp_fault::{BurstPlan, DriftPlan, FaultPlan, GpsOutagePlan, MortalityPlan};
+use abp_geom::Point;
+use abp_radio::{IdealDisk, Propagation, TxId};
+use proptest::prelude::*;
+
+fn plan_from(
+    death: f64,
+    flap: f64,
+    duty: f64,
+    intensity: f64,
+    outage: f64,
+    ramp: f64,
+) -> FaultPlan {
+    FaultPlan {
+        mortality: Some(MortalityPlan {
+            death_rate: death,
+            flap_rate: flap,
+            duty_cycle: duty,
+        }),
+        burst: Some(BurstPlan::paper(intensity)),
+        gps: Some(GpsOutagePlan {
+            outage_fraction: outage,
+            window: 6,
+            bias_meters: if outage > 0.5 { 2.0 } else { 0.0 },
+        }),
+        drift: Some(DriftPlan {
+            ramp_per_epoch: ramp,
+            cap: 1.5,
+        }),
+    }
+}
+
+proptest! {
+    #[test]
+    fn same_seed_same_schedule(
+        seed in any::<u64>(),
+        death in 0.0..0.9f64,
+        flap in 0.0..0.9f64,
+        duty in 0.1..1.0f64,
+        intensity in 0.0..0.9f64,
+        outage in 0.0..0.9f64,
+        ramp in 0.0..0.5f64,
+    ) {
+        let plan = plan_from(death, flap, duty, intensity, outage, ramp);
+        let a = plan.compile(seed);
+        let b = plan.compile(seed);
+        prop_assert_eq!(a, b);
+        // Queries agree too, including through the radio wrapper.
+        let base = IdealDisk::new(15.0);
+        let wa = a.wrap(&base, 1);
+        let wb = b.wrap(&base, 1);
+        for tx in 0..32u64 {
+            prop_assert_eq!(a.is_alive(tx, 0), b.is_alive(tx, 0));
+            prop_assert_eq!(a.is_alive(tx, 1), b.is_alive(tx, 1));
+            let tx_pos = Point::new((tx % 8) as f64 * 12.0, (tx / 8) as f64 * 12.0);
+            let rx = Point::new(tx as f64, 90.0 - tx as f64);
+            prop_assert_eq!(
+                wa.connected(TxId(tx), tx_pos, rx),
+                wb.connected(TxId(tx), tx_pos, rx)
+            );
+        }
+        for w in 0..64usize {
+            prop_assert_eq!(a.gps_fault(w), b.gps_fault(w));
+        }
+        prop_assert_eq!(a.noise_multiplier(0).to_bits(), b.noise_multiplier(0).to_bits());
+        prop_assert_eq!(a.noise_multiplier(1).to_bits(), b.noise_multiplier(1).to_bits());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_parameter_sensitive(
+        death in 0.01..0.9f64,
+        intensity in 0.01..0.9f64,
+    ) {
+        let plan = plan_from(death, 0.1, 0.5, intensity, 0.2, 0.1);
+        prop_assert_eq!(plan.fingerprint(), plan.fingerprint());
+        let other = plan_from(death + 0.05, 0.1, 0.5, intensity, 0.2, 0.1);
+        prop_assert_ne!(plan.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn noop_wrapper_matches_base_model(seed in any::<u64>()) {
+        let schedule = FaultPlan::none().compile(seed);
+        let base = IdealDisk::new(15.0);
+        let wrapped = schedule.wrap(&base, 0);
+        for i in 0..64u64 {
+            let tx = TxId(i % 4);
+            let tx_pos = Point::new(30.0, 30.0);
+            let rx = Point::new((i % 8) as f64 * 7.0, (i / 8) as f64 * 7.0);
+            prop_assert_eq!(
+                wrapped.connected(tx, tx_pos, rx),
+                base.connected(tx, tx_pos, rx)
+            );
+            prop_assert_eq!(wrapped.max_range(tx, tx_pos), base.max_range(tx, tx_pos));
+        }
+    }
+}

@@ -87,6 +87,53 @@ impl Fix {
     }
 }
 
+/// The typed outcome of a connectivity-aware localization attempt.
+///
+/// Produced by [`Localizer::try_localize`]. Under fault injection
+/// (`abp-fault`) beacons die and links drop, so an estimator can find
+/// itself below the beacon count its method needs. Rather than panicking
+/// — or silently falling back and letting the caller mistake a crude
+/// estimate for a full-method one — the outcome says *which* happened,
+/// while still carrying a best-effort [`Fix`] in both cases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Localization {
+    /// Enough beacons were heard for the estimator's full method.
+    Full(Fix),
+    /// Connectivity fell below [`Localizer::min_beacons`]: `heard` says
+    /// how many beacons were available, and `fallback` is the graceful
+    /// degraded estimate (for example a centroid instead of a
+    /// multilateration solve, or the unheard-policy position).
+    Degraded {
+        /// How many beacons were heard — fewer than the estimator needs.
+        heard: usize,
+        /// The best-effort estimate produced anyway.
+        fallback: Fix,
+    },
+}
+
+impl Localization {
+    /// The fix, whether full-method or degraded.
+    pub fn fix(&self) -> Fix {
+        match *self {
+            Localization::Full(fix) => fix,
+            Localization::Degraded { fallback, .. } => fallback,
+        }
+    }
+
+    /// How many beacons were heard.
+    pub fn heard(&self) -> usize {
+        match *self {
+            Localization::Full(fix) => fix.heard,
+            Localization::Degraded { heard, .. } => heard,
+        }
+    }
+
+    /// Whether connectivity fell below the estimator's minimum.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Localization::Degraded { .. })
+    }
+}
+
 /// A localization algorithm: estimates a client's position from the
 /// beacons it hears at `at`.
 ///
@@ -101,5 +148,37 @@ pub trait Localizer {
     /// returned.
     fn unheard_policy(&self) -> UnheardPolicy {
         UnheardPolicy::Exclude
+    }
+
+    /// The minimum number of heard beacons the estimator's *full* method
+    /// requires. Below this, [`Localizer::try_localize`] reports
+    /// [`Localization::Degraded`]. Proximity estimators work from a
+    /// single beacon; geometric solvers override this (multilateration
+    /// needs three ranges in the plane).
+    fn min_beacons(&self) -> usize {
+        1
+    }
+
+    /// Localizes with typed degradation instead of a silent fallback.
+    ///
+    /// Never panics on poor connectivity: when fewer than
+    /// [`Localizer::min_beacons`] beacons are heard the result is
+    /// [`Localization::Degraded`] carrying whatever graceful estimate
+    /// [`Localizer::localize`] produced for the same inputs.
+    fn try_localize(
+        &self,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        at: Point,
+    ) -> Localization {
+        let fix = self.localize(field, model, at);
+        if fix.heard < self.min_beacons() {
+            Localization::Degraded {
+                heard: fix.heard,
+                fallback: fix,
+            }
+        } else {
+            Localization::Full(fix)
+        }
     }
 }

@@ -169,6 +169,15 @@ impl Localizer for MultilaterationLocalizer {
     fn unheard_policy(&self) -> UnheardPolicy {
         self.policy
     }
+
+    /// Multilateration solves for two unknowns from range residuals: it
+    /// needs three non-collinear beacons. Below that the centroid
+    /// fallback above is what `localize` returns, and
+    /// [`Localizer::try_localize`] reports it as
+    /// [`Degraded`](crate::Localization::Degraded).
+    fn min_beacons(&self) -> usize {
+        3
+    }
 }
 
 impl fmt::Display for MultilaterationLocalizer {
@@ -275,6 +284,37 @@ mod tests {
         let cen = CentroidLocalizer::new(UnheardPolicy::TerrainCenter).localize(&field, &model, at);
         assert_eq!(ml.estimate, cen.estimate);
         assert_eq!(ml.heard, 2);
+    }
+
+    #[test]
+    fn try_localize_types_the_degradation() {
+        use crate::Localization;
+        let loc = MultilaterationLocalizer::new(0.0, 1, UnheardPolicy::TerrainCenter);
+        let model = IdealDisk::new(15.0);
+        // Two heard beacons: below the three-range minimum → Degraded,
+        // carrying the centroid fallback rather than panicking.
+        let two = BeaconField::from_positions(
+            terrain(),
+            [Point::new(45.0, 50.0), Point::new(55.0, 50.0)],
+        );
+        let at = Point::new(50.0, 50.0);
+        match loc.try_localize(&two, &model, at) {
+            Localization::Degraded { heard, fallback } => {
+                assert_eq!(heard, 2);
+                assert_eq!(fallback.estimate, Some(Point::new(50.0, 50.0)));
+            }
+            Localization::Full(_) => panic!("two beacons must degrade a multilateration fix"),
+        }
+        // Zero heard beacons: degraded with the unheard-policy estimate.
+        let none = loc.try_localize(&two, &model, Point::new(5.0, 5.0));
+        assert!(none.is_degraded());
+        assert_eq!(none.heard(), 0);
+        assert_eq!(none.fix().estimate, Some(Point::new(50.0, 50.0)));
+        // A full triangle is a full-method fix.
+        let model_wide = IdealDisk::new(40.0);
+        let full = loc.try_localize(&triangle_field(), &model_wide, at);
+        assert!(!full.is_degraded());
+        assert_eq!(full.heard(), 3);
     }
 
     #[test]

@@ -15,16 +15,150 @@
 //! (stale results must never leak into a differently-parameterized run).
 //! Saves go through a temp file + atomic rename, so an interrupt mid-save
 //! leaves the previous checkpoint intact.
+//!
+//! Two defenses against silent data problems:
+//!
+//! * every entry carries a CRC32 of its key + value, so a torn or
+//!   bit-rotted blob is **quarantined** — skipped and recomputed by the
+//!   resumed sweep — instead of poisoning a resumed figure, while intact
+//!   entries around it still load;
+//! * [`SweepCheckpoint::opened`] reports exactly what `open` found
+//!   ([`CheckpointOpen`]), and the run loop surfaces it through the
+//!   `Probe::checkpoint_opened` event, so an operator can always tell a
+//!   resumed run from one that silently started fresh.
 
 use bytes::{Buf, BufMut, BytesMut};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// `"ABPC"` — adaptive beacon placement checkpoint.
 const MAGIC: u32 = 0x4142_5043;
-const VERSION: u16 = 1;
+/// Version 2 added the per-entry CRC32; version-1 files are reported as
+/// [`CheckpointOpen::IgnoredVersion`] and regenerated.
+const VERSION: u16 = 2;
+
+/// IEEE CRC-32 (reflected polynomial 0xEDB88320), table-driven.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC32 over an entry's key and value together.
+fn entry_crc(key: &str, value: &[u8]) -> u32 {
+    let crc = crc32_update(0xFFFF_FFFF, key.as_bytes());
+    crc32_update(crc, value) ^ 0xFFFF_FFFF
+}
+
+/// What [`SweepCheckpoint::open`] found at the path.
+///
+/// Anything other than `Created` / a clean `Resumed` deserves operator
+/// attention: an `Ignored*` variant means an existing file was set aside
+/// and the run will recompute everything, and a non-zero `quarantined`
+/// count means some entries failed their CRC and will be recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointOpen {
+    /// No file existed; a fresh checkpoint will be written.
+    Created,
+    /// The file matched and its intact entries were loaded.
+    Resumed {
+        /// Entries that passed their CRC and were loaded.
+        entries: usize,
+        /// Entries quarantined for CRC mismatch or torn encoding; the
+        /// sweep recomputes them.
+        quarantined: usize,
+    },
+    /// The file has a different format version; it was ignored.
+    IgnoredVersion {
+        /// The version found in the file.
+        found: u16,
+    },
+    /// The file was produced by a differently-parameterized run; it was
+    /// ignored.
+    IgnoredFingerprint {
+        /// The fingerprint found in the file.
+        found: u64,
+    },
+    /// The file is not a checkpoint at all (bad magic or truncated
+    /// header); it was ignored.
+    IgnoredCorrupt,
+}
+
+impl CheckpointOpen {
+    /// Whether an existing file was set aside rather than resumed.
+    pub fn is_ignored(&self) -> bool {
+        matches!(
+            self,
+            CheckpointOpen::IgnoredVersion { .. }
+                | CheckpointOpen::IgnoredFingerprint { .. }
+                | CheckpointOpen::IgnoredCorrupt
+        )
+    }
+
+    /// Number of entries quarantined for failing their CRC.
+    pub fn quarantined(&self) -> usize {
+        match *self {
+            CheckpointOpen::Resumed { quarantined, .. } => quarantined,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for CheckpointOpen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CheckpointOpen::Created => f.write_str("created (no existing file)"),
+            CheckpointOpen::Resumed {
+                entries,
+                quarantined: 0,
+            } => {
+                write!(f, "resumed ({entries} entries)")
+            }
+            CheckpointOpen::Resumed {
+                entries,
+                quarantined,
+            } => write!(
+                f,
+                "resumed ({entries} entries, {quarantined} quarantined by CRC and recomputing)"
+            ),
+            CheckpointOpen::IgnoredVersion { found } => write!(
+                f,
+                "existing file ignored: format version {found} (expected {VERSION}); starting fresh"
+            ),
+            CheckpointOpen::IgnoredFingerprint { found } => write!(
+                f,
+                "existing file ignored: config fingerprint {found:#018x} does not match; starting fresh"
+            ),
+            CheckpointOpen::IgnoredCorrupt => {
+                f.write_str("existing file ignored: not a readable checkpoint; starting fresh")
+            }
+        }
+    }
+}
 
 /// A persistent map of completed sweep results, safe to share across
 /// worker threads.
@@ -32,6 +166,7 @@ const VERSION: u16 = 1;
 pub struct SweepCheckpoint {
     path: PathBuf,
     fingerprint: u64,
+    opened: CheckpointOpen,
     entries: Mutex<BTreeMap<String, Vec<u8>>>,
 }
 
@@ -40,21 +175,48 @@ impl SweepCheckpoint {
     /// with the given fingerprint.
     ///
     /// An existing file with a different fingerprint, an unknown version,
-    /// or corrupt contents is treated as absent: the run starts fresh and
-    /// overwrites it on the first save. Only real I/O errors (permissions,
-    /// directories, ...) are returned.
+    /// or a corrupt header is treated as absent: the run starts fresh and
+    /// overwrites it on the first save — and [`SweepCheckpoint::opened`]
+    /// records which of those happened so the caller can tell the
+    /// operator. Individual entries failing their CRC are quarantined
+    /// (dropped and recomputed) without discarding the rest of the file.
+    /// Only real I/O errors (permissions, directories, ...) are returned.
     pub fn open(path: impl Into<PathBuf>, fingerprint: u64) -> io::Result<Self> {
         let path = path.into();
-        let entries = match std::fs::read(&path) {
-            Ok(raw) => decode(&raw, fingerprint).unwrap_or_default(),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => BTreeMap::new(),
+        let (entries, opened) = match std::fs::read(&path) {
+            Ok(raw) => match decode(&raw, fingerprint) {
+                Decoded::Entries {
+                    entries,
+                    quarantined,
+                } => {
+                    let n = entries.len();
+                    (
+                        entries,
+                        CheckpointOpen::Resumed {
+                            entries: n,
+                            quarantined,
+                        },
+                    )
+                }
+                Decoded::Ignored(open) => (BTreeMap::new(), open),
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                (BTreeMap::new(), CheckpointOpen::Created)
+            }
             Err(e) => return Err(e),
         };
         Ok(SweepCheckpoint {
             path,
             fingerprint,
+            opened,
             entries: Mutex::new(entries),
         })
+    }
+
+    /// What [`SweepCheckpoint::open`] found (resumed, created, ignored,
+    /// quarantined entries).
+    pub fn opened(&self) -> CheckpointOpen {
+        self.opened
     }
 
     /// Number of stored entries.
@@ -97,9 +259,9 @@ impl SweepCheckpoint {
 
 fn encode(fingerprint: u64, entries: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(
-        16 + entries
+        22 + entries
             .iter()
-            .map(|(k, v)| k.len() + v.len() + 8)
+            .map(|(k, v)| k.len() + v.len() + 10)
             .sum::<usize>(),
     );
     buf.put_u32(MAGIC);
@@ -111,45 +273,96 @@ fn encode(fingerprint: u64, entries: &BTreeMap<String, Vec<u8>>) -> Vec<u8> {
         buf.put_slice(key.as_bytes());
         buf.put_u32(u32::try_from(value.len()).expect("checkpoint value under 4 GiB"));
         buf.put_slice(value);
+        buf.put_u32(entry_crc(key, value));
     }
     buf.freeze().to_vec()
 }
 
-fn decode(raw: &[u8], fingerprint: u64) -> Option<BTreeMap<String, Vec<u8>>> {
+/// Outcome of decoding a checkpoint file.
+enum Decoded {
+    /// Header matched; intact entries loaded, damaged ones counted.
+    Entries {
+        entries: BTreeMap<String, Vec<u8>>,
+        quarantined: usize,
+    },
+    /// The whole file was set aside for the stated reason.
+    Ignored(CheckpointOpen),
+}
+
+fn decode(raw: &[u8], fingerprint: u64) -> Decoded {
     let mut buf = raw;
     if buf.remaining() < 4 + 2 + 8 + 8 {
-        return None;
+        return Decoded::Ignored(CheckpointOpen::IgnoredCorrupt);
     }
-    if buf.get_u32() != MAGIC || buf.get_u16() != VERSION || buf.get_u64() != fingerprint {
-        return None;
+    if buf.get_u32() != MAGIC {
+        return Decoded::Ignored(CheckpointOpen::IgnoredCorrupt);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Decoded::Ignored(CheckpointOpen::IgnoredVersion { found: version });
+    }
+    let found = buf.get_u64();
+    if found != fingerprint {
+        return Decoded::Ignored(CheckpointOpen::IgnoredFingerprint { found });
     }
     let n = buf.get_u64();
     let mut entries = BTreeMap::new();
+    let mut quarantined = 0usize;
     for _ in 0..n {
+        // A torn tail (truncated mid-entry) quarantines the remainder as
+        // one damaged blob; everything decoded so far is kept.
         if buf.remaining() < 2 {
-            return None;
+            quarantined += 1;
+            return Decoded::Entries {
+                entries,
+                quarantined,
+            };
         }
         let klen = buf.get_u16() as usize;
         if buf.remaining() < klen {
-            return None;
+            quarantined += 1;
+            return Decoded::Entries {
+                entries,
+                quarantined,
+            };
         }
-        let key = String::from_utf8(buf[..klen].to_vec()).ok()?;
+        let key_bytes = buf[..klen].to_vec();
         buf = &buf[klen..];
         if buf.remaining() < 4 {
-            return None;
+            quarantined += 1;
+            return Decoded::Entries {
+                entries,
+                quarantined,
+            };
         }
         let vlen = buf.get_u32() as usize;
-        if buf.remaining() < vlen {
-            return None;
+        if buf.remaining() < vlen + 4 {
+            quarantined += 1;
+            return Decoded::Entries {
+                entries,
+                quarantined,
+            };
         }
         let value = buf[..vlen].to_vec();
         buf = &buf[vlen..];
-        entries.insert(key, value);
+        let stored_crc = buf.get_u32();
+        match String::from_utf8(key_bytes) {
+            Ok(key) if entry_crc(&key, &value) == stored_crc => {
+                entries.insert(key, value);
+            }
+            // Bit rot: the blob decodes structurally but its CRC (or key
+            // encoding) is wrong. Quarantine it and keep going — later
+            // entries are validated independently.
+            _ => quarantined += 1,
+        }
     }
     if buf.remaining() != 0 {
-        return None;
+        quarantined += 1;
     }
-    Some(entries)
+    Decoded::Entries {
+        entries,
+        quarantined,
+    }
 }
 
 #[cfg(test)]
@@ -169,12 +382,20 @@ mod tests {
         {
             let ckpt = SweepCheckpoint::open(&path, 42).unwrap();
             assert!(ckpt.is_empty());
+            assert_eq!(ckpt.opened(), CheckpointOpen::Created);
             ckpt.put("a/0", vec![1, 2, 3]).unwrap();
             ckpt.put("a/1", 7.5_f64.to_bits().to_be_bytes().to_vec())
                 .unwrap();
         }
         let ckpt = SweepCheckpoint::open(&path, 42).unwrap();
         assert_eq!(ckpt.len(), 2);
+        assert_eq!(
+            ckpt.opened(),
+            CheckpointOpen::Resumed {
+                entries: 2,
+                quarantined: 0
+            }
+        );
         assert_eq!(ckpt.get("a/0"), Some(vec![1, 2, 3]));
         let bits = u64::from_be_bytes(ckpt.get("a/1").unwrap().try_into().unwrap());
         assert_eq!(f64::from_bits(bits), 7.5);
@@ -183,7 +404,7 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_mismatch_starts_fresh() {
+    fn fingerprint_mismatch_starts_fresh_and_reports_it() {
         let path = tmp_path("fingerprint");
         let _ = std::fs::remove_file(&path);
         {
@@ -192,6 +413,11 @@ mod tests {
         }
         let stale = SweepCheckpoint::open(&path, 2).unwrap();
         assert!(stale.is_empty(), "stale entries must not be visible");
+        assert_eq!(
+            stale.opened(),
+            CheckpointOpen::IgnoredFingerprint { found: 1 }
+        );
+        assert!(stale.opened().is_ignored());
         // And writing under the new fingerprint replaces the file.
         stale.put("k2", vec![1]).unwrap();
         let reread = SweepCheckpoint::open(&path, 2).unwrap();
@@ -201,16 +427,82 @@ mod tests {
     }
 
     #[test]
+    fn version_mismatch_is_reported() {
+        let path = tmp_path("version");
+        // Hand-build a version-1 header (pre-CRC format).
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC.to_be_bytes());
+        raw.extend_from_slice(&1u16.to_be_bytes());
+        raw.extend_from_slice(&7u64.to_be_bytes());
+        raw.extend_from_slice(&0u64.to_be_bytes());
+        std::fs::write(&path, &raw).unwrap();
+        let ckpt = SweepCheckpoint::open(&path, 7).unwrap();
+        assert!(ckpt.is_empty());
+        assert_eq!(ckpt.opened(), CheckpointOpen::IgnoredVersion { found: 1 });
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn corrupt_file_is_ignored() {
         let path = tmp_path("corrupt");
         std::fs::write(&path, b"not a checkpoint").unwrap();
         let ckpt = SweepCheckpoint::open(&path, 0).unwrap();
         assert!(ckpt.is_empty());
-        // Truncated valid header is also rejected.
-        let valid = encode(0, &BTreeMap::from([("key".to_string(), vec![0; 100])]));
-        std::fs::write(&path, &valid[..valid.len() - 5]).unwrap();
+        assert_eq!(ckpt.opened(), CheckpointOpen::IgnoredCorrupt);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_quarantined_but_prior_entries_survive() {
+        let path = tmp_path("torn");
+        let entries = BTreeMap::from([
+            ("a".to_string(), vec![1u8; 10]),
+            ("b".to_string(), vec![2u8; 100]),
+        ]);
+        let valid = encode(0, &entries);
+        // Cut into the middle of entry "b" — a torn write.
+        std::fs::write(&path, &valid[..valid.len() - 30]).unwrap();
         let ckpt = SweepCheckpoint::open(&path, 0).unwrap();
-        assert!(ckpt.is_empty());
+        assert_eq!(ckpt.get("a"), Some(vec![1u8; 10]));
+        assert_eq!(ckpt.get("b"), None);
+        assert_eq!(
+            ckpt.opened(),
+            CheckpointOpen::Resumed {
+                entries: 1,
+                quarantined: 1
+            }
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_rot_quarantines_only_the_damaged_entry() {
+        let path = tmp_path("bitrot");
+        let entries = BTreeMap::from([
+            ("a".to_string(), vec![1, 2, 3]),
+            ("b".to_string(), vec![4, 5, 6]),
+        ]);
+        let mut raw = encode(0xF00D, &entries);
+        // Entry "a" is first (BTreeMap order). Layout: 22-byte header,
+        // then klen(2) + "a"(1) + vlen(4) → its value starts at 29.
+        raw[29] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let ckpt = SweepCheckpoint::open(&path, 0xF00D).unwrap();
+        assert_eq!(ckpt.get("a"), None, "rotted entry must be quarantined");
+        assert_eq!(ckpt.get("b"), Some(vec![4, 5, 6]), "intact entry must load");
+        assert_eq!(
+            ckpt.opened(),
+            CheckpointOpen::Resumed {
+                entries: 1,
+                quarantined: 1
+            }
+        );
+        // Recomputing the quarantined key repairs the file in place.
+        ckpt.put("a", vec![9, 9]).unwrap();
+        let healed = SweepCheckpoint::open(&path, 0xF00D).unwrap();
+        assert_eq!(healed.get("a"), Some(vec![9, 9]));
+        assert_eq!(healed.get("b"), Some(vec![4, 5, 6]));
+        assert_eq!(healed.opened().quarantined(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -220,6 +512,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let ckpt = SweepCheckpoint::open(&path, 0).unwrap();
         assert!(ckpt.is_empty());
+        assert_eq!(ckpt.opened(), CheckpointOpen::Created);
         assert_eq!(ckpt.path(), path.as_path());
     }
 }

@@ -8,12 +8,13 @@
 
 use crate::config::SimConfig;
 use crate::progress::{Ctx, TrialFailureReport};
-use crate::runner::parallel_try_map;
+use crate::runner::{parallel_try_map, supervised_try_map};
 use abp_geom::splitmix64;
 use abp_stats::{ConfidenceInterval, Welford};
 use abp_survey::ErrorMap;
 use bytes::{Buf, BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One density point of the error-vs-density curve.
@@ -99,10 +100,21 @@ pub fn run_sweep(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>) -> SweepOutcome {
 /// [`run_sweep`] with a custom trial function — the fault-injection seam:
 /// tests substitute a trial that panics at a chosen index and assert the
 /// sweep completes with the failure reported.
+///
+/// When `ctx.policy` is active the sweep runs on the supervised engine:
+/// failed attempts are retried with [`SimConfig::retry_seed`]-derived
+/// seeds after exponential backoff, and a watchdog abandons attempts
+/// exceeding the per-trial timeout (recorded as structured timeouts).
+/// Healthy trials always run attempt 0 with the plain trial seed, so a
+/// fault-free sweep is bit-identical under any policy.
 pub fn run_sweep_with<F>(cfg: &SimConfig, noise: f64, ctx: Ctx<'_>, trial: F) -> SweepOutcome
 where
-    F: Fn(&SimConfig, f64, usize, u64) -> TrialSample + Sync,
+    F: Fn(&SimConfig, f64, usize, u64) -> TrialSample + Send + Sync + 'static,
 {
+    // The supervised engine's workers are detached threads, so the trial
+    // function and config cross into `'static` land behind `Arc`s.
+    let trial = Arc::new(trial);
+    let shared_cfg = Arc::new(cfg.clone());
     let mut points = Vec::with_capacity(cfg.beacon_counts.len());
     let mut failures = Vec::new();
     for (di, &beacons) in cfg.beacon_counts.iter().enumerate() {
@@ -127,29 +139,64 @@ where
         }
         ctx.probe.sweep_start(EXPERIMENT, beacons, cfg.trials);
         let started = Instant::now();
-        let outcome = parallel_try_map(cfg.trials, cfg.threads, |t| {
-            let _span = abp_trace::span!("trial.density_error");
-            let begun = Instant::now();
-            let sample = trial(cfg, noise, beacons, cfg.trial_seed(di, t));
-            ctx.probe.trial_done(begun.elapsed());
-            sample
-        });
-        let sweep_failures: Vec<TrialFailureReport> = outcome
-            .failures
-            .into_iter()
-            .map(|f| TrialFailureReport {
-                experiment: EXPERIMENT,
-                density_index: di,
-                beacons,
-                trial: f.index,
-                seed: cfg.trial_seed(di, f.index),
-                message: f.message,
-            })
-            .collect();
+        let (samples, sweep_failures) = if ctx.policy.is_active() {
+            let worker_cfg = Arc::clone(&shared_cfg);
+            let worker_trial = Arc::clone(&trial);
+            let outcome = supervised_try_map(
+                cfg.trials,
+                cfg.threads,
+                ctx.policy,
+                move |t, attempt| {
+                    let _span = abp_trace::span!("trial.density_error");
+                    worker_trial(
+                        &worker_cfg,
+                        noise,
+                        beacons,
+                        worker_cfg.retry_seed(di, t, attempt),
+                    )
+                },
+                crate::progress::forward_trial_events(ctx.probe, EXPERIMENT, di, beacons),
+            );
+            let sweep_failures: Vec<TrialFailureReport> = outcome
+                .failures
+                .iter()
+                .map(|f| TrialFailureReport {
+                    experiment: EXPERIMENT,
+                    density_index: di,
+                    beacons,
+                    trial: f.index,
+                    seed: cfg.retry_seed(di, f.index, f.attempts.saturating_sub(1)),
+                    message: f.fault.to_string(),
+                })
+                .collect();
+            let samples: Vec<TrialSample> = outcome.successes.into_iter().map(|(_, s)| s).collect();
+            (samples, sweep_failures)
+        } else {
+            let outcome = parallel_try_map(cfg.trials, cfg.threads, |t| {
+                let _span = abp_trace::span!("trial.density_error");
+                let begun = Instant::now();
+                let sample = trial(cfg, noise, beacons, cfg.trial_seed(di, t));
+                ctx.probe.trial_done(begun.elapsed());
+                sample
+            });
+            let sweep_failures: Vec<TrialFailureReport> = outcome
+                .failures
+                .into_iter()
+                .map(|f| TrialFailureReport {
+                    experiment: EXPERIMENT,
+                    density_index: di,
+                    beacons,
+                    trial: f.index,
+                    seed: cfg.trial_seed(di, f.index),
+                    message: f.message,
+                })
+                .collect();
+            let samples: Vec<TrialSample> = outcome.successes.into_iter().map(|(_, s)| s).collect();
+            (samples, sweep_failures)
+        };
         for f in &sweep_failures {
             ctx.probe.trial_failed(f);
         }
-        let samples: Vec<TrialSample> = outcome.successes.into_iter().map(|(_, s)| s).collect();
         let point = aggregate(cfg, beacons, &samples);
         if let Some(ckpt) = ctx.checkpoint {
             if let Err(e) = ckpt.put(&key, encode_density_entry(&point, &sweep_failures)) {
@@ -418,6 +465,106 @@ mod tests {
             .map(|t| run_trial(&c, 0.0, 60, c.trial_seed(0, t)))
             .collect();
         assert_eq!(outcome.points[0], aggregate(&c, 60, &survivors));
+    }
+
+    #[test]
+    fn supervised_healthy_sweep_is_bit_identical_to_plain() {
+        use crate::runner::RunPolicy;
+        use std::time::Duration;
+        let mut c = cfg();
+        c.beacon_counts = vec![60];
+        c.trials = 8;
+        let plain = run_sweep(&c, 0.2, Ctx::noop());
+        let policy = RunPolicy {
+            retries: 3,
+            trial_timeout: Some(Duration::from_secs(120)),
+            backoff: Duration::from_millis(1),
+        };
+        let supervised = run_sweep(&c, 0.2, Ctx::noop().with_policy(policy));
+        assert_eq!(
+            plain.points, supervised.points,
+            "a fault-free sweep must not change under an active policy"
+        );
+        assert!(supervised.failures.is_empty());
+    }
+
+    #[test]
+    fn sweep_retries_flaky_trial_and_counts_it_exactly_once() {
+        use crate::runner::RunPolicy;
+        use std::time::Duration;
+        let mut c = cfg();
+        c.beacon_counts = vec![60];
+        c.trials = 12;
+        // Trial 5 panics on its first two attempts (identified by their
+        // derived seeds) and succeeds on the third.
+        let bad0 = c.retry_seed(0, 5, 0);
+        let bad1 = c.retry_seed(0, 5, 1);
+        let policy = RunPolicy {
+            retries: 2,
+            trial_timeout: None,
+            backoff: Duration::from_millis(1),
+        };
+        let outcome = run_sweep_with(
+            &c,
+            0.0,
+            Ctx::noop().with_policy(policy),
+            move |cfg, noise, beacons, seed| {
+                if seed == bad0 || seed == bad1 {
+                    panic!("flaky trial");
+                }
+                run_trial(cfg, noise, beacons, seed)
+            },
+        );
+        assert!(outcome.failures.is_empty(), "retries must absorb the fault");
+        // Expected statistics: all trials at their attempt-0 seeds except
+        // trial 5, which contributes its attempt-2 sample — exactly once.
+        let samples: Vec<TrialSample> = (0..12)
+            .map(|t| {
+                let seed = if t == 5 {
+                    c.retry_seed(0, 5, 2)
+                } else {
+                    c.trial_seed(0, t)
+                };
+                run_trial(&c, 0.0, 60, seed)
+            })
+            .collect();
+        assert_eq!(outcome.points[0], aggregate(&c, 60, &samples));
+    }
+
+    #[test]
+    fn sweep_reports_trial_that_exhausts_retries() {
+        use crate::runner::RunPolicy;
+        use std::time::Duration;
+        let mut c = cfg();
+        c.beacon_counts = vec![60];
+        c.trials = 6;
+        let victim: Vec<u64> = (0..2).map(|a| c.retry_seed(0, 2, a)).collect();
+        let policy = RunPolicy {
+            retries: 1,
+            trial_timeout: None,
+            backoff: Duration::from_millis(1),
+        };
+        let outcome = run_sweep_with(
+            &c,
+            0.0,
+            Ctx::noop().with_policy(policy),
+            move |cfg, noise, beacons, seed| {
+                if victim.contains(&seed) {
+                    panic!("always fails");
+                }
+                run_trial(cfg, noise, beacons, seed)
+            },
+        );
+        assert_eq!(outcome.failures.len(), 1);
+        let f = &outcome.failures[0];
+        assert_eq!(f.trial, 2);
+        assert_eq!(
+            f.seed,
+            c.retry_seed(0, 2, 1),
+            "report must carry the final attempt's seed"
+        );
+        assert!(f.message.contains("always fails"));
+        assert_eq!(outcome.points.len(), 1, "sweep still completes");
     }
 
     #[test]

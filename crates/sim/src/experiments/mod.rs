@@ -7,10 +7,12 @@
 //! | [`granularity`] | Figure 1: beacon density vs granularity of localization regions |
 //! | [`overlap_bound`] | §2.2: maximum centroid error vs range-overlap ratio `R/d` under uniform placement |
 //! | [`robustness`] | §3.1 generalization: placement quality under partial exploration and GPS measurement noise |
+//! | [`fault_robustness`] | §6 future work: localization error and algorithm ranking under injected faults (beacon death, burst loss, GPS outages) |
 //! | [`solution_space`] | §1 contribution 3: measuring the solution-space density the algorithms rely on |
 //! | [`multilat_placement`] | §6 future work: the placement algorithms recast for multilateration localization |
 
 pub mod density_error;
+pub mod fault_robustness;
 pub mod granularity;
 pub mod improvement;
 pub mod localizer_compare;

@@ -8,8 +8,8 @@
 
 use crate::config::{AlgorithmKind, PaperConfig, SimConfig};
 use crate::experiments::{
-    density_error, granularity, improvement, localizer_compare, multi_beacon, multilat_placement,
-    overlap_bound, robustness, solution_space,
+    density_error, fault_robustness, granularity, improvement, localizer_compare, multi_beacon,
+    multilat_placement, overlap_bound, robustness, solution_space,
 };
 use crate::progress::Ctx;
 use crate::report::{Figure, Series, SeriesPoint};
@@ -443,6 +443,75 @@ pub fn robustness_with(cfg: &SimConfig, beacons: usize, ctx: Ctx<'_>) -> (Figure
         ))
     });
     (exploration, gps)
+}
+
+/// §6 future work: localization error and placement-algorithm ranking
+/// under injected faults — permanent beacon death (first figure) and
+/// Gilbert–Elliott burst loss (second figure), each layered with a light
+/// survey-GPS outage.
+pub fn faults(cfg: &SimConfig, beacons: usize) -> (Figure, Figure) {
+    faults_with(cfg, beacons, Ctx::noop())
+}
+
+/// [`faults()`] with observability, checkpointing, and retry policy via
+/// `ctx`.
+pub fn faults_with(cfg: &SimConfig, beacons: usize, ctx: Ctx<'_>) -> (Figure, Figure) {
+    let failure = fault_figure(
+        cfg,
+        &fault_robustness::FaultSweepSpec::failure_axis(beacons),
+        "robustness-failure",
+        format!("Error and placement gains vs beacon failure rate ({beacons} beacons)"),
+        "fraction of beacons dead",
+        ctx,
+    );
+    let burst = fault_figure(
+        cfg,
+        &fault_robustness::FaultSweepSpec::burst_axis(beacons),
+        "robustness-burst",
+        format!("Error and placement gains vs burst-loss intensity ({beacons} beacons)"),
+        "stationary bad-state fraction",
+        ctx,
+    );
+    (failure, burst)
+}
+
+fn fault_figure(
+    cfg: &SimConfig,
+    spec: &fault_robustness::FaultSweepSpec,
+    id: &str,
+    title: String,
+    x_label: &str,
+    ctx: Ctx<'_>,
+) -> Figure {
+    timed(ctx, id, || {
+        let outcome = fault_robustness::run_sweep(cfg, 0.0, spec, ctx);
+        let mut fig = Figure::new(id, title, x_label, "meters");
+        fig.series.push(Series::new(
+            "Error",
+            outcome
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.x,
+                    y: p.mean_error,
+                })
+                .collect(),
+        ));
+        for (ai, kind) in spec.algorithms.iter().enumerate() {
+            fig.series.push(Series::new(
+                kind.name(),
+                outcome
+                    .points
+                    .iter()
+                    .map(|p| SeriesPoint {
+                        x: p.x,
+                        y: p.improvements[ai],
+                    })
+                    .collect(),
+            ));
+        }
+        fig
+    })
 }
 
 /// §1 contribution 3: the solution-space density sweep. `threshold` is

@@ -10,6 +10,8 @@
 //!   Table 1 (`Side = 100 m`, `R = 15 m`, `step = 1 m`, `NG = 400`,
 //!   20–240 beacons, 1000 fields per density),
 //! * [`runner`] — deterministic, fault-tolerant parallel trial execution,
+//!   including the supervised engine ([`runner::supervised_try_map`]) with
+//!   seed-re-deriving retries and a per-trial watchdog,
 //! * [`progress`] — the [`Probe`] observability hooks (progress lines,
 //!   run metrics) threaded through experiments and figures,
 //! * [`checkpoint`] — crash-safe persistence of completed density sweeps
@@ -53,11 +55,13 @@ pub mod report;
 pub mod runner;
 pub mod traceprobe;
 
-pub use checkpoint::SweepCheckpoint;
+pub use checkpoint::{CheckpointOpen, SweepCheckpoint};
 pub use config::{AlgorithmKind, PaperConfig, SimConfig};
 pub use demo::heatmap_demo;
 pub use progress::{
     Ctx, Fanout, MetricsRecorder, NoopProbe, Probe, ProgressProbe, TrialFailureReport,
+    TrialRetryReport, TrialTimeoutReport,
 };
 pub use report::{Figure, Series, SeriesPoint};
+pub use runner::{RunPolicy, SupervisedFailure, SupervisedOutcome, TrialFault};
 pub use traceprobe::TraceProbe;

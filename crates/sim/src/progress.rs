@@ -12,8 +12,10 @@
 //! * [`MetricsRecorder`] — per-figure wall-clock, trial throughput, and
 //!   worker utilization, rendered as JSON (the CLI's `--metrics-json`).
 
-use crate::checkpoint::SweepCheckpoint;
+use crate::checkpoint::{CheckpointOpen, SweepCheckpoint};
+use crate::runner::RunPolicy;
 use std::fmt;
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -42,6 +44,71 @@ impl fmt::Display for TrialFailureReport {
             f,
             "{}: trial {} at density #{} ({} beacons, seed {:#018x}) panicked: {}",
             self.experiment, self.trial, self.density_index, self.beacons, self.seed, self.message
+        )
+    }
+}
+
+/// A trial attempt that failed but will be re-run with a re-derived seed
+/// (the engine was given `--retry`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialRetryReport {
+    /// Which experiment family the trial belonged to.
+    pub experiment: &'static str,
+    /// Index into `cfg.beacon_counts`.
+    pub density_index: usize,
+    /// Beacon count at that density.
+    pub beacons: usize,
+    /// Trial index within the density.
+    pub trial: usize,
+    /// The attempt number that just failed (0 = first run).
+    pub failed_attempt: u32,
+    /// The fault rendered as text (panic payload or watchdog timeout).
+    pub fault: String,
+    /// Delay before the next attempt is allowed to start.
+    pub backoff: Duration,
+}
+
+impl fmt::Display for TrialRetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: trial {} at density #{} ({} beacons) attempt {} failed ({}); retrying after {:?}",
+            self.experiment,
+            self.trial,
+            self.density_index,
+            self.beacons,
+            self.failed_attempt,
+            self.fault,
+            self.backoff
+        )
+    }
+}
+
+/// A trial attempt aborted by the watchdog for exceeding
+/// `--trial-timeout`. Emitted for *every* watchdog abort — the attempt
+/// may still be retried afterwards (see [`TrialRetryReport`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialTimeoutReport {
+    /// Which experiment family the trial belonged to.
+    pub experiment: &'static str,
+    /// Index into `cfg.beacon_counts`.
+    pub density_index: usize,
+    /// Beacon count at that density.
+    pub beacons: usize,
+    /// Trial index within the density.
+    pub trial: usize,
+    /// The attempt number that was aborted (0 = first run).
+    pub attempt: u32,
+    /// The configured per-trial wall-clock limit that was exceeded.
+    pub limit: Duration,
+}
+
+impl fmt::Display for TrialTimeoutReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: trial {} at density #{} ({} beacons) attempt {} exceeded the {:?} watchdog limit",
+            self.experiment, self.trial, self.density_index, self.beacons, self.attempt, self.limit
         )
     }
 }
@@ -82,6 +149,84 @@ pub trait Probe: Sync {
     fn trial_failed(&self, failure: &TrialFailureReport) {
         let _ = failure;
     }
+
+    /// One trial attempt failed and will be retried with a re-derived
+    /// seed after a backoff delay.
+    fn trial_retried(&self, retry: &TrialRetryReport) {
+        let _ = retry;
+    }
+
+    /// The watchdog aborted a trial attempt for exceeding the configured
+    /// per-trial timeout. Fires once per abort, before any retry decision.
+    fn trial_timed_out(&self, timeout: &TrialTimeoutReport) {
+        let _ = timeout;
+    }
+
+    /// A sweep checkpoint file was opened. `open` says whether the store
+    /// started fresh, resumed (possibly quarantining damaged entries), or
+    /// ignored an incompatible existing file.
+    fn checkpoint_opened(&self, path: &Path, open: &CheckpointOpen) {
+        let _ = (path, open);
+    }
+}
+
+/// Builds the `on_event` callback experiments hand to
+/// [`crate::runner::supervised_try_map`]: forwards successes, retries,
+/// and watchdog timeouts to `probe` with full experiment context.
+/// Terminal failures are *not* forwarded here — sweeps report them in
+/// index order after the run, via [`Probe::trial_failed`].
+pub(crate) fn forward_trial_events<'a>(
+    probe: &'a dyn Probe,
+    experiment: &'static str,
+    density_index: usize,
+    beacons: usize,
+) -> impl FnMut(crate::runner::TrialEvent<'_>) + 'a {
+    use crate::runner::{TrialEvent, TrialFault};
+    move |event| match event {
+        TrialEvent::Done { busy, .. } => probe.trial_done(busy),
+        TrialEvent::Retry {
+            index,
+            failed_attempt,
+            fault,
+            backoff,
+        } => {
+            if let TrialFault::Timeout { limit } = fault {
+                probe.trial_timed_out(&TrialTimeoutReport {
+                    experiment,
+                    density_index,
+                    beacons,
+                    trial: index,
+                    attempt: failed_attempt,
+                    limit: *limit,
+                });
+            }
+            probe.trial_retried(&TrialRetryReport {
+                experiment,
+                density_index,
+                beacons,
+                trial: index,
+                failed_attempt,
+                fault: fault.to_string(),
+                backoff,
+            });
+        }
+        TrialEvent::Failed {
+            index,
+            attempts,
+            fault,
+        } => {
+            if let TrialFault::Timeout { limit } = fault {
+                probe.trial_timed_out(&TrialTimeoutReport {
+                    experiment,
+                    density_index,
+                    beacons,
+                    trial: index,
+                    attempt: attempts.saturating_sub(1),
+                    limit: *limit,
+                });
+            }
+        }
+    }
 }
 
 /// The default probe: observes nothing.
@@ -103,6 +248,9 @@ pub struct Ctx<'a> {
     /// When present, completed sweeps are persisted here and restored on
     /// the next run.
     pub checkpoint: Option<&'a SweepCheckpoint>,
+    /// Retry/watchdog policy. The inert default keeps sweeps on the plain
+    /// engine; an active policy routes them through the supervised one.
+    pub policy: RunPolicy,
 }
 
 impl Ctx<'static> {
@@ -111,6 +259,7 @@ impl Ctx<'static> {
         Ctx {
             probe: &NOOP,
             checkpoint: None,
+            policy: RunPolicy::default(),
         }
     }
 }
@@ -121,6 +270,7 @@ impl<'a> Ctx<'a> {
         Ctx {
             probe,
             checkpoint: None,
+            policy: RunPolicy::default(),
         }
     }
 
@@ -130,6 +280,11 @@ impl<'a> Ctx<'a> {
             checkpoint: Some(checkpoint),
             ..self
         }
+    }
+
+    /// Sets the retry/watchdog policy.
+    pub fn with_policy(self, policy: RunPolicy) -> Self {
+        Ctx { policy, ..self }
     }
 }
 
@@ -187,6 +342,24 @@ impl Probe for Fanout<'_> {
     fn trial_failed(&self, failure: &TrialFailureReport) {
         for p in &self.probes {
             p.trial_failed(failure);
+        }
+    }
+
+    fn trial_retried(&self, retry: &TrialRetryReport) {
+        for p in &self.probes {
+            p.trial_retried(retry);
+        }
+    }
+
+    fn trial_timed_out(&self, timeout: &TrialTimeoutReport) {
+        for p in &self.probes {
+            p.trial_timed_out(timeout);
+        }
+    }
+
+    fn checkpoint_opened(&self, path: &Path, open: &CheckpointOpen) {
+        for p in &self.probes {
+            p.checkpoint_opened(path, open);
         }
     }
 }
@@ -343,6 +516,48 @@ impl Probe for ProgressProbe {
             Self::render(&s);
         }
     }
+
+    fn trial_retried(&self, retry: &TrialRetryReport) {
+        let mut s = self.state.lock().expect("progress state");
+        if s.line_open {
+            eprintln!();
+        }
+        eprintln!("RETRY {retry}");
+        // A retried attempt settles nothing: the trial is still pending,
+        // so no counter moves — just repaint the line we broke.
+        if s.line_open {
+            s.last_render = Some(Instant::now());
+            Self::render(&s);
+        }
+    }
+
+    fn trial_timed_out(&self, timeout: &TrialTimeoutReport) {
+        let s = self.state.lock().expect("progress state");
+        if s.line_open {
+            eprintln!();
+        }
+        eprintln!("TIMEOUT {timeout}");
+        // The retry-or-fail decision follows as its own event; that event
+        // owns the counters and the repaint.
+    }
+
+    fn checkpoint_opened(&self, path: &Path, open: &CheckpointOpen) {
+        match open {
+            CheckpointOpen::Created => {}
+            CheckpointOpen::Resumed {
+                entries,
+                quarantined,
+            } => {
+                if *quarantined > 0 {
+                    eprintln!(
+                        "checkpoint {}: resumed {entries} entries, quarantined {quarantined} damaged",
+                        path.display()
+                    );
+                }
+            }
+            ignored => eprintln!("checkpoint {}: {ignored}", path.display()),
+        }
+    }
 }
 
 /// Metrics for one completed figure.
@@ -364,6 +579,11 @@ pub struct FigureMetrics {
     /// The derived seed of every failed trial, in failure order — enough
     /// to re-run each panicking trial in isolation.
     pub failed_seeds: Vec<u64>,
+    /// Attempts that failed but were re-run under `--retry`.
+    pub retries: usize,
+    /// Attempts aborted by the `--trial-timeout` watchdog (including
+    /// aborts that were subsequently retried).
+    pub timeouts: usize,
 }
 
 #[derive(Default)]
@@ -372,6 +592,8 @@ struct OpenFigure {
     trials: usize,
     busy: Duration,
     failed_seeds: Vec<u64>,
+    retries: usize,
+    timeouts: usize,
 }
 
 struct MetricsState {
@@ -422,7 +644,9 @@ impl MetricsRecorder {
     ///       "trials_per_sec": 75.0,
     ///       "worker_utilization": 0.93,
     ///       "failures": 1,
-    ///       "failed_seeds": ["0x00000000deadbeef"]
+    ///       "failed_seeds": ["0x00000000deadbeef"],
+    ///       "retries": 2,
+    ///       "timeouts": 1
     ///     }
     ///   ]
     /// }
@@ -453,13 +677,15 @@ impl MetricsRecorder {
             out.push_str(&format!(
                 "\n    {{\"figure\": {}, \"wall_seconds\": {}, \"trials\": {}, \
                  \"trials_per_sec\": {}, \"worker_utilization\": {}, \"failures\": {}, \
-                 \"failed_seeds\": [{seeds}]}}",
+                 \"failed_seeds\": [{seeds}], \"retries\": {}, \"timeouts\": {}}}",
                 json_string(&m.figure),
                 json_f64(m.wall_seconds),
                 m.trials,
                 json_f64(m.trials_per_sec),
                 json_f64(m.worker_utilization),
                 m.failures,
+                m.retries,
+                m.timeouts,
             ));
         }
         if !state.figures.is_empty() {
@@ -496,6 +722,8 @@ impl Probe for MetricsRecorder {
                 .clamp(0.0, 1.0),
             failures: open.failed_seeds.len(),
             failed_seeds: open.failed_seeds,
+            retries: open.retries,
+            timeouts: open.timeouts,
         });
     }
 
@@ -511,6 +739,20 @@ impl Probe for MetricsRecorder {
         let mut s = self.state.lock().expect("metrics state");
         if let Some(open) = s.current.as_mut() {
             open.failed_seeds.push(failure.seed);
+        }
+    }
+
+    fn trial_retried(&self, _retry: &TrialRetryReport) {
+        let mut s = self.state.lock().expect("metrics state");
+        if let Some(open) = s.current.as_mut() {
+            open.retries += 1;
+        }
+    }
+
+    fn trial_timed_out(&self, _timeout: &TrialTimeoutReport) {
+        let mut s = self.state.lock().expect("metrics state");
+        if let Some(open) = s.current.as_mut() {
+            open.timeouts += 1;
         }
     }
 }
@@ -771,6 +1013,133 @@ mod tests {
             json.contains("\"failed_seeds\": [\"0x00000000deadbeef\", \"0x0000000000001234\"]"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn metrics_recorder_counts_retries_and_timeouts() {
+        let rec = MetricsRecorder::new(1);
+        rec.figure_start("robustness-failure");
+        rec.trial_timed_out(&TrialTimeoutReport {
+            experiment: "fault-robustness",
+            density_index: 0,
+            beacons: 20,
+            trial: 3,
+            attempt: 0,
+            limit: Duration::from_secs(30),
+        });
+        rec.trial_retried(&TrialRetryReport {
+            experiment: "fault-robustness",
+            density_index: 0,
+            beacons: 20,
+            trial: 3,
+            failed_attempt: 0,
+            fault: "timed out after 30s".into(),
+            backoff: Duration::from_millis(250),
+        });
+        rec.trial_done(Duration::from_millis(2));
+        rec.figure_done("robustness-failure", Duration::from_millis(10));
+        let m = &rec.figures()[0];
+        assert_eq!((m.retries, m.timeouts, m.failures), (1, 1, 0));
+        let json = rec.to_json();
+        assert!(json.contains("\"retries\": 1"), "{json}");
+        assert!(json.contains("\"timeouts\": 1"), "{json}");
+    }
+
+    #[test]
+    fn fanout_forwards_new_events() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        #[derive(Default)]
+        struct Counter {
+            retries: AtomicUsize,
+            timeouts: AtomicUsize,
+            opens: AtomicUsize,
+        }
+        impl Probe for Counter {
+            fn trial_retried(&self, _r: &TrialRetryReport) {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            fn trial_timed_out(&self, _t: &TrialTimeoutReport) {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            fn checkpoint_opened(&self, _path: &Path, _open: &CheckpointOpen) {
+                self.opens.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let a = Counter::default();
+        let b = Counter::default();
+        let fan = Fanout::new(vec![&a, &b]);
+        fan.trial_retried(&TrialRetryReport {
+            experiment: "fault-robustness",
+            density_index: 0,
+            beacons: 20,
+            trial: 0,
+            failed_attempt: 0,
+            fault: "boom".into(),
+            backoff: Duration::ZERO,
+        });
+        fan.trial_timed_out(&TrialTimeoutReport {
+            experiment: "fault-robustness",
+            density_index: 0,
+            beacons: 20,
+            trial: 0,
+            attempt: 1,
+            limit: Duration::from_secs(1),
+        });
+        fan.checkpoint_opened(Path::new("x.ckpt"), &CheckpointOpen::Created);
+        for c in [&a, &b] {
+            assert_eq!(c.retries.load(Ordering::Relaxed), 1);
+            assert_eq!(c.timeouts.load(Ordering::Relaxed), 1);
+            assert_eq!(c.opens.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn retry_and_timeout_reports_display_context() {
+        let r = TrialRetryReport {
+            experiment: "fault-robustness",
+            density_index: 2,
+            beacons: 60,
+            trial: 9,
+            failed_attempt: 1,
+            fault: "timed out after 30s".into(),
+            backoff: Duration::from_millis(500),
+        };
+        let text = r.to_string();
+        for needle in [
+            "fault-robustness",
+            "trial 9",
+            "#2",
+            "60",
+            "attempt 1",
+            "retrying",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        let t = TrialTimeoutReport {
+            experiment: "fault-robustness",
+            density_index: 2,
+            beacons: 60,
+            trial: 9,
+            attempt: 0,
+            limit: Duration::from_secs(30),
+        };
+        let text = t.to_string();
+        for needle in ["fault-robustness", "trial 9", "watchdog", "30s"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn ctx_policy_defaults_inert() {
+        let ctx = Ctx::noop();
+        assert!(!ctx.policy.is_active());
+        let policy = RunPolicy {
+            retries: 2,
+            ..RunPolicy::default()
+        };
+        let ctx = ctx.with_policy(policy);
+        assert!(ctx.policy.is_active());
+        assert_eq!(ctx.policy.retries, 2);
     }
 
     #[test]

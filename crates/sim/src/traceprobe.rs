@@ -3,8 +3,10 @@
 //! compute crates and the figure/sweep/trial story from the experiment
 //! engine.
 
-use crate::progress::{Probe, TrialFailureReport};
+use crate::checkpoint::CheckpointOpen;
+use crate::progress::{Probe, TrialFailureReport, TrialRetryReport, TrialTimeoutReport};
 use abp_trace::{Counter, DurationHistogram};
+use std::path::Path;
 use std::time::Duration;
 
 /// Trials that completed successfully, across all figures of the run.
@@ -12,6 +14,12 @@ pub static TRIALS_RUN: Counter = Counter::new("trials_run");
 
 /// Trials that panicked and were excluded from aggregation.
 pub static TRIALS_FAILED: Counter = Counter::new("trials_failed");
+
+/// Trial attempts that failed but were re-run under `--retry`.
+pub static TRIALS_RETRIED: Counter = Counter::new("trials_retried");
+
+/// Trial attempts aborted by the `--trial-timeout` watchdog.
+pub static TRIALS_TIMED_OUT: Counter = Counter::new("trials_timed_out");
 
 /// Per-trial worker busy time.
 pub static TRIAL_WALL: DurationHistogram = DurationHistogram::new("trial_wall");
@@ -84,6 +92,35 @@ impl Probe for TraceProbe {
             "probe",
         );
     }
+
+    fn trial_retried(&self, retry: &TrialRetryReport) {
+        TRIALS_RETRIED.add(1);
+        abp_trace::span::instant(
+            format!(
+                "trial_retried {} trial {} attempt {}",
+                retry.experiment, retry.trial, retry.failed_attempt
+            ),
+            "probe",
+        );
+    }
+
+    fn trial_timed_out(&self, timeout: &TrialTimeoutReport) {
+        TRIALS_TIMED_OUT.add(1);
+        abp_trace::span::instant(
+            format!(
+                "trial_timed_out {} trial {} attempt {} limit {:?}",
+                timeout.experiment, timeout.trial, timeout.attempt, timeout.limit
+            ),
+            "probe",
+        );
+    }
+
+    fn checkpoint_opened(&self, path: &Path, open: &CheckpointOpen) {
+        abp_trace::span::instant(
+            format!("checkpoint_opened {}: {open:?}", path.display()),
+            "probe",
+        );
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +173,35 @@ mod tests {
         assert_eq!(TRIALS_RUN.total(), runs + 1);
         assert_eq!(TRIALS_FAILED.total(), fails + 1);
         assert_eq!(TRIAL_WALL.count(), walls + 1);
+    }
+
+    #[test]
+    fn enabled_bridge_counts_retries_and_timeouts() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        abp_trace::set_enabled(true);
+        let p = TraceProbe::new();
+        let retries = TRIALS_RETRIED.total();
+        let timeouts = TRIALS_TIMED_OUT.total();
+        p.trial_retried(&TrialRetryReport {
+            experiment: "fault-robustness",
+            density_index: 0,
+            beacons: 20,
+            trial: 0,
+            failed_attempt: 0,
+            fault: "boom".into(),
+            backoff: Duration::from_millis(1),
+        });
+        p.trial_timed_out(&TrialTimeoutReport {
+            experiment: "fault-robustness",
+            density_index: 0,
+            beacons: 20,
+            trial: 0,
+            attempt: 0,
+            limit: Duration::from_secs(30),
+        });
+        p.checkpoint_opened(Path::new("x.ckpt"), &CheckpointOpen::Created);
+        abp_trace::set_enabled(false);
+        assert_eq!(TRIALS_RETRIED.total(), retries + 1);
+        assert_eq!(TRIALS_TIMED_OUT.total(), timeouts + 1);
     }
 }

@@ -8,6 +8,49 @@ use abp_stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Explicit per-point accounting of a survey's measurement quality.
+///
+/// A healthy, fault-free survey puts every point in `measured` (plus
+/// `unheard` holes where no beacon reaches). Fault injection opens two
+/// more channels: `degraded` points heard *something* but fewer beacons
+/// than the consuming estimator needs, and `dropped` points were visited
+/// but their sample was lost (a GPS outage window, for instance). The
+/// four channels partition the lattice:
+/// `measured + degraded + unheard + dropped == len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SurveyAccounting {
+    /// Points measured at the estimator's full fidelity.
+    pub measured: usize,
+    /// Points heard by at least one beacon but fewer than the estimator's
+    /// minimum — localization there is a typed fallback, not the method.
+    pub degraded: usize,
+    /// Points hearing no beacon at all.
+    pub unheard: usize,
+    /// Points whose sample was lost in collection (never measured despite
+    /// beacon coverage).
+    pub dropped: usize,
+}
+
+impl SurveyAccounting {
+    /// Fraction of `len` points that were measured at full fidelity.
+    pub fn measured_fraction(&self, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        self.measured as f64 / len as f64
+    }
+}
+
+impl fmt::Display for SurveyAccounting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} measured, {} degraded, {} unheard, {} dropped",
+            self.measured, self.degraded, self.unheard, self.dropped
+        )
+    }
+}
+
 /// The localization error measured at every lattice point — what the
 /// paper's exploring agent produces in Step 2 of the Max/Grid algorithms
 /// ("measure localization error at each point `(i·step, j·step)`"), and
@@ -290,6 +333,38 @@ impl ErrorMap {
     /// Number of lattice points hearing no beacon.
     pub fn unheard_count(&self) -> usize {
         self.count.iter().filter(|&&c| c == 0).count()
+    }
+
+    /// Classifies every lattice point into the explicit accounting
+    /// channels of [`SurveyAccounting`], treating points that heard
+    /// fewer than `min_beacons` beacons as *degraded*.
+    ///
+    /// `min_beacons` should match the estimator consuming the map:
+    /// `1` for proximity/centroid methods, `3` for multilateration
+    /// (see `Localizer::min_beacons` in `abp-localize`). Fault-injected
+    /// surveys use this to report how much of the terrain was measured
+    /// at full fidelity versus degraded, unheard, or lost outright.
+    pub fn accounting_with(&self, min_beacons: u32) -> SurveyAccounting {
+        let mut acc = SurveyAccounting::default();
+        for (flat, &c) in self.count.iter().enumerate() {
+            if c == 0 {
+                acc.unheard += 1;
+            } else if self.errors[flat].is_nan() {
+                acc.dropped += 1;
+            } else if c < min_beacons {
+                acc.degraded += 1;
+            } else {
+                acc.measured += 1;
+            }
+        }
+        acc
+    }
+
+    /// [`ErrorMap::accounting_with`] for a single-beacon estimator
+    /// (the paper's centroid method): no point can be degraded, so the
+    /// channels reduce to measured / unheard / dropped.
+    pub fn accounting(&self) -> SurveyAccounting {
+        self.accounting_with(1)
     }
 
     /// Mean localization error over all measured points — the statistic of

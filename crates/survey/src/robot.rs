@@ -13,6 +13,7 @@
 
 use crate::errormap::ErrorMap;
 use crate::plan::SurveyPlan;
+use abp_fault::{GpsFault, GpsOutage};
 use abp_field::{BeaconField, BeaconId};
 use abp_geom::{DeterministicField, Point, Vec2};
 use abp_localize::UnheardPolicy;
@@ -41,6 +42,9 @@ pub struct RobotReport {
     pub travelled: f64,
     /// Waypoints at which no beacon was heard.
     pub unheard: usize,
+    /// Waypoints whose sample was discarded by a GPS outage window
+    /// (always zero for fault-free surveys).
+    pub dropped: usize,
 }
 
 /// A GPS-equipped mobile agent that surveys terrains and deploys beacons.
@@ -145,6 +149,29 @@ impl Robot {
         model: &dyn Propagation,
         policy: UnheardPolicy,
     ) -> (ErrorMap, RobotReport) {
+        self.survey_faulty(plan, field, model, policy, None)
+    }
+
+    /// [`Robot::survey`] through an (optional) GPS outage schedule.
+    ///
+    /// Waypoints are numbered in plan order; for each, the outage
+    /// schedule may [`GpsFault::Drop`] the sample — the robot was there
+    /// (distance still accrues) but the measurement is lost, leaving a
+    /// hole the map's accounting reports as *dropped* — or
+    /// [`GpsFault::Bias`] it, offsetting the believed position by the
+    /// window's constant bias vector on top of any Gaussian GPS noise.
+    ///
+    /// `outage = None` is byte-for-byte [`Robot::survey`]; the radio
+    /// faults (beacon mortality, burst loss) arrive through `model`
+    /// instead, pre-wrapped by `FaultSchedule::wrap`.
+    pub fn survey_faulty(
+        &mut self,
+        plan: &SurveyPlan,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+        outage: Option<&GpsOutage>,
+    ) -> (ErrorMap, RobotReport) {
         let lattice = *plan.lattice();
         let n = lattice.len();
         let mut sum_x = vec![0.0; n];
@@ -165,15 +192,28 @@ impl Robot {
         // Walk the plan: derive each waypoint's error against the GPS fix.
         let mut errors = vec![f64::NAN; n];
         let mut unheard = 0usize;
+        let mut dropped = 0usize;
         let mut travelled = 0.0;
         let mut prev: Option<Point> = None;
-        for ix in plan.waypoints() {
+        for (waypoint, ix) in plan.waypoints().enumerate() {
             let truth = lattice.point(ix);
             if let Some(prev) = prev {
                 travelled += prev.distance(truth);
             }
             prev = Some(truth);
-            let believed = self.gps_reading(truth);
+            let fault = outage.and_then(|o| o.fault_at(waypoint));
+            let believed = match fault {
+                Some(GpsFault::Drop) => {
+                    // The robot passed through blind: the sample is lost.
+                    dropped += 1;
+                    if count[lattice.flat(ix)] == 0 {
+                        unheard += 1;
+                    }
+                    continue;
+                }
+                Some(GpsFault::Bias(offset)) => self.gps_reading(truth) + offset,
+                None => self.gps_reading(truth),
+            };
             let flat = lattice.flat(ix);
             let estimate = if count[flat] > 0 {
                 let inv = 1.0 / count[flat] as f64;
@@ -192,6 +232,7 @@ impl Robot {
             waypoints: n,
             travelled,
             unheard,
+            dropped,
         };
         (map, report)
     }
@@ -311,6 +352,113 @@ mod tests {
             Err(OutOfBeacons)
         );
         assert_eq!(field.len(), 2);
+    }
+
+    #[test]
+    fn faultless_survey_faulty_matches_survey() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let field = BeaconField::random_uniform(25, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 5.0);
+        let (plain, pr) =
+            Robot::new(1.5, 0, 4).survey(&plan, &field, &model, UnheardPolicy::TerrainCenter);
+        let (faulty, fr) = Robot::new(1.5, 0, 4).survey_faulty(
+            &plan,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            None,
+        );
+        assert_eq!(plain, faulty);
+        assert_eq!(pr, fr);
+        assert_eq!(fr.dropped, 0);
+    }
+
+    #[test]
+    fn gps_outage_drops_samples_into_the_accounting_channel() {
+        use abp_fault::GpsOutagePlan;
+        let mut rng = StdRng::seed_from_u64(11);
+        let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 5.0);
+        let outage = GpsOutage::new(
+            77,
+            GpsOutagePlan {
+                outage_fraction: 0.3,
+                window: 7,
+                bias_meters: 0.0,
+            },
+        );
+        let (map, report) = Robot::new(0.0, 0, 4).survey_faulty(
+            &plan,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            Some(&outage),
+        );
+        assert!(report.dropped > 0, "30% outage must drop something");
+        let acc = map.accounting();
+        assert!(acc.dropped > 0);
+        assert_eq!(
+            acc.measured + acc.degraded + acc.unheard + acc.dropped,
+            map.len()
+        );
+        // Replays agree bit for bit.
+        let (map2, report2) = Robot::new(0.0, 0, 4).survey_faulty(
+            &plan,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            Some(&outage),
+        );
+        // (Not `assert_eq!(map, map2)`: dropped samples encode as NaN,
+        // which never compares equal — compare bit patterns per point.)
+        for ix in plan.lattice().indices() {
+            assert_eq!(
+                map.error_at(ix).map(f64::to_bits),
+                map2.error_at(ix).map(f64::to_bits)
+            );
+            assert_eq!(map.heard_at(ix), map2.heard_at(ix));
+        }
+        assert_eq!(report, report2);
+    }
+
+    #[test]
+    fn gps_bias_perturbs_but_keeps_samples() {
+        use abp_fault::GpsOutagePlan;
+        let mut rng = StdRng::seed_from_u64(13);
+        let field = BeaconField::random_uniform(40, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let plan = SurveyPlan::new(terrain(), 5.0);
+        let outage = GpsOutage::new(
+            9,
+            GpsOutagePlan {
+                outage_fraction: 0.4,
+                window: 5,
+                bias_meters: 4.0,
+            },
+        );
+        let mk = |o: Option<&GpsOutage>| {
+            Robot::new(0.0, 0, 4).survey_faulty(
+                &plan,
+                &field,
+                &model,
+                UnheardPolicy::TerrainCenter,
+                o,
+            )
+        };
+        let (clean, _) = mk(None);
+        let (biased, report) = mk(Some(&outage));
+        assert_eq!(report.dropped, 0, "bias mode must not drop samples");
+        assert_eq!(biased.accounting().dropped, 0);
+        let moved = plan
+            .lattice()
+            .indices()
+            .filter(|ix| clean.error_at(*ix) != biased.error_at(*ix))
+            .count();
+        assert!(moved > 0, "bias must perturb some measurements");
+        // Bias degrades: the map read through a lying GPS looks worse.
+        assert!(biased.mean_error() > clean.mean_error());
     }
 
     #[test]
