@@ -1,2 +1,10 @@
-//! Criterion benchmarks for the beaconplace workspace; see the `benches/` directory.
+//! Criterion benchmarks for the beaconplace workspace (see the
+//! `benches/` directory), plus the tracked bench baseline behind the
+//! `abp bench` subcommand ([`sweep`]): brute-vs-indexed timings of the
+//! survey sweep and greedy candidate scan with a bit-identical output
+//! check on every sample.
 #![forbid(unsafe_code)]
+
+pub mod sweep;
+
+pub use sweep::{run_bench, BenchConfig, BenchReport, KernelResult, Timing};

@@ -1,0 +1,532 @@
+//! The tracked bench baseline behind `abp bench`.
+//!
+//! Times the two hot kernels the grid-bin spatial index accelerates —
+//! the survey connectivity sweep and the greedy candidate scan — in
+//! both their brute-force and indexed forms, on the same field, and
+//! verifies on every run that the indexed outputs are **bit-identical**
+//! to the brute ones before reporting any timing. A bench that reports
+//! a speedup for a kernel that changed the answer would be worthless;
+//! here `identical: false` in the emitted JSON is a red flag CI fails
+//! on.
+//!
+//! The survey kernel times the full sweep. The candidate-scan kernels
+//! mirror the greedy deployment loops round for round but time **only
+//! the scan/score phase** (brute: `propose_ranked`; incremental: scorer
+//! construction + `ranked` + `apply_delta`): the per-round deployment
+//! work — adding the beacon and incrementally re-surveying — is
+//! executed identically on both sides and excluded, so the reported
+//! ratio is the speedup of the kernel itself, not of the shared
+//! plumbing around it. Each kernel first runs the *real* `greedy_batch`
+//! / `greedy_batch_incremental` entry points and verifies the mirrored
+//! loops place bit-identically to them.
+//!
+//! Timings are reported as the median over `repeats` interleaved
+//! samples with a distribution-free 95% confidence interval on the
+//! median (binomial order-statistic ranks, clamped to the observed
+//! range — exact for small sample counts, no normality assumption).
+//! See `docs/PERFORMANCE.md` for how to read the emitted
+//! `BENCH_sweep.json`.
+
+use abp_field::BeaconField;
+use abp_geom::{Lattice, Point, Terrain};
+use abp_localize::UnheardPolicy;
+use abp_placement::{
+    greedy_batch, greedy_batch_incremental, pick_unoccupied, GridPlacement, IncrementalGrid,
+    IncrementalMax, IncrementalScorer, MaxPlacement, PlacementAlgorithm, SurveyView,
+};
+use abp_radio::{IdealDisk, Propagation};
+use abp_stats::Summary;
+use abp_survey::ErrorMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Schema identifier written into the JSON report; CI validates it.
+pub const SCHEMA: &str = "abp-bench-sweep/1";
+
+/// Scenario and sampling configuration for one bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Label recorded in the report (`paper`, `tiny`, or custom).
+    pub preset: String,
+    /// Field size the kernels run against.
+    pub beacons: usize,
+    /// Survey lattice step in meters.
+    pub step: f64,
+    /// Terrain side in meters.
+    pub side: f64,
+    /// Nominal radio range `R` in meters.
+    pub nominal_range: f64,
+    /// Timed samples per kernel variant.
+    pub repeats: usize,
+    /// Beacons placed per greedy candidate-scan sample. Larger values
+    /// amortize the incremental scorer's one-time construction (which
+    /// is counted in its timing) over more rounds, matching how the
+    /// experiment engine holds a scorer across a deployment sequence.
+    pub greedy_k: usize,
+    /// Seed for the random beacon field.
+    pub seed: u64,
+}
+
+impl BenchConfig {
+    /// Paper scale: the dense 100-beacon field on the paper's 100 m
+    /// terrain, surveyed at 1 m — the configuration the ≥2× speedup
+    /// acceptance bar is measured at.
+    pub fn paper_scale() -> Self {
+        BenchConfig {
+            preset: "paper".into(),
+            beacons: 100,
+            step: 1.0,
+            side: 100.0,
+            nominal_range: 15.0,
+            repeats: 17,
+            greedy_k: 16,
+            seed: 42,
+        }
+    }
+
+    /// A seconds-scale smoke configuration for CI.
+    pub fn tiny() -> Self {
+        BenchConfig {
+            preset: "tiny".into(),
+            beacons: 30,
+            step: 4.0,
+            side: 100.0,
+            nominal_range: 15.0,
+            repeats: 3,
+            greedy_k: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Median wall-clock of one kernel variant over the timed samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timing {
+    /// Median seconds per sample.
+    pub median_s: f64,
+    /// Lower bound of the 95% CI on the median.
+    pub ci95_lo_s: f64,
+    /// Upper bound of the 95% CI on the median.
+    pub ci95_hi_s: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl Timing {
+    /// Summarizes raw per-sample seconds: median plus a
+    /// distribution-free 95% CI on the median from binomial
+    /// order-statistic ranks (clamped to the observed min/max, so with
+    /// very few samples the interval degenerates to the full range).
+    fn from_samples(seconds: &[f64]) -> Timing {
+        assert!(!seconds.is_empty(), "need at least one timed sample");
+        let summary = Summary::from_slice(seconds);
+        let sorted = summary.sorted_values();
+        let n = sorted.len();
+        let half = 0.98 * (n as f64).sqrt();
+        let mid = (n as f64 - 1.0) / 2.0;
+        let lo = ((mid - half).floor().max(0.0)) as usize;
+        let hi = ((mid + half).ceil() as usize).min(n - 1);
+        Timing {
+            median_s: summary.median(),
+            ci95_lo_s: sorted[lo],
+            ci95_hi_s: sorted[hi],
+            samples: n,
+        }
+    }
+}
+
+/// One kernel's brute-vs-indexed comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel identifier (`survey_sweep`, `candidate_scan_grid`, ...).
+    pub name: &'static str,
+    /// Whether the indexed variant produced bit-identical output on
+    /// every sample. Timings are meaningless when this is `false`.
+    pub identical: bool,
+    /// `brute.median_s / indexed.median_s`.
+    pub speedup: f64,
+    /// Brute-force timing.
+    pub brute: Timing,
+    /// Indexed timing.
+    pub indexed: Timing,
+}
+
+/// The full report `abp bench` serializes to `BENCH_sweep.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The configuration the kernels ran under.
+    pub config: BenchConfig,
+    /// Per-kernel results.
+    pub kernels: Vec<KernelResult>,
+}
+
+impl BenchReport {
+    /// Whether every kernel's indexed variant matched its brute output
+    /// bit for bit.
+    pub fn all_identical(&self) -> bool {
+        self.kernels.iter().all(|k| k.identical)
+    }
+
+    /// Serializes the report as a single JSON object (schema
+    /// [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"preset\": \"{}\",\n",
+            self.config.preset.replace(['"', '\\'], "_")
+        ));
+        out.push_str(&format!("  \"beacons\": {},\n", self.config.beacons));
+        out.push_str(&format!("  \"step\": {},\n", json_f64(self.config.step)));
+        out.push_str(&format!(
+            "  \"terrain_side\": {},\n",
+            json_f64(self.config.side)
+        ));
+        out.push_str(&format!(
+            "  \"nominal_range\": {},\n",
+            json_f64(self.config.nominal_range)
+        ));
+        out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats));
+        out.push_str(&format!("  \"greedy_k\": {},\n", self.config.greedy_k));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", k.name));
+            out.push_str(&format!("      \"identical\": {},\n", k.identical));
+            out.push_str(&format!("      \"speedup\": {},\n", json_f64(k.speedup)));
+            out.push_str(&format!("      \"brute\": {},\n", timing_json(&k.brute)));
+            out.push_str(&format!("      \"indexed\": {}\n", timing_json(&k.indexed)));
+            out.push_str(if i + 1 == self.kernels.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Formats a finite `f64` as a JSON number (NaN/inf would not be valid
+/// JSON; timings and speedups are finite by construction).
+fn json_f64(x: f64) -> String {
+    assert!(x.is_finite(), "non-finite value in bench report: {x}");
+    format!("{x}")
+}
+
+fn timing_json(t: &Timing) -> String {
+    format!(
+        "{{\"median_s\": {}, \"ci95_lo_s\": {}, \"ci95_hi_s\": {}, \"samples\": {}}}",
+        json_f64(t.median_s),
+        json_f64(t.ci95_lo_s),
+        json_f64(t.ci95_hi_s),
+        t.samples
+    )
+}
+
+/// Bit-compares two error maps over every lattice point (NaN-excluded
+/// points compare equal only to NaN-excluded points).
+fn maps_bit_identical(a: &ErrorMap, b: &ErrorMap) -> bool {
+    a.lattice().indices().all(|ix| {
+        a.error_at(ix).map(f64::to_bits) == b.error_at(ix).map(f64::to_bits)
+            && a.heard_at(ix) == b.heard_at(ix)
+    })
+}
+
+/// Runs both variants of every kernel and assembles the report.
+///
+/// Samples are interleaved (brute, indexed, brute, ...) so slow drift
+/// in machine load biases both variants equally, and every pair is
+/// checked for bit-identical output as it is produced.
+pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
+    let terrain = Terrain::square(cfg.side);
+    let lattice = Lattice::new(terrain, cfg.step);
+    let field =
+        BeaconField::random_uniform(cfg.beacons, terrain, &mut StdRng::seed_from_u64(cfg.seed));
+    let model = IdealDisk::new(cfg.nominal_range);
+    let policy = UnheardPolicy::TerrainCenter;
+    let base_map = ErrorMap::survey(&lattice, &field, &model, policy);
+
+    let mut kernels = Vec::new();
+
+    // Kernel 1: the survey connectivity sweep, point-major brute vs
+    // grid-bin indexed.
+    {
+        let mut brute_s = Vec::with_capacity(cfg.repeats);
+        let mut indexed_s = Vec::with_capacity(cfg.repeats);
+        let mut identical = true;
+        // Warmup (untimed) to fault in code and caches.
+        let _ = ErrorMap::survey_point_major(&lattice, &field, &model, policy);
+        let _ = ErrorMap::survey_indexed(&lattice, &field, &model, policy);
+        for _ in 0..cfg.repeats {
+            let t = Instant::now();
+            let brute = ErrorMap::survey_point_major(&lattice, &field, &model, policy);
+            brute_s.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let indexed = ErrorMap::survey_indexed(&lattice, &field, &model, policy);
+            indexed_s.push(t.elapsed().as_secs_f64());
+            identical &=
+                maps_bit_identical(&brute, &indexed) && maps_bit_identical(&brute, &base_map);
+        }
+        kernels.push(kernel_result(
+            "survey_sweep",
+            identical,
+            &brute_s,
+            &indexed_s,
+        ));
+    }
+
+    // Kernels 2–3: the greedy candidate scan, full re-score vs
+    // incremental delta re-score, for Grid and Max.
+    let grid_algo = GridPlacement::paper(terrain, cfg.nominal_range);
+    kernels.push(candidate_scan_kernel(
+        "candidate_scan_grid",
+        &grid_algo,
+        |m| IncrementalGrid::new(grid_algo, m),
+        &field,
+        &base_map,
+        &model,
+        cfg,
+    ));
+    kernels.push(candidate_scan_kernel(
+        "candidate_scan_max",
+        &MaxPlacement::new(),
+        IncrementalMax::new,
+        &field,
+        &base_map,
+        &model,
+        cfg,
+    ));
+
+    BenchReport {
+        config: cfg.clone(),
+        kernels,
+    }
+}
+
+/// One mirrored greedy run: the deployed positions, the resulting map,
+/// and the seconds spent in the candidate-scan phase only.
+struct ScanRun {
+    positions: Vec<Point>,
+    map: ErrorMap,
+    scan_s: f64,
+}
+
+/// Mirrors [`greedy_batch`] round for round (same proposals, same
+/// occupied-candidate rule via [`pick_unoccupied`]), accumulating
+/// wall-clock only around `propose_ranked` — the brute candidate scan.
+/// The deployment work both variants share (`field.add_beacon`, the
+/// incremental re-survey) is excluded from the timing; it is identical
+/// on the brute and incremental sides by construction, so including it
+/// would only dilute the kernel being measured.
+fn brute_scan_run(
+    algorithm: &dyn PlacementAlgorithm,
+    base_field: &BeaconField,
+    base_map: &ErrorMap,
+    model: &dyn Propagation,
+    k: usize,
+) -> ScanRun {
+    let mut field = base_field.clone();
+    let mut map = base_map.clone();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut positions = Vec::with_capacity(k);
+    let mut scan_s = 0.0;
+    for _ in 0..k {
+        let view = SurveyView {
+            map: &map,
+            field: &field,
+            model,
+        };
+        let t = Instant::now();
+        let candidates = algorithm.propose_ranked(&view, field.len() + 1, &mut rng);
+        scan_s += t.elapsed().as_secs_f64();
+        let (pos, _forced) = pick_unoccupied(&candidates, &field);
+        let id = field.add_beacon(pos);
+        let beacon = *field.get(id).expect("beacon just added");
+        map.add_beacon(&beacon, model);
+        positions.push(pos);
+    }
+    ScanRun {
+        positions,
+        map,
+        scan_s,
+    }
+}
+
+/// Mirrors [`greedy_batch_incremental`] round for round, accumulating
+/// wall-clock around the scorer's scan-side work only: construction
+/// (the one-time full score build the incremental side pays instead of
+/// re-scanning every round), `ranked`, and `apply_delta`. The shared
+/// deployment work is excluded, as in [`brute_scan_run`].
+fn incremental_scan_run<S: IncrementalScorer>(
+    make_scorer: impl FnOnce(&ErrorMap) -> S,
+    base_field: &BeaconField,
+    base_map: &ErrorMap,
+    model: &dyn Propagation,
+    k: usize,
+) -> ScanRun {
+    let mut field = base_field.clone();
+    let mut map = base_map.clone();
+    let mut positions = Vec::with_capacity(k);
+    let t = Instant::now();
+    let mut scorer = make_scorer(&map);
+    let mut scan_s = t.elapsed().as_secs_f64();
+    for _ in 0..k {
+        let t = Instant::now();
+        let candidates = scorer.ranked(&map, field.len() + 1);
+        scan_s += t.elapsed().as_secs_f64();
+        let (pos, _forced) = pick_unoccupied(&candidates, &field);
+        let id = field.add_beacon(pos);
+        let beacon = *field.get(id).expect("beacon just added");
+        let delta = map.add_beacon(&beacon, model);
+        let t = Instant::now();
+        scorer.apply_delta(&map, delta);
+        scan_s += t.elapsed().as_secs_f64();
+        positions.push(pos);
+    }
+    ScanRun {
+        positions,
+        map,
+        scan_s,
+    }
+}
+
+/// Runs one candidate-scan kernel: reference outcomes from the *real*
+/// greedy loops first (proving the mirrored timing loops place
+/// identically), then `repeats` interleaved timed samples of the
+/// brute-scan and incremental-scan mirrors.
+fn candidate_scan_kernel<S: IncrementalScorer>(
+    name: &'static str,
+    algorithm: &dyn PlacementAlgorithm,
+    make_scorer: impl Fn(&ErrorMap) -> S,
+    field: &BeaconField,
+    base_map: &ErrorMap,
+    model: &dyn Propagation,
+    cfg: &BenchConfig,
+) -> KernelResult {
+    // Reference: the actual production entry points, untimed. These also
+    // serve as warmup for the timed mirrors below.
+    let (ref_positions, ref_map) = {
+        let (mut f, mut m) = (field.clone(), base_map.clone());
+        let out = greedy_batch(
+            algorithm,
+            &mut m,
+            &mut f,
+            model,
+            cfg.greedy_k,
+            &mut StdRng::seed_from_u64(0),
+        );
+        (out.positions, m)
+    };
+    let mut identical = {
+        let (mut f, mut m) = (field.clone(), base_map.clone());
+        let mut scorer = make_scorer(&m);
+        let out = greedy_batch_incremental(&mut scorer, &mut m, &mut f, model, cfg.greedy_k);
+        out.positions == ref_positions && maps_bit_identical(&m, &ref_map)
+    };
+
+    let mut brute_s = Vec::with_capacity(cfg.repeats);
+    let mut indexed_s = Vec::with_capacity(cfg.repeats);
+    for _ in 0..cfg.repeats {
+        let b = brute_scan_run(algorithm, field, base_map, model, cfg.greedy_k);
+        let i = incremental_scan_run(&make_scorer, field, base_map, model, cfg.greedy_k);
+        identical &= b.positions == ref_positions
+            && i.positions == ref_positions
+            && maps_bit_identical(&b.map, &ref_map)
+            && maps_bit_identical(&i.map, &ref_map);
+        brute_s.push(b.scan_s);
+        indexed_s.push(i.scan_s);
+    }
+    kernel_result(name, identical, &brute_s, &indexed_s)
+}
+
+fn kernel_result(
+    name: &'static str,
+    identical: bool,
+    brute_s: &[f64],
+    indexed_s: &[f64],
+) -> KernelResult {
+    let brute = Timing::from_samples(brute_s);
+    let indexed = Timing::from_samples(indexed_s);
+    let speedup = brute.median_s / indexed.median_s.max(f64::MIN_POSITIVE);
+    KernelResult {
+        name,
+        identical,
+        speedup,
+        brute,
+        indexed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_runs_and_outputs_are_identical() {
+        let mut cfg = BenchConfig::tiny();
+        cfg.repeats = 2;
+        let report = run_bench(&cfg);
+        assert_eq!(report.kernels.len(), 3);
+        assert!(report.all_identical(), "indexed kernels changed outputs");
+        for k in &report.kernels {
+            assert!(k.brute.median_s > 0.0, "{}: zero brute median", k.name);
+            assert!(k.indexed.median_s > 0.0, "{}: zero indexed median", k.name);
+            assert!(k.ci95_contains_median(), "{}: CI excludes median", k.name);
+            assert!(k.speedup.is_finite() && k.speedup > 0.0);
+        }
+    }
+
+    impl KernelResult {
+        fn ci95_contains_median(&self) -> bool {
+            let within = |t: &Timing| t.ci95_lo_s <= t.median_s && t.median_s <= t.ci95_hi_s;
+            within(&self.brute) && within(&self.indexed)
+        }
+    }
+
+    #[test]
+    fn json_report_has_the_documented_shape() {
+        let report = BenchReport {
+            config: BenchConfig::tiny(),
+            kernels: vec![KernelResult {
+                name: "survey_sweep",
+                identical: true,
+                speedup: 2.5,
+                brute: Timing::from_samples(&[0.4, 0.5, 0.6]),
+                indexed: Timing::from_samples(&[0.2]),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/1\""));
+        assert!(json.contains("\"preset\": \"tiny\""));
+        assert!(json.contains("\"name\": \"survey_sweep\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"median_s\": 0.5"));
+        assert!(json.contains("\"samples\": 3"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces: {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn median_ci_degenerates_to_range_for_tiny_samples() {
+        let t = Timing::from_samples(&[0.3, 0.1, 0.2]);
+        assert_eq!(t.median_s, 0.2);
+        assert_eq!(t.ci95_lo_s, 0.1);
+        assert_eq!(t.ci95_hi_s, 0.3);
+        assert_eq!(t.samples, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed sample")]
+    fn empty_samples_panic() {
+        let _ = Timing::from_samples(&[]);
+    }
+}

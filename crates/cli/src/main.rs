@@ -23,10 +23,16 @@
 //!   duel              paired Grid-vs-Max comparison with significance verdicts
 //!   localizers        estimator ablation: centroid vs weighted/locus/multilat
 //!   heatmap           ASCII before/after heatmap of one placement step
+//!   bench             time the brute vs spatially-indexed hot kernels
+//!                     (survey sweep, greedy candidate scan), verify the
+//!                     indexed outputs are bit-identical, and with --out
+//!                     write BENCH_sweep.json (median + 95% CI per kernel)
 //!   all               table1 + every paper figure + bound, in order
 //!
 //! options:
 //!   --preset paper|quick|tiny   base configuration   [default: quick]
+//!                               (bench: paper = 100-beacon 1 m paper scale,
+//!                               quick/tiny = seconds-scale smoke)
 //!   --trials N                  override trials per density
 //!   --step METERS               override survey lattice step
 //!   --threads N                 worker threads (0 = all cores)
@@ -73,8 +79,16 @@ enum TraceFormat {
 struct Options {
     command: String,
     cfg: SimConfig,
+    /// The raw `--preset` name (`bench` maps it to its own scales).
+    preset: String,
     noise: f64,
-    beacons: usize,
+    /// `--beacons` when given explicitly (commands have per-command
+    /// defaults).
+    beacons: Option<usize>,
+    /// `--step` when given explicitly (already applied to `cfg`).
+    step_override: Option<f64>,
+    /// `--seed` when given explicitly (already applied to `cfg`).
+    seed_override: Option<u64>,
     out: Option<PathBuf>,
     retry: u32,
     trial_timeout: Option<Duration>,
@@ -88,7 +102,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
-     faults|solspace|multilat|batch|duel|localizers|heatmap|all> \
+     faults|solspace|multilat|batch|duel|localizers|heatmap|bench|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
      [--retry N] [--trial-timeout DUR] \
@@ -128,7 +142,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut threads = None;
     let mut seed = None;
     let mut noise = 0.0;
-    let mut beacons = 40usize;
+    let mut beacons = None;
     let mut out = None;
     let mut retry = 0u32;
     let mut trial_timeout = None;
@@ -180,9 +194,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--noise: {e}"))?
             }
             "--beacons" => {
-                beacons = value("--beacons")?
-                    .parse::<usize>()
-                    .map_err(|e| format!("--beacons: {e}"))?
+                beacons = Some(
+                    value("--beacons")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--beacons: {e}"))?,
+                )
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--retry" => {
@@ -260,8 +276,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(Options {
         command,
         cfg,
+        preset,
         noise,
         beacons,
+        step_override: step,
+        seed_override: seed,
         out,
         retry,
         trial_timeout,
@@ -530,11 +549,17 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
         }
         "robustness" => {
             announce("robustness");
-            emit_pair(figures::robustness_with(cfg, opts.beacons, ctx), &opts.out)?;
+            emit_pair(
+                figures::robustness_with(cfg, opts.beacons.unwrap_or(40), ctx),
+                &opts.out,
+            )?;
         }
         "faults" => {
             announce("faults (beacon death, burst loss, GPS outages)");
-            emit_pair(figures::faults_with(cfg, opts.beacons, ctx), &opts.out)?;
+            emit_pair(
+                figures::faults_with(cfg, opts.beacons.unwrap_or(40), ctx),
+                &opts.out,
+            )?;
         }
         "solspace" => {
             announce("solspace");
@@ -546,7 +571,13 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
         "batch" => {
             announce("batch");
             emit(
-                &figures::multi_beacon_with(cfg, opts.noise, opts.beacons, &[1, 2, 4, 8, 12], ctx),
+                &figures::multi_beacon_with(
+                    cfg,
+                    opts.noise,
+                    opts.beacons.unwrap_or(40),
+                    &[1, 2, 4, 8, 12],
+                    ctx,
+                ),
                 &opts.out,
             )?;
         }
@@ -607,6 +638,55 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 &opts.out,
             )?;
         }
+        "bench" => {
+            let mut bcfg = match opts.preset.as_str() {
+                "paper" => abp_bench::BenchConfig::paper_scale(),
+                // The smoke scales: `quick` (the default) and `tiny`
+                // both run the seconds-scale scenario.
+                "quick" | "tiny" => abp_bench::BenchConfig::tiny(),
+                other => return Err(format!("bench: unknown preset {other}")),
+            };
+            if let Some(n) = opts.beacons {
+                if n == 0 {
+                    return Err("bench: --beacons must be at least 1".into());
+                }
+                bcfg.beacons = n;
+            }
+            if let Some(s) = opts.step_override {
+                bcfg.step = s;
+            }
+            if let Some(s) = opts.seed_override {
+                bcfg.seed = s;
+            }
+            eprintln!(
+                "running bench ({} scale: {} beacons, step {} m, {} samples/kernel)",
+                bcfg.preset, bcfg.beacons, bcfg.step, bcfg.repeats
+            );
+            let report = abp_bench::run_bench(&bcfg);
+            println!(
+                "{:<20} {:>14} {:>14} {:>9} {:>10}",
+                "kernel", "brute median", "indexed median", "speedup", "identical"
+            );
+            for k in &report.kernels {
+                println!(
+                    "{:<20} {:>13.4}s {:>13.4}s {:>8.2}x {:>10}",
+                    k.name, k.brute.median_s, k.indexed.median_s, k.speedup, k.identical
+                );
+            }
+            if let Some(dir) = &opts.out {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+                let path = dir.join("BENCH_sweep.json");
+                std::fs::write(&path, report.to_json())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+            }
+            if !report.all_identical() {
+                return Err(
+                    "bench: an indexed kernel produced output that differs from brute force".into(),
+                );
+            }
+        }
         "all" => {
             println!("{}", figures::table1());
             for cmd in [
@@ -616,8 +696,11 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                     &Options {
                         command: cmd.to_string(),
                         cfg: cfg.clone(),
+                        preset: opts.preset.clone(),
                         noise: opts.noise,
                         beacons: opts.beacons,
+                        step_override: opts.step_override,
+                        seed_override: opts.seed_override,
                         out: opts.out.clone(),
                         retry: opts.retry,
                         trial_timeout: opts.trial_timeout,
@@ -774,8 +857,36 @@ mod tests {
     #[test]
     fn beacons_option_parses() {
         let o = parse(&["robustness", "--beacons", "60"]).unwrap();
-        assert_eq!(o.beacons, 60);
+        assert_eq!(o.beacons, Some(60));
         assert!(parse(&["robustness", "--beacons", "x"]).is_err());
+        // Unset by default: commands apply their own defaults.
+        let o = parse(&["robustness"]).unwrap();
+        assert_eq!(o.beacons, None);
+    }
+
+    #[test]
+    fn bench_runs_and_writes_schema_valid_json() {
+        let dir = std::env::temp_dir().join(format!("abp-bench-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut o = parse(&["bench", "--preset", "tiny", "--seed", "7"]).unwrap();
+        o.out = Some(dir.clone());
+        run(&o).unwrap();
+        let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/1\""));
+        assert!(json.contains("\"seed\": 7"), "--seed reaches bench: {json}");
+        assert!(json.contains("\"name\": \"survey_sweep\""));
+        assert!(json.contains("\"name\": \"candidate_scan_grid\""));
+        assert!(json.contains("\"name\": \"candidate_scan_max\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(!json.contains("\"identical\": false"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_rejects_zero_beacons() {
+        let o = parse(&["bench", "--preset", "tiny", "--beacons", "0"]).unwrap();
+        let err = run(&o).unwrap_err();
+        assert!(err.contains("--beacons"), "got: {err}");
     }
 
     #[test]

@@ -1,17 +1,24 @@
-//! Cell-bucket spatial index over beacons.
+//! Grid-bin spatial index over beacons.
 
 use crate::beacon::Beacon;
 use crate::field::BeaconField;
-use abp_geom::Point;
-use std::collections::HashMap;
+use abp_geom::{GridBins, Point};
 
-/// A uniform-cell spatial index for radius-bounded beacon queries.
+/// A uniform-cell spatial index for radius-bounded beacon queries, built
+/// on [`abp_geom::GridBins`].
 ///
 /// Built once over a snapshot of a [`BeaconField`]; supports
 /// "all beacons within `r` of `p`" in time proportional to the number of
-/// cells the query disk touches. The connectivity oracle uses it when
-/// localizing many arbitrary (non-lattice) points, e.g. along a robot
-/// path.
+/// cells the query disk touches. The connectivity oracle and the indexed
+/// survey sweep use it to replace the brute O(points × beacons) scan.
+///
+/// # Ordering contract
+///
+/// Queries visit matching beacons in **ascending insertion order** — the
+/// order of [`BeaconField::iter`] — exactly as a brute-force scan of the
+/// field would. Downstream f64 accumulations (centroid sums, error maps)
+/// therefore produce bit-identical results on the indexed and brute
+/// paths. See [`abp_geom::bins`] for the underlying guarantee.
 ///
 /// # Example
 ///
@@ -30,91 +37,100 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CellIndex {
-    cell: f64,
-    buckets: HashMap<(i32, i32), Vec<Beacon>>,
-    len: usize,
+    bins: GridBins,
+    beacons: Vec<Beacon>,
 }
 
 impl CellIndex {
     /// Builds the index with cells of size `cell_size` (a good choice is
     /// the radio's maximum range, making queries touch at most 9 cells).
     ///
+    /// Queries with radius up to `cell_size` additionally get the
+    /// precomputed fast path of [`CellIndex::for_each_candidate`] — see
+    /// [`CellIndex::candidate_reach`].
+    ///
     /// # Panics
     ///
     /// Panics if `cell_size` is not finite and strictly positive.
     pub fn build(field: &BeaconField, cell_size: f64) -> Self {
-        assert!(
-            cell_size.is_finite() && cell_size > 0.0,
-            "cell size must be finite and positive, got {cell_size}"
-        );
-        let mut buckets: HashMap<(i32, i32), Vec<Beacon>> = HashMap::new();
-        for b in field {
-            buckets
-                .entry(Self::key(cell_size, b.pos()))
-                .or_default()
-                .push(*b);
-        }
+        let beacons: Vec<Beacon> = field.iter().copied().collect();
+        let positions: Vec<Point> = beacons.iter().map(|b| b.pos()).collect();
         CellIndex {
-            cell: cell_size,
-            buckets,
-            len: field.len(),
+            bins: GridBins::build_for_reach(&positions, cell_size, cell_size),
+            beacons,
         }
-    }
-
-    fn key(cell: f64, p: Point) -> (i32, i32) {
-        ((p.x / cell).floor() as i32, (p.y / cell).floor() as i32)
     }
 
     /// Number of indexed beacons.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.beacons.len()
     }
 
     /// Returns `true` if no beacons are indexed.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.beacons.is_empty()
     }
 
     /// The cell size.
     #[inline]
     pub fn cell_size(&self) -> f64 {
-        self.cell
+        self.bins.cell_size()
     }
 
     /// Invokes `f` for every beacon within `radius` of `p` (boundary
-    /// included).
+    /// included), in **ascending insertion order** (see the type-level
+    /// ordering contract). Returns the number of grid cells the query
+    /// pruned, for telemetry.
     ///
     /// # Panics
     ///
     /// Panics if `radius` is negative or not finite.
-    pub fn for_each_within<F: FnMut(&Beacon)>(&self, p: Point, radius: f64, mut f: F) {
-        assert!(
-            radius.is_finite() && radius >= 0.0,
-            "query radius must be finite and non-negative, got {radius}"
-        );
-        let r2 = radius * radius;
-        let (cx_lo, cy_lo) = Self::key(self.cell, Point::new(p.x - radius, p.y - radius));
-        let (cx_hi, cy_hi) = Self::key(self.cell, Point::new(p.x + radius, p.y + radius));
-        for cy in cy_lo..=cy_hi {
-            for cx in cx_lo..=cx_hi {
-                if let Some(bucket) = self.buckets.get(&(cx, cy)) {
-                    for b in bucket {
-                        if b.pos().distance_squared(p) <= r2 {
-                            f(b);
-                        }
-                    }
-                }
-            }
-        }
+    pub fn for_each_within<F: FnMut(&Beacon)>(&self, p: Point, radius: f64, mut f: F) -> usize {
+        self.bins
+            .for_each_within(p, radius, |k, _| f(&self.beacons[k]))
     }
 
-    /// Collects the beacons within `radius` of `p`.
+    /// Collects the beacons within `radius` of `p`, in insertion order.
     pub fn within(&self, p: Point, radius: f64) -> Vec<Beacon> {
         let mut out = Vec::new();
         self.for_each_within(p, radius, |b| out.push(*b));
         out
+    }
+
+    /// The query radius [`CellIndex::for_each_candidate`] is guaranteed
+    /// to cover: every beacon within this distance of a query point is
+    /// among the candidates. Equal to the `cell_size` given to
+    /// [`CellIndex::build`].
+    #[inline]
+    pub fn candidate_reach(&self) -> f64 {
+        self.bins
+            .candidate_reach()
+            .expect("CellIndex always builds its bins with build_for_reach")
+    }
+
+    /// Invokes `f` for every *candidate* beacon near `p` — a superset of
+    /// [`CellIndex::for_each_within`]`(p, candidate_reach())` with **no
+    /// distance filter applied** — in ascending insertion order. Returns
+    /// the number of grid cells the query pruned.
+    ///
+    /// This is the hot-loop entry point for callers that apply their own
+    /// distance-implied predicate per beacon (the connectivity oracle's
+    /// `connected()` check): one precomputed-slice walk per query, no
+    /// per-cell gathering. See [`abp_geom::GridBins::for_each_candidate`]
+    /// for the contract.
+    pub fn for_each_candidate<F: FnMut(&Beacon)>(&self, p: Point, mut f: F) -> usize {
+        self.bins.for_each_candidate(p, |k, _| f(&self.beacons[k]))
+    }
+
+    /// The underlying [`GridBins`] over the beacon *positions* (indices
+    /// correspond to beacon insertion order). Exposed for sweeps that
+    /// want the tightest possible candidate loop — iterating the dense
+    /// position array instead of the full beacon records.
+    #[inline]
+    pub fn bins(&self) -> &GridBins {
+        &self.bins
     }
 }
 
@@ -137,7 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn query_matches_bruteforce() {
+    fn query_matches_bruteforce_in_insertion_order() {
         let field = sample_field(200, 3);
         let idx = CellIndex::build(&field, 15.0);
         assert_eq!(idx.len(), 200);
@@ -149,14 +165,13 @@ mod tests {
             (50.0, 50.0, 200.0),
         ] {
             let p = Point::new(x, y);
-            let mut got: Vec<_> = idx.within(p, r).iter().map(|b| b.id()).collect();
-            got.sort();
-            let mut want: Vec<_> = field
+            let got: Vec<_> = idx.within(p, r).iter().map(|b| b.id()).collect();
+            // No sort: the index must already match the brute scan order.
+            let want: Vec<_> = field
                 .iter()
                 .filter(|b| b.pos().distance(p) <= r)
                 .map(|b| b.id())
                 .collect();
-            want.sort();
             assert_eq!(got, want, "query ({x},{y},{r})");
         }
     }
@@ -178,6 +193,14 @@ mod tests {
             let got = CellIndex::build(&field, cell).within(p, 20.0);
             assert_eq!(got.len(), baseline.len(), "cell {cell}");
         }
+    }
+
+    #[test]
+    fn reports_pruned_cells() {
+        let field = sample_field(200, 5);
+        let idx = CellIndex::build(&field, 10.0);
+        let pruned = idx.for_each_within(Point::new(50.0, 50.0), 10.0, |_| ());
+        assert!(pruned > 0, "a tight query over a 100 m field must prune");
     }
 
     #[test]

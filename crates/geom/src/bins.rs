@@ -1,0 +1,767 @@
+//! A uniform grid-bin spatial index over a fixed set of points.
+//!
+//! [`GridBins`] answers radius queries — "which of these points lie within
+//! `r` of `p`?" — by inspecting only the grid cells the query disk can
+//! touch, instead of scanning every point. It is the index behind the
+//! workspace's indexed connectivity sweeps: `abp-field` builds one over
+//! beacon positions and `abp-survey` / `abp-localize` / `abp-placement`
+//! query it in their hot loops.
+//!
+//! # Determinism and the ordering contract
+//!
+//! The whole pipeline promises bit-identical replay, and f64 accumulation
+//! is order-sensitive, so the index makes a hard guarantee:
+//!
+//! > [`GridBins::for_each_within`] and [`GridBins::within`] visit matching
+//! > points in **strictly ascending insertion order** (the order of the
+//! > slice passed to [`GridBins::build`]), and a point matches exactly when
+//! > `distance_squared(p) <= r * r` (boundary inclusive, `r = 0` allowed —
+//! > matching only points bit-equal to `p`).
+//!
+//! Because the candidate order equals the brute-force scan order, any sum
+//! folded over the visited points is **bit-identical** to the sum the
+//! brute-force filter would produce — the index can never change a result,
+//! only skip non-matching work. There is no tie-breaking to specify beyond
+//! this: coincident points, points exactly on cell boundaries, and points
+//! exactly at distance `r` are all visited, in insertion order.
+//!
+//! Internally the index is a compressed-sparse-row (CSR) layout built with
+//! a counting sort: no hashing, no pointer-chasing, and cell membership
+//! computed with the same `floor((coord - origin) / cell)` expression at
+//! build and query time, so a point can never fall between the cracks.
+//! Queries restore the global insertion order across the visited cells by
+//! marking candidates in a reusable thread-local bitmask and walking its
+//! set bits — no per-query allocation, no sort.
+//!
+//! # Example
+//!
+//! ```
+//! use abp_geom::{GridBins, Point};
+//!
+//! let pts = [
+//!     Point::new(0.0, 0.0),
+//!     Point::new(9.0, 0.0),
+//!     Point::new(2.0, 1.0),
+//! ];
+//! let bins = GridBins::build(&pts, 5.0);
+//!
+//! // Matches are reported in insertion order: index 0 before index 2.
+//! let hits = bins.within(Point::new(1.0, 0.0), 3.0);
+//! assert_eq!(hits.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 2]);
+//!
+//! // r = 0 matches only exact coincidence.
+//! assert_eq!(bins.within(Point::new(9.0, 0.0), 0.0).len(), 1);
+//! ```
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable per-thread candidate bitmask (one bit per indexed point).
+    /// Radius queries are the hot inner loop of the indexed sweeps — one
+    /// query per surveyed lattice point — so the scratch buffer must not
+    /// be reallocated per query. Taken (not borrowed) for the duration of
+    /// a query, so a reentrant query from the callback degrades to a
+    /// fresh allocation instead of a `RefCell` panic.
+    static CANDIDATE_BITS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A uniform grid-bin index over a fixed point set, supporting radius
+/// queries that visit candidates in ascending insertion order.
+///
+/// See the [module documentation](self) for the determinism / ordering
+/// contract. Build once with [`GridBins::build`]; the index is immutable
+/// (beacon fields that change rebuild it, which is `O(n)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridBins {
+    /// Cell side length.
+    cell: f64,
+    /// Lower-left corner of the binned bounding box.
+    origin: Point,
+    /// Grid extent in cells along x / y (0 when the point set is empty).
+    nx: u32,
+    ny: u32,
+    /// CSR row starts: `entries[starts[c]..starts[c + 1]]` are the point
+    /// indices binned into cell `c` (row-major), each slice sorted
+    /// ascending by construction (counting sort is stable).
+    starts: Vec<u32>,
+    entries: Vec<u32>,
+    /// The indexed points, in insertion order.
+    points: Vec<Point>,
+    /// Fixed-reach candidate lists (present after
+    /// [`GridBins::build_for_reach`]).
+    neighborhoods: Option<Neighborhoods>,
+}
+
+/// Precomputed per-cell candidate lists for fixed-radius queries: cell
+/// `c`'s list holds, ascending, every point binned within `half` cells
+/// of `c` — a superset of any radius-`reach` disk anchored in `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Neighborhoods {
+    /// The query radius the lists cover.
+    reach: f64,
+    /// Neighborhood half-width in cells, `ceil(reach / cell)`.
+    half: u32,
+    /// Per-cell CSR over the merged neighborhood lists, or `None` when
+    /// precomputation was skipped because the neighborhood block would
+    /// be too large relative to the grid (queries fall back to
+    /// [`GridBins::for_each_within`]).
+    table: Option<(Vec<u32>, Vec<u32>)>,
+}
+
+impl GridBins {
+    /// Builds the index over `points` with square cells of side
+    /// `cell_size`.
+    ///
+    /// The points are copied; indices reported by queries refer to
+    /// positions in the input slice. An empty slice yields an index whose
+    /// queries return nothing.
+    ///
+    /// `cell_size` is a *hint*: when the requested resolution would
+    /// allocate more than `O(len)` cells (a tiny cell over a huge extent),
+    /// the cell is doubled until the grid fits. This affects only how much
+    /// work queries do — never which points they report, nor their order.
+    /// [`GridBins::cell_size`] returns the effective value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and strictly positive, or if
+    /// any point coordinate is not finite.
+    pub fn build(points: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "grid-bin cell size must be finite and positive, got {cell_size}"
+        );
+        for (k, p) in points.iter().enumerate() {
+            assert!(
+                p.x.is_finite() && p.y.is_finite(),
+                "grid-bin point {k} has non-finite coordinates ({}, {})",
+                p.x,
+                p.y
+            );
+        }
+        if points.is_empty() {
+            return GridBins {
+                cell: cell_size,
+                origin: Point::ORIGIN,
+                nx: 0,
+                ny: 0,
+                starts: vec![0],
+                entries: Vec::new(),
+                points: Vec::new(),
+                neighborhoods: None,
+            };
+        }
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let origin = Point::new(min_x, min_y);
+        // A point exactly on the max edge maps to floor(extent / cell),
+        // one past the last "interior" cell — allocate it a real cell so
+        // build and query agree without clamping tricks.
+        //
+        // Keep the cell count O(len): a tiny cell over a huge extent would
+        // otherwise allocate an unbounded grid. Doubling the cell shrinks
+        // the grid ~4x per step, so this terminates quickly.
+        let cell_limit = points.len().max(16) * 4;
+        let mut cell_size = cell_size;
+        let (nx, ny) = loop {
+            let nx = ((max_x - min_x) / cell_size).floor() as u32 + 1;
+            let ny = ((max_y - min_y) / cell_size).floor() as u32 + 1;
+            if nx as usize * ny as usize <= cell_limit {
+                break (nx, ny);
+            }
+            cell_size *= 2.0;
+        };
+        let ncells = nx as usize * ny as usize;
+
+        // Counting sort into CSR: stable, so each cell's entry slice is
+        // ascending in insertion order.
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - min_x) / cell_size).floor() as u32).min(nx - 1);
+            let cy = (((p.y - min_y) / cell_size).floor() as u32).min(ny - 1);
+            cy as usize * nx as usize + cx as usize
+        };
+        let mut counts = vec![0u32; ncells + 1];
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..ncells {
+            counts[c + 1] += counts[c];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut entries = vec![0u32; points.len()];
+        for (k, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            entries[cursor[c] as usize] = k as u32;
+            cursor[c] += 1;
+        }
+        GridBins {
+            cell: cell_size,
+            origin,
+            nx,
+            ny,
+            starts,
+            entries,
+            points: points.to_vec(),
+            neighborhoods: None,
+        }
+    }
+
+    /// Builds the index and additionally precomputes, per cell, the
+    /// ascending list of every point a radius-`reach` query anchored in
+    /// that cell could match. [`GridBins::for_each_candidate`] then
+    /// answers fixed-reach candidate queries with a single cell lookup
+    /// and one precomputed slice walk — no per-query cell gathering at
+    /// all. This is the fast path for the connectivity sweeps, whose
+    /// query radius is fixed at the maximum radio range.
+    ///
+    /// The precomputation is skipped (and queries transparently fall
+    /// back to [`GridBins::for_each_within`]) when `reach` spans so many
+    /// cells that the per-cell lists would duplicate each point more
+    /// than 64 times — pick `cell_size` on the order of `reach` to stay
+    /// on the fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GridBins::build`], or if
+    /// `reach` is not finite and non-negative.
+    pub fn build_for_reach(points: &[Point], cell_size: f64, reach: f64) -> Self {
+        assert!(
+            reach.is_finite() && reach >= 0.0,
+            "grid-bin reach must be finite and non-negative, got {reach}"
+        );
+        let mut bins = Self::build(points, cell_size);
+        bins.precompute_neighborhoods(reach);
+        bins
+    }
+
+    fn precompute_neighborhoods(&mut self, reach: f64) {
+        // `self.cell` is the effective (possibly doubled) cell size, so
+        // `half` covers the worst-case query anchor anywhere in a cell:
+        // the disk [p - reach, p + reach] can only touch cells within
+        // ceil(reach / cell) of p's cell. Query points outside the
+        // bounding box clamp to an edge cell, which shifts the true cell
+        // range *toward* the grid, so the same half-width still covers
+        // every binned point within reach.
+        let half = (reach / self.cell).ceil();
+        let span = 2.0 * half + 1.0;
+        // Each point lands in at most span^2 per-cell lists; cap the
+        // duplication so a degenerate reach/cell ratio cannot blow up
+        // memory. Queries fall back to for_each_within in that case.
+        if span * span > 64.0 {
+            self.neighborhoods = Some(Neighborhoods {
+                reach,
+                half: 0,
+                table: None,
+            });
+            return;
+        }
+        let half = half as i64;
+        let ncells = self.cell_count();
+        let (nx, ny) = (self.nx as i64, self.ny as i64);
+        let block = |c: usize| {
+            let (cx, cy) = ((c % self.nx as usize) as i64, (c / self.nx as usize) as i64);
+            let x_lo = (cx - half).max(0);
+            let x_hi = (cx + half).min(nx - 1);
+            let y_lo = (cy - half).max(0);
+            let y_hi = (cy + half).min(ny - 1);
+            (x_lo, x_hi, y_lo, y_hi)
+        };
+        // Two passes, CSR-style: count each cell's neighborhood size,
+        // then fill. Filling iterates cells of the *source* CSR in any
+        // order but appends each point index k exactly once per target
+        // cell; doing the fill target-cell-major over ascending source
+        // slices would interleave — instead walk target cells and merge
+        // their block's source slices by ascending k via the same
+        // bitmask scratch the radius query uses.
+        let mut starts = vec![0u32; ncells + 1];
+        for c in 0..ncells {
+            let (x_lo, x_hi, y_lo, y_hi) = block(c);
+            let mut count = 0u32;
+            for cy in y_lo..=y_hi {
+                for cx in x_lo..=x_hi {
+                    let s = cy as usize * self.nx as usize + cx as usize;
+                    count += self.starts[s + 1] - self.starts[s];
+                }
+            }
+            starts[c + 1] = starts[c] + count;
+        }
+        let mut entries = vec![0u32; starts[ncells] as usize];
+        let mut bits = vec![0u64; self.points.len().div_ceil(64)];
+        for c in 0..ncells {
+            let (x_lo, x_hi, y_lo, y_hi) = block(c);
+            for word in bits.iter_mut() {
+                *word = 0;
+            }
+            for cy in y_lo..=y_hi {
+                for cx in x_lo..=x_hi {
+                    let s = cy as usize * self.nx as usize + cx as usize;
+                    let lo = self.starts[s] as usize;
+                    let hi = self.starts[s + 1] as usize;
+                    for &k in &self.entries[lo..hi] {
+                        bits[(k >> 6) as usize] |= 1u64 << (k & 63);
+                    }
+                }
+            }
+            let mut cursor = starts[c] as usize;
+            for (w, &word) in bits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    entries[cursor] = ((w << 6) | word.trailing_zeros() as usize) as u32;
+                    cursor += 1;
+                    word &= word - 1;
+                }
+            }
+            debug_assert_eq!(cursor, starts[c + 1] as usize);
+        }
+        self.neighborhoods = Some(Neighborhoods {
+            reach,
+            half: half as u32,
+            table: Some((starts, entries)),
+        });
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The effective cell side length (the build hint, possibly doubled
+    /// to keep the cell count `O(len)` — see [`GridBins::build`]).
+    #[inline]
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of grid cells (`0` for an empty index). Exposed so callers
+    /// can report how much of the grid a query pruned.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// The indexed points, in insertion order.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The fixed query radius [`GridBins::for_each_candidate`] covers,
+    /// or `None` if the index was built with plain [`GridBins::build`].
+    #[inline]
+    pub fn candidate_reach(&self) -> Option<f64> {
+        self.neighborhoods.as_ref().map(|nb| nb.reach)
+    }
+
+    /// Visits every indexed point within `radius` of `center` (boundary
+    /// inclusive), invoking `f(index, point)` in **ascending insertion
+    /// order** — see the [module documentation](self) for why this order
+    /// is load-bearing.
+    ///
+    /// Returns the number of grid cells the query *skipped* (cells outside
+    /// the query's cell range), which feeds the pruning telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` has non-finite coordinates or `radius` is not
+    /// finite and non-negative.
+    pub fn for_each_within<F: FnMut(usize, Point)>(
+        &self,
+        center: Point,
+        radius: f64,
+        mut f: F,
+    ) -> usize {
+        assert!(
+            center.x.is_finite() && center.y.is_finite(),
+            "grid-bin query center must be finite, got ({}, {})",
+            center.x,
+            center.y
+        );
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "grid-bin query radius must be finite and non-negative, got {radius}"
+        );
+        let ncells = self.cell_count();
+        if ncells == 0 {
+            return 0;
+        }
+        let Some((cx_lo, cx_hi)) =
+            self.axis_cells(center.x - radius, center.x + radius, self.origin.x, self.nx)
+        else {
+            return ncells;
+        };
+        let Some((cy_lo, cy_hi)) =
+            self.axis_cells(center.y - radius, center.y + radius, self.origin.y, self.ny)
+        else {
+            return ncells;
+        };
+        let visited = (cx_hi - cx_lo + 1) as usize * (cy_hi - cy_lo + 1) as usize;
+
+        // Mark candidates from every cell in range in a bitmask, then
+        // iterate set bits: per-cell slices are ascending but cells
+        // interleave, and the ordering contract is *global* ascending
+        // insertion order — which walking the mask word by word, bit by
+        // bit, yields without a sort or a per-query allocation.
+        let mut bits = CANDIDATE_BITS.with(RefCell::take);
+        bits.clear();
+        bits.resize(self.points.len().div_ceil(64), 0);
+        for cy in cy_lo..=cy_hi {
+            let row = cy as usize * self.nx as usize;
+            for cx in cx_lo..=cx_hi {
+                let c = row + cx as usize;
+                let lo = self.starts[c] as usize;
+                let hi = self.starts[c + 1] as usize;
+                for &k in &self.entries[lo..hi] {
+                    bits[(k >> 6) as usize] |= 1u64 << (k & 63);
+                }
+            }
+        }
+
+        let r2 = radius * radius;
+        for (w, &word) in bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let k = (w << 6) | word.trailing_zeros() as usize;
+                word &= word - 1;
+                let p = self.points[k];
+                if p.distance_squared(center) <= r2 {
+                    f(k, p);
+                }
+            }
+        }
+        CANDIDATE_BITS.with(|cell| *cell.borrow_mut() = bits);
+        ncells - visited
+    }
+
+    /// Visits every *candidate* for a radius-`reach` query at `center`
+    /// — a superset of [`GridBins::for_each_within`]`(center, reach)`
+    /// that applies **no distance filter** — in ascending insertion
+    /// order. `reach` is the value given to
+    /// [`GridBins::build_for_reach`].
+    ///
+    /// This is the fastest query the index offers: one cell lookup plus
+    /// one precomputed slice walk. Callers that apply their own
+    /// per-point predicate anyway (e.g. a radio connectivity check that
+    /// recomputes the distance) should use this instead of
+    /// [`GridBins::for_each_within`], which would filter by distance
+    /// only for the caller to re-derive it.
+    ///
+    /// Every point within `reach` of `center` is visited; points
+    /// *outside* `reach` but binned near it may also be visited. The
+    /// ascending-insertion-order guarantee is identical to
+    /// [`GridBins::for_each_within`], so filtering the candidates with
+    /// any predicate implied by `distance <= reach` folds to the same
+    /// bit-identical sums as the brute-force scan.
+    ///
+    /// Returns the number of grid cells the query skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built with [`GridBins::build`] instead of
+    /// [`GridBins::build_for_reach`], or if `center` has non-finite
+    /// coordinates.
+    pub fn for_each_candidate<F: FnMut(usize, Point)>(&self, center: Point, mut f: F) -> usize {
+        let nb = self
+            .neighborhoods
+            .as_ref()
+            .expect("GridBins::for_each_candidate requires an index built with build_for_reach");
+        let Some((starts, entries)) = &nb.table else {
+            // Precompute was skipped (reach spans too many cells); the
+            // radius-filtered walk is still a valid candidate set.
+            return self.for_each_within(center, nb.reach, f);
+        };
+        assert!(
+            center.x.is_finite() && center.y.is_finite(),
+            "grid-bin query center must be finite, got ({}, {})",
+            center.x,
+            center.y
+        );
+        let ncells = self.cell_count();
+        if ncells == 0 {
+            return 0;
+        }
+        // Same cell expression as build, clamped so out-of-bounds query
+        // points use the nearest edge cell (whose neighborhood still
+        // covers everything within reach of them — see
+        // precompute_neighborhoods).
+        let cx = (((center.x - self.origin.x) / self.cell).floor()).clamp(0.0, (self.nx - 1) as f64)
+            as usize;
+        let cy = (((center.y - self.origin.y) / self.cell).floor()).clamp(0.0, (self.ny - 1) as f64)
+            as usize;
+        let c = cy * self.nx as usize + cx;
+        for &k in &entries[starts[c] as usize..starts[c + 1] as usize] {
+            let k = k as usize;
+            f(k, self.points[k]);
+        }
+        let half = nb.half as usize;
+        let x_span = (cx + half).min(self.nx as usize - 1) - cx.saturating_sub(half) + 1;
+        let y_span = (cy + half).min(self.ny as usize - 1) - cy.saturating_sub(half) + 1;
+        ncells - x_span * y_span
+    }
+
+    /// Collects `(index, point)` pairs within `radius` of `center`, in
+    /// ascending insertion order. Convenience wrapper over
+    /// [`GridBins::for_each_within`].
+    pub fn within(&self, center: Point, radius: f64) -> Vec<(usize, Point)> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |k, p| out.push((k, p)));
+        out
+    }
+
+    /// Inclusive cell range `[lo, hi]` along one axis covering world
+    /// coordinates `[min, max]`, or `None` if the slab misses the grid.
+    fn axis_cells(&self, min: f64, max: f64, origin: f64, n: u32) -> Option<(u32, u32)> {
+        let lo_raw = ((min - origin) / self.cell).floor();
+        let hi_raw = ((max - origin) / self.cell).floor();
+        if hi_raw < 0.0 || lo_raw >= n as f64 {
+            return None;
+        }
+        let lo = lo_raw.max(0.0) as u32;
+        let hi = (hi_raw as i64).min(n as i64 - 1) as u32;
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference the index must agree with, including order.
+    fn brute(points: &[Point], center: Point, radius: f64) -> Vec<(usize, Point)> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_squared(center) <= radius * radius)
+            .map(|(k, p)| (k, *p))
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let bins = GridBins::build(&[], 1.0);
+        assert!(bins.is_empty());
+        assert_eq!(bins.within(Point::new(3.0, 4.0), 100.0), vec![]);
+    }
+
+    #[test]
+    fn single_point_and_zero_radius() {
+        let pts = [Point::new(2.0, 3.0)];
+        let bins = GridBins::build(&pts, 1.0);
+        assert_eq!(bins.within(Point::new(2.0, 3.0), 0.0), vec![(0, pts[0])]);
+        assert_eq!(bins.within(Point::new(2.0, 3.1), 0.0), vec![]);
+    }
+
+    #[test]
+    fn matches_brute_force_in_order_on_a_lattice() {
+        // Points on cell boundaries of the 5.0 grid on purpose.
+        let mut pts = Vec::new();
+        for j in 0..6 {
+            for i in 0..6 {
+                pts.push(Point::new(i as f64 * 5.0, j as f64 * 5.0));
+            }
+        }
+        let bins = GridBins::build(&pts, 5.0);
+        for &(cx, cy, r) in &[
+            (12.0, 12.0, 7.5),
+            (0.0, 0.0, 5.0),
+            (25.0, 25.0, 0.0),
+            (-10.0, -10.0, 3.0), // misses the grid
+            (12.5, 12.5, 100.0), // covers everything
+            (10.0, 10.0, 5.0),   // boundary-exact distances
+        ] {
+            let q = Point::new(cx, cy);
+            assert_eq!(
+                bins.within(q, r),
+                brute(&pts, q, r),
+                "query ({cx},{cy},{r})"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_all_reported_in_insertion_order() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        let bins = GridBins::build(&pts, 0.5);
+        let hits: Vec<usize> = bins
+            .within(Point::new(1.0, 1.0), 0.0)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn prune_count_reflects_skipped_cells() {
+        let mut pts = Vec::new();
+        for j in 0..10 {
+            for i in 0..10 {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        let bins = GridBins::build(&pts, 1.0);
+        let total = bins.cell_count();
+        let mut seen = 0;
+        let pruned = bins.for_each_within(Point::new(0.0, 0.0), 1.0, |_, _| seen += 1);
+        assert_eq!(seen, 3); // (0,0), (1,0), (0,1)
+        assert!(pruned > 0 && pruned < total, "pruned {pruned} of {total}");
+        // A query that misses the grid entirely prunes every cell.
+        assert_eq!(
+            bins.for_each_within(Point::new(-50.0, -50.0), 1.0, |_, _| ()),
+            total
+        );
+    }
+
+    #[test]
+    fn tiny_cells_and_huge_cells_agree_with_brute() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.1),
+            Point::new(99.9, 99.9),
+            Point::new(50.0, 50.0),
+            Point::new(100.0, 100.0),
+        ];
+        for cell in [0.05, 1.0, 33.3, 1000.0] {
+            let bins = GridBins::build(&pts, cell);
+            for &(cx, cy, r) in &[(50.0, 50.0, 80.0), (0.0, 0.0, 0.15), (100.0, 100.0, 0.0)] {
+                let q = Point::new(cx, cy);
+                assert_eq!(
+                    bins.within(q, r),
+                    brute(&pts, q, r),
+                    "cell {cell}, query ({cx},{cy},{r})"
+                );
+            }
+        }
+    }
+
+    /// Candidates must cover all within-reach points, in ascending order.
+    fn assert_candidates_cover(bins: &GridBins, pts: &[Point], q: Point, reach: f64) {
+        let mut cand = Vec::new();
+        bins.for_each_candidate(q, |k, _| cand.push(k));
+        assert!(
+            cand.windows(2).all(|w| w[0] < w[1]),
+            "candidates not strictly ascending: {cand:?}"
+        );
+        for (k, _) in brute(pts, q, reach) {
+            assert!(
+                cand.contains(&k),
+                "point {k} within {reach} of ({}, {}) missing from candidates {cand:?}",
+                q.x,
+                q.y
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_cover_every_within_reach_point() {
+        let mut pts = Vec::new();
+        for j in 0..8 {
+            for i in 0..8 {
+                pts.push(Point::new(i as f64 * 3.0, j as f64 * 3.0));
+            }
+        }
+        let reach = 7.0;
+        let bins = GridBins::build_for_reach(&pts, reach, reach);
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (10.5, 10.5),
+            (21.0, 21.0),
+            (-5.0, 12.0),  // left of the bounding box
+            (30.0, -4.0),  // below and right of it
+            (12.0, 100.0), // far above: nothing in reach, still fine
+        ] {
+            assert_candidates_cover(&bins, &pts, Point::new(x, y), reach);
+        }
+    }
+
+    #[test]
+    fn candidate_query_prunes_and_matches_filtered_walk() {
+        let mut pts = Vec::new();
+        for j in 0..10 {
+            for i in 0..10 {
+                pts.push(Point::new(i as f64 * 2.0, j as f64 * 2.0));
+            }
+        }
+        let reach = 3.0;
+        let bins = GridBins::build_for_reach(&pts, reach, reach);
+        let q = Point::new(9.0, 9.0);
+        let mut cand = Vec::new();
+        let pruned = bins.for_each_candidate(q, |k, _| cand.push(k));
+        assert!(pruned > 0 && pruned < bins.cell_count());
+        // Filtering the candidates by distance gives exactly within().
+        let filtered: Vec<usize> = cand
+            .into_iter()
+            .filter(|&k| pts[k].distance_squared(q) <= reach * reach)
+            .collect();
+        let within: Vec<usize> = bins.within(q, reach).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(filtered, within);
+    }
+
+    #[test]
+    fn oversized_reach_falls_back_to_filtered_walk() {
+        // reach/cell = 100 would duplicate each point ~40000x; the
+        // precompute is skipped and queries fall back to for_each_within,
+        // which filters by reach — still a valid candidate set.
+        let pts: Vec<Point> = (0..50)
+            .map(|k| Point::new(k as f64 * 1.0, (k % 7) as f64))
+            .collect();
+        let bins = GridBins::build_for_reach(&pts, 0.5, 50.0);
+        assert_candidates_cover(&bins, &pts, Point::new(25.0, 3.0), 50.0);
+    }
+
+    #[test]
+    fn empty_index_has_no_candidates() {
+        let bins = GridBins::build_for_reach(&[], 1.0, 5.0);
+        assert_eq!(bins.for_each_candidate(Point::new(1.0, 2.0), |_, _| ()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_for_reach")]
+    fn candidate_query_requires_reach_build() {
+        let bins = GridBins::build(&[Point::ORIGIN], 1.0);
+        bins.for_each_candidate(Point::ORIGIN, |_, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "reach")]
+    fn rejects_negative_reach() {
+        let _ = GridBins::build_for_reach(&[Point::ORIGIN], 1.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn rejects_nonpositive_cell() {
+        let _ = GridBins::build(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nonfinite_points() {
+        let _ = GridBins::build(&[Point::new(f64::NAN, 0.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn rejects_negative_radius() {
+        let bins = GridBins::build(&[Point::ORIGIN], 1.0);
+        let _ = bins.within(Point::ORIGIN, -1.0);
+    }
+}

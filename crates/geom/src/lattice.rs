@@ -187,6 +187,18 @@ impl Lattice {
         Some((lo, hi as u32))
     }
 
+    /// The inclusive index range `[lo, hi]` of lattice columns (or rows —
+    /// the lattice is square) whose coordinate falls within `[min, max]`,
+    /// or `None` if the slab misses the lattice entirely.
+    ///
+    /// This is exactly the span [`Lattice::for_each_in_rect`] enumerates
+    /// per axis; exposed so callers that cache per-row aggregates (the
+    /// incremental Grid scorer in `abp-placement`) can partition the
+    /// lattice identically.
+    pub fn index_span(&self, min: f64, max: f64) -> Option<(u32, u32)> {
+        self.axis_range(min, max)
+    }
+
     /// Enumerates the lattice points inside `disk` (boundary included),
     /// invoking `f(index, point)` for each.
     ///

@@ -101,8 +101,11 @@ impl CentroidLocalizer {
 
 impl Localizer for CentroidLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        self.localize_via(&ConnectivityOracle::new(field, model), at)
+    }
+
+    fn localize_via(&self, oracle: &ConnectivityOracle<'_>, at: Point) -> Fix {
         crate::LOCALIZER_EVALS.add(1);
-        let oracle = ConnectivityOracle::new(field, model);
         let mut sum_x = 0.0;
         let mut sum_y = 0.0;
         let mut heard = 0usize;
@@ -112,7 +115,7 @@ impl Localizer for CentroidLocalizer {
             heard += 1;
         });
         let estimate = if heard == 0 {
-            self.policy.estimate(field.terrain())
+            self.policy.estimate(oracle.field().terrain())
         } else {
             Some(Point::new(sum_x / heard as f64, sum_y / heard as f64))
         };

@@ -142,6 +142,19 @@ pub trait Localizer {
     /// Produces a fix for a client located at `at`.
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix;
 
+    /// Produces a fix using a caller-provided [`ConnectivityOracle`] —
+    /// the entry point that lets neighbor gathering go through a spatial
+    /// index ([`ConnectivityOracle::with_index`]).
+    ///
+    /// The default delegates to [`Localizer::localize`] with the oracle's
+    /// field and model (ignoring any attached index), so third-party
+    /// localizers stay correct; every localizer in this crate overrides
+    /// it to gather neighbors through the oracle, making indexed and
+    /// brute-force fixes identical by the oracle's ordering guarantee.
+    fn localize_via(&self, oracle: &ConnectivityOracle<'_>, at: Point) -> Fix {
+        self.localize(oracle.field(), oracle.model(), at)
+    }
+
     /// The [`UnheardPolicy`] this localizer applies when no beacon is
     /// heard. Surveys record this policy on the maps they build so that
     /// per-point validity matches what [`Localizer::localize`] actually
@@ -172,6 +185,21 @@ pub trait Localizer {
         at: Point,
     ) -> Localization {
         let fix = self.localize(field, model, at);
+        if fix.heard < self.min_beacons() {
+            Localization::Degraded {
+                heard: fix.heard,
+                fallback: fix,
+            }
+        } else {
+            Localization::Full(fix)
+        }
+    }
+
+    /// [`Localizer::try_localize`] through a caller-provided oracle, so
+    /// the neighbor gathering of the degradation check shares the
+    /// oracle's spatial index.
+    fn try_localize_via(&self, oracle: &ConnectivityOracle<'_>, at: Point) -> Localization {
+        let fix = self.localize_via(oracle, at);
         if fix.heard < self.min_beacons() {
             Localization::Degraded {
                 heard: fix.heard,

@@ -11,7 +11,7 @@
 
 use crate::oracle::ConnectivityOracle;
 use crate::{CentroidLocalizer, Fix, Localizer, UnheardPolicy};
-use abp_field::BeaconField;
+use abp_field::{Beacon, BeaconField};
 use abp_geom::{Point, Polygon};
 use abp_radio::Propagation;
 use serde::{Deserialize, Serialize};
@@ -93,8 +93,11 @@ impl LocusLocalizer {
     /// heard or the clipped region degenerates.
     pub fn locus(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Polygon {
         let oracle = ConnectivityOracle::new(field, model);
-        let heard = oracle.heard(at);
-        let r = model.nominal_range();
+        self.locus_of_heard(&oracle.heard(at), model.nominal_range())
+    }
+
+    /// The locus polygon of an already-gathered heard set.
+    fn locus_of_heard(&self, heard: &[Beacon], r: f64) -> Polygon {
         let Some(first) = heard.first() else {
             return Polygon::new(Vec::new());
         };
@@ -111,16 +114,19 @@ impl LocusLocalizer {
 
 impl Localizer for LocusLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        self.localize_via(&ConnectivityOracle::new(field, model), at)
+    }
+
+    fn localize_via(&self, oracle: &ConnectivityOracle<'_>, at: Point) -> Fix {
         crate::LOCALIZER_EVALS.add(1);
-        let oracle = ConnectivityOracle::new(field, model);
-        let heard = oracle.heard_count(at);
-        if heard == 0 {
+        let heard = oracle.heard(at);
+        if heard.is_empty() {
             return Fix {
-                estimate: self.policy.estimate(field.terrain()),
-                heard,
+                estimate: self.policy.estimate(oracle.field().terrain()),
+                heard: 0,
             };
         }
-        let poly = self.locus(field, model, at);
+        let poly = self.locus_of_heard(&heard, oracle.model().nominal_range());
         let estimate = poly
             .centroid()
             .or_else(|| poly.vertex_mean())
@@ -128,10 +134,13 @@ impl Localizer for LocusLocalizer {
             // to the plain centroid localizer.
             .or_else(|| {
                 CentroidLocalizer::new(self.policy)
-                    .localize(field, model, at)
+                    .localize_via(oracle, at)
                     .estimate
             });
-        Fix { estimate, heard }
+        Fix {
+            estimate,
+            heard: heard.len(),
+        }
     }
 
     fn unheard_policy(&self) -> UnheardPolicy {

@@ -139,23 +139,26 @@ impl MultilaterationLocalizer {
 
 impl Localizer for MultilaterationLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        self.localize_via(&ConnectivityOracle::new(field, model), at)
+    }
+
+    fn localize_via(&self, oracle: &ConnectivityOracle<'_>, at: Point) -> Fix {
         crate::LOCALIZER_EVALS.add(1);
-        let oracle = ConnectivityOracle::new(field, model);
         let heard = oracle.heard(at);
         if heard.is_empty() {
             return Fix {
-                estimate: self.policy.estimate(field.terrain()),
+                estimate: self.policy.estimate(oracle.field().terrain()),
                 heard: 0,
             };
         }
-        let centroid_fix = CentroidLocalizer::new(self.policy).localize(field, model, at);
+        let centroid_fix = CentroidLocalizer::new(self.policy).localize_via(oracle, at);
         if heard.len() < 3 {
             // Under-determined: degrade to proximity estimate.
             return centroid_fix;
         }
         let ranges: Vec<f64> = heard.iter().map(|b| self.measured_range(b, at)).collect();
         let start = centroid_fix.estimate.expect("heard >= 3 implies estimate");
-        let bounds = field.terrain().bounds();
+        let bounds = oracle.field().terrain().bounds();
         let estimate = self
             .solve(&heard, &ranges, start)
             .map(|p| bounds.clamp_point(p))

@@ -1,6 +1,6 @@
 //! The connectivity oracle: who can a client hear?
 
-use abp_field::{Beacon, BeaconField};
+use abp_field::{Beacon, BeaconField, CellIndex};
 use abp_geom::Point;
 use abp_radio::Propagation;
 
@@ -8,10 +8,11 @@ use abp_radio::Propagation;
 /// "which beacons are connected at point `P`?" — the primitive every
 /// localizer builds on.
 ///
-/// For the dense lattice surveys the experiment engine uses a beacon-major
-/// sweep instead (see `abp_survey::ErrorMap`); the oracle is the
-/// point-query counterpart, used for arbitrary positions (robot paths,
-/// examples, tests) and for validating the sweep.
+/// By default each query scans every beacon. Attach a spatial index with
+/// [`ConnectivityOracle::with_index`] and queries visit only the beacons
+/// whose grid cells the query's reach disk touches — same results, in the
+/// same beacon-insertion order (see the `abp_field::CellIndex` ordering
+/// contract), so downstream f64 accumulation stays bit-identical.
 ///
 /// # Example
 ///
@@ -34,6 +35,12 @@ use abp_radio::Propagation;
 pub struct ConnectivityOracle<'a> {
     field: &'a BeaconField,
     model: &'a dyn Propagation,
+    /// Spatial index, the query radius (the field-wide maximum reach:
+    /// beacons farther than this cannot be connected, by the
+    /// `Propagation::max_range` upper-bound contract), and whether the
+    /// index's precomputed candidate lists cover that radius (decided
+    /// once at construction so the per-query path is branch-stable).
+    index: Option<(&'a CellIndex, f64, bool)>,
 }
 
 impl std::fmt::Debug for ConnectivityOracle<'_> {
@@ -41,14 +48,70 @@ impl std::fmt::Debug for ConnectivityOracle<'_> {
         f.debug_struct("ConnectivityOracle")
             .field("beacons", &self.field.len())
             .field("nominal_range", &self.model.nominal_range())
+            .field("indexed", &self.index.is_some())
             .finish()
     }
 }
 
 impl<'a> ConnectivityOracle<'a> {
-    /// Creates the oracle over a field and model.
+    /// Creates the oracle over a field and model (brute-force queries).
     pub fn new(field: &'a BeaconField, model: &'a dyn Propagation) -> Self {
-        ConnectivityOracle { field, model }
+        ConnectivityOracle {
+            field,
+            model,
+            index: None,
+        }
+    }
+
+    /// Creates an oracle whose queries go through `index` instead of
+    /// scanning every beacon.
+    ///
+    /// `index` must have been built over exactly the beacons of `field`
+    /// (see [`ConnectivityOracle::build_index`]); results and their order
+    /// are then identical to the brute-force oracle — the index only
+    /// prunes beacons that `Propagation::max_range` proves unreachable.
+    pub fn with_index(
+        field: &'a BeaconField,
+        model: &'a dyn Propagation,
+        index: &'a CellIndex,
+    ) -> Self {
+        debug_assert_eq!(
+            index.len(),
+            field.len(),
+            "index must cover exactly the field's beacons"
+        );
+        let reach = Self::query_reach(field, model);
+        // The precomputed candidate lists are usable only when they
+        // cover the full query reach (an index built with a smaller cell
+        // would miss beacons between its reach and ours).
+        let precomputed = index.candidate_reach() >= reach;
+        ConnectivityOracle {
+            field,
+            model,
+            index: Some((index, reach, precomputed)),
+        }
+    }
+
+    /// Builds the spatial index matching this field and model: cell size
+    /// equal to the field-wide maximum reach, so a query touches at most
+    /// nine cells.
+    pub fn build_index(field: &BeaconField, model: &dyn Propagation) -> CellIndex {
+        CellIndex::build(field, Self::query_reach(field, model))
+    }
+
+    /// The field-wide maximum connectivity distance: no beacon can be
+    /// heard from farther away. Falls back to the nominal range on an
+    /// empty field, and is always finite and positive.
+    pub fn query_reach(field: &BeaconField, model: &dyn Propagation) -> f64 {
+        let reach = field
+            .iter()
+            .map(|b| model.max_range(b.tx(), b.pos()))
+            .fold(model.nominal_range(), f64::max);
+        assert!(
+            reach.is_finite() && reach > 0.0,
+            "propagation reach must be finite and positive, got {reach}"
+        );
+        reach
     }
 
     /// The underlying beacon field.
@@ -63,12 +126,47 @@ impl<'a> ConnectivityOracle<'a> {
         self.model
     }
 
-    /// Invokes `f` for every beacon connected at `at`.
+    /// Invokes `f` for every beacon connected at `at`, in beacon
+    /// insertion order (on both the brute and the indexed path).
     pub fn for_each_heard<F: FnMut(&Beacon)>(&self, at: Point, mut f: F) {
-        abp_radio::metrics::LINKS_TESTED.add(self.field.len() as u64);
-        for b in self.field {
-            if self.model.connected(b.tx(), b.pos(), at) {
-                f(b);
+        match self.index {
+            // Fast path: the index's precomputed candidate lists cover
+            // the query reach, so the query is one slice walk. An inline
+            // distance check rejects out-of-reach candidates before the
+            // (virtual) `connected()` call — sound because `reach` upper
+            // bounds every beacon's `max_range`, so a beacon farther
+            // than `reach` cannot be connected. The heard set and its
+            // order are exactly the brute scan's.
+            Some((index, reach, true)) => {
+                let r2 = reach * reach;
+                let mut tested = 0u64;
+                index.for_each_candidate(at, |b| {
+                    tested += 1;
+                    if b.pos().distance_squared(at) <= r2
+                        && self.model.connected(b.tx(), b.pos(), at)
+                    {
+                        f(b);
+                    }
+                });
+                abp_radio::metrics::LINKS_TESTED.add(tested);
+            }
+            Some((index, reach, false)) => {
+                let mut tested = 0u64;
+                index.for_each_within(at, reach, |b| {
+                    tested += 1;
+                    if self.model.connected(b.tx(), b.pos(), at) {
+                        f(b);
+                    }
+                });
+                abp_radio::metrics::LINKS_TESTED.add(tested);
+            }
+            None => {
+                abp_radio::metrics::LINKS_TESTED.add(self.field.len() as u64);
+                for b in self.field {
+                    if self.model.connected(b.tx(), b.pos(), at) {
+                        f(b);
+                    }
+                }
             }
         }
     }
@@ -163,6 +261,25 @@ mod tests {
         // Deterministic: repeated queries agree.
         let p = Point::new(50.0, 63.0);
         assert_eq!(oracle.heard(p), oracle.heard(p));
+    }
+
+    #[test]
+    fn indexed_oracle_matches_brute_in_order() {
+        use abp_field::generate;
+        let field = generate::uniform_grid(Terrain::square(100.0), 7);
+        for noise in [0.0, 0.4] {
+            let model = PerBeaconNoise::new(15.0, noise, 11);
+            let brute = ConnectivityOracle::new(&field, &model);
+            let index = ConnectivityOracle::build_index(&field, &model);
+            let indexed = ConnectivityOracle::with_index(&field, &model, &index);
+            for j in 0..11 {
+                for i in 0..11 {
+                    let at = Point::new(i as f64 * 10.0, j as f64 * 10.0);
+                    // Identical heard sets, in identical (insertion) order.
+                    assert_eq!(brute.heard(at), indexed.heard(at), "at {at}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -105,9 +105,12 @@ impl WeightedCentroidLocalizer {
 
 impl Localizer for WeightedCentroidLocalizer {
     fn localize(&self, field: &BeaconField, model: &dyn Propagation, at: Point) -> Fix {
+        self.localize_via(&ConnectivityOracle::new(field, model), at)
+    }
+
+    fn localize_via(&self, oracle: &ConnectivityOracle<'_>, at: Point) -> Fix {
         crate::LOCALIZER_EVALS.add(1);
-        let oracle = ConnectivityOracle::new(field, model);
-        let nominal = model.nominal_range();
+        let nominal = oracle.model().nominal_range();
         let mut sum_x = 0.0;
         let mut sum_y = 0.0;
         let mut sum_w = 0.0;
@@ -121,7 +124,7 @@ impl Localizer for WeightedCentroidLocalizer {
             heard += 1;
         });
         let estimate = if heard == 0 {
-            self.policy.estimate(field.terrain())
+            self.policy.estimate(oracle.field().terrain())
         } else {
             Some(Point::new(sum_x / sum_w, sum_y / sum_w))
         };

@@ -32,6 +32,45 @@ pub struct GreedyBatchOutcome {
     /// Mean error after each placement (length k), starting from the first
     /// added beacon.
     pub mean_after_each: Vec<f64>,
+    /// Rounds (0-based) in which **every** ranked candidate coincided with
+    /// an already-deployed beacon and the top candidate was re-used
+    /// anyway. Empty in healthy runs; a non-empty list means the
+    /// algorithm ran out of distinct proposals and the corresponding
+    /// beacons stack on occupied spots.
+    pub forced_duplicates: Vec<usize>,
+}
+
+/// Candidates closer than this to a deployed beacon count as occupied.
+pub(crate) const DUPLICATE_EPS: f64 = 1e-9;
+
+/// Picks the first candidate not occupied by a deployed beacon, or —
+/// explicitly, as a last resort — the top candidate when every proposal
+/// is occupied. Returns `(position, forced_duplicate)`.
+///
+/// This is the deployment step [`greedy_batch`] and
+/// [`greedy_batch_incremental`](crate::greedy_batch_incremental) share;
+/// it is public so harnesses (the candidate-scan bench) can mirror the
+/// greedy loop exactly while timing only the scan phase.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty: every [`PlacementAlgorithm`] is
+/// required to propose at least one position.
+pub fn pick_unoccupied(candidates: &[Point], field: &BeaconField) -> (Point, bool) {
+    let occupied = |c: &Point| {
+        field
+            .nearest_distance(*c)
+            .is_some_and(|d| d <= DUPLICATE_EPS)
+    };
+    match candidates.iter().find(|c| !occupied(c)) {
+        Some(&p) => (p, false),
+        None => {
+            let &top = candidates
+                .first()
+                .expect("placement algorithm proposed no candidates");
+            (top, true)
+        }
+    }
 }
 
 /// Greedily places `k` beacons: propose → deploy → incremental re-survey →
@@ -43,7 +82,10 @@ pub struct GreedyBatchOutcome {
 /// algorithms like Grid, a region whose residual error is dominated by
 /// *unreachable* points (e.g. terrain corners beyond any grid center's
 /// range) can stay the argmax forever, and naive repetition would stack
-/// useless duplicates on the same spot.
+/// useless duplicates on the same spot. When every ranked candidate is
+/// occupied the top candidate is re-used and the round is recorded in
+/// [`GreedyBatchOutcome::forced_duplicates`] — the fallback is explicit
+/// in the outcome, never silent.
 ///
 /// Returns the placement trace. With `k = 0` nothing changes.
 ///
@@ -79,26 +121,21 @@ pub fn greedy_batch<A: PlacementAlgorithm + ?Sized>(
     k: usize,
     rng: &mut dyn RngCore,
 ) -> GreedyBatchOutcome {
-    const DUPLICATE_EPS: f64 = 1e-9;
     let mut placed = Vec::with_capacity(k);
     let mut positions = Vec::with_capacity(k);
     let mut mean_after_each = Vec::with_capacity(k);
-    for _ in 0..k {
-        let pos = {
+    let mut forced_duplicates = Vec::new();
+    for round in 0..k {
+        let (pos, forced) = {
             let view = SurveyView { map, field, model };
             // Ask for enough alternatives to step past every occupied
             // candidate in the worst case.
             let candidates = algorithm.propose_ranked(&view, field.len() + 1, rng);
-            candidates
-                .iter()
-                .copied()
-                .find(|c| {
-                    field
-                        .nearest_distance(*c)
-                        .map_or(true, |d| d > DUPLICATE_EPS)
-                })
-                .unwrap_or(candidates[0])
+            pick_unoccupied(&candidates, field)
         };
+        if forced {
+            forced_duplicates.push(round);
+        }
         let id = field.add_beacon(pos);
         let beacon = *field.get(id).expect("beacon just added");
         map.add_beacon(&beacon, model);
@@ -110,6 +147,7 @@ pub fn greedy_batch<A: PlacementAlgorithm + ?Sized>(
         placed,
         positions,
         mean_after_each,
+        forced_duplicates,
     }
 }
 
@@ -257,6 +295,87 @@ mod tests {
             greedy_total >= oneshot_total * 0.95,
             "greedy ({greedy_total}) should not lose to one-shot ({oneshot_total})"
         );
+    }
+
+    #[test]
+    fn healthy_runs_record_no_forced_duplicates() {
+        let (_, mut field, model, mut map) = setup(6, 15);
+        let outcome = greedy_batch(
+            &GridPlacement::paper(terrain(), 15.0),
+            &mut map,
+            &mut field,
+            &model,
+            4,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert!(outcome.forced_duplicates.is_empty());
+    }
+
+    /// An adversarial algorithm that always proposes the same point, no
+    /// matter how many alternatives are requested.
+    struct StuckAlgorithm(Point);
+
+    impl PlacementAlgorithm for StuckAlgorithm {
+        fn name(&self) -> &'static str {
+            "stuck"
+        }
+
+        fn propose(&self, _view: &SurveyView<'_>, _rng: &mut dyn RngCore) -> Point {
+            self.0
+        }
+
+        fn propose_ranked(
+            &self,
+            _view: &SurveyView<'_>,
+            _k: usize,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<Point> {
+            vec![self.0]
+        }
+    }
+
+    #[test]
+    fn exhausted_candidates_fall_back_explicitly() {
+        // The spot is already occupied, so every round is forced onto it
+        // — and each forced round is recorded, not silently swallowed.
+        let spot = Point::new(50.0, 50.0);
+        let lattice = Lattice::new(terrain(), 4.0);
+        let mut field = BeaconField::from_positions(terrain(), [spot]);
+        let model = IdealDisk::new(15.0);
+        let mut map = ErrorMap::survey(&lattice, &field, &model, UnheardPolicy::TerrainCenter);
+        let outcome = greedy_batch(
+            &StuckAlgorithm(spot),
+            &mut map,
+            &mut field,
+            &model,
+            3,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(outcome.positions, vec![spot; 3]);
+        assert_eq!(outcome.forced_duplicates, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unoccupied_candidate_is_never_a_forced_duplicate() {
+        let spot = Point::new(50.0, 50.0);
+        let free = Point::new(20.0, 20.0);
+        let field = BeaconField::from_positions(terrain(), [spot]);
+        // First candidate occupied, second free: the pick steps past the
+        // occupied one and nothing is forced.
+        let (pos, forced) = pick_unoccupied(&[spot, free], &field);
+        assert_eq!(pos, free);
+        assert!(!forced);
+        // Only occupied candidates: explicit forced fallback to the top.
+        let (pos, forced) = pick_unoccupied(&[spot], &field);
+        assert_eq!(pos, spot);
+        assert!(forced);
+    }
+
+    #[test]
+    #[should_panic(expected = "proposed no candidates")]
+    fn empty_candidate_list_panics_loudly() {
+        let field = BeaconField::new(terrain());
+        let _ = pick_unoccupied(&[], &field);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 
 pub mod batch;
 pub mod grid;
+pub mod incremental;
 pub mod locusbreak;
 pub mod max;
 pub mod random;
@@ -66,8 +67,18 @@ pub mod weighted;
 /// cells for Grid/Weighted).
 pub static CANDIDATES_SCANNED: abp_trace::Counter = abp_trace::Counter::new("candidates_scanned");
 
-pub use batch::{greedy_batch, GreedyBatchOutcome};
+/// Telemetry: candidate positions an [`incremental`] scorer served from
+/// its cache instead of re-scoring, because the survey delta did not
+/// touch their supporting region. Together with [`CANDIDATES_SCANNED`]
+/// this proves (and quantifies) the incremental pruning: per update,
+/// `scanned + pruned` equals the full brute-force candidate count.
+pub static CELLS_PRUNED: abp_trace::Counter = abp_trace::Counter::new("cells_pruned");
+
+pub use batch::{greedy_batch, pick_unoccupied, GreedyBatchOutcome};
 pub use grid::GridPlacement;
+pub use incremental::{
+    greedy_batch_incremental, IncrementalGrid, IncrementalMax, IncrementalScorer,
+};
 pub use locusbreak::LocusBreakPlacement;
 pub use max::MaxPlacement;
 pub use random::RandomPlacement;

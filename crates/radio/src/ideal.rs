@@ -62,6 +62,14 @@ impl Propagation for IdealDisk {
     fn nominal_range(&self) -> f64 {
         self.range
     }
+
+    /// Connectivity *is* the sharp range-`R` disk: `connected` is
+    /// implemented as `distance_squared(rx) <= range * range`, exactly
+    /// the comparison the `disk_exact` contract requires.
+    #[inline]
+    fn disk_exact(&self) -> bool {
+        true
+    }
 }
 
 impl fmt::Display for IdealDisk {
@@ -106,6 +114,23 @@ mod tests {
         let m = IdealDisk::new(12.5);
         assert_eq!(m.max_range(TxId(0), Point::ORIGIN), 12.5);
         assert_eq!(m.nominal_range(), 12.5);
+    }
+
+    #[test]
+    fn disk_exact_matches_connected_everywhere() {
+        let m = IdealDisk::new(9.0);
+        assert!(m.disk_exact());
+        // The contract: connected <=> distance_squared <= max_range^2,
+        // including at the boundary.
+        for &(x, y) in &[(9.0, 0.0), (8.999, 0.0), (9.001, 0.0), (6.3, 6.4)] {
+            let rx = Point::new(x, y);
+            let r = m.max_range(TxId(1), Point::ORIGIN);
+            assert_eq!(
+                m.connected(TxId(1), Point::ORIGIN, rx),
+                Point::ORIGIN.distance_squared(rx) <= r * r,
+                "at ({x}, {y})"
+            );
+        }
     }
 
     #[test]

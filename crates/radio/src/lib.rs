@@ -116,6 +116,23 @@ pub trait Propagation: Send + Sync {
     /// The nominal transmission range `R` of the paper — the design range
     /// ignoring noise. Placement algorithms size their grids from this.
     fn nominal_range(&self) -> f64;
+
+    /// Whether connectivity is *exactly* the closed disk of
+    /// [`Propagation::max_range`]: `connected(tx, p, rx)` holds if and
+    /// only if `p.distance_squared(rx) <= max_range(tx, p) * max_range(tx, p)`
+    /// — that squared form verbatim, so the boundary bit-semantics are
+    /// pinned down.
+    ///
+    /// Index-accelerated sweeps use this to replace the per-candidate
+    /// virtual `connected` call with the inline comparison (same heard
+    /// sets, bit-identical accumulation, no dynamic dispatch in the hot
+    /// loop). Defaults to `false`, which is always sound; only models
+    /// whose connectivity truly is the sharp `max_range` disk — no
+    /// noise, shadowing, obstruction, or time variation — may override
+    /// it to `true`.
+    fn disk_exact(&self) -> bool {
+        false
+    }
 }
 
 // Allow `&M` and boxed models wherever a model is expected.

@@ -2,11 +2,48 @@
 
 use abp_field::{Beacon, BeaconField};
 use abp_geom::{Disk, Lattice, LatticeIndex, Point, Rect};
-use abp_localize::{Localizer, UnheardPolicy};
+use abp_localize::{ConnectivityOracle, Localizer, UnheardPolicy};
 use abp_radio::Propagation;
 use abp_stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// The lattice region an incremental survey update touched.
+///
+/// Returned by [`ErrorMap::add_beacon`] / [`ErrorMap::kill_beacon`] so
+/// downstream caches (incremental placement scoring in `abp-placement`)
+/// can re-derive only the affected region instead of rescanning the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SurveyDelta {
+    /// Inclusive `(min, max)` corners of the changed lattice-index
+    /// bounding box, or `None` when the update changed no point (the
+    /// beacon reached nothing).
+    pub changed: Option<(LatticeIndex, LatticeIndex)>,
+    /// Number of lattice points whose accumulators changed.
+    pub touched: usize,
+}
+
+impl SurveyDelta {
+    /// A delta that changed nothing.
+    pub const EMPTY: SurveyDelta = SurveyDelta {
+        changed: None,
+        touched: 0,
+    };
+
+    /// Whether any lattice point changed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_none()
+    }
+
+    /// Whether `ix` lies inside the changed bounding box.
+    pub fn contains(&self, ix: LatticeIndex) -> bool {
+        match self.changed {
+            Some((lo, hi)) => lo.i <= ix.i && ix.i <= hi.i && lo.j <= ix.j && ix.j <= hi.j,
+            None => false,
+        }
+    }
+}
 
 /// Explicit per-point accounting of a survey's measurement quality.
 ///
@@ -117,6 +154,159 @@ impl ErrorMap {
         map
     }
 
+    /// Point-major brute-force sweep: for every lattice point, scan every
+    /// beacon. `O(points × beacons)` — the reference the indexed sweep is
+    /// benchmarked and bit-compared against.
+    ///
+    /// Accumulates each point's heard beacons in insertion order — the
+    /// same per-point addition order as the beacon-major
+    /// [`ErrorMap::survey`] — so all three sweeps produce **bit-identical**
+    /// maps (asserted by tests and the CI perf-smoke job).
+    pub fn survey_point_major(
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+    ) -> Self {
+        Self::survey_via(&ConnectivityOracle::new(field, model), lattice, policy)
+    }
+
+    /// Point-major sweep through a grid-bin spatial index: each lattice
+    /// point tests only the beacons in nearby cells —
+    /// `O(points × beacons-in-reach)`.
+    ///
+    /// Bit-identical to [`ErrorMap::survey`] and
+    /// [`ErrorMap::survey_point_major`]: the index visits candidates in
+    /// insertion order (see `abp_field::CellIndex`) and prunes only
+    /// beacons that `Propagation::max_range` proves unreachable, so every
+    /// per-point accumulation performs the same additions in the same
+    /// order.
+    pub fn survey_indexed(
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+    ) -> Self {
+        let index = ConnectivityOracle::build_index(field, model);
+        // Disk-exact models (`Propagation::disk_exact`) let the sweep
+        // replace the virtual per-candidate `connected` call with the
+        // inline squared-distance comparison the contract pins down —
+        // the hottest loop in the workspace then touches only the dense
+        // position and threshold arrays, with no dynamic dispatch.
+        if model.disk_exact() {
+            return Self::survey_indexed_disk(&index, lattice, field, model, policy);
+        }
+        let oracle = ConnectivityOracle::with_index(field, model, &index);
+        Self::survey_via(&oracle, lattice, policy)
+    }
+
+    /// The disk-exact indexed sweep: per candidate, heard is exactly
+    /// `distance_squared <= max_range^2` (see
+    /// `Propagation::disk_exact`), evaluated inline over the index's
+    /// dense position array. Bit-identical to the oracle path because
+    /// the comparison *is* the model's `connected` and candidates arrive
+    /// in the same ascending insertion order.
+    fn survey_indexed_disk(
+        index: &abp_field::CellIndex,
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+    ) -> Self {
+        let n = lattice.len();
+        let mut map = ErrorMap {
+            lattice: *lattice,
+            policy,
+            sum_x: vec![0.0; n],
+            sum_y: vec![0.0; n],
+            count: vec![0; n],
+            errors: vec![0.0; n],
+        };
+        // Per-beacon squared thresholds, in insertion order (computed as
+        // r * r, matching the disk_exact contract verbatim).
+        let r2: Vec<f64> = field
+            .iter()
+            .map(|b| {
+                let r = model.max_range(b.tx(), b.pos());
+                r * r
+            })
+            .collect();
+        let bins = index.bins();
+        {
+            let _span = abp_trace::span!("radio.connectivity_sweep");
+            let mut tested = 0u64;
+            for ix in lattice.indices() {
+                let p = lattice.point(ix);
+                let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
+                bins.for_each_candidate(p, |k, bp| {
+                    tested += 1;
+                    if bp.distance_squared(p) <= r2[k] {
+                        sx += bp.x;
+                        sy += bp.y;
+                        heard += 1;
+                    }
+                });
+                let flat = lattice.flat(ix);
+                map.sum_x[flat] = sx;
+                map.sum_y[flat] = sy;
+                map.count[flat] = heard;
+            }
+            abp_radio::metrics::LINKS_TESTED.add(tested);
+        }
+        {
+            let _span = abp_trace::span!("localize.derive_errors");
+            for flat in 0..n {
+                map.errors[flat] = map.derive_error(flat);
+            }
+        }
+        map
+    }
+
+    /// Point-major sweep through a caller-provided oracle (brute or
+    /// indexed).
+    fn survey_via(
+        oracle: &ConnectivityOracle<'_>,
+        lattice: &Lattice,
+        policy: UnheardPolicy,
+    ) -> Self {
+        let n = lattice.len();
+        let mut map = ErrorMap {
+            lattice: *lattice,
+            policy,
+            sum_x: vec![0.0; n],
+            sum_y: vec![0.0; n],
+            count: vec![0; n],
+            errors: vec![0.0; n],
+        };
+        {
+            let _span = abp_trace::span!("radio.connectivity_sweep");
+            for ix in lattice.indices() {
+                let p = lattice.point(ix);
+                // Accumulate in locals and store once per point: the
+                // additions happen in the same (beacon-insertion) order
+                // as ever, so the sums stay bit-identical — only the
+                // per-beacon memory traffic goes away.
+                let (mut sx, mut sy, mut n) = (0.0f64, 0.0f64, 0u32);
+                oracle.for_each_heard(p, |b| {
+                    sx += b.pos().x;
+                    sy += b.pos().y;
+                    n += 1;
+                });
+                let flat = lattice.flat(ix);
+                map.sum_x[flat] = sx;
+                map.sum_y[flat] = sy;
+                map.count[flat] = n;
+            }
+        }
+        {
+            let _span = abp_trace::span!("localize.derive_errors");
+            for flat in 0..n {
+                map.errors[flat] = map.derive_error(flat);
+            }
+        }
+        map
+    }
+
     /// Reference implementation: runs an arbitrary [`Localizer`] at every
     /// lattice point. `O(points × beacons)` — used for validation and for
     /// non-centroid localizers, not in the hot experiment path.
@@ -142,9 +332,14 @@ impl ErrorMap {
             errors: vec![f64::NAN; n],
         };
         let _span = abp_trace::span!("localize.survey");
+        // One index for the whole sweep: localizers gather neighbors
+        // through it (Localizer::localize_via), which is order-identical
+        // to the brute scan — see the CellIndex ordering contract.
+        let index = ConnectivityOracle::build_index(field, model);
+        let oracle = ConnectivityOracle::with_index(field, model, &index);
         for ix in lattice.indices() {
             let p = lattice.point(ix);
-            let fix = localizer.localize(field, model, p);
+            let fix = localizer.localize_via(&oracle, p);
             let flat = lattice.flat(ix);
             map.count[flat] = fix.heard as u32;
             if let Some(est) = fix.estimate {
@@ -210,14 +405,17 @@ impl ErrorMap {
     ///
     /// The result is exactly what a full [`ErrorMap::survey`] of the
     /// extended field would produce (deterministic propagation makes the
-    /// replay exact); tests assert this equivalence.
-    pub fn add_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) {
+    /// replay exact); tests assert this equivalence. The returned
+    /// [`SurveyDelta`] bounds the changed region so cached scores can
+    /// update incrementally.
+    pub fn add_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) -> SurveyDelta {
         let _span = abp_trace::span!("radio.incremental_update");
         let reach = model.max_range(beacon.tx(), beacon.pos());
         let (bx, by) = (beacon.pos().x, beacon.pos().y);
         let tx = beacon.tx();
         let lattice = self.lattice;
         let mut touched = Vec::new();
+        let mut bounds: Option<(LatticeIndex, LatticeIndex)> = None;
         let mut tested = 0u64;
         lattice.for_each_in_disk(Disk::new(beacon.pos(), reach), |ix, p| {
             tested += 1;
@@ -227,23 +425,31 @@ impl ErrorMap {
                 self.sum_y[flat] += by;
                 self.count[flat] += 1;
                 touched.push(flat);
+                Self::grow_bounds(&mut bounds, ix);
             }
         });
         abp_radio::metrics::LINKS_TESTED.add(tested);
+        let delta = SurveyDelta {
+            changed: bounds,
+            touched: touched.len(),
+        };
         for flat in touched {
             self.errors[flat] = self.derive_error(flat);
         }
+        delta
     }
 
     /// Incrementally removes a beacon's contribution (the inverse of
     /// [`ErrorMap::add_beacon`]) — used by the self-scheduling extension
-    /// when a beacon turns passive.
-    pub fn remove_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) {
+    /// when a beacon turns passive and by fault experiments when one dies.
+    /// Returns the changed region, like [`ErrorMap::add_beacon`].
+    pub fn remove_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) -> SurveyDelta {
         let reach = model.max_range(beacon.tx(), beacon.pos());
         let (bx, by) = (beacon.pos().x, beacon.pos().y);
         let tx = beacon.tx();
         let lattice = self.lattice;
         let mut touched = Vec::new();
+        let mut bounds: Option<(LatticeIndex, LatticeIndex)> = None;
         lattice.for_each_in_disk(Disk::new(beacon.pos(), reach), |ix, p| {
             if model.connected(tx, beacon.pos(), p) {
                 let flat = lattice.flat(ix);
@@ -252,11 +458,33 @@ impl ErrorMap {
                 self.sum_y[flat] -= by;
                 self.count[flat] -= 1;
                 touched.push(flat);
+                Self::grow_bounds(&mut bounds, ix);
             }
         });
+        let delta = SurveyDelta {
+            changed: bounds,
+            touched: touched.len(),
+        };
         for flat in touched {
             self.errors[flat] = self.derive_error(flat);
         }
+        delta
+    }
+
+    /// [`ErrorMap::remove_beacon`] under its fault-experiment name: the
+    /// beacon died, take its contribution out of the map.
+    pub fn kill_beacon(&mut self, beacon: &Beacon, model: &dyn Propagation) -> SurveyDelta {
+        self.remove_beacon(beacon, model)
+    }
+
+    fn grow_bounds(bounds: &mut Option<(LatticeIndex, LatticeIndex)>, ix: LatticeIndex) {
+        *bounds = Some(match *bounds {
+            None => (ix, ix),
+            Some((lo, hi)) => (
+                LatticeIndex::new(lo.i.min(ix.i), lo.j.min(ix.j)),
+                LatticeIndex::new(hi.i.max(ix.i), hi.j.max(ix.j)),
+            ),
+        });
     }
 
     fn derive_error(&self, flat: usize) -> f64 {
@@ -437,15 +665,44 @@ impl ErrorMap {
     /// Cumulative (summed) error over the lattice points inside `rect` —
     /// Step 4 of the paper's Grid algorithm (`S(i, j)`). Excluded points
     /// contribute nothing.
+    ///
+    /// Summation association is fixed and documented: each lattice row's
+    /// errors are summed left-to-right into a row subtotal, and the row
+    /// subtotals are added bottom-to-top. The incremental Grid scorer in
+    /// `abp-placement` caches exactly those row subtotals, so its scores
+    /// are bit-identical to this function's.
     pub fn cumulative_error_in(&self, rect: &Rect) -> f64 {
-        let mut sum = 0.0;
+        let mut total = 0.0;
         let lattice = self.lattice;
+        let mut row = u32::MAX;
+        let mut row_sum = 0.0;
         lattice.for_each_in_rect(rect, |ix, _| {
+            if ix.j != row {
+                total += row_sum;
+                row_sum = 0.0;
+                row = ix.j;
+            }
             let e = self.errors[lattice.flat(ix)];
+            if !e.is_nan() {
+                row_sum += e;
+            }
+        });
+        total + row_sum
+    }
+
+    /// The row subtotal this map's [`ErrorMap::cumulative_error_in`]
+    /// association uses: valid errors of row `j`, columns `i_lo..=i_hi`,
+    /// summed left-to-right. Exposed for the incremental Grid scorer.
+    pub fn row_error_sum(&self, j: u32, i_lo: u32, i_hi: u32) -> f64 {
+        let per_side = self.lattice.per_side() as usize;
+        let base = j as usize * per_side;
+        let mut sum = 0.0;
+        for i in i_lo..=i_hi {
+            let e = self.errors[base + i as usize];
             if !e.is_nan() {
                 sum += e;
             }
-        });
+        }
         sum
     }
 }
@@ -530,6 +787,114 @@ mod tests {
                 assert_eq!(fast.heard_at(ix), slow.heard_at(ix), "heard at {ix}");
             }
         }
+    }
+
+    /// Bitwise map comparison: every accumulator and error identical to
+    /// the bit (NaN-safe via to_bits).
+    fn assert_bit_identical(a: &ErrorMap, b: &ErrorMap, label: &str) {
+        let (ax, ay, ac, ae) = a.parts();
+        let (bx, by, bc, be) = b.parts();
+        assert_eq!(ac, bc, "{label}: heard counts differ");
+        for flat in 0..a.len() {
+            assert_eq!(
+                ax[flat].to_bits(),
+                bx[flat].to_bits(),
+                "{label}: sum_x at {flat}"
+            );
+            assert_eq!(
+                ay[flat].to_bits(),
+                by[flat].to_bits(),
+                "{label}: sum_y at {flat}"
+            );
+            assert_eq!(
+                ae[flat].to_bits(),
+                be[flat].to_bits(),
+                "{label}: error at {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_sweeps_bit_identical() {
+        let lat = lattice(2.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let field = BeaconField::random_uniform(60, terrain(), &mut rng);
+        for noise in [0.0, 0.4] {
+            let model = PerBeaconNoise::new(15.0, noise, 5);
+            for policy in [UnheardPolicy::TerrainCenter, UnheardPolicy::Exclude] {
+                let beacon_major = ErrorMap::survey(&lat, &field, &model, policy);
+                let brute = ErrorMap::survey_point_major(&lat, &field, &model, policy);
+                let indexed = ErrorMap::survey_indexed(&lat, &field, &model, policy);
+                assert_bit_identical(&beacon_major, &brute, "beacon-major vs point-major");
+                assert_bit_identical(&brute, &indexed, "point-major vs indexed");
+            }
+        }
+    }
+
+    #[test]
+    fn add_beacon_delta_bounds_changed_region() {
+        let lat = lattice(2.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut field = BeaconField::random_uniform(20, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let before = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let id = field.add_beacon(Point::new(40.0, 60.0));
+        let beacon = *field.get(id).unwrap();
+        let mut map = before.clone();
+        let delta = map.add_beacon(&beacon, &model);
+        assert!(!delta.is_empty());
+        assert!(delta.touched > 0);
+        // Every point whose error changed lies inside the delta's box.
+        for ix in lat.indices() {
+            let changed = map.error_at(ix) != before.error_at(ix);
+            if changed {
+                assert!(delta.contains(ix), "changed point {ix} outside delta");
+            }
+        }
+        // And the box is tight to the beacon's reach.
+        let (lo, hi) = delta.changed.unwrap();
+        let r = model.max_range(beacon.tx(), beacon.pos());
+        assert!(lat.point(lo).distance(beacon.pos()) <= r * 2.0_f64.sqrt() + 1e-9);
+        assert!(lat.point(hi).distance(beacon.pos()) <= r * 2.0_f64.sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn kill_beacon_inverts_add_and_reports_same_region() {
+        let lat = lattice(4.0);
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut field = BeaconField::random_uniform(15, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let before = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let id = field.add_beacon(Point::new(70.0, 30.0));
+        let beacon = *field.get(id).unwrap();
+        let mut map = before.clone();
+        let added = map.add_beacon(&beacon, &model);
+        let killed = map.kill_beacon(&beacon, &model);
+        assert_eq!(added.changed, killed.changed);
+        assert_eq!(added.touched, killed.touched);
+        for ix in lat.indices() {
+            assert_eq!(map.heard_at(ix), before.heard_at(ix));
+        }
+    }
+
+    #[test]
+    fn row_error_sum_matches_cumulative_association() {
+        let lat = lattice(10.0);
+        let field = BeaconField::from_positions(terrain(), [Point::new(30.0, 30.0)]);
+        let model = IdealDisk::new(25.0);
+        let map = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let rect = Rect::new(Point::new(5.0, 15.0), Point::new(75.0, 85.0));
+        let (i_lo, i_hi) = lat.index_span(rect.min().x, rect.max().x).unwrap();
+        let (j_lo, j_hi) = lat.index_span(rect.min().y, rect.max().y).unwrap();
+        let mut total = 0.0;
+        for j in j_lo..=j_hi {
+            total += map.row_error_sum(j, i_lo, i_hi);
+        }
+        assert_eq!(
+            total.to_bits(),
+            map.cumulative_error_in(&rect).to_bits(),
+            "row-sum association must reproduce cumulative_error_in exactly"
+        );
     }
 
     #[test]

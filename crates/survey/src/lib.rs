@@ -45,7 +45,7 @@ pub mod robot;
 pub mod sampling;
 pub mod snapshot;
 
-pub use errormap::{ErrorMap, SurveyAccounting};
+pub use errormap::{ErrorMap, SurveyAccounting, SurveyDelta};
 pub use plan::SurveyPlan;
 pub use robot::{Robot, RobotReport};
 pub use sampling::SubsampleStrategy;
