@@ -7,4 +7,4 @@
 
 pub mod sweep;
 
-pub use sweep::{run_bench, BenchConfig, BenchReport, KernelResult, Timing};
+pub use sweep::{run_bench, AllocStats, BenchConfig, BenchReport, KernelResult, Timing};

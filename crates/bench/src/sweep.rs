@@ -20,12 +20,29 @@
 //! / `greedy_batch_incremental` entry points and verifies the mirrored
 //! loops place bit-identically to them.
 //!
+//! The `survey_sweep_scratch` kernel times the steady-state trial
+//! loop's two forms: a fresh [`ErrorMap::survey_indexed`] per sample
+//! (what every trial paid before scratch reuse) against
+//! [`ErrorMap::survey_indexed_with`] threading one [`SurveyScratch`]
+//! across samples (what the Monte-Carlo engine now does). When the
+//! binary is built with `--features count-allocs` the report also
+//! carries the reused path's steady-state allocator traffic — the
+//! `alloc` block's `allocs_per_trial` / `bytes_per_trial`, measured
+//! with [`abp_trace::thread_snapshot`] deltas around the post-warmup
+//! scratch samples only — and the CLI fails the run if it is nonzero.
+//!
 //! Timings are reported as the median over `repeats` interleaved
 //! samples with a distribution-free 95% confidence interval on the
 //! median (binomial order-statistic ranks, clamped to the observed
 //! range — exact for small sample counts, no normality assumption).
 //! See `docs/PERFORMANCE.md` for how to read the emitted
 //! `BENCH_sweep.json`.
+//!
+//! With [`BenchConfig::skip_brute`] set (the CLI's `--skip-brute`) the
+//! brute/reference sides are not run at all: each kernel reports its
+//! indexed timing on both sides, `speedup` degenerates to 1, and the
+//! bit-identity gate is **disabled** — the run is for fast local
+//! iteration on the indexed kernels only, never for tracked baselines.
 
 use abp_field::BeaconField;
 use abp_geom::{Lattice, Point, Terrain};
@@ -36,13 +53,15 @@ use abp_placement::{
 };
 use abp_radio::{IdealDisk, Propagation};
 use abp_stats::Summary;
-use abp_survey::ErrorMap;
+use abp_survey::{ErrorMap, SurveyScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
 /// Schema identifier written into the JSON report; CI validates it.
-pub const SCHEMA: &str = "abp-bench-sweep/1";
+/// `/2` added the `survey_sweep_scratch` kernel and the `alloc` block
+/// (alloc-counting flag + steady-state allocs/bytes per trial).
+pub const SCHEMA: &str = "abp-bench-sweep/2";
 
 /// Scenario and sampling configuration for one bench run.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +85,10 @@ pub struct BenchConfig {
     pub greedy_k: usize,
     /// Seed for the random beacon field.
     pub seed: u64,
+    /// Skip the brute/reference sides entirely: indexed timings are
+    /// reported on both sides, speedups degenerate to 1, and the
+    /// bit-identity gate is disabled. For fast local iteration only.
+    pub skip_brute: bool,
 }
 
 impl BenchConfig {
@@ -82,6 +105,7 @@ impl BenchConfig {
             repeats: 17,
             greedy_k: 16,
             seed: 42,
+            skip_brute: false,
         }
     }
 
@@ -96,6 +120,7 @@ impl BenchConfig {
             repeats: 3,
             greedy_k: 3,
             seed: 42,
+            skip_brute: false,
         }
     }
 }
@@ -152,6 +177,22 @@ pub struct KernelResult {
     pub indexed: Timing,
 }
 
+/// Steady-state allocator traffic of the scratch-reused survey path,
+/// measured over the post-warmup samples of the `survey_sweep_scratch`
+/// kernel. Meaningful only when [`AllocStats::counting`] is `true`
+/// (the binary was built with `--features count-allocs`); otherwise
+/// both rates are reported as 0 because nothing was counted.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AllocStats {
+    /// Whether the counting global allocator was compiled in.
+    pub counting: bool,
+    /// Mean allocator calls per reused-scratch survey (the zero-alloc
+    /// gate asserts this is exactly 0 when `counting`).
+    pub allocs_per_trial: f64,
+    /// Mean bytes requested per reused-scratch survey.
+    pub bytes_per_trial: f64,
+}
+
 /// The full report `abp bench` serializes to `BENCH_sweep.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -159,6 +200,8 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// Per-kernel results.
     pub kernels: Vec<KernelResult>,
+    /// Allocation accounting for the reused-scratch survey path.
+    pub alloc: AllocStats,
 }
 
 impl BenchReport {
@@ -191,6 +234,13 @@ impl BenchReport {
         out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
         out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats));
         out.push_str(&format!("  \"greedy_k\": {},\n", self.config.greedy_k));
+        out.push_str(&format!("  \"skip_brute\": {},\n", self.config.skip_brute));
+        out.push_str(&format!(
+            "  \"alloc\": {{\"counting\": {}, \"allocs_per_trial\": {}, \"bytes_per_trial\": {}}},\n",
+            self.alloc.counting,
+            json_f64(self.alloc.allocs_per_trial),
+            json_f64(self.alloc.bytes_per_trial)
+        ));
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str("    {\n");
@@ -259,27 +309,86 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         let mut indexed_s = Vec::with_capacity(cfg.repeats);
         let mut identical = true;
         // Warmup (untimed) to fault in code and caches.
-        let _ = ErrorMap::survey_point_major(&lattice, &field, &model, policy);
+        if !cfg.skip_brute {
+            let _ = ErrorMap::survey_point_major(&lattice, &field, &model, policy);
+        }
         let _ = ErrorMap::survey_indexed(&lattice, &field, &model, policy);
         for _ in 0..cfg.repeats {
-            let t = Instant::now();
-            let brute = ErrorMap::survey_point_major(&lattice, &field, &model, policy);
-            brute_s.push(t.elapsed().as_secs_f64());
+            if !cfg.skip_brute {
+                let t = Instant::now();
+                let brute = ErrorMap::survey_point_major(&lattice, &field, &model, policy);
+                brute_s.push(t.elapsed().as_secs_f64());
+                identical &= maps_bit_identical(&brute, &base_map);
+            }
             let t = Instant::now();
             let indexed = ErrorMap::survey_indexed(&lattice, &field, &model, policy);
             indexed_s.push(t.elapsed().as_secs_f64());
-            identical &=
-                maps_bit_identical(&brute, &indexed) && maps_bit_identical(&brute, &base_map);
+            if !cfg.skip_brute {
+                identical &= maps_bit_identical(&indexed, &base_map);
+            }
         }
-        kernels.push(kernel_result(
-            "survey_sweep",
-            identical,
-            &brute_s,
-            &indexed_s,
-        ));
+        kernels.push(if cfg.skip_brute {
+            kernel_result_skipped("survey_sweep", &indexed_s)
+        } else {
+            kernel_result("survey_sweep", identical, &brute_s, &indexed_s)
+        });
     }
 
-    // Kernels 2–3: the greedy candidate scan, full re-score vs
+    // Kernel 2: the steady-state trial loop — a fresh survey per sample
+    // (allocating its grid, index, and SoA every time) vs the same
+    // survey through one reused `SurveyScratch`. This is the path the
+    // Monte-Carlo engine runs per trial; the alloc stats come from the
+    // reused side's post-warmup samples.
+    let alloc;
+    {
+        let mut fresh_s = Vec::with_capacity(cfg.repeats);
+        let mut reused_s = Vec::with_capacity(cfg.repeats);
+        let mut identical = true;
+        let mut scratch = SurveyScratch::new();
+        // Warmup: the first reused pass grows the scratch buffers; the
+        // second proves they are warm so the timed/counted samples below
+        // measure the steady state only.
+        for _ in 0..2 {
+            let warm =
+                ErrorMap::survey_indexed_with(&lattice, &field, &model, policy, &mut scratch);
+            scratch.recycle(warm);
+        }
+        let mut allocs_total: u64 = 0;
+        let mut bytes_total: u64 = 0;
+        for _ in 0..cfg.repeats {
+            if !cfg.skip_brute {
+                let t = Instant::now();
+                let fresh = ErrorMap::survey_indexed(&lattice, &field, &model, policy);
+                fresh_s.push(t.elapsed().as_secs_f64());
+                identical &= maps_bit_identical(&fresh, &base_map);
+            }
+            let before = abp_trace::thread_snapshot();
+            let t = Instant::now();
+            let reused =
+                ErrorMap::survey_indexed_with(&lattice, &field, &model, policy, &mut scratch);
+            reused_s.push(t.elapsed().as_secs_f64());
+            let delta = abp_trace::thread_snapshot().delta_since(before);
+            allocs_total += delta.allocs;
+            bytes_total += delta.bytes;
+            if !cfg.skip_brute {
+                identical &= maps_bit_identical(&reused, &base_map);
+            }
+            scratch.recycle(reused);
+        }
+        let n = cfg.repeats.max(1) as f64;
+        alloc = AllocStats {
+            counting: abp_trace::counting(),
+            allocs_per_trial: allocs_total as f64 / n,
+            bytes_per_trial: bytes_total as f64 / n,
+        };
+        kernels.push(if cfg.skip_brute {
+            kernel_result_skipped("survey_sweep_scratch", &reused_s)
+        } else {
+            kernel_result("survey_sweep_scratch", identical, &fresh_s, &reused_s)
+        });
+    }
+
+    // Kernels 3–4: the greedy candidate scan, full re-score vs
     // incremental delta re-score, for Grid and Max.
     let grid_algo = GridPlacement::paper(terrain, cfg.nominal_range);
     kernels.push(candidate_scan_kernel(
@@ -304,6 +413,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     BenchReport {
         config: cfg.clone(),
         kernels,
+        alloc,
     }
 }
 
@@ -407,6 +517,16 @@ fn candidate_scan_kernel<S: IncrementalScorer>(
     model: &dyn Propagation,
     cfg: &BenchConfig,
 ) -> KernelResult {
+    if cfg.skip_brute {
+        // Timing-only mode: no brute mirror, no reference verification.
+        let _ = incremental_scan_run(&make_scorer, field, base_map, model, cfg.greedy_k);
+        let mut indexed_s = Vec::with_capacity(cfg.repeats);
+        for _ in 0..cfg.repeats {
+            let i = incremental_scan_run(&make_scorer, field, base_map, model, cfg.greedy_k);
+            indexed_s.push(i.scan_s);
+        }
+        return kernel_result_skipped(name, &indexed_s);
+    }
     // Reference: the actual production entry points, untimed. These also
     // serve as warmup for the timed mirrors below.
     let (ref_positions, ref_map) = {
@@ -461,6 +581,20 @@ fn kernel_result(
     }
 }
 
+/// The degenerate result a kernel reports under `skip_brute`: the
+/// indexed timing stands in on both sides, so `speedup` is exactly 1
+/// and `identical` is vacuously true (nothing was compared).
+fn kernel_result_skipped(name: &'static str, indexed_s: &[f64]) -> KernelResult {
+    let indexed = Timing::from_samples(indexed_s);
+    KernelResult {
+        name,
+        identical: true,
+        speedup: 1.0,
+        brute: indexed.clone(),
+        indexed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,7 +604,7 @@ mod tests {
         let mut cfg = BenchConfig::tiny();
         cfg.repeats = 2;
         let report = run_bench(&cfg);
-        assert_eq!(report.kernels.len(), 3);
+        assert_eq!(report.kernels.len(), 4);
         assert!(report.all_identical(), "indexed kernels changed outputs");
         for k in &report.kernels {
             assert!(k.brute.median_s > 0.0, "{}: zero brute median", k.name);
@@ -478,6 +612,37 @@ mod tests {
             assert!(k.ci95_contains_median(), "{}: CI excludes median", k.name);
             assert!(k.speedup.is_finite() && k.speedup > 0.0);
         }
+        assert_eq!(report.kernels[1].name, "survey_sweep_scratch");
+        assert_eq!(report.alloc.counting, abp_trace::counting());
+        if report.alloc.counting {
+            assert_eq!(
+                report.alloc.allocs_per_trial, 0.0,
+                "reused-scratch surveys must not allocate in steady state"
+            );
+            assert_eq!(report.alloc.bytes_per_trial, 0.0);
+        } else {
+            // Nothing counted: the rates must be reported as zero, not
+            // garbage.
+            assert_eq!(report.alloc.allocs_per_trial, 0.0);
+            assert_eq!(report.alloc.bytes_per_trial, 0.0);
+        }
+    }
+
+    #[test]
+    fn skip_brute_reports_degenerate_but_well_formed_kernels() {
+        let mut cfg = BenchConfig::tiny();
+        cfg.repeats = 2;
+        cfg.skip_brute = true;
+        let report = run_bench(&cfg);
+        assert_eq!(report.kernels.len(), 4);
+        for k in &report.kernels {
+            assert!(k.identical, "{}: vacuously true under skip_brute", k.name);
+            assert_eq!(k.speedup, 1.0, "{}: degenerate speedup", k.name);
+            assert_eq!(k.brute, k.indexed, "{}: indexed stands in", k.name);
+            assert!(k.indexed.median_s > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"skip_brute\": true"));
     }
 
     impl KernelResult {
@@ -498,10 +663,19 @@ mod tests {
                 brute: Timing::from_samples(&[0.4, 0.5, 0.6]),
                 indexed: Timing::from_samples(&[0.2]),
             }],
+            alloc: AllocStats {
+                counting: true,
+                allocs_per_trial: 0.0,
+                bytes_per_trial: 0.0,
+            },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/1\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/2\""));
         assert!(json.contains("\"preset\": \"tiny\""));
+        assert!(json.contains("\"skip_brute\": false"));
+        assert!(json.contains(
+            "\"alloc\": {\"counting\": true, \"allocs_per_trial\": 0, \"bytes_per_trial\": 0}"
+        ));
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"median_s\": 0.5"));

@@ -24,9 +24,12 @@
 //!   localizers        estimator ablation: centroid vs weighted/locus/multilat
 //!   heatmap           ASCII before/after heatmap of one placement step
 //!   bench             time the brute vs spatially-indexed hot kernels
-//!                     (survey sweep, greedy candidate scan), verify the
-//!                     indexed outputs are bit-identical, and with --out
-//!                     write BENCH_sweep.json (median + 95% CI per kernel)
+//!                     (survey sweep, scratch-reused survey, greedy
+//!                     candidate scan), verify the indexed outputs are
+//!                     bit-identical, and with --out write
+//!                     BENCH_sweep.json (median + 95% CI per kernel,
+//!                     plus steady-state allocs/trial when the binary
+//!                     was built with --features count-allocs)
 //!   all               table1 + every paper figure + bound, in order
 //!
 //! options:
@@ -46,6 +49,9 @@
 //!   --trial-timeout DUR         abort any trial attempt running longer than
 //!                               DUR (e.g. 30s, 500ms) and record a structured
 //!                               timeout; combines with --retry
+//!   --skip-brute                bench only: skip the brute/reference sides
+//!                               for fast local iteration; DISABLES the
+//!                               bit-identity gate, never use for baselines
 //!   --out DIR                   also write <figure>.csv files into DIR
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
@@ -98,6 +104,8 @@ struct Options {
     trace: Option<PathBuf>,
     trace_format: TraceFormat,
     counters: bool,
+    /// `--skip-brute`: bench-only fast iteration, identity gate off.
+    skip_brute: bool,
 }
 
 fn usage() -> &'static str {
@@ -105,7 +113,7 @@ fn usage() -> &'static str {
      faults|solspace|multilat|batch|duel|localizers|heatmap|bench|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
-     [--retry N] [--trial-timeout DUR] \
+     [--retry N] [--trial-timeout DUR] [--skip-brute] \
      [--progress] [--metrics-json PATH] [--checkpoint PATH] \
      [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
 }
@@ -152,6 +160,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut trace = None;
     let mut trace_format = TraceFormat::default();
     let mut counters = false;
+    let mut skip_brute = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -233,6 +242,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--counters" => counters = true,
+            "--skip-brute" => skip_brute = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -290,6 +300,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace,
         trace_format,
         counters,
+        skip_brute,
     })
 }
 
@@ -658,19 +669,38 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
             if let Some(s) = opts.seed_override {
                 bcfg.seed = s;
             }
+            bcfg.skip_brute = opts.skip_brute;
+            if bcfg.skip_brute {
+                eprintln!(
+                    "WARNING: --skip-brute: brute/reference kernels skipped, the \
+                     bit-identity gate is DISABLED; timings are for local iteration \
+                     only and must not be committed as a baseline"
+                );
+            }
             eprintln!(
                 "running bench ({} scale: {} beacons, step {} m, {} samples/kernel)",
                 bcfg.preset, bcfg.beacons, bcfg.step, bcfg.repeats
             );
             let report = abp_bench::run_bench(&bcfg);
             println!(
-                "{:<20} {:>14} {:>14} {:>9} {:>10}",
+                "{:<22} {:>14} {:>14} {:>9} {:>10}",
                 "kernel", "brute median", "indexed median", "speedup", "identical"
             );
             for k in &report.kernels {
                 println!(
-                    "{:<20} {:>13.4}s {:>13.4}s {:>8.2}x {:>10}",
+                    "{:<22} {:>13.4}s {:>13.4}s {:>8.2}x {:>10}",
                     k.name, k.brute.median_s, k.indexed.median_s, k.speedup, k.identical
+                );
+            }
+            if report.alloc.counting {
+                println!(
+                    "steady-state scratch survey: {:.2} allocs/trial, {:.0} bytes/trial",
+                    report.alloc.allocs_per_trial, report.alloc.bytes_per_trial
+                );
+            } else {
+                println!(
+                    "alloc counting off (build with --features count-allocs to measure \
+                     allocs/trial)"
                 );
             }
             if let Some(dir) = &opts.out {
@@ -681,10 +711,17 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                     .map_err(|e| format!("writing {}: {e}", path.display()))?;
                 eprintln!("wrote {}", path.display());
             }
-            if !report.all_identical() {
+            if !bcfg.skip_brute && !report.all_identical() {
                 return Err(
                     "bench: an indexed kernel produced output that differs from brute force".into(),
                 );
+            }
+            if report.alloc.counting && report.alloc.allocs_per_trial > 0.0 {
+                return Err(format!(
+                    "bench: the reused-scratch survey path allocated in steady state \
+                     ({} allocs/trial, expected 0)",
+                    report.alloc.allocs_per_trial
+                ));
             }
         }
         "all" => {
@@ -710,6 +747,7 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         trace: opts.trace.clone(),
                         trace_format: opts.trace_format,
                         counters: opts.counters,
+                        skip_brute: opts.skip_brute,
                     },
                     ctx,
                 )?;
@@ -872,14 +910,28 @@ mod tests {
         o.out = Some(dir.clone());
         run(&o).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/1\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/2\""));
         assert!(json.contains("\"seed\": 7"), "--seed reaches bench: {json}");
         assert!(json.contains("\"name\": \"survey_sweep\""));
+        assert!(json.contains("\"name\": \"survey_sweep_scratch\""));
         assert!(json.contains("\"name\": \"candidate_scan_grid\""));
         assert!(json.contains("\"name\": \"candidate_scan_max\""));
         assert!(json.contains("\"identical\": true"));
         assert!(!json.contains("\"identical\": false"));
+        assert!(json.contains("\"skip_brute\": false"));
+        assert!(json.contains("\"alloc\": {\"counting\": "));
+        assert!(json.contains("\"allocs_per_trial\": "));
+        assert!(json.contains("\"bytes_per_trial\": "));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn skip_brute_flag_parses_and_bench_runs_with_it() {
+        let o = parse(&["bench", "--skip-brute", "--preset", "tiny"]).unwrap();
+        assert!(o.skip_brute);
+        run(&o).unwrap();
+        // Off by default.
+        assert!(!parse(&["bench", "--preset", "tiny"]).unwrap().skip_brute);
     }
 
     #[test]

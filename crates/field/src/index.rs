@@ -39,6 +39,7 @@ use abp_geom::{GridBins, Point};
 pub struct CellIndex {
     bins: GridBins,
     beacons: Vec<Beacon>,
+    positions: Vec<Point>,
 }
 
 impl CellIndex {
@@ -58,7 +59,26 @@ impl CellIndex {
         CellIndex {
             bins: GridBins::build_for_reach(&positions, cell_size, cell_size),
             beacons,
+            positions,
         }
+    }
+
+    /// Rebuilds the index in place over a new field snapshot, reusing
+    /// the beacon, position, and CSR buffers of the previous build.
+    /// Equivalent to `*self = CellIndex::build(field, cell_size)` but
+    /// allocation-free once the buffers have grown to the sweep's
+    /// largest field (see [`GridBins::rebuild_for_reach_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and strictly positive.
+    pub fn rebuild(&mut self, field: &BeaconField, cell_size: f64) {
+        self.beacons.clear();
+        self.beacons.extend(field.iter().copied());
+        self.positions.clear();
+        self.positions.extend(self.beacons.iter().map(|b| b.pos()));
+        self.bins
+            .rebuild_for_reach_into(&self.positions, cell_size, cell_size);
     }
 
     /// Number of indexed beacons.
@@ -201,6 +221,32 @@ mod tests {
         let idx = CellIndex::build(&field, 10.0);
         let pruned = idx.for_each_within(Point::new(50.0, 50.0), 10.0, |_| ());
         assert!(pruned > 0, "a tight query over a 100 m field must prune");
+    }
+
+    #[test]
+    fn rebuild_equals_fresh_build() {
+        let a = sample_field(120, 4);
+        let b = sample_field(60, 8);
+        let mut reused = CellIndex::build(&a, 15.0);
+        reused.rebuild(&b, 12.0);
+        let fresh = CellIndex::build(&b, 12.0);
+        assert_eq!(reused.len(), fresh.len());
+        assert_eq!(reused.candidate_reach(), fresh.candidate_reach());
+        for &(x, y) in &[(0.0, 0.0), (50.0, 50.0), (99.0, 1.0)] {
+            let p = Point::new(x, y);
+            let got: Vec<_> = reused.within(p, 12.0).iter().map(|b| b.id()).collect();
+            let want: Vec<_> = fresh.within(p, 12.0).iter().map(|b| b.id()).collect();
+            assert_eq!(got, want, "query ({x},{y})");
+        }
+        // Growing back to the larger field also matches a fresh build.
+        reused.rebuild(&a, 15.0);
+        let fresh = CellIndex::build(&a, 15.0);
+        let p = Point::new(33.0, 66.0);
+        assert_eq!(
+            reused.within(p, 15.0).len(),
+            fresh.within(p, 15.0).len(),
+            "after rebuilding back to the larger field"
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //!   evaluation workload), regular grids (the §2.2 error-bound analysis),
 //!   perturbed grids (the air-drop scenario of §1), and clustered fields,
 //! * [`CellIndex`] — a cell-bucket spatial index over beacons for
-//!   radius-bounded queries.
+//!   radius-bounded queries,
+//! * [`BeaconSoA`] — a structure-of-arrays mirror (`xs`/`ys`/`reach²`)
+//!   for the dense sweep kernels in `abp-survey`.
 //!
 //! # Example
 //!
@@ -38,7 +40,9 @@ pub mod beacon;
 pub mod field;
 pub mod generate;
 pub mod index;
+pub mod soa;
 
 pub use beacon::{Beacon, BeaconId};
 pub use field::BeaconField;
 pub use index::CellIndex;
+pub use soa::BeaconSoA;

@@ -1,7 +1,7 @@
 //! Property-based tests for beacon fields and generators.
 
 use abp_field::generate::{clustered, grid_with_spacing, perturbed_grid, uniform_grid};
-use abp_field::{BeaconField, CellIndex};
+use abp_field::{BeaconField, BeaconSoA, CellIndex};
 use abp_geom::{Point, Terrain};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -103,6 +103,31 @@ proptest! {
         let nearest = field.nearest_distance(q).unwrap();
         for b in &field {
             prop_assert!(b.pos().distance(q) >= nearest - 1e-9);
+        }
+    }
+
+    /// `BeaconSoA` round-trips with `BeaconField`: same length, same
+    /// insertion order, bit-identical coordinates, and each `reach2`
+    /// lane is exactly what the closure returned for that beacon —
+    /// even through a rebuild from a different field.
+    #[test]
+    fn soa_round_trips_with_field(
+        n in 0usize..150, m in 0usize..150, seed in any::<u64>(), r in 0.0..40.0f64
+    ) {
+        let terrain = Terrain::square(100.0);
+        let first = BeaconField::random_uniform(n, terrain, &mut StdRng::seed_from_u64(seed));
+        let second =
+            BeaconField::random_uniform(m, terrain, &mut StdRng::seed_from_u64(seed ^ 1));
+        let mut soa = BeaconSoA::new();
+        for field in [&first, &second] {
+            soa.rebuild_with(field, |_| r * r);
+            prop_assert_eq!(soa.len(), field.len());
+            prop_assert_eq!(soa.is_empty(), field.is_empty());
+            for (k, b) in field.iter().enumerate() {
+                prop_assert_eq!(soa.xs()[k].to_bits(), b.pos().x.to_bits());
+                prop_assert_eq!(soa.ys()[k].to_bits(), b.pos().y.to_bits());
+                prop_assert_eq!(soa.reach2()[k].to_bits(), (r * r).to_bits());
+            }
         }
     }
 

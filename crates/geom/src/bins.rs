@@ -129,6 +129,37 @@ impl GridBins {
     /// Panics if `cell_size` is not finite and strictly positive, or if
     /// any point coordinate is not finite.
     pub fn build(points: &[Point], cell_size: f64) -> Self {
+        let mut bins = GridBins {
+            cell: cell_size,
+            origin: Point::ORIGIN,
+            nx: 0,
+            ny: 0,
+            starts: Vec::new(),
+            entries: Vec::new(),
+            points: Vec::new(),
+            neighborhoods: None,
+        };
+        bins.rebuild_into(points, cell_size);
+        bins
+    }
+
+    /// Rebuilds the index in place over a (possibly different) point set,
+    /// reusing the existing CSR buffers instead of allocating fresh ones.
+    ///
+    /// The result is exactly what [`GridBins::build`]`(points, cell_size)`
+    /// would produce — same cells, same CSR contents, same query results
+    /// and order — but once the buffers have grown to the working-set
+    /// size, a rebuild performs **zero heap allocations**. Per-trial index
+    /// construction in the Monte-Carlo hot loop goes through this path.
+    ///
+    /// Any precomputed neighborhoods are discarded (use
+    /// [`GridBins::rebuild_for_reach_into`] to rebuild them too, reusing
+    /// their buffers as well).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GridBins::build`].
+    pub fn rebuild_into(&mut self, points: &[Point], cell_size: f64) {
         assert!(
             cell_size.is_finite() && cell_size > 0.0,
             "grid-bin cell size must be finite and positive, got {cell_size}"
@@ -141,17 +172,18 @@ impl GridBins {
                 p.y
             );
         }
+        self.neighborhoods = None;
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.starts.clear();
+        self.entries.clear();
         if points.is_empty() {
-            return GridBins {
-                cell: cell_size,
-                origin: Point::ORIGIN,
-                nx: 0,
-                ny: 0,
-                starts: vec![0],
-                entries: Vec::new(),
-                points: Vec::new(),
-                neighborhoods: None,
-            };
+            self.cell = cell_size;
+            self.origin = Point::ORIGIN;
+            self.nx = 0;
+            self.ny = 0;
+            self.starts.push(0);
+            return;
         }
         let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
         let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
@@ -182,37 +214,36 @@ impl GridBins {
         let ncells = nx as usize * ny as usize;
 
         // Counting sort into CSR: stable, so each cell's entry slice is
-        // ascending in insertion order.
+        // ascending in insertion order. To avoid a separate cursor
+        // buffer, the fill advances `starts[c]` itself (leaving it at the
+        // end of cell `c`, i.e. at the proper value of `starts[c + 1]`)
+        // and a final right-shift restores the row starts.
         let cell_of = |p: &Point| -> usize {
             let cx = (((p.x - min_x) / cell_size).floor() as u32).min(nx - 1);
             let cy = (((p.y - min_y) / cell_size).floor() as u32).min(ny - 1);
             cy as usize * nx as usize + cx as usize
         };
-        let mut counts = vec![0u32; ncells + 1];
+        self.starts.resize(ncells + 1, 0);
         for p in points {
-            counts[cell_of(p) + 1] += 1;
+            self.starts[cell_of(p) + 1] += 1;
         }
         for c in 0..ncells {
-            counts[c + 1] += counts[c];
+            self.starts[c + 1] += self.starts[c];
         }
-        let starts = counts.clone();
-        let mut cursor = counts;
-        let mut entries = vec![0u32; points.len()];
+        self.entries.resize(points.len(), 0);
         for (k, p) in points.iter().enumerate() {
             let c = cell_of(p);
-            entries[cursor[c] as usize] = k as u32;
-            cursor[c] += 1;
+            self.entries[self.starts[c] as usize] = k as u32;
+            self.starts[c] += 1;
         }
-        GridBins {
-            cell: cell_size,
-            origin,
-            nx,
-            ny,
-            starts,
-            entries,
-            points: points.to_vec(),
-            neighborhoods: None,
+        for c in (1..=ncells).rev() {
+            self.starts[c] = self.starts[c - 1];
         }
+        self.starts[0] = 0;
+        self.cell = cell_size;
+        self.origin = origin;
+        self.nx = nx;
+        self.ny = ny;
     }
 
     /// Builds the index and additionally precomputes, per cell, the
@@ -239,11 +270,37 @@ impl GridBins {
             "grid-bin reach must be finite and non-negative, got {reach}"
         );
         let mut bins = Self::build(points, cell_size);
-        bins.precompute_neighborhoods(reach);
+        bins.precompute_neighborhoods_into(reach, Vec::new(), Vec::new());
         bins
     }
 
-    fn precompute_neighborhoods(&mut self, reach: f64) {
+    /// [`GridBins::rebuild_into`] for indices built with
+    /// [`GridBins::build_for_reach`]: rebuilds the CSR grid *and* the
+    /// per-cell candidate neighborhoods in place, recycling both the grid
+    /// buffers and the neighborhood-table buffers. Bit-identical results
+    /// to a fresh [`GridBins::build_for_reach`]; zero heap allocations at
+    /// steady state (after the buffers reach the working-set size).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GridBins::build_for_reach`].
+    pub fn rebuild_for_reach_into(&mut self, points: &[Point], cell_size: f64, reach: f64) {
+        assert!(
+            reach.is_finite() && reach >= 0.0,
+            "grid-bin reach must be finite and non-negative, got {reach}"
+        );
+        let recycled = self.neighborhoods.take().and_then(|nb| nb.table);
+        self.rebuild_into(points, cell_size);
+        let (nb_starts, nb_entries) = recycled.unwrap_or_default();
+        self.precompute_neighborhoods_into(reach, nb_starts, nb_entries);
+    }
+
+    fn precompute_neighborhoods_into(
+        &mut self,
+        reach: f64,
+        mut nb_starts: Vec<u32>,
+        mut nb_entries: Vec<u32>,
+    ) {
         // `self.cell` is the effective (possibly doubled) cell size, so
         // `half` covers the worst-case query anchor anywhere in a cell:
         // the disk [p - reach, p + reach] can only touch cells within
@@ -281,8 +338,12 @@ impl GridBins {
         // cell; doing the fill target-cell-major over ascending source
         // slices would interleave — instead walk target cells and merge
         // their block's source slices by ascending k via the same
-        // bitmask scratch the radius query uses.
-        let mut starts = vec![0u32; ncells + 1];
+        // bitmask scratch the radius query uses. The CSR buffers come in
+        // from the caller (recycled on the rebuild path, empty on first
+        // build) and the bitmask is the thread-local query scratch, so a
+        // steady-state rebuild allocates nothing.
+        nb_starts.clear();
+        nb_starts.resize(ncells + 1, 0);
         for c in 0..ncells {
             let (x_lo, x_hi, y_lo, y_hi) = block(c);
             let mut count = 0u32;
@@ -292,10 +353,13 @@ impl GridBins {
                     count += self.starts[s + 1] - self.starts[s];
                 }
             }
-            starts[c + 1] = starts[c] + count;
+            nb_starts[c + 1] = nb_starts[c] + count;
         }
-        let mut entries = vec![0u32; starts[ncells] as usize];
-        let mut bits = vec![0u64; self.points.len().div_ceil(64)];
+        nb_entries.clear();
+        nb_entries.resize(nb_starts[ncells] as usize, 0);
+        let mut bits = CANDIDATE_BITS.with(RefCell::take);
+        bits.clear();
+        bits.resize(self.points.len().div_ceil(64), 0);
         for c in 0..ncells {
             let (x_lo, x_hi, y_lo, y_hi) = block(c);
             for word in bits.iter_mut() {
@@ -311,21 +375,22 @@ impl GridBins {
                     }
                 }
             }
-            let mut cursor = starts[c] as usize;
+            let mut cursor = nb_starts[c] as usize;
             for (w, &word) in bits.iter().enumerate() {
                 let mut word = word;
                 while word != 0 {
-                    entries[cursor] = ((w << 6) | word.trailing_zeros() as usize) as u32;
+                    nb_entries[cursor] = ((w << 6) | word.trailing_zeros() as usize) as u32;
                     cursor += 1;
                     word &= word - 1;
                 }
             }
-            debug_assert_eq!(cursor, starts[c + 1] as usize);
+            debug_assert_eq!(cursor, nb_starts[c + 1] as usize);
         }
+        CANDIDATE_BITS.with(|cell| *cell.borrow_mut() = bits);
         self.neighborhoods = Some(Neighborhoods {
             reach,
             half: half as u32,
-            table: Some((starts, entries)),
+            table: Some((nb_starts, nb_entries)),
         });
     }
 
@@ -512,6 +577,63 @@ impl GridBins {
         let x_span = (cx + half).min(self.nx as usize - 1) - cx.saturating_sub(half) + 1;
         let y_span = (cy + half).min(self.ny as usize - 1) - cy.saturating_sub(half) + 1;
         ncells - x_span * y_span
+    }
+
+    /// The grid cell a [`GridBins::for_each_candidate`] query at `center`
+    /// resolves to, or `None` when the precomputed candidate table is
+    /// unavailable (empty index, plain [`GridBins::build`], or skipped
+    /// precompute — the cases where `for_each_candidate` falls back to a
+    /// filtered walk).
+    ///
+    /// Together with [`GridBins::cell_candidates`] this lets a tight
+    /// sweep hoist the per-point closure call out of its inner loop:
+    /// resolve the cell once per query point (consecutive points usually
+    /// share it) and walk the raw candidate slice directly over
+    /// structure-of-arrays data. The slice contents and order are exactly
+    /// what `for_each_candidate` would visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` has non-finite coordinates.
+    #[inline]
+    pub fn candidate_cell(&self, center: Point) -> Option<usize> {
+        let nb = self.neighborhoods.as_ref()?;
+        nb.table.as_ref()?;
+        if self.cell_count() == 0 {
+            return None;
+        }
+        assert!(
+            center.x.is_finite() && center.y.is_finite(),
+            "grid-bin query center must be finite, got ({}, {})",
+            center.x,
+            center.y
+        );
+        let cx = (((center.x - self.origin.x) / self.cell).floor()).clamp(0.0, (self.nx - 1) as f64)
+            as usize;
+        let cy = (((center.y - self.origin.y) / self.cell).floor()).clamp(0.0, (self.ny - 1) as f64)
+            as usize;
+        Some(cy * self.nx as usize + cx)
+    }
+
+    /// The precomputed candidate list of cell `c` (point indices in
+    /// **ascending insertion order**), where `c` came from
+    /// [`GridBins::candidate_cell`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has no precomputed table or `c` is out of
+    /// range.
+    #[inline]
+    pub fn cell_candidates(&self, c: usize) -> &[u32] {
+        let nb = self
+            .neighborhoods
+            .as_ref()
+            .expect("GridBins::cell_candidates requires an index built with build_for_reach");
+        let (starts, entries) = nb
+            .table
+            .as_ref()
+            .expect("GridBins::cell_candidates requires a precomputed candidate table");
+        &entries[starts[c] as usize..starts[c + 1] as usize]
     }
 
     /// Collects `(index, point)` pairs within `radius` of `center`, in
@@ -731,6 +853,75 @@ mod tests {
     fn empty_index_has_no_candidates() {
         let bins = GridBins::build_for_reach(&[], 1.0, 5.0);
         assert_eq!(bins.for_each_candidate(Point::new(1.0, 2.0), |_, _| ()), 0);
+    }
+
+    #[test]
+    fn rebuild_into_equals_fresh_build() {
+        let a: Vec<Point> = (0..60)
+            .map(|k| Point::new((k * 7 % 23) as f64, (k * 5 % 19) as f64))
+            .collect();
+        let b: Vec<Point> = (0..45)
+            .map(|k| Point::new((k * 3 % 17) as f64 * 2.0, (k * 11 % 13) as f64 * 3.0))
+            .collect();
+        let mut reused = GridBins::build(&a, 4.0);
+        // Rebuild over a different set, then back: every intermediate
+        // state must equal what a fresh build would produce, field for
+        // field (PartialEq covers cells, CSR contents, and points).
+        reused.rebuild_into(&b, 6.0);
+        assert_eq!(reused, GridBins::build(&b, 6.0));
+        reused.rebuild_into(&a, 4.0);
+        assert_eq!(reused, GridBins::build(&a, 4.0));
+        // Shrinking to empty and growing again also matches.
+        reused.rebuild_into(&[], 1.0);
+        assert_eq!(reused, GridBins::build(&[], 1.0));
+        reused.rebuild_into(&b, 6.0);
+        assert_eq!(reused, GridBins::build(&b, 6.0));
+    }
+
+    #[test]
+    fn rebuild_for_reach_into_equals_fresh_build_for_reach() {
+        let a: Vec<Point> = (0..50)
+            .map(|k| Point::new((k % 10) as f64 * 3.0, (k / 10) as f64 * 3.0))
+            .collect();
+        let b: Vec<Point> = (0..30)
+            .map(|k| Point::new((k % 6) as f64 * 5.0, (k / 6) as f64 * 5.0))
+            .collect();
+        let mut reused = GridBins::build_for_reach(&a, 7.0, 7.0);
+        reused.rebuild_for_reach_into(&b, 9.0, 9.0);
+        assert_eq!(reused, GridBins::build_for_reach(&b, 9.0, 9.0));
+        reused.rebuild_for_reach_into(&a, 7.0, 7.0);
+        assert_eq!(reused, GridBins::build_for_reach(&a, 7.0, 7.0));
+        // And the rebuilt index answers queries identically.
+        for &(x, y) in &[(0.0, 0.0), (13.5, 13.5), (27.0, 27.0), (-4.0, 9.0)] {
+            assert_candidates_cover(&reused, &a, Point::new(x, y), 7.0);
+        }
+    }
+
+    #[test]
+    fn cell_candidates_match_for_each_candidate() {
+        let pts: Vec<Point> = (0..40)
+            .map(|k| Point::new((k % 8) as f64 * 2.5, (k / 8) as f64 * 2.5))
+            .collect();
+        let bins = GridBins::build_for_reach(&pts, 5.0, 5.0);
+        for &(x, y) in &[(0.0, 0.0), (9.0, 9.0), (17.5, 12.5), (-3.0, 50.0)] {
+            let q = Point::new(x, y);
+            let mut via_closure = Vec::new();
+            bins.for_each_candidate(q, |k, _| via_closure.push(k as u32));
+            let c = bins.candidate_cell(q).expect("table present");
+            assert_eq!(bins.cell_candidates(c), via_closure.as_slice(), "at {q}");
+        }
+    }
+
+    #[test]
+    fn candidate_cell_is_none_without_a_table() {
+        let plain = GridBins::build(&[Point::ORIGIN], 1.0);
+        assert_eq!(plain.candidate_cell(Point::ORIGIN), None);
+        let empty = GridBins::build_for_reach(&[], 1.0, 5.0);
+        assert_eq!(empty.candidate_cell(Point::ORIGIN), None);
+        // Skipped precompute (oversized reach) also reports None.
+        let pts: Vec<Point> = (0..50).map(|k| Point::new(k as f64, 0.0)).collect();
+        let fallback = GridBins::build_for_reach(&pts, 0.5, 50.0);
+        assert_eq!(fallback.candidate_cell(Point::ORIGIN), None);
     }
 
     #[test]

@@ -99,6 +99,14 @@ impl<'a> ConnectivityOracle<'a> {
         CellIndex::build(field, Self::query_reach(field, model))
     }
 
+    /// Rebuilds `index` in place for this field and model — equivalent to
+    /// `*index = ConnectivityOracle::build_index(field, model)` but
+    /// reusing the index's buffers (see [`CellIndex::rebuild`]), so a
+    /// scratch-held index costs no allocations across trials.
+    pub fn rebuild_index(index: &mut CellIndex, field: &BeaconField, model: &dyn Propagation) {
+        index.rebuild(field, Self::query_reach(field, model));
+    }
+
     /// The field-wide maximum connectivity distance: no beacon can be
     /// heard from farther away. Falls back to the nominal range on an
     /// empty field, and is always finite and positive.

@@ -46,16 +46,35 @@ pub struct TrialSample {
 }
 
 /// Runs one trial: generate a field, survey it, summarize.
+///
+/// The survey runs through this worker thread's [`crate::TrialScratch`]
+/// (`ErrorMap::survey_indexed_with`), so the steady-state trial loop
+/// reuses the error-map grids, spatial index, and quantile workspace
+/// instead of reallocating them — with results **bit-identical** to the
+/// historical beacon-major `ErrorMap::survey` (all sweep variants
+/// accumulate each point's heard beacons in the same ascending insertion
+/// order; asserted by `four_sweeps_bit_identical` in `abp-survey` and at
+/// scale in `tests/indexing.rs`).
 pub fn run_trial(cfg: &SimConfig, noise: f64, beacons: usize, trial_seed: u64) -> TrialSample {
     let field = cfg.trial_field(beacons, trial_seed);
     let model = cfg.model(noise, splitmix64(trial_seed ^ 0x4E_01_5E));
     let lattice = cfg.lattice();
-    let map = ErrorMap::survey(&lattice, &field, &*model, cfg.policy);
-    TrialSample {
-        mean: map.mean_error(),
-        median: map.median_error(),
-        unheard_fraction: map.unheard_count() as f64 / map.len() as f64,
-    }
+    crate::scratch::with_trial_scratch(|scratch| {
+        let map = ErrorMap::survey_indexed_with(
+            &lattice,
+            &field,
+            &*model,
+            cfg.policy,
+            &mut scratch.survey,
+        );
+        let sample = TrialSample {
+            mean: map.mean_error(),
+            median: scratch.survey.median_error(&map),
+            unheard_fraction: map.unheard_count() as f64 / map.len() as f64,
+        };
+        scratch.survey.recycle(map);
+        sample
+    })
 }
 
 /// The name sweeps of this experiment report to probes and checkpoints.
@@ -117,6 +136,8 @@ where
     let shared_cfg = Arc::new(cfg.clone());
     let mut points = Vec::with_capacity(cfg.beacon_counts.len());
     let mut failures = Vec::new();
+    // One checkpoint-row staging buffer for the whole sweep.
+    let mut row = BytesMut::with_capacity(80);
     for (di, &beacons) in cfg.beacon_counts.iter().enumerate() {
         // The key carries the noise *style* as well as the level: callers
         // (e.g. the noise-style ablation) sweep styles within one run, and
@@ -199,7 +220,10 @@ where
         }
         let point = aggregate(cfg, beacons, &samples);
         if let Some(ckpt) = ctx.checkpoint {
-            if let Err(e) = ckpt.put(&key, encode_density_entry(&point, &sweep_failures)) {
+            if let Err(e) = ckpt.put(
+                &key,
+                encode_density_entry_into(&mut row, &point, &sweep_failures),
+            ) {
                 eprintln!(
                     "warning: checkpoint save to {} failed: {e}",
                     ckpt.path().display()
@@ -217,8 +241,15 @@ where
 /// Encodes one completed density (point + its failures) for the
 /// checkpoint. All floats travel as raw IEEE bits — decoding restores the
 /// exact values, which is what makes resumed figures bit-identical.
-fn encode_density_entry(point: &DensityErrorPoint, failures: &[TrialFailureReport]) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(80);
+/// The sweep keeps one `BytesMut` row staging buffer alive across
+/// densities, so only the final owned `Vec<u8>` the checkpoint stores is
+/// allocated per row.
+fn encode_density_entry_into(
+    buf: &mut BytesMut,
+    point: &DensityErrorPoint,
+    failures: &[TrialFailureReport],
+) -> Vec<u8> {
+    buf.clear();
     buf.put_u64(point.beacons as u64);
     buf.put_f64(point.density);
     buf.put_f64(point.per_coverage);
@@ -234,7 +265,7 @@ fn encode_density_entry(point: &DensityErrorPoint, failures: &[TrialFailureRepor
         buf.put_u32(f.message.len() as u32);
         buf.put_slice(f.message.as_bytes());
     }
-    buf.freeze().to_vec()
+    buf.to_vec()
 }
 
 fn decode_density_entry(raw: &[u8]) -> Option<(DensityErrorPoint, Vec<TrialFailureReport>)> {
@@ -586,8 +617,11 @@ mod tests {
             "{EXPERIMENT}/style={}/noise={noise}/di=0/beacons=20",
             c.noise_style
         );
-        ckpt.put(&key, encode_density_entry(&full.points[0], &[]))
-            .unwrap();
+        ckpt.put(
+            &key,
+            encode_density_entry_into(&mut BytesMut::with_capacity(80), &full.points[0], &[]),
+        )
+        .unwrap();
 
         let probe = crate::progress::NoopProbe;
         let resumed = run_sweep(&c, noise, Ctx::new(&probe).with_checkpoint(&ckpt));

@@ -69,36 +69,50 @@ pub fn run_trial(
     let field = cfg.trial_field(beacons, trial_seed);
     let model = cfg.model(noise, splitmix64(trial_seed ^ 0x4E_01_5E));
     let lattice = cfg.lattice();
-    let before = ErrorMap::survey(&lattice, &field, &*model, cfg.policy);
-    let before_mean = before.mean_error();
-    let before_median = before.median_error();
-    algorithms
-        .iter()
-        .enumerate()
-        .map(|(ai, kind)| {
-            let algo = kind.build(cfg);
-            let pos = {
-                let view = SurveyView {
-                    map: &before,
-                    field: &field,
-                    model: &*model,
+    // The shared before-survey and all quantile selections run through
+    // this worker's scratch (bit-identical to the fresh sweeps — see
+    // `density_error::run_trial`). The per-algorithm `after` map stays a
+    // clone: each algorithm mutates its own private copy.
+    crate::scratch::with_trial_scratch(|scratch| {
+        let before = ErrorMap::survey_indexed_with(
+            &lattice,
+            &field,
+            &*model,
+            cfg.policy,
+            &mut scratch.survey,
+        );
+        let before_mean = before.mean_error();
+        let before_median = scratch.survey.median_error(&before);
+        let samples = algorithms
+            .iter()
+            .enumerate()
+            .map(|(ai, kind)| {
+                let algo = kind.build(cfg);
+                let pos = {
+                    let view = SurveyView {
+                        map: &before,
+                        field: &field,
+                        model: &*model,
+                    };
+                    // Each algorithm gets an independent RNG stream so adding
+                    // or reordering algorithms never shifts another's draw.
+                    let mut rng =
+                        StdRng::seed_from_u64(splitmix64(trial_seed ^ (ai as u64) << 17 ^ 0xA160));
+                    algo.propose(&view, &mut rng)
                 };
-                // Each algorithm gets an independent RNG stream so adding
-                // or reordering algorithms never shifts another's draw.
-                let mut rng =
-                    StdRng::seed_from_u64(splitmix64(trial_seed ^ (ai as u64) << 17 ^ 0xA160));
-                algo.propose(&view, &mut rng)
-            };
-            let mut extended = field.clone();
-            let id = extended.add_beacon(pos);
-            let mut after = before.clone();
-            after.add_beacon(extended.get(id).expect("just added"), &*model);
-            TrialImprovement {
-                mean: before_mean - after.mean_error(),
-                median: before_median - after.median_error(),
-            }
-        })
-        .collect()
+                let mut extended = field.clone();
+                let id = extended.add_beacon(pos);
+                let mut after = before.clone();
+                after.add_beacon(extended.get(id).expect("just added"), &*model);
+                TrialImprovement {
+                    mean: before_mean - after.mean_error(),
+                    median: before_median - scratch.survey.median_error(&after),
+                }
+            })
+            .collect();
+        scratch.survey.recycle(before);
+        samples
+    })
 }
 
 /// The name sweeps of this experiment report to probes and checkpoints.

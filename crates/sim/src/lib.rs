@@ -53,6 +53,7 @@ pub mod figures;
 pub mod progress;
 pub mod report;
 pub mod runner;
+pub mod scratch;
 pub mod traceprobe;
 
 pub use checkpoint::{CheckpointOpen, SweepCheckpoint};
@@ -64,4 +65,5 @@ pub use progress::{
 };
 pub use report::{Figure, Series, SeriesPoint};
 pub use runner::{RunPolicy, SupervisedFailure, SupervisedOutcome, TrialFault};
+pub use scratch::{with_trial_scratch, TrialScratch};
 pub use traceprobe::TraceProbe;

@@ -262,6 +262,156 @@ impl ErrorMap {
         map
     }
 
+    /// [`ErrorMap::survey_indexed`] through a reusable
+    /// [`SurveyScratch`](crate::SurveyScratch): the accumulator grids,
+    /// SoA mirror, and spatial index all come from (and return to) the
+    /// scratch, so repeated calls allocate nothing once the buffers have
+    /// grown to the sweep's largest trial.
+    ///
+    /// **Bit-identical** to [`ErrorMap::survey_indexed`] — and therefore
+    /// to all three fresh sweeps: the disk-exact path runs the tiled
+    /// structure-of-arrays kernel over the same candidates in the same
+    /// ascending insertion order with the same `dx² + dy² <= r²`
+    /// comparison, and the oracle path is the same loop as
+    /// [`ErrorMap::survey_point_major`]. Asserted by tests here, in
+    /// `scratch.rs`, and at scale in `tests/indexing.rs`.
+    ///
+    /// The returned map *owns* the grid buffers; hand them back with
+    /// [`SurveyScratch::recycle`](crate::SurveyScratch::recycle) when
+    /// done.
+    pub fn survey_indexed_with(
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+        scratch: &mut crate::SurveyScratch,
+    ) -> Self {
+        let n = lattice.len();
+        let mut sum_x = std::mem::take(&mut scratch.sum_x);
+        let mut sum_y = std::mem::take(&mut scratch.sum_y);
+        let mut count = std::mem::take(&mut scratch.count);
+        let mut errors = std::mem::take(&mut scratch.errors);
+        sum_x.clear();
+        sum_x.resize(n, 0.0);
+        sum_y.clear();
+        sum_y.resize(n, 0.0);
+        count.clear();
+        count.resize(n, 0);
+        errors.clear();
+        errors.resize(n, 0.0);
+        match &mut scratch.index {
+            Some(index) => ConnectivityOracle::rebuild_index(index, field, model),
+            none => *none = Some(ConnectivityOracle::build_index(field, model)),
+        }
+        let index = scratch.index.as_ref().expect("index was just built");
+        if model.disk_exact() {
+            // Dense squared thresholds, computed exactly as the AoS path
+            // does (r * r per beacon, insertion order).
+            scratch.soa.rebuild_with(field, |b| {
+                let r = model.max_range(b.tx(), b.pos());
+                r * r
+            });
+            Self::disk_sweep_soa(
+                index,
+                &scratch.soa,
+                lattice,
+                &mut sum_x,
+                &mut sum_y,
+                &mut count,
+            );
+        } else {
+            let oracle = ConnectivityOracle::with_index(field, model, index);
+            let _span = abp_trace::span!("radio.connectivity_sweep");
+            for ix in lattice.indices() {
+                let p = lattice.point(ix);
+                let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
+                oracle.for_each_heard(p, |b| {
+                    sx += b.pos().x;
+                    sy += b.pos().y;
+                    heard += 1;
+                });
+                let flat = lattice.flat(ix);
+                sum_x[flat] = sx;
+                sum_y[flat] = sy;
+                count[flat] = heard;
+            }
+        }
+        let mut map = ErrorMap::from_parts(*lattice, policy, sum_x, sum_y, count, errors);
+        {
+            let _span = abp_trace::span!("localize.derive_errors");
+            for flat in 0..n {
+                map.errors[flat] = map.derive_error(flat);
+            }
+        }
+        map
+    }
+
+    /// The tiled structure-of-arrays disk sweep: lattice points are
+    /// walked row-major, the candidate slice is resolved once per run of
+    /// points sharing a grid cell, and the membership test streams the
+    /// dense `xs`/`ys`/`reach²` arrays with unit stride — no `Beacon`
+    /// records, no virtual calls. Accumulation order and arithmetic are
+    /// exactly those of [`ErrorMap::survey_indexed_disk`]'s per-candidate
+    /// test, so the result is bit-identical.
+    fn disk_sweep_soa(
+        index: &abp_field::CellIndex,
+        soa: &abp_field::BeaconSoA,
+        lattice: &Lattice,
+        sum_x: &mut [f64],
+        sum_y: &mut [f64],
+        count: &mut [u32],
+    ) {
+        let bins = index.bins();
+        let (xs, ys, r2) = (soa.xs(), soa.ys(), soa.reach2());
+        let _span = abp_trace::span!("radio.connectivity_sweep");
+        let mut tested = 0u64;
+        let mut last_cell = usize::MAX;
+        let mut cands: &[u32] = &[];
+        for ix in lattice.indices() {
+            let p = lattice.point(ix);
+            let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
+            if let Some(c) = bins.candidate_cell(p) {
+                if c != last_cell {
+                    last_cell = c;
+                    cands = bins.cell_candidates(c);
+                }
+                tested += cands.len() as u64;
+                for &k in cands {
+                    let k = k as usize;
+                    // Same operand order as Point::distance_squared with
+                    // self = beacon, other = p — keeps the f64 results
+                    // bit-identical to the AoS walk.
+                    let dx = xs[k] - p.x;
+                    let dy = ys[k] - p.y;
+                    if dx * dx + dy * dy <= r2[k] {
+                        sx += xs[k];
+                        sy += ys[k];
+                        heard += 1;
+                    }
+                }
+            } else {
+                // No precomputed candidate table (oversized reach or
+                // empty index): the generic candidate walk, still over
+                // the dense arrays.
+                bins.for_each_candidate(p, |k, _| {
+                    tested += 1;
+                    let dx = xs[k] - p.x;
+                    let dy = ys[k] - p.y;
+                    if dx * dx + dy * dy <= r2[k] {
+                        sx += xs[k];
+                        sy += ys[k];
+                        heard += 1;
+                    }
+                });
+            }
+            let flat = lattice.flat(ix);
+            sum_x[flat] = sx;
+            sum_y[flat] = sy;
+            count[flat] = heard;
+        }
+        abp_radio::metrics::LINKS_TESTED.add(tested);
+    }
+
     /// Point-major sweep through a caller-provided oracle (brute or
     /// indexed).
     fn survey_via(
@@ -378,6 +528,12 @@ impl ErrorMap {
     /// Raw accessors for snapshot encoding.
     pub(crate) fn parts(&self) -> (&[f64], &[f64], &[u32], &[f64]) {
         (&self.sum_x, &self.sum_y, &self.count, &self.errors)
+    }
+
+    /// Disassembles the map into its grid buffers so a
+    /// [`SurveyScratch`](crate::SurveyScratch) can reuse them.
+    pub(crate) fn into_parts(self) -> (Vec<f64>, Vec<f64>, Vec<u32>, Vec<f64>) {
+        (self.sum_x, self.sum_y, self.count, self.errors)
     }
 
     /// Adds one beacon's contribution to the accumulators (no error
@@ -622,12 +778,25 @@ impl ErrorMap {
     ///
     /// Panics if every point is excluded.
     pub fn median_error(&self) -> f64 {
-        let mut vals: Vec<f64> = self.valid_errors().collect();
-        assert!(!vals.is_empty(), "no valid measurements in error map");
-        let n = vals.len();
+        self.median_error_with(&mut Vec::new())
+    }
+
+    /// [`ErrorMap::median_error`] into a caller-provided selection
+    /// workspace: the same R-7 selection, bit-identical result, but the
+    /// collected values live in `workspace` (cleared, then refilled) so a
+    /// scratch-reusing caller pays no allocation after the first call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every point is excluded.
+    pub fn median_error_with(&self, workspace: &mut Vec<f64>) -> f64 {
+        workspace.clear();
+        workspace.extend(self.valid_errors());
+        assert!(!workspace.is_empty(), "no valid measurements in error map");
+        let n = workspace.len();
         let k2 = n / 2;
         let (left, mid, _) =
-            vals.select_nth_unstable_by(k2, |a, b| a.partial_cmp(b).expect("no NaN here"));
+            workspace.select_nth_unstable_by(k2, |a, b| a.partial_cmp(b).expect("no NaN here"));
         let hi = *mid;
         if n % 2 == 1 {
             hi
@@ -815,18 +984,23 @@ mod tests {
     }
 
     #[test]
-    fn three_sweeps_bit_identical() {
+    fn four_sweeps_bit_identical() {
         let lat = lattice(2.0);
         let mut rng = StdRng::seed_from_u64(17);
         let field = BeaconField::random_uniform(60, terrain(), &mut rng);
+        let mut scratch = crate::SurveyScratch::new();
         for noise in [0.0, 0.4] {
             let model = PerBeaconNoise::new(15.0, noise, 5);
             for policy in [UnheardPolicy::TerrainCenter, UnheardPolicy::Exclude] {
                 let beacon_major = ErrorMap::survey(&lat, &field, &model, policy);
                 let brute = ErrorMap::survey_point_major(&lat, &field, &model, policy);
                 let indexed = ErrorMap::survey_indexed(&lat, &field, &model, policy);
+                let scratched =
+                    ErrorMap::survey_indexed_with(&lat, &field, &model, policy, &mut scratch);
                 assert_bit_identical(&beacon_major, &brute, "beacon-major vs point-major");
                 assert_bit_identical(&brute, &indexed, "point-major vs indexed");
+                assert_bit_identical(&indexed, &scratched, "indexed vs scratch-reused");
+                scratch.recycle(scratched);
             }
         }
     }

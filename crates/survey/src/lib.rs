@@ -43,9 +43,11 @@ pub mod plan;
 pub mod render;
 pub mod robot;
 pub mod sampling;
+pub mod scratch;
 pub mod snapshot;
 
 pub use errormap::{ErrorMap, SurveyAccounting, SurveyDelta};
 pub use plan::SurveyPlan;
 pub use robot::{Robot, RobotReport};
 pub use sampling::SubsampleStrategy;
+pub use scratch::SurveyScratch;

@@ -3,9 +3,9 @@
 use abp_field::BeaconField;
 use abp_geom::{Lattice, Point, Terrain};
 use abp_localize::{CentroidLocalizer, Localizer, UnheardPolicy};
-use abp_radio::{IdealDisk, PerBeaconNoise};
+use abp_radio::{IdealDisk, PerBeaconNoise, Propagation, TxId};
 use abp_survey::snapshot::{decode, encode};
-use abp_survey::{ErrorMap, Robot, SurveyPlan};
+use abp_survey::{ErrorMap, Robot, SurveyPlan, SurveyScratch};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,8 +141,77 @@ proptest! {
     }
 }
 
+/// A sharp-disk model whose reach varies per beacon — even tx ids are
+/// mute (reach 0), odd ids hear out to `range`. `disk_exact` so the
+/// tiled SoA sweep takes over, with reach² = 0 lanes in the kernel.
+#[derive(Debug, Clone, Copy)]
+struct VariableDisk {
+    range: f64,
+}
+
+impl Propagation for VariableDisk {
+    fn connected(&self, tx: TxId, tx_pos: Point, rx: Point) -> bool {
+        let r = self.max_range(tx, tx_pos);
+        // The disk_exact contract's squared form, verbatim.
+        tx_pos.distance_squared(rx) <= r * r
+    }
+    fn max_range(&self, tx: TxId, _tx_pos: Point) -> f64 {
+        if tx.0 % 2 == 0 {
+            0.0
+        } else {
+            self.range
+        }
+    }
+    fn nominal_range(&self) -> f64 {
+        self.range
+    }
+    fn disk_exact(&self) -> bool {
+        true
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tiled structure-of-arrays disk sweep (the `disk_exact` path
+    /// inside `survey_indexed_with`) hears exactly the same beacon sets
+    /// as the scalar per-point walk, bit for bit — on random fields,
+    /// with mute (reach = 0) beacons in the SoA lanes, and with
+    /// beacons snapped onto lattice points and exactly `range` away
+    /// from one so distance² == reach² lands on the `<=` boundary.
+    #[test]
+    fn tiled_soa_sweep_matches_scalar_disk_path(
+        n in 0usize..40, seed in any::<u64>(),
+        range in 0.5..20.0f64, step_ix in 0usize..3,
+        bx in 0.0..SIDE, by in 0.0..SIDE
+    ) {
+        let step = [1.5, 3.0, 6.0][step_ix];
+        let lattice = Lattice::new(terrain(), step);
+        let mut field =
+            BeaconField::random_uniform(n, terrain(), &mut StdRng::seed_from_u64(seed));
+        let snapped = Point::new((bx / step).floor() * step, (by / step).floor() * step);
+        field.add_beacon(snapped);
+        if snapped.x + range <= SIDE {
+            field.add_beacon(Point::new(snapped.x + range, snapped.y));
+        }
+        let ideal = IdealDisk::new(range);
+        let variable = VariableDisk { range };
+        for model in [&ideal as &dyn Propagation, &variable] {
+            for policy in [UnheardPolicy::TerrainCenter, UnheardPolicy::Exclude] {
+                let scalar = ErrorMap::survey(&lattice, &field, &model, policy);
+                let mut scratch = SurveyScratch::new();
+                let tiled =
+                    ErrorMap::survey_indexed_with(&lattice, &field, &model, policy, &mut scratch);
+                for ix in lattice.indices() {
+                    prop_assert_eq!(tiled.heard_at(ix), scalar.heard_at(ix));
+                    prop_assert_eq!(
+                        tiled.error_at(ix).map(f64::to_bits),
+                        scalar.error_at(ix).map(f64::to_bits)
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn partial_survey_subset_of_full(

@@ -65,10 +65,12 @@ pub fn to_jsonl(
                 depth,
                 start_ns,
                 dur_ns,
+                allocs,
+                alloc_bytes,
             } => {
                 let _ = writeln!(
                     out,
-                    "{{\"kind\":\"span\",\"name\":\"{}\",\"tid\":{tid},\"depth\":{depth},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}",
+                    "{{\"kind\":\"span\",\"name\":\"{}\",\"tid\":{tid},\"depth\":{depth},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns},\"allocs\":{allocs},\"alloc_bytes\":{alloc_bytes}}}",
                     escape(name),
                 );
             }
@@ -161,10 +163,12 @@ pub fn to_chrome_json(
                 depth,
                 start_ns,
                 dur_ns,
+                allocs,
+                alloc_bytes,
             } => {
                 push(
                     format!(
-                        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{depth}}}}}",
+                        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{depth},\"allocs\":{allocs},\"alloc_bytes\":{alloc_bytes}}}}}",
                         escape(name),
                         us(*start_ns),
                         us(*dur_ns),
@@ -224,6 +228,8 @@ mod tests {
                     depth: 0,
                     start_ns: 1_500,
                     dur_ns: 2_250_000,
+                    allocs: 7,
+                    alloc_bytes: 1_024,
                 },
                 Event::Instant {
                     name: "figure_start \"fig5\"".to_string(),
@@ -266,6 +272,8 @@ mod tests {
         assert!(lines[0].contains("\"dropped\":2"));
         assert!(lines[1].contains("\"kind\":\"span\""));
         assert!(lines[1].contains("radio.connectivity_sweep"));
+        assert!(lines[1].contains("\"allocs\":7"));
+        assert!(lines[1].contains("\"alloc_bytes\":1024"));
         assert!(
             lines[2].contains("figure_start \\\"fig5\\\""),
             "quotes escaped: {}",
@@ -286,6 +294,10 @@ mod tests {
         assert!(chrome.contains("\"ts\":1.500"), "µs timestamps: {chrome}");
         assert!(chrome.contains("\"dur\":2250.000"));
         assert!(chrome.contains("\"ph\":\"i\""), "instant present");
+        assert!(
+            chrome.contains("\"allocs\":7,\"alloc_bytes\":1024"),
+            "span args carry alloc deltas"
+        );
         assert!(chrome.contains("\"dropped_events\":2"));
         assert!(chrome.contains("\"links_tested\":42"));
     }

@@ -18,7 +18,11 @@
 //!   accounting,
 //! * [`export`] — renders a completed run as JSONL or as Chrome Trace
 //!   Event JSON loadable in `chrome://tracing` / [Perfetto], one track per
-//!   worker thread.
+//!   worker thread,
+//! * [`alloc`] — allocation accounting: a counting global allocator
+//!   (behind the `count-allocs` feature) with thread/process snapshots;
+//!   `abp bench` turns the deltas into allocs/trial, and live spans
+//!   record their own alloc/bytes deltas.
 //!
 //! [Perfetto]: https://ui.perfetto.dev
 //!
@@ -49,14 +53,22 @@
 //! abp_trace::set_enabled(false);
 //! ```
 
-#![forbid(unsafe_code)]
+// The counting global allocator (feature `count-allocs`, see [`alloc`])
+// is the one place the workspace needs `unsafe`: a `GlobalAlloc` impl
+// cannot be written without it. Default builds still *forbid* unsafe
+// code; counting builds downgrade to `deny` and the allocator module
+// opts out explicitly.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod export;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use crate::alloc::{counting, process_snapshot, thread_snapshot, AllocSnapshot};
 pub use metrics::{
     counters_snapshot, render_table, reset_metrics, Counter, CounterSnapshot, DurationHistogram,
     HistogramSnapshot,

@@ -63,6 +63,7 @@ pub struct SpanGuard {
     tid: u32,
     depth: u16,
     active: bool,
+    start_alloc: crate::AllocSnapshot,
 }
 
 impl SpanGuard {
@@ -76,6 +77,7 @@ impl SpanGuard {
                 tid: 0,
                 depth: 0,
                 active: false,
+                start_alloc: crate::AllocSnapshot::default(),
             };
         }
         let tid = track_id();
@@ -90,6 +92,9 @@ impl SpanGuard {
             tid,
             depth,
             active: true,
+            // Free in default builds (const zeros); one TLS read per
+            // live span under `count-allocs`.
+            start_alloc: crate::thread_snapshot(),
         }
     }
 
@@ -107,12 +112,15 @@ impl Drop for SpanGuard {
         }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let end = now_ns();
+        let alloc = crate::thread_snapshot().delta_since(self.start_alloc);
         sink::emit(Event::Span {
             name: self.name,
             tid: self.tid,
             depth: self.depth,
             start_ns: self.start_ns,
             dur_ns: end.saturating_sub(self.start_ns),
+            allocs: alloc.allocs,
+            alloc_bytes: alloc.bytes,
         });
     }
 }

@@ -12,7 +12,7 @@ use abp_placement::{
     MaxPlacement,
 };
 use abp_radio::{IdealDisk, PerBeaconNoise, Propagation};
-use abp_survey::ErrorMap;
+use abp_survey::{ErrorMap, SurveyScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -64,6 +64,43 @@ fn indexed_survey_is_bit_identical_to_brute_at_scale() {
         let indexed = ErrorMap::survey_indexed(&lattice, &field, model, policy);
         assert_maps_bit_identical(&beacon_major, &point_major, what);
         assert_maps_bit_identical(&beacon_major, &indexed, what);
+    }
+}
+
+/// The scratch-reused survey path — one `SurveyScratch` threaded
+/// through trial after trial, recycling each finished map's buffers,
+/// exactly as the Monte-Carlo engine's thread-local scratch does —
+/// returns the exact bits of a fresh survey on every trial, at scale,
+/// on both the tiled SoA disk path and the oracle path, across
+/// shrinking and growing fields and lattices.
+#[test]
+fn scratch_reused_survey_is_bit_identical_to_fresh_at_scale() {
+    let policy = UnheardPolicy::TerrainCenter;
+    let models: [(&str, Box<dyn Propagation>); 2] = [
+        ("ideal disk", Box::new(IdealDisk::new(RANGE))),
+        (
+            "per-beacon noise",
+            Box::new(PerBeaconNoise::new(RANGE, 0.4, 11)),
+        ),
+    ];
+    for (what, model) in &models {
+        let mut scratch = SurveyScratch::new();
+        // Vary field size, seed, and lattice step so reuse has to cope
+        // with buffers growing and shrinking between trials.
+        for (beacons, seed, step) in [(100, 7, 2.0), (30, 8, 4.0), (120, 9, 2.0), (60, 10, 1.0)] {
+            let field = dense_field(beacons, seed);
+            let lattice = Lattice::new(Terrain::square(SIDE), step);
+            let fresh = ErrorMap::survey_indexed(&lattice, &field, model, policy);
+            let reused =
+                ErrorMap::survey_indexed_with(&lattice, &field, model, policy, &mut scratch);
+            assert_maps_bit_identical(&fresh, &reused, &format!("{what} n={beacons}"));
+            assert_eq!(
+                fresh.median_error().to_bits(),
+                scratch.median_error(&reused).to_bits(),
+                "{what} n={beacons}: median workspace diverged"
+            );
+            scratch.recycle(reused);
+        }
     }
 }
 

@@ -52,6 +52,12 @@ impl BytesMut {
         Bytes { inner: self.inner }
     }
 
+    /// Clears the buffer, keeping its allocated capacity (upstream
+    /// semantics) — lets callers stage repeated encodes in one buffer.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
     /// Number of written bytes.
     pub fn len(&self) -> usize {
         self.inner.len()
