@@ -61,7 +61,11 @@ use std::time::Instant;
 /// Schema identifier written into the JSON report; CI validates it.
 /// `/2` added the `survey_sweep_scratch` kernel and the `alloc` block
 /// (alloc-counting flag + steady-state allocs/bytes per trial).
-pub const SCHEMA: &str = "abp-bench-sweep/2";
+/// `/3` added the `serve_qps` block: the `abp-serve` daemon driven by
+/// the in-process load harness — client-observed p50/p95/p99 latency,
+/// throughput, the served-vs-batch bit-identity gate, and the serving
+/// path's allocs/request (pinned at 0 under `count-allocs`).
+pub const SCHEMA: &str = "abp-bench-sweep/3";
 
 /// Scenario and sampling configuration for one bench run.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +93,10 @@ pub struct BenchConfig {
     /// reported on both sides, speedups degenerate to 1, and the
     /// bit-identity gate is disabled. For fast local iteration only.
     pub skip_brute: bool,
+    /// Client threads the serve load harness drives.
+    pub serve_clients: usize,
+    /// Measured requests per serve client (after warm-up).
+    pub serve_requests: usize,
 }
 
 impl BenchConfig {
@@ -106,6 +114,8 @@ impl BenchConfig {
             greedy_k: 16,
             seed: 42,
             skip_brute: false,
+            serve_clients: 4,
+            serve_requests: 2000,
         }
     }
 
@@ -121,6 +131,8 @@ impl BenchConfig {
             greedy_k: 3,
             seed: 42,
             skip_brute: false,
+            serve_clients: 2,
+            serve_requests: 150,
         }
     }
 }
@@ -202,13 +214,18 @@ pub struct BenchReport {
     pub kernels: Vec<KernelResult>,
     /// Allocation accounting for the reused-scratch survey path.
     pub alloc: AllocStats,
+    /// The `abp-serve` daemon under the in-process load harness:
+    /// client-observed latency quantiles, throughput, the served-vs-batch
+    /// bit-identity gate, and the serving path's allocation rate.
+    pub serve: abp_serve::bench::LoadReport,
 }
 
 impl BenchReport {
     /// Whether every kernel's indexed variant matched its brute output
-    /// bit for bit.
+    /// bit for bit — and the served localization path matched the batch
+    /// pipeline over the full lattice.
     pub fn all_identical(&self) -> bool {
-        self.kernels.iter().all(|k| k.identical)
+        self.kernels.iter().all(|k| k.identical) && self.serve.identical
     }
 
     /// Serializes the report as a single JSON object (schema
@@ -241,6 +258,25 @@ impl BenchReport {
             json_f64(self.alloc.allocs_per_trial),
             json_f64(self.alloc.bytes_per_trial)
         ));
+        let s = &self.serve;
+        out.push_str("  \"serve_qps\": {\n");
+        out.push_str(&format!("    \"clients\": {},\n", s.clients));
+        out.push_str(&format!("    \"requests\": {},\n", s.requests));
+        out.push_str(&format!("    \"qps\": {},\n", json_f64(s.qps)));
+        out.push_str(&format!("    \"p50_s\": {},\n", json_f64(s.p50_s)));
+        out.push_str(&format!("    \"p95_s\": {},\n", json_f64(s.p95_s)));
+        out.push_str(&format!("    \"p99_s\": {},\n", json_f64(s.p99_s)));
+        out.push_str(&format!("    \"min_s\": {},\n", json_f64(s.min_s)));
+        out.push_str(&format!("    \"max_s\": {},\n", json_f64(s.max_s)));
+        out.push_str(&format!(
+            "    \"alloc\": {{\"counting\": {}, \"allocs_per_request\": {}, \"bytes_per_request\": {}}},\n",
+            s.alloc_counting,
+            json_f64(s.allocs_per_request),
+            json_f64(s.bytes_per_request)
+        ));
+        out.push_str(&format!("    \"identical\": {},\n", s.identical));
+        out.push_str(&format!("    \"final_epoch\": {}\n", s.final_epoch));
+        out.push_str("  },\n");
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str("    {\n");
@@ -410,10 +446,33 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         cfg,
     ));
 
+    // Kernel 5 (reported as `serve_qps`, not a brute/indexed pair): the
+    // online daemon under concurrent TCP load — the serving layer's
+    // throughput, tail latency, allocation rate, and bit-identity gate.
+    let serve_cfg = abp_serve::daemon::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        beacons: cfg.beacons,
+        side: cfg.side,
+        step: cfg.step,
+        nominal_range: cfg.nominal_range,
+        seed: cfg.seed,
+    };
+    let load = abp_serve::bench::LoadConfig {
+        clients: cfg.serve_clients,
+        requests_per_client: cfg.serve_requests,
+        warmup_per_client: 64,
+        place_every: 16,
+        seed: cfg.seed,
+    };
+    let serve = abp_serve::bench::run_load(&serve_cfg, &load)
+        .expect("serve load harness failed (loopback bind or client error)");
+
     BenchReport {
         config: cfg.clone(),
         kernels,
         alloc,
+        serve,
     }
 }
 
@@ -613,6 +672,13 @@ mod tests {
             assert!(k.speedup.is_finite() && k.speedup > 0.0);
         }
         assert_eq!(report.kernels[1].name, "survey_sweep_scratch");
+        assert_eq!(report.serve.clients, cfg.serve_clients);
+        assert_eq!(
+            report.serve.requests,
+            (cfg.serve_clients * cfg.serve_requests) as u64
+        );
+        assert!(report.serve.qps > 0.0);
+        assert!(report.serve.identical, "served must match batch");
         assert_eq!(report.alloc.counting, abp_trace::counting());
         if report.alloc.counting {
             assert_eq!(
@@ -668,14 +734,38 @@ mod tests {
                 allocs_per_trial: 0.0,
                 bytes_per_trial: 0.0,
             },
+            serve: abp_serve::bench::LoadReport {
+                clients: 2,
+                requests: 300,
+                wall_s: 0.5,
+                qps: 600.0,
+                p50_s: 0.001,
+                p95_s: 0.002,
+                p99_s: 0.003,
+                min_s: 0.0005,
+                max_s: 0.004,
+                measured_requests: 220,
+                allocs_per_request: 0.0,
+                bytes_per_request: 0.0,
+                alloc_counting: true,
+                identical: true,
+                final_epoch: 0,
+            },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/2\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/3\""));
         assert!(json.contains("\"preset\": \"tiny\""));
         assert!(json.contains("\"skip_brute\": false"));
         assert!(json.contains(
             "\"alloc\": {\"counting\": true, \"allocs_per_trial\": 0, \"bytes_per_trial\": 0}"
         ));
+        assert!(json.contains("\"serve_qps\": {"));
+        assert!(json.contains("\"qps\": 600"));
+        assert!(json.contains("\"p99_s\": 0.003"));
+        assert!(json.contains(
+            "\"alloc\": {\"counting\": true, \"allocs_per_request\": 0, \"bytes_per_request\": 0}"
+        ));
+        assert!(json.contains("\"final_epoch\": 0"));
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"median_s\": 0.5"));

@@ -29,7 +29,18 @@
 //!                     bit-identical, and with --out write
 //!                     BENCH_sweep.json (median + 95% CI per kernel,
 //!                     plus steady-state allocs/trial when the binary
-//!                     was built with --features count-allocs)
+//!                     was built with --features count-allocs; the
+//!                     serve_qps block drives the daemon under load)
+//!   serve             run the online localization daemon until
+//!                     SIGTERM/SIGINT: answers localize/place/info
+//!                     queries over the length-prefixed TCP protocol
+//!                     (docs/SERVING.md), re-surveying in the background
+//!                     on applied placements via epoch snapshot swaps
+//!   serve-bench       load-test the daemon in process: N client
+//!                     threads over real sockets, exact p50/p95/p99
+//!                     round-trip quantiles, the served-vs-batch
+//!                     bit-identity gate, and allocs/request (gated at
+//!                     0 when built with --features count-allocs)
 //!   all               table1 + every paper figure + bound, in order
 //!
 //! options:
@@ -52,6 +63,10 @@
 //!   --skip-brute                bench only: skip the brute/reference sides
 //!                               for fast local iteration; DISABLES the
 //!                               bit-identity gate, never use for baselines
+//!   --port N                    serve/serve-bench: TCP port [default: 0,
+//!                               an ephemeral port printed at startup]
+//!   --clients N                 serve-bench: client threads
+//!   --requests N                serve-bench: measured requests per client
 //!   --out DIR                   also write <figure>.csv files into DIR
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
@@ -106,14 +121,22 @@ struct Options {
     counters: bool,
     /// `--skip-brute`: bench-only fast iteration, identity gate off.
     skip_brute: bool,
+    /// `--port` for serve/serve-bench (0 = ephemeral).
+    port: u16,
+    /// `--clients` when given explicitly (serve-bench).
+    clients: Option<usize>,
+    /// `--requests` when given explicitly (serve-bench).
+    requests: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
-     faults|solspace|multilat|batch|duel|localizers|heatmap|bench|all> \
+     faults|solspace|multilat|batch|duel|localizers|heatmap|bench|serve|\
+     serve-bench|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
      [--retry N] [--trial-timeout DUR] [--skip-brute] \
+     [--port N] [--clients N] [--requests N] \
      [--progress] [--metrics-json PATH] [--checkpoint PATH] \
      [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
 }
@@ -161,6 +184,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut trace_format = TraceFormat::default();
     let mut counters = false;
     let mut skip_brute = false;
+    let mut port = 0u16;
+    let mut clients = None;
+    let mut requests = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -243,6 +269,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--counters" => counters = true,
             "--skip-brute" => skip_brute = true,
+            "--port" => {
+                port = value("--port")?
+                    .parse::<u16>()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--clients" => {
+                let n = value("--clients")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--clients: {e}"))?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+                clients = Some(n);
+            }
+            "--requests" => {
+                let n = value("--requests")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--requests: {e}"))?;
+                if n == 0 {
+                    return Err("--requests must be at least 1".into());
+                }
+                requests = Some(n);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -280,8 +329,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if let Some(s) = seed {
         cfg.seed = s;
     }
+    // Half-open on purpose, matching `PerBeaconNoise`'s contract: a noise
+    // factor of 1 would let a beacon's effective range collapse to 0 (the
+    // paper never exceeds 0.5). Rejecting here keeps the panic out of the
+    // middle of a multi-minute sweep.
     if !noise.is_finite() || !(0.0..1.0).contains(&noise) {
-        return Err(format!("--noise must be in [0, 1), got {noise}"));
+        return Err(format!(
+            "--noise must be in [0, 1), got {noise} (a noise factor of 1 \
+             would let effective beacon ranges reach 0; the paper tops out \
+             at 0.5)"
+        ));
     }
     Ok(Options {
         command,
@@ -301,6 +358,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace_format,
         counters,
         skip_brute,
+        port,
+        clients,
+        requests,
     })
 }
 
@@ -724,6 +784,86 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 ));
             }
         }
+        "serve" => {
+            let scfg = serve_config(opts)?;
+            abp_serve::signal::install();
+            let daemon =
+                abp_serve::daemon::Daemon::start(&scfg).map_err(|e| format!("serve: {e}"))?;
+            let snap = daemon.snapshot();
+            eprintln!(
+                "abp-serve listening on {} ({} beacons, {} m terrain at {} m survey step, \
+                 R = {} m, epoch {})",
+                daemon.local_addr(),
+                snap.field().len(),
+                scfg.side,
+                scfg.step,
+                scfg.nominal_range,
+                snap.epoch()
+            );
+            eprintln!("serving until SIGTERM/SIGINT");
+            while !abp_serve::signal::triggered() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let stats = daemon.shutdown();
+            eprintln!("{}", stats.summary_line());
+        }
+        "serve-bench" => {
+            let scfg = serve_config(opts)?;
+            let mut load = match opts.preset.as_str() {
+                "paper" => abp_serve::bench::LoadConfig::paper_scale(),
+                "quick" | "tiny" => abp_serve::bench::LoadConfig::tiny(),
+                other => return Err(format!("serve-bench: unknown preset {other}")),
+            };
+            if let Some(c) = opts.clients {
+                load.clients = c;
+            }
+            if let Some(r) = opts.requests {
+                load.requests_per_client = r;
+            }
+            eprintln!(
+                "running serve-bench ({} clients x {} requests, {} beacons, step {} m)",
+                load.clients, load.requests_per_client, scfg.beacons, scfg.step
+            );
+            let report = abp_serve::bench::run_load(&scfg, &load)
+                .map_err(|e| format!("serve-bench: {e}"))?;
+            println!(
+                "requests: {} over {:.3} s ({:.0} req/s, {} clients)",
+                report.requests, report.wall_s, report.qps, report.clients
+            );
+            println!(
+                "latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us (min {:.1}, max {:.1})",
+                report.p50_s * 1e6,
+                report.p95_s * 1e6,
+                report.p99_s * 1e6,
+                report.min_s * 1e6,
+                report.max_s * 1e6
+            );
+            if report.alloc_counting {
+                println!(
+                    "serving path: {:.2} allocs/request, {:.0} bytes/request over {} \
+                     measured requests",
+                    report.allocs_per_request, report.bytes_per_request, report.measured_requests
+                );
+            } else {
+                println!(
+                    "alloc counting off (build with --features count-allocs to measure \
+                     allocs/request)"
+                );
+            }
+            println!("served-vs-batch bit-identity: {}", report.identical);
+            if !report.identical {
+                return Err(
+                    "serve-bench: served localization diverged from the batch pipeline".into(),
+                );
+            }
+            if report.alloc_counting && report.allocs_per_request > 0.0 {
+                return Err(format!(
+                    "serve-bench: the serving path allocated in steady state \
+                     ({} allocs/request, expected 0)",
+                    report.allocs_per_request
+                ));
+            }
+        }
         "all" => {
             println!("{}", figures::table1());
             for cmd in [
@@ -748,6 +888,9 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         trace_format: opts.trace_format,
                         counters: opts.counters,
                         skip_brute: opts.skip_brute,
+                        port: opts.port,
+                        clients: opts.clients,
+                        requests: opts.requests,
                     },
                     ctx,
                 )?;
@@ -756,6 +899,32 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
         other => return Err(format!("unknown command {other}\n{}", usage())),
     }
     Ok(())
+}
+
+/// Builds the daemon configuration `serve` and `serve-bench` share:
+/// the preset scale plus the generic overrides (`--beacons`, `--step`,
+/// `--seed`, `--threads` as worker count, `--port` as bind port).
+fn serve_config(opts: &Options) -> Result<abp_serve::daemon::ServeConfig, String> {
+    let mut scfg = match opts.preset.as_str() {
+        "paper" => abp_serve::daemon::ServeConfig::paper_scale(),
+        "quick" | "tiny" => abp_serve::daemon::ServeConfig::tiny(),
+        other => return Err(format!("{}: unknown preset {other}", opts.command)),
+    };
+    scfg.addr = format!("127.0.0.1:{}", opts.port);
+    scfg.workers = opts.cfg.threads;
+    if let Some(n) = opts.beacons {
+        if n == 0 {
+            return Err(format!("{}: --beacons must be at least 1", opts.command));
+        }
+        scfg.beacons = n;
+    }
+    if let Some(s) = opts.step_override {
+        scfg.step = s;
+    }
+    if let Some(s) = opts.seed_override {
+        scfg.seed = s;
+    }
+    Ok(scfg)
 }
 
 fn main() -> ExitCode {
@@ -910,7 +1079,7 @@ mod tests {
         o.out = Some(dir.clone());
         run(&o).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/2\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/3\""));
         assert!(json.contains("\"seed\": 7"), "--seed reaches bench: {json}");
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"name\": \"survey_sweep_scratch\""));
@@ -922,6 +1091,10 @@ mod tests {
         assert!(json.contains("\"alloc\": {\"counting\": "));
         assert!(json.contains("\"allocs_per_trial\": "));
         assert!(json.contains("\"bytes_per_trial\": "));
+        assert!(json.contains("\"serve_qps\": {"));
+        assert!(json.contains("\"qps\": "));
+        assert!(json.contains("\"p99_s\": "));
+        assert!(json.contains("\"allocs_per_request\": "));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -932,6 +1105,90 @@ mod tests {
         run(&o).unwrap();
         // Off by default.
         assert!(!parse(&["bench", "--preset", "tiny"]).unwrap().skip_brute);
+    }
+
+    #[test]
+    fn serve_flags_parse_and_are_validated() {
+        let o = parse(&[
+            "serve-bench",
+            "--port",
+            "9000",
+            "--clients",
+            "3",
+            "--requests",
+            "80",
+        ])
+        .unwrap();
+        assert_eq!(o.port, 9000);
+        assert_eq!(o.clients, Some(3));
+        assert_eq!(o.requests, Some(80));
+        // Defaults: ephemeral port, preset-chosen load shape.
+        let o = parse(&["serve"]).unwrap();
+        assert_eq!(o.port, 0);
+        assert_eq!(o.clients, None);
+        assert_eq!(o.requests, None);
+        // Zero clients/requests make no sense; a port must fit u16.
+        assert!(parse(&["serve-bench", "--clients", "0"]).is_err());
+        assert!(parse(&["serve-bench", "--requests", "0"]).is_err());
+        assert!(parse(&["serve", "--port", "70000"]).is_err());
+        assert!(parse(&["serve", "--port", "x"]).is_err());
+    }
+
+    #[test]
+    fn serve_config_applies_preset_and_overrides() {
+        let o = parse(&[
+            "serve",
+            "--preset",
+            "tiny",
+            "--port",
+            "7777",
+            "--beacons",
+            "9",
+            "--step",
+            "5",
+            "--seed",
+            "0xA",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
+        let scfg = serve_config(&o).unwrap();
+        assert_eq!(scfg.addr, "127.0.0.1:7777");
+        assert_eq!(scfg.beacons, 9);
+        assert_eq!(scfg.step, 5.0);
+        assert_eq!(scfg.seed, 0xA);
+        assert_eq!(scfg.workers, 3);
+        let err = {
+            let mut bad = parse(&["serve", "--beacons", "1"]).unwrap();
+            bad.beacons = Some(0);
+            serve_config(&bad).unwrap_err()
+        };
+        assert!(err.contains("--beacons"), "got: {err}");
+    }
+
+    /// The daemon command itself: with the shutdown flag pre-triggered
+    /// the serve loop starts, binds, and runs its orderly shutdown
+    /// immediately — the full code path minus the indefinite wait.
+    #[test]
+    fn serve_command_starts_and_shuts_down() {
+        abp_serve::signal::trigger();
+        let o = parse(&["serve", "--preset", "tiny", "--beacons", "5"]).unwrap();
+        run(&o).unwrap();
+    }
+
+    #[test]
+    fn serve_bench_runs_tiny_load() {
+        let o = parse(&[
+            "serve-bench",
+            "--preset",
+            "tiny",
+            "--clients",
+            "2",
+            "--requests",
+            "50",
+        ])
+        .unwrap();
+        run(&o).unwrap();
     }
 
     #[test]
@@ -961,13 +1218,19 @@ mod tests {
 
     #[test]
     fn rejects_noise_outside_unit_interval() {
-        for bad in ["1", "1.5", "-0.1", "nan"] {
+        for bad in ["1", "1.0", "1.5", "-0.1", "nan", "inf"] {
             let err = parse(&["ablation", "--noise", bad])
                 .map(|_| ())
                 .expect_err(&format!("--noise {bad} must be rejected"));
             assert!(err.contains("--noise"), "got: {err}");
             assert!(!err.contains('\n'), "must be a one-line error: {err:?}");
         }
+        // The contract is half-open [0, 1) — `PerBeaconNoise` panics at a
+        // noise factor of 1 (effective ranges reach 0), so the boundary
+        // rejection must come with that rationale, not silently.
+        let err = parse(&["ablation", "--noise", "1.0"]).unwrap_err();
+        assert!(err.contains("[0, 1)"), "states the range: {err}");
+        assert!(err.contains("range"), "states the rationale: {err}");
         // The boundary values that are fine.
         assert!(parse(&["ablation", "--noise", "0"]).is_ok());
         assert!(parse(&["ablation", "--noise", "0.999"]).is_ok());
@@ -1092,7 +1355,8 @@ mod tests {
     #[test]
     fn output_paths_are_validated_up_front() {
         let missing = PathBuf::from("/nonexistent-abp-dir/out.json");
-        let cases: [(&str, fn(&mut Options, PathBuf)); 3] = [
+        type SetPath = fn(&mut Options, PathBuf);
+        let cases: [(&str, SetPath); 3] = [
             ("--metrics-json", |o, p| o.metrics_json = Some(p)),
             ("--checkpoint", |o, p| o.checkpoint = Some(p)),
             ("--trace", |o, p| o.trace = Some(p)),

@@ -1,0 +1,278 @@
+//! The `abp serve-bench` load harness.
+//!
+//! Starts an in-process daemon, drives it with N client threads over
+//! real TCP sockets (so the measured path includes framing and the
+//! loopback stack), and reports:
+//!
+//! * **client-observed latency** — each client stamps every
+//!   request/response round trip; quantiles are exact order statistics
+//!   over the merged post-warmup samples (rank `ceil(q·n)`, the same
+//!   rule `HistogramSnapshot::quantile_ns` documents),
+//! * **throughput** — total requests over the driving wall time,
+//! * **allocs/request** — the daemon's post-warmup thread-local
+//!   allocator deltas (exact under `--features count-allocs`, vacuous
+//!   zeros otherwise),
+//! * **bit-identity** — [`engine::served_matches_batch`] over the full
+//!   served lattice, so the report can only claim a healthy daemon if
+//!   served localizations equal the batch pipeline's bit for bit.
+//!
+//! Client threads allocate freely (latency logs live on their side);
+//! allocator accounting is per *worker* thread, so in-process clients
+//! do not pollute the server-side measurement.
+
+use crate::daemon::{Daemon, ServeConfig};
+use crate::engine;
+use crate::protocol::{self as wire, PlaceAlgo};
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Load shape for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Measured requests per client (after warm-up).
+    pub requests_per_client: usize,
+    /// Unmeasured warm-up requests per client; at least the daemon's
+    /// own per-connection allocation warm-up.
+    pub warmup_per_client: usize,
+    /// Every n-th request is a place request (the rest localize).
+    pub place_every: usize,
+    /// Seed for the clients' request mix.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// The committed-benchmark shape: 4 clients × 2000 requests.
+    pub fn paper_scale() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 2000,
+            warmup_per_client: 64,
+            place_every: 16,
+            seed: 7,
+        }
+    }
+
+    /// A sub-second shape for tests and CI smoke runs.
+    pub fn tiny() -> Self {
+        LoadConfig {
+            clients: 2,
+            requests_per_client: 150,
+            warmup_per_client: 40,
+            place_every: 16,
+            seed: 7,
+        }
+    }
+}
+
+/// The harness result — everything the `serve_qps` bench block records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Client threads driven.
+    pub clients: usize,
+    /// Measured requests (post-warmup, summed over clients).
+    pub requests: u64,
+    /// Wall time of the driving phase, seconds.
+    pub wall_s: f64,
+    /// Requests per second over the driving phase.
+    pub qps: f64,
+    /// Median round-trip latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile round-trip latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile round-trip latency, seconds.
+    pub p99_s: f64,
+    /// Fastest observed round trip, seconds.
+    pub min_s: f64,
+    /// Slowest observed round trip, seconds.
+    pub max_s: f64,
+    /// Requests inside the server-side allocation windows.
+    pub measured_requests: u64,
+    /// Server-side allocator calls per measured request.
+    pub allocs_per_request: f64,
+    /// Server-side allocated bytes per measured request.
+    pub bytes_per_request: f64,
+    /// Whether the counting allocator was compiled in.
+    pub alloc_counting: bool,
+    /// Whether served localization matched the batch path bit-for-bit
+    /// over the full lattice.
+    pub identical: bool,
+    /// Epoch at shutdown (0: the load phase applied nothing).
+    pub final_epoch: u64,
+}
+
+/// splitmix64: the clients' cheap deterministic request mixer.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exact quantile over sorted samples: rank `ceil(q·n)` clamped to
+/// `[1, n]`, matching the histogram convention in `abp-trace`.
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn client_run(
+    addr: std::net::SocketAddr,
+    info_seed: u64,
+    load: &LoadConfig,
+) -> io::Result<Vec<u64>> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_nodelay(true)?;
+    let mut out = Vec::new();
+    let mut frame = Vec::new();
+
+    wire::encode_info_request(&mut out);
+    conn.write_all(&out)?;
+    wire::read_frame(&mut conn, &mut frame)?;
+    let info = wire::decode_info_response(&frame)
+        .map_err(|s| io::Error::new(io::ErrorKind::InvalidData, format!("info: {s:?}")))?;
+    let roster: Vec<u64> = info.beacons.iter().map(|&(id, _)| id).collect();
+
+    let mut state = info_seed;
+    let mut ids = Vec::new();
+    let mut latencies = Vec::with_capacity(load.requests_per_client);
+    let total = load.warmup_per_client + load.requests_per_client;
+    for i in 0..total {
+        if load.place_every > 0 && i % load.place_every == load.place_every - 1 {
+            let algo = match splitmix(&mut state) % 3 {
+                0 => PlaceAlgo::Random,
+                1 => PlaceAlgo::Max,
+                _ => PlaceAlgo::Grid,
+            };
+            wire::encode_place_request(&mut out, algo, splitmix(&mut state), false);
+        } else {
+            // A random subset of 1..=8 roster ids (duplicates possible;
+            // the server dedups).
+            let k = 1 + (splitmix(&mut state) as usize % 8);
+            ids.clear();
+            for _ in 0..k {
+                ids.push(roster[splitmix(&mut state) as usize % roster.len()]);
+            }
+            wire::encode_localize_request(&mut out, &ids);
+        }
+        let started = Instant::now();
+        conn.write_all(&out)?;
+        if !wire::read_frame(&mut conn, &mut frame)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up mid-load",
+            ));
+        }
+        let elapsed = started.elapsed().as_nanos() as u64;
+        // Responses must decode as a success of the matching kind.
+        let ok = matches!(frame.first().copied(), Some(0));
+        if !ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("error status {:?} under load", frame.first()),
+            ));
+        }
+        if i >= load.warmup_per_client {
+            latencies.push(elapsed);
+        }
+    }
+    Ok(latencies)
+}
+
+/// Runs the full harness: daemon up, identity gate, N clients, exact
+/// quantiles, daemon down.
+///
+/// # Errors
+///
+/// Propagates daemon start-up and client socket errors; a client
+/// observing an error status or early hang-up fails the run.
+pub fn run_load(cfg: &ServeConfig, load: &LoadConfig) -> io::Result<LoadReport> {
+    let daemon = Daemon::start(cfg)?;
+    // Identity gate before load: the snapshot the daemon serves must
+    // answer exactly like the batch pipeline, over the whole lattice.
+    let identical = engine::served_matches_batch(&daemon.snapshot(), 1);
+    let addr = daemon.local_addr();
+
+    let driving = Instant::now();
+    let mut handles = Vec::with_capacity(load.clients);
+    for c in 0..load.clients {
+        let load = load.clone();
+        let seed = load.seed ^ ((c as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        handles.push(std::thread::spawn(move || client_run(addr, seed, &load)));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        let client = h
+            .join()
+            .map_err(|_| io::Error::other("client thread panicked"))??;
+        latencies.extend(client);
+    }
+    let wall_s = driving.elapsed().as_secs_f64();
+
+    let stats = daemon.shutdown();
+    latencies.sort_unstable();
+    assert!(
+        !latencies.is_empty(),
+        "load must measure at least one request"
+    );
+    let ns = 1e-9;
+    Ok(LoadReport {
+        clients: load.clients,
+        requests: latencies.len() as u64,
+        wall_s,
+        qps: latencies.len() as f64 / wall_s,
+        p50_s: quantile_ns(&latencies, 0.50) as f64 * ns,
+        p95_s: quantile_ns(&latencies, 0.95) as f64 * ns,
+        p99_s: quantile_ns(&latencies, 0.99) as f64 * ns,
+        min_s: latencies[0] as f64 * ns,
+        max_s: latencies[latencies.len() - 1] as f64 * ns,
+        measured_requests: stats.measured_requests,
+        allocs_per_request: stats.allocs_per_request(),
+        bytes_per_request: if stats.measured_requests == 0 {
+            0.0
+        } else {
+            stats.measured_bytes as f64 / stats.measured_requests as f64
+        },
+        alloc_counting: stats.alloc_counting,
+        identical,
+        final_epoch: stats.final_epoch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_rank_rule() {
+        let s = [10u64, 20, 30, 40];
+        assert_eq!(quantile_ns(&s, 0.0), 10);
+        assert_eq!(quantile_ns(&s, 0.5), 20);
+        assert_eq!(quantile_ns(&s, 0.51), 30);
+        assert_eq!(quantile_ns(&s, 1.0), 40);
+    }
+
+    #[test]
+    fn tiny_load_reports_sane_numbers() {
+        let report = run_load(&ServeConfig::tiny(), &LoadConfig::tiny()).unwrap();
+        assert_eq!(report.clients, 2);
+        assert_eq!(report.requests, 300);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_s > 0.0);
+        assert!(report.p50_s <= report.p95_s && report.p95_s <= report.p99_s);
+        assert!(report.min_s <= report.p50_s && report.p99_s <= report.max_s);
+        assert!(report.identical, "served must match batch bit-for-bit");
+        assert_eq!(report.final_epoch, 0, "no applies under plain load");
+        assert!(report.measured_requests > 0);
+        if report.alloc_counting {
+            assert_eq!(
+                report.allocs_per_request, 0.0,
+                "zero-alloc serving invariant"
+            );
+        }
+    }
+}

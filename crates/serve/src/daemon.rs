@@ -1,0 +1,701 @@
+//! The daemon: accept loop, worker pool, rebuilder thread.
+//!
+//! Thread layout:
+//!
+//! * **accept** — one thread on a non-blocking listener; hands accepted
+//!   connections to the worker queue and polls the shutdown flag,
+//! * **workers** — thread-per-core by default; each owns a
+//!   [`ServeScratch`] and a [`SnapshotReader`](crate::snapshot::SnapshotReader),
+//!   so the request path touches no shared mutable state beyond the
+//!   epoch hint,
+//! * **rebuilder** — the control plane: receives applied placement
+//!   points, re-surveys on a private [`WorldSnapshot`] build, publishes
+//!   the next epoch. All allocation-heavy work lives here.
+//!
+//! Connections are persistent: a worker serves frames until clean EOF,
+//! a socket error, or shutdown. Reads run under a short timeout so every
+//! blocked worker notices shutdown within tens of milliseconds; a
+//! [`Daemon::shutdown`] therefore completes promptly even with idle
+//! keep-alive clients attached.
+//!
+//! Under `--features count-allocs`, each worker brackets the post-warmup
+//! portion of every connection with thread-local allocator snapshots;
+//! [`StatsSnapshot::allocs_per_request`] is the aggregate — the value
+//! the bench gate pins at exactly zero.
+
+use crate::engine::{self, ServeScratch};
+use crate::protocol::{self, Request, Status, MAX_FRAME};
+use crate::snapshot::{SnapshotCell, WorldSnapshot};
+use abp_field::BeaconField;
+use abp_geom::{Point, Terrain};
+use abp_radio::IdealDisk;
+use abp_trace::AllocSnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Requests a worker serves on a connection before it starts counting
+/// allocations: lets the reused buffers reach steady-state size.
+const ALLOC_WARMUP_REQUESTS: u64 = 32;
+
+/// How long blocked reads and queue waits sleep between shutdown polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Daemon construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Beacons in the initial uniform-random field.
+    pub beacons: usize,
+    /// Square terrain side (meters).
+    pub side: f64,
+    /// Survey lattice spacing (meters).
+    pub step: f64,
+    /// Nominal radio range `R` (meters).
+    pub nominal_range: f64,
+    /// Seed for the initial field.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// The paper's evaluation scale: 100 m × 100 m terrain, 1 m lattice,
+    /// `R` = 15 m, 100 beacons.
+    pub fn paper_scale() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            beacons: 100,
+            side: 100.0,
+            step: 1.0,
+            nominal_range: 15.0,
+            seed: 42,
+        }
+    }
+
+    /// A seconds-scale configuration for tests and CI smoke runs.
+    pub fn tiny() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            beacons: 25,
+            side: 100.0,
+            step: 4.0,
+            nominal_range: 15.0,
+            seed: 42,
+        }
+    }
+
+    fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+    }
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    localize: AtomicU64,
+    place: AtomicU64,
+    info: AtomicU64,
+    errors: AtomicU64,
+    applies: AtomicU64,
+    connections: AtomicU64,
+    measured_requests: AtomicU64,
+    measured_allocs: AtomicU64,
+    measured_bytes: AtomicU64,
+}
+
+/// Final counters reported by [`Daemon::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total requests served (all opcodes, including error answers).
+    pub requests: u64,
+    /// Localize requests.
+    pub localize: u64,
+    /// Place requests.
+    pub place: u64,
+    /// Info requests.
+    pub info: u64,
+    /// Malformed frames answered with an error status.
+    pub errors: u64,
+    /// Placement proposals applied (deployed + re-surveyed).
+    pub applies: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// The epoch current at shutdown.
+    pub final_epoch: u64,
+    /// Requests inside the post-warmup allocation measurement windows.
+    pub measured_requests: u64,
+    /// Allocator calls observed inside those windows.
+    pub measured_allocs: u64,
+    /// Bytes requested inside those windows.
+    pub measured_bytes: u64,
+    /// Whether the counting allocator was compiled in
+    /// (`--features count-allocs`); without it the measured fields read
+    /// zero vacuously.
+    pub alloc_counting: bool,
+}
+
+impl StatsSnapshot {
+    /// Allocator calls per measured request (0.0 when nothing was
+    /// measured). The serving invariant pins this at exactly 0.
+    pub fn allocs_per_request(&self) -> f64 {
+        if self.measured_requests == 0 {
+            0.0
+        } else {
+            self.measured_allocs as f64 / self.measured_requests as f64
+        }
+    }
+
+    /// One-line summary, printed by the CLI on shutdown.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "served {} requests ({} localize, {} place, {} info, {} errors) \
+             over {} connections; {} applies, final epoch {}; \
+             allocs/request {:.3}{}",
+            self.requests,
+            self.localize,
+            self.place,
+            self.info,
+            self.errors,
+            self.connections,
+            self.applies,
+            self.final_epoch,
+            self.allocs_per_request(),
+            if self.alloc_counting {
+                ""
+            } else {
+                " (counting off)"
+            },
+        )
+    }
+}
+
+struct Shared {
+    cell: SnapshotCell,
+    shutdown: AtomicBool,
+    stats: Stats,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    apply_tx: Mutex<Sender<Point>>,
+}
+
+/// A running daemon. Dropping without [`Daemon::shutdown`] aborts the
+/// threads detached; call `shutdown` for an orderly stop and the final
+/// stats.
+pub struct Daemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    rebuilder: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Builds the initial world snapshot (epoch 0), binds the listener,
+    /// and spawns the accept/worker/rebuilder threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind, local address).
+    pub fn start(cfg: &ServeConfig) -> io::Result<Daemon> {
+        let terrain = Terrain::square(cfg.side);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let field = BeaconField::random_uniform(cfg.beacons, terrain, &mut rng);
+        let model = Arc::new(IdealDisk::new(cfg.nominal_range));
+        let initial = WorldSnapshot::build(0, field, model, cfg.step);
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (apply_tx, apply_rx) = mpsc::channel::<Point>();
+        let shared = Arc::new(Shared {
+            cell: SnapshotCell::new(initial),
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            apply_tx: Mutex::new(apply_tx),
+        });
+
+        let rebuilder = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("abp-serve-rebuild".into())
+                .spawn(move || rebuild_loop(&shared, apply_rx))
+                .expect("spawn rebuilder")
+        };
+
+        let workers = (0..cfg.resolved_workers())
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("abp-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("abp-serve-accept".into())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn accept")
+        };
+
+        Ok(Daemon {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            rebuilder: Some(rebuilder),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.epoch_hint()
+    }
+
+    /// A handle to the currently published snapshot (for tests and the
+    /// bench identity gate; takes the cell's read lock once).
+    pub fn snapshot(&self) -> Arc<WorldSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// Orderly shutdown: stop accepting, let every worker finish its
+    /// current frame and notice the flag, join the rebuilder, return the
+    /// final stats.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.rebuilder.take() {
+            let _ = h.join();
+        }
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            requests: s.requests.load(Ordering::Relaxed),
+            localize: s.localize.load(Ordering::Relaxed),
+            place: s.place.load(Ordering::Relaxed),
+            info: s.info.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+            applies: s.applies.load(Ordering::Relaxed),
+            connections: s.connections.load(Ordering::Relaxed),
+            final_epoch: self.shared.cell.epoch_hint(),
+            measured_requests: s.measured_requests.load(Ordering::Relaxed),
+            measured_allocs: s.measured_allocs.load(Ordering::Relaxed),
+            measured_bytes: s.measured_bytes.load(Ordering::Relaxed),
+            alloc_counting: abp_trace::counting(),
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let mut q = shared.queue.lock().expect("queue lock");
+                q.push_back(stream);
+                drop(q);
+                shared.queue_cv.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn rebuild_loop(shared: &Shared, apply_rx: mpsc::Receiver<Point>) {
+    loop {
+        match apply_rx.recv_timeout(POLL_INTERVAL) {
+            Ok(point) => {
+                let _span = abp_trace::span!("serve_rebuild");
+                let current = shared.cell.load();
+                let next = current.with_beacon_added(point);
+                shared.cell.publish(next);
+                shared.stats.applies.fetch_add(1, Ordering::Relaxed);
+                crate::APPLIES.add(1);
+                crate::EPOCHS_PUBLISHED.add(1);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = ServeScratch::new();
+    let mut reader = shared.cell.reader();
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cv
+                    .wait_timeout(q, POLL_INTERVAL)
+                    .expect("queue cv");
+                q = guard;
+            }
+        };
+        serve_connection(shared, &mut reader, stream, &mut scratch);
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+enum ReadOutcome {
+    Frame,
+    CleanEof,
+    Stop,
+}
+
+/// Fills `buf` completely, polling the shutdown flag on read timeouts.
+/// `allow_eof` marks a frame boundary where a peer may hang up cleanly.
+fn read_full(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    allow_eof: bool,
+) -> ReadOutcome {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if allow_eof && got == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Stop
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return ReadOutcome::Stop;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Stop,
+        }
+    }
+    ReadOutcome::Frame
+}
+
+fn serve_connection(
+    shared: &Shared,
+    reader: &mut crate::snapshot::SnapshotReader<'_>,
+    mut stream: TcpStream,
+    scratch: &mut ServeScratch,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut served = 0u64;
+    let mut alloc_base: Option<AllocSnapshot> = None;
+    let mut header = [0u8; 4];
+    while let ReadOutcome::Frame = read_full(shared, &mut stream, &mut header, true) {
+        let len = u32::from_le_bytes(header);
+        if len > MAX_FRAME {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            crate::PROTOCOL_ERRORS.add(1);
+            protocol::encode_error_response(&mut scratch.out_buf, Status::Oversize);
+            let _ = stream.write_all(&scratch.out_buf);
+            // The unread payload cannot be resynchronized past; drop
+            // the connection.
+            break;
+        }
+        scratch.in_buf.clear();
+        scratch.in_buf.resize(len as usize, 0);
+        match read_full(shared, &mut stream, &mut scratch.in_buf, false) {
+            ReadOutcome::Frame => {}
+            ReadOutcome::CleanEof | ReadOutcome::Stop => break,
+        }
+
+        if served == ALLOC_WARMUP_REQUESTS {
+            alloc_base = Some(abp_trace::thread_snapshot());
+        }
+        let started = Instant::now();
+        let _span = abp_trace::span!("serve_request");
+        handle_request(shared, reader, scratch);
+        crate::REQUEST_NS.record(started.elapsed());
+        crate::REQUESTS.add(1);
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        served += 1;
+
+        if stream.write_all(&scratch.out_buf).is_err() {
+            break;
+        }
+    }
+    if let Some(base) = alloc_base {
+        let delta = abp_trace::thread_snapshot().delta_since(base);
+        let s = &shared.stats;
+        s.measured_requests
+            .fetch_add(served - ALLOC_WARMUP_REQUESTS, Ordering::Relaxed);
+        s.measured_allocs.fetch_add(delta.allocs, Ordering::Relaxed);
+        s.measured_bytes.fetch_add(delta.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Decodes `scratch.in_buf`, dispatches, and leaves the complete
+/// response frame in `scratch.out_buf`. Never allocates beyond scratch
+/// growth.
+fn handle_request(
+    shared: &Shared,
+    reader: &mut crate::snapshot::SnapshotReader<'_>,
+    scratch: &mut ServeScratch,
+) {
+    let request = match protocol::decode_request(&scratch.in_buf, &mut scratch.ids) {
+        Ok(req) => req,
+        Err(status) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            crate::PROTOCOL_ERRORS.add(1);
+            protocol::encode_error_response(&mut scratch.out_buf, status);
+            return;
+        }
+    };
+    let snap = reader.current();
+    match request {
+        Request::Localize => {
+            shared.stats.localize.fetch_add(1, Ordering::Relaxed);
+            crate::LOCALIZE_REQUESTS.add(1);
+            match engine::localize(snap, &scratch.ids, &mut scratch.slots) {
+                Ok(reply) => protocol::encode_localize_response(&mut scratch.out_buf, &reply),
+                Err(_unknown_id) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    crate::PROTOCOL_ERRORS.add(1);
+                    protocol::encode_error_response(&mut scratch.out_buf, Status::UnknownBeacon);
+                }
+            }
+        }
+        Request::Place { algo, seed, apply } => {
+            shared.stats.place.fetch_add(1, Ordering::Relaxed);
+            crate::PLACE_REQUESTS.add(1);
+            let position = engine::place(snap, algo, seed);
+            // Applying is control-plane: enqueue for the rebuilder and
+            // answer immediately from the current epoch. (The send
+            // allocates a channel node; applies are intentionally
+            // outside the zero-alloc steady-state invariant.)
+            let applied = apply
+                && shared
+                    .apply_tx
+                    .lock()
+                    .expect("apply sender lock")
+                    .send(position)
+                    .is_ok();
+            protocol::encode_place_response(
+                &mut scratch.out_buf,
+                &protocol::PlaceReply {
+                    epoch: snap.epoch(),
+                    algo,
+                    applied,
+                    position,
+                },
+            );
+        }
+        Request::Info => {
+            shared.stats.info.fetch_add(1, Ordering::Relaxed);
+            crate::INFO_REQUESTS.add(1);
+            protocol::encode_info_response(
+                &mut scratch.out_buf,
+                snap.epoch(),
+                snap.terrain().side(),
+                snap.model().nominal_range(),
+                snap.field().len() as u32,
+                snap.field().iter().map(|b| (b.id().0, b.pos())),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{self as wire, PlaceAlgo};
+
+    fn roundtrip(stream: &mut TcpStream, out: &[u8], frame: &mut Vec<u8>) {
+        stream.write_all(out).unwrap();
+        assert!(wire::read_frame(stream, frame).unwrap());
+    }
+
+    #[test]
+    fn daemon_serves_all_opcodes_and_shuts_down_cleanly() {
+        let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut out = Vec::new();
+        let mut frame = Vec::new();
+
+        wire::encode_info_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        let info = wire::decode_info_response(&frame).unwrap();
+        assert_eq!(info.epoch, 0);
+        assert_eq!(info.terrain_side, 100.0);
+        assert_eq!(info.beacons.len(), 25);
+
+        // Localize from the first three roster ids and check the served
+        // estimate against the client-side centroid, bit for bit.
+        let ids: Vec<u64> = info.beacons.iter().take(3).map(|&(id, _)| id).collect();
+        wire::encode_localize_request(&mut out, &ids);
+        roundtrip(&mut conn, &out, &mut frame);
+        let reply = wire::decode_localize_response(&frame).unwrap();
+        assert_eq!(reply.heard, 3);
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        for &(_, p) in info.beacons.iter().take(3) {
+            sum_x += p.x;
+            sum_y += p.y;
+        }
+        let est = reply.estimate.unwrap();
+        assert_eq!(est.x.to_bits(), (sum_x / 3.0).to_bits());
+        assert_eq!(est.y.to_bits(), (sum_y / 3.0).to_bits());
+
+        // Empty heard set: degraded terrain-center estimate.
+        wire::encode_localize_request(&mut out, &[]);
+        roundtrip(&mut conn, &out, &mut frame);
+        let reply = wire::decode_localize_response(&frame).unwrap();
+        assert!(reply.degraded);
+        assert_eq!(reply.estimate, Some(Point::new(50.0, 50.0)));
+
+        // Placement without apply: deterministic, in-terrain, epoch 0.
+        wire::encode_place_request(&mut out, PlaceAlgo::Max, 0, false);
+        roundtrip(&mut conn, &out, &mut frame);
+        let place = wire::decode_place_response(&frame).unwrap();
+        assert!(!place.applied);
+        assert_eq!(place.epoch, 0);
+        assert!(place.position.x >= 0.0 && place.position.x <= 100.0);
+
+        // Unknown beacon id answers UnknownBeacon, connection survives.
+        wire::encode_localize_request(&mut out, &[u64::MAX]);
+        roundtrip(&mut conn, &out, &mut frame);
+        assert_eq!(
+            wire::decode_localize_response(&frame),
+            Err(Status::UnknownBeacon)
+        );
+        wire::encode_info_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        assert!(wire::decode_info_response(&frame).is_ok());
+
+        drop(conn);
+        let stats = daemon.shutdown();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.localize, 3);
+        assert_eq!(stats.place, 1);
+        assert_eq!(stats.info, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.final_epoch, 0);
+    }
+
+    #[test]
+    fn apply_triggers_resurvey_and_epoch_bump() {
+        let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut out = Vec::new();
+        let mut frame = Vec::new();
+
+        wire::encode_place_request(&mut out, PlaceAlgo::Max, 0, true);
+        roundtrip(&mut conn, &out, &mut frame);
+        let place = wire::decode_place_response(&frame).unwrap();
+        assert!(place.applied);
+
+        // The rebuilder publishes asynchronously; poll INFO until the
+        // epoch moves (bounded).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let info = loop {
+            wire::encode_info_request(&mut out);
+            roundtrip(&mut conn, &out, &mut frame);
+            let info = wire::decode_info_response(&frame).unwrap();
+            if info.epoch >= 1 || Instant::now() > deadline {
+                break info;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert_eq!(info.epoch, 1, "apply must publish the next epoch");
+        assert_eq!(info.beacons.len(), 26, "the applied beacon is deployed");
+        // The new beacon sits exactly where the proposal pointed.
+        assert!(info.beacons.iter().any(|&(_, p)| p == place.position));
+
+        drop(conn);
+        let stats = daemon.shutdown();
+        assert_eq!(stats.applies, 1);
+        assert_eq!(stats.final_epoch, 1);
+    }
+
+    #[test]
+    fn malformed_frames_get_error_statuses() {
+        let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut frame = Vec::new();
+
+        // Unknown opcode.
+        conn.write_all(&1u32.to_le_bytes()).unwrap();
+        conn.write_all(&[200u8]).unwrap();
+        assert!(wire::read_frame(&mut conn, &mut frame).unwrap());
+        assert_eq!(frame, vec![Status::BadOpcode as u8]);
+
+        // Truncated localize.
+        let payload = [1u8, 5, 0, 0, 0]; // announces 5 ids, carries none
+        conn.write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        conn.write_all(&payload).unwrap();
+        assert!(wire::read_frame(&mut conn, &mut frame).unwrap());
+        assert_eq!(frame, vec![Status::BadFrame as u8]);
+
+        drop(conn);
+        let stats = daemon.shutdown();
+        assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_and_disconnected() {
+        let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut frame = Vec::new();
+        conn.write_all(&(MAX_FRAME + 1).to_le_bytes()).unwrap();
+        assert!(wire::read_frame(&mut conn, &mut frame).unwrap());
+        assert_eq!(frame, vec![Status::Oversize as u8]);
+        // The server hangs up; the next read sees EOF.
+        assert!(!wire::read_frame(&mut conn, &mut frame).unwrap());
+        daemon.shutdown();
+    }
+}

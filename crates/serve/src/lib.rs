@@ -1,0 +1,88 @@
+//! Online localization serving — the deployment story of the paper's
+//! pipeline.
+//!
+//! Everything up to this crate is *batch*: generate a field, survey it,
+//! place a beacon, repeat. `abp-serve` turns that pipeline into a
+//! long-lived daemon a fielded client can actually talk to:
+//!
+//! * [`protocol`] — a dependency-free length-prefixed TCP wire format
+//!   with three requests: **localize** (heard-beacon ids → position
+//!   estimate + confidence), **place** (current error map → next-beacon
+//!   suggestion via Random/Max/Grid), and **info** (epoch + terrain +
+//!   beacon roster),
+//! * [`snapshot`] — the [`WorldSnapshot`](snapshot::WorldSnapshot):
+//!   an immutable bundle of `BeaconField` + `ErrorMap` + `CellIndex` +
+//!   `BeaconSoA` published through an epoch-stamped
+//!   [`SnapshotCell`](snapshot::SnapshotCell), so background re-surveys
+//!   rebuild off to the side while request workers never block,
+//! * [`engine`] — the per-request compute, bit-identical to the batch
+//!   localizers (see [`engine::localize`]) and allocation-free on reused
+//!   [`engine::ServeScratch`] workspaces,
+//! * [`daemon`] — thread-per-core accept/worker loop with graceful
+//!   shutdown and per-connection allocation accounting,
+//! * [`mod@bench`] — the `abp serve-bench` load harness: N client threads,
+//!   client-observed p50/p95/p99, server-side allocs/request,
+//! * [`signal`] — a minimal SIGTERM/SIGINT hook for the CLI daemon.
+//!
+//! # The zero-alloc serving invariant
+//!
+//! The request path — decode, snapshot lookup, localize/place, encode —
+//! performs **zero heap allocations** in steady state (after a short
+//! per-connection warm-up that sizes the reused buffers). Under
+//! `--features count-allocs` the daemon measures this per connection with
+//! thread-local allocator deltas and reports allocs/request in
+//! [`daemon::StatsSnapshot`]; the bench gate holds it at exactly 0.
+//! Control-plane work (applying a placement, re-surveying, publishing a
+//! new epoch) happens on the rebuilder thread and may allocate freely.
+//!
+//! # Example
+//!
+//! ```
+//! use abp_serve::daemon::{Daemon, ServeConfig};
+//! use abp_serve::protocol as wire;
+//! use std::io::Write;
+//!
+//! let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+//! let mut buf = Vec::new();
+//! wire::encode_info_request(&mut buf);
+//! conn.write_all(&buf).unwrap();
+//! let mut frame = Vec::new();
+//! wire::read_frame(&mut conn, &mut frame).unwrap();
+//! let info = wire::decode_info_response(&frame).unwrap();
+//! assert_eq!(info.epoch, 0);
+//! assert!(!info.beacons.is_empty());
+//! drop(conn);
+//! let stats = daemon.shutdown();
+//! assert_eq!(stats.info, 1);
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod daemon;
+pub mod engine;
+pub mod protocol;
+pub mod signal;
+pub mod snapshot;
+
+use abp_trace::{Counter, DurationHistogram};
+
+/// Telemetry: requests served, all opcodes (one per decoded frame).
+pub static REQUESTS: Counter = Counter::new("serve_requests");
+/// Telemetry: localize requests served.
+pub static LOCALIZE_REQUESTS: Counter = Counter::new("serve_localize");
+/// Telemetry: place requests served.
+pub static PLACE_REQUESTS: Counter = Counter::new("serve_place");
+/// Telemetry: info requests served.
+pub static INFO_REQUESTS: Counter = Counter::new("serve_info");
+/// Telemetry: malformed frames answered with an error status.
+pub static PROTOCOL_ERRORS: Counter = Counter::new("serve_protocol_errors");
+/// Telemetry: placement proposals applied (enqueued to the rebuilder).
+pub static APPLIES: Counter = Counter::new("serve_applies");
+/// Telemetry: world snapshots published (epoch bumps past the initial).
+pub static EPOCHS_PUBLISHED: Counter = Counter::new("serve_epochs_published");
+/// Telemetry: request latency, decode through encode (excludes socket
+/// reads/writes), in log₂ nanosecond buckets with exact min/max.
+pub static REQUEST_NS: DurationHistogram = DurationHistogram::new("serve_request_ns");

@@ -219,6 +219,25 @@ impl RunPolicy {
     }
 }
 
+/// The retry deadline `now + backoff`, saturated to the farthest
+/// representable `Instant` instead of panicking.
+///
+/// [`RunPolicy::backoff_before`] saturates toward `backoff * u32::MAX`,
+/// which at pathological `--retry`/backoff combinations overflows
+/// `Instant` addition (`Instant::now() + backoff` panics). Halving the
+/// delay until the addition is representable keeps the deadline as far
+/// out as the clock can express — the retry still waits "effectively
+/// forever", it just no longer aborts the whole sweep.
+pub fn retry_deadline(now: Instant, backoff: Duration) -> Instant {
+    let mut delay = backoff;
+    loop {
+        if let Some(deadline) = now.checked_add(delay) {
+            return deadline;
+        }
+        delay /= 2;
+    }
+}
+
 /// Why a supervised trial ultimately failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrialFault {
@@ -629,7 +648,7 @@ fn settle_failure<T>(
         queue.push(Task {
             index,
             attempt: next,
-            not_before: Some(Instant::now() + backoff),
+            not_before: Some(retry_deadline(Instant::now(), backoff)),
         });
         0
     } else {
@@ -933,6 +952,30 @@ mod tests {
         assert_eq!(policy.backoff_before(3), Duration::from_millis(400));
         assert!(policy.is_active());
         assert!(!RunPolicy::default().is_active());
+    }
+
+    #[test]
+    fn retry_deadline_saturates_instead_of_panicking() {
+        // Pathological policies saturate `backoff_before` toward
+        // `backoff * u32::MAX`; the deadline must clamp, not panic
+        // (regression: `Instant::now() + backoff` overflowed).
+        let policy = RunPolicy {
+            retries: u32::MAX,
+            trial_timeout: None,
+            backoff: Duration::MAX,
+        };
+        let now = Instant::now();
+        for attempt in [1, 2, 31, 32, 63, u32::MAX] {
+            let backoff = policy.backoff_before(attempt);
+            let deadline = retry_deadline(now, backoff);
+            assert!(deadline >= now, "deadline must not precede now");
+        }
+        // The saturated deadline still orders after any sane deadline.
+        let sane = retry_deadline(now, Duration::from_secs(1));
+        let saturated = retry_deadline(now, Duration::MAX);
+        assert!(saturated >= sane);
+        // And ordinary backoffs are exact.
+        assert_eq!(sane, now + Duration::from_secs(1));
     }
 
     #[test]

@@ -688,6 +688,14 @@ impl ErrorMap {
         (!e.is_nan()).then_some(e)
     }
 
+    /// The measured error at the lattice point nearest `p` — the serving
+    /// layer's *confidence* for an estimate at `p` (the error the survey
+    /// measured where the client claims to be). `None` when that point is
+    /// excluded. Allocation-free.
+    pub fn error_near(&self, p: Point) -> Option<f64> {
+        self.error_at(self.lattice.nearest(p))
+    }
+
     /// The position estimate at a lattice point (`None` if excluded).
     pub fn estimate_at(&self, ix: LatticeIndex) -> Option<Point> {
         let flat = self.lattice.flat(ix);

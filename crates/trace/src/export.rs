@@ -107,10 +107,12 @@ pub fn to_jsonl(
         }
         let _ = writeln!(
             out,
-            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"buckets\":[{buckets}]}}",
+            "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[{buckets}]}}",
             escape(h.name),
             h.count,
             h.sum_ns,
+            h.min_ns,
+            h.max_ns,
         );
     }
     out
@@ -253,6 +255,8 @@ mod tests {
                 name: "trial_wall",
                 count: 4,
                 sum_ns: 4_000,
+                min_ns: 900,
+                max_ns: 1_100,
                 buckets: vec![0, 4],
             }],
         )

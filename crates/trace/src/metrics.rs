@@ -106,6 +106,10 @@ pub struct DurationHistogram {
     registered: AtomicBool,
     count: AtomicU64,
     sum_ns: AtomicU64,
+    /// Exact smallest recorded duration (`u64::MAX` until first record).
+    min_ns: AtomicU64,
+    /// Exact largest recorded duration (0 until first record).
+    max_ns: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -120,6 +124,8 @@ impl DurationHistogram {
             registered: AtomicBool::new(false),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
             buckets: [ZERO_BUCKET; BUCKETS],
         }
     }
@@ -141,6 +147,8 @@ impl DurationHistogram {
         let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
         self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -173,10 +181,17 @@ impl DurationHistogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             name: self.name,
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -193,6 +208,8 @@ impl DurationHistogram {
     fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -217,6 +234,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all recorded durations in nanoseconds.
     pub sum_ns: u64,
+    /// Exact smallest recorded duration in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Exact largest recorded duration in nanoseconds (0 when empty).
+    pub max_ns: u64,
     /// Log₂ bucket counts; bucket `b` covers `[2^(b-1), 2^b)` ns.
     pub buckets: Vec<u64>,
 }
@@ -231,21 +252,40 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate quantile: the upper bound of the first bucket whose
-    /// cumulative count reaches `q · count`. `None` when empty.
+    /// Quantile estimate, `None` when empty.
+    ///
+    /// The rank rule, pinned down because the serve latency report is
+    /// built on it:
+    ///
+    /// * `q <= 0` returns the **exact recorded minimum** ([`min_ns`](HistogramSnapshot::min_ns)),
+    ///   and `q >= 1` the **exact recorded maximum** — not a bucket bound
+    ///   (histograms track min/max alongside the buckets).
+    /// * For `0 < q < 1` the rank is `ceil(q · count)` (1-based, so a
+    ///   single-sample histogram answers that sample's bucket at every
+    ///   `q`), and the estimate is the **upper bound** of the bucket
+    ///   holding that rank — log₂ buckets make mid quantiles accurate to
+    ///   a factor of two. The answer is clamped into `[min_ns, max_ns]`
+    ///   so a bucket bound never exceeds an actually-recorded extreme.
     pub fn quantile_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if q <= 0.0 {
+            return Some(self.min_ns);
+        }
+        if q >= 1.0 {
+            return Some(self.max_ns);
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             cum += n;
             if cum >= target {
-                return Some(DurationHistogram::bucket_upper_ns(b));
+                let upper = DurationHistogram::bucket_upper_ns(b);
+                return Some(upper.clamp(self.min_ns, self.max_ns));
             }
         }
-        Some(DurationHistogram::bucket_upper_ns(BUCKETS - 1))
+        Some(self.max_ns)
     }
 }
 
@@ -435,12 +475,59 @@ mod tests {
         let p99 = s.quantile_ns(0.99).unwrap();
         // p50 sits in the microsecond bucket, p99 in the millisecond one;
         // log2 buckets are accurate to a factor of two.
-        assert!(p50 >= 1_000 && p50 < 4_000, "p50 = {p50}");
-        assert!(p99 >= 1_000_000 && p99 < 4_000_000, "p99 = {p99}");
+        assert!((1_000..4_000).contains(&p50), "p50 = {p50}");
+        assert!((1_000_000..4_000_000).contains(&p99), "p99 = {p99}");
         let mean = s.mean_ns();
         assert!(mean > 90_000.0 && mean < 120_000.0, "mean = {mean}");
         crate::set_enabled(false);
         H.reset();
+    }
+
+    #[test]
+    fn quantile_extremes_and_edge_counts() {
+        let _g = test_support::lock();
+        static H: DurationHistogram = DurationHistogram::new("test_hist_extremes");
+        crate::set_enabled(true);
+        H.reset();
+
+        // Empty histogram: every quantile is None.
+        let empty = H.snapshot();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.quantile_ns(0.0), None);
+        assert_eq!(empty.quantile_ns(0.5), None);
+        assert_eq!(empty.quantile_ns(1.0), None);
+
+        // Single sample: every quantile answers that sample (q = 0 and
+        // q = 1 exactly; mid quantiles its bucket, clamped to it).
+        H.record(Duration::from_nanos(777));
+        let one = H.snapshot();
+        assert_eq!(one.count, 1);
+        assert_eq!(one.quantile_ns(0.0), Some(777));
+        assert_eq!(one.quantile_ns(0.5), Some(777));
+        assert_eq!(one.quantile_ns(1.0), Some(777));
+
+        // Two distinct samples: q = 0 is the exact recorded minimum, not
+        // the minimum's bucket upper bound (regression: the old rank rule
+        // mapped q = 0 to rank 1's bucket).
+        H.record(Duration::from_micros(500));
+        let two = H.snapshot();
+        assert_eq!(two.quantile_ns(0.0), Some(777), "p0 must be the min");
+        assert_eq!(two.quantile_ns(1.0), Some(500_000), "p100 must be the max");
+        assert_eq!(two.min_ns, 777);
+        assert_eq!(two.max_ns, 500_000);
+        // Out-of-range q clamps to the extremes.
+        assert_eq!(two.quantile_ns(-3.0), Some(777));
+        assert_eq!(two.quantile_ns(7.0), Some(500_000));
+        // Mid quantiles stay within the recorded range.
+        let p50 = two.quantile_ns(0.5).unwrap();
+        assert!((777..=500_000).contains(&p50), "p50 = {p50}");
+
+        crate::set_enabled(false);
+        H.reset();
+        // Reset restores the empty-histogram extremes.
+        let after = H.snapshot();
+        assert_eq!(after.min_ns, 0);
+        assert_eq!(after.max_ns, 0);
     }
 
     #[test]
@@ -469,6 +556,8 @@ mod tests {
             name: "trial_wall",
             count: 240,
             sum_ns: 240 * 8_000_000,
+            min_ns: 8_000_000,
+            max_ns: 16_000_000,
             buckets: {
                 let mut b = vec![0u64; BUCKETS];
                 b[24] = 240; // ~8-16 ms

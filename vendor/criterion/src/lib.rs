@@ -2,7 +2,8 @@
 //!
 //! Provides the `criterion_group!`/`criterion_main!` macros,
 //! `Criterion::bench_function`, `Criterion::sample_size`, and
-//! `Bencher::iter` — the subset the workspace's benches use. Each
+//! `Bencher::{iter, iter_batched}` — the subset the workspace's
+//! benches use. Each
 //! benchmark runs a short warm-up, then times `sample_size` batches and
 //! prints the median ns/iter to stdout. No statistics engine, plots, or
 //! CLI: this exists so `cargo bench` compiles and produces useful
@@ -47,6 +48,38 @@ impl Bencher {
         per_iter.sort_by(|a, b| a.total_cmp(b));
         self.ns_per_iter = per_iter[per_iter.len() / 2];
     }
+
+    /// Calls `setup` (untimed) before each timed `routine` call and
+    /// records the median routine time. Unlike real criterion, inputs
+    /// are built one at a time regardless of `BatchSize` — the hint
+    /// only exists so callers port over unchanged.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter.push(start.elapsed().as_nanos() as f64);
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Batching hint accepted by [`Bencher::iter_batched`]; ignored by the
+/// stand-in (inputs are always built one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is cheap to hold many of.
+    SmallInput,
+    /// Input is expensive; batch few.
+    LargeInput,
+    /// Build exactly one input per iteration.
+    PerIteration,
 }
 
 /// The benchmark driver.
