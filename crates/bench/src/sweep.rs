@@ -65,7 +65,13 @@ use std::time::Instant;
 /// the in-process load harness — client-observed p50/p95/p99 latency,
 /// throughput, the served-vs-batch bit-identity gate, and the serving
 /// path's allocs/request (pinned at 0 under `count-allocs`).
-pub const SCHEMA: &str = "abp-bench-sweep/3";
+/// `/4` extends `serve_qps` with the telemetry-overhead figures: the
+/// main run now serves with per-opcode telemetry on and a live
+/// `/metrics` HTTP listener scraped concurrently (`scrapes`,
+/// `scrape_p50_s`, `scrape_max_s`), and a second telemetry-off run of
+/// the same load contributes `qps_metrics_off` and
+/// `telemetry_overhead_pct`.
+pub const SCHEMA: &str = "abp-bench-sweep/4";
 
 /// Scenario and sampling configuration for one bench run.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,18 +220,33 @@ pub struct BenchReport {
     pub kernels: Vec<KernelResult>,
     /// Allocation accounting for the reused-scratch survey path.
     pub alloc: AllocStats,
-    /// The `abp-serve` daemon under the in-process load harness:
-    /// client-observed latency quantiles, throughput, the served-vs-batch
-    /// bit-identity gate, and the serving path's allocation rate.
+    /// The `abp-serve` daemon under the in-process load harness with
+    /// per-opcode telemetry ON and the `/metrics` HTTP listener scraped
+    /// concurrently: client-observed latency quantiles, throughput, the
+    /// served-vs-batch bit-identity gate, and the serving path's
+    /// allocation rate.
     pub serve: abp_serve::bench::LoadReport,
+    /// The same load with telemetry OFF and no metrics listener — the
+    /// baseline the telemetry-overhead figure is measured against.
+    pub serve_off: abp_serve::bench::LoadReport,
 }
 
 impl BenchReport {
     /// Whether every kernel's indexed variant matched its brute output
     /// bit for bit — and the served localization path matched the batch
-    /// pipeline over the full lattice.
+    /// pipeline over the full lattice (in both serve runs).
     pub fn all_identical(&self) -> bool {
-        self.kernels.iter().all(|k| k.identical) && self.serve.identical
+        self.kernels.iter().all(|k| k.identical) && self.serve.identical && self.serve_off.identical
+    }
+
+    /// Throughput lost to live telemetry, in percent of the
+    /// telemetry-off baseline (negative when the instrumented run was
+    /// faster — i.e. inside measurement noise).
+    pub fn telemetry_overhead_pct(&self) -> f64 {
+        if self.serve_off.qps <= 0.0 {
+            return 0.0;
+        }
+        (self.serve_off.qps - self.serve.qps) / self.serve_off.qps * 100.0
     }
 
     /// Serializes the report as a single JSON object (schema
@@ -273,6 +294,23 @@ impl BenchReport {
             s.alloc_counting,
             json_f64(s.allocs_per_request),
             json_f64(s.bytes_per_request)
+        ));
+        out.push_str(&format!("    \"scrapes\": {},\n", s.scrapes));
+        out.push_str(&format!(
+            "    \"scrape_p50_s\": {},\n",
+            json_f64(s.scrape_p50_s)
+        ));
+        out.push_str(&format!(
+            "    \"scrape_max_s\": {},\n",
+            json_f64(s.scrape_max_s)
+        ));
+        out.push_str(&format!(
+            "    \"qps_metrics_off\": {},\n",
+            json_f64(self.serve_off.qps)
+        ));
+        out.push_str(&format!(
+            "    \"telemetry_overhead_pct\": {},\n",
+            json_f64(self.telemetry_overhead_pct())
         ));
         out.push_str(&format!("    \"identical\": {},\n", s.identical));
         out.push_str(&format!("    \"final_epoch\": {}\n", s.final_epoch));
@@ -449,15 +487,10 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     // Kernel 5 (reported as `serve_qps`, not a brute/indexed pair): the
     // online daemon under concurrent TCP load — the serving layer's
     // throughput, tail latency, allocation rate, and bit-identity gate.
-    let serve_cfg = abp_serve::daemon::ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        workers: 0,
-        beacons: cfg.beacons,
-        side: cfg.side,
-        step: cfg.step,
-        nominal_range: cfg.nominal_range,
-        seed: cfg.seed,
-    };
+    // Run twice with the same load: first a telemetry-off baseline,
+    // then the instrumented configuration with a live `/metrics` HTTP
+    // listener scraped concurrently — the pair quantifies what live
+    // telemetry costs the hot path.
     let load = abp_serve::bench::LoadConfig {
         clients: cfg.serve_clients,
         requests_per_client: cfg.serve_requests,
@@ -465,6 +498,21 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         place_every: 16,
         seed: cfg.seed,
     };
+    let mut serve_cfg = abp_serve::daemon::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        beacons: cfg.beacons,
+        side: cfg.side,
+        step: cfg.step,
+        nominal_range: cfg.nominal_range,
+        seed: cfg.seed,
+        telemetry: false,
+        metrics_addr: None,
+    };
+    let serve_off = abp_serve::bench::run_load(&serve_cfg, &load)
+        .expect("serve load harness failed (loopback bind or client error)");
+    serve_cfg.telemetry = true;
+    serve_cfg.metrics_addr = Some("127.0.0.1:0".into());
     let serve = abp_serve::bench::run_load(&serve_cfg, &load)
         .expect("serve load harness failed (loopback bind or client error)");
 
@@ -473,6 +521,7 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         kernels,
         alloc,
         serve,
+        serve_off,
     }
 }
 
@@ -679,6 +728,14 @@ mod tests {
         );
         assert!(report.serve.qps > 0.0);
         assert!(report.serve.identical, "served must match batch");
+        assert!(
+            report.serve.scrapes > 0,
+            "the /metrics listener must be scraped during the instrumented run"
+        );
+        assert_eq!(report.serve_off.requests, report.serve.requests);
+        assert!(report.serve_off.identical, "baseline must match batch too");
+        assert_eq!(report.serve_off.scrapes, 0, "baseline has no listener");
+        assert!(report.telemetry_overhead_pct().is_finite());
         assert_eq!(report.alloc.counting, abp_trace::counting());
         if report.alloc.counting {
             assert_eq!(
@@ -750,10 +807,33 @@ mod tests {
                 alloc_counting: true,
                 identical: true,
                 final_epoch: 0,
+                scrapes: 40,
+                scrape_p50_s: 0.0002,
+                scrape_max_s: 0.001,
+            },
+            serve_off: abp_serve::bench::LoadReport {
+                clients: 2,
+                requests: 300,
+                wall_s: 0.4,
+                qps: 750.0,
+                p50_s: 0.001,
+                p95_s: 0.002,
+                p99_s: 0.003,
+                min_s: 0.0005,
+                max_s: 0.004,
+                measured_requests: 220,
+                allocs_per_request: 0.0,
+                bytes_per_request: 0.0,
+                alloc_counting: true,
+                identical: true,
+                final_epoch: 0,
+                scrapes: 0,
+                scrape_p50_s: 0.0,
+                scrape_max_s: 0.0,
             },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/3\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/4\""));
         assert!(json.contains("\"preset\": \"tiny\""));
         assert!(json.contains("\"skip_brute\": false"));
         assert!(json.contains(
@@ -766,6 +846,11 @@ mod tests {
             "\"alloc\": {\"counting\": true, \"allocs_per_request\": 0, \"bytes_per_request\": 0}"
         ));
         assert!(json.contains("\"final_epoch\": 0"));
+        assert!(json.contains("\"scrapes\": 40"));
+        assert!(json.contains("\"scrape_p50_s\": 0.0002"));
+        assert!(json.contains("\"scrape_max_s\": 0.001"));
+        assert!(json.contains("\"qps_metrics_off\": 750"));
+        assert!(json.contains("\"telemetry_overhead_pct\": 20"));
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"median_s\": 0.5"));

@@ -30,7 +30,9 @@
 //!                     BENCH_sweep.json (median + 95% CI per kernel,
 //!                     plus steady-state allocs/trial when the binary
 //!                     was built with --features count-allocs; the
-//!                     serve_qps block drives the daemon under load)
+//!                     serve_qps block drives the daemon under load
+//!                     twice — telemetry off, then on with /metrics
+//!                     scraped concurrently — to price live telemetry)
 //!   serve             run the online localization daemon until
 //!                     SIGTERM/SIGINT: answers localize/place/info
 //!                     queries over the length-prefixed TCP protocol
@@ -41,6 +43,11 @@
 //!                     round-trip quantiles, the served-vs-batch
 //!                     bit-identity gate, and allocs/request (gated at
 //!                     0 when built with --features count-allocs)
+//!   top               live dashboard over a running daemon's stats
+//!                     opcode: per-opcode qps and interval p50/p95/p99,
+//!                     epoch, connections, rebuild activity, and the
+//!                     slow-request flight recorder; full-screen on a
+//!                     TTY, one line per poll when piped
 //!   all               table1 + every paper figure + bound, in order
 //!
 //! options:
@@ -64,9 +71,16 @@
 //!                               for fast local iteration; DISABLES the
 //!                               bit-identity gate, never use for baselines
 //!   --port N                    serve/serve-bench: TCP port [default: 0,
-//!                               an ephemeral port printed at startup]
+//!                               an ephemeral port printed at startup];
+//!                               top: the daemon's port (required)
 //!   --clients N                 serve-bench: client threads
 //!   --requests N                serve-bench: measured requests per client
+//!   --metrics-port N            serve/serve-bench: also expose Prometheus
+//!                               text exposition over HTTP at
+//!                               127.0.0.1:N/metrics (0 = ephemeral)
+//!   --interval DUR              top: delay between polls [default: 1s]
+//!   --polls N                   top: render N updates then exit
+//!                               (default: run until SIGTERM/SIGINT)
 //!   --out DIR                   also write <figure>.csv files into DIR
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
@@ -85,6 +99,8 @@ use abp_sim::{figures, AlgorithmKind, Figure, SimConfig, SweepCheckpoint, TraceP
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
+
+mod top;
 
 /// On-disk format of the `--trace` file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,22 +137,30 @@ struct Options {
     counters: bool,
     /// `--skip-brute`: bench-only fast iteration, identity gate off.
     skip_brute: bool,
-    /// `--port` for serve/serve-bench (0 = ephemeral).
+    /// `--port` for serve/serve-bench (0 = ephemeral) and top (the
+    /// daemon to poll, required).
     port: u16,
     /// `--clients` when given explicitly (serve-bench).
     clients: Option<usize>,
     /// `--requests` when given explicitly (serve-bench).
     requests: Option<usize>,
+    /// `--metrics-port`: bind the HTTP exposition listener here.
+    metrics_port: Option<u16>,
+    /// `--interval` between `top` polls.
+    interval: Duration,
+    /// `--polls`: `top` renders this many updates then exits.
+    polls: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
      faults|solspace|multilat|batch|duel|localizers|heatmap|bench|serve|\
-     serve-bench|all> \
+     serve-bench|top|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
      [--retry N] [--trial-timeout DUR] [--skip-brute] \
      [--port N] [--clients N] [--requests N] \
+     [--metrics-port N] [--interval DUR] [--polls N] \
      [--progress] [--metrics-json PATH] [--checkpoint PATH] \
      [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
 }
@@ -187,6 +211,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut port = 0u16;
     let mut clients = None;
     let mut requests = None;
+    let mut metrics_port = None;
+    let mut interval = Duration::from_secs(1);
+    let mut polls = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -292,6 +319,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 requests = Some(n);
             }
+            "--metrics-port" => {
+                metrics_port = Some(
+                    value("--metrics-port")?
+                        .parse::<u16>()
+                        .map_err(|e| format!("--metrics-port: {e}"))?,
+                )
+            }
+            "--interval" => interval = parse_duration("--interval", &value("--interval")?)?,
+            "--polls" => {
+                let n = value("--polls")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--polls: {e}"))?;
+                if n == 0 {
+                    return Err("--polls must be at least 1 (omit the flag to run until \
+                                SIGTERM/SIGINT)"
+                        .into());
+                }
+                polls = Some(n);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -361,6 +407,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         port,
         clients,
         requests,
+        metrics_port,
+        interval,
+        polls,
     })
 }
 
@@ -763,6 +812,16 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                      allocs/trial)"
                 );
             }
+            println!(
+                "serve_qps: {:.0} req/s telemetry on (p99 {:.1} us), {:.0} req/s off \
+                 ({:+.1}% overhead); {} scrapes under load (p50 {:.1} us)",
+                report.serve.qps,
+                report.serve.p99_s * 1e6,
+                report.serve_off.qps,
+                report.telemetry_overhead_pct(),
+                report.serve.scrapes,
+                report.serve.scrape_p50_s * 1e6
+            );
             if let Some(dir) = &opts.out {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -800,12 +859,19 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 scfg.nominal_range,
                 snap.epoch()
             );
+            if let Some(maddr) = daemon.metrics_addr() {
+                eprintln!("metrics exposition on http://{maddr}/metrics");
+            }
             eprintln!("serving until SIGTERM/SIGINT");
             while !abp_serve::signal::triggered() {
                 std::thread::sleep(Duration::from_millis(50));
             }
             let stats = daemon.shutdown();
             eprintln!("{}", stats.summary_line());
+            let table = stats.summary_table();
+            if !table.is_empty() {
+                eprintln!("{table}");
+            }
         }
         "serve-bench" => {
             let scfg = serve_config(opts)?;
@@ -850,6 +916,14 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                      allocs/request)"
                 );
             }
+            if report.scrapes > 0 {
+                println!(
+                    "metrics scrapes under load: {} (p50 {:.1} us, max {:.1} us)",
+                    report.scrapes,
+                    report.scrape_p50_s * 1e6,
+                    report.scrape_max_s * 1e6
+                );
+            }
             println!("served-vs-batch bit-identity: {}", report.identical);
             if !report.identical {
                 return Err(
@@ -863,6 +937,18 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                     report.allocs_per_request
                 ));
             }
+        }
+        "top" => {
+            if opts.port == 0 {
+                return Err(
+                    "top: --port is required (the port abp serve printed at startup)".into(),
+                );
+            }
+            top::run_top(&top::TopConfig {
+                port: opts.port,
+                interval: opts.interval,
+                polls: opts.polls,
+            })?;
         }
         "all" => {
             println!("{}", figures::table1());
@@ -891,6 +977,9 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         port: opts.port,
                         clients: opts.clients,
                         requests: opts.requests,
+                        metrics_port: opts.metrics_port,
+                        interval: opts.interval,
+                        polls: opts.polls,
                     },
                     ctx,
                 )?;
@@ -912,6 +1001,7 @@ fn serve_config(opts: &Options) -> Result<abp_serve::daemon::ServeConfig, String
     };
     scfg.addr = format!("127.0.0.1:{}", opts.port);
     scfg.workers = opts.cfg.threads;
+    scfg.metrics_addr = opts.metrics_port.map(|p| format!("127.0.0.1:{p}"));
     if let Some(n) = opts.beacons {
         if n == 0 {
             return Err(format!("{}: --beacons must be at least 1", opts.command));
@@ -1079,7 +1169,7 @@ mod tests {
         o.out = Some(dir.clone());
         run(&o).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/3\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/4\""));
         assert!(json.contains("\"seed\": 7"), "--seed reaches bench: {json}");
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"name\": \"survey_sweep_scratch\""));
@@ -1095,6 +1185,9 @@ mod tests {
         assert!(json.contains("\"qps\": "));
         assert!(json.contains("\"p99_s\": "));
         assert!(json.contains("\"allocs_per_request\": "));
+        assert!(json.contains("\"scrapes\": "));
+        assert!(json.contains("\"qps_metrics_off\": "));
+        assert!(json.contains("\"telemetry_overhead_pct\": "));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1132,6 +1225,50 @@ mod tests {
         assert!(parse(&["serve-bench", "--requests", "0"]).is_err());
         assert!(parse(&["serve", "--port", "70000"]).is_err());
         assert!(parse(&["serve", "--port", "x"]).is_err());
+    }
+
+    #[test]
+    fn top_and_metrics_flags_parse_and_are_validated() {
+        let o = parse(&[
+            "top",
+            "--port",
+            "9000",
+            "--interval",
+            "250ms",
+            "--polls",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(o.port, 9000);
+        assert_eq!(o.interval, Duration::from_millis(250));
+        assert_eq!(o.polls, Some(5));
+        // Defaults: 1 s cadence, run until signalled.
+        let o = parse(&["top", "--port", "9000"]).unwrap();
+        assert_eq!(o.interval, Duration::from_secs(1));
+        assert_eq!(o.polls, None);
+        assert!(parse(&["top", "--polls", "0"]).is_err());
+        assert!(parse(&["top", "--interval", "abc"]).is_err());
+        assert!(parse(&["serve", "--metrics-port", "x"]).is_err());
+        // top refuses to guess a port.
+        let o = parse(&["top"]).unwrap();
+        assert!(run_fails_with(&o, "--port is required"));
+    }
+
+    fn run_fails_with(o: &Options, needle: &str) -> bool {
+        match run(o) {
+            Err(e) => e.contains(needle),
+            Ok(()) => false,
+        }
+    }
+
+    #[test]
+    fn metrics_port_reaches_the_serve_config() {
+        let o = parse(&["serve", "--preset", "tiny", "--metrics-port", "9100"]).unwrap();
+        let scfg = serve_config(&o).unwrap();
+        assert_eq!(scfg.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        // Absent by default: no listener thread.
+        let o = parse(&["serve", "--preset", "tiny"]).unwrap();
+        assert_eq!(serve_config(&o).unwrap().metrics_addr, None);
     }
 
     #[test]

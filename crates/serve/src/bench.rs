@@ -23,9 +23,11 @@
 use crate::daemon::{Daemon, ServeConfig};
 use crate::engine;
 use crate::protocol::{self as wire, PlaceAlgo};
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Load shape for [`run_load`].
 #[derive(Debug, Clone)]
@@ -101,6 +103,13 @@ pub struct LoadReport {
     pub identical: bool,
     /// Epoch at shutdown (0: the load phase applied nothing).
     pub final_epoch: u64,
+    /// `/metrics` scrapes completed while the load was driving (0 when
+    /// the daemon ran without a metrics listener).
+    pub scrapes: u64,
+    /// Median scrape latency (connect through full body), seconds.
+    pub scrape_p50_s: f64,
+    /// Slowest scrape, seconds.
+    pub scrape_max_s: f64,
 }
 
 /// splitmix64: the clients' cheap deterministic request mixer.
@@ -183,8 +192,28 @@ fn client_run(
     Ok(latencies)
 }
 
+/// One blocking `/metrics` scrape: connect, request, read the full
+/// response, check the status line. Returns the latency.
+fn scrape_once(addr: std::net::SocketAddr) -> io::Result<Duration> {
+    let started = Instant::now();
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    if !response.starts_with("HTTP/1.0 200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape status: {:.60}", response),
+        ));
+    }
+    Ok(started.elapsed())
+}
+
 /// Runs the full harness: daemon up, identity gate, N clients, exact
-/// quantiles, daemon down.
+/// quantiles, daemon down. When the daemon carries a metrics listener
+/// ([`ServeConfig::metrics_addr`]), a side thread scrapes `/metrics`
+/// continuously while the load drives and the report carries the scrape
+/// latencies — the cost of observing the daemon *under* load.
 ///
 /// # Errors
 ///
@@ -196,6 +225,23 @@ pub fn run_load(cfg: &ServeConfig, load: &LoadConfig) -> io::Result<LoadReport> 
     // answer exactly like the batch pipeline, over the whole lattice.
     let identical = engine::served_matches_batch(&daemon.snapshot(), 1);
     let addr = daemon.local_addr();
+
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = daemon.metrics_addr().map(|maddr| {
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || -> io::Result<Vec<u64>> {
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                samples.push(scrape_once(maddr)?.as_nanos() as u64);
+                // Prometheus-ish cadence, scaled down to bench length:
+                // frequent enough to land many scrapes mid-load, sparse
+                // enough that rendering the exposition doesn't contend
+                // with the serving threads it is measuring.
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Ok(samples)
+        })
+    });
 
     let driving = Instant::now();
     let mut handles = Vec::with_capacity(load.clients);
@@ -212,6 +258,15 @@ pub fn run_load(cfg: &ServeConfig, load: &LoadConfig) -> io::Result<LoadReport> 
         latencies.extend(client);
     }
     let wall_s = driving.elapsed().as_secs_f64();
+
+    scrape_stop.store(true, Ordering::Relaxed);
+    let mut scrape_ns: Vec<u64> = match scraper {
+        Some(h) => h
+            .join()
+            .map_err(|_| io::Error::other("scraper thread panicked"))??,
+        None => Vec::new(),
+    };
+    scrape_ns.sort_unstable();
 
     let stats = daemon.shutdown();
     latencies.sort_unstable();
@@ -240,6 +295,13 @@ pub fn run_load(cfg: &ServeConfig, load: &LoadConfig) -> io::Result<LoadReport> 
         alloc_counting: stats.alloc_counting,
         identical,
         final_epoch: stats.final_epoch,
+        scrapes: scrape_ns.len() as u64,
+        scrape_p50_s: if scrape_ns.is_empty() {
+            0.0
+        } else {
+            quantile_ns(&scrape_ns, 0.50) as f64 * ns
+        },
+        scrape_max_s: scrape_ns.last().map_or(0.0, |&v| v as f64 * ns),
     })
 }
 
@@ -272,6 +334,25 @@ mod tests {
             assert_eq!(
                 report.allocs_per_request, 0.0,
                 "zero-alloc serving invariant"
+            );
+        }
+        assert_eq!(report.scrapes, 0, "no metrics listener, no scrapes");
+    }
+
+    #[test]
+    fn load_with_metrics_listener_scrapes_under_load() {
+        let cfg = ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServeConfig::tiny()
+        };
+        let report = run_load(&cfg, &LoadConfig::tiny()).unwrap();
+        assert!(report.scrapes > 0, "the scraper must land during load");
+        assert!(report.scrape_p50_s > 0.0);
+        assert!(report.scrape_p50_s <= report.scrape_max_s);
+        if report.alloc_counting {
+            assert_eq!(
+                report.allocs_per_request, 0.0,
+                "scraping must not break the zero-alloc request path"
             );
         }
     }

@@ -24,7 +24,8 @@
 //! the bench gate pins at exactly zero.
 
 use crate::engine::{self, ServeScratch};
-use crate::protocol::{self, Request, Status, MAX_FRAME};
+use crate::metrics::{FlightEntry, OpClass, ServeMetrics, ALL_CLASSES, FLIGHT_SLOTS, OP_CLASSES};
+use crate::protocol::{self, Request, StatsView, Status, MAX_FRAME};
 use crate::snapshot::{SnapshotCell, WorldSnapshot};
 use abp_field::BeaconField;
 use abp_geom::{Point, Terrain};
@@ -65,6 +66,13 @@ pub struct ServeConfig {
     pub nominal_range: f64,
     /// Seed for the initial field.
     pub seed: u64,
+    /// Record per-request telemetry (per-opcode counts, latency
+    /// histograms, the flight recorder). On by default; the bench
+    /// harness turns it off to measure its overhead.
+    pub telemetry: bool,
+    /// Bind address for the side HTTP/1.0 `GET /metrics` listener
+    /// (Prometheus text exposition); `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServeConfig {
@@ -79,6 +87,8 @@ impl ServeConfig {
             step: 1.0,
             nominal_range: 15.0,
             seed: 42,
+            telemetry: true,
+            metrics_addr: None,
         }
     }
 
@@ -92,6 +102,8 @@ impl ServeConfig {
             step: 4.0,
             nominal_range: 15.0,
             seed: 42,
+            telemetry: true,
+            metrics_addr: None,
         }
     }
 
@@ -111,12 +123,28 @@ struct Stats {
     localize: AtomicU64,
     place: AtomicU64,
     info: AtomicU64,
+    stats: AtomicU64,
     errors: AtomicU64,
     applies: AtomicU64,
     connections: AtomicU64,
     measured_requests: AtomicU64,
     measured_allocs: AtomicU64,
     measured_bytes: AtomicU64,
+}
+
+/// One opcode class's shutdown summary: request count and latency
+/// quantiles from the per-daemon histograms (zeros when telemetry was
+/// off or the class saw no traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpcodeSummary {
+    /// Requests served in this class.
+    pub count: u64,
+    /// Median handler latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile handler latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile handler latency, nanoseconds.
+    pub p99_ns: u64,
 }
 
 /// Final counters reported by [`Daemon::shutdown`].
@@ -130,6 +158,8 @@ pub struct StatsSnapshot {
     pub place: u64,
     /// Info requests.
     pub info: u64,
+    /// Stats requests.
+    pub stats: u64,
     /// Malformed frames answered with an error status.
     pub errors: u64,
     /// Placement proposals applied (deployed + re-surveyed).
@@ -148,6 +178,16 @@ pub struct StatsSnapshot {
     /// (`--features count-allocs`); without it the measured fields read
     /// zero vacuously.
     pub alloc_counting: bool,
+    /// Per-opcode-class counts and latency quantiles, indexed like
+    /// [`ALL_CLASSES`]. All zeros when the
+    /// daemon ran with `telemetry: false`.
+    pub opcodes: [OpcodeSummary; OP_CLASSES],
+    /// Flight-recorder offers dropped to lock contention.
+    pub flight_dropped: u64,
+    /// Rebuilds completed over the daemon's lifetime.
+    pub rebuilds_total: u64,
+    /// Applies still queued for the rebuilder at shutdown.
+    pub rebuilds_pending: u64,
 }
 
 impl StatsSnapshot {
@@ -183,12 +223,58 @@ impl StatsSnapshot {
             },
         )
     }
+
+    /// Multi-line per-opcode breakdown: count and p50/p95/p99 handler
+    /// latency per class, plus drop accounting. Printed by the CLI under
+    /// [`StatsSnapshot::summary_line`]; empty when telemetry was off.
+    pub fn summary_table(&self) -> String {
+        if self.opcodes.iter().all(|o| o.count == 0) {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str("  opcode     count       p50       p95       p99\n");
+        for (class, op) in ALL_CLASSES.iter().zip(self.opcodes.iter()) {
+            if op.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<8} {:>7}  {:>8}  {:>8}  {:>8}\n",
+                class.name(),
+                op.count,
+                fmt_ns(op.p50_ns),
+                fmt_ns(op.p95_ns),
+                fmt_ns(op.p99_ns),
+            ));
+        }
+        out.push_str(&format!(
+            "  rebuilds {} done, {} pending; flight drops {}",
+            self.rebuilds_total, self.rebuilds_pending, self.flight_dropped
+        ));
+        out
+    }
+}
+
+/// Renders a nanosecond latency with a readable unit (`950ns`,
+/// `12.3us`, `4.56ms`, `1.20s`).
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", v / 1e6)
+    } else {
+        format!("{:.2}s", v / 1e9)
+    }
 }
 
 struct Shared {
     cell: SnapshotCell,
     shutdown: AtomicBool,
     stats: Stats,
+    metrics: ServeMetrics,
+    telemetry: bool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     apply_tx: Mutex<Sender<Point>>,
@@ -199,10 +285,12 @@ struct Shared {
 /// stats.
 pub struct Daemon {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     rebuilder: Option<JoinHandle<()>>,
+    metrics_listener: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -228,6 +316,8 @@ impl Daemon {
             cell: SnapshotCell::new(initial),
             shutdown: AtomicBool::new(false),
             stats: Stats::default(),
+            metrics: ServeMetrics::new(),
+            telemetry: cfg.telemetry,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             apply_tx: Mutex::new(apply_tx),
@@ -259,18 +349,41 @@ impl Daemon {
                 .expect("spawn accept")
         };
 
+        let (metrics_addr, metrics_listener) = match &cfg.metrics_addr {
+            Some(bind) => {
+                let listener = TcpListener::bind(bind)?;
+                let metrics_addr = listener.local_addr()?;
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("abp-serve-metrics".into())
+                    .spawn(move || metrics_loop(&shared, listener))
+                    .expect("spawn metrics listener");
+                (Some(metrics_addr), Some(handle))
+            }
+            None => (None, None),
+        };
+
         Ok(Daemon {
             addr,
+            metrics_addr,
             shared,
             accept: Some(accept),
             workers,
             rebuilder: Some(rebuilder),
+            metrics_listener,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the `/metrics` HTTP listener, when
+    /// configured ([`ServeConfig::metrics_addr`]).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The currently published epoch.
@@ -299,12 +412,27 @@ impl Daemon {
         if let Some(h) = self.rebuilder.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.metrics_listener.take() {
+            let _ = h.join();
+        }
         let s = &self.shared.stats;
+        let m = &self.shared.metrics;
+        let mut opcodes = [OpcodeSummary::default(); OP_CLASSES];
+        for (&class, op) in ALL_CLASSES.iter().zip(opcodes.iter_mut()) {
+            let snap = m.class_snapshot(class);
+            *op = OpcodeSummary {
+                count: m.class_count(class),
+                p50_ns: snap.quantile_ns(0.50).unwrap_or(0),
+                p95_ns: snap.quantile_ns(0.95).unwrap_or(0),
+                p99_ns: snap.quantile_ns(0.99).unwrap_or(0),
+            };
+        }
         StatsSnapshot {
             requests: s.requests.load(Ordering::Relaxed),
             localize: s.localize.load(Ordering::Relaxed),
             place: s.place.load(Ordering::Relaxed),
             info: s.info.load(Ordering::Relaxed),
+            stats: s.stats.load(Ordering::Relaxed),
             errors: s.errors.load(Ordering::Relaxed),
             applies: s.applies.load(Ordering::Relaxed),
             connections: s.connections.load(Ordering::Relaxed),
@@ -313,6 +441,10 @@ impl Daemon {
             measured_allocs: s.measured_allocs.load(Ordering::Relaxed),
             measured_bytes: s.measured_bytes.load(Ordering::Relaxed),
             alloc_counting: abp_trace::counting(),
+            opcodes,
+            flight_dropped: m.flight.dropped(),
+            rebuilds_total: m.rebuilds_total(),
+            rebuilds_pending: m.rebuilds_pending(),
         }
     }
 }
@@ -340,10 +472,12 @@ fn rebuild_loop(shared: &Shared, apply_rx: mpsc::Receiver<Point>) {
         match apply_rx.recv_timeout(POLL_INTERVAL) {
             Ok(point) => {
                 let _span = abp_trace::span!("serve_rebuild");
+                let started = Instant::now();
                 let current = shared.cell.load();
                 let next = current.with_beacon_added(point);
                 shared.cell.publish(next);
                 shared.stats.applies.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rebuild_finished(started.elapsed());
                 crate::APPLIES.add(1);
                 crate::EPOCHS_PUBLISHED.add(1);
             }
@@ -355,6 +489,121 @@ fn rebuild_loop(shared: &Shared, apply_rx: mpsc::Receiver<Point>) {
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
+}
+
+/// The side `/metrics` listener: a deliberately tiny HTTP/1.0 responder
+/// (read one request head, answer, close) — enough for Prometheus, curl,
+/// and the CI smoke job without an HTTP dependency. It runs entirely on
+/// the control plane: scrapes allocate freely and never touch a worker.
+fn metrics_loop(shared: &Shared, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => serve_metrics_scrape(shared, &mut stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_metrics_scrape(shared: &Shared, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Read the request head (scrapers send a short GET; stop at the
+    // blank line or a full buffer).
+    let mut buf = [0u8; 1024];
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                got += n;
+                if buf[..got].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = &buf[..got];
+    let (status, body) = if head.starts_with(b"GET /metrics") {
+        ("200 OK", render_exposition(shared))
+    } else {
+        ("404 Not Found", String::from("scrape GET /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Builds the Prometheus text-exposition document for one daemon from
+/// its per-daemon instruments (never the global `abp_trace` registry, so
+/// co-resident daemons stay separate).
+fn render_exposition(shared: &Shared) -> String {
+    use abp_trace::{CounterSnapshot, GaugeSnapshot};
+    let s = &shared.stats;
+    let m = &shared.metrics;
+    let mut counters = vec![
+        CounterSnapshot {
+            name: "serve_requests",
+            total: s.requests.load(Ordering::Relaxed),
+        },
+        CounterSnapshot {
+            name: "serve_protocol_errors",
+            total: s.errors.load(Ordering::Relaxed),
+        },
+        CounterSnapshot {
+            name: "serve_applies",
+            total: s.applies.load(Ordering::Relaxed),
+        },
+        CounterSnapshot {
+            name: "serve_connections",
+            total: s.connections.load(Ordering::Relaxed),
+        },
+        CounterSnapshot {
+            name: "serve_rebuilds",
+            total: m.rebuilds_total(),
+        },
+        CounterSnapshot {
+            name: "serve_flight_dropped",
+            total: m.flight.dropped(),
+        },
+    ];
+    for &class in &ALL_CLASSES {
+        counters.push(CounterSnapshot {
+            name: class.counter_name(),
+            total: m.class_count(class),
+        });
+    }
+    let gauges = vec![
+        GaugeSnapshot {
+            name: "serve_epoch",
+            value: shared.cell.epoch_hint() as f64,
+        },
+        GaugeSnapshot {
+            name: "serve_connections_live",
+            value: m.connections_live() as f64,
+        },
+        GaugeSnapshot {
+            name: "serve_rebuilds_pending",
+            value: m.rebuilds_pending() as f64,
+        },
+        GaugeSnapshot {
+            name: "serve_uptime_seconds",
+            value: m.uptime().as_secs_f64(),
+        },
+        GaugeSnapshot {
+            name: "serve_last_rebuild_seconds",
+            value: m.last_rebuild_ns() as f64 * 1e-9,
+        },
+    ];
+    let hists: Vec<_> = ALL_CLASSES.iter().map(|&c| m.class_snapshot(c)).collect();
+    abp_trace::render_prometheus(&counters, &gauges, &hists)
 }
 
 fn worker_loop(shared: &Shared) {
@@ -431,6 +680,7 @@ fn serve_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    shared.metrics.connection_opened();
     let mut served = 0u64;
     let mut alloc_base: Option<AllocSnapshot> = None;
     let mut header = [0u8; 4];
@@ -457,16 +707,28 @@ fn serve_connection(
         }
         let started = Instant::now();
         let _span = abp_trace::span!("serve_request");
-        handle_request(shared, reader, scratch);
-        crate::REQUEST_NS.record(started.elapsed());
+        let (class, heard) = handle_request(shared, reader, scratch);
+        let elapsed = started.elapsed();
+        crate::REQUEST_NS.record(elapsed);
         crate::REQUESTS.add(1);
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if shared.telemetry {
+            let latency_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            shared.metrics.record(class, latency_ns);
+            shared.metrics.flight.offer(FlightEntry {
+                class: class as u8,
+                heard,
+                latency_ns,
+                epoch: shared.cell.epoch_hint(),
+            });
+        }
         served += 1;
 
         if stream.write_all(&scratch.out_buf).is_err() {
             break;
         }
     }
+    shared.metrics.connection_closed();
     if let Some(base) = alloc_base {
         let delta = abp_trace::thread_snapshot().delta_since(base);
         let s = &shared.stats;
@@ -479,19 +741,20 @@ fn serve_connection(
 
 /// Decodes `scratch.in_buf`, dispatches, and leaves the complete
 /// response frame in `scratch.out_buf`. Never allocates beyond scratch
-/// growth.
+/// growth. Returns the request's telemetry class and (for localize) the
+/// heard-beacon count, for the caller's per-request recording.
 fn handle_request(
     shared: &Shared,
     reader: &mut crate::snapshot::SnapshotReader<'_>,
     scratch: &mut ServeScratch,
-) {
+) -> (OpClass, u32) {
     let request = match protocol::decode_request(&scratch.in_buf, &mut scratch.ids) {
         Ok(req) => req,
         Err(status) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             crate::PROTOCOL_ERRORS.add(1);
             protocol::encode_error_response(&mut scratch.out_buf, status);
-            return;
+            return (OpClass::Error, 0);
         }
     };
     let snap = reader.current();
@@ -500,11 +763,15 @@ fn handle_request(
             shared.stats.localize.fetch_add(1, Ordering::Relaxed);
             crate::LOCALIZE_REQUESTS.add(1);
             match engine::localize(snap, &scratch.ids, &mut scratch.slots) {
-                Ok(reply) => protocol::encode_localize_response(&mut scratch.out_buf, &reply),
+                Ok(reply) => {
+                    protocol::encode_localize_response(&mut scratch.out_buf, &reply);
+                    (OpClass::Localize, reply.heard)
+                }
                 Err(_unknown_id) => {
                     shared.stats.errors.fetch_add(1, Ordering::Relaxed);
                     crate::PROTOCOL_ERRORS.add(1);
                     protocol::encode_error_response(&mut scratch.out_buf, Status::UnknownBeacon);
+                    (OpClass::Error, 0)
                 }
             }
         }
@@ -523,6 +790,9 @@ fn handle_request(
                     .expect("apply sender lock")
                     .send(position)
                     .is_ok();
+            if applied {
+                shared.metrics.rebuild_enqueued();
+            }
             protocol::encode_place_response(
                 &mut scratch.out_buf,
                 &protocol::PlaceReply {
@@ -532,6 +802,7 @@ fn handle_request(
                     position,
                 },
             );
+            (OpClass::Place, 0)
         }
         Request::Info => {
             shared.stats.info.fetch_add(1, Ordering::Relaxed);
@@ -544,6 +815,22 @@ fn handle_request(
                 snap.field().len() as u32,
                 snap.field().iter().map(|b| (b.id().0, b.pos())),
             );
+            (OpClass::Info, 0)
+        }
+        Request::Stats => {
+            shared.stats.stats.fetch_add(1, Ordering::Relaxed);
+            let mut flight = [FlightEntry::default(); FLIGHT_SLOTS];
+            let n = shared.metrics.flight.copy_into(&mut flight);
+            protocol::encode_stats_response(
+                &mut scratch.out_buf,
+                &StatsView {
+                    epoch: snap.epoch(),
+                    connections_total: shared.stats.connections.load(Ordering::Relaxed),
+                    metrics: &shared.metrics,
+                    flight: &flight[..n],
+                },
+            );
+            (OpClass::Stats, 0)
         }
     }
 }
@@ -684,6 +971,180 @@ mod tests {
         drop(conn);
         let stats = daemon.shutdown();
         assert_eq!(stats.errors, 2);
+    }
+
+    #[test]
+    fn stats_opcode_reports_live_telemetry() {
+        let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut out = Vec::new();
+        let mut frame = Vec::new();
+
+        wire::encode_info_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        let info = wire::decode_info_response(&frame).unwrap();
+        let ids: Vec<u64> = info.beacons.iter().take(4).map(|&(id, _)| id).collect();
+        for _ in 0..3 {
+            wire::encode_localize_request(&mut out, &ids);
+            roundtrip(&mut conn, &out, &mut frame);
+            wire::decode_localize_response(&frame).unwrap();
+        }
+
+        wire::encode_stats_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        let stats = wire::decode_stats_response(&frame).unwrap();
+        assert_eq!(stats.epoch, 0);
+        assert_eq!(stats.connections_total, 1);
+        assert_eq!(stats.connections_live, 1);
+        assert_eq!(stats.classes.len(), crate::metrics::OP_CLASSES);
+        let loc = &stats.classes[OpClass::Localize as usize];
+        assert_eq!(loc.count, 3);
+        assert!(loc.min_ns > 0 && loc.max_ns >= loc.min_ns);
+        assert_eq!(loc.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(stats.classes[OpClass::Info as usize].count, 1);
+        // The stats request itself is recorded *after* it is answered,
+        // so the first reply reports zero of its own class.
+        assert_eq!(stats.classes[OpClass::Stats as usize].count, 0);
+        assert_eq!(stats.requests_total(), 4);
+        // The flight recorder saw every request so far (ring not full).
+        assert_eq!(stats.flight.len(), 4);
+        assert!(stats
+            .flight
+            .windows(2)
+            .all(|w| w[0].latency_ns >= w[1].latency_ns));
+        assert!(stats
+            .flight
+            .iter()
+            .any(|e| e.class == OpClass::Localize as u8 && e.heard == 4));
+        assert_eq!(stats.flight_dropped, 0);
+
+        // A second stats request sees the first one counted.
+        wire::encode_stats_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        let stats2 = wire::decode_stats_response(&frame).unwrap();
+        assert_eq!(stats2.classes[OpClass::Stats as usize].count, 1);
+        assert!(stats2.uptime_ns >= stats.uptime_ns);
+
+        drop(conn);
+        let snap = daemon.shutdown();
+        assert_eq!(snap.stats, 2);
+        assert_eq!(snap.opcodes[OpClass::Localize as usize].count, 3);
+        assert!(snap.opcodes[OpClass::Localize as usize].p50_ns > 0);
+        assert!(
+            snap.opcodes[OpClass::Localize as usize].p99_ns
+                >= snap.opcodes[OpClass::Localize as usize].p50_ns
+        );
+        assert!(!snap.summary_table().is_empty());
+        assert!(snap.summary_table().contains("localize"));
+    }
+
+    #[test]
+    fn telemetry_off_serves_but_records_nothing() {
+        let cfg = ServeConfig {
+            telemetry: false,
+            ..ServeConfig::tiny()
+        };
+        let daemon = Daemon::start(&cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut out = Vec::new();
+        let mut frame = Vec::new();
+        wire::encode_info_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        wire::encode_stats_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        let stats = wire::decode_stats_response(&frame).unwrap();
+        // The opcode still answers (gauges live), but per-request
+        // classes and the flight recorder stay empty.
+        assert_eq!(stats.requests_total(), 0);
+        assert!(stats.flight.is_empty());
+        assert_eq!(stats.connections_live, 1);
+        drop(conn);
+        let snap = daemon.shutdown();
+        assert_eq!(snap.requests, 2);
+        assert!(snap.summary_table().is_empty());
+    }
+
+    /// Satellite regression: an unknown opcode's payload is consumed in
+    /// full (frames are length-delimited), so a *pipelined* write of
+    /// unknown-then-localize yields BadOpcode then a normal answer on a
+    /// stream that never desynchronizes.
+    #[test]
+    fn unknown_opcode_consumes_its_payload_and_keeps_the_stream_synced() {
+        let daemon = Daemon::start(&ServeConfig::tiny()).unwrap();
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut frame = Vec::new();
+
+        // One write, two frames: opcode 200 with a 12-byte body whose
+        // bytes would decode as a plausible frame start if the server
+        // lost sync, then a valid empty localize.
+        let mut pipelined = Vec::new();
+        let body = [200u8, 9, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8];
+        pipelined.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        pipelined.extend_from_slice(&body);
+        let mut localize = Vec::new();
+        wire::encode_localize_request(&mut localize, &[]);
+        pipelined.extend_from_slice(&localize);
+        conn.write_all(&pipelined).unwrap();
+
+        assert!(wire::read_frame(&mut conn, &mut frame).unwrap());
+        assert_eq!(frame, vec![Status::BadOpcode as u8]);
+        assert!(wire::read_frame(&mut conn, &mut frame).unwrap());
+        let reply = wire::decode_localize_response(&frame).unwrap();
+        assert!(
+            reply.degraded,
+            "the pipelined localize is answered normally"
+        );
+
+        drop(conn);
+        let stats = daemon.shutdown();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.localize, 1);
+    }
+
+    #[test]
+    fn metrics_http_listener_serves_prometheus_text() {
+        let cfg = ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..ServeConfig::tiny()
+        };
+        let daemon = Daemon::start(&cfg).unwrap();
+        let metrics_addr = daemon.metrics_addr().expect("metrics listener bound");
+
+        // Drive some traffic first.
+        let mut conn = TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut out = Vec::new();
+        let mut frame = Vec::new();
+        wire::encode_info_request(&mut out);
+        roundtrip(&mut conn, &out, &mut frame);
+        wire::encode_place_request(&mut out, PlaceAlgo::Max, 0, false);
+        roundtrip(&mut conn, &out, &mut frame);
+
+        let scrape = |path: &str| -> String {
+            let mut http = TcpStream::connect(metrics_addr).unwrap();
+            http.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut response = String::new();
+            http.read_to_string(&mut response).unwrap();
+            response
+        };
+
+        let response = scrape("/metrics");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("# TYPE serve_requests_total counter"));
+        assert!(body.contains("serve_requests_total 2"));
+        assert!(body.contains("serve_epoch 0"));
+        assert!(body.contains("serve_connections_live 1"));
+        assert!(body.contains("# TYPE serve_localize_seconds histogram"));
+        assert!(body.contains("serve_place_seconds_count 1"));
+
+        let missing = scrape("/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+        drop(conn);
+        daemon.shutdown();
     }
 
     #[test]

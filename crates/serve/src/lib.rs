@@ -6,10 +6,10 @@
 //! long-lived daemon a fielded client can actually talk to:
 //!
 //! * [`protocol`] — a dependency-free length-prefixed TCP wire format
-//!   with three requests: **localize** (heard-beacon ids → position
+//!   with four requests: **localize** (heard-beacon ids → position
 //!   estimate + confidence), **place** (current error map → next-beacon
-//!   suggestion via Random/Max/Grid), and **info** (epoch + terrain +
-//!   beacon roster),
+//!   suggestion via Random/Max/Grid), **info** (epoch + terrain +
+//!   beacon roster), and **stats** (a live telemetry snapshot),
 //! * [`snapshot`] — the [`WorldSnapshot`](snapshot::WorldSnapshot):
 //!   an immutable bundle of `BeaconField` + `ErrorMap` + `CellIndex` +
 //!   `BeaconSoA` published through an epoch-stamped
@@ -20,8 +20,15 @@
 //!   [`engine::ServeScratch`] workspaces,
 //! * [`daemon`] — thread-per-core accept/worker loop with graceful
 //!   shutdown and per-connection allocation accounting,
+//! * [`metrics`] — the daemon's embedded live telemetry: per-opcode
+//!   request counters and latency histograms on ungated atomics, the
+//!   connection/rebuild gauges, and the never-blocks-a-worker
+//!   slowest-requests flight recorder (served over the **stats**
+//!   opcode and the optional `/metrics` HTTP exposition listener —
+//!   see `docs/OBSERVABILITY.md`),
 //! * [`mod@bench`] — the `abp serve-bench` load harness: N client threads,
-//!   client-observed p50/p95/p99, server-side allocs/request,
+//!   client-observed p50/p95/p99, server-side allocs/request, and
+//!   `/metrics` scrape latency under load,
 //! * [`signal`] — a minimal SIGTERM/SIGINT hook for the CLI daemon.
 //!
 //! # The zero-alloc serving invariant
@@ -63,6 +70,7 @@
 pub mod bench;
 pub mod daemon;
 pub mod engine;
+pub mod metrics;
 pub mod protocol;
 pub mod signal;
 pub mod snapshot;

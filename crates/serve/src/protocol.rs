@@ -15,6 +15,15 @@
 //! | `1` | localize | `u32` count, then count × `u64` heard beacon ids |
 //! | `2` | place | `u8` algorithm ([`PlaceAlgo`]), `u64` seed, `u8` apply flag |
 //! | `3` | info | empty |
+//! | `4` | stats | empty |
+//!
+//! **Forward compatibility:** a frame whose opcode the server does not
+//! recognize is answered with [`Status::BadOpcode`] — after the server
+//! has consumed the *entire* declared payload. The length prefix, not
+//! the opcode, delimits frames, so a pipelined stream stays in sync
+//! across unknown opcodes and the connection survives (the daemon test
+//! `unknown_opcode_consumes_its_payload_and_keeps_the_stream_synced`
+//! pins this).
 //!
 //! # Responses
 //!
@@ -31,7 +40,15 @@
 //! * info: `u64` epoch, `f64` terrain side, `f64` nominal range,
 //!   `u32` beacon count, then count × (`u64` id, `f64` x, `f64` y) in
 //!   insertion (slot) order — the order every localizer accumulates in,
-//!   so a client can reproduce served centroids bit-for-bit.
+//!   so a client can reproduce served centroids bit-for-bit,
+//! * stats: eight `u64` header fields (epoch, uptime ns, connections
+//!   total/live, rebuilds pending/total, last rebuild ns, flight
+//!   drops), then a `u8` class count of per-opcode-class blocks (`u64`
+//!   count/sum/min/max ns, `u8` bucket count, then that many `u64`
+//!   log₂-bucket counts — the [`abp_trace::HistogramSnapshot`] layout),
+//!   then a `u8` flight-entry count of slow-request records (`u8`
+//!   class, `u32` heard, `u64` latency ns, `u64` epoch), slowest first.
+//!   Classes arrive in [`crate::metrics::ALL_CLASSES`] index order.
 //!
 //! All integers and floats are little-endian; floats travel as their
 //! IEEE-754 bit patterns, so estimates survive the wire bit-identically.
@@ -68,6 +85,9 @@ pub enum Opcode {
     Place = 2,
     /// Epoch, terrain, beacon roster.
     Info = 3,
+    /// Live telemetry snapshot: per-opcode counters/histograms, gauges,
+    /// and the slow-request flight recorder.
+    Stats = 4,
 }
 
 /// Placement algorithm selector for place requests.
@@ -155,6 +175,8 @@ pub enum Request {
     },
     /// Describe the current world snapshot.
     Info,
+    /// Report live telemetry.
+    Stats,
 }
 
 // ---------------------------------------------------------------------
@@ -263,6 +285,16 @@ pub fn decode_request(payload: &[u8], ids: &mut Vec<u64>) -> Result<Request, Sta
             }
             Ok(Request::Info)
         }
+        4 => {
+            if !cur.done() {
+                return Err(Status::BadFrame);
+            }
+            Ok(Request::Stats)
+        }
+        // Unknown opcode: the caller has already consumed the declared
+        // payload (frames are length-delimited), so answering BadOpcode
+        // leaves the stream in sync — any trailing body bytes here are
+        // the unknown request's, not garbage.
         _ => Err(Status::BadOpcode),
     }
 }
@@ -296,6 +328,13 @@ pub fn encode_place_request(out: &mut Vec<u8>, algo: PlaceAlgo, seed: u64, apply
 pub fn encode_info_request(out: &mut Vec<u8>) {
     begin_frame(out);
     out.push(Opcode::Info as u8);
+    end_frame(out);
+}
+
+/// Encodes a stats request frame into `out` (cleared first).
+pub fn encode_stats_request(out: &mut Vec<u8>) {
+    begin_frame(out);
+    out.push(Opcode::Stats as u8);
     end_frame(out);
 }
 
@@ -389,6 +428,62 @@ pub fn encode_info_response<I>(
         put_u64(out, id);
         put_f64(out, pos.x);
         put_f64(out, pos.y);
+    }
+    end_frame(out);
+}
+
+/// Everything a stats response is encoded from, borrowed from the
+/// daemon: the live [`ServeMetrics`](crate::metrics::ServeMetrics)
+/// block plus the few fields only the daemon knows.
+///
+/// Encoding walks the instruments' atomics directly
+/// ([`abp_trace::RawHistogram::bucket`]), so building a response
+/// allocates nothing beyond (warmed) output-buffer growth — the Stats
+/// opcode rides the same zero-alloc request path as every other opcode.
+pub struct StatsView<'a> {
+    /// The currently published epoch.
+    pub epoch: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// The daemon's telemetry block.
+    pub metrics: &'a crate::metrics::ServeMetrics,
+    /// Flight-recorder entries to ship, slowest first (from
+    /// [`FlightRecorder::copy_into`](crate::metrics::FlightRecorder::copy_into)).
+    pub flight: &'a [crate::metrics::FlightEntry],
+}
+
+/// Encodes a successful stats response frame into `out`.
+pub fn encode_stats_response(out: &mut Vec<u8>, view: &StatsView<'_>) {
+    let m = view.metrics;
+    begin_frame(out);
+    out.push(Status::Ok as u8);
+    put_u64(out, view.epoch);
+    let uptime = u64::try_from(m.uptime().as_nanos()).unwrap_or(u64::MAX);
+    put_u64(out, uptime);
+    put_u64(out, view.connections_total);
+    put_u64(out, m.connections_live());
+    put_u64(out, m.rebuilds_pending());
+    put_u64(out, m.rebuilds_total());
+    put_u64(out, m.last_rebuild_ns());
+    put_u64(out, m.flight.dropped());
+    out.push(crate::metrics::OP_CLASSES as u8);
+    for &class in &crate::metrics::ALL_CLASSES {
+        let hist = m.class_histogram(class);
+        put_u64(out, m.class_count(class));
+        put_u64(out, hist.sum_ns());
+        put_u64(out, hist.min_ns());
+        put_u64(out, hist.max_ns());
+        out.push(abp_trace::HIST_BUCKETS as u8);
+        for b in 0..abp_trace::HIST_BUCKETS {
+            put_u64(out, hist.bucket(b));
+        }
+    }
+    out.push(view.flight.len().min(u8::MAX as usize) as u8);
+    for e in view.flight.iter().take(u8::MAX as usize) {
+        out.push(e.class);
+        put_u32(out, e.heard);
+        put_u64(out, e.latency_ns);
+        put_u64(out, e.epoch);
     }
     end_frame(out);
 }
@@ -503,6 +598,134 @@ pub fn decode_info_response(payload: &[u8]) -> Result<InfoReply, Status> {
     })
 }
 
+/// One opcode class's telemetry as decoded from a stats response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpClassStats {
+    /// Requests served in this class.
+    pub count: u64,
+    /// Sum of handler latencies, nanoseconds.
+    pub sum_ns: u64,
+    /// Exact fastest request, nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Exact slowest request, nanoseconds (0 when empty).
+    pub max_ns: u64,
+    /// Log₂ latency buckets (bucket `b` covers `(2^(b-1), 2^b]` ns).
+    pub buckets: Vec<u64>,
+}
+
+impl OpClassStats {
+    /// Rehydrates the class as an [`abp_trace::HistogramSnapshot`] so
+    /// the snapshot-diff and quantile machinery applies to wire data.
+    pub fn histogram(&self, name: &'static str) -> abp_trace::HistogramSnapshot {
+        abp_trace::HistogramSnapshot {
+            name,
+            count: self.count,
+            sum_ns: self.sum_ns,
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+/// A decoded stats response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// The currently published epoch.
+    pub epoch: u64,
+    /// Daemon uptime, nanoseconds.
+    pub uptime_ns: u64,
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// Connections currently being served.
+    pub connections_live: u64,
+    /// Applies enqueued but not yet rebuilt.
+    pub rebuilds_pending: u64,
+    /// Rebuilds completed since start.
+    pub rebuilds_total: u64,
+    /// Duration of the most recent rebuild, nanoseconds (0 before the
+    /// first).
+    pub last_rebuild_ns: u64,
+    /// Flight-recorder offers dropped to lock contention.
+    pub flight_dropped: u64,
+    /// Per-class telemetry, indexed like
+    /// [`crate::metrics::ALL_CLASSES`].
+    pub classes: Vec<OpClassStats>,
+    /// Slowest retained requests, slowest first.
+    pub flight: Vec<crate::metrics::FlightEntry>,
+}
+
+impl StatsReply {
+    /// Requests served across all classes.
+    pub fn requests_total(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+}
+
+/// Decodes a stats response payload (errors as in
+/// [`decode_localize_response`]).
+pub fn decode_stats_response(payload: &[u8]) -> Result<StatsReply, Status> {
+    let mut cur = Cursor(payload);
+    expect_ok(&mut cur)?;
+    let epoch = cur.u64().ok_or(Status::BadFrame)?;
+    let uptime_ns = cur.u64().ok_or(Status::BadFrame)?;
+    let connections_total = cur.u64().ok_or(Status::BadFrame)?;
+    let connections_live = cur.u64().ok_or(Status::BadFrame)?;
+    let rebuilds_pending = cur.u64().ok_or(Status::BadFrame)?;
+    let rebuilds_total = cur.u64().ok_or(Status::BadFrame)?;
+    let last_rebuild_ns = cur.u64().ok_or(Status::BadFrame)?;
+    let flight_dropped = cur.u64().ok_or(Status::BadFrame)?;
+    let class_count = cur.u8().ok_or(Status::BadFrame)?;
+    let mut classes = Vec::with_capacity(class_count as usize);
+    for _ in 0..class_count {
+        let count = cur.u64().ok_or(Status::BadFrame)?;
+        let sum_ns = cur.u64().ok_or(Status::BadFrame)?;
+        let min_ns = cur.u64().ok_or(Status::BadFrame)?;
+        let max_ns = cur.u64().ok_or(Status::BadFrame)?;
+        let bucket_count = cur.u8().ok_or(Status::BadFrame)?;
+        let mut buckets = Vec::with_capacity(bucket_count as usize);
+        for _ in 0..bucket_count {
+            buckets.push(cur.u64().ok_or(Status::BadFrame)?);
+        }
+        classes.push(OpClassStats {
+            count,
+            sum_ns,
+            min_ns,
+            max_ns,
+            buckets,
+        });
+    }
+    let flight_len = cur.u8().ok_or(Status::BadFrame)?;
+    let mut flight = Vec::with_capacity(flight_len as usize);
+    for _ in 0..flight_len {
+        let class = cur.u8().ok_or(Status::BadFrame)?;
+        let heard = cur.u32().ok_or(Status::BadFrame)?;
+        let latency_ns = cur.u64().ok_or(Status::BadFrame)?;
+        let entry_epoch = cur.u64().ok_or(Status::BadFrame)?;
+        flight.push(crate::metrics::FlightEntry {
+            class,
+            heard,
+            latency_ns,
+            epoch: entry_epoch,
+        });
+    }
+    if !cur.done() {
+        return Err(Status::BadFrame);
+    }
+    Ok(StatsReply {
+        epoch,
+        uptime_ns,
+        connections_total,
+        connections_live,
+        rebuilds_pending,
+        rebuilds_total,
+        last_rebuild_ns,
+        flight_dropped,
+        classes,
+        flight,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Blocking frame reader (client side).
 // ---------------------------------------------------------------------
@@ -596,6 +819,82 @@ mod tests {
             decode_request(payload(&out), &mut ids).unwrap(),
             Request::Info
         );
+        encode_stats_request(&mut out);
+        assert_eq!(
+            decode_request(payload(&out), &mut ids).unwrap(),
+            Request::Stats
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_wins_over_body_shape() {
+        // Forward compatibility: a future opcode with a body the current
+        // server cannot parse must still be classified BadOpcode — the
+        // body belongs to the unknown request and is not frame garbage.
+        let mut ids = Vec::new();
+        assert_eq!(
+            decode_request(&[200, 1, 2, 3, 4, 5], &mut ids),
+            Err(Status::BadOpcode)
+        );
+        assert_eq!(decode_request(&[42], &mut ids), Err(Status::BadOpcode));
+    }
+
+    #[test]
+    fn stats_response_roundtrip() {
+        use crate::metrics::{FlightEntry, OpClass, ServeMetrics, ALL_CLASSES};
+        let metrics = ServeMetrics::new();
+        metrics.record(OpClass::Localize, 1_000);
+        metrics.record(OpClass::Localize, 3_000);
+        metrics.record(OpClass::Place, 10_000);
+        metrics.record(OpClass::Error, 100);
+        metrics.connection_opened();
+        metrics.rebuild_enqueued();
+        let flight = [
+            FlightEntry {
+                class: OpClass::Place as u8,
+                heard: 0,
+                latency_ns: 10_000,
+                epoch: 2,
+            },
+            FlightEntry {
+                class: OpClass::Localize as u8,
+                heard: 5,
+                latency_ns: 3_000,
+                epoch: 2,
+            },
+        ];
+        let mut out = Vec::new();
+        encode_stats_response(
+            &mut out,
+            &StatsView {
+                epoch: 2,
+                connections_total: 9,
+                metrics: &metrics,
+                flight: &flight,
+            },
+        );
+        let reply = decode_stats_response(payload(&out)).unwrap();
+        assert_eq!(reply.epoch, 2);
+        assert_eq!(reply.connections_total, 9);
+        assert_eq!(reply.connections_live, 1);
+        assert_eq!(reply.rebuilds_pending, 1);
+        assert_eq!(reply.rebuilds_total, 0);
+        assert_eq!(reply.flight_dropped, 0);
+        assert_eq!(reply.classes.len(), ALL_CLASSES.len());
+        let loc = &reply.classes[OpClass::Localize as usize];
+        assert_eq!(loc.count, 2);
+        assert_eq!(loc.sum_ns, 4_000);
+        assert_eq!(loc.min_ns, 1_000);
+        assert_eq!(loc.max_ns, 3_000);
+        assert_eq!(loc.buckets.len(), abp_trace::HIST_BUCKETS);
+        assert_eq!(loc.buckets.iter().sum::<u64>(), 2);
+        assert_eq!(reply.classes[OpClass::Info as usize].count, 0);
+        assert_eq!(reply.requests_total(), 4);
+        assert_eq!(reply.flight, flight.to_vec());
+        // The rehydrated histogram carries the wire data verbatim.
+        let hist = loc.histogram("serve_localize_ns");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max_ns, 3_000);
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   registered in a global registry and aggregated lock-free at drain
 //!   time,
 //! * [`DurationHistogram`] — log₂-bucketed duration histograms (e.g. per
-//!   trial wall time),
+//!   trial wall time), built on the ungated embeddable [`RawHistogram`]
+//!   core, plus [`Gauge`] for last-value state,
+//! * [`expo`] — a Prometheus text-exposition renderer
+//!   ([`render_prometheus`]) and the snapshot-diff helpers
+//!   ([`counter_rates`], [`histogram_interval`]) live dashboards build
+//!   rates and interval quantiles from,
 //! * [`sink`] — a bounded, never-blocking event sink with explicit drop
 //!   accounting,
 //! * [`export`] — renders a completed run as JSONL or as Chrome Trace
@@ -63,15 +68,18 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod expo;
 pub mod export;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
 pub use crate::alloc::{counting, process_snapshot, thread_snapshot, AllocSnapshot};
+pub use expo::render_prometheus;
 pub use metrics::{
-    counters_snapshot, render_table, reset_metrics, Counter, CounterSnapshot, DurationHistogram,
-    HistogramSnapshot,
+    bucket_lower_ns, bucket_of, bucket_upper_ns, counter_rates, counters_snapshot, gauges_snapshot,
+    histogram_interval, render_table, reset_metrics, Counter, CounterRate, CounterSnapshot,
+    DurationHistogram, Gauge, GaugeSnapshot, HistogramSnapshot, RawHistogram, HIST_BUCKETS,
 };
 pub use sink::{drain, Event, TraceReport};
 pub use span::SpanGuard;

@@ -20,7 +20,39 @@ const SHARDS: usize = 16;
 
 /// Number of log₂ duration buckets: bucket `b` holds durations in
 /// `[2^(b-1), 2^b)` nanoseconds, so 40 buckets span 1 ns to ~18 minutes.
-const BUCKETS: usize = 40;
+/// Public because wire formats (the serve `Stats` opcode) and the
+/// Prometheus exposition renderer need the bucket count and bounds.
+pub const HIST_BUCKETS: usize = 40;
+
+/// The bucket a duration of `ns` nanoseconds lands in: 0 and 1 ns land
+/// in bucket 0, otherwise `floor(log2(ns)) + 1`, clamped to the last
+/// bucket.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// The upper bound (ns, inclusive under the quantile convention) of
+/// bucket `b` — what quantile estimates report: `2^b`.
+#[inline]
+pub fn bucket_upper_ns(b: usize) -> u64 {
+    1u64 << b.min(63)
+}
+
+/// The lower bound (ns) of bucket `b`: `2^(b-1)`, except bucket 0 which
+/// starts at 0.
+#[inline]
+pub fn bucket_lower_ns(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        bucket_upper_ns(b - 1)
+    }
+}
 
 /// One cache line per shard so concurrent workers do not false-share.
 #[repr(align(64))]
@@ -96,25 +128,140 @@ impl Counter {
     }
 }
 
-/// A log₂-bucketed histogram of durations, plus exact count and sum.
+/// The bare accumulation core of a duration histogram: log₂ buckets plus
+/// exact count/sum/min/max, updated with relaxed atomics only.
 ///
-/// Bucket `b` covers `[2^(b-1), 2^b)` nanoseconds; quantile estimates
-/// report a bucket's upper bound, so they are accurate to a factor of two
-/// — plenty for "where does trial time go" questions.
-pub struct DurationHistogram {
-    name: &'static str,
-    registered: AtomicBool,
+/// Unlike [`DurationHistogram`] it is **ungated** (records regardless of
+/// the global instrumentation flag), **unnamed**, and **unregistered** —
+/// it can live inside any struct, not just a `static`. The serving
+/// daemon embeds one per opcode class so live telemetry works without
+/// flipping the process-wide trace gate and without touching the global
+/// registry's mutex on the request path.
+pub struct RawHistogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     /// Exact smallest recorded duration (`u64::MAX` until first record).
     min_ns: AtomicU64,
     /// Exact largest recorded duration (0 until first record).
     max_ns: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
+    buckets: [AtomicU64; HIST_BUCKETS],
 }
 
 #[allow(clippy::declare_interior_mutable_const)] // used only as an array initializer
 const ZERO_BUCKET: AtomicU64 = AtomicU64::new(0);
+
+impl RawHistogram {
+    /// Creates an empty histogram core (usable in `const` contexts).
+    pub const fn new() -> Self {
+        RawHistogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: [ZERO_BUCKET; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one duration: five relaxed atomic ops, no allocation, no
+    /// gate, no lock.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one duration given directly in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest recorded duration in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min_ns.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Exact largest recorded duration in nanoseconds (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The count in bucket `b` (0 for an out-of-range index). Lets wire
+    /// encoders walk the buckets without the [`Self::snapshot`]
+    /// allocation.
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets.get(b).map_or(0, |x| x.load(Ordering::Relaxed))
+    }
+
+    /// Takes a consistent-enough snapshot under `name` (relaxed reads;
+    /// exact once writers have quiesced).
+    pub fn snapshot(&self, name: &'static str) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name,
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for RawHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A log₂-bucketed histogram of durations, plus exact count and sum.
+///
+/// Bucket `b` covers `[2^(b-1), 2^b)` nanoseconds; quantile estimates
+/// report a bucket's upper bound, so they are accurate to a factor of two
+/// — plenty for "where does trial time go" questions. A named, globally
+/// registered, gate-respecting wrapper around [`RawHistogram`].
+pub struct DurationHistogram {
+    name: &'static str,
+    registered: AtomicBool,
+    raw: RawHistogram,
+}
 
 impl DurationHistogram {
     /// Creates a histogram. Intended for `static` items.
@@ -122,11 +269,7 @@ impl DurationHistogram {
         DurationHistogram {
             name,
             registered: AtomicBool::new(false),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            min_ns: AtomicU64::new(u64::MAX),
-            max_ns: AtomicU64::new(0),
-            buckets: [ZERO_BUCKET; BUCKETS],
+            raw: RawHistogram::new(),
         }
     }
 
@@ -144,56 +287,18 @@ impl DurationHistogram {
             return;
         }
         self.register();
-        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.min_ns.fetch_min(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
-        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn bucket_of(ns: u64) -> usize {
-        // 0 and 1 ns land in bucket 0; otherwise floor(log2(ns)) + 1,
-        // clamped to the last bucket.
-        if ns <= 1 {
-            0
-        } else {
-            (64 - ns.leading_zeros() as usize).min(BUCKETS - 1)
-        }
-    }
-
-    /// The upper bound (ns) of bucket `b` — what quantile estimates
-    /// report.
-    fn bucket_upper_ns(b: usize) -> u64 {
-        1u64 << b.min(63)
+        self.raw.record(d);
     }
 
     /// Number of recorded durations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.raw.count()
     }
 
     /// Takes a consistent-enough snapshot (relaxed reads; exact once
     /// writers have quiesced, which is the drain-time contract).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count = self.count.load(Ordering::Relaxed);
-        HistogramSnapshot {
-            name: self.name,
-            count,
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
-            min_ns: if count == 0 {
-                0
-            } else {
-                self.min_ns.load(Ordering::Relaxed)
-            },
-            max_ns: self.max_ns.load(Ordering::Relaxed),
-            buckets,
-        }
+        self.raw.snapshot(self.name)
     }
 
     fn register(&'static self) {
@@ -206,13 +311,87 @@ impl DurationHistogram {
     }
 
     fn reset(&self) {
-        self.count.store(0, Ordering::Relaxed);
-        self.sum_ns.store(0, Ordering::Relaxed);
-        self.min_ns.store(u64::MAX, Ordering::Relaxed);
-        self.max_ns.store(0, Ordering::Relaxed);
-        for b in &self.buckets {
-            b.store(0, Ordering::Relaxed);
+        self.raw.reset();
+    }
+}
+
+/// A last-value instrument for live state: connection counts, queue
+/// depths, the current epoch. Like [`Counter`] it is `const`-creatable
+/// for `static` items, self-registers on first write, and is a single
+/// relaxed load while instrumentation is disabled.
+pub struct Gauge {
+    name: &'static str,
+    registered: AtomicBool,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge. Intended for `static` items.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            registered: AtomicBool::new(false),
+            value: AtomicU64::new(0),
         }
+    }
+
+    /// The gauge's registry name.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the gauge. A no-op (one relaxed load) while instrumentation
+    /// is disabled.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (for up/down gauges like live connections).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.register();
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn register(&'static self) {
+        if self.registered.load(Ordering::Relaxed) {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().gauges.lock().expect("registry").push(self);
+        }
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
     }
 }
 
@@ -281,7 +460,7 @@ impl HistogramSnapshot {
         for (b, &n) in self.buckets.iter().enumerate() {
             cum += n;
             if cum >= target {
-                let upper = DurationHistogram::bucket_upper_ns(b);
+                let upper = bucket_upper_ns(b);
                 return Some(upper.clamp(self.min_ns, self.max_ns));
             }
         }
@@ -289,15 +468,107 @@ impl HistogramSnapshot {
     }
 }
 
+/// A gauge's name and value at snapshot time.
+///
+/// The value is `f64` (not the gauge's stored `u64`) so callers that
+/// build snapshots directly — e.g. the serving daemon exposing a rebuild
+/// duration in seconds — can carry non-integer readings into the
+/// exposition renderer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Registry name (e.g. `serve_connections_live`).
+    pub name: &'static str,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+/// A counter's movement between two snapshots, as computed by
+/// [`counter_rates`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRate {
+    /// Registry name.
+    pub name: &'static str,
+    /// `after − before` (0 for a counter absent from `before`; counters
+    /// are monotonic, so a negative movement clamps to 0).
+    pub delta: u64,
+    /// `delta / elapsed` in events per second (0 when `elapsed` is 0).
+    pub per_sec: f64,
+}
+
+/// Rate computation between two [`counters_snapshot`] calls: pairs
+/// `before` and `after` by name and reports each `after` counter's delta
+/// and per-second rate over `elapsed`.
+///
+/// Both inputs are expected sorted by name (the [`counters_snapshot`]
+/// contract); counters that appear only in `after` — registered between
+/// the two snapshots — count from zero. Counters that vanished (only
+/// possible across a [`reset_metrics`]) are dropped.
+pub fn counter_rates(
+    before: &[CounterSnapshot],
+    after: &[CounterSnapshot],
+    elapsed: Duration,
+) -> Vec<CounterRate> {
+    let secs = elapsed.as_secs_f64();
+    after
+        .iter()
+        .map(|a| {
+            let prev = before
+                .binary_search_by(|b| b.name.cmp(a.name))
+                .map(|i| before[i].total)
+                .unwrap_or(0);
+            let delta = a.total.saturating_sub(prev);
+            CounterRate {
+                name: a.name,
+                delta,
+                per_sec: if secs > 0.0 { delta as f64 / secs } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// The histogram of everything recorded *between* two snapshots of the
+/// same instrument: per-bucket deltas, delta count and sum.
+///
+/// Exact extremes are not recoverable from cumulative state, so the
+/// interval's `min_ns`/`max_ns` are the tightest bucket bounds that
+/// cover the nonzero delta buckets ([`bucket_lower_ns`] of the first,
+/// [`bucket_upper_ns`] of the last) — which keeps
+/// [`HistogramSnapshot::quantile_ns`]'s clamp honest for interval
+/// quantiles. Empty intervals report all-zero.
+pub fn histogram_interval(
+    before: &HistogramSnapshot,
+    after: &HistogramSnapshot,
+) -> HistogramSnapshot {
+    let n = after.buckets.len().max(before.buckets.len());
+    let mut buckets = Vec::with_capacity(n);
+    for b in 0..n {
+        let a = after.buckets.get(b).copied().unwrap_or(0);
+        let p = before.buckets.get(b).copied().unwrap_or(0);
+        buckets.push(a.saturating_sub(p));
+    }
+    let first = buckets.iter().position(|&c| c > 0);
+    let last = buckets.iter().rposition(|&c| c > 0);
+    HistogramSnapshot {
+        name: after.name,
+        count: after.count.saturating_sub(before.count),
+        sum_ns: after.sum_ns.saturating_sub(before.sum_ns),
+        min_ns: first.map_or(0, bucket_lower_ns),
+        max_ns: last.map_or(0, bucket_upper_ns),
+        buckets,
+    }
+}
+
 struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static DurationHistogram>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
 }
 
 fn registry() -> &'static Registry {
     static REGISTRY: Registry = Registry {
         counters: Mutex::new(Vec::new()),
         histograms: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
     };
     &REGISTRY
 }
@@ -329,14 +600,34 @@ pub fn counters_snapshot() -> (Vec<CounterSnapshot>, Vec<HistogramSnapshot>) {
     (counters, hists)
 }
 
-/// Zeroes every registered counter and histogram (the instruments stay
-/// registered). Intended for tests and repeated in-process runs.
+/// Snapshots every registered gauge, sorted by name.
+pub fn gauges_snapshot() -> Vec<GaugeSnapshot> {
+    let mut gauges: Vec<GaugeSnapshot> = registry()
+        .gauges
+        .lock()
+        .expect("registry")
+        .iter()
+        .map(|g| GaugeSnapshot {
+            name: g.name,
+            value: g.value() as f64,
+        })
+        .collect();
+    gauges.sort_by_key(|g| g.name);
+    gauges
+}
+
+/// Zeroes every registered counter, histogram, and gauge (the
+/// instruments stay registered). Intended for tests and repeated
+/// in-process runs.
 pub fn reset_metrics() {
     for c in registry().counters.lock().expect("registry").iter() {
         c.reset();
     }
     for h in registry().histograms.lock().expect("registry").iter() {
         h.reset();
+    }
+    for g in registry().gauges.lock().expect("registry").iter() {
+        g.reset();
     }
 }
 
@@ -534,16 +825,148 @@ mod tests {
     fn bucket_of_is_monotonic_and_bounded() {
         let mut last = 0;
         for exp in 0..64u32 {
-            let b = DurationHistogram::bucket_of(1u64 << exp);
+            let b = bucket_of(1u64 << exp);
             assert!(b >= last);
-            assert!(b < BUCKETS);
+            assert!(b < HIST_BUCKETS);
             last = b;
         }
-        assert_eq!(DurationHistogram::bucket_of(0), 0);
-        assert_eq!(DurationHistogram::bucket_of(1), 0);
-        assert_eq!(DurationHistogram::bucket_of(2), 2);
-        assert_eq!(DurationHistogram::bucket_of(3), 2);
-        assert_eq!(DurationHistogram::bucket_of(4), 3);
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis() {
+        assert_eq!(bucket_lower_ns(0), 0);
+        for b in 1..HIST_BUCKETS {
+            assert_eq!(bucket_lower_ns(b), bucket_upper_ns(b - 1));
+            assert!(bucket_lower_ns(b) < bucket_upper_ns(b));
+            // Every duration inside the bounds maps back to bucket b.
+            assert_eq!(bucket_of(bucket_lower_ns(b).max(2)), b.max(2));
+        }
+    }
+
+    #[test]
+    fn raw_histogram_records_without_the_gate() {
+        let _g = test_support::lock();
+        crate::set_enabled(false);
+        let raw = RawHistogram::new();
+        raw.record(Duration::from_micros(3));
+        raw.record_ns(700);
+        let s = raw.snapshot("raw_probe");
+        assert_eq!(s.name, "raw_probe");
+        assert_eq!(s.count, 2, "RawHistogram must ignore the global gate");
+        assert_eq!(s.min_ns, 700);
+        assert_eq!(s.max_ns, 3_000);
+        assert_eq!(s.sum_ns, 3_700);
+        raw.reset();
+        assert_eq!(raw.snapshot("raw_probe").count, 0);
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_saturates() {
+        let _g = test_support::lock();
+        static G: Gauge = Gauge::new("test_gauge");
+        crate::set_enabled(false);
+        G.set(9);
+        assert_eq!(G.value(), 0, "disabled gauge must not move");
+        crate::set_enabled(true);
+        G.set(5);
+        G.add(3);
+        G.sub(2);
+        assert_eq!(G.value(), 6);
+        G.sub(100);
+        assert_eq!(G.value(), 0, "sub saturates at zero");
+        G.set(7);
+        let snap = gauges_snapshot();
+        let g = snap
+            .iter()
+            .find(|g| g.name == "test_gauge")
+            .expect("gauge registered");
+        assert_eq!(g.value, 7.0);
+        crate::set_enabled(false);
+        G.reset();
+    }
+
+    #[test]
+    fn counter_rates_pairs_by_name_and_divides_by_elapsed() {
+        let before = vec![
+            CounterSnapshot {
+                name: "a",
+                total: 10,
+            },
+            CounterSnapshot {
+                name: "c",
+                total: 5,
+            },
+        ];
+        let after = vec![
+            CounterSnapshot {
+                name: "a",
+                total: 30,
+            },
+            CounterSnapshot {
+                name: "b",
+                total: 4,
+            },
+            CounterSnapshot {
+                name: "c",
+                total: 5,
+            },
+        ];
+        let rates = counter_rates(&before, &after, Duration::from_secs(2));
+        assert_eq!(rates.len(), 3);
+        assert_eq!(
+            rates[0],
+            CounterRate {
+                name: "a",
+                delta: 20,
+                per_sec: 10.0
+            }
+        );
+        assert_eq!(
+            rates[1],
+            CounterRate {
+                name: "b",
+                delta: 4,
+                per_sec: 2.0
+            },
+            "a counter born between snapshots counts from zero"
+        );
+        assert_eq!(rates[2].delta, 0);
+        // Zero elapsed: deltas survive, rates report 0 instead of inf.
+        let instant = counter_rates(&before, &after, Duration::ZERO);
+        assert_eq!(instant[0].delta, 20);
+        assert_eq!(instant[0].per_sec, 0.0);
+    }
+
+    #[test]
+    fn histogram_interval_diffs_buckets_and_bounds_extremes() {
+        let raw = RawHistogram::new();
+        raw.record_ns(1_000);
+        let before = raw.snapshot("h");
+        raw.record_ns(1_000);
+        raw.record_ns(1_000_000);
+        let after = raw.snapshot("h");
+        let delta = histogram_interval(&before, &after);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_ns, 1_001_000);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 2);
+        // Interval extremes are the covering bucket bounds.
+        assert_eq!(delta.min_ns, bucket_lower_ns(bucket_of(1_000)));
+        assert_eq!(delta.max_ns, bucket_upper_ns(bucket_of(1_000_000)));
+        // Interval quantiles answer from the delta distribution: both
+        // recorded samples fall inside [min, max].
+        let p50 = delta.quantile_ns(0.5).unwrap();
+        assert!((delta.min_ns..=delta.max_ns).contains(&p50));
+        // Identical snapshots produce an all-zero interval.
+        let none = histogram_interval(&after, &after);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.min_ns, 0);
+        assert_eq!(none.max_ns, 0);
+        assert!(none.quantile_ns(0.5).is_none());
     }
 
     #[test]
@@ -559,7 +982,7 @@ mod tests {
             min_ns: 8_000_000,
             max_ns: 16_000_000,
             buckets: {
-                let mut b = vec![0u64; BUCKETS];
+                let mut b = vec![0u64; HIST_BUCKETS];
                 b[24] = 240; // ~8-16 ms
                 b
             },
