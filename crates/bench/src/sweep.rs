@@ -71,7 +71,11 @@ use std::time::Instant;
 /// `scrape_p50_s`, `scrape_max_s`), and a second telemetry-off run of
 /// the same load contributes `qps_metrics_off` and
 /// `telemetry_overhead_pct`.
-pub const SCHEMA: &str = "abp-bench-sweep/4";
+/// `/5` adds the `overload` block: the daemon flooded at twice its
+/// `max_conns` admission cap — shed-connection counts, the accepted
+/// requests' p50/p99, the `bounded` verdict against the absolute p99
+/// budget, and the zero-alloc gate held under flood.
+pub const SCHEMA: &str = "abp-bench-sweep/5";
 
 /// Scenario and sampling configuration for one bench run.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,6 +233,11 @@ pub struct BenchReport {
     /// The same load with telemetry OFF and no metrics listener — the
     /// baseline the telemetry-overhead figure is measured against.
     pub serve_off: abp_serve::bench::LoadReport,
+    /// The daemon flooded at twice its admission cap: proof that load
+    /// shedding keeps the accepted requests' tail latency bounded (and
+    /// the request path allocation-free) while the excess is answered
+    /// `Overloaded`.
+    pub overload: abp_serve::bench::OverloadReport,
 }
 
 impl BenchReport {
@@ -314,6 +323,32 @@ impl BenchReport {
         ));
         out.push_str(&format!("    \"identical\": {},\n", s.identical));
         out.push_str(&format!("    \"final_epoch\": {}\n", s.final_epoch));
+        out.push_str("  },\n");
+        let o = &self.overload;
+        out.push_str("  \"overload\": {\n");
+        out.push_str(&format!(
+            "    \"offered_clients\": {},\n",
+            o.offered_clients
+        ));
+        out.push_str(&format!("    \"max_conns\": {},\n", o.max_conns));
+        out.push_str(&format!("    \"requests\": {},\n", o.requests));
+        out.push_str(&format!(
+            "    \"shed_connections\": {},\n",
+            o.shed_connections
+        ));
+        out.push_str(&format!("    \"shed_rate\": {},\n", json_f64(o.shed_rate)));
+        out.push_str(&format!("    \"p50_s\": {},\n", json_f64(o.p50_s)));
+        out.push_str(&format!("    \"p99_s\": {},\n", json_f64(o.p99_s)));
+        out.push_str(&format!(
+            "    \"p99_bound_s\": {},\n",
+            json_f64(abp_serve::bench::OVERLOAD_P99_BOUND_S)
+        ));
+        out.push_str(&format!("    \"bounded\": {},\n", o.bounded));
+        out.push_str(&format!(
+            "    \"alloc\": {{\"counting\": {}, \"allocs_per_request\": {}}}\n",
+            o.alloc_counting,
+            json_f64(o.allocs_per_request)
+        ));
         out.push_str("  },\n");
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
@@ -508,6 +543,16 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         seed: cfg.seed,
         telemetry: false,
         metrics_addr: None,
+        // The resilience knobs stay at their neutral defaults for the
+        // throughput runs; the overload run below arms `max_conns`
+        // itself.
+        max_conns: 0,
+        shed_watermark: 0,
+        deadline: None,
+        frame_window: std::time::Duration::from_secs(10),
+        idle_timeout: std::time::Duration::from_secs(300),
+        state_path: None,
+        panic_seed: None,
     };
     let serve_off = abp_serve::bench::run_load(&serve_cfg, &load)
         .expect("serve load harness failed (loopback bind or client error)");
@@ -516,12 +561,23 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
     let serve = abp_serve::bench::run_load(&serve_cfg, &load)
         .expect("serve load harness failed (loopback bind or client error)");
 
+    // Overload run: the same daemon shape flooded at twice its
+    // admission cap (`run_overload` pins `max_conns` to the load's
+    // client count and offers 2× that). Telemetry off and no listener:
+    // the block isolates what admission control itself does to the
+    // accepted tail.
+    serve_cfg.telemetry = false;
+    serve_cfg.metrics_addr = None;
+    let overload = abp_serve::bench::run_overload(&serve_cfg, &load)
+        .expect("serve overload harness failed (loopback bind or client error)");
+
     BenchReport {
         config: cfg.clone(),
         kernels,
         alloc,
         serve,
         serve_off,
+        overload,
     }
 }
 
@@ -831,9 +887,22 @@ mod tests {
                 scrape_p50_s: 0.0,
                 scrape_max_s: 0.0,
             },
+            overload: abp_serve::bench::OverloadReport {
+                offered_clients: 4,
+                max_conns: 2,
+                requests: 640,
+                shed_connections: 17,
+                shed_rate: 0.3,
+                p50_s: 0.001,
+                p99_s: 0.005,
+                bounded: true,
+                measured_requests: 500,
+                allocs_per_request: 0.0,
+                alloc_counting: true,
+            },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/4\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/5\""));
         assert!(json.contains("\"preset\": \"tiny\""));
         assert!(json.contains("\"skip_brute\": false"));
         assert!(json.contains(
@@ -851,6 +920,12 @@ mod tests {
         assert!(json.contains("\"scrape_max_s\": 0.001"));
         assert!(json.contains("\"qps_metrics_off\": 750"));
         assert!(json.contains("\"telemetry_overhead_pct\": 20"));
+        assert!(json.contains("\"overload\": {"));
+        assert!(json.contains("\"offered_clients\": 4"));
+        assert!(json.contains("\"shed_connections\": 17"));
+        assert!(json.contains("\"p99_bound_s\": 0.25"));
+        assert!(json.contains("\"bounded\": true"));
+        assert!(json.contains("\"alloc\": {\"counting\": true, \"allocs_per_request\": 0}"));
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"median_s\": 0.5"));

@@ -47,7 +47,16 @@
 //!                     opcode: per-opcode qps and interval p50/p95/p99,
 //!                     epoch, connections, rebuild activity, and the
 //!                     slow-request flight recorder; full-screen on a
-//!                     TTY, one line per poll when piped
+//!                     TTY, one line per poll when piped; reconnects
+//!                     with capped exponential backoff when the daemon
+//!                     restarts mid-poll
+//!   serve-chaos       throw the hostile-client battery at a live
+//!                     daemon: torn frames, garbage opcodes, absurd
+//!                     length/count prefixes, connection floods,
+//!                     slowloris dribbles, an injected handler panic,
+//!                     deadline overruns, and a warm restart from the
+//!                     state file; exits non-zero on the first
+//!                     violated expectation (docs/SERVING.md §7)
 //!   all               table1 + every paper figure + bound, in order
 //!
 //! options:
@@ -81,6 +90,18 @@
 //!   --interval DUR              top: delay between polls [default: 1s]
 //!   --polls N                   top: render N updates then exit
 //!                               (default: run until SIGTERM/SIGINT)
+//!   --max-conns N               serve: admission cap — when this many
+//!                               connections are live or queued, new ones
+//!                               are answered Overloaded and closed
+//!                               [default: unlimited]
+//!   --deadline DUR              serve: per-request handling deadline;
+//!                               overruns answer DeadlineExceeded
+//!                               [default: none]
+//!   --idle-timeout DUR          serve: close connections idle between
+//!                               frames for longer than DUR [default: 300s]
+//!   --state PATH                serve: persist the published world here on
+//!                               every epoch and warm-restart from it at
+//!                               boot (bit-identical error map)
 //!   --out DIR                   also write <figure>.csv files into DIR
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
@@ -150,17 +171,26 @@ struct Options {
     interval: Duration,
     /// `--polls`: `top` renders this many updates then exits.
     polls: Option<u64>,
+    /// `--max-conns`: the serve admission cap (None = unlimited).
+    max_conns: Option<usize>,
+    /// `--deadline`: per-request handling budget (None = no deadline).
+    deadline: Option<Duration>,
+    /// `--idle-timeout` when given explicitly (serve).
+    idle_timeout: Option<Duration>,
+    /// `--state`: warm-restart state file (serve).
+    state: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
      faults|solspace|multilat|batch|duel|localizers|heatmap|bench|serve|\
-     serve-bench|top|all> \
+     serve-bench|serve-chaos|top|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
      [--retry N] [--trial-timeout DUR] [--skip-brute] \
      [--port N] [--clients N] [--requests N] \
      [--metrics-port N] [--interval DUR] [--polls N] \
+     [--max-conns N] [--deadline DUR] [--idle-timeout DUR] [--state PATH] \
      [--progress] [--metrics-json PATH] [--checkpoint PATH] \
      [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
 }
@@ -214,6 +244,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut metrics_port = None;
     let mut interval = Duration::from_secs(1);
     let mut polls = None;
+    let mut max_conns = None;
+    let mut deadline = None;
+    let mut idle_timeout = None;
+    let mut state = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -338,6 +372,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 polls = Some(n);
             }
+            "--max-conns" => {
+                let n = value("--max-conns")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+                if n == 0 {
+                    return Err(
+                        "--max-conns must be at least 1 (omit the flag for unlimited)".into(),
+                    );
+                }
+                max_conns = Some(n);
+            }
+            "--deadline" => deadline = Some(parse_duration("--deadline", &value("--deadline")?)?),
+            "--idle-timeout" => {
+                idle_timeout = Some(parse_duration("--idle-timeout", &value("--idle-timeout")?)?)
+            }
+            "--state" => state = Some(PathBuf::from(value("--state")?)),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -410,6 +460,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         metrics_port,
         interval,
         polls,
+        max_conns,
+        deadline,
+        idle_timeout,
+        state,
     })
 }
 
@@ -469,6 +523,9 @@ fn validate_paths(opts: &Options) -> Result<(), String> {
     }
     if let Some(p) = &opts.trace {
         validate_output_path("--trace", p)?;
+    }
+    if let Some(p) = &opts.state {
+        validate_output_path("--state", p)?;
     }
     Ok(())
 }
@@ -822,6 +879,21 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 report.serve.scrapes,
                 report.serve.scrape_p50_s * 1e6
             );
+            println!(
+                "overload: {} clients into {} slots, {} served, {} sheds \
+                 ({:.0}% shed rate), accepted p99 {:.1} us ({})",
+                report.overload.offered_clients,
+                report.overload.max_conns,
+                report.overload.requests,
+                report.overload.shed_connections,
+                report.overload.shed_rate * 100.0,
+                report.overload.p99_s * 1e6,
+                if report.overload.bounded {
+                    "bounded"
+                } else {
+                    "UNBOUNDED"
+                }
+            );
             if let Some(dir) = &opts.out {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -840,6 +912,21 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                     "bench: the reused-scratch survey path allocated in steady state \
                      ({} allocs/trial, expected 0)",
                     report.alloc.allocs_per_trial
+                ));
+            }
+            if !report.overload.bounded {
+                return Err(format!(
+                    "bench: accepted-request p99 under 2x overload was {:.3} s, above \
+                     the {:.2} s bound — shedding is not protecting admitted work",
+                    report.overload.p99_s,
+                    abp_serve::bench::OVERLOAD_P99_BOUND_S
+                ));
+            }
+            if report.overload.alloc_counting && report.overload.allocs_per_request > 0.0 {
+                return Err(format!(
+                    "bench: the serving path allocated under overload \
+                     ({} allocs/request, expected 0)",
+                    report.overload.allocs_per_request
                 ));
             }
         }
@@ -861,6 +948,21 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
             );
             if let Some(maddr) = daemon.metrics_addr() {
                 eprintln!("metrics exposition on http://{maddr}/metrics");
+            }
+            if scfg.state_path.is_some() {
+                eprintln!("state: {}", daemon.state_open().describe());
+            }
+            if scfg.max_conns > 0 || scfg.deadline.is_some() {
+                eprintln!(
+                    "defenses: max-conns {}, deadline {}",
+                    if scfg.max_conns == 0 {
+                        "unlimited".to_string()
+                    } else {
+                        scfg.max_conns.to_string()
+                    },
+                    scfg.deadline
+                        .map_or("none".to_string(), |d| format!("{d:?}")),
+                );
             }
             eprintln!("serving until SIGTERM/SIGINT");
             while !abp_serve::signal::triggered() {
@@ -938,6 +1040,24 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 ));
             }
         }
+        "serve-chaos" => {
+            eprintln!(
+                "running the serve resilience battery (hostile inputs, floods, \
+                 slowloris, injected panic, deadlines, warm restart)"
+            );
+            eprintln!(
+                "note: one panic backtrace below is EXPECTED — it is the injected \
+                 handler panic being contained"
+            );
+            let report = abp_serve::chaos::run_chaos().map_err(|e| format!("serve-chaos: {e}"))?;
+            for o in &report.outcomes {
+                println!("ok {:<22} {}", o.name, o.detail);
+            }
+            println!(
+                "serve-chaos: all {} scenarios passed",
+                report.outcomes.len()
+            );
+        }
         "top" => {
             if opts.port == 0 {
                 return Err(
@@ -980,6 +1100,10 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         metrics_port: opts.metrics_port,
                         interval: opts.interval,
                         polls: opts.polls,
+                        max_conns: opts.max_conns,
+                        deadline: opts.deadline,
+                        idle_timeout: opts.idle_timeout,
+                        state: opts.state.clone(),
                     },
                     ctx,
                 )?;
@@ -1014,6 +1138,14 @@ fn serve_config(opts: &Options) -> Result<abp_serve::daemon::ServeConfig, String
     if let Some(s) = opts.seed_override {
         scfg.seed = s;
     }
+    if let Some(n) = opts.max_conns {
+        scfg.max_conns = n;
+    }
+    scfg.deadline = opts.deadline;
+    if let Some(t) = opts.idle_timeout {
+        scfg.idle_timeout = t;
+    }
+    scfg.state_path = opts.state.clone();
     Ok(scfg)
 }
 
@@ -1169,7 +1301,7 @@ mod tests {
         o.out = Some(dir.clone());
         run(&o).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/4\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/5\""));
         assert!(json.contains("\"seed\": 7"), "--seed reaches bench: {json}");
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"name\": \"survey_sweep_scratch\""));
@@ -1188,6 +1320,9 @@ mod tests {
         assert!(json.contains("\"scrapes\": "));
         assert!(json.contains("\"qps_metrics_off\": "));
         assert!(json.contains("\"telemetry_overhead_pct\": "));
+        assert!(json.contains("\"overload\": {"));
+        assert!(json.contains("\"shed_connections\": "));
+        assert!(json.contains("\"bounded\": true"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1252,6 +1387,49 @@ mod tests {
         // top refuses to guess a port.
         let o = parse(&["top"]).unwrap();
         assert!(run_fails_with(&o, "--port is required"));
+    }
+
+    #[test]
+    fn resilience_flags_parse_and_reach_the_serve_config() {
+        let o = parse(&[
+            "serve",
+            "--preset",
+            "tiny",
+            "--max-conns",
+            "64",
+            "--deadline",
+            "50ms",
+            "--idle-timeout",
+            "30s",
+            "--state",
+            "world.state",
+        ])
+        .unwrap();
+        assert_eq!(o.max_conns, Some(64));
+        assert_eq!(o.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(o.idle_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(o.state.as_deref(), Some(Path::new("world.state")));
+        let scfg = serve_config(&o).unwrap();
+        assert_eq!(scfg.max_conns, 64);
+        assert_eq!(scfg.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(scfg.idle_timeout, Duration::from_secs(30));
+        assert_eq!(scfg.state_path.as_deref(), Some(Path::new("world.state")));
+
+        // Defaults: every defense off/neutral.
+        let o = parse(&["serve", "--preset", "tiny"]).unwrap();
+        let scfg = serve_config(&o).unwrap();
+        assert_eq!(scfg.max_conns, 0);
+        assert_eq!(scfg.deadline, None);
+        assert_eq!(scfg.idle_timeout, Duration::from_secs(300));
+        assert_eq!(scfg.state_path, None);
+
+        // A zero cap, a bare-number deadline, and a state path under a
+        // missing directory are all refused before anything starts.
+        assert!(parse(&["serve", "--max-conns", "0"]).is_err());
+        assert!(parse(&["serve", "--deadline", "5"]).is_err());
+        assert!(parse(&["serve", "--idle-timeout", "-3s"]).is_err());
+        let o = parse(&["serve", "--state", "/no/such/dir/world.state"]).unwrap();
+        assert!(run_fails_with(&o, "--state"));
     }
 
     fn run_fails_with(o: &Options, needle: &str) -> bool {

@@ -10,6 +10,14 @@
 //! On a TTY the dashboard redraws in place (ANSI clear-home); when
 //! stdout is a pipe it degrades to one summary line per poll, so
 //! `abp top | tee` and CI logs stay readable.
+//!
+//! The dashboard outlives the daemon: when a poll's socket dies (the
+//! daemon restarted, was SIGKILLed, or is not up yet), `top` retries
+//! the connection with capped exponential backoff — 250 ms doubling to
+//! a 4 s ceiling, the same discipline the sweep runner uses between
+//! trial retries — and resets its rate baseline so the first interval
+//! after a reconnect never shows garbage deltas. Only
+//! [`RECONNECT_ATTEMPTS`] *consecutive* failures end the run.
 
 use abp_serve::metrics::{OpClass, ALL_CLASSES};
 use abp_serve::protocol::{self as wire, StatsReply};
@@ -31,12 +39,78 @@ pub struct TopConfig {
     pub polls: Option<u64>,
 }
 
+/// First pause after a lost connection; doubles per consecutive
+/// failure (matching the sweep runner's retry discipline).
+const RECONNECT_BASE: Duration = Duration::from_millis(250);
+/// Backoff ceiling between reconnect attempts.
+const RECONNECT_CAP: Duration = Duration::from_secs(4);
+/// Consecutive failed connection attempts before `top` gives the
+/// daemon up for dead.
+pub const RECONNECT_ATTEMPTS: u32 = 6;
+
+/// The pause before reconnect attempt `attempt` (1-based):
+/// 250 ms · 2^(attempt−1), capped at [`RECONNECT_CAP`].
+fn backoff_before(attempt: u32) -> Duration {
+    RECONNECT_BASE
+        .saturating_mul(1u32 << (attempt - 1).min(8))
+        .min(RECONNECT_CAP)
+}
+
+/// Connects with capped exponential backoff. `Ok(None)` means a
+/// termination signal arrived mid-backoff; `Err` means the budget of
+/// consecutive attempts ran out.
+fn connect_with_backoff(addr: &str, until_signal: bool) -> Result<Option<TcpStream>, String> {
+    let mut last_err = String::new();
+    for attempt in 1..=RECONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(conn) => {
+                let _ = conn.set_nodelay(true);
+                return Ok(Some(conn));
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+        if until_signal && abp_serve::signal::triggered() {
+            return Ok(None);
+        }
+        if attempt < RECONNECT_ATTEMPTS {
+            std::thread::sleep(backoff_before(attempt));
+        }
+    }
+    Err(format!(
+        "top: connect {addr}: {last_err} ({RECONNECT_ATTEMPTS} attempts)"
+    ))
+}
+
+/// One stats poll on the live connection.
+enum Poll {
+    /// A decoded snapshot.
+    Stats(Box<StatsReply>),
+    /// The socket died (daemon restart or shutdown) — reconnect.
+    Lost(String),
+}
+
+fn poll_once(conn: &mut TcpStream, out: &mut Vec<u8>, frame: &mut Vec<u8>) -> Result<Poll, String> {
+    wire::encode_stats_request(out);
+    if let Err(e) = conn.write_all(out) {
+        return Ok(Poll::Lost(format!("send: {e}")));
+    }
+    match wire::read_frame(conn, frame) {
+        Ok(true) => {}
+        Ok(false) => return Ok(Poll::Lost("the daemon hung up".into())),
+        Err(e) => return Ok(Poll::Lost(format!("read: {e}"))),
+    }
+    // A frame that arrives but does not decode is a protocol breach,
+    // not a restart — that stays fatal.
+    let stats = wire::decode_stats_response(frame)
+        .map_err(|s| format!("top: bad stats response: {s:?}"))?;
+    Ok(Poll::Stats(Box::new(stats)))
+}
+
 /// Runs the dashboard loop. Returns when the poll budget is exhausted,
-/// a termination signal arrives, or the daemon hangs up.
+/// a termination signal arrives, or the daemon stays unreachable
+/// through a full backoff ladder.
 pub fn run_top(cfg: &TopConfig) -> Result<(), String> {
     let addr = format!("127.0.0.1:{}", cfg.port);
-    let mut conn = TcpStream::connect(&addr).map_err(|e| format!("top: connect {addr}: {e}"))?;
-    let _ = conn.set_nodelay(true);
     let tty = std::io::stdout().is_terminal();
     // Bounded runs (`--polls N`) exit on their own; only unbounded runs
     // trade the default Ctrl-C kill for an orderly loop exit. (The flag
@@ -46,22 +120,29 @@ pub fn run_top(cfg: &TopConfig) -> Result<(), String> {
         abp_serve::signal::install();
     }
 
+    let Some(mut conn) = connect_with_backoff(&addr, until_signal)? else {
+        return Ok(());
+    };
     let mut out = Vec::new();
     let mut frame = Vec::new();
     let mut prev: Option<(Instant, StatsReply)> = None;
     let mut rendered = 0u64;
     loop {
         let now = Instant::now();
-        wire::encode_stats_request(&mut out);
-        conn.write_all(&out)
-            .map_err(|e| format!("top: send: {e}"))?;
-        let open =
-            wire::read_frame(&mut conn, &mut frame).map_err(|e| format!("top: read: {e}"))?;
-        if !open {
-            return Err("top: the daemon hung up".into());
-        }
-        let stats = wire::decode_stats_response(&frame)
-            .map_err(|s| format!("top: bad stats response: {s:?}"))?;
+        let stats = match poll_once(&mut conn, &mut out, &mut frame)? {
+            Poll::Stats(stats) => *stats,
+            Poll::Lost(reason) => {
+                eprintln!("top: lost the daemon ({reason}); reconnecting");
+                // The old baseline belongs to the dead process; deltas
+                // across a restart would render as negative-rate noise.
+                prev = None;
+                match connect_with_backoff(&addr, until_signal)? {
+                    Some(fresh) => conn = fresh,
+                    None => return Ok(()),
+                }
+                continue;
+            }
+        };
 
         if let Some((t0, before)) = &prev {
             let elapsed = now.duration_since(*t0).as_secs_f64().max(1e-9);
@@ -293,6 +374,89 @@ mod tests {
         let empty = merge_intervals(&[]);
         assert_eq!(empty.count, 0);
         assert_eq!(empty.min_ns, 0);
+    }
+
+    #[test]
+    fn backoff_ladder_doubles_and_caps() {
+        assert_eq!(backoff_before(1), Duration::from_millis(250));
+        assert_eq!(backoff_before(2), Duration::from_millis(500));
+        assert_eq!(backoff_before(3), Duration::from_millis(1000));
+        assert_eq!(backoff_before(5), Duration::from_secs(4), "capped");
+        assert_eq!(
+            backoff_before(30),
+            Duration::from_secs(4),
+            "cap holds far out"
+        );
+    }
+
+    /// `top` must survive both a daemon that is not up yet (initial
+    /// backoff) and one that dies mid-poll (reconnect + baseline
+    /// reset). A scripted stand-in daemon makes the restart
+    /// deterministic: it binds late, answers the first connection one
+    /// poll then drops it, and serves the second connection to EOF —
+    /// all on one listening socket, so no port is ever rebound.
+    #[test]
+    fn top_reconnects_through_a_daemon_restart() {
+        use std::net::TcpListener;
+
+        // Discover a free port, then release it for the late binder.
+        // (The discovery socket never accepts, so no TIME_WAIT lingers.)
+        let port = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+
+        let fake = std::thread::spawn(move || {
+            let answer = |conn: &mut TcpStream, budget: Option<usize>| {
+                let metrics = abp_serve::metrics::ServeMetrics::new();
+                let mut frame = Vec::new();
+                let mut reply = Vec::new();
+                let mut answered = 0usize;
+                while budget.is_none_or(|n| answered < n) {
+                    match wire::read_frame(conn, &mut frame) {
+                        Ok(true) => {}
+                        _ => return answered,
+                    }
+                    wire::encode_stats_response(
+                        &mut reply,
+                        &wire::StatsView {
+                            epoch: 1,
+                            connections_total: 1,
+                            metrics: &metrics,
+                            flight: &[],
+                        },
+                    );
+                    if conn.write_all(&reply).is_err() {
+                        return answered;
+                    }
+                    answered += 1;
+                }
+                answered
+            };
+            // Bind late: top's first connect attempts must ride the
+            // backoff ladder to reach us.
+            std::thread::sleep(Duration::from_millis(400));
+            let listener = TcpListener::bind(("127.0.0.1", port)).unwrap();
+            // First life: one poll, then die mid-session.
+            let (mut conn, _) = listener.accept().unwrap();
+            assert_eq!(answer(&mut conn, Some(1)), 1);
+            drop(conn);
+            // Second life: serve until top is done and hangs up.
+            let (mut conn, _) = listener.accept().unwrap();
+            assert!(
+                answer(&mut conn, None) >= 2,
+                "reconnected top must poll again"
+            );
+        });
+
+        run_top(&TopConfig {
+            port,
+            interval: Duration::from_millis(20),
+            polls: Some(2),
+        })
+        .unwrap();
+        fake.join().unwrap();
     }
 
     /// End-to-end: a tiny daemon under a little traffic, two dashboard

@@ -112,6 +112,175 @@ pub struct LoadReport {
     pub scrape_max_s: f64,
 }
 
+/// The overload gate's absolute bound on accepted-request p99: with
+/// admission control shedding the excess, the requests the daemon
+/// *accepts* at 2× capacity must still answer within this budget.
+pub const OVERLOAD_P99_BOUND_S: f64 = 0.25;
+
+/// Requests an overload client sends per admitted connection before
+/// politely reconnecting — the churn that lets shed clients back in.
+/// Must exceed the daemon's per-connection allocation warm-up so the
+/// overload path lands inside the alloc measurement windows.
+const OVERLOAD_BURST: usize = 64;
+
+/// The `serve-bench` overload block: what happened when twice the
+/// admitted capacity hammered the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadReport {
+    /// Client threads offered (2× the admission cap).
+    pub offered_clients: usize,
+    /// The daemon's `max_conns` admission cap during the flood.
+    pub max_conns: usize,
+    /// Accepted, measured requests (post-warmup, summed over clients).
+    pub requests: u64,
+    /// Connections the accept gate shed with [`wire::Status::Overloaded`]
+    /// (server-side counter).
+    pub shed_connections: u64,
+    /// Shed connections over all connection attempts the daemon saw.
+    pub shed_rate: f64,
+    /// Median accepted-request round trip, seconds (includes admission
+    /// queue wait — that is the point).
+    pub p50_s: f64,
+    /// 99th-percentile accepted-request round trip, seconds.
+    pub p99_s: f64,
+    /// Whether `p99_s` stayed within [`OVERLOAD_P99_BOUND_S`] — the
+    /// claim that shedding keeps accepted work bounded under flood.
+    pub bounded: bool,
+    /// Requests inside the server-side allocation windows.
+    pub measured_requests: u64,
+    /// Server-side allocator calls per measured request (the zero-alloc
+    /// invariant must hold under overload too).
+    pub allocs_per_request: f64,
+    /// Whether the counting allocator was compiled in.
+    pub alloc_counting: bool,
+}
+
+/// One overload client: bursts of localize requests on short-lived
+/// connections, reconnecting with a 1 ms pause whenever the accept
+/// gate sheds it. Returns the accepted-request latencies.
+fn overload_client(addr: std::net::SocketAddr, load: &LoadConfig) -> io::Result<Vec<u64>> {
+    let total = load.warmup_per_client + load.requests_per_client;
+    let mut latencies = Vec::with_capacity(load.requests_per_client);
+    let mut done = 0usize;
+    let mut out = Vec::new();
+    let mut frame = Vec::new();
+    wire::encode_localize_request(&mut out, &[0, 1, 2]);
+    // Far beyond any sane shed streak; a daemon that never admits this
+    // client again is a bug, not load.
+    let mut attempts_left = 10_000usize;
+    while done < total {
+        attempts_left = attempts_left
+            .checked_sub(1)
+            .ok_or_else(|| io::Error::other("overload client starved: never re-admitted"))?;
+        let mut conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let mut admitted = true;
+        for _ in 0..OVERLOAD_BURST.min(total - done) {
+            let started = Instant::now();
+            if conn.write_all(&out).is_err() {
+                // The gate closed us mid-write; its Overloaded frame may
+                // already be on the wire. Treat as shed.
+                admitted = false;
+                break;
+            }
+            match wire::read_frame(&mut conn, &mut frame) {
+                Ok(true) if frame.first() == Some(&0) => {
+                    if done >= load.warmup_per_client {
+                        latencies.push(started.elapsed().as_nanos() as u64);
+                    }
+                    done += 1;
+                }
+                Ok(true) if frame.first() == Some(&(wire::Status::Overloaded as u8)) => {
+                    admitted = false;
+                    break;
+                }
+                Ok(true) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("overload client got status {:?}", frame.first()),
+                    ));
+                }
+                Ok(false) => {
+                    admitted = false;
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {
+                    admitted = false;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !admitted {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    Ok(latencies)
+}
+
+/// Floods the daemon with **twice** its admission cap and measures what
+/// the accepted requests cost. The daemon runs with
+/// `max_conns = load.clients` and `2 × load.clients` client threads
+/// burst against it; shed clients back off 1 ms and retry. The report
+/// carries the gate's shed counter, the accepted-side quantiles, and
+/// the [`OVERLOAD_P99_BOUND_S`] verdict.
+///
+/// # Errors
+///
+/// Propagates daemon start-up and socket errors; a client observing a
+/// non-`Ok`, non-`Overloaded` status fails the run, as does a client
+/// the gate starves outright.
+pub fn run_overload(cfg: &ServeConfig, load: &LoadConfig) -> io::Result<OverloadReport> {
+    let capacity = load.clients.max(1);
+    let offered = capacity * 2;
+    let cfg = ServeConfig {
+        max_conns: capacity,
+        ..cfg.clone()
+    };
+    let daemon = Daemon::start(&cfg)?;
+    let addr = daemon.local_addr();
+
+    let mut handles = Vec::with_capacity(offered);
+    for _ in 0..offered {
+        let load = load.clone();
+        handles.push(std::thread::spawn(move || overload_client(addr, &load)));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        let lat = h
+            .join()
+            .map_err(|_| io::Error::other("overload client thread panicked"))??;
+        latencies.extend(lat);
+    }
+    let stats = daemon.shutdown();
+    latencies.sort_unstable();
+    assert!(
+        !latencies.is_empty(),
+        "overload must measure at least one accepted request"
+    );
+    let ns = 1e-9;
+    let p99_s = quantile_ns(&latencies, 0.99) as f64 * ns;
+    let attempts = stats.connections + stats.shed;
+    Ok(OverloadReport {
+        offered_clients: offered,
+        max_conns: capacity,
+        requests: latencies.len() as u64,
+        shed_connections: stats.shed,
+        shed_rate: if attempts == 0 {
+            0.0
+        } else {
+            stats.shed as f64 / attempts as f64
+        },
+        p50_s: quantile_ns(&latencies, 0.50) as f64 * ns,
+        p99_s,
+        bounded: p99_s <= OVERLOAD_P99_BOUND_S,
+        measured_requests: stats.measured_requests,
+        allocs_per_request: stats.allocs_per_request(),
+        alloc_counting: stats.alloc_counting,
+    })
+}
+
 /// splitmix64: the clients' cheap deterministic request mixer.
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -337,6 +506,42 @@ mod tests {
             );
         }
         assert_eq!(report.scrapes, 0, "no metrics listener, no scrapes");
+    }
+
+    #[test]
+    fn overload_flood_sheds_and_stays_bounded() {
+        let load = LoadConfig {
+            clients: 2,
+            requests_per_client: 160,
+            warmup_per_client: 16,
+            place_every: 0,
+            seed: 7,
+        };
+        let report = run_overload(&ServeConfig::tiny(), &load).unwrap();
+        assert_eq!(report.offered_clients, 4);
+        assert_eq!(report.max_conns, 2);
+        assert_eq!(report.requests, 4 * 160);
+        assert!(
+            report.shed_connections > 0,
+            "2x-capacity flood must trip the accept gate"
+        );
+        assert!(report.shed_rate > 0.0 && report.shed_rate < 1.0);
+        assert!(report.p50_s > 0.0 && report.p50_s <= report.p99_s);
+        assert!(
+            report.bounded,
+            "accepted p99 {}s blew the {}s overload bound",
+            report.p99_s, OVERLOAD_P99_BOUND_S
+        );
+        if report.alloc_counting {
+            assert!(
+                report.measured_requests > 0,
+                "bursts must outlive alloc warm-up"
+            );
+            assert_eq!(
+                report.allocs_per_request, 0.0,
+                "zero-alloc invariant must hold under overload"
+            );
+        }
     }
 
     #[test]

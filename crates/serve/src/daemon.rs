@@ -25,8 +25,9 @@
 
 use crate::engine::{self, ServeScratch};
 use crate::metrics::{FlightEntry, OpClass, ServeMetrics, ALL_CLASSES, FLIGHT_SLOTS, OP_CLASSES};
-use crate::protocol::{self, Request, StatsView, Status, MAX_FRAME};
+use crate::protocol::{self, Opcode, Request, StatsView, Status, MAX_FRAME};
 use crate::snapshot::{SnapshotCell, WorldSnapshot};
+use crate::state::{self, StateOpen};
 use abp_field::BeaconField;
 use abp_geom::{Point, Terrain};
 use abp_radio::IdealDisk;
@@ -36,9 +37,11 @@ use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,6 +51,16 @@ const ALLOC_WARMUP_REQUESTS: u64 = 32;
 
 /// How long blocked reads and queue waits sleep between shutdown polls.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Read timeout for one `/metrics` scrape head, derived from
+/// [`POLL_INTERVAL`] (20 polls) so all daemon timing hangs off a single
+/// knob instead of scattered magic numbers.
+const SCRAPE_TIMEOUT: Duration = POLL_INTERVAL.saturating_mul(20);
+
+/// The complete [`Status::Overloaded`] error frame (length prefix `1`,
+/// one status byte), precomputed so the accept-gate shed path writes a
+/// stack constant and never touches the heap.
+const OVERLOADED_FRAME: [u8; 5] = [1, 0, 0, 0, Status::Overloaded as u8];
 
 /// Daemon construction parameters.
 #[derive(Debug, Clone)]
@@ -73,6 +86,37 @@ pub struct ServeConfig {
     /// Bind address for the side HTTP/1.0 `GET /metrics` listener
     /// (Prometheus text exposition); `None` disables it.
     pub metrics_addr: Option<String>,
+    /// Admission cap: when `connections live + queued` reaches this, new
+    /// connections are answered with one [`Status::Overloaded`] frame
+    /// and closed instead of queueing unboundedly. `0` = unlimited.
+    pub max_conns: usize,
+    /// Per-worker work-budget watermark: when the accept queue holds at
+    /// least this many connections, Place/Info/Stats requests are
+    /// answered [`Status::Overloaded`] (Localize holds out until 2×).
+    /// `0` disables request shedding.
+    pub shed_watermark: usize,
+    /// Per-request handling deadline: a request whose handler runs
+    /// longer has its result discarded and is answered
+    /// [`Status::DeadlineExceeded`]. `None` disables the deadline.
+    pub deadline: Option<Duration>,
+    /// Dribble window: once the first byte of a frame arrives, the whole
+    /// frame (header + payload) must land within this window or the
+    /// connection is quarantined — dropped without a response, counted
+    /// (slow-loris defense). Also bounds response writes.
+    pub frame_window: Duration,
+    /// How long a connection may sit idle *between* frames before the
+    /// daemon silently closes it (no counter: idle keep-alive clients
+    /// are well-behaved, just absent).
+    pub idle_timeout: Duration,
+    /// Warm-restart state file: the published world is persisted here on
+    /// every epoch publish, and a daemon booting with the same
+    /// parameters restores it bit-identically. `None` disables
+    /// persistence.
+    pub state_path: Option<PathBuf>,
+    /// Chaos-test seam: a Place request carrying exactly this seed
+    /// panics inside the handler, exercising panic isolation
+    /// end-to-end. `None` (the default everywhere) disables the seam.
+    pub panic_seed: Option<u64>,
 }
 
 impl ServeConfig {
@@ -89,6 +133,13 @@ impl ServeConfig {
             seed: 42,
             telemetry: true,
             metrics_addr: None,
+            max_conns: 0,
+            shed_watermark: 0,
+            deadline: None,
+            frame_window: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            state_path: None,
+            panic_seed: None,
         }
     }
 
@@ -104,6 +155,13 @@ impl ServeConfig {
             seed: 42,
             telemetry: true,
             metrics_addr: None,
+            max_conns: 0,
+            shed_watermark: 0,
+            deadline: None,
+            frame_window: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            state_path: None,
+            panic_seed: None,
         }
     }
 
@@ -130,6 +188,7 @@ struct Stats {
     measured_requests: AtomicU64,
     measured_allocs: AtomicU64,
     measured_bytes: AtomicU64,
+    worker_respawns: AtomicU64,
 }
 
 /// One opcode class's shutdown summary: request count and latency
@@ -188,6 +247,21 @@ pub struct StatsSnapshot {
     pub rebuilds_total: u64,
     /// Applies still queued for the rebuilder at shutdown.
     pub rebuilds_pending: u64,
+    /// Connections/requests shed by admission control.
+    pub shed: u64,
+    /// Requests answered `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Request-handler panics contained (connection killed, worker kept).
+    pub panics: u64,
+    /// Connections quarantined by the dribble detector.
+    pub quarantines: u64,
+    /// World snapshots persisted to the state file.
+    pub state_saves: u64,
+    /// World snapshots restored from the state file at boot.
+    pub state_loads: u64,
+    /// Worker threads respawned after an escaped panic (backstop; the
+    /// per-request `catch_unwind` should keep this at zero).
+    pub worker_respawns: u64,
 }
 
 impl StatsSnapshot {
@@ -250,6 +324,26 @@ impl StatsSnapshot {
             "  rebuilds {} done, {} pending; flight drops {}",
             self.rebuilds_total, self.rebuilds_pending, self.flight_dropped
         ));
+        let defenses = self.shed
+            + self.deadline_exceeded
+            + self.panics
+            + self.quarantines
+            + self.state_saves
+            + self.state_loads
+            + self.worker_respawns;
+        if defenses > 0 {
+            out.push_str(&format!(
+                "\n  shed {}, deadline-exceeded {}, panics {}, quarantines {}; \
+                 state saves {} / loads {}; worker respawns {}",
+                self.shed,
+                self.deadline_exceeded,
+                self.panics,
+                self.quarantines,
+                self.state_saves,
+                self.state_loads,
+                self.worker_respawns,
+            ));
+        }
         out
     }
 }
@@ -278,6 +372,26 @@ struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
     apply_tx: Mutex<Sender<Point>>,
+    /// Connections accepted but not yet picked up by a worker. Kept as
+    /// its own relaxed atomic so the accept gate and the request-shed
+    /// check never take the queue lock.
+    queued: AtomicU64,
+    max_conns: usize,
+    shed_watermark: usize,
+    deadline: Option<Duration>,
+    frame_window: Duration,
+    idle_timeout: Duration,
+    state_path: Option<PathBuf>,
+    state_fingerprint: u64,
+    panic_seed: Option<u64>,
+}
+
+/// Locks a mutex, recovering the guard if a panicking worker poisoned
+/// it — the data under every daemon lock (queue, apply sender) stays
+/// valid across an unwound request handler, so poisoning must never
+/// cascade a single contained panic into a daemon-wide outage.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A running daemon. Dropping without [`Daemon::shutdown`] aborts the
@@ -291,6 +405,7 @@ pub struct Daemon {
     workers: Vec<JoinHandle<()>>,
     rebuilder: Option<JoinHandle<()>>,
     metrics_listener: Option<JoinHandle<()>>,
+    state_open: StateOpen,
 }
 
 impl Daemon {
@@ -302,10 +417,27 @@ impl Daemon {
     /// Propagates socket errors (bind, local address).
     pub fn start(cfg: &ServeConfig) -> io::Result<Daemon> {
         let terrain = Terrain::square(cfg.side);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let field = BeaconField::random_uniform(cfg.beacons, terrain, &mut rng);
         let model = Arc::new(IdealDisk::new(cfg.nominal_range));
-        let initial = WorldSnapshot::build(0, field, model, cfg.step);
+        let state_fingerprint = state::config_fingerprint(cfg.side, cfg.step, cfg.nominal_range);
+
+        // Warm restart: a valid state file supplies the epoch + roster;
+        // the snapshot is *rebuilt* from them, which is bit-identical to
+        // the one the killed daemon published (the build is pure).
+        let state_open = match &cfg.state_path {
+            Some(path) => state::load_state(path, state_fingerprint, terrain),
+            None => StateOpen::Fresh,
+        };
+        let initial = match &state_open {
+            StateOpen::Loaded { epoch, positions } => {
+                let field = BeaconField::from_positions(terrain, positions.iter().copied());
+                WorldSnapshot::build(*epoch, field, model, cfg.step)
+            }
+            _ => {
+                let mut rng = StdRng::seed_from_u64(cfg.seed);
+                let field = BeaconField::random_uniform(cfg.beacons, terrain, &mut rng);
+                WorldSnapshot::build(0, field, model, cfg.step)
+            }
+        };
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -321,7 +453,23 @@ impl Daemon {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             apply_tx: Mutex::new(apply_tx),
+            queued: AtomicU64::new(0),
+            max_conns: cfg.max_conns,
+            shed_watermark: cfg.shed_watermark,
+            deadline: cfg.deadline,
+            frame_window: cfg.frame_window,
+            idle_timeout: cfg.idle_timeout,
+            state_path: cfg.state_path.clone(),
+            state_fingerprint,
+            panic_seed: cfg.panic_seed,
         });
+        if matches!(state_open, StateOpen::Loaded { .. }) {
+            shared.metrics.note_state_load();
+        }
+        // Boot save: the file exists (and a damaged one is replaced)
+        // from the first instant, so a crash before the first apply
+        // still restarts warm.
+        persist_state(&shared);
 
         let rebuilder = {
             let shared = Arc::clone(&shared);
@@ -336,7 +484,19 @@ impl Daemon {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("abp-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    // Respawn backstop: the per-request catch_unwind in
+                    // serve_connection should contain every panic, but
+                    // if one ever escapes the loop body, restart the
+                    // loop (counted) instead of silently shrinking the
+                    // worker pool.
+                    .spawn(move || loop {
+                        match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                            Ok(()) => return,
+                            Err(_) => {
+                                shared.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -372,7 +532,15 @@ impl Daemon {
             workers,
             rebuilder: Some(rebuilder),
             metrics_listener,
+            state_open,
         })
+    }
+
+    /// How the warm-restart state file was resolved at boot
+    /// ([`StateOpen::Fresh`] when no `--state` was configured). The CLI
+    /// prints [`StateOpen::describe`] on stderr.
+    pub fn state_open(&self) -> &StateOpen {
+        &self.state_open
     }
 
     /// The bound address (resolves port 0).
@@ -445,16 +613,53 @@ impl Daemon {
             flight_dropped: m.flight.dropped(),
             rebuilds_total: m.rebuilds_total(),
             rebuilds_pending: m.rebuilds_pending(),
+            shed: m.shed(),
+            deadline_exceeded: m.deadline_exceeded(),
+            panics: m.panics(),
+            quarantines: m.quarantines(),
+            state_saves: m.state_saves(),
+            state_loads: m.state_loads(),
+            worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Persists the currently published world to the configured state file
+/// (no-op without one). Control-plane only: runs at boot and on the
+/// rebuilder thread after each publish; allocates freely.
+fn persist_state(shared: &Shared) {
+    let Some(path) = &shared.state_path else {
+        return;
+    };
+    let snap = shared.cell.load();
+    let positions: Vec<Point> = snap.field().iter().map(|b| b.pos()).collect();
+    match state::save_state(path, shared.state_fingerprint, snap.epoch(), &positions) {
+        Ok(()) => shared.metrics.note_state_save(),
+        Err(e) => eprintln!("abp-serve: state save to {} failed: {e}", path.display()),
     }
 }
 
 fn accept_loop(shared: &Shared, listener: TcpListener) {
     while !shared.shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
+                // Admission gate: live + queued against the cap. A shed
+                // connection gets one typed Overloaded frame (a stack
+                // constant — no allocation) and is closed; it is not
+                // counted as accepted.
+                if shared.max_conns > 0 {
+                    let load =
+                        shared.metrics.connections_live() + shared.queued.load(Ordering::Relaxed);
+                    if load >= shared.max_conns as u64 {
+                        shared.metrics.note_shed();
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.write_all(&OVERLOADED_FRAME);
+                        continue;
+                    }
+                }
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                let mut q = shared.queue.lock().expect("queue lock");
+                shared.queued.fetch_add(1, Ordering::Relaxed);
+                let mut q = lock_unpoisoned(&shared.queue);
                 q.push_back(stream);
                 drop(q);
                 shared.queue_cv.notify_one();
@@ -480,6 +685,9 @@ fn rebuild_loop(shared: &Shared, apply_rx: mpsc::Receiver<Point>) {
                 shared.metrics.rebuild_finished(started.elapsed());
                 crate::APPLIES.add(1);
                 crate::EPOCHS_PUBLISHED.add(1);
+                // Persist the world the readers now serve; a SIGKILL
+                // after this line restarts warm at exactly this epoch.
+                persist_state(shared);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::Relaxed) {
@@ -508,7 +716,7 @@ fn metrics_loop(shared: &Shared, listener: TcpListener) {
 }
 
 fn serve_metrics_scrape(shared: &Shared, stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_read_timeout(Some(SCRAPE_TIMEOUT));
     // Read the request head (scrapers send a short GET; stop at the
     // blank line or a full buffer).
     let mut buf = [0u8; 1024];
@@ -573,6 +781,34 @@ fn render_exposition(shared: &Shared) -> String {
             name: "serve_flight_dropped",
             total: m.flight.dropped(),
         },
+        CounterSnapshot {
+            name: "serve_shed",
+            total: m.shed(),
+        },
+        CounterSnapshot {
+            name: "serve_deadline_exceeded",
+            total: m.deadline_exceeded(),
+        },
+        CounterSnapshot {
+            name: "serve_panics",
+            total: m.panics(),
+        },
+        CounterSnapshot {
+            name: "serve_quarantines",
+            total: m.quarantines(),
+        },
+        CounterSnapshot {
+            name: "serve_state_saves",
+            total: m.state_saves(),
+        },
+        CounterSnapshot {
+            name: "serve_state_loads",
+            total: m.state_loads(),
+        },
+        CounterSnapshot {
+            name: "serve_worker_respawns",
+            total: s.worker_respawns.load(Ordering::Relaxed),
+        },
     ];
     for &class in &ALL_CLASSES {
         counters.push(CounterSnapshot {
@@ -611,7 +847,7 @@ fn worker_loop(shared: &Shared) {
     let mut reader = shared.cell.reader();
     loop {
         let stream = {
-            let mut q = shared.queue.lock().expect("queue lock");
+            let mut q = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(s) = q.pop_front() {
                     break s;
@@ -622,10 +858,15 @@ fn worker_loop(shared: &Shared) {
                 let (guard, _timeout) = shared
                     .queue_cv
                     .wait_timeout(q, POLL_INTERVAL)
-                    .expect("queue cv");
+                    .unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
         };
+        let _ = shared
+            .queued
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
         serve_connection(shared, &mut reader, stream, &mut scratch);
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
@@ -637,39 +878,77 @@ enum ReadOutcome {
     Frame,
     CleanEof,
     Stop,
+    /// The connection sat at a frame boundary past the idle timeout.
+    /// Closed silently: idle keep-alive clients are absent, not hostile.
+    IdleExpired,
+    /// The peer started a frame but failed to deliver it within the
+    /// frame window — the slow-loris signature. Quarantined by the
+    /// caller: counted and dropped without a response.
+    FrameExpired,
 }
 
 /// Fills `buf` completely, polling the shutdown flag on read timeouts.
 /// `allow_eof` marks a frame boundary where a peer may hang up cleanly.
+///
+/// Deadlines are checked only on the (POLL_INTERVAL-timed) blocked-read
+/// branch, so a peer that streams bytes promptly never pays for an
+/// `Instant::now()`:
+///
+/// * `idle_deadline` applies while `buf` is still empty — time a peer
+///   may sit between frames (header reads only),
+/// * `frame_deadline` applies once any byte has arrived. The header read
+///   passes `None` and arms it at its first byte from
+///   `shared.frame_window`; the payload read carries the header's value
+///   forward (second return), so one window covers the whole frame.
 fn read_full(
     shared: &Shared,
     stream: &mut TcpStream,
     buf: &mut [u8],
     allow_eof: bool,
-) -> ReadOutcome {
+    idle_deadline: Option<Instant>,
+    mut frame_deadline: Option<Instant>,
+) -> (ReadOutcome, Option<Instant>) {
     let mut got = 0;
     while got < buf.len() {
         match stream.read(&mut buf[got..]) {
             Ok(0) => {
-                return if allow_eof && got == 0 {
+                let outcome = if allow_eof && got == 0 {
                     ReadOutcome::CleanEof
                 } else {
                     ReadOutcome::Stop
                 };
+                return (outcome, frame_deadline);
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                if got == 0 && frame_deadline.is_none() {
+                    frame_deadline = Some(Instant::now() + shared.frame_window);
+                }
+                got += n;
+            }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutdown.load(Ordering::Relaxed) {
-                    return ReadOutcome::Stop;
+                    return (ReadOutcome::Stop, frame_deadline);
+                }
+                let now = Instant::now();
+                if got == 0 && frame_deadline.is_none() {
+                    if let Some(idle) = idle_deadline {
+                        if now > idle {
+                            return (ReadOutcome::IdleExpired, frame_deadline);
+                        }
+                    }
+                } else if let Some(frame) = frame_deadline {
+                    if now > frame {
+                        return (ReadOutcome::FrameExpired, frame_deadline);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadOutcome::Stop,
+            Err(_) => return (ReadOutcome::Stop, frame_deadline),
         }
     }
-    ReadOutcome::Frame
+    (ReadOutcome::Frame, frame_deadline)
 }
 
 fn serve_connection(
@@ -680,11 +959,31 @@ fn serve_connection(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(shared.frame_window));
     shared.metrics.connection_opened();
     let mut served = 0u64;
     let mut alloc_base: Option<AllocSnapshot> = None;
     let mut header = [0u8; 4];
-    while let ReadOutcome::Frame = read_full(shared, &mut stream, &mut header, true) {
+    loop {
+        // Header read: the idle clock runs until the first byte, then
+        // the frame window takes over.
+        let idle_deadline = Instant::now() + shared.idle_timeout;
+        let (outcome, frame_deadline) = read_full(
+            shared,
+            &mut stream,
+            &mut header,
+            true,
+            Some(idle_deadline),
+            None,
+        );
+        match outcome {
+            ReadOutcome::Frame => {}
+            ReadOutcome::CleanEof | ReadOutcome::Stop | ReadOutcome::IdleExpired => break,
+            ReadOutcome::FrameExpired => {
+                shared.metrics.note_quarantine();
+                break;
+            }
+        }
         let len = u32::from_le_bytes(header);
         if len > MAX_FRAME {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -697,9 +996,23 @@ fn serve_connection(
         }
         scratch.in_buf.clear();
         scratch.in_buf.resize(len as usize, 0);
-        match read_full(shared, &mut stream, &mut scratch.in_buf, false) {
+        // Payload read: same frame deadline the header armed — one
+        // window covers the complete frame.
+        let (outcome, _) = read_full(
+            shared,
+            &mut stream,
+            &mut scratch.in_buf,
+            false,
+            None,
+            frame_deadline,
+        );
+        match outcome {
             ReadOutcome::Frame => {}
-            ReadOutcome::CleanEof | ReadOutcome::Stop => break,
+            ReadOutcome::FrameExpired => {
+                shared.metrics.note_quarantine();
+                break;
+            }
+            ReadOutcome::CleanEof | ReadOutcome::Stop | ReadOutcome::IdleExpired => break,
         }
 
         if served == ALLOC_WARMUP_REQUESTS {
@@ -707,8 +1020,58 @@ fn serve_connection(
         }
         let started = Instant::now();
         let _span = abp_trace::span!("serve_request");
-        let (class, heard) = handle_request(shared, reader, scratch);
+        // Work-budget shed: under queue pressure, answer cheap classes
+        // Overloaded instead of doing the work. Place/Info/Stats go
+        // first; Localize — the service's reason to exist — holds out
+        // to twice the watermark.
+        let (class, heard) = if should_shed_request(shared, &scratch.in_buf) {
+            shared.metrics.note_shed();
+            protocol::encode_error_response(&mut scratch.out_buf, Status::Overloaded);
+            (OpClass::Error, 0)
+        } else {
+            // Panic isolation: a poisoned request unwinds to here, kills
+            // only this connection (counted, flight-recorded below), and
+            // the worker carries on with fresh scratch.
+            match catch_unwind(AssertUnwindSafe(|| handle_request(shared, reader, scratch))) {
+                Ok(pair) => pair,
+                Err(_) => {
+                    shared.metrics.note_panic();
+                    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    crate::REQUESTS.add(1);
+                    let elapsed = started.elapsed();
+                    crate::REQUEST_NS.record(elapsed);
+                    if shared.telemetry {
+                        let latency_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                        shared.metrics.record(OpClass::Error, latency_ns);
+                        shared.metrics.flight.offer(FlightEntry {
+                            class: OpClass::Error as u8,
+                            heard: 0,
+                            latency_ns,
+                            epoch: shared.cell.epoch_hint(),
+                        });
+                    }
+                    // The handler may have unwound mid-encode; discard
+                    // the torn scratch (allocates — panics are far off
+                    // the steady-state path).
+                    *scratch = ServeScratch::new();
+                    break;
+                }
+            }
+        };
+        let mut class = class;
+        let mut heard = heard;
         let elapsed = started.elapsed();
+        // Deadline: the work is done but took too long to be useful —
+        // discard the response and tell the client so.
+        if let Some(deadline) = shared.deadline {
+            if elapsed > deadline {
+                shared.metrics.note_deadline_exceeded();
+                protocol::encode_error_response(&mut scratch.out_buf, Status::DeadlineExceeded);
+                class = OpClass::Error;
+                heard = 0;
+            }
+        }
         crate::REQUEST_NS.record(elapsed);
         crate::REQUESTS.add(1);
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -736,6 +1099,27 @@ fn serve_connection(
             .fetch_add(served - ALLOC_WARMUP_REQUESTS, Ordering::Relaxed);
         s.measured_allocs.fetch_add(delta.allocs, Ordering::Relaxed);
         s.measured_bytes.fetch_add(delta.bytes, Ordering::Relaxed);
+    }
+}
+
+/// Work-budget admission: decide from the opcode byte alone — before
+/// any decode work — whether this request should be answered
+/// [`Status::Overloaded`] instead of served. Cheap/ancillary classes
+/// (place, info, stats) shed at the watermark; localize, the service's
+/// core duty, holds out to twice the watermark. A watermark of zero
+/// disables shedding. Unknown opcodes are never shed: they must reach
+/// the decoder to be counted as protocol errors.
+fn should_shed_request(shared: &Shared, in_buf: &[u8]) -> bool {
+    if shared.shed_watermark == 0 {
+        return false;
+    }
+    let queued = shared.queued.load(Ordering::Relaxed);
+    match in_buf.first().copied().and_then(Opcode::from_wire) {
+        Some(Opcode::Localize) => queued >= 2 * shared.shed_watermark as u64,
+        Some(Opcode::Place) | Some(Opcode::Info) | Some(Opcode::Stats) => {
+            queued >= shared.shed_watermark as u64
+        }
+        None => false,
     }
 }
 
@@ -783,13 +1167,13 @@ fn handle_request(
             // answer immediately from the current epoch. (The send
             // allocates a channel node; applies are intentionally
             // outside the zero-alloc steady-state invariant.)
-            let applied = apply
-                && shared
-                    .apply_tx
-                    .lock()
-                    .expect("apply sender lock")
-                    .send(position)
-                    .is_ok();
+            if shared.panic_seed == Some(seed) {
+                // Test-only seam: a designated seed simulates a bug deep
+                // in request handling so the chaos harness can prove the
+                // worker survives it.
+                panic!("injected panic for chaos seed {seed}");
+            }
+            let applied = apply && lock_unpoisoned(&shared.apply_tx).send(position).is_ok();
             if applied {
                 shared.metrics.rebuild_enqueued();
             }
@@ -1139,6 +1523,15 @@ mod tests {
         assert!(body.contains("serve_connections_live 1"));
         assert!(body.contains("# TYPE serve_localize_seconds histogram"));
         assert!(body.contains("serve_place_seconds_count 1"));
+        // The resilience counters are exported even when every defense
+        // is disarmed — a dashboard alerting on them must see zeros, not
+        // missing series.
+        assert!(body.contains("serve_shed_total 0"));
+        assert!(body.contains("serve_deadline_exceeded_total 0"));
+        assert!(body.contains("serve_panics_total 0"));
+        assert!(body.contains("serve_quarantines_total 0"));
+        assert!(body.contains("serve_state_loads_total 0"));
+        assert!(body.contains("serve_worker_respawns_total 0"));
 
         let missing = scrape("/nope");
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");

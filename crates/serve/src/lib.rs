@@ -29,7 +29,15 @@
 //! * [`mod@bench`] — the `abp serve-bench` load harness: N client threads,
 //!   client-observed p50/p95/p99, server-side allocs/request, and
 //!   `/metrics` scrape latency under load,
-//! * [`signal`] — a minimal SIGTERM/SIGINT hook for the CLI daemon.
+//! * [`signal`] — a minimal SIGTERM/SIGINT hook for the CLI daemon,
+//! * [`state`] — warm-restart persistence: the published world's
+//!   *inputs* (epoch + beacon roster) in a CRC-framed state file the
+//!   daemon rewrites on every epoch publish and reloads at boot for a
+//!   bit-identical error map after a crash,
+//! * [`chaos`] — the `abp serve-chaos` battery: hostile clients (torn
+//!   frames, garbage opcodes, absurd prefixes, slowloris, floods) and
+//!   an injected in-handler panic thrown at a live daemon, asserting
+//!   it sheds, quarantines, and survives without leaking connections.
 //!
 //! # The zero-alloc serving invariant
 //!
@@ -68,12 +76,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
 pub mod daemon;
 pub mod engine;
 pub mod metrics;
 pub mod protocol;
 pub mod signal;
 pub mod snapshot;
+pub mod state;
 
 use abp_trace::{Counter, DurationHistogram};
 

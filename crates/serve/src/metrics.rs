@@ -235,6 +235,12 @@ pub struct ServeMetrics {
     rebuilds_pending: AtomicU64,
     rebuilds_total: AtomicU64,
     last_rebuild_ns: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    panics: AtomicU64,
+    quarantines: AtomicU64,
+    state_saves: AtomicU64,
+    state_loads: AtomicU64,
     /// The slowest-request ring.
     pub flight: FlightRecorder,
 }
@@ -255,6 +261,12 @@ impl ServeMetrics {
             rebuilds_pending: AtomicU64::new(0),
             rebuilds_total: AtomicU64::new(0),
             last_rebuild_ns: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            state_saves: AtomicU64::new(0),
+            state_loads: AtomicU64::new(0),
             flight: FlightRecorder::new(),
         }
     }
@@ -351,6 +363,81 @@ impl ServeMetrics {
     pub fn last_rebuild_ns(&self) -> u64 {
         self.last_rebuild_ns.load(Ordering::Relaxed)
     }
+
+    // -----------------------------------------------------------------
+    // Resilience counters. All bump paths are one relaxed atomic add —
+    // safe on the request path, no allocation.
+    // -----------------------------------------------------------------
+
+    /// Admission control shed a connection or request with
+    /// [`Status::Overloaded`](crate::protocol::Status::Overloaded).
+    #[inline]
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections/requests shed by admission control.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// A request's handling blew the per-request deadline.
+    #[inline]
+    pub fn note_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered with
+    /// [`Status::DeadlineExceeded`](crate::protocol::Status::DeadlineExceeded).
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// A request handler panicked (the connection died, the worker
+    /// survived).
+    #[inline]
+    pub fn note_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Request-handler panics contained so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// A connection was quarantined for dribbling one frame slower than
+    /// the daemon's frame window (slow-loris defense).
+    #[inline]
+    pub fn note_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections quarantined by the dribble detector.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// A world snapshot was persisted to the `--state` file.
+    #[inline]
+    pub fn note_state_save(&self) {
+        self.state_saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// World snapshots persisted to the state file.
+    pub fn state_saves(&self) -> u64 {
+        self.state_saves.load(Ordering::Relaxed)
+    }
+
+    /// A world snapshot was restored from the `--state` file at boot.
+    #[inline]
+    pub fn note_state_load(&self) {
+        self.state_loads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// World snapshots restored from the state file.
+    pub fn state_loads(&self) -> u64 {
+        self.state_loads.load(Ordering::Relaxed)
+    }
 }
 
 impl Default for ServeMetrics {
@@ -408,6 +495,28 @@ mod tests {
         assert_eq!(m.rebuilds_pending(), 1);
         assert_eq!(m.rebuilds_total(), 1);
         assert_eq!(m.last_rebuild_ns(), 125_000);
+    }
+
+    #[test]
+    fn resilience_counters_bump_independently() {
+        let m = ServeMetrics::new();
+        m.note_shed();
+        m.note_shed();
+        m.note_deadline_exceeded();
+        m.note_panic();
+        m.note_quarantine();
+        m.note_state_save();
+        m.note_state_save();
+        m.note_state_load();
+        assert_eq!(m.shed(), 2);
+        assert_eq!(m.deadline_exceeded(), 1);
+        assert_eq!(m.panics(), 1);
+        assert_eq!(m.quarantines(), 1);
+        assert_eq!(m.state_saves(), 2);
+        assert_eq!(m.state_loads(), 1);
+        // Defenses never fired: everything else stays untouched.
+        assert_eq!(m.requests_total(), 0);
+        assert_eq!(m.connections_live(), 0);
     }
 
     #[test]

@@ -41,9 +41,10 @@
 //!   `u32` beacon count, then count × (`u64` id, `f64` x, `f64` y) in
 //!   insertion (slot) order — the order every localizer accumulates in,
 //!   so a client can reproduce served centroids bit-for-bit,
-//! * stats: eight `u64` header fields (epoch, uptime ns, connections
+//! * stats: fourteen `u64` header fields (epoch, uptime ns, connections
 //!   total/live, rebuilds pending/total, last rebuild ns, flight
-//!   drops), then a `u8` class count of per-opcode-class blocks (`u64`
+//!   drops, shed, deadline-exceeded, panics, quarantines, state
+//!   saves/loads), then a `u8` class count of per-opcode-class blocks (`u64`
 //!   count/sum/min/max ns, `u8` bucket count, then that many `u64`
 //!   log₂-bucket counts — the [`abp_trace::HistogramSnapshot`] layout),
 //!   then a `u8` flight-entry count of slow-request records (`u8`
@@ -52,6 +53,17 @@
 //!
 //! All integers and floats are little-endian; floats travel as their
 //! IEEE-754 bit patterns, so estimates survive the wire bit-identically.
+//!
+//! # Hostile-input hardening
+//!
+//! Every decode path treats its input as adversarial: announced element
+//! counts (localize ids, info roster entries, stats buckets/flight
+//! entries) are validated against the bytes actually present **before**
+//! any allocation or element loop, so a 12-byte frame announcing
+//! `u32::MAX` ids costs O(1) to reject. Combined with the [`MAX_FRAME`]
+//! cap enforced by [`read_frame`] and the server's header check, no
+//! frame — however malformed — can drive unbounded allocation, and the
+//! proptest suite pins that no codec ever panics on arbitrary bytes.
 //!
 //! The encode helpers write a complete frame (prefix included) into a
 //! caller-owned buffer and the decode helpers read from caller-owned
@@ -88,6 +100,21 @@ pub enum Opcode {
     /// Live telemetry snapshot: per-opcode counters/histograms, gauges,
     /// and the slow-request flight recorder.
     Stats = 4,
+}
+
+impl Opcode {
+    /// Decodes the wire tag. Used by the daemon's admission control to
+    /// classify a request from its first byte without decoding the
+    /// frame.
+    pub fn from_wire(tag: u8) -> Option<Opcode> {
+        match tag {
+            1 => Some(Opcode::Localize),
+            2 => Some(Opcode::Place),
+            3 => Some(Opcode::Info),
+            4 => Some(Opcode::Stats),
+            _ => None,
+        }
+    }
 }
 
 /// Placement algorithm selector for place requests.
@@ -141,6 +168,12 @@ pub enum Status {
     BadAlgo = 4,
     /// The announced frame length exceeds [`MAX_FRAME`].
     Oversize = 5,
+    /// The daemon is at capacity and shed this connection or request
+    /// instead of queueing it unboundedly. Retry later.
+    Overloaded = 6,
+    /// The request's handling exceeded the daemon's per-request deadline;
+    /// any result was discarded.
+    DeadlineExceeded = 7,
 }
 
 impl Status {
@@ -153,6 +186,8 @@ impl Status {
             3 => Some(Status::UnknownBeacon),
             4 => Some(Status::BadAlgo),
             5 => Some(Status::Oversize),
+            6 => Some(Status::Overloaded),
+            7 => Some(Status::DeadlineExceeded),
             _ => None,
         }
     }
@@ -211,6 +246,17 @@ impl Cursor<'_> {
     fn done(&self) -> bool {
         self.0.is_empty()
     }
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Validates an announced element count against the bytes actually left
+/// in the payload **before** any allocation or element loop runs. A
+/// hostile peer announcing `u32::MAX` ids backed by a 12-byte payload is
+/// rejected in O(1) instead of driving a huge reserve/push loop.
+fn count_fits(count: u32, elem_bytes: usize, cur: &Cursor<'_>) -> bool {
+    (count as u64) * (elem_bytes as u64) <= cur.remaining() as u64
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -256,6 +302,9 @@ pub fn decode_request(payload: &[u8], ids: &mut Vec<u64>) -> Result<Request, Sta
     match opcode {
         1 => {
             let count = cur.u32().ok_or(Status::BadFrame)?;
+            if !count_fits(count, 8, &cur) {
+                return Err(Status::BadFrame);
+            }
             ids.clear();
             for _ in 0..count {
                 ids.push(cur.u64().ok_or(Status::BadFrame)?);
@@ -466,6 +515,12 @@ pub fn encode_stats_response(out: &mut Vec<u8>, view: &StatsView<'_>) {
     put_u64(out, m.rebuilds_total());
     put_u64(out, m.last_rebuild_ns());
     put_u64(out, m.flight.dropped());
+    put_u64(out, m.shed());
+    put_u64(out, m.deadline_exceeded());
+    put_u64(out, m.panics());
+    put_u64(out, m.quarantines());
+    put_u64(out, m.state_saves());
+    put_u64(out, m.state_loads());
     out.push(crate::metrics::OP_CLASSES as u8);
     for &class in &crate::metrics::ALL_CLASSES {
         let hist = m.class_histogram(class);
@@ -580,6 +635,9 @@ pub fn decode_info_response(payload: &[u8]) -> Result<InfoReply, Status> {
     let terrain_side = cur.f64().ok_or(Status::BadFrame)?;
     let nominal_range = cur.f64().ok_or(Status::BadFrame)?;
     let count = cur.u32().ok_or(Status::BadFrame)?;
+    if !count_fits(count, 24, &cur) {
+        return Err(Status::BadFrame);
+    }
     let mut beacons = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let id = cur.u64().ok_or(Status::BadFrame)?;
@@ -648,6 +706,20 @@ pub struct StatsReply {
     pub last_rebuild_ns: u64,
     /// Flight-recorder offers dropped to lock contention.
     pub flight_dropped: u64,
+    /// Connections/requests shed by admission control ([`Status::Overloaded`]).
+    pub shed: u64,
+    /// Requests whose handling blew the per-request deadline
+    /// ([`Status::DeadlineExceeded`]).
+    pub deadline_exceeded: u64,
+    /// Requests whose handler panicked (connection killed, worker kept).
+    pub panics: u64,
+    /// Connections quarantined for dribbling a frame slower than the
+    /// daemon's frame window.
+    pub quarantines: u64,
+    /// World-state snapshots persisted to the `--state` file.
+    pub state_saves: u64,
+    /// World-state snapshots restored from the `--state` file at boot.
+    pub state_loads: u64,
     /// Per-class telemetry, indexed like
     /// [`crate::metrics::ALL_CLASSES`].
     pub classes: Vec<OpClassStats>,
@@ -675,6 +747,12 @@ pub fn decode_stats_response(payload: &[u8]) -> Result<StatsReply, Status> {
     let rebuilds_total = cur.u64().ok_or(Status::BadFrame)?;
     let last_rebuild_ns = cur.u64().ok_or(Status::BadFrame)?;
     let flight_dropped = cur.u64().ok_or(Status::BadFrame)?;
+    let shed = cur.u64().ok_or(Status::BadFrame)?;
+    let deadline_exceeded = cur.u64().ok_or(Status::BadFrame)?;
+    let panics = cur.u64().ok_or(Status::BadFrame)?;
+    let quarantines = cur.u64().ok_or(Status::BadFrame)?;
+    let state_saves = cur.u64().ok_or(Status::BadFrame)?;
+    let state_loads = cur.u64().ok_or(Status::BadFrame)?;
     let class_count = cur.u8().ok_or(Status::BadFrame)?;
     let mut classes = Vec::with_capacity(class_count as usize);
     for _ in 0..class_count {
@@ -683,6 +761,9 @@ pub fn decode_stats_response(payload: &[u8]) -> Result<StatsReply, Status> {
         let min_ns = cur.u64().ok_or(Status::BadFrame)?;
         let max_ns = cur.u64().ok_or(Status::BadFrame)?;
         let bucket_count = cur.u8().ok_or(Status::BadFrame)?;
+        if !count_fits(bucket_count as u32, 8, &cur) {
+            return Err(Status::BadFrame);
+        }
         let mut buckets = Vec::with_capacity(bucket_count as usize);
         for _ in 0..bucket_count {
             buckets.push(cur.u64().ok_or(Status::BadFrame)?);
@@ -696,6 +777,9 @@ pub fn decode_stats_response(payload: &[u8]) -> Result<StatsReply, Status> {
         });
     }
     let flight_len = cur.u8().ok_or(Status::BadFrame)?;
+    if !count_fits(flight_len as u32, 21, &cur) {
+        return Err(Status::BadFrame);
+    }
     let mut flight = Vec::with_capacity(flight_len as usize);
     for _ in 0..flight_len {
         let class = cur.u8().ok_or(Status::BadFrame)?;
@@ -721,6 +805,12 @@ pub fn decode_stats_response(payload: &[u8]) -> Result<StatsReply, Status> {
         rebuilds_total,
         last_rebuild_ns,
         flight_dropped,
+        shed,
+        deadline_exceeded,
+        panics,
+        quarantines,
+        state_saves,
+        state_loads,
         classes,
         flight,
     })
@@ -849,6 +939,13 @@ mod tests {
         metrics.record(OpClass::Error, 100);
         metrics.connection_opened();
         metrics.rebuild_enqueued();
+        metrics.note_shed();
+        metrics.note_shed();
+        metrics.note_deadline_exceeded();
+        metrics.note_panic();
+        metrics.note_quarantine();
+        metrics.note_state_save();
+        metrics.note_state_load();
         let flight = [
             FlightEntry {
                 class: OpClass::Place as u8,
@@ -880,6 +977,12 @@ mod tests {
         assert_eq!(reply.rebuilds_pending, 1);
         assert_eq!(reply.rebuilds_total, 0);
         assert_eq!(reply.flight_dropped, 0);
+        assert_eq!(reply.shed, 2);
+        assert_eq!(reply.deadline_exceeded, 1);
+        assert_eq!(reply.panics, 1);
+        assert_eq!(reply.quarantines, 1);
+        assert_eq!(reply.state_saves, 1);
+        assert_eq!(reply.state_loads, 1);
         assert_eq!(reply.classes.len(), ALL_CLASSES.len());
         let loc = &reply.classes[OpClass::Localize as usize];
         assert_eq!(loc.count, 2);
@@ -922,6 +1025,55 @@ mod tests {
         let mut bad_algo = payload(&out).to_vec();
         bad_algo[1] = 9;
         assert_eq!(decode_request(&bad_algo, &mut ids), Err(Status::BadAlgo));
+    }
+
+    #[test]
+    fn absurd_count_prefixes_are_rejected_before_allocation() {
+        let mut ids = Vec::new();
+        // Localize announcing u32::MAX ids backed by 8 payload bytes:
+        // rejected up front, no reserve/push loop runs.
+        let mut bad = vec![Opcode::Localize as u8];
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 8]);
+        assert_eq!(decode_request(&bad, &mut ids), Err(Status::BadFrame));
+        assert!(
+            ids.capacity() < 1024,
+            "decode must not reserve for an absurd announced count"
+        );
+        // Info response announcing a giant roster with no bytes behind it.
+        let mut info = vec![Status::Ok as u8];
+        info.extend_from_slice(&0u64.to_le_bytes());
+        info.extend_from_slice(&100.0f64.to_bits().to_le_bytes());
+        info.extend_from_slice(&15.0f64.to_bits().to_le_bytes());
+        info.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_info_response(&info), Err(Status::BadFrame));
+        // Stats response whose flight count byte lies about what follows.
+        let metrics = crate::metrics::ServeMetrics::new();
+        let mut out = Vec::new();
+        encode_stats_response(
+            &mut out,
+            &StatsView {
+                epoch: 0,
+                connections_total: 0,
+                metrics: &metrics,
+                flight: &[],
+            },
+        );
+        let mut lying = payload(&out).to_vec();
+        *lying.last_mut().unwrap() = 255; // flight count with zero bytes behind it
+        assert_eq!(decode_stats_response(&lying), Err(Status::BadFrame));
+    }
+
+    #[test]
+    fn resilience_statuses_roundtrip_the_wire() {
+        for status in [Status::Overloaded, Status::DeadlineExceeded] {
+            assert_eq!(Status::from_wire(status as u8), Some(status));
+            let mut out = Vec::new();
+            encode_error_response(&mut out, status);
+            assert_eq!(payload(&out), &[status as u8]);
+            assert_eq!(decode_localize_response(payload(&out)), Err(status));
+        }
+        assert_eq!(Status::from_wire(8), None);
     }
 
     #[test]

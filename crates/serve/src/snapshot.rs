@@ -161,6 +161,16 @@ impl WorldSnapshot {
         ConnectivityOracle::with_index(&self.field, self.model(), &self.index)
     }
 
+    /// The fingerprint folded over every part of this snapshot at build
+    /// time. Two snapshots built from the same inputs fold to the same
+    /// value, so equality here certifies a bit-identical world — the
+    /// warm-restart tests use it to prove a restored daemon serves the
+    /// exact error map the killed one published.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// The batch localizer this snapshot's serving path must match
     /// bit-for-bit.
     #[inline]
@@ -196,8 +206,9 @@ impl std::fmt::Debug for WorldSnapshot {
     }
 }
 
-/// splitmix64's finalizer: a cheap, well-mixed 64-bit fold step.
-fn mix(mut h: u64) -> u64 {
+/// splitmix64's finalizer: a cheap, well-mixed 64-bit fold step. Shared
+/// with the state-file config fingerprint (see [`crate::state`]).
+pub(crate) fn mix(mut h: u64) -> u64 {
     h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
     h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
