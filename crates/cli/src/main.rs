@@ -57,6 +57,11 @@
 //!                     deadline overruns, and a warm restart from the
 //!                     state file; exits non-zero on the first
 //!                     violated expectation (docs/SERVING.md §7)
+//!   net               time-domain packet simulation (abp-net,
+//!                     docs/SIMULATION.md): localization error vs
+//!                     beacon interval, collision rate vs density,
+//!                     network lifetime vs duty cycle — three figures
+//!                     from the same deterministic event engine
 //!   all               table1 + every paper figure + bound, in order
 //!
 //! options:
@@ -102,6 +107,10 @@
 //!   --state PATH                serve: persist the published world here on
 //!                               every epoch and warm-restart from it at
 //!                               boot (bit-identical error map)
+//!   --replay-check              net: before the sweeps, run one trial of
+//!                               each experiment twice and fail unless the
+//!                               event logs are byte-identical (the CI
+//!                               determinism gate)
 //!   --out DIR                   also write <figure>.csv files into DIR
 //!   --progress                  live completed/total and ETA on stderr
 //!   --metrics-json PATH         write per-figure wall-clock/throughput JSON
@@ -113,6 +122,7 @@
 //! ```
 
 use abp_sim::experiments::density_error;
+use abp_sim::experiments::net_sim;
 use abp_sim::experiments::overlap_bound::BoundConfig;
 use abp_sim::progress::{Ctx, Fanout, MetricsRecorder, Probe, ProgressProbe};
 use abp_sim::runner::{resolve_threads, RunPolicy};
@@ -179,18 +189,21 @@ struct Options {
     idle_timeout: Option<Duration>,
     /// `--state`: warm-restart state file (serve).
     state: Option<PathBuf>,
+    /// `--replay-check`: net runs its byte-identity replay gate first.
+    replay_check: bool,
 }
 
 fn usage() -> &'static str {
     "usage: abp <table1|fig1|fig4..fig9|bound|ablation|noise-styles|robustness|\
      faults|solspace|multilat|batch|duel|localizers|heatmap|bench|serve|\
-     serve-bench|serve-chaos|top|all> \
+     serve-bench|serve-chaos|top|net|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
      [--retry N] [--trial-timeout DUR] [--skip-brute] \
      [--port N] [--clients N] [--requests N] \
      [--metrics-port N] [--interval DUR] [--polls N] \
      [--max-conns N] [--deadline DUR] [--idle-timeout DUR] [--state PATH] \
+     [--replay-check] \
      [--progress] [--metrics-json PATH] [--checkpoint PATH] \
      [--trace PATH] [--trace-format jsonl|chrome] [--counters]"
 }
@@ -248,6 +261,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut deadline = None;
     let mut idle_timeout = None;
     let mut state = None;
+    let mut replay_check = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -388,6 +402,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 idle_timeout = Some(parse_duration("--idle-timeout", &value("--idle-timeout")?)?)
             }
             "--state" => state = Some(PathBuf::from(value("--state")?)),
+            "--replay-check" => replay_check = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}"));
             }
@@ -464,6 +479,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline,
         idle_timeout,
         state,
+        replay_check,
     })
 }
 
@@ -1070,6 +1086,27 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 polls: opts.polls,
             })?;
         }
+        "net" => {
+            announce("net (time-domain packet simulation)");
+            let axes = net_sim::NetAxes::for_config(cfg);
+            if opts.replay_check {
+                // The CI determinism gate: one trial of the most contended
+                // configuration, run twice, must produce byte-identical
+                // event logs before the sweeps are worth trusting.
+                for trial in 0..2 {
+                    if !net_sim::replay_identical(cfg, &axes, trial) {
+                        return Err(format!(
+                            "net: replay check FAILED — trial {trial} produced \
+                             different event logs on re-run (determinism bug)"
+                        ));
+                    }
+                }
+                eprintln!("replay check passed: re-run event logs byte-identical");
+            }
+            emit(&figures::net_interval_with(cfg, &axes, ctx), &opts.out)?;
+            emit(&figures::net_collisions_with(cfg, &axes, ctx), &opts.out)?;
+            emit(&figures::net_lifetime_with(cfg, &axes, ctx), &opts.out)?;
+        }
         "all" => {
             println!("{}", figures::table1());
             for cmd in [
@@ -1104,6 +1141,7 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         deadline: opts.deadline,
                         idle_timeout: opts.idle_timeout,
                         state: opts.state.clone(),
+                        replay_check: opts.replay_check,
                     },
                     ctx,
                 )?;
@@ -1268,6 +1306,36 @@ mod tests {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The time-domain command runs end-to-end — replay gate, three
+    /// sweeps, three CSVs — at test scale.
+    #[test]
+    fn net_command_runs_gate_and_writes_csv() {
+        let dir = std::env::temp_dir().join(format!("abp-cli-net-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut o = parse(&["net", "--preset", "tiny", "--trials", "2", "--replay-check"]).unwrap();
+        assert!(o.replay_check);
+        o.cfg.beacon_counts = vec![30, 60];
+        o.out = Some(dir.clone());
+        run(&o).unwrap();
+        for f in ["net-interval.csv", "net-collisions.csv", "net-lifetime.csv"] {
+            let path = dir.join(f);
+            let csv = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("net: missing {}: {e}", path.display()));
+            assert!(
+                csv.starts_with("figure,series,x,y,ci95"),
+                "net: bad CSV header in {f}"
+            );
+            assert!(csv.lines().count() > 1, "net: empty CSV {f}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_check_flag_parses_and_defaults_off() {
+        assert!(parse(&["net", "--replay-check"]).unwrap().replay_check);
+        assert!(!parse(&["net"]).unwrap().replay_check);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Simulation parameters: the paper's §2.2 link procedure plus the MAC,
+//! duty-cycle, and energy knobs layered under it.
+
+use crate::hash_words;
+use serde::{Deserialize, Serialize};
+
+/// How a beacon chooses the interval to its next transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Transmit every [`NetConfig::period`] seconds (± jitter) — the
+    /// paper's "beacons transmit every `T`".
+    Fixed,
+    /// Adaptive interval in `[adaptive_min, adaptive_max]`: stretch the
+    /// interval when many neighbors are audible (the region is already
+    /// well covered) and when battery runs low — the density/energy
+    /// adaptation of the `bnet` buoy scheduler.
+    Adaptive,
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::Fixed => write!(f, "fixed"),
+            SchedulerKind::Adaptive => write!(f, "adaptive"),
+        }
+    }
+}
+
+/// All parameters of a time-domain run. Times are in seconds, energies in
+/// joules, powers in watts.
+///
+/// The §2.2 / §6 message-counting parameters map directly:
+///
+/// | paper | field |
+/// |-------|-------|
+/// | `T` (beaconing period)    | [`NetConfig::period`] |
+/// | `t` (listening window)    | [`NetConfig::listen`] |
+/// | `CMthresh` (message count)| [`NetConfig::cmthresh`] |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Beaconing period `T`: target seconds between transmissions
+    /// (the fixed scheduler's interval; the adaptive scheduler ranges
+    /// over [`NetConfig::adaptive_min`]..=[`NetConfig::adaptive_max`]).
+    pub period: f64,
+    /// Per-fire interval jitter as a fraction of the interval: each
+    /// interval is scaled by a factor uniform in `[1 - jitter/2,
+    /// 1 + jitter/2)`. Zero means strictly periodic. Beacons always start
+    /// at an independent random phase in `[0, period)` regardless.
+    pub jitter: f64,
+    /// Listening window `t`: the [`crate::MessageCountOracle`] counts
+    /// messages whose transmission began in the final `listen` seconds of
+    /// the run.
+    pub listen: f64,
+    /// `CMthresh`: minimum messages heard within the listen window for a
+    /// link to exist.
+    pub cmthresh: u32,
+    /// DIFS: seconds the channel must stay idle before transmitting.
+    pub difs: f64,
+    /// Backoff slot length in seconds.
+    pub slot: f64,
+    /// Initial contention-window size in slots. Doubles per failed
+    /// attempt up to [`NetConfig::cw_max`].
+    pub cw_min: u32,
+    /// Contention-window ceiling in slots.
+    pub cw_max: u32,
+    /// Transmission airtime in seconds (one beacon message on the air).
+    pub airtime: f64,
+    /// Attempts before a message is dropped (counted in
+    /// [`crate::NetStats::drops`]).
+    pub max_backoffs: u32,
+    /// Receiver duty cycle in `(0, 1]`: the probability a beacon's
+    /// receiver is awake for any given transmission, and the fraction of
+    /// time its radio draws [`NetConfig::idle_power`].
+    pub duty_cycle: f64,
+    /// Battery capacity in joules; `f64::INFINITY` disables energy
+    /// accounting entirely.
+    pub battery: f64,
+    /// Energy cost of one transmission, joules.
+    pub tx_cost: f64,
+    /// Receive/idle power draw in watts, scaled by the duty cycle.
+    pub idle_power: f64,
+    /// Interval policy.
+    pub scheduler: SchedulerKind,
+    /// Shortest adaptive interval, seconds.
+    pub adaptive_min: f64,
+    /// Longest adaptive interval, seconds.
+    pub adaptive_max: f64,
+    /// Neighbors heard within this many seconds count as present for the
+    /// adaptive scheduler.
+    pub neighbor_timeout: f64,
+    /// Neighbor count at which the adaptive scheduler saturates toward
+    /// [`NetConfig::adaptive_max`].
+    pub neighbor_threshold: u32,
+    /// Total simulated seconds.
+    pub duration: f64,
+    /// Skip the MAC entirely: no carrier sense, no DIFS/backoff, no
+    /// collisions. Every scheduled transmission goes on an interference-
+    /// free air. This is the reduction regime in which the message-
+    /// counting oracle provably degenerates to the base predicate.
+    pub ideal_channel: bool,
+}
+
+impl NetConfig {
+    /// Paper-flavored defaults: 1 s beaconing period, 4 s listen window,
+    /// `CMthresh` = 3, 802.11-ish MAC timing, always-on receivers,
+    /// unlimited battery, 30 s of simulated time.
+    pub fn paper() -> Self {
+        NetConfig {
+            period: 1.0,
+            jitter: 0.1,
+            listen: 4.0,
+            cmthresh: 3,
+            difs: 50e-6,
+            slot: 20e-6,
+            cw_min: 8,
+            cw_max: 256,
+            airtime: 1e-3,
+            max_backoffs: 6,
+            duty_cycle: 1.0,
+            battery: f64::INFINITY,
+            tx_cost: 1e-3,
+            idle_power: 1e-3,
+            scheduler: SchedulerKind::Fixed,
+            adaptive_min: 0.5,
+            adaptive_max: 4.0,
+            neighbor_timeout: 3.0,
+            neighbor_threshold: 8,
+            duration: 30.0,
+            ideal_channel: false,
+        }
+    }
+
+    /// A short, cheap run for tests and smoke jobs: 8 simulated seconds,
+    /// otherwise [`NetConfig::paper`].
+    pub fn tiny() -> Self {
+        NetConfig {
+            duration: 8.0,
+            listen: 8.0,
+            ..NetConfig::paper()
+        }
+    }
+
+    /// The *reduction* configuration: ideal channel, always-on duty,
+    /// unlimited battery, `CMthresh` = 1, and a listen window covering
+    /// the whole (2-period) run so every live beacon lands at least one
+    /// message in it. Under this configuration the
+    /// [`crate::MessageCountOracle`]'s `connected` equals the base
+    /// model's `connected` for every beacon — the bit-identity gate of
+    /// the acceptance tests.
+    pub fn always_on() -> Self {
+        NetConfig {
+            period: 1.0,
+            listen: 2.0,
+            duration: 2.0,
+            cmthresh: 1,
+            duty_cycle: 1.0,
+            battery: f64::INFINITY,
+            ideal_channel: true,
+            ..NetConfig::paper()
+        }
+    }
+
+    /// Panics unless the configuration is physically sensible (positive
+    /// times, duty in `(0, 1]`, window within the run).
+    pub fn validate(&self) {
+        assert!(
+            self.period > 0.0 && self.period.is_finite(),
+            "period must be positive and finite"
+        );
+        assert!(self.listen > 0.0, "listen window must be positive");
+        assert!(
+            self.listen <= self.duration,
+            "listen window cannot exceed the run duration"
+        );
+        assert!(self.cmthresh >= 1, "cmthresh must be at least 1");
+        assert!(
+            self.duration > 0.0 && self.duration.is_finite(),
+            "duration must be positive and finite"
+        );
+        assert!(
+            self.duty_cycle > 0.0 && self.duty_cycle <= 1.0,
+            "duty cycle must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "jitter must be in [0, 1]"
+        );
+        assert!(self.airtime > 0.0, "airtime must be positive");
+        assert!(
+            self.difs >= 0.0 && self.slot > 0.0,
+            "MAC times must be sane"
+        );
+        assert!(
+            self.cw_min >= 1 && self.cw_max >= self.cw_min,
+            "contention window must satisfy 1 <= cw_min <= cw_max"
+        );
+        assert!(
+            self.adaptive_min > 0.0 && self.adaptive_max >= self.adaptive_min,
+            "adaptive interval range must be positive and ordered"
+        );
+        assert!(
+            self.tx_cost >= 0.0 && self.idle_power >= 0.0,
+            "energy costs must be non-negative"
+        );
+        assert!(
+            self.battery > 0.0,
+            "battery must be positive (use f64::INFINITY for unlimited)"
+        );
+    }
+
+    /// A stable digest of every result-affecting parameter — two configs
+    /// with equal fingerprints produce identical schedules from the same
+    /// seed and field.
+    pub fn fingerprint(&self) -> u64 {
+        hash_words(&[
+            self.period.to_bits(),
+            self.jitter.to_bits(),
+            self.listen.to_bits(),
+            u64::from(self.cmthresh),
+            self.difs.to_bits(),
+            self.slot.to_bits(),
+            u64::from(self.cw_min),
+            u64::from(self.cw_max),
+            self.airtime.to_bits(),
+            u64::from(self.max_backoffs),
+            self.duty_cycle.to_bits(),
+            self.battery.to_bits(),
+            self.tx_cost.to_bits(),
+            self.idle_power.to_bits(),
+            match self.scheduler {
+                SchedulerKind::Fixed => 0,
+                SchedulerKind::Adaptive => 1,
+            },
+            self.adaptive_min.to_bits(),
+            self.adaptive_max.to_bits(),
+            self.neighbor_timeout.to_bits(),
+            u64::from(self.neighbor_threshold),
+            self.duration.to_bits(),
+            u64::from(self.ideal_channel),
+        ])
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        NetConfig::paper().validate();
+        NetConfig::tiny().validate();
+        NetConfig::always_on().validate();
+    }
+
+    #[test]
+    fn always_on_is_the_reduction_regime() {
+        let c = NetConfig::always_on();
+        assert!(c.ideal_channel);
+        assert_eq!(c.cmthresh, 1);
+        assert_eq!(c.duty_cycle, 1.0);
+        assert!(c.battery.is_infinite());
+        assert!(c.period <= c.listen, "every beacon must fire in the window");
+        assert_eq!(c.listen, c.duration);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_parameter() {
+        let base = NetConfig::paper();
+        let fp = base.fingerprint();
+        assert_eq!(fp, NetConfig::paper().fingerprint());
+        for f in [
+            NetConfig {
+                period: 2.0,
+                ..base.clone()
+            },
+            NetConfig {
+                cmthresh: 4,
+                ..base.clone()
+            },
+            NetConfig {
+                scheduler: SchedulerKind::Adaptive,
+                ..base.clone()
+            },
+            NetConfig {
+                ideal_channel: true,
+                ..base.clone()
+            },
+            NetConfig {
+                duty_cycle: 0.5,
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(f.fingerprint(), fp, "fingerprint must see {f:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "listen window cannot exceed")]
+    fn validate_rejects_window_longer_than_run() {
+        NetConfig {
+            listen: 99.0,
+            ..NetConfig::tiny()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn scheduler_kind_displays() {
+        assert_eq!(SchedulerKind::Fixed.to_string(), "fixed");
+        assert_eq!(SchedulerKind::Adaptive.to_string(), "adaptive");
+    }
+}

@@ -1,0 +1,192 @@
+//! The event queue: a binary heap of timestamped events with
+//! deterministic tie-breaking.
+//!
+//! Simulation time is integer **ticks** (microseconds) rather than `f64`
+//! seconds, so event ordering is pure integer comparison — no
+//! platform-dependent floating-point ties. Events at the same tick are
+//! ordered by the monotone sequence number assigned when they were
+//! pushed, which makes the processing order a *total* order determined
+//! entirely by the push history: the replay-identity guarantee of
+//! [`crate::NetSim`] rests on this.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation time in microseconds.
+pub type Ticks = u64;
+
+/// Ticks per second (the tick is one microsecond).
+pub const TICKS_PER_SEC: f64 = 1_000_000.0;
+
+/// Converts seconds to ticks, rounding to the nearest tick.
+#[inline]
+pub(crate) fn ticks(secs: f64) -> Ticks {
+    (secs * TICKS_PER_SEC).round() as Ticks
+}
+
+/// Converts ticks back to seconds.
+#[inline]
+pub(crate) fn secs(t: Ticks) -> f64 {
+    t as f64 / TICKS_PER_SEC
+}
+
+/// What a scheduled event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A beacon's scheduler fires: time to attempt a transmission.
+    Fire,
+    /// The DIFS idle-wait elapsed; re-sense and transmit if still clear.
+    DifsEnd,
+    /// A backoff countdown elapsed; re-sense the channel.
+    BackoffEnd,
+    /// A transmission finished; deliver it to listeners.
+    TxEnd,
+}
+
+impl EventKind {
+    /// Stable single-byte encoding for the event log.
+    pub fn code(self) -> u8 {
+        match self {
+            EventKind::Fire => 0,
+            EventKind::DifsEnd => 1,
+            EventKind::BackoffEnd => 2,
+            EventKind::TxEnd => 3,
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Ticks,
+    /// Push order — the deterministic tie-break for simultaneous events.
+    pub seq: u64,
+    /// The beacon slot the event belongs to.
+    pub slot: u32,
+    /// What happens.
+    pub kind: EventKind,
+    /// Kind-specific payload: the transmission index for
+    /// [`EventKind::TxEnd`], the attempt number for
+    /// [`EventKind::BackoffEnd`], zero otherwise.
+    pub arg: u64,
+}
+
+/// A min-heap of [`Event`]s ordered by `(time, seq)`.
+///
+/// `seq` is assigned by [`EventQueue::push`] in push order, so two events
+/// scheduled for the same tick pop in the order they were scheduled —
+/// never in heap-internal order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event, assigning it the next sequence number.
+    pub fn push(&mut self, time: Ticks, slot: u32, kind: EventKind, arg: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq,
+            slot,
+            kind,
+            arg,
+        }));
+    }
+
+    /// Removes and returns the earliest event (ties broken by push order).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// One processed event, as recorded in the replay log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// When the event fired.
+    pub time: Ticks,
+    /// Its queue sequence number.
+    pub seq: u64,
+    /// The beacon slot it belonged to.
+    pub slot: u32,
+    /// [`EventKind::code`] of the event.
+    pub kind: u8,
+    /// The event's `arg` payload.
+    pub arg: u64,
+}
+
+impl EventRecord {
+    /// Appends the record's canonical little-endian byte encoding to
+    /// `out` (the unit of the byte-identical replay contract).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.push(self.kind);
+        out.extend_from_slice(&self.arg.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 0, EventKind::Fire, 0);
+        q.push(10, 1, EventKind::Fire, 0);
+        q.push(20, 2, EventKind::Fire, 0);
+        let times: Vec<Ticks> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, [10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_push_order() {
+        let mut q = EventQueue::new();
+        for slot in 0..50u32 {
+            q.push(7, slot, EventKind::Fire, 0);
+        }
+        let slots: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.slot).collect();
+        assert_eq!(slots, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tick_conversion_round_trips_whole_microseconds() {
+        assert_eq!(ticks(1.5), 1_500_000);
+        assert_eq!(secs(1_500_000), 1.5);
+        assert_eq!(ticks(0.0), 0);
+    }
+
+    #[test]
+    fn record_encoding_is_fixed_width() {
+        let r = EventRecord {
+            time: 1,
+            seq: 2,
+            slot: 3,
+            kind: 4,
+            arg: 5,
+        };
+        let mut out = Vec::new();
+        r.encode_into(&mut out);
+        assert_eq!(out.len(), 8 + 8 + 4 + 1 + 8);
+    }
+}

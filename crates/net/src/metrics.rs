@@ -1,0 +1,21 @@
+//! Workspace-wide time-domain simulation counters (`abp-trace`).
+//!
+//! The event loop counts locally in [`crate::NetStats`] while it runs and
+//! charges each counter **once per run** from the final totals (the
+//! batching idiom of `abp_radio::metrics`), so per-event cost is zero
+//! even with tracing enabled.
+
+use abp_trace::Counter;
+
+/// Events popped from the queue across all simulation runs.
+pub static EVENTS_PROCESSED: Counter = Counter::new("net_events_processed");
+
+/// Receptions destroyed by interference (an in-range overlapping
+/// transmission at the receiver).
+pub static COLLISIONS: Counter = Counter::new("net_collisions");
+
+/// Backoff countdowns entered after sensing a busy channel.
+pub static BACKOFFS: Counter = Counter::new("net_backoffs");
+
+/// Beacon messages successfully delivered beacon-to-beacon.
+pub static MESSAGES_DELIVERED: Counter = Counter::new("net_messages_delivered");

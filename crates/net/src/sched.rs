@@ -1,0 +1,89 @@
+//! Beacon transmission schedulers.
+//!
+//! The interval policy is a *pure function* of the configuration, the
+//! beacon's observed state (audible neighbors, remaining battery), and a
+//! pre-drawn jitter uniform — no internal state, so schedules replay
+//! exactly. The adaptive policy follows the `bnet` buoy scheduler: a
+//! beacon surrounded by audible neighbors (the region is already
+//! beaconed) or running low on battery stretches its interval toward
+//! `adaptive_max`, while a lonely, fresh beacon beacons at
+//! `adaptive_min`.
+
+use crate::config::{NetConfig, SchedulerKind};
+
+/// Seconds until the next transmission attempt.
+///
+/// * `neighbors` — beacons heard within [`NetConfig::neighbor_timeout`].
+/// * `battery_frac` — remaining/capacity in `[0, 1]` (1.0 when the
+///   battery is unlimited).
+/// * `jitter_u` — a uniform draw in `[0, 1)`; the caller derives it from
+///   the seed stream so the scheduler itself stays stateless.
+pub fn interval_secs(cfg: &NetConfig, neighbors: u32, battery_frac: f64, jitter_u: f64) -> f64 {
+    let nominal = match cfg.scheduler {
+        SchedulerKind::Fixed => cfg.period,
+        SchedulerKind::Adaptive => {
+            // Crowding: how saturated the neighborhood already is.
+            let crowding = f64::from(neighbors.min(cfg.neighbor_threshold))
+                / f64::from(cfg.neighbor_threshold.max(1));
+            // Exhaustion: how much battery is gone.
+            let exhaustion = 1.0 - battery_frac.clamp(0.0, 1.0);
+            let stretch = 0.5 * crowding + 0.5 * exhaustion;
+            cfg.adaptive_min + (cfg.adaptive_max - cfg.adaptive_min) * stretch
+        }
+    };
+    // Symmetric multiplicative jitter: factor in [1 - j/2, 1 + j/2).
+    nominal * (1.0 + cfg.jitter * (jitter_u - 0.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kind: SchedulerKind) -> NetConfig {
+        NetConfig {
+            scheduler: kind,
+            jitter: 0.0,
+            ..NetConfig::paper()
+        }
+    }
+
+    #[test]
+    fn fixed_ignores_observations() {
+        let c = cfg(SchedulerKind::Fixed);
+        assert_eq!(interval_secs(&c, 0, 1.0, 0.5), c.period);
+        assert_eq!(interval_secs(&c, 100, 0.01, 0.5), c.period);
+    }
+
+    #[test]
+    fn adaptive_spans_its_range() {
+        let c = cfg(SchedulerKind::Adaptive);
+        // Lonely and fresh: fastest beaconing.
+        assert_eq!(interval_secs(&c, 0, 1.0, 0.5), c.adaptive_min);
+        // Crowded and drained: slowest.
+        assert_eq!(
+            interval_secs(&c, c.neighbor_threshold, 0.0, 0.5),
+            c.adaptive_max
+        );
+        // Monotone in crowding.
+        let a = interval_secs(&c, 1, 1.0, 0.5);
+        let b = interval_secs(&c, 4, 1.0, 0.5);
+        assert!(a < b);
+        // Monotone in exhaustion.
+        let fresh = interval_secs(&c, 0, 0.9, 0.5);
+        let tired = interval_secs(&c, 0, 0.2, 0.5);
+        assert!(fresh < tired);
+    }
+
+    #[test]
+    fn jitter_brackets_the_nominal_interval() {
+        let c = NetConfig {
+            jitter: 0.2,
+            ..cfg(SchedulerKind::Fixed)
+        };
+        let lo = interval_secs(&c, 0, 1.0, 0.0);
+        let hi = interval_secs(&c, 0, 1.0, 0.999_999);
+        assert!(lo >= c.period * 0.9 - 1e-12);
+        assert!(hi < c.period * 1.1);
+        assert!(lo < hi);
+    }
+}

@@ -1,0 +1,785 @@
+//! The discrete-event engine and its replayable outcome.
+//!
+//! One [`NetSim::run`] simulates a beacon field for a configured span of
+//! time: schedulers fire, beacons contend for the channel (carrier sense →
+//! DIFS → transmit, or bounded exponential backoff when busy), messages
+//! collide at receivers that hear two overlapping in-range transmissions,
+//! batteries drain, and beacons die. The outcome is a [`NetRun`]: every
+//! transmission with its interference set (which the
+//! [`crate::MessageCountOracle`] replays offline for arbitrary receiver
+//! positions), MAC statistics, and the byte-exact event log behind the
+//! replay-identity contract.
+//!
+//! # Determinism
+//!
+//! The loop is single-threaded; events are processed in `(time, seq)`
+//! order where `seq` is push order; every random draw is a hash of
+//! `(seed, purpose-salt, beacon slot, monotone counter)`. Two calls with
+//! the same `(field, base-model, config, seed)` therefore produce
+//! byte-identical [`NetRun::log_bytes`] — asserted by proptests here and
+//! gated in CI.
+
+use crate::config::NetConfig;
+use crate::event::{secs, ticks, EventKind, EventQueue, EventRecord, Ticks};
+use crate::oracle::MessageCountOracle;
+use crate::sched;
+use crate::{hash_words, metrics, unit};
+use abp_field::BeaconField;
+use abp_geom::Point;
+use abp_radio::{Propagation, TxId};
+
+/// Draw-stream salts: each randomness purpose gets an independent stream.
+const SALT_PHASE: u64 = 0x11;
+const SALT_JITTER: u64 = 0x22;
+const SALT_BACKOFF: u64 = 0x33;
+const SALT_DUTY: u64 = 0x44;
+
+/// "Never heard" sentinel in the per-beacon neighbor tables.
+const NEVER: Ticks = Ticks::MAX;
+
+/// One beacon message on the air.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// Index of the transmitting beacon in the field.
+    pub slot: u32,
+    /// Its transmitter id (the propagation-model key).
+    pub tx: TxId,
+    /// Its position.
+    pub pos: Point,
+    /// Tick the transmission started.
+    pub start: Ticks,
+    /// Tick it ended (`start + airtime`); the occupancy interval is the
+    /// half-open `[start, end)`.
+    pub end: Ticks,
+}
+
+/// Aggregate MAC/energy statistics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Events popped from the queue.
+    pub events_processed: u64,
+    /// Scheduler fires on live beacons.
+    pub fires: u64,
+    /// Fires skipped because the beacon was still mid-access from the
+    /// previous fire.
+    pub skipped_busy: u64,
+    /// Backoff countdowns entered.
+    pub backoffs: u64,
+    /// Messages abandoned after exhausting `max_backoffs` (or running
+    /// past the end of the simulation).
+    pub drops: u64,
+    /// Transmissions that made it onto the air.
+    pub messages_sent: u64,
+    /// Beacon-to-beacon receptions that succeeded.
+    pub messages_delivered: u64,
+    /// Receptions destroyed by an overlapping in-range transmission.
+    pub collisions: u64,
+    /// Beacons whose battery ran out.
+    pub deaths: u64,
+    /// Tick of the first battery death, if any.
+    pub first_death: Option<Ticks>,
+    /// Beacons still alive when the run ended.
+    pub alive_at_end: u64,
+}
+
+impl NetStats {
+    /// Fraction of in-range receptions destroyed by interference:
+    /// `collisions / (collisions + delivered)`, zero when nothing was
+    /// heard at all.
+    pub fn collision_rate(&self) -> f64 {
+        let total = self.collisions + self.messages_delivered;
+        if total == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / total as f64
+        }
+    }
+}
+
+/// The replayable outcome of one [`NetSim::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetRun {
+    cfg: NetConfig,
+    seed: u64,
+    transmissions: Vec<Transmission>,
+    /// `overlaps[i]` — indices of transmissions whose air intervals
+    /// overlap transmission `i` (mutual; empty under an ideal channel).
+    overlaps: Vec<Vec<u32>>,
+    /// Per-slot transmission indices, in time order.
+    by_slot: Vec<Vec<u32>>,
+    /// Sorted `(tx id, slot)` pairs for oracle lookups.
+    tx_slots: Vec<(u64, u32)>,
+    log: Vec<EventRecord>,
+    /// Aggregate statistics.
+    pub stats: NetStats,
+}
+
+impl NetRun {
+    /// The configuration that produced this run.
+    pub fn cfg(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The seed that produced this run.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Every transmission, in start order.
+    pub fn transmissions(&self) -> &[Transmission] {
+        &self.transmissions
+    }
+
+    /// Indices of transmissions overlapping transmission `i` on the air.
+    pub fn overlaps_of(&self, i: usize) -> &[u32] {
+        &self.overlaps[i]
+    }
+
+    /// The processed-event log, in processing order.
+    pub fn log(&self) -> &[EventRecord] {
+        &self.log
+    }
+
+    /// The canonical byte encoding of the run: every processed event plus
+    /// the final statistics. Two runs from the same `(field, model,
+    /// config, seed)` produce **identical** bytes — the replay contract.
+    pub fn log_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.log.len() * 29 + 96);
+        for r in &self.log {
+            r.encode_into(&mut out);
+        }
+        let s = &self.stats;
+        for v in [
+            s.events_processed,
+            s.fires,
+            s.skipped_busy,
+            s.backoffs,
+            s.drops,
+            s.messages_sent,
+            s.messages_delivered,
+            s.collisions,
+            s.deaths,
+            s.first_death.unwrap_or(u64::MAX),
+            s.alive_at_end,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Transmission indices of the beacon in field slot `slot`.
+    pub fn transmissions_of_slot(&self, slot: usize) -> &[u32] {
+        &self.by_slot[slot]
+    }
+
+    /// Field slot of a transmitter id, if that beacon exists in the run.
+    pub fn slot_of_tx(&self, tx: TxId) -> Option<usize> {
+        self.tx_slots
+            .binary_search_by_key(&tx.0, |&(id, _)| id)
+            .ok()
+            .map(|k| self.tx_slots[k].1 as usize)
+    }
+
+    /// The listen window `[start, end)` in ticks: the final
+    /// [`NetConfig::listen`] seconds of the run.
+    pub fn listen_window(&self) -> (Ticks, Ticks) {
+        let end = ticks(self.cfg.duration);
+        (end.saturating_sub(ticks(self.cfg.listen)), end)
+    }
+
+    /// Network lifetime in seconds: time of the first battery death, or
+    /// the full duration if every beacon survived.
+    pub fn lifetime_secs(&self) -> f64 {
+        self.stats.first_death.map_or(self.cfg.duration, secs)
+    }
+
+    /// The paper's message-counting connectivity oracle over this run's
+    /// schedule, backed by `base` (normally the same model the run was
+    /// simulated with).
+    pub fn oracle<'a, M: Propagation + ?Sized>(&'a self, base: &'a M) -> MessageCountOracle<'a, M> {
+        MessageCountOracle::new(self, base)
+    }
+}
+
+/// Per-beacon runtime state.
+struct BeaconRt {
+    state: State,
+    battery: f64,
+    last_drain: Ticks,
+    /// Fire counter — the jitter draw stream index.
+    fires: u64,
+    /// Backoff draw counter.
+    draws: u64,
+    /// Last tick each other slot was heard (`NEVER` = not yet).
+    last_heard: Vec<Ticks>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    Difs,
+    Backoff,
+    Transmitting,
+    Dead,
+}
+
+/// The discrete-event simulator. Stateless: all state lives inside one
+/// [`NetSim::run`] call.
+pub struct NetSim;
+
+impl NetSim {
+    /// Simulates `field` under `base` propagation for `cfg.duration`
+    /// seconds. Deterministic in `(field, base, cfg, seed)`.
+    ///
+    /// `base` decides who carries to whom — passing an
+    /// `abp-fault` `FaultyRadio` composes fault plans with the MAC layer
+    /// (dead beacons neither occupy the channel nor get heard).
+    pub fn run(field: &BeaconField, base: &dyn Propagation, cfg: &NetConfig, seed: u64) -> NetRun {
+        cfg.validate();
+        let _span = abp_trace::span!("net.run");
+        let mut engine = Engine::new(field, base, cfg, seed);
+        engine.prime();
+        while let Some(e) = engine.q.pop() {
+            engine.stats.events_processed += 1;
+            engine.log.push(EventRecord {
+                time: e.time,
+                seq: e.seq,
+                slot: e.slot,
+                kind: e.kind.code(),
+                arg: e.arg,
+            });
+            let slot = e.slot as usize;
+            match e.kind {
+                EventKind::Fire => engine.handle_fire(slot, e.time),
+                EventKind::DifsEnd => engine.handle_difs_end(slot, e.time),
+                EventKind::BackoffEnd => engine.handle_backoff_end(slot, e.arg as u32, e.time),
+                EventKind::TxEnd => engine.handle_tx_end(slot, e.arg as usize, e.time),
+            }
+        }
+        engine.finish(field)
+    }
+}
+
+struct Engine<'a> {
+    cfg: &'a NetConfig,
+    base: &'a dyn Propagation,
+    seed: u64,
+    positions: Vec<Point>,
+    tx_ids: Vec<TxId>,
+    rts: Vec<BeaconRt>,
+    q: EventQueue,
+    transmissions: Vec<Transmission>,
+    overlaps: Vec<Vec<u32>>,
+    /// Transmissions possibly still on the air (pruned lazily).
+    active: Vec<u32>,
+    stats: NetStats,
+    log: Vec<EventRecord>,
+    duration: Ticks,
+    airtime: Ticks,
+    difs: Ticks,
+    slot_ticks: Ticks,
+    neighbor_timeout: Ticks,
+}
+
+impl<'a> Engine<'a> {
+    fn new(field: &BeaconField, base: &'a dyn Propagation, cfg: &'a NetConfig, seed: u64) -> Self {
+        let n = field.len();
+        Engine {
+            cfg,
+            base,
+            seed,
+            positions: field.iter().map(|b| b.pos()).collect(),
+            tx_ids: field.iter().map(|b| b.tx()).collect(),
+            rts: (0..n)
+                .map(|_| BeaconRt {
+                    state: State::Idle,
+                    battery: cfg.battery,
+                    last_drain: 0,
+                    fires: 0,
+                    draws: 0,
+                    last_heard: vec![NEVER; n],
+                })
+                .collect(),
+            q: EventQueue::new(),
+            transmissions: Vec::new(),
+            overlaps: Vec::new(),
+            active: Vec::new(),
+            stats: NetStats::default(),
+            log: Vec::new(),
+            duration: ticks(cfg.duration),
+            airtime: ticks(cfg.airtime).max(1),
+            difs: ticks(cfg.difs),
+            slot_ticks: ticks(cfg.slot).max(1),
+            neighbor_timeout: ticks(cfg.neighbor_timeout),
+        }
+    }
+
+    /// Schedules every beacon's first fire at an independent random phase
+    /// in `[0, period)` — without this, synchronized schedulers would
+    /// collide forever.
+    fn prime(&mut self) {
+        for slot in 0..self.rts.len() {
+            let u = unit(hash_words(&[self.seed, SALT_PHASE, slot as u64]));
+            let phase = ticks(u * self.cfg.period);
+            if phase < self.duration {
+                self.q.push(phase, slot as u32, EventKind::Fire, 0);
+            }
+        }
+    }
+
+    fn handle_fire(&mut self, slot: usize, now: Ticks) {
+        if self.rts[slot].state == State::Dead {
+            return;
+        }
+        self.drain_idle(slot, now);
+        if self.rts[slot].state == State::Dead {
+            return;
+        }
+        self.stats.fires += 1;
+        let fire_idx = self.rts[slot].fires;
+        self.rts[slot].fires += 1;
+        // Schedule the next fire first, so the cadence never depends on
+        // how this access attempt plays out.
+        let neighbors = self.count_neighbors(slot, now);
+        let frac = self.battery_frac(slot);
+        let u = unit(hash_words(&[self.seed, SALT_JITTER, slot as u64, fire_idx]));
+        let interval = sched::interval_secs(self.cfg, neighbors, frac, u);
+        let next = now + ticks(interval).max(1);
+        if next < self.duration {
+            self.q.push(next, slot as u32, EventKind::Fire, 0);
+        }
+        if self.rts[slot].state != State::Idle {
+            self.stats.skipped_busy += 1;
+            return;
+        }
+        if self.cfg.ideal_channel {
+            self.start_tx(slot, now);
+            return;
+        }
+        if self.sense_busy(slot, now) {
+            self.enter_backoff(slot, 1, now);
+        } else {
+            let t = now + self.difs;
+            if t >= self.duration {
+                self.stats.drops += 1;
+                return;
+            }
+            self.rts[slot].state = State::Difs;
+            self.q.push(t, slot as u32, EventKind::DifsEnd, 0);
+        }
+    }
+
+    fn handle_difs_end(&mut self, slot: usize, now: Ticks) {
+        if self.rts[slot].state == State::Dead {
+            return;
+        }
+        if self.sense_busy(slot, now) {
+            self.enter_backoff(slot, 1, now);
+        } else {
+            self.start_tx(slot, now);
+        }
+    }
+
+    fn handle_backoff_end(&mut self, slot: usize, attempts: u32, now: Ticks) {
+        if self.rts[slot].state == State::Dead {
+            return;
+        }
+        if self.sense_busy(slot, now) {
+            self.enter_backoff(slot, attempts + 1, now);
+        } else {
+            self.start_tx(slot, now);
+        }
+    }
+
+    /// CSMA carrier sense: the channel at `slot` is busy iff any other
+    /// beacon's active transmission carries (per the base model) to this
+    /// beacon's position. Hidden terminals — in-range of a receiver but
+    /// not of this sender — are invisible here and show up as collisions.
+    fn sense_busy(&mut self, slot: usize, now: Ticks) -> bool {
+        let pos = self.positions[slot];
+        let transmissions = &self.transmissions;
+        self.active.retain(|&i| transmissions[i as usize].end > now);
+        self.active.iter().any(|&i| {
+            let t = &self.transmissions[i as usize];
+            t.slot as usize != slot && self.base.connected(t.tx, t.pos, pos)
+        })
+    }
+
+    fn enter_backoff(&mut self, slot: usize, attempts: u32, now: Ticks) {
+        if attempts > self.cfg.max_backoffs {
+            self.stats.drops += 1;
+            self.rts[slot].state = State::Idle;
+            return;
+        }
+        self.stats.backoffs += 1;
+        let cw = self
+            .cfg
+            .cw_min
+            .checked_shl(attempts - 1)
+            .unwrap_or(self.cfg.cw_max)
+            .clamp(1, self.cfg.cw_max);
+        let draw = self.rts[slot].draws;
+        self.rts[slot].draws += 1;
+        let k = hash_words(&[self.seed, SALT_BACKOFF, slot as u64, draw]) % u64::from(cw);
+        let t = now + self.difs + k * self.slot_ticks;
+        if t >= self.duration {
+            self.stats.drops += 1;
+            self.rts[slot].state = State::Idle;
+            return;
+        }
+        self.rts[slot].state = State::Backoff;
+        self.q
+            .push(t, slot as u32, EventKind::BackoffEnd, u64::from(attempts));
+    }
+
+    fn start_tx(&mut self, slot: usize, now: Ticks) {
+        if self.cfg.battery.is_finite() {
+            if self.rts[slot].battery < self.cfg.tx_cost {
+                self.die(slot, now);
+                return;
+            }
+            self.rts[slot].battery -= self.cfg.tx_cost;
+        }
+        let i = self.transmissions.len() as u32;
+        let end = now + self.airtime;
+        let mut ovl = Vec::new();
+        if !self.cfg.ideal_channel {
+            // Half-open intervals: a transmission ending exactly now does
+            // not overlap one starting now.
+            let transmissions = &self.transmissions;
+            self.active.retain(|&j| transmissions[j as usize].end > now);
+            for &j in &self.active {
+                ovl.push(j);
+                self.overlaps[j as usize].push(i);
+            }
+            self.active.push(i);
+        }
+        self.overlaps.push(ovl);
+        self.transmissions.push(Transmission {
+            slot: slot as u32,
+            tx: self.tx_ids[slot],
+            pos: self.positions[slot],
+            start: now,
+            end,
+        });
+        self.stats.messages_sent += 1;
+        self.rts[slot].state = State::Transmitting;
+        self.q
+            .push(end, slot as u32, EventKind::TxEnd, u64::from(i));
+    }
+
+    /// Delivery: every other live beacon whose receiver was awake and in
+    /// range hears the message — unless an overlapping transmission also
+    /// carried to it (a collision) or it was itself transmitting.
+    fn handle_tx_end(&mut self, slot: usize, i: usize, now: Ticks) {
+        if self.rts[slot].state == State::Transmitting {
+            self.rts[slot].state = State::Idle;
+        }
+        let t = self.transmissions[i];
+        for r in 0..self.rts.len() {
+            if r == slot || self.rts[r].state == State::Dead {
+                continue;
+            }
+            // A beacon mid-transmission during the overlap cannot receive.
+            if self.overlaps[i]
+                .iter()
+                .any(|&j| self.transmissions[j as usize].slot as usize == r)
+            {
+                continue;
+            }
+            // Duty-cycled receiver asleep for this message?
+            if self.cfg.duty_cycle < 1.0 {
+                let u = unit(hash_words(&[self.seed, SALT_DUTY, r as u64, i as u64]));
+                if u >= self.cfg.duty_cycle {
+                    continue;
+                }
+            }
+            let rx = self.positions[r];
+            if !self.base.connected(t.tx, t.pos, rx) {
+                continue;
+            }
+            let interfered = self.overlaps[i].iter().any(|&j| {
+                let o = &self.transmissions[j as usize];
+                self.base.connected(o.tx, o.pos, rx)
+            });
+            if interfered {
+                self.stats.collisions += 1;
+            } else {
+                self.stats.messages_delivered += 1;
+                self.rts[r].last_heard[slot] = now;
+            }
+        }
+    }
+
+    fn drain_idle(&mut self, slot: usize, now: Ticks) {
+        let rt = &mut self.rts[slot];
+        let dt = secs(now.saturating_sub(rt.last_drain));
+        rt.last_drain = now;
+        if self.cfg.battery.is_finite() {
+            rt.battery -= self.cfg.idle_power * self.cfg.duty_cycle * dt;
+            if rt.battery <= 0.0 {
+                self.die(slot, now);
+            }
+        }
+    }
+
+    fn die(&mut self, slot: usize, now: Ticks) {
+        self.rts[slot].state = State::Dead;
+        self.stats.deaths += 1;
+        if self.stats.first_death.is_none() {
+            self.stats.first_death = Some(now);
+        }
+    }
+
+    fn battery_frac(&self, slot: usize) -> f64 {
+        if self.cfg.battery.is_finite() {
+            (self.rts[slot].battery / self.cfg.battery).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    fn count_neighbors(&self, slot: usize, now: Ticks) -> u32 {
+        let horizon = now.saturating_sub(self.neighbor_timeout);
+        self.rts[slot]
+            .last_heard
+            .iter()
+            .filter(|&&h| h != NEVER && h >= horizon)
+            .count() as u32
+    }
+
+    fn finish(mut self, field: &BeaconField) -> NetRun {
+        self.stats.alive_at_end =
+            self.rts.iter().filter(|rt| rt.state != State::Dead).count() as u64;
+        // One batched charge per run keeps the per-event tracing cost at
+        // zero (the abp_radio::metrics idiom).
+        metrics::EVENTS_PROCESSED.add(self.stats.events_processed);
+        metrics::COLLISIONS.add(self.stats.collisions);
+        metrics::BACKOFFS.add(self.stats.backoffs);
+        metrics::MESSAGES_DELIVERED.add(self.stats.messages_delivered);
+        let mut by_slot: Vec<Vec<u32>> = vec![Vec::new(); field.len()];
+        for (i, t) in self.transmissions.iter().enumerate() {
+            by_slot[t.slot as usize].push(i as u32);
+        }
+        let mut tx_slots: Vec<(u64, u32)> = self
+            .tx_ids
+            .iter()
+            .enumerate()
+            .map(|(slot, tx)| (tx.0, slot as u32))
+            .collect();
+        tx_slots.sort_unstable();
+        NetRun {
+            cfg: self.cfg.clone(),
+            seed: self.seed,
+            transmissions: self.transmissions,
+            overlaps: self.overlaps,
+            by_slot,
+            tx_slots,
+            log: self.log,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abp_geom::Terrain;
+    use abp_radio::IdealDisk;
+
+    fn grid_field(n_side: usize, spacing: f64) -> BeaconField {
+        let terrain = Terrain::square(spacing * (n_side + 1) as f64);
+        BeaconField::from_positions(
+            terrain,
+            (0..n_side * n_side).map(|k| {
+                Point::new(
+                    spacing * (1 + k % n_side) as f64,
+                    spacing * (1 + k / n_side) as f64,
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let field = grid_field(4, 10.0);
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig::tiny();
+        let a = NetSim::run(&field, &base, &cfg, 1234);
+        let b = NetSim::run(&field, &base, &cfg, 1234);
+        assert_eq!(a.log_bytes(), b.log_bytes());
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.transmissions(), b.transmissions());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let field = grid_field(4, 10.0);
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig::tiny();
+        let a = NetSim::run(&field, &base, &cfg, 1);
+        let b = NetSim::run(&field, &base, &cfg, 2);
+        assert_ne!(a.log_bytes(), b.log_bytes());
+    }
+
+    #[test]
+    fn every_beacon_transmits_roughly_per_period() {
+        let field = grid_field(3, 30.0);
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig::tiny(); // 8 s at ~1 s period
+        let run = NetSim::run(&field, &base, &cfg, 7);
+        for slot in 0..field.len() {
+            let k = run.transmissions_of_slot(slot).len();
+            assert!(
+                (6..=10).contains(&k),
+                "slot {slot} sent {k} messages in 8 s at ~1 s period"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_beacons_never_backoff_or_collide() {
+        // 9 beacons spaced far beyond range: the channel is always clear.
+        let field = grid_field(3, 40.0);
+        let base = IdealDisk::new(15.0);
+        let run = NetSim::run(&field, &base, &NetConfig::tiny(), 99);
+        assert_eq!(run.stats.backoffs, 0);
+        assert_eq!(run.stats.collisions, 0);
+        assert_eq!(run.stats.messages_delivered, 0, "nobody is in range");
+        assert!(run.overlaps.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn dense_contention_defers_or_collides() {
+        // 16 beacons all within range of each other, aggressive airtime.
+        let field = grid_field(4, 2.0);
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig {
+            airtime: 0.2,
+            period: 0.5,
+            ..NetConfig::tiny()
+        };
+        let run = NetSim::run(&field, &base, &cfg, 5);
+        assert!(
+            run.stats.backoffs > 0,
+            "a saturated channel must force backoffs"
+        );
+        assert!(run.stats.messages_delivered > 0);
+    }
+
+    #[test]
+    fn ideal_channel_has_no_mac_artifacts() {
+        let field = grid_field(4, 2.0);
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig {
+            ideal_channel: true,
+            ..NetConfig::tiny()
+        };
+        let run = NetSim::run(&field, &base, &cfg, 5);
+        assert_eq!(run.stats.backoffs, 0);
+        assert_eq!(run.stats.collisions, 0);
+        assert_eq!(run.stats.skipped_busy, 0);
+        assert!(run.overlaps.iter().all(Vec::is_empty));
+        // Every in-range reception succeeds: 16 beacons × 15 listeners.
+        assert_eq!(
+            run.stats.messages_delivered,
+            run.stats.messages_sent * (field.len() as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn finite_battery_kills_beacons() {
+        let field = grid_field(3, 30.0);
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig {
+            battery: 0.004, // ~4 transmissions at 1 mJ each
+            duration: 30.0,
+            listen: 4.0,
+            ..NetConfig::paper()
+        };
+        let run = NetSim::run(&field, &base, &cfg, 3);
+        assert_eq!(run.stats.deaths, field.len() as u64);
+        assert_eq!(run.stats.alive_at_end, 0);
+        let first = run.stats.first_death.expect("someone must die");
+        assert!(secs(first) < 30.0);
+        assert!(run.lifetime_secs() < 30.0);
+    }
+
+    #[test]
+    fn lower_duty_extends_lifetime() {
+        let field = grid_field(3, 10.0);
+        let base = IdealDisk::new(15.0);
+        let mk = |duty: f64| NetConfig {
+            battery: 0.02,
+            idle_power: 2e-3,
+            duty_cycle: duty,
+            duration: 60.0,
+            listen: 4.0,
+            ..NetConfig::paper()
+        };
+        let full = NetSim::run(&field, &base, &mk(1.0), 11);
+        let low = NetSim::run(&field, &base, &mk(0.25), 11);
+        assert!(
+            low.lifetime_secs() > full.lifetime_secs(),
+            "duty 0.25 must outlive duty 1.0 ({} vs {})",
+            low.lifetime_secs(),
+            full.lifetime_secs()
+        );
+    }
+
+    #[test]
+    fn adaptive_scheduler_sends_fewer_messages_when_crowded() {
+        let field = grid_field(4, 2.0); // everyone hears everyone
+        let base = IdealDisk::new(15.0);
+        let fixed = NetConfig {
+            period: 0.5,
+            ..NetConfig::tiny()
+        };
+        let adaptive = NetConfig {
+            scheduler: crate::SchedulerKind::Adaptive,
+            adaptive_min: 0.5,
+            adaptive_max: 4.0,
+            ..fixed.clone()
+        };
+        let f = NetSim::run(&field, &base, &fixed, 21);
+        let a = NetSim::run(&field, &base, &adaptive, 21);
+        assert!(
+            a.stats.messages_sent < f.stats.messages_sent,
+            "adaptive in a crowd must back off the cadence ({} vs {})",
+            a.stats.messages_sent,
+            f.stats.messages_sent
+        );
+    }
+
+    #[test]
+    fn stats_survive_the_log_round_trip() {
+        let field = grid_field(3, 10.0);
+        let base = IdealDisk::new(15.0);
+        let run = NetSim::run(&field, &base, &NetConfig::tiny(), 8);
+        let bytes = run.log_bytes();
+        assert_eq!(bytes.len(), run.log().len() * 29 + 11 * 8);
+        assert!(run.stats.events_processed as usize == run.log().len());
+    }
+
+    #[test]
+    fn slot_lookup_by_tx_id() {
+        let field = grid_field(3, 10.0);
+        let base = IdealDisk::new(15.0);
+        let run = NetSim::run(&field, &base, &NetConfig::tiny(), 8);
+        for (slot, b) in field.iter().enumerate() {
+            assert_eq!(run.slot_of_tx(b.tx()), Some(slot));
+        }
+        assert_eq!(run.slot_of_tx(TxId(u64::MAX)), None);
+    }
+
+    #[test]
+    fn collision_rate_is_bounded() {
+        let s = NetStats {
+            collisions: 3,
+            messages_delivered: 9,
+            ..NetStats::default()
+        };
+        assert_eq!(s.collision_rate(), 0.25);
+        assert_eq!(NetStats::default().collision_rate(), 0.0);
+    }
+}

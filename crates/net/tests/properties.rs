@@ -1,0 +1,106 @@
+//! Property tests for the event queue and the simulator's determinism
+//! contract (satellite: event-queue ordering invariants).
+
+use abp_field::BeaconField;
+use abp_geom::{Point, Terrain};
+use abp_net::{EventKind, EventQueue, NetConfig, NetSim, SchedulerKind};
+use abp_radio::IdealDisk;
+use proptest::prelude::*;
+
+fn kind_of(code: u8) -> EventKind {
+    match code % 4 {
+        0 => EventKind::Fire,
+        1 => EventKind::DifsEnd,
+        2 => EventKind::BackoffEnd,
+        _ => EventKind::TxEnd,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events pop in non-decreasing timestamp order, and events sharing a
+    /// timestamp pop in the order they were pushed.
+    #[test]
+    fn queue_pops_in_time_then_push_order(
+        entries in prop::collection::vec((0u64..50, 0u32..8, 0u8..4), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for &(time, slot, code) in &entries {
+            q.push(time, slot, kind_of(code), 0);
+        }
+        let mut last = (0u64, 0u64);
+        let mut popped = 0usize;
+        while let Some(e) = q.pop() {
+            let key = (e.time, e.seq);
+            prop_assert!(
+                key > last || popped == 0,
+                "events must pop in strict (time, seq) order: {last:?} then {key:?}"
+            );
+            last = key;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, entries.len());
+    }
+
+    /// Same-timestamp events preserve push order exactly.
+    #[test]
+    fn simultaneous_events_keep_push_order(n in 1usize..150, time in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for slot in 0..n {
+            q.push(time, slot as u32, EventKind::Fire, slot as u64);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.slot).collect();
+        prop_assert_eq!(order, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// Two runs from the same seed produce byte-identical event logs,
+    /// across schedulers, duty cycles, and channel regimes.
+    #[test]
+    fn same_seed_runs_are_byte_identical(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        adaptive in any::<bool>(),
+        ideal in any::<bool>(),
+        duty_pct in 2u32..=10,
+    ) {
+        let terrain = Terrain::square(60.0);
+        let field = BeaconField::from_positions(
+            terrain,
+            (0..n).map(|k| Point::new(5.0 + 50.0 * (k as f64 / n as f64), 30.0)),
+        );
+        let base = IdealDisk::new(15.0);
+        let cfg = NetConfig {
+            duration: 5.0,
+            listen: 5.0,
+            scheduler: if adaptive { SchedulerKind::Adaptive } else { SchedulerKind::Fixed },
+            ideal_channel: ideal,
+            duty_cycle: f64::from(duty_pct) / 10.0,
+            ..NetConfig::paper()
+        };
+        let a = NetSim::run(&field, &base, &cfg, seed);
+        let b = NetSim::run(&field, &base, &cfg, seed);
+        prop_assert_eq!(a.log_bytes(), b.log_bytes());
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    /// The log replays events in strict (time, seq) order — the simulator
+    /// never processes time out of order.
+    #[test]
+    fn run_log_is_time_ordered(seed in any::<u64>(), n in 2usize..10) {
+        let field = BeaconField::from_positions(
+            Terrain::square(40.0),
+            (0..n).map(|k| Point::new(4.0 * (k + 1) as f64, 20.0)),
+        );
+        let base = IdealDisk::new(15.0);
+        let run = NetSim::run(&field, &base, &NetConfig::tiny(), seed);
+        let log = run.log();
+        prop_assert!(!log.is_empty());
+        for w in log.windows(2) {
+            prop_assert!(
+                (w[0].time, w[0].seq) < (w[1].time, w[1].seq),
+                "log out of order: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`fault_robustness`] | §6 future work: localization error and algorithm ranking under injected faults (beacon death, burst loss, GPS outages) |
 //! | [`solution_space`] | §1 contribution 3: measuring the solution-space density the algorithms rely on |
 //! | [`multilat_placement`] | §6 future work: the placement algorithms recast for multilateration localization |
+//! | [`net_sim`] | §2.2/§6 time domain (`abp-net`): localization error vs beacon interval, collision rate vs density, network lifetime vs duty cycle |
 
 pub mod density_error;
 pub mod fault_robustness;
@@ -18,6 +19,7 @@ pub mod improvement;
 pub mod localizer_compare;
 pub mod multi_beacon;
 pub mod multilat_placement;
+pub mod net_sim;
 pub mod overlap_bound;
 pub mod robustness;
 pub mod solution_space;

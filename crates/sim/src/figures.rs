@@ -9,7 +9,7 @@
 use crate::config::{AlgorithmKind, PaperConfig, SimConfig};
 use crate::experiments::{
     density_error, fault_robustness, granularity, improvement, localizer_compare, multi_beacon,
-    multilat_placement, overlap_bound, robustness, solution_space,
+    multilat_placement, net_sim, overlap_bound, robustness, solution_space,
 };
 use crate::progress::Ctx;
 use crate::report::{Figure, Series, SeriesPoint};
@@ -701,6 +701,111 @@ fn multilateration_inner(cfg: &SimConfig, range_sigma: f64) -> Figure {
     fig
 }
 
+/// Converts a net sweep's two metric streams into figure series.
+fn net_series(outcome: &net_sim::NetSweepOutcome, primary: &str, secondary: &str) -> [Series; 2] {
+    [
+        Series::new(
+            primary,
+            outcome
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.x,
+                    y: p.primary,
+                })
+                .collect(),
+        ),
+        Series::new(
+            secondary,
+            outcome
+                .points
+                .iter()
+                .map(|p| SeriesPoint {
+                    x: p.x,
+                    y: p.secondary,
+                })
+                .collect(),
+        ),
+    ]
+}
+
+/// Time-domain axis 1 — localization error vs beacon interval `T`
+/// (`abp-net` schedule surveyed through the §2.2 message-counting
+/// oracle).
+pub fn net_interval(cfg: &SimConfig, axes: &net_sim::NetAxes) -> Figure {
+    net_interval_with(cfg, axes, Ctx::noop())
+}
+
+/// [`net_interval`] with observability via `ctx`.
+pub fn net_interval_with(cfg: &SimConfig, axes: &net_sim::NetAxes, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, net_sim::NET_INTERVAL, || {
+        let outcome = net_sim::interval_sweep(cfg, axes, ctx);
+        let [a, b] = net_series(&outcome, "mean-error (m)", "unheard-fraction");
+        Figure::new(
+            net_sim::NET_INTERVAL,
+            format!(
+                "Localization error vs beacon interval ({} beacons, listen {} s, CMthresh {})",
+                axes.beacons, axes.interval.listen, axes.interval.cmthresh
+            ),
+            "beacon period T (s)",
+            "mean localization error (m) / unheard fraction",
+        )
+        .with_series(a)
+        .with_series(b)
+    })
+}
+
+/// Time-domain axis 2 — collision rate vs beacon density on a contended
+/// CSMA channel.
+pub fn net_collisions(cfg: &SimConfig, axes: &net_sim::NetAxes) -> Figure {
+    net_collisions_with(cfg, axes, Ctx::noop())
+}
+
+/// [`net_collisions`] with observability via `ctx`.
+pub fn net_collisions_with(cfg: &SimConfig, axes: &net_sim::NetAxes, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, net_sim::NET_COLLISIONS, || {
+        let outcome = net_sim::collision_sweep(cfg, axes, ctx);
+        let [a, b] = net_series(&outcome, "collision-rate", "backoffs-per-message");
+        Figure::new(
+            net_sim::NET_COLLISIONS,
+            format!(
+                "Collision rate vs beacon density (period {} s, airtime {} ms)",
+                axes.collision.period,
+                axes.collision.airtime * 1e3
+            ),
+            "density (/m^2)",
+            "fraction / count",
+        )
+        .with_series(a)
+        .with_series(b)
+    })
+}
+
+/// Time-domain axis 3 — network lifetime vs receiver duty cycle on a
+/// finite battery.
+pub fn net_lifetime(cfg: &SimConfig, axes: &net_sim::NetAxes) -> Figure {
+    net_lifetime_with(cfg, axes, Ctx::noop())
+}
+
+/// [`net_lifetime`] with observability via `ctx`.
+pub fn net_lifetime_with(cfg: &SimConfig, axes: &net_sim::NetAxes, ctx: Ctx<'_>) -> Figure {
+    timed(ctx, net_sim::NET_LIFETIME, || {
+        let outcome = net_sim::lifetime_sweep(cfg, axes, ctx);
+        let [a, b] = net_series(&outcome, "first-death (s)", "alive-fraction");
+        Figure::new(
+            net_sim::NET_LIFETIME,
+            format!(
+                "Network lifetime vs duty cycle ({} beacons, battery {} J)",
+                axes.beacons, axes.lifetime.battery
+            ),
+            "receiver duty cycle",
+            "seconds / fraction",
+        )
+        .with_series(a)
+        .with_series(b)
+    })
+}
+
 fn capitalized(name: &str) -> String {
     let mut chars = name.chars();
     match chars.next() {
@@ -780,6 +885,30 @@ mod tests {
         let json = recorder.to_json();
         assert!(json.contains("\"figure\": \"fig4\""));
         assert!(json.contains("\"trials\": 18"));
+    }
+
+    #[test]
+    fn net_figures_have_two_series_each() {
+        let mut c = cfg();
+        c.trials = 2;
+        c.beacon_counts = vec![60];
+        let mut axes = crate::experiments::net_sim::NetAxes::for_config(&c);
+        axes.interval.duration = 4.0;
+        axes.collision.duration = 4.0;
+        axes.lifetime.duration = 6.0;
+        axes.lifetime.battery = 0.012;
+        axes.periods = vec![0.5, 2.0];
+        axes.duty_cycles = vec![0.5, 1.0];
+        let fig_i = net_interval(&c, &axes);
+        assert_eq!(fig_i.id, "net-interval");
+        assert_eq!(fig_i.series.len(), 2);
+        assert_eq!(fig_i.series[0].points.len(), 2);
+        let fig_c = net_collisions(&c, &axes);
+        assert_eq!(fig_c.id, "net-collisions");
+        assert_eq!(fig_c.series.len(), 2);
+        let fig_l = net_lifetime(&c, &axes);
+        assert_eq!(fig_l.id, "net-lifetime");
+        assert!(fig_l.to_csv().contains("net-lifetime,first-death (s),"));
     }
 
     #[test]
