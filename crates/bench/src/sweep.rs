@@ -75,7 +75,14 @@ use std::time::Instant;
 /// `max_conns` admission cap — shed-connection counts, the accepted
 /// requests' p50/p99, the `bounded` verdict against the absolute p99
 /// budget, and the zero-alloc gate held under flood.
-pub const SCHEMA: &str = "abp-bench-sweep/5";
+/// `/6` adds the `scaling` block (the tiled survey sweep timed at a
+/// ladder of thread counts, with parallel efficiency and a per-count
+/// bit-identity gate), a `speedup_ci95` interval on every kernel (the
+/// CLI warns when it straddles 1.0), and replaces the single-sample
+/// telemetry-overhead point estimate with `telemetry_overhead`: median
+/// and 95% CI over interleaved on/off load pairs, alternating run
+/// order to cancel drift.
+pub const SCHEMA: &str = "abp-bench-sweep/6";
 
 /// Scenario and sampling configuration for one bench run.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +114,15 @@ pub struct BenchConfig {
     pub serve_clients: usize,
     /// Measured requests per serve client (after warm-up).
     pub serve_requests: usize,
+    /// Interleaved telemetry on/off load pairs for the overhead CI.
+    /// Each pair runs the full serve load twice (order alternating
+    /// between pairs); the per-pair QPS deltas feed the
+    /// `telemetry_overhead` median and confidence interval.
+    pub serve_ab_pairs: usize,
+    /// Thread counts for the survey-sweep scaling ladder. Empty means
+    /// auto: powers of two from 1 up to the detected parallelism,
+    /// plus the detected count itself when it is not a power of two.
+    pub scale_threads: Vec<usize>,
 }
 
 impl BenchConfig {
@@ -126,6 +142,8 @@ impl BenchConfig {
             skip_brute: false,
             serve_clients: 4,
             serve_requests: 2000,
+            serve_ab_pairs: 3,
+            scale_threads: Vec::new(),
         }
     }
 
@@ -143,6 +161,8 @@ impl BenchConfig {
             skip_brute: false,
             serve_clients: 2,
             serve_requests: 150,
+            serve_ab_pairs: 2,
+            scale_threads: Vec::new(),
         }
     }
 }
@@ -166,21 +186,30 @@ impl Timing {
     /// order-statistic ranks (clamped to the observed min/max, so with
     /// very few samples the interval degenerates to the full range).
     fn from_samples(seconds: &[f64]) -> Timing {
-        assert!(!seconds.is_empty(), "need at least one timed sample");
-        let summary = Summary::from_slice(seconds);
-        let sorted = summary.sorted_values();
-        let n = sorted.len();
-        let half = 0.98 * (n as f64).sqrt();
-        let mid = (n as f64 - 1.0) / 2.0;
-        let lo = ((mid - half).floor().max(0.0)) as usize;
-        let hi = ((mid + half).ceil() as usize).min(n - 1);
+        let (median_s, ci95_lo_s, ci95_hi_s) = median_ci95(seconds);
         Timing {
-            median_s: summary.median(),
-            ci95_lo_s: sorted[lo],
-            ci95_hi_s: sorted[hi],
-            samples: n,
+            median_s,
+            ci95_lo_s,
+            ci95_hi_s,
+            samples: seconds.len(),
         }
     }
+}
+
+/// Median and distribution-free 95% CI on the median (binomial
+/// order-statistic ranks, clamped to the observed range). Shared by
+/// the per-kernel [`Timing`] summaries and the telemetry-overhead
+/// percentage samples, which can legitimately be negative.
+fn median_ci95(values: &[f64]) -> (f64, f64, f64) {
+    assert!(!values.is_empty(), "need at least one timed sample");
+    let summary = Summary::from_slice(values);
+    let sorted = summary.sorted_values();
+    let n = sorted.len();
+    let half = 0.98 * (n as f64).sqrt();
+    let mid = (n as f64 - 1.0) / 2.0;
+    let lo = ((mid - half).floor().max(0.0)) as usize;
+    let hi = ((mid + half).ceil() as usize).min(n - 1);
+    (summary.median(), sorted[lo], sorted[hi])
 }
 
 /// One kernel's brute-vs-indexed comparison.
@@ -193,10 +222,26 @@ pub struct KernelResult {
     pub identical: bool,
     /// `brute.median_s / indexed.median_s`.
     pub speedup: f64,
+    /// Conservative 95% interval on the speedup: the ratio of the two
+    /// medians' CI endpoints, `(brute.lo / indexed.hi, brute.hi /
+    /// indexed.lo)`. When this interval straddles 1.0 the measured
+    /// speedup is not distinguishable from noise and the CLI warns.
+    pub speedup_ci95: (f64, f64),
     /// Brute-force timing.
     pub brute: Timing,
     /// Indexed timing.
     pub indexed: Timing,
+}
+
+impl KernelResult {
+    /// Whether the speedup interval contains 1.0 — i.e. the bench
+    /// cannot distinguish the indexed kernel from the brute one at
+    /// this sample count. Skipped-brute results (degenerate interval
+    /// exactly `[1, 1]`) do not count as straddling.
+    pub fn speedup_ci_straddles_unity(&self) -> bool {
+        let (lo, hi) = self.speedup_ci95;
+        lo < 1.0 && 1.0 < hi
+    }
 }
 
 /// Steady-state allocator traffic of the scratch-reused survey path,
@@ -213,6 +258,66 @@ pub struct AllocStats {
     pub allocs_per_trial: f64,
     /// Mean bytes requested per reused-scratch survey.
     pub bytes_per_trial: f64,
+}
+
+/// One rung of the survey-sweep scaling ladder: the tiled sweep timed
+/// at a fixed worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker threads the tile scheduler ran with.
+    pub threads: usize,
+    /// Timing of the full indexed survey at this thread count.
+    pub timing: Timing,
+    /// Parallel efficiency: `t1_median / (threads * tn_median)`.
+    /// 1.0 is perfect linear scaling; the single-thread rung is 1.0 by
+    /// construction.
+    pub efficiency: f64,
+    /// Whether every sample at this count was bit-identical to the
+    /// reference survey. The tile scheduler guarantees this by design;
+    /// a `false` here fails CI.
+    pub identical: bool,
+}
+
+/// The `scaling` block: the tiled survey sweep across a ladder of
+/// thread counts, sampled round-robin so machine drift biases every
+/// rung equally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingReport {
+    /// Parallelism detected on the benched machine
+    /// (`std::thread::available_parallelism`). On a 1-core runner the
+    /// auto ladder collapses to `[1]` — consumers must not assume
+    /// multi-thread rungs exist.
+    pub max_threads: usize,
+    /// One entry per benched thread count, ascending.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Throughput cost of live telemetry, estimated from interleaved
+/// on/off serve-load pairs rather than a single A/B sample. The old
+/// `/5` point estimate regularly reported *negative* overhead (the
+/// instrumented run measuring faster than its baseline) because one
+/// pair of runs cannot separate the effect from drift; the median over
+/// alternating-order pairs plus a CI makes the noise visible instead
+/// of laundering it into a signed point value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Per-pair overhead percentages, in run order:
+    /// `(off.qps - on.qps) / off.qps * 100`.
+    pub pair_pcts: Vec<f64>,
+    /// Median of the per-pair percentages.
+    pub median_pct: f64,
+    /// Lower bound of the 95% CI on the median.
+    pub ci95_lo_pct: f64,
+    /// Upper bound of the 95% CI on the median.
+    pub ci95_hi_pct: f64,
+}
+
+impl TelemetryOverhead {
+    /// Whether the CI contains zero — i.e. the measured overhead is
+    /// indistinguishable from noise at this pair count.
+    pub fn ci_straddles_zero(&self) -> bool {
+        self.ci95_lo_pct < 0.0 && 0.0 < self.ci95_hi_pct
+    }
 }
 
 /// The full report `abp bench` serializes to `BENCH_sweep.json`.
@@ -238,6 +343,10 @@ pub struct BenchReport {
     /// the request path allocation-free) while the excess is answered
     /// `Overloaded`.
     pub overload: abp_serve::bench::OverloadReport,
+    /// The tiled survey sweep across the thread-count ladder.
+    pub scaling: ScalingReport,
+    /// Telemetry overhead from the interleaved on/off load pairs.
+    pub telemetry: TelemetryOverhead,
 }
 
 impl BenchReport {
@@ -245,17 +354,18 @@ impl BenchReport {
     /// bit for bit — and the served localization path matched the batch
     /// pipeline over the full lattice (in both serve runs).
     pub fn all_identical(&self) -> bool {
-        self.kernels.iter().all(|k| k.identical) && self.serve.identical && self.serve_off.identical
+        self.kernels.iter().all(|k| k.identical)
+            && self.serve.identical
+            && self.serve_off.identical
+            && self.scaling.points.iter().all(|p| p.identical)
     }
 
     /// Throughput lost to live telemetry, in percent of the
-    /// telemetry-off baseline (negative when the instrumented run was
-    /// faster — i.e. inside measurement noise).
+    /// telemetry-off baseline: the median over the interleaved on/off
+    /// pairs (negative medians mean the effect is inside measurement
+    /// noise — check [`TelemetryOverhead::ci_straddles_zero`]).
     pub fn telemetry_overhead_pct(&self) -> f64 {
-        if self.serve_off.qps <= 0.0 {
-            return 0.0;
-        }
-        (self.serve_off.qps - self.serve.qps) / self.serve_off.qps * 100.0
+        self.telemetry.median_pct
     }
 
     /// Serializes the report as a single JSON object (schema
@@ -281,6 +391,10 @@ impl BenchReport {
         out.push_str(&format!("  \"seed\": {},\n", self.config.seed));
         out.push_str(&format!("  \"repeats\": {},\n", self.config.repeats));
         out.push_str(&format!("  \"greedy_k\": {},\n", self.config.greedy_k));
+        out.push_str(&format!(
+            "  \"serve_ab_pairs\": {},\n",
+            self.config.serve_ab_pairs
+        ));
         out.push_str(&format!("  \"skip_brute\": {},\n", self.config.skip_brute));
         out.push_str(&format!(
             "  \"alloc\": {{\"counting\": {}, \"allocs_per_trial\": {}, \"bytes_per_trial\": {}}},\n",
@@ -317,9 +431,13 @@ impl BenchReport {
             "    \"qps_metrics_off\": {},\n",
             json_f64(self.serve_off.qps)
         ));
+        let t = &self.telemetry;
         out.push_str(&format!(
-            "    \"telemetry_overhead_pct\": {},\n",
-            json_f64(self.telemetry_overhead_pct())
+            "    \"telemetry_overhead\": {{\"pairs\": {}, \"median_pct\": {}, \"ci95_lo_pct\": {}, \"ci95_hi_pct\": {}}},\n",
+            t.pair_pcts.len(),
+            json_f64(t.median_pct),
+            json_f64(t.ci95_lo_pct),
+            json_f64(t.ci95_hi_pct)
         ));
         out.push_str(&format!("    \"identical\": {},\n", s.identical));
         out.push_str(&format!("    \"final_epoch\": {}\n", s.final_epoch));
@@ -350,12 +468,39 @@ impl BenchReport {
             json_f64(o.allocs_per_request)
         ));
         out.push_str("  },\n");
+        out.push_str("  \"scaling\": {\n");
+        out.push_str(&format!(
+            "    \"max_threads\": {},\n",
+            self.scaling.max_threads
+        ));
+        out.push_str("    \"points\": [\n");
+        for (i, p) in self.scaling.points.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"threads\": {}, \"timing\": {}, \"efficiency\": {}, \"identical\": {}}}{}\n",
+                p.threads,
+                timing_json(&p.timing),
+                json_f64(p.efficiency),
+                p.identical,
+                if i + 1 == self.scaling.points.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("    ]\n");
+        out.push_str("  },\n");
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"name\": \"{}\",\n", k.name));
             out.push_str(&format!("      \"identical\": {},\n", k.identical));
             out.push_str(&format!("      \"speedup\": {},\n", json_f64(k.speedup)));
+            out.push_str(&format!(
+                "      \"speedup_ci95\": [{}, {}],\n",
+                json_f64(k.speedup_ci95.0),
+                json_f64(k.speedup_ci95.1)
+            ));
             out.push_str(&format!("      \"brute\": {},\n", timing_json(&k.brute)));
             out.push_str(&format!("      \"indexed\": {}\n", timing_json(&k.indexed)));
             out.push_str(if i + 1 == self.kernels.len() {
@@ -519,13 +664,18 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         cfg,
     ));
 
+    // The scaling ladder: the same indexed survey through the tile
+    // scheduler at each benched thread count, with scratch reuse and a
+    // per-sample bit-identity gate against the reference map.
+    let scaling = run_scaling(cfg, &lattice, &field, &model, policy, &base_map);
+
     // Kernel 5 (reported as `serve_qps`, not a brute/indexed pair): the
     // online daemon under concurrent TCP load — the serving layer's
     // throughput, tail latency, allocation rate, and bit-identity gate.
-    // Run twice with the same load: first a telemetry-off baseline,
-    // then the instrumented configuration with a live `/metrics` HTTP
-    // listener scraped concurrently — the pair quantifies what live
-    // telemetry costs the hot path.
+    // The load runs `serve_ab_pairs` times each with telemetry OFF (no
+    // listener) and ON (live `/metrics` scraped concurrently), pairs
+    // interleaved and run order alternating between pairs, so slow
+    // drift cancels out of the per-pair overhead percentages.
     let load = abp_serve::bench::LoadConfig {
         clients: cfg.serve_clients,
         requests_per_client: cfg.serve_requests,
@@ -553,13 +703,49 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         idle_timeout: std::time::Duration::from_secs(300),
         state_path: None,
         panic_seed: None,
+        // Snapshot rebuilds stay single-tile so the A/B pairs measure
+        // telemetry cost alone, not scheduler jitter.
+        survey_threads: 1,
     };
-    let serve_off = abp_serve::bench::run_load(&serve_cfg, &load)
-        .expect("serve load harness failed (loopback bind or client error)");
-    serve_cfg.telemetry = true;
-    serve_cfg.metrics_addr = Some("127.0.0.1:0".into());
-    let serve = abp_serve::bench::run_load(&serve_cfg, &load)
-        .expect("serve load harness failed (loopback bind or client error)");
+    let run_pair_side = |serve_cfg: &mut abp_serve::daemon::ServeConfig, on: bool| {
+        serve_cfg.telemetry = on;
+        serve_cfg.metrics_addr = on.then(|| "127.0.0.1:0".into());
+        abp_serve::bench::run_load(serve_cfg, &load)
+            .expect("serve load harness failed (loopback bind or client error)")
+    };
+    let pairs = cfg.serve_ab_pairs.max(1);
+    let mut pair_pcts = Vec::with_capacity(pairs);
+    let mut serve = None;
+    let mut serve_off = None;
+    for pair in 0..pairs {
+        // Alternate which side runs first so any monotone drift in
+        // machine load biases the overhead estimate both ways.
+        let (off, on) = if pair % 2 == 0 {
+            let off = run_pair_side(&mut serve_cfg, false);
+            let on = run_pair_side(&mut serve_cfg, true);
+            (off, on)
+        } else {
+            let on = run_pair_side(&mut serve_cfg, true);
+            let off = run_pair_side(&mut serve_cfg, false);
+            (off, on)
+        };
+        pair_pcts.push(if off.qps > 0.0 {
+            (off.qps - on.qps) / off.qps * 100.0
+        } else {
+            0.0
+        });
+        serve = Some(on);
+        serve_off = Some(off);
+    }
+    let serve = serve.expect("at least one A/B pair ran");
+    let serve_off = serve_off.expect("at least one A/B pair ran");
+    let (median_pct, ci95_lo_pct, ci95_hi_pct) = median_ci95(&pair_pcts);
+    let telemetry = TelemetryOverhead {
+        pair_pcts,
+        median_pct,
+        ci95_lo_pct,
+        ci95_hi_pct,
+    };
 
     // Overload run: the same daemon shape flooded at twice its
     // admission cap (`run_overload` pins `max_conns` to the load's
@@ -578,6 +764,106 @@ pub fn run_bench(cfg: &BenchConfig) -> BenchReport {
         serve,
         serve_off,
         overload,
+        scaling,
+        telemetry,
+    }
+}
+
+/// The thread counts the scaling ladder runs at: the configured list
+/// (sorted, deduplicated, 1 forced in so efficiency has its anchor),
+/// or — when empty — powers of two from 1 up to the detected
+/// parallelism plus the detected count itself.
+fn scaling_ladder(cfg: &BenchConfig, max_threads: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = if cfg.scale_threads.is_empty() {
+        let mut c = Vec::new();
+        let mut t = 1;
+        while t <= max_threads {
+            c.push(t);
+            t *= 2;
+        }
+        c.push(max_threads);
+        c
+    } else {
+        let mut c = cfg.scale_threads.clone();
+        c.retain(|&t| t > 0);
+        c.push(1);
+        c
+    };
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Times the tiled indexed survey at every rung of the thread ladder.
+///
+/// Samples are taken round-robin across the rungs (one sample per
+/// count per round) so machine drift biases every count equally — the
+/// same discipline the kernel pairs use. Each rung keeps its own
+/// [`SurveyScratch`] warm across samples, and every sample is
+/// bit-compared against the reference map: the tile scheduler's
+/// deterministic fold order makes any thread count bit-identical to
+/// single-threaded, and this gate proves it on the benched build.
+fn run_scaling(
+    cfg: &BenchConfig,
+    lattice: &Lattice,
+    field: &BeaconField,
+    model: &dyn Propagation,
+    policy: UnheardPolicy,
+    base_map: &ErrorMap,
+) -> ScalingReport {
+    let max_threads = abp_survey::resolve_survey_threads(0);
+    let counts = scaling_ladder(cfg, max_threads);
+    let mut scratches: Vec<SurveyScratch> = counts.iter().map(|_| SurveyScratch::new()).collect();
+    let mut samples: Vec<Vec<f64>> = counts.iter().map(|_| Vec::new()).collect();
+    let mut identical: Vec<bool> = counts.iter().map(|_| true).collect();
+    // Warmup: grow each rung's scratch (and spawn its worker pool once)
+    // so the timed rounds measure the steady state.
+    for (i, &threads) in counts.iter().enumerate() {
+        let warm = ErrorMap::survey_indexed_with_threads(
+            lattice,
+            field,
+            model,
+            policy,
+            &mut scratches[i],
+            threads,
+        );
+        scratches[i].recycle(warm);
+    }
+    for _ in 0..cfg.repeats {
+        for (i, &threads) in counts.iter().enumerate() {
+            let t = Instant::now();
+            let map = ErrorMap::survey_indexed_with_threads(
+                lattice,
+                field,
+                model,
+                policy,
+                &mut scratches[i],
+                threads,
+            );
+            samples[i].push(t.elapsed().as_secs_f64());
+            identical[i] &= maps_bit_identical(&map, base_map);
+            scratches[i].recycle(map);
+        }
+    }
+    let timings: Vec<Timing> = samples.iter().map(|s| Timing::from_samples(s)).collect();
+    let t1 = timings[0].median_s; // counts[0] == 1 by construction
+    let points = counts
+        .iter()
+        .zip(timings)
+        .zip(identical)
+        .map(|((&threads, timing), identical)| {
+            let efficiency = t1 / (threads as f64 * timing.median_s.max(f64::MIN_POSITIVE));
+            ScalingPoint {
+                threads,
+                timing,
+                efficiency,
+                identical,
+            }
+        })
+        .collect();
+    ScalingReport {
+        max_threads,
+        points,
     }
 }
 
@@ -736,10 +1022,15 @@ fn kernel_result(
     let brute = Timing::from_samples(brute_s);
     let indexed = Timing::from_samples(indexed_s);
     let speedup = brute.median_s / indexed.median_s.max(f64::MIN_POSITIVE);
+    let speedup_ci95 = (
+        brute.ci95_lo_s / indexed.ci95_hi_s.max(f64::MIN_POSITIVE),
+        brute.ci95_hi_s / indexed.ci95_lo_s.max(f64::MIN_POSITIVE),
+    );
     KernelResult {
         name,
         identical,
         speedup,
+        speedup_ci95,
         brute,
         indexed,
     }
@@ -754,6 +1045,7 @@ fn kernel_result_skipped(name: &'static str, indexed_s: &[f64]) -> KernelResult 
         name,
         identical: true,
         speedup: 1.0,
+        speedup_ci95: (1.0, 1.0),
         brute: indexed.clone(),
         indexed,
     }
@@ -791,7 +1083,26 @@ mod tests {
         assert_eq!(report.serve_off.requests, report.serve.requests);
         assert!(report.serve_off.identical, "baseline must match batch too");
         assert_eq!(report.serve_off.scrapes, 0, "baseline has no listener");
+        assert_eq!(
+            report.telemetry.pair_pcts.len(),
+            cfg.serve_ab_pairs,
+            "one overhead sample per A/B pair"
+        );
         assert!(report.telemetry_overhead_pct().is_finite());
+        assert!(report.telemetry.ci95_lo_pct <= report.telemetry.median_pct);
+        assert!(report.telemetry.median_pct <= report.telemetry.ci95_hi_pct);
+        assert!(!report.scaling.points.is_empty());
+        assert_eq!(
+            report.scaling.points[0].threads, 1,
+            "the ladder must anchor at one thread"
+        );
+        assert_eq!(report.scaling.points[0].efficiency, 1.0);
+        for p in &report.scaling.points {
+            assert!(p.identical, "tiled sweep at {} threads diverged", p.threads);
+            assert!(p.timing.median_s > 0.0);
+            assert!(p.efficiency.is_finite() && p.efficiency > 0.0);
+            assert_eq!(p.timing.samples, cfg.repeats);
+        }
         assert_eq!(report.alloc.counting, abp_trace::counting());
         if report.alloc.counting {
             assert_eq!(
@@ -817,6 +1128,8 @@ mod tests {
         for k in &report.kernels {
             assert!(k.identical, "{}: vacuously true under skip_brute", k.name);
             assert_eq!(k.speedup, 1.0, "{}: degenerate speedup", k.name);
+            assert_eq!(k.speedup_ci95, (1.0, 1.0));
+            assert!(!k.speedup_ci_straddles_unity());
             assert_eq!(k.brute, k.indexed, "{}: indexed stands in", k.name);
             assert!(k.indexed.median_s > 0.0);
         }
@@ -839,6 +1152,7 @@ mod tests {
                 name: "survey_sweep",
                 identical: true,
                 speedup: 2.5,
+                speedup_ci95: (1.25, 3.75),
                 brute: Timing::from_samples(&[0.4, 0.5, 0.6]),
                 indexed: Timing::from_samples(&[0.2]),
             }],
@@ -900,9 +1214,32 @@ mod tests {
                 allocs_per_request: 0.0,
                 alloc_counting: true,
             },
+            scaling: ScalingReport {
+                max_threads: 4,
+                points: vec![
+                    ScalingPoint {
+                        threads: 1,
+                        timing: Timing::from_samples(&[0.4]),
+                        efficiency: 1.0,
+                        identical: true,
+                    },
+                    ScalingPoint {
+                        threads: 4,
+                        timing: Timing::from_samples(&[0.125]),
+                        efficiency: 0.8,
+                        identical: true,
+                    },
+                ],
+            },
+            telemetry: TelemetryOverhead {
+                pair_pcts: vec![20.0, 18.0, 22.0],
+                median_pct: 20.0,
+                ci95_lo_pct: 18.0,
+                ci95_hi_pct: 22.0,
+            },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/5\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/6\""));
         assert!(json.contains("\"preset\": \"tiny\""));
         assert!(json.contains("\"skip_brute\": false"));
         assert!(json.contains(
@@ -919,7 +1256,14 @@ mod tests {
         assert!(json.contains("\"scrape_p50_s\": 0.0002"));
         assert!(json.contains("\"scrape_max_s\": 0.001"));
         assert!(json.contains("\"qps_metrics_off\": 750"));
-        assert!(json.contains("\"telemetry_overhead_pct\": 20"));
+        assert!(json.contains(
+            "\"telemetry_overhead\": {\"pairs\": 3, \"median_pct\": 20, \"ci95_lo_pct\": 18, \"ci95_hi_pct\": 22}"
+        ));
+        assert!(json.contains("\"scaling\": {"));
+        assert!(json.contains("\"max_threads\": 4"));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"efficiency\": 0.8"));
+        assert!(json.contains("\"speedup_ci95\": [1.25, 3.75]"));
         assert!(json.contains("\"overload\": {"));
         assert!(json.contains("\"offered_clients\": 4"));
         assert!(json.contains("\"shed_connections\": 17"));
@@ -952,5 +1296,33 @@ mod tests {
     #[should_panic(expected = "at least one timed sample")]
     fn empty_samples_panic() {
         let _ = Timing::from_samples(&[]);
+    }
+
+    #[test]
+    fn scaling_ladder_auto_is_powers_of_two_plus_max() {
+        let cfg = BenchConfig::tiny();
+        assert_eq!(scaling_ladder(&cfg, 1), vec![1]);
+        assert_eq!(scaling_ladder(&cfg, 4), vec![1, 2, 4]);
+        assert_eq!(scaling_ladder(&cfg, 6), vec![1, 2, 4, 6]);
+        assert_eq!(scaling_ladder(&cfg, 8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn scaling_ladder_explicit_is_sorted_deduped_and_anchored_at_one() {
+        let mut cfg = BenchConfig::tiny();
+        cfg.scale_threads = vec![4, 2, 4, 0];
+        assert_eq!(scaling_ladder(&cfg, 1), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn speedup_ci_straddle_detection() {
+        let k = kernel_result("x", true, &[0.9, 1.0, 1.1], &[0.95, 1.0, 1.05]);
+        assert!(
+            k.speedup_ci_straddles_unity(),
+            "overlapping timings must straddle: {:?}",
+            k.speedup_ci95
+        );
+        let k = kernel_result("x", true, &[2.0, 2.1, 2.2], &[0.9, 1.0, 1.1]);
+        assert!(!k.speedup_ci_straddles_unity(), "{:?}", k.speedup_ci95);
     }
 }

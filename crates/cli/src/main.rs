@@ -70,7 +70,9 @@
 //!                               quick/tiny = seconds-scale smoke)
 //!   --trials N                  override trials per density
 //!   --step METERS               override survey lattice step
-//!   --threads N                 worker threads (0 = all cores)
+//!   --threads N                 worker threads (0 = all cores); bench runs
+//!                               its scaling ladder at [1, N] instead of the
+//!                               auto powers-of-two sweep when N > 0
 //!   --seed HEX                  master seed
 //!   --noise X                   noise level for ablation/duel/batch [default: 0]
 //!   --beacons N                 field size for robustness/faults/batch [default: 40]
@@ -84,6 +86,9 @@
 //!   --skip-brute                bench only: skip the brute/reference sides
 //!                               for fast local iteration; DISABLES the
 //!                               bit-identity gate, never use for baselines
+//!   --repeats N                 bench only: timed samples per kernel
+//!                               variant (default: preset's repeats);
+//!                               raise it when a speedup CI straddles 1.0
 //!   --port N                    serve/serve-bench: TCP port [default: 0,
 //!                               an ephemeral port printed at startup];
 //!                               top: the daemon's port (required)
@@ -168,6 +173,8 @@ struct Options {
     counters: bool,
     /// `--skip-brute`: bench-only fast iteration, identity gate off.
     skip_brute: bool,
+    /// `--repeats` when given explicitly (bench).
+    repeats: Option<usize>,
     /// `--port` for serve/serve-bench (0 = ephemeral) and top (the
     /// daemon to poll, required).
     port: u16,
@@ -199,7 +206,7 @@ fn usage() -> &'static str {
      serve-bench|serve-chaos|top|net|all> \
      [--preset paper|quick|tiny] [--trials N] [--step M] [--threads N] \
      [--seed HEX] [--noise X] [--beacons N] [--out DIR] \
-     [--retry N] [--trial-timeout DUR] [--skip-brute] \
+     [--retry N] [--trial-timeout DUR] [--skip-brute] [--repeats N] \
      [--port N] [--clients N] [--requests N] \
      [--metrics-port N] [--interval DUR] [--polls N] \
      [--max-conns N] [--deadline DUR] [--idle-timeout DUR] [--state PATH] \
@@ -251,6 +258,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut trace_format = TraceFormat::default();
     let mut counters = false;
     let mut skip_brute = false;
+    let mut repeats = None;
     let mut port = 0u16;
     let mut clients = None;
     let mut requests = None;
@@ -344,6 +352,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--counters" => counters = true,
             "--skip-brute" => skip_brute = true,
+            "--repeats" => {
+                let n = value("--repeats")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+                if n == 0 {
+                    return Err("--repeats must be at least 1".into());
+                }
+                repeats = Some(n);
+            }
             "--port" => {
                 port = value("--port")?
                     .parse::<u16>()
@@ -469,6 +486,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace_format,
         counters,
         skip_brute,
+        repeats,
         port,
         clients,
         requests,
@@ -851,6 +869,15 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
             if let Some(s) = opts.seed_override {
                 bcfg.seed = s;
             }
+            if let Some(r) = opts.repeats {
+                bcfg.repeats = r;
+            }
+            // `--threads N` pins the scaling ladder to [1, N] (the
+            // config's own sort/dedup folds N == 1 together); 0 keeps
+            // the auto powers-of-two sweep up to the detected cores.
+            if opts.cfg.threads > 0 {
+                bcfg.scale_threads = vec![1, opts.cfg.threads];
+            }
             bcfg.skip_brute = opts.skip_brute;
             if bcfg.skip_brute {
                 eprintln!(
@@ -874,6 +901,33 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                     k.name, k.brute.median_s, k.indexed.median_s, k.speedup, k.identical
                 );
             }
+            if !bcfg.skip_brute {
+                for k in &report.kernels {
+                    if k.speedup_ci_straddles_unity() {
+                        eprintln!(
+                            "WARNING: {}: speedup 95% CI [{:.2}x, {:.2}x] straddles 1.0 — \
+                             the measured speedup is indistinguishable from noise at \
+                             {} samples; raise --repeats before trusting or committing \
+                             this number",
+                            k.name, k.speedup_ci95.0, k.speedup_ci95.1, k.indexed.samples
+                        );
+                    }
+                }
+            }
+            println!(
+                "scaling (tiled survey sweep, {} hardware threads detected):",
+                report.scaling.max_threads
+            );
+            println!(
+                "{:<8} {:>14} {:>11} {:>10}",
+                "threads", "median", "efficiency", "identical"
+            );
+            for p in &report.scaling.points {
+                println!(
+                    "{:<8} {:>13.4}s {:>11.2} {:>10}",
+                    p.threads, p.timing.median_s, p.efficiency, p.identical
+                );
+            }
             if report.alloc.counting {
                 println!(
                     "steady-state scratch survey: {:.2} allocs/trial, {:.0} bytes/trial",
@@ -886,12 +940,21 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                 );
             }
             println!(
-                "serve_qps: {:.0} req/s telemetry on (p99 {:.1} us), {:.0} req/s off \
-                 ({:+.1}% overhead); {} scrapes under load (p50 {:.1} us)",
+                "serve_qps: {:.0} req/s telemetry on (p99 {:.1} us), {:.0} req/s off; \
+                 overhead {:+.1}% (95% CI [{:+.1}%, {:+.1}%] over {} pairs{}); \
+                 {} scrapes under load (p50 {:.1} us)",
                 report.serve.qps,
                 report.serve.p99_s * 1e6,
                 report.serve_off.qps,
-                report.telemetry_overhead_pct(),
+                report.telemetry.median_pct,
+                report.telemetry.ci95_lo_pct,
+                report.telemetry.ci95_hi_pct,
+                report.telemetry.pair_pcts.len(),
+                if report.telemetry.ci_straddles_zero() {
+                    ", within noise"
+                } else {
+                    ""
+                },
                 report.serve.scrapes,
                 report.serve.scrape_p50_s * 1e6
             );
@@ -1131,6 +1194,7 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
                         trace_format: opts.trace_format,
                         counters: opts.counters,
                         skip_brute: opts.skip_brute,
+                        repeats: opts.repeats,
                         port: opts.port,
                         clients: opts.clients,
                         requests: opts.requests,
@@ -1154,7 +1218,8 @@ fn run_command(opts: &Options, ctx: Ctx<'_>) -> Result<(), String> {
 
 /// Builds the daemon configuration `serve` and `serve-bench` share:
 /// the preset scale plus the generic overrides (`--beacons`, `--step`,
-/// `--seed`, `--threads` as worker count, `--port` as bind port).
+/// `--seed`, `--threads` as worker count *and* survey-rebuild tile
+/// count, `--port` as bind port).
 fn serve_config(opts: &Options) -> Result<abp_serve::daemon::ServeConfig, String> {
     let mut scfg = match opts.preset.as_str() {
         "paper" => abp_serve::daemon::ServeConfig::paper_scale(),
@@ -1163,6 +1228,7 @@ fn serve_config(opts: &Options) -> Result<abp_serve::daemon::ServeConfig, String
     };
     scfg.addr = format!("127.0.0.1:{}", opts.port);
     scfg.workers = opts.cfg.threads;
+    scfg.survey_threads = opts.cfg.threads;
     scfg.metrics_addr = opts.metrics_port.map(|p| format!("127.0.0.1:{p}"));
     if let Some(n) = opts.beacons {
         if n == 0 {
@@ -1369,7 +1435,7 @@ mod tests {
         o.out = Some(dir.clone());
         run(&o).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
-        assert!(json.contains("\"schema\": \"abp-bench-sweep/5\""));
+        assert!(json.contains("\"schema\": \"abp-bench-sweep/6\""));
         assert!(json.contains("\"seed\": 7"), "--seed reaches bench: {json}");
         assert!(json.contains("\"name\": \"survey_sweep\""));
         assert!(json.contains("\"name\": \"survey_sweep_scratch\""));
@@ -1387,11 +1453,26 @@ mod tests {
         assert!(json.contains("\"allocs_per_request\": "));
         assert!(json.contains("\"scrapes\": "));
         assert!(json.contains("\"qps_metrics_off\": "));
-        assert!(json.contains("\"telemetry_overhead_pct\": "));
+        assert!(json.contains("\"telemetry_overhead\": {\"pairs\": 2, "));
+        assert!(json.contains("\"ci95_lo_pct\": "));
         assert!(json.contains("\"overload\": {"));
         assert!(json.contains("\"shed_connections\": "));
         assert!(json.contains("\"bounded\": true"));
+        assert!(json.contains("\"scaling\": {"));
+        assert!(json.contains("\"max_threads\": "));
+        assert!(json.contains("\"efficiency\": "));
+        assert!(json.contains("\"speedup_ci95\": ["));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeats_and_threads_flags_reach_bench_config() {
+        let o = parse(&["bench", "--repeats", "9", "--threads", "4"]).unwrap();
+        assert_eq!(o.repeats, Some(9));
+        assert_eq!(o.cfg.threads, 4);
+        assert!(parse(&["bench", "--repeats", "0"]).is_err());
+        // Off by default: the preset's repeats stand.
+        assert_eq!(parse(&["bench"]).unwrap().repeats, None);
     }
 
     #[test]

@@ -117,6 +117,13 @@ pub struct ServeConfig {
     /// panics inside the handler, exercising panic isolation
     /// end-to-end. `None` (the default everywhere) disables the seam.
     pub panic_seed: Option<u64>,
+    /// Survey tile threads for snapshot (re)builds: the background
+    /// world rebuild runs its sweep across this many workers via
+    /// `abp-survey`'s intra-survey tile scheduler. `0` = all cores,
+    /// `1` = sequential. Bit-identical at any setting, so it is a
+    /// throughput knob only and deliberately excluded from the
+    /// warm-restart config fingerprint.
+    pub survey_threads: usize,
 }
 
 impl ServeConfig {
@@ -140,6 +147,7 @@ impl ServeConfig {
             idle_timeout: Duration::from_secs(300),
             state_path: None,
             panic_seed: None,
+            survey_threads: 0,
         }
     }
 
@@ -162,6 +170,7 @@ impl ServeConfig {
             idle_timeout: Duration::from_secs(300),
             state_path: None,
             panic_seed: None,
+            survey_threads: 1,
         }
     }
 
@@ -430,12 +439,18 @@ impl Daemon {
         let initial = match &state_open {
             StateOpen::Loaded { epoch, positions } => {
                 let field = BeaconField::from_positions(terrain, positions.iter().copied());
-                WorldSnapshot::build(*epoch, field, model, cfg.step)
+                WorldSnapshot::build_with_threads(
+                    *epoch,
+                    field,
+                    model,
+                    cfg.step,
+                    cfg.survey_threads,
+                )
             }
             _ => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 let field = BeaconField::random_uniform(cfg.beacons, terrain, &mut rng);
-                WorldSnapshot::build(0, field, model, cfg.step)
+                WorldSnapshot::build_with_threads(0, field, model, cfg.step, cfg.survey_threads)
             }
         };
 

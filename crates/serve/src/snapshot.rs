@@ -46,6 +46,10 @@ pub struct WorldSnapshot {
     soa: BeaconSoA,
     model: Arc<dyn Propagation>,
     step: f64,
+    /// Survey tile threads for rebuilds of *this* world (0 = all cores):
+    /// successor epochs built via [`WorldSnapshot::with_beacon_added`]
+    /// inherit it, so one daemon setting governs every rebuild.
+    survey_threads: usize,
     max_point: Point,
     grid_point: Point,
     fingerprint: u64,
@@ -55,10 +59,39 @@ impl WorldSnapshot {
     /// Surveys `field` under `model` on a lattice of spacing `step` and
     /// bundles the result as epoch `epoch`. This is the expensive
     /// control-plane build — `O(beacons · lattice)` — that the snapshot
-    /// swap keeps off the request path.
+    /// swap keeps off the request path. Runs the survey single-threaded;
+    /// use [`WorldSnapshot::build_with_threads`] to tile it.
     pub fn build(epoch: u64, field: BeaconField, model: Arc<dyn Propagation>, step: f64) -> Self {
+        Self::build_with_threads(epoch, field, model, step, 1)
+    }
+
+    /// [`WorldSnapshot::build`] with the survey sweep tiled across
+    /// `survey_threads` workers (`0` = all cores, `1` = sequential) via
+    /// `abp-survey`'s intra-survey tile scheduler. The survey is
+    /// bit-identical at any thread count, so the snapshot fingerprint —
+    /// which folds the map — is too; thread count is a throughput knob,
+    /// never a state change (and it is deliberately *not* part of the
+    /// warm-restart config fingerprint).
+    pub fn build_with_threads(
+        epoch: u64,
+        field: BeaconField,
+        model: Arc<dyn Propagation>,
+        step: f64,
+        survey_threads: usize,
+    ) -> Self {
         let lattice = Lattice::new(field.terrain(), step);
-        let map = ErrorMap::survey_indexed(&lattice, &field, &*model, SERVE_POLICY);
+        // The rebuilder allocates freely (it is off the hot path), so a
+        // fresh scratch per build is fine; what matters is the tiled
+        // sweep inside.
+        let mut scratch = abp_survey::SurveyScratch::new();
+        let map = ErrorMap::survey_indexed_with_threads(
+            &lattice,
+            &field,
+            &*model,
+            SERVE_POLICY,
+            &mut scratch,
+            survey_threads,
+        );
         let index = ConnectivityOracle::build_index(&field, &*model);
         let mut soa = BeaconSoA::new();
         soa.rebuild_with(&field, |b| {
@@ -86,6 +119,7 @@ impl WorldSnapshot {
             soa,
             model,
             step,
+            survey_threads,
             max_point,
             grid_point,
             fingerprint,
@@ -93,11 +127,18 @@ impl WorldSnapshot {
     }
 
     /// Rebuilds the successor epoch after `point` received a beacon:
-    /// same model and lattice spacing, epoch advanced by one.
+    /// same model, lattice spacing, and survey thread count, epoch
+    /// advanced by one.
     pub fn with_beacon_added(&self, point: Point) -> WorldSnapshot {
         let mut field = self.field.clone();
         field.add_beacon(self.field.terrain().bounds().clamp_point(point));
-        WorldSnapshot::build(self.epoch + 1, field, Arc::clone(&self.model), self.step)
+        WorldSnapshot::build_with_threads(
+            self.epoch + 1,
+            field,
+            Arc::clone(&self.model),
+            self.step,
+            self.survey_threads,
+        )
     }
 
     /// The epoch this snapshot was published as.

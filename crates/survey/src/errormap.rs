@@ -1,5 +1,6 @@
 //! The measured localization-error field.
 
+use crate::lanes::SweepLane;
 use abp_field::{Beacon, BeaconField};
 use abp_geom::{Disk, Lattice, LatticeIndex, Point, Rect};
 use abp_localize::{ConnectivityOracle, Localizer, UnheardPolicy};
@@ -7,6 +8,7 @@ use abp_radio::Propagation;
 use abp_stats::Summary;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The lattice region an incremental survey update touched.
 ///
@@ -222,37 +224,25 @@ impl ErrorMap {
             count: vec![0; n],
             errors: vec![0.0; n],
         };
-        // Per-beacon squared thresholds, in insertion order (computed as
-        // r * r, matching the disk_exact contract verbatim).
-        let r2: Vec<f64> = field
-            .iter()
-            .map(|b| {
-                let r = model.max_range(b.tx(), b.pos());
-                r * r
-            })
-            .collect();
-        let bins = index.bins();
-        {
-            let _span = abp_trace::span!("radio.connectivity_sweep");
-            let mut tested = 0u64;
-            for ix in lattice.indices() {
-                let p = lattice.point(ix);
-                let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
-                bins.for_each_candidate(p, |k, bp| {
-                    tested += 1;
-                    if bp.distance_squared(p) <= r2[k] {
-                        sx += bp.x;
-                        sy += bp.y;
-                        heard += 1;
-                    }
-                });
-                let flat = lattice.flat(ix);
-                map.sum_x[flat] = sx;
-                map.sum_y[flat] = sy;
-                map.count[flat] = heard;
-            }
-            abp_radio::metrics::LINKS_TESTED.add(tested);
-        }
+        // Dense positions and squared thresholds, in insertion order
+        // (r * r per beacon, matching the disk_exact contract verbatim).
+        // The fresh path allocates its mirror locally; the scratch path
+        // reuses one across trials.
+        let mut soa = abp_field::BeaconSoA::new();
+        soa.rebuild_with(field, |b| {
+            let r = model.max_range(b.tx(), b.pos());
+            r * r
+        });
+        let mut lane = SweepLane::new();
+        Self::disk_sweep_soa(
+            index,
+            &soa,
+            lattice,
+            &mut lane,
+            &mut map.sum_x,
+            &mut map.sum_y,
+            &mut map.count,
+        );
         {
             let _span = abp_trace::span!("localize.derive_errors");
             for flat in 0..n {
@@ -286,6 +276,39 @@ impl ErrorMap {
         policy: UnheardPolicy,
         scratch: &mut crate::SurveyScratch,
     ) -> Self {
+        Self::survey_indexed_with_threads(lattice, field, model, policy, scratch, 1)
+    }
+
+    /// [`ErrorMap::survey_indexed_with`] across an intra-survey tile
+    /// scheduler: the lattice is split row-band-wise into tiles (about
+    /// four per worker, for load balance), each tile owns disjoint
+    /// `sum_x/sum_y/count/errors` slices and its own packed-candidate
+    /// [`SweepLane`] from the scratch, and a worker
+    /// pool mirroring `abp-sim`'s `parallel_try_map` discipline (atomic
+    /// work claiming, per-tile panic isolation, deterministic re-panic)
+    /// executes them. Error derivation joins the same tile pass, fused
+    /// with the sweep under the `radio.connectivity_sweep` span.
+    ///
+    /// `threads` follows the workspace convention: `0` means all
+    /// available cores; `1` runs the plain sequential sweep (identical
+    /// code path and trace spans as before this scheduler existed).
+    ///
+    /// **Bit-identical at any thread count**: every lattice point's
+    /// accumulation is self-contained (its candidates fold in ascending
+    /// insertion order regardless of which tile visits it), tiles write
+    /// disjoint slices, and no cross-point arithmetic exists anywhere in
+    /// the pass — so the schedule cannot influence any output bit.
+    /// Asserted by `four_sweeps_bit_identical`, the proptests, and
+    /// `tests/indexing.rs` at paper scale.
+    pub fn survey_indexed_with_threads(
+        lattice: &Lattice,
+        field: &BeaconField,
+        model: &dyn Propagation,
+        policy: UnheardPolicy,
+        scratch: &mut crate::SurveyScratch,
+        threads: usize,
+    ) -> Self {
+        let workers = crate::tiles::resolve_survey_threads(threads);
         let n = lattice.len();
         let mut sum_x = std::mem::take(&mut scratch.sum_x);
         let mut sum_y = std::mem::take(&mut scratch.sum_y);
@@ -303,113 +326,277 @@ impl ErrorMap {
             Some(index) => ConnectivityOracle::rebuild_index(index, field, model),
             none => *none = Some(ConnectivityOracle::build_index(field, model)),
         }
-        let index = scratch.index.as_ref().expect("index was just built");
-        if model.disk_exact() {
+        let crate::SurveyScratch {
+            index,
+            soa,
+            tile_lanes,
+            ..
+        } = scratch;
+        let index = index.as_ref().expect("index was just built");
+        let disk = model.disk_exact();
+        if disk {
             // Dense squared thresholds, computed exactly as the AoS path
             // does (r * r per beacon, insertion order).
-            scratch.soa.rebuild_with(field, |b| {
+            soa.rebuild_with(field, |b| {
                 let r = model.max_range(b.tx(), b.pos());
                 r * r
             });
-            Self::disk_sweep_soa(
-                index,
-                &scratch.soa,
-                lattice,
-                &mut sum_x,
-                &mut sum_y,
-                &mut count,
-            );
-        } else {
-            let oracle = ConnectivityOracle::with_index(field, model, index);
+        }
+
+        if workers <= 1 {
+            if disk {
+                if tile_lanes.is_empty() {
+                    tile_lanes.push(SweepLane::new());
+                }
+                Self::disk_sweep_soa(
+                    index,
+                    soa,
+                    lattice,
+                    &mut tile_lanes[0],
+                    &mut sum_x,
+                    &mut sum_y,
+                    &mut count,
+                );
+            } else {
+                let oracle = ConnectivityOracle::with_index(field, model, index);
+                let _span = abp_trace::span!("radio.connectivity_sweep");
+                Self::oracle_sweep_rows(
+                    &oracle,
+                    lattice,
+                    0,
+                    lattice.per_side() - 1,
+                    &mut sum_x,
+                    &mut sum_y,
+                    &mut count,
+                );
+            }
+            let mut map = ErrorMap::from_parts(*lattice, policy, sum_x, sum_y, count, errors);
+            {
+                let _span = abp_trace::span!("localize.derive_errors");
+                for flat in 0..n {
+                    map.errors[flat] = map.derive_error(flat);
+                }
+            }
+            return map;
+        }
+
+        let per_side = lattice.per_side() as usize;
+        let bands = crate::tiles::row_bands(per_side, workers * 4);
+        while tile_lanes.len() < bands.len() {
+            tile_lanes.push(SweepLane::new());
+        }
+        let oracle = (!disk).then(|| ConnectivityOracle::with_index(field, model, index));
+        let soa: &abp_field::BeaconSoA = soa;
+
+        struct Tile<'a> {
+            j_lo: u32,
+            j_hi: u32,
+            sum_x: &'a mut [f64],
+            sum_y: &'a mut [f64],
+            count: &'a mut [u32],
+            errors: &'a mut [f64],
+            lane: &'a mut SweepLane,
+        }
+
+        let mut tasks: Vec<Tile<'_>> = Vec::with_capacity(bands.len());
+        {
+            let mut rx: &mut [f64] = &mut sum_x;
+            let mut ry: &mut [f64] = &mut sum_y;
+            let mut rc: &mut [u32] = &mut count;
+            let mut re: &mut [f64] = &mut errors;
+            let mut lanes: &mut [SweepLane] = tile_lanes;
+            for &(start, rows) in &bands {
+                let len = rows * per_side;
+                let (hx, tx) = std::mem::take(&mut rx).split_at_mut(len);
+                rx = tx;
+                let (hy, ty) = std::mem::take(&mut ry).split_at_mut(len);
+                ry = ty;
+                let (hc, tc) = std::mem::take(&mut rc).split_at_mut(len);
+                rc = tc;
+                let (he, te) = std::mem::take(&mut re).split_at_mut(len);
+                re = te;
+                let (lane, rest) = std::mem::take(&mut lanes).split_first_mut().expect("lane");
+                lanes = rest;
+                tasks.push(Tile {
+                    j_lo: start as u32,
+                    j_hi: (start + rows - 1) as u32,
+                    sum_x: hx,
+                    sum_y: hy,
+                    count: hc,
+                    errors: he,
+                    lane,
+                });
+            }
+        }
+
+        let tested = AtomicU64::new(0);
+        {
+            // The tiled pass fuses sweep + error derivation into one tile
+            // traversal; the fused work reports under the sweep span.
             let _span = abp_trace::span!("radio.connectivity_sweep");
-            for ix in lattice.indices() {
-                let p = lattice.point(ix);
+            crate::tiles::run_pool(tasks, workers, |_, t| {
+                match &oracle {
+                    Some(oracle) => Self::oracle_sweep_rows(
+                        oracle, lattice, t.j_lo, t.j_hi, t.sum_x, t.sum_y, t.count,
+                    ),
+                    None => {
+                        let band = Self::disk_sweep_rows(
+                            index, soa, lattice, t.j_lo, t.j_hi, t.lane, t.sum_x, t.sum_y, t.count,
+                        );
+                        tested.fetch_add(band, Ordering::Relaxed);
+                    }
+                }
+                let base = t.j_lo as usize * per_side;
+                for off in 0..t.errors.len() {
+                    t.errors[off] = derive_error_at(
+                        lattice,
+                        policy,
+                        base + off,
+                        t.sum_x[off],
+                        t.sum_y[off],
+                        t.count[off],
+                    );
+                }
+            });
+            if disk {
+                abp_radio::metrics::LINKS_TESTED.add(tested.load(Ordering::Relaxed));
+            }
+        }
+        ErrorMap::from_parts(*lattice, policy, sum_x, sum_y, count, errors)
+    }
+
+    /// The tiled structure-of-arrays disk sweep over the whole lattice:
+    /// [`ErrorMap::disk_sweep_rows`] for every row, under the
+    /// connectivity span, with the links-tested metric flushed once.
+    fn disk_sweep_soa(
+        index: &abp_field::CellIndex,
+        soa: &abp_field::BeaconSoA,
+        lattice: &Lattice,
+        lane: &mut SweepLane,
+        sum_x: &mut [f64],
+        sum_y: &mut [f64],
+        count: &mut [u32],
+    ) {
+        let _span = abp_trace::span!("radio.connectivity_sweep");
+        let tested = Self::disk_sweep_rows(
+            index,
+            soa,
+            lattice,
+            0,
+            lattice.per_side() - 1,
+            lane,
+            sum_x,
+            sum_y,
+            count,
+        );
+        abp_radio::metrics::LINKS_TESTED.add(tested);
+    }
+
+    /// The SIMD-wide structure-of-arrays disk sweep over lattice rows
+    /// `j_lo..=j_hi`: points are walked row-major, the candidate cell is
+    /// resolved once per run of points sharing it, and on each cell
+    /// change the candidates' `xs`/`ys`/`reach²` columns are gathered
+    /// densely into `lane` ([`SweepLane::pack`], amortized over the whole
+    /// run) so the membership test streams unit-stride memory through the
+    /// explicit-width kernel ([`crate::lanes::sweep_lanes`]) — no
+    /// `Beacon` records, no virtual calls, no gathers in the inner loop.
+    ///
+    /// The kernel computes the membership mask [`crate::LANES`] wide but
+    /// folds accepted candidates in ascending insertion order, so the
+    /// accumulation order and arithmetic are exactly those of the scalar
+    /// per-candidate test and the result is bit-identical.
+    ///
+    /// Output slices are **band-local**: index `flat - j_lo * per_side`.
+    /// Returns the number of links tested (the caller owns the metric
+    /// flush — tiles sum theirs into one add).
+    #[allow(clippy::too_many_arguments)]
+    fn disk_sweep_rows(
+        index: &abp_field::CellIndex,
+        soa: &abp_field::BeaconSoA,
+        lattice: &Lattice,
+        j_lo: u32,
+        j_hi: u32,
+        lane: &mut SweepLane,
+        sum_x: &mut [f64],
+        sum_y: &mut [f64],
+        count: &mut [u32],
+    ) -> u64 {
+        let bins = index.bins();
+        let (xs, ys, r2) = (soa.xs(), soa.ys(), soa.reach2());
+        let per_side = lattice.per_side();
+        let mut tested = 0u64;
+        let mut last_cell = usize::MAX;
+        let mut off = 0usize;
+        for j in j_lo..=j_hi {
+            for i in 0..per_side {
+                let p = lattice.point(LatticeIndex::new(i, j));
+                let (sx, sy, heard) = if let Some(c) = bins.candidate_cell(p) {
+                    if c != last_cell {
+                        last_cell = c;
+                        lane.pack(bins.cell_candidates(c), xs, ys, r2);
+                    }
+                    tested += lane.len() as u64;
+                    lane.sweep(p.x, p.y)
+                } else {
+                    // No precomputed candidate table (oversized reach or
+                    // empty index): the generic candidate walk, still
+                    // over the dense arrays.
+                    let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
+                    bins.for_each_candidate(p, |k, _| {
+                        tested += 1;
+                        // Same operand order as Point::distance_squared
+                        // with self = beacon, other = p — keeps the f64
+                        // results bit-identical to the AoS walk.
+                        let dx = xs[k] - p.x;
+                        let dy = ys[k] - p.y;
+                        if dx * dx + dy * dy <= r2[k] {
+                            sx += xs[k];
+                            sy += ys[k];
+                            heard += 1;
+                        }
+                    });
+                    (sx, sy, heard)
+                };
+                sum_x[off] = sx;
+                sum_y[off] = sy;
+                count[off] = heard;
+                off += 1;
+            }
+        }
+        tested
+    }
+
+    /// The oracle (non-disk-exact) sweep over lattice rows `j_lo..=j_hi`,
+    /// accumulating each point's heard beacons in insertion order —
+    /// the same loop [`ErrorMap::survey_point_major`] runs, banded so
+    /// tiles can share it. Output slices are band-local, like
+    /// [`ErrorMap::disk_sweep_rows`].
+    fn oracle_sweep_rows(
+        oracle: &ConnectivityOracle<'_>,
+        lattice: &Lattice,
+        j_lo: u32,
+        j_hi: u32,
+        sum_x: &mut [f64],
+        sum_y: &mut [f64],
+        count: &mut [u32],
+    ) {
+        let per_side = lattice.per_side();
+        let mut off = 0usize;
+        for j in j_lo..=j_hi {
+            for i in 0..per_side {
+                let p = lattice.point(LatticeIndex::new(i, j));
                 let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
                 oracle.for_each_heard(p, |b| {
                     sx += b.pos().x;
                     sy += b.pos().y;
                     heard += 1;
                 });
-                let flat = lattice.flat(ix);
-                sum_x[flat] = sx;
-                sum_y[flat] = sy;
-                count[flat] = heard;
+                sum_x[off] = sx;
+                sum_y[off] = sy;
+                count[off] = heard;
+                off += 1;
             }
         }
-        let mut map = ErrorMap::from_parts(*lattice, policy, sum_x, sum_y, count, errors);
-        {
-            let _span = abp_trace::span!("localize.derive_errors");
-            for flat in 0..n {
-                map.errors[flat] = map.derive_error(flat);
-            }
-        }
-        map
-    }
-
-    /// The tiled structure-of-arrays disk sweep: lattice points are
-    /// walked row-major, the candidate slice is resolved once per run of
-    /// points sharing a grid cell, and the membership test streams the
-    /// dense `xs`/`ys`/`reach²` arrays with unit stride — no `Beacon`
-    /// records, no virtual calls. Accumulation order and arithmetic are
-    /// exactly those of [`ErrorMap::survey_indexed_disk`]'s per-candidate
-    /// test, so the result is bit-identical.
-    fn disk_sweep_soa(
-        index: &abp_field::CellIndex,
-        soa: &abp_field::BeaconSoA,
-        lattice: &Lattice,
-        sum_x: &mut [f64],
-        sum_y: &mut [f64],
-        count: &mut [u32],
-    ) {
-        let bins = index.bins();
-        let (xs, ys, r2) = (soa.xs(), soa.ys(), soa.reach2());
-        let _span = abp_trace::span!("radio.connectivity_sweep");
-        let mut tested = 0u64;
-        let mut last_cell = usize::MAX;
-        let mut cands: &[u32] = &[];
-        for ix in lattice.indices() {
-            let p = lattice.point(ix);
-            let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
-            if let Some(c) = bins.candidate_cell(p) {
-                if c != last_cell {
-                    last_cell = c;
-                    cands = bins.cell_candidates(c);
-                }
-                tested += cands.len() as u64;
-                for &k in cands {
-                    let k = k as usize;
-                    // Same operand order as Point::distance_squared with
-                    // self = beacon, other = p — keeps the f64 results
-                    // bit-identical to the AoS walk.
-                    let dx = xs[k] - p.x;
-                    let dy = ys[k] - p.y;
-                    if dx * dx + dy * dy <= r2[k] {
-                        sx += xs[k];
-                        sy += ys[k];
-                        heard += 1;
-                    }
-                }
-            } else {
-                // No precomputed candidate table (oversized reach or
-                // empty index): the generic candidate walk, still over
-                // the dense arrays.
-                bins.for_each_candidate(p, |k, _| {
-                    tested += 1;
-                    let dx = xs[k] - p.x;
-                    let dy = ys[k] - p.y;
-                    if dx * dx + dy * dy <= r2[k] {
-                        sx += xs[k];
-                        sy += ys[k];
-                        heard += 1;
-                    }
-                });
-            }
-            let flat = lattice.flat(ix);
-            sum_x[flat] = sx;
-            sum_y[flat] = sy;
-            count[flat] = heard;
-        }
-        abp_radio::metrics::LINKS_TESTED.add(tested);
     }
 
     /// Point-major sweep through a caller-provided oracle (brute or
@@ -633,6 +820,180 @@ impl ErrorMap {
         self.remove_beacon(beacon, model)
     }
 
+    /// [`ErrorMap::add_beacon`] across the tile scheduler: the beacon's
+    /// coverage-disk row span is split into bands, each band owns
+    /// disjoint grid slices, and workers update their bands concurrently
+    /// (errors derived inline, which is exact because a single-beacon
+    /// update touches each point at most once). `threads` follows the
+    /// workspace convention (`0` = all cores, `<= 1` = the sequential
+    /// path verbatim). Bit-identical to the sequential method at any
+    /// thread count; the returned delta is identical too (bounds and
+    /// touched counts merge in band order, and both are order-free).
+    pub fn add_beacon_threaded(
+        &mut self,
+        beacon: &Beacon,
+        model: &dyn Propagation,
+        threads: usize,
+    ) -> SurveyDelta {
+        let workers = crate::tiles::resolve_survey_threads(threads);
+        if workers <= 1 {
+            return self.add_beacon(beacon, model);
+        }
+        let _span = abp_trace::span!("radio.incremental_update");
+        self.update_beacon_banded(beacon, model, workers, true)
+    }
+
+    /// [`ErrorMap::remove_beacon`] across the tile scheduler — see
+    /// [`ErrorMap::add_beacon_threaded`].
+    pub fn remove_beacon_threaded(
+        &mut self,
+        beacon: &Beacon,
+        model: &dyn Propagation,
+        threads: usize,
+    ) -> SurveyDelta {
+        let workers = crate::tiles::resolve_survey_threads(threads);
+        if workers <= 1 {
+            return self.remove_beacon(beacon, model);
+        }
+        self.update_beacon_banded(beacon, model, workers, false)
+    }
+
+    /// The banded single-beacon update: row bands of the coverage disk,
+    /// disjoint grid slices per band, one result slot per band merged in
+    /// band order after the pool drains.
+    fn update_beacon_banded(
+        &mut self,
+        beacon: &Beacon,
+        model: &dyn Propagation,
+        workers: usize,
+        add: bool,
+    ) -> SurveyDelta {
+        let reach = model.max_range(beacon.tx(), beacon.pos());
+        let disk = Disk::new(beacon.pos(), reach);
+        let (bx, by) = (beacon.pos().x, beacon.pos().y);
+        let tx = beacon.tx();
+        let lattice = self.lattice;
+        let policy = self.policy;
+        let c = disk.center();
+        let Some((j_lo, j_hi)) = lattice.index_span(c.y - reach, c.y + reach) else {
+            if add {
+                abp_radio::metrics::LINKS_TESTED.add(0);
+            }
+            return SurveyDelta::EMPTY;
+        };
+        let per_side = lattice.per_side() as usize;
+        let rows = (j_hi - j_lo + 1) as usize;
+        let bands = crate::tiles::row_bands(rows, workers * 4);
+
+        #[derive(Default)]
+        struct BandOut {
+            tested: u64,
+            touched: usize,
+            bounds: Option<(LatticeIndex, LatticeIndex)>,
+        }
+        struct Band<'a> {
+            j_lo: u32,
+            j_hi: u32,
+            sum_x: &'a mut [f64],
+            sum_y: &'a mut [f64],
+            count: &'a mut [u32],
+            errors: &'a mut [f64],
+            out: &'a mut BandOut,
+        }
+
+        let mut outs: Vec<BandOut> = Vec::with_capacity(bands.len());
+        outs.resize_with(bands.len(), BandOut::default);
+        let mut tasks: Vec<Band<'_>> = Vec::with_capacity(bands.len());
+        {
+            let mut rx: &mut [f64] = &mut self.sum_x;
+            let mut ry: &mut [f64] = &mut self.sum_y;
+            let mut rc: &mut [u32] = &mut self.count;
+            let mut re: &mut [f64] = &mut self.errors;
+            let mut ro: &mut [BandOut] = &mut outs;
+            let mut consumed = 0usize;
+            for &(start, len) in &bands {
+                let begin = (j_lo as usize + start) * per_side;
+                let skip = begin - consumed;
+                let flats = len * per_side;
+                let (_, r) = std::mem::take(&mut rx).split_at_mut(skip);
+                let (hx, r) = r.split_at_mut(flats);
+                rx = r;
+                let (_, r) = std::mem::take(&mut ry).split_at_mut(skip);
+                let (hy, r) = r.split_at_mut(flats);
+                ry = r;
+                let (_, r) = std::mem::take(&mut rc).split_at_mut(skip);
+                let (hc, r) = r.split_at_mut(flats);
+                rc = r;
+                let (_, r) = std::mem::take(&mut re).split_at_mut(skip);
+                let (he, r) = r.split_at_mut(flats);
+                re = r;
+                let (out, rest) = std::mem::take(&mut ro).split_first_mut().expect("out slot");
+                ro = rest;
+                consumed = begin + flats;
+                tasks.push(Band {
+                    j_lo: (j_lo as usize + start) as u32,
+                    j_hi: (j_lo as usize + start + len - 1) as u32,
+                    sum_x: hx,
+                    sum_y: hy,
+                    count: hc,
+                    errors: he,
+                    out,
+                });
+            }
+        }
+
+        crate::tiles::run_pool(tasks, workers, |_, t| {
+            let base = t.j_lo as usize * per_side;
+            lattice.for_each_in_disk_rows(disk, t.j_lo, t.j_hi, |ix, p| {
+                if add {
+                    t.out.tested += 1;
+                }
+                if model.connected(tx, beacon.pos(), p) {
+                    let off = lattice.flat(ix) - base;
+                    if add {
+                        t.sum_x[off] += bx;
+                        t.sum_y[off] += by;
+                        t.count[off] += 1;
+                    } else {
+                        debug_assert!(t.count[off] > 0, "removing unaccounted beacon");
+                        t.sum_x[off] -= bx;
+                        t.sum_y[off] -= by;
+                        t.count[off] -= 1;
+                    }
+                    t.errors[off] = derive_error_at(
+                        &lattice,
+                        policy,
+                        base + off,
+                        t.sum_x[off],
+                        t.sum_y[off],
+                        t.count[off],
+                    );
+                    t.out.touched += 1;
+                    Self::grow_bounds(&mut t.out.bounds, ix);
+                }
+            });
+        });
+
+        let mut bounds: Option<(LatticeIndex, LatticeIndex)> = None;
+        let mut touched = 0usize;
+        let mut tested = 0u64;
+        for out in &outs {
+            tested += out.tested;
+            touched += out.touched;
+            if let Some((lo, hi)) = out.bounds {
+                Self::grow_bounds(&mut bounds, lo);
+                Self::grow_bounds(&mut bounds, hi);
+            }
+        }
+        if add {
+            abp_radio::metrics::LINKS_TESTED.add(tested);
+        }
+        SurveyDelta {
+            changed: bounds,
+            touched,
+        }
+    }
+
     fn grow_bounds(bounds: &mut Option<(LatticeIndex, LatticeIndex)>, ix: LatticeIndex) {
         *bounds = Some(match *bounds {
             None => (ix, ix),
@@ -644,17 +1005,14 @@ impl ErrorMap {
     }
 
     fn derive_error(&self, flat: usize) -> f64 {
-        let p = self.lattice.point(self.lattice.unflat(flat));
-        let estimate = if self.count[flat] > 0 {
-            let inv = 1.0 / self.count[flat] as f64;
-            Some(Point::new(self.sum_x[flat] * inv, self.sum_y[flat] * inv))
-        } else {
-            self.policy.estimate(self.lattice.terrain())
-        };
-        match estimate {
-            Some(est) => est.distance(p),
-            None => f64::NAN,
-        }
+        derive_error_at(
+            &self.lattice,
+            self.policy,
+            flat,
+            self.sum_x[flat],
+            self.sum_y[flat],
+            self.count[flat],
+        )
     }
 
     /// The survey lattice.
@@ -884,6 +1242,31 @@ impl ErrorMap {
     }
 }
 
+/// Derives one lattice point's localization error from its accumulator
+/// values — the exact arithmetic of `ErrorMap::derive_error`, exposed as
+/// a free function so survey tiles (which hold band-local slices, not a
+/// finished map) derive errors in the same pass that sweeps them.
+pub(crate) fn derive_error_at(
+    lattice: &Lattice,
+    policy: UnheardPolicy,
+    flat: usize,
+    sum_x: f64,
+    sum_y: f64,
+    count: u32,
+) -> f64 {
+    let p = lattice.point(lattice.unflat(flat));
+    let estimate = if count > 0 {
+        let inv = 1.0 / count as f64;
+        Some(Point::new(sum_x * inv, sum_y * inv))
+    } else {
+        policy.estimate(lattice.terrain())
+    };
+    match estimate {
+        Some(est) => est.distance(p),
+        None => f64::NAN,
+    }
+}
+
 impl fmt::Display for ErrorMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -997,6 +1380,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let field = BeaconField::random_uniform(60, terrain(), &mut rng);
         let mut scratch = crate::SurveyScratch::new();
+        let mut scratch_mt = crate::SurveyScratch::new();
         for noise in [0.0, 0.4] {
             let model = PerBeaconNoise::new(15.0, noise, 5);
             for policy in [UnheardPolicy::TerrainCenter, UnheardPolicy::Exclude] {
@@ -1009,8 +1393,90 @@ mod tests {
                 assert_bit_identical(&brute, &indexed, "point-major vs indexed");
                 assert_bit_identical(&indexed, &scratched, "indexed vs scratch-reused");
                 scratch.recycle(scratched);
+                // The tiled scheduler at several thread counts — more
+                // workers than cores is fine (oversubscription changes
+                // only scheduling, never bits).
+                for threads in [2usize, 3, 4] {
+                    let tiled = ErrorMap::survey_indexed_with_threads(
+                        &lat,
+                        &field,
+                        &model,
+                        policy,
+                        &mut scratch_mt,
+                        threads,
+                    );
+                    assert_bit_identical(
+                        &indexed,
+                        &tiled,
+                        &format!("indexed vs tiled {threads}-thread"),
+                    );
+                    scratch_mt.recycle(tiled);
+                }
             }
         }
+    }
+
+    /// A noisy model forces `disk_exact() == false`, so the tiled pass
+    /// runs the oracle kernel — it must be bit-identical too (covered
+    /// above), and so must an *empty* field through the tiled path.
+    #[test]
+    fn tiled_survey_handles_empty_field() {
+        let lat = lattice(10.0);
+        let field = BeaconField::new(terrain());
+        let model = IdealDisk::new(15.0);
+        let mut scratch = crate::SurveyScratch::new();
+        let fresh = ErrorMap::survey_indexed(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        let tiled = ErrorMap::survey_indexed_with_threads(
+            &lat,
+            &field,
+            &model,
+            UnheardPolicy::TerrainCenter,
+            &mut scratch,
+            4,
+        );
+        assert_bit_identical(&fresh, &tiled, "empty field tiled");
+    }
+
+    #[test]
+    fn threaded_incremental_updates_match_sequential() {
+        let lat = lattice(2.0);
+        let mut rng = StdRng::seed_from_u64(31);
+        for noise in [0.0, 0.3] {
+            let mut field = BeaconField::random_uniform(25, terrain(), &mut rng);
+            let model = PerBeaconNoise::new(15.0, noise, 8);
+            let seq0 = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+            let mut seq = seq0.clone();
+            let mut par = seq0.clone();
+            let id = field.add_beacon(Point::new(41.0, 59.0));
+            let beacon = *field.get(id).unwrap();
+            let d_seq = seq.add_beacon(&beacon, &model);
+            let d_par = par.add_beacon_threaded(&beacon, &model, 4);
+            assert_eq!(d_seq, d_par, "add deltas (noise {noise})");
+            assert_bit_identical(&seq, &par, "threaded add");
+            let r_seq = seq.remove_beacon(&beacon, &model);
+            let r_par = par.remove_beacon_threaded(&beacon, &model, 3);
+            assert_eq!(r_seq, r_par, "remove deltas (noise {noise})");
+            assert_bit_identical(&seq, &par, "threaded remove");
+        }
+    }
+
+    /// A beacon whose disk misses the lattice entirely: both paths must
+    /// report an empty delta and change nothing.
+    #[test]
+    fn threaded_incremental_empty_reach_is_a_noop() {
+        let lat = lattice(10.0);
+        let mut rng = StdRng::seed_from_u64(37);
+        let field = BeaconField::random_uniform(5, terrain(), &mut rng);
+        let model = IdealDisk::new(15.0);
+        let before = ErrorMap::survey(&lat, &field, &model, UnheardPolicy::TerrainCenter);
+        // A probe far below the terrain: its whole disk misses the
+        // lattice rows, so the banded path takes the empty-span exit.
+        let probe = Beacon::new(abp_field::BeaconId(999), Point::new(5.0, -50.0));
+        let mut map = before.clone();
+        let delta = map.add_beacon_threaded(&probe, &model, 4);
+        assert!(delta.is_empty());
+        assert_eq!(delta.touched, 0);
+        assert_bit_identical(&before, &map, "out-of-reach add");
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Explicit-width SIMD blocks for the disk-membership sweep.
+//!
+//! The hot loop of every survey is "is lattice point `p` inside beacon
+//! `k`'s hearing disk" over a packed candidate list. This module turns
+//! that test data-parallel while preserving the workspace-wide
+//! **bit-identity contract**: the membership *mask* is computed
+//! [`LANES`] candidates wide (a shape LLVM's autovectorizer provably
+//! lifts to packed `f64` instructions — see the golden-assembly test in
+//! `tests/simd_asm.rs`), but the accepted lanes are **folded into the
+//! running sums in ascending candidate order**, one scalar `+=` per hit.
+//! Floating-point addition is not associative, so a wide horizontal
+//! reduction would change the bits; an ordered fold of the same operands
+//! in the same order cannot.
+//!
+//! The module is deliberately dependency-free — no `abp_*` imports, no
+//! `std` beyond the prelude — so the golden-assembly test can compile
+//! this file standalone (`rustc -O --emit asm`) and grep the packed
+//! instructions without dragging the whole workspace through a second
+//! build.
+
+/// Candidates processed per wide block. Eight `f64` lanes span one or
+/// two cache lines and give the autovectorizer room for 2-wide SSE2,
+/// 4-wide AVX, or 8-wide AVX-512 without a remainder inside the block.
+pub const LANES: usize = 8;
+
+/// Computes the disk-membership mask of one [`LANES`]-wide block: bit
+/// `l` is set iff `(xs[l] - px)² + (ys[l] - py)² <= r2[l]`.
+///
+/// The arithmetic per lane — operand order included (`beacon - point`,
+/// squares summed `dx² + dy²`) — is exactly the scalar test
+/// `Point::distance_squared(beacon, p) <= r²` used by every other sweep
+/// in the workspace; only the *evaluation* is widened. Comparisons are
+/// independent per lane, so vectorizing them cannot change any bit of
+/// the outcome.
+#[inline]
+pub fn mask_block(
+    px: f64,
+    py: f64,
+    xs: &[f64; LANES],
+    ys: &[f64; LANES],
+    r2: &[f64; LANES],
+) -> u32 {
+    let mut m = 0u32;
+    let mut l = 0;
+    while l < LANES {
+        let dx = xs[l] - px;
+        let dy = ys[l] - py;
+        m |= ((dx * dx + dy * dy <= r2[l]) as u32) << l;
+        l += 1;
+    }
+    m
+}
+
+/// Sweeps one query point over packed candidate columns: returns
+/// `(Σx, Σy, heard)` of the candidates whose disk contains `(px, py)`.
+///
+/// Full blocks go through [`mask_block`]; accepted lanes are then folded
+/// in ascending index order (`trailing_zeros` walks the mask from low
+/// bit to high), and the remainder tail is tested scalarly — so for any
+/// candidate count, lane-aligned or not, the sequence of `f64` additions
+/// is identical to [`sweep_scalar`] and the results are bit-identical
+/// (proptests in `tests/properties.rs` pin this for remainder lengths,
+/// empty lists, zero reach, and exact boundary hits).
+pub fn sweep_lanes(px: f64, py: f64, xs: &[f64], ys: &[f64], r2: &[f64]) -> (f64, f64, u32) {
+    debug_assert!(xs.len() == ys.len() && xs.len() == r2.len());
+    let n = xs.len();
+    let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
+    let mut base = 0;
+    while base + LANES <= n {
+        // These conversions are infallible (length checked by the loop
+        // bound); the fixed-size views are what lets LLVM lift the mask
+        // computation to packed instructions.
+        let bx: &[f64; LANES] = xs[base..base + LANES].try_into().expect("full block");
+        let by: &[f64; LANES] = ys[base..base + LANES].try_into().expect("full block");
+        let br: &[f64; LANES] = r2[base..base + LANES].try_into().expect("full block");
+        let mut m = mask_block(px, py, bx, by, br);
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            sx += bx[l];
+            sy += by[l];
+            heard += 1;
+        }
+        base += LANES;
+    }
+    while base < n {
+        let dx = xs[base] - px;
+        let dy = ys[base] - py;
+        if dx * dx + dy * dy <= r2[base] {
+            sx += xs[base];
+            sy += ys[base];
+            heard += 1;
+        }
+        base += 1;
+    }
+    (sx, sy, heard)
+}
+
+/// The scalar reference [`sweep_lanes`] must match bit for bit: one
+/// test, one conditional fold per candidate, in index order.
+pub fn sweep_scalar(px: f64, py: f64, xs: &[f64], ys: &[f64], r2: &[f64]) -> (f64, f64, u32) {
+    let (mut sx, mut sy, mut heard) = (0.0f64, 0.0f64, 0u32);
+    for k in 0..xs.len() {
+        let dx = xs[k] - px;
+        let dy = ys[k] - py;
+        if dx * dx + dy * dy <= r2[k] {
+            sx += xs[k];
+            sy += ys[k];
+            heard += 1;
+        }
+    }
+    (sx, sy, heard)
+}
+
+/// Reusable packed-candidate columns: one `SweepLane` per tile worker.
+///
+/// The spatial index hands out candidate *indices* (`&[u32]`) into the
+/// beacon SoA; testing through them is a gather per lane, which no
+/// autovectorizer lifts at baseline targets. Because consecutive lattice
+/// points overwhelmingly share a candidate cell, the sweep instead packs
+/// the cell's columns densely **once per cell run** ([`SweepLane::pack`],
+/// preserving ascending insertion order) and then streams
+/// [`sweep_lanes`] over unit-stride memory for every point in the run.
+///
+/// Buffers are retained across [`SweepLane::pack`] calls, so a
+/// scratch-held lane allocates nothing once it has seen the densest cell
+/// of the sweep — the property the 0-allocs/trial bench gate measures.
+#[derive(Debug, Default)]
+pub struct SweepLane {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    r2: Vec<f64>,
+}
+
+impl SweepLane {
+    /// Creates an empty lane; buffers grow on first pack and are kept.
+    pub fn new() -> Self {
+        SweepLane::default()
+    }
+
+    /// Gathers `cands`' columns out of the SoA slices into this lane's
+    /// dense buffers, in the candidates' own (ascending insertion)
+    /// order.
+    pub fn pack(&mut self, cands: &[u32], xs: &[f64], ys: &[f64], r2: &[f64]) {
+        self.xs.clear();
+        self.ys.clear();
+        self.r2.clear();
+        self.xs.reserve(cands.len());
+        self.ys.reserve(cands.len());
+        self.r2.reserve(cands.len());
+        for &k in cands {
+            let k = k as usize;
+            self.xs.push(xs[k]);
+            self.ys.push(ys[k]);
+            self.r2.push(r2[k]);
+        }
+    }
+
+    /// [`sweep_lanes`] over the currently packed candidates.
+    #[inline]
+    pub fn sweep(&self, px: f64, py: f64) -> (f64, f64, u32) {
+        sweep_lanes(px, py, &self.xs, &self.ys, &self.r2)
+    }
+
+    /// Number of packed candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the lane currently holds no candidates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn columns(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        // Cheap deterministic pseudo-data; no rng dependency so the
+        // module stays standalone-compilable.
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64 / 10.0
+        };
+        let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| next()).collect();
+        let r2: Vec<f64> = (0..n).map(|_| next() * next()).collect();
+        (xs, ys, r2)
+    }
+
+    #[test]
+    fn wide_matches_scalar_for_every_remainder_length() {
+        for n in 0..=(3 * LANES + 1) {
+            let (xs, ys, r2) = columns(n, n as u64 + 1);
+            for &(px, py) in &[(0.0, 0.0), (50.0, 50.0), (99.9, 0.1)] {
+                let wide = sweep_lanes(px, py, &xs, &ys, &r2);
+                let scalar = sweep_scalar(px, py, &xs, &ys, &r2);
+                assert_eq!(wide.0.to_bits(), scalar.0.to_bits(), "sx n={n}");
+                assert_eq!(wide.1.to_bits(), scalar.1.to_bits(), "sy n={n}");
+                assert_eq!(wide.2, scalar.2, "heard n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn mask_block_sets_exactly_the_member_bits() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let ys = [0.0; LANES];
+        // Reach covers lanes 0..=3 from the origin (distance² = l²).
+        let r2 = [9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0, 9.0];
+        let m = mask_block(0.0, 0.0, &xs, &ys, &r2);
+        assert_eq!(m, 0b0000_1111);
+    }
+
+    #[test]
+    fn boundary_hits_are_inclusive() {
+        // distance² == r² must count, exactly as the scalar `<=` does.
+        let xs = [3.0; LANES];
+        let ys = [4.0; LANES];
+        let r2 = [25.0; LANES];
+        let m = mask_block(0.0, 0.0, &xs, &ys, &r2);
+        assert_eq!(m, 0xFF);
+        let (sx, sy, heard) = sweep_lanes(0.0, 0.0, &xs, &ys, &r2);
+        assert_eq!(heard, LANES as u32);
+        assert_eq!(sx, 3.0 * LANES as f64);
+        assert_eq!(sy, 4.0 * LANES as f64);
+    }
+
+    #[test]
+    fn zero_reach_hears_only_the_exact_position() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0];
+        let r2 = [0.0, 0.0, 0.0];
+        assert_eq!(sweep_lanes(2.0, 2.0, &xs, &ys, &r2), (2.0, 2.0, 1));
+        assert_eq!(sweep_lanes(9.0, 9.0, &xs, &ys, &r2), (0.0, 0.0, 0));
+    }
+
+    #[test]
+    fn lane_pack_gathers_in_candidate_order() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let r2 = [100.0, 200.0, 300.0, 400.0];
+        let mut lane = SweepLane::new();
+        lane.pack(&[3, 1], &xs, &ys, &r2);
+        assert_eq!(lane.len(), 2);
+        assert_eq!(lane.xs, vec![40.0, 20.0]);
+        assert_eq!(lane.ys, vec![4.0, 2.0]);
+        assert_eq!(lane.r2, vec![400.0, 200.0]);
+        lane.pack(&[], &xs, &ys, &r2);
+        assert!(lane.is_empty());
+    }
+}

@@ -39,15 +39,19 @@
 #![warn(missing_docs)]
 
 pub mod errormap;
+pub mod lanes;
 pub mod plan;
 pub mod render;
 pub mod robot;
 pub mod sampling;
 pub mod scratch;
 pub mod snapshot;
+pub mod tiles;
 
 pub use errormap::{ErrorMap, SurveyAccounting, SurveyDelta};
+pub use lanes::{SweepLane, LANES};
 pub use plan::SurveyPlan;
 pub use robot::{Robot, RobotReport};
 pub use sampling::SubsampleStrategy;
 pub use scratch::SurveyScratch;
+pub use tiles::{resolve_survey_threads, row_bands};

@@ -1,6 +1,7 @@
 //! Reusable survey buffers for allocation-free steady-state sweeps.
 
 use crate::errormap::ErrorMap;
+use crate::lanes::SweepLane;
 use abp_field::{BeaconSoA, CellIndex};
 
 /// Every buffer a full survey needs, owned once and recycled across
@@ -52,6 +53,11 @@ pub struct SurveyScratch {
     pub(crate) soa: BeaconSoA,
     /// The per-trial spatial index, rebuilt in place each trial.
     pub(crate) index: Option<CellIndex>,
+    /// Packed-candidate columns, one per survey tile: lane 0 serves the
+    /// single-thread sweep; the tiled scheduler takes one lane per tile
+    /// so workers never share pack buffers. Retained across trials like
+    /// every other buffer here.
+    pub(crate) tile_lanes: Vec<SweepLane>,
 }
 
 impl SurveyScratch {

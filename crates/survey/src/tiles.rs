@@ -1,0 +1,246 @@
+//! Worker pool for intra-survey tile execution.
+//!
+//! The trial-level runner (`abp-sim`'s `parallel_try_map`) parallelizes
+//! *across* surveys; this pool parallelizes *inside* one survey by
+//! executing disjoint row-band tiles of the lattice concurrently. It is
+//! a deliberate mirror of `crates/sim/src/runner.rs`'s discipline —
+//! atomic-cursor work claiming, per-task `catch_unwind`, all workers
+//! drain before the first failure is re-panicked in task order — kept
+//! local because the dependency arrow points the other way (`abp-sim`
+//! depends on `abp-survey`).
+//!
+//! Determinism note: tiles own disjoint output slices and every tile's
+//! work is self-contained per lattice point, so the *schedule* (which
+//! worker runs which tile, in what order) cannot affect any output bit.
+//! Claiming order only matters for load balance.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a survey tile thread-count request: `0` means "all
+/// available cores", anything else is taken literally. Mirrors
+/// `abp-sim`'s `resolve_threads` so `--threads` behaves the same for
+/// trial-level and tile-level parallelism.
+pub fn resolve_survey_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Extracts a human-readable message from a panic payload, exactly as
+/// the sim runner does.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `run(tile_index, task)` for every task across `workers` scoped
+/// threads.
+///
+/// Tasks are claimed through an atomic cursor, so an idle worker always
+/// picks up the next unstarted tile. A panicking tile does not poison
+/// its siblings: the payload is caught, every remaining tile still
+/// runs, and only after all workers drain is the failure with the
+/// lowest tile index re-panicked (deterministic regardless of
+/// scheduling) with the tile number attached.
+///
+/// With `workers <= 1` or a single task the pool degrades to a plain
+/// in-thread loop — no threads are spawned and panics propagate
+/// directly, which keeps the single-thread survey path byte-identical
+/// in behavior to the pre-scheduler code.
+pub(crate) fn run_pool<T, F>(tasks: Vec<T>, workers: usize, run: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let n = tasks.len();
+    let workers = workers.min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        for (i, task) in tasks.into_iter().enumerate() {
+            run(i, task);
+        }
+        return;
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take();
+                let Some(task) = task else { continue };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(i, task))) {
+                    let msg = panic_message(payload.as_ref());
+                    failures
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .push((i, msg));
+                }
+            });
+        }
+    });
+
+    let mut failures = failures.into_inner().unwrap_or_else(|p| p.into_inner());
+    if !failures.is_empty() {
+        failures.sort_unstable_by_key(|(i, _)| *i);
+        let (tile, msg) = failures.remove(0);
+        panic!("survey tile {tile} panicked: {msg}");
+    }
+}
+
+/// Splits `rows` lattice rows into at most `tiles` contiguous,
+/// near-equal bands, returned as `(first_row, row_count)` pairs in
+/// ascending row order. Bands differ in size by at most one row; empty
+/// inputs yield no bands.
+pub fn row_bands(rows: usize, tiles: usize) -> Vec<(usize, usize)> {
+    if rows == 0 || tiles == 0 {
+        return Vec::new();
+    }
+    let tiles = tiles.min(rows);
+    let base = rows / tiles;
+    let extra = rows % tiles;
+    let mut bands = Vec::with_capacity(tiles);
+    let mut start = 0;
+    for t in 0..tiles {
+        let len = base + usize::from(t < extra);
+        bands.push((start, len));
+        start += len;
+    }
+    debug_assert_eq!(start, rows);
+    bands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn bands_cover_rows_exactly_once_in_order() {
+        for rows in [0usize, 1, 2, 7, 100, 101] {
+            for tiles in [0usize, 1, 2, 3, 8, 200] {
+                let bands = row_bands(rows, tiles);
+                let mut next = 0;
+                for &(start, len) in &bands {
+                    assert_eq!(start, next, "rows={rows} tiles={tiles}");
+                    assert!(len > 0, "empty band rows={rows} tiles={tiles}");
+                    next = start + len;
+                }
+                assert_eq!(next, if tiles == 0 { 0 } else { rows });
+                if rows > 0 && tiles > 0 {
+                    assert_eq!(bands.len(), tiles.min(rows));
+                    let (min, max) = bands
+                        .iter()
+                        .fold((usize::MAX, 0), |(lo, hi), &(_, l)| (lo.min(l), hi.max(l)));
+                    assert!(max - min <= 1, "unbalanced rows={rows} tiles={tiles}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        for workers in [1usize, 2, 4, 9] {
+            let hits: Vec<AtomicU32> = (0..23).map(|_| AtomicU32::new(0)).collect();
+            let tasks: Vec<usize> = (0..hits.len()).collect();
+            run_pool(tasks, workers, |i, task| {
+                assert_eq!(i, task);
+                hits[task].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reports_the_lowest_failing_tile_after_draining() {
+        let done: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let tasks: Vec<usize> = (0..done.len()).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_pool(tasks, 3, |_, task| {
+                done[task].fetch_add(1, Ordering::Relaxed);
+                if task == 2 || task == 5 {
+                    panic!("tile {task} boom");
+                }
+            });
+        }));
+        let payload = result.expect_err("pool must re-panic");
+        let msg = panic_message(payload.as_ref());
+        assert!(
+            msg.contains("survey tile 2 panicked") && msg.contains("tile 2 boom"),
+            "got: {msg}"
+        );
+        // Every sibling tile still ran despite the failures.
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    /// The single-worker degenerate path is a plain loop: panics
+    /// propagate directly, unwrapped — exactly the pre-scheduler
+    /// behavior the sequential survey path relies on.
+    #[test]
+    fn single_worker_pool_propagates_panics_directly() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_pool(vec![0usize, 1, 2], 1, |_, task| {
+                if task == 1 {
+                    panic!("raw boom");
+                }
+            });
+        }));
+        let payload = result.expect_err("must panic");
+        assert_eq!(panic_message(payload.as_ref()), "raw boom");
+    }
+
+    #[test]
+    fn resolve_zero_means_all_cores() {
+        assert!(resolve_survey_threads(0) >= 1);
+        assert_eq!(resolve_survey_threads(3), 3);
+    }
+
+    #[test]
+    fn pool_handles_mutable_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let tasks: Vec<(usize, &mut [u64])> = {
+            let mut rest: &mut [u64] = &mut data;
+            let mut out = Vec::new();
+            let mut start = 0;
+            for (band_start, len) in row_bands(64, 4) {
+                assert_eq!(band_start, start);
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(len);
+                out.push((start, head));
+                rest = tail;
+                start += len;
+            }
+            out
+        };
+        run_pool(tasks, 4, |_, (start, slice)| {
+            for (off, v) in slice.iter_mut().enumerate() {
+                *v = (start + off) as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+}

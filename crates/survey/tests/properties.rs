@@ -213,6 +213,80 @@ proptest! {
         }
     }
 
+    /// The explicit-width SIMD kernel (`sweep_lanes`) folds accepted
+    /// lanes in ascending index order, so it must match the scalar walk
+    /// bit for bit on any candidate list: lengths not divisible by the
+    /// lane width (the scalar tail), the empty list, mute lanes with
+    /// reach² = 0, and a candidate exactly `range` away so distance²
+    /// == reach² lands on the `<=` acceptance boundary.
+    #[test]
+    fn wide_kernel_matches_scalar_for_any_candidate_count(
+        n in 0usize..35, seed in any::<u64>(), range in 0.5..12.0f64,
+        px in 0.0..SIDE, py in 0.0..SIDE,
+        with_boundary in any::<bool>(), with_mute in any::<bool>()
+    ) {
+        use abp_survey::lanes::{sweep_lanes, sweep_scalar};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n + 1);
+        let mut ys = Vec::with_capacity(n + 1);
+        let mut r2 = Vec::with_capacity(n + 1);
+        for i in 0..n {
+            xs.push(rng.random::<f64>() * SIDE);
+            ys.push(rng.random::<f64>() * SIDE);
+            r2.push(if with_mute && i % 3 == 0 { 0.0 } else { range * range });
+        }
+        if with_boundary {
+            // A lane whose reach² equals its distance² bit for bit
+            // (dy = 0, so the kernel computes exactly dx*dx),
+            // exercising the `<=` rather than `<` contract.
+            let bx = px + range;
+            let dx = bx - px;
+            xs.push(bx);
+            ys.push(py);
+            r2.push(dx * dx);
+        }
+        let wide = sweep_lanes(px, py, &xs, &ys, &r2);
+        let scalar = sweep_scalar(px, py, &xs, &ys, &r2);
+        prop_assert_eq!(wide.0.to_bits(), scalar.0.to_bits(), "sum_x");
+        prop_assert_eq!(wide.1.to_bits(), scalar.1.to_bits(), "sum_y");
+        prop_assert_eq!(wide.2, scalar.2, "heard count");
+        if with_boundary {
+            prop_assert!(wide.2 >= 1, "the boundary candidate must be heard");
+        }
+    }
+
+    /// The tile scheduler's row-band decomposition keeps every
+    /// per-point accumulation self-contained, so the surveyed map is
+    /// bit-identical at any worker count — on both the SoA disk path
+    /// (IdealDisk) and the oracle path (PerBeaconNoise).
+    #[test]
+    fn threaded_survey_bit_identical_at_any_thread_count(
+        n in 0usize..30, seed in any::<u64>(), noise in 0.0..0.5f64,
+        threads in 2usize..6
+    ) {
+        let (lattice, field, noisy) = setup(n, seed, noise, 4.0);
+        let ideal = IdealDisk::new(12.0);
+        for model in [&ideal as &dyn Propagation, &noisy] {
+            let mut seq_scratch = SurveyScratch::new();
+            let mut par_scratch = SurveyScratch::new();
+            let seq = ErrorMap::survey_indexed_with(
+                &lattice, &field, &model, UnheardPolicy::TerrainCenter, &mut seq_scratch,
+            );
+            let par = ErrorMap::survey_indexed_with_threads(
+                &lattice, &field, &model, UnheardPolicy::TerrainCenter,
+                &mut par_scratch, threads,
+            );
+            for ix in lattice.indices() {
+                prop_assert_eq!(par.heard_at(ix), seq.heard_at(ix));
+                prop_assert_eq!(
+                    par.error_at(ix).map(f64::to_bits),
+                    seq.error_at(ix).map(f64::to_bits)
+                );
+            }
+        }
+    }
+
     #[test]
     fn partial_survey_subset_of_full(
         n in 0usize..30, seed in any::<u64>(), fraction in 0.05..1.0f64

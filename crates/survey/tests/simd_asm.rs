@@ -1,0 +1,67 @@
+//! Golden-assembly gate for the disk-sweep SIMD kernel.
+//!
+//! `crates/survey/src/lanes.rs` is written so the autovectorizer
+//! provably lifts its `[f64; LANES]` blocks into packed SIMD — no
+//! intrinsics, no `std::simd`, no target features beyond baseline
+//! x86-64 (SSE2 guarantees `mulpd`/`cmplepd`). This test compiles the
+//! module standalone (it is deliberately dependency-free for exactly
+//! this reason) at `-O` and fails if the emitted assembly has no
+//! packed double multiply or no packed double compare: the moment a
+//! refactor breaks vectorization, CI says so instead of the kernel
+//! silently degrading to scalar.
+//!
+//! Gated to x86_64 hosts — the instruction mnemonics are ISA-specific.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn disk_sweep_kernel_emits_packed_simd() {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("src/lanes.rs");
+    let out_dir = std::env::temp_dir().join(format!("abp-lanes-asm-{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("create asm scratch dir");
+    let asm_path = out_dir.join("lanes.s");
+    // Edition 2021 matters: rustc's standalone default is 2015, under
+    // which the module does not parse the same way Cargo builds it.
+    let output = Command::new("rustc")
+        .args([
+            "--edition",
+            "2021",
+            "-O",
+            "--crate-type",
+            "lib",
+            "--emit",
+            "asm",
+            "-o",
+        ])
+        .arg(&asm_path)
+        .arg(&src)
+        .output()
+        .expect("rustc must be invocable from the test environment");
+    assert!(
+        output.status.success(),
+        "standalone compile of lanes.rs failed — the module must stay \
+         dependency-free so this gate can build it:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let asm = std::fs::read_to_string(&asm_path).expect("read emitted assembly");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let packed_mul = asm.contains("mulpd") || asm.contains("vmulpd");
+    // `cmppd` with an immediate covers the AVX spelling `vcmppd` and
+    // the SSE forms `cmplepd`/`cmpnltpd` the predicate can lower to.
+    let packed_cmp = ["cmplepd", "cmpnltpd", "vcmppd", "cmppd"]
+        .iter()
+        .any(|m| asm.contains(m));
+    assert!(
+        packed_mul,
+        "no packed f64 multiply in the optimized kernel — the \
+         autovectorizer no longer lifts the [f64; LANES] blocks"
+    );
+    assert!(
+        packed_cmp,
+        "no packed f64 compare in the optimized kernel — the membership \
+         mask is being computed lane by lane"
+    );
+}

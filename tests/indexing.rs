@@ -104,6 +104,69 @@ fn scratch_reused_survey_is_bit_identical_to_fresh_at_scale() {
     }
 }
 
+/// The intra-survey tile scheduler returns the exact bits of the
+/// single-threaded sweep at paper scale, at every worker count, on
+/// both the SIMD disk path and the oracle path. (The container may
+/// expose a single core; oversubscribed worker counts change only the
+/// scheduling, never the per-tile arithmetic, so the gate is equally
+/// strong there.)
+#[test]
+fn tiled_survey_is_bit_identical_to_single_thread_at_scale() {
+    let field = dense_field(100, 7);
+    let lattice = Lattice::new(Terrain::square(SIDE), 1.0);
+    let policy = UnheardPolicy::TerrainCenter;
+    let models: [(&str, Box<dyn Propagation>); 2] = [
+        ("ideal disk", Box::new(IdealDisk::new(RANGE))),
+        (
+            "per-beacon noise",
+            Box::new(PerBeaconNoise::new(RANGE, 0.4, 11)),
+        ),
+    ];
+    for (what, model) in &models {
+        let mut seq_scratch = SurveyScratch::new();
+        let seq = ErrorMap::survey_indexed_with(&lattice, &field, model, policy, &mut seq_scratch);
+        let mut par_scratch = SurveyScratch::new();
+        for threads in [2usize, 4, 8] {
+            let par = ErrorMap::survey_indexed_with_threads(
+                &lattice,
+                &field,
+                model,
+                policy,
+                &mut par_scratch,
+                threads,
+            );
+            assert_maps_bit_identical(&seq, &par, &format!("{what} threads={threads}"));
+            par_scratch.recycle(par);
+        }
+    }
+}
+
+/// Threaded incremental re-surveys (the serve path's banded update)
+/// apply the exact bits of the sequential `add_beacon`/`remove_beacon`
+/// at paper scale.
+#[test]
+fn threaded_incremental_updates_are_bit_identical_at_scale() {
+    let field = dense_field(100, 21);
+    let lattice = Lattice::new(Terrain::square(SIDE), 1.0);
+    let model = IdealDisk::new(RANGE);
+    let policy = UnheardPolicy::TerrainCenter;
+    let mut seq = ErrorMap::survey(&lattice, &field, &model, policy);
+    let mut par = seq.clone();
+
+    let mut grown = field.clone();
+    let id = grown.add_beacon(Point::new(SIDE / 3.0, SIDE / 2.0));
+    let beacon = *grown.get(id).expect("beacon just added");
+    let d_seq = seq.add_beacon(&beacon, &model);
+    let d_par = par.add_beacon_threaded(&beacon, &model, 4);
+    assert_eq!(d_seq, d_par, "add deltas differ");
+    assert_maps_bit_identical(&seq, &par, "after threaded add");
+
+    let d_seq = seq.remove_beacon(&beacon, &model);
+    let d_par = par.remove_beacon_threaded(&beacon, &model, 4);
+    assert_eq!(d_seq, d_par, "remove deltas differ");
+    assert_maps_bit_identical(&seq, &par, "after threaded remove");
+}
+
 /// Localization through an indexed oracle is the same function as
 /// through the brute oracle — same fixes, same degradation decisions —
 /// at every lattice point.
